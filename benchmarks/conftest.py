@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs at the ``ci`` experiment scale (see
+``repro.experiments.scale``): small enough for a laptop CPU, large enough to
+preserve the orderings and crossovers that the paper's tables and figures
+demonstrate.  Expensive experiment results are cached at session scope so the
+Table 2 / Figure 3 / Figure 4 benches share one offline-training run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import build_baseline_model
+from repro.dataset.features import FeatureMapBuilder
+from repro.dataset.loader import build_array_dataset
+from repro.dataset.splits import per_movement_split
+from repro.dataset.synthetic import SyntheticDatasetConfig, generate_dataset
+from repro.experiments.scale import get_scale
+
+
+@pytest.fixture(scope="session")
+def ci_scale():
+    """The CI experiment scale used throughout the benchmark harness."""
+    return get_scale("ci")
+
+
+@pytest.fixture(scope="session")
+def bench_dataset_config() -> SyntheticDatasetConfig:
+    """A mid-sized dataset configuration for kernel benchmarks."""
+    return SyntheticDatasetConfig(
+        subject_ids=(1, 2), movement_names=("squat", "right_limb_extension"), seconds_per_pair=6.0
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_dataset_config):
+    """A labelled synthetic dataset shared by the kernel benchmarks."""
+    return generate_dataset(bench_dataset_config)
+
+
+@pytest.fixture(scope="session")
+def bench_split(bench_dataset):
+    return per_movement_split(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_arrays(bench_split):
+    """Feature/label arrays of the kernel-benchmark training partition."""
+    return build_array_dataset(bench_split.train, builder=FeatureMapBuilder())
+
+
+@pytest.fixture(scope="session")
+def trained_baseline(bench_arrays):
+    """A baseline model quickly fitted to the kernel-benchmark data."""
+    from repro.core.training import SupervisedTrainer, TrainingConfig
+
+    model = build_baseline_model()
+    SupervisedTrainer(model, TrainingConfig(epochs=5, batch_size=128)).fit(bench_arrays)
+    return model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

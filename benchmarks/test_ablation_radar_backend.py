@@ -1,0 +1,80 @@
+"""Ablation: geometric vs full-signal-chain radar backends.
+
+The synthetic dataset is generated with the fast geometric backend; this
+bench verifies that its point-cloud statistics (sparsity, spatial location,
+Doppler spread) stay close to those of the full FMCW signal-chain simulation,
+which justifies the substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.motion import MotionSynthesizer
+from repro.body.subjects import default_subjects
+from repro.body.surface import BodyScatteringModel
+from repro.radar.config import RadarConfig
+from repro.radar.pipeline import make_pipeline
+from repro.viz.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def backend_statistics():
+    subject = default_subjects()[0]
+    trajectory = MotionSynthesizer().synthesize(
+        subject, "squat", 4.0, rng=np.random.default_rng(0)
+    )
+    scattering = BodyScatteringModel(points_per_segment=6)
+    rng = np.random.default_rng(1)
+
+    pipelines = {
+        "geometric": make_pipeline("geometric"),
+        "signal": make_pipeline("signal", config=RadarConfig.low_resolution()),
+    }
+    statistics = {}
+    for name, pipeline in pipelines.items():
+        counts, centroids, doppler_spread = [], [], []
+        for index in range(0, trajectory.num_frames, 4):
+            positions, velocities = trajectory.frame(index)
+            scatterers = scattering.scatterers(positions, velocities, rng)
+            frame = pipeline.process_scatterers(scatterers, rng, frame_index=index)
+            if frame.num_points == 0:
+                continue
+            counts.append(frame.num_points)
+            centroids.append(frame.centroid())
+            doppler_spread.append(frame.doppler.std())
+        statistics[name] = {
+            "mean points/frame": float(np.mean(counts)),
+            "centroid depth (m)": float(np.mean([c[1] for c in centroids])),
+            "centroid height (m)": float(np.mean([c[2] for c in centroids])),
+            "doppler std (m/s)": float(np.mean(doppler_spread)),
+        }
+    return statistics
+
+
+class TestRadarBackendAblation:
+    def test_report_backend_statistics(self, benchmark, backend_statistics):
+        stats = benchmark.pedantic(lambda: backend_statistics, rounds=1, iterations=1)
+        rows = []
+        for metric in next(iter(stats.values())):
+            rows.append([metric, stats["geometric"][metric], stats["signal"][metric]])
+        print(
+            "\n"
+            + format_table(
+                ["statistic", "geometric backend", "signal-chain backend"],
+                rows,
+                title="Ablation: radar backend point-cloud statistics (squat sequence)",
+            )
+        )
+        assert set(stats) == {"geometric", "signal"}
+
+    def test_both_backends_localize_the_body_consistently(self, backend_statistics):
+        geo = backend_statistics["geometric"]
+        sig = backend_statistics["signal"]
+        assert abs(geo["centroid depth (m)"] - sig["centroid depth (m)"]) < 0.5
+        assert abs(geo["centroid height (m)"] - sig["centroid height (m)"]) < 0.6
+
+    def test_both_backends_are_sparse(self, backend_statistics):
+        for stats in backend_statistics.values():
+            assert stats["mean points/frame"] < 80

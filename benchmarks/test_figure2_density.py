@@ -1,0 +1,71 @@
+"""Benchmark: regenerate Figure 2 (single-frame vs multi-frame density).
+
+The paper's visual argument is quantified here: the fused representation must
+contain roughly ``2M + 1`` times more points, cover more of the front-view
+grid and in particular recover upper-body detail that single frames miss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.features import FeatureMapBuilder
+from repro.experiments.figure2 import format_figure2, run_figure2
+from repro.radar.pointcloud import PointCloudFrame
+
+
+@pytest.fixture(scope="module")
+def figure2_result(ci_scale):
+    return run_figure2(ci_scale, movement="squat", num_context_frames=1)
+
+
+def check_figure2_shape(result) -> None:
+    assert result.fused_points > 2.0 * result.single_points
+    assert result.fused_coverage >= result.single_coverage
+    assert result.upper_body_fused >= result.upper_body_single
+
+
+class TestFigure2Reproduction:
+    def test_regenerate_figure2(self, benchmark, figure2_result):
+        result = benchmark.pedantic(lambda: figure2_result, rounds=1, iterations=1)
+        print("\n" + format_figure2(result))
+        check_figure2_shape(result)
+
+    def test_enrichment_factor_close_to_window_size(self, figure2_result):
+        # Fusing three frames should roughly triple the mean point count.
+        assert 2.0 < figure2_result.enrichment_factor() < 4.0
+
+    def test_coverage_improves(self, figure2_result):
+        assert figure2_result.fused_coverage > figure2_result.single_coverage
+
+
+class TestFeatureKernels:
+    def test_benchmark_feature_map_construction(self, benchmark, bench_dataset):
+        """Point-cloud to 8x8x5 feature-map conversion throughput."""
+        builder = FeatureMapBuilder()
+        clouds = [sample.cloud for sample in list(bench_dataset)[:256]]
+        benchmark(lambda: builder.build_batch(clouds))
+
+    def test_benchmark_single_frame_generation(self, benchmark, subject_scatterers):
+        """Geometric radar backend: one point-cloud frame."""
+        pipeline, scatterers = subject_scatterers
+        rng = np.random.default_rng(0)
+        result = benchmark(lambda: pipeline.process_scatterers(scatterers, rng))
+        assert isinstance(result, PointCloudFrame)
+
+
+@pytest.fixture(scope="module")
+def subject_scatterers():
+    from repro.body.motion import MotionSynthesizer
+    from repro.body.subjects import default_subjects
+    from repro.body.surface import BodyScatteringModel
+    from repro.radar.pipeline import make_pipeline
+
+    subject = default_subjects()[0]
+    trajectory = MotionSynthesizer().synthesize(
+        subject, "squat", 3.0, rng=np.random.default_rng(0)
+    )
+    positions, velocities = trajectory.frame(10)
+    scatterers = BodyScatteringModel().scatterers(positions, velocities, np.random.default_rng(1))
+    return make_pipeline("geometric"), scatterers

@@ -1,0 +1,67 @@
+"""Benchmark: regenerate Figure 3 (fine-tuning all layers).
+
+Shape checks: FUSE adapts quickly from its deliberately-generalist
+initialization while the baseline's original-data error climbs as it adapts
+(catastrophic forgetting); FUSE ends at least as accurate on the new data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.finetune import FineTuneConfig, FineTuner
+from repro.dataset.loader import ArrayDataset
+from repro.experiments.adaptation import run_adaptation
+from repro.experiments.figure3 import format_figure3
+
+
+@pytest.fixture(scope="session")
+def adaptation_result(ci_scale):
+    return run_adaptation(ci_scale)
+
+
+def check_figure3_shape(result) -> None:
+    baseline = result.model_curves("all", "baseline")
+    fuse = result.model_curves("all", "fuse")
+    # (a) forgetting: baseline's original-data MAE climbs; FUSE's does not climb as much.
+    assert result.forgetting("all", "baseline") > result.forgetting("all", "fuse") + 1.0
+    # (b) adaptation: FUSE improves substantially on the new data within a few epochs.
+    fuse_new = fuse.new_curve()
+    assert min(fuse_new[1:11]) < 0.9 * fuse_new[0]
+    # (c) end state: FUSE at least matches the baseline on the new data.
+    assert fuse_new[-1] <= baseline.new_curve()[-1] + 0.3
+
+
+class TestFigure3Reproduction:
+    def test_regenerate_figure3(self, benchmark, adaptation_result):
+        result = benchmark.pedantic(lambda: adaptation_result, rounds=1, iterations=1)
+        print("\n" + format_figure3(result))
+        check_figure3_shape(result)
+
+    def test_fuse_adapts_within_few_epochs(self, adaptation_result):
+        fuse_new = adaptation_result.model_curves("all", "fuse").new_curve()
+        assert min(fuse_new[1:11]) < 0.9 * fuse_new[0]
+
+    def test_baseline_original_error_climbs(self, adaptation_result):
+        baseline_original = adaptation_result.model_curves("all", "baseline").original_curve()
+        assert baseline_original[-1] > baseline_original[0]
+
+    def test_fuse_keeps_original_error_bounded(self, adaptation_result):
+        fuse_original = adaptation_result.model_curves("all", "fuse").original_curve()
+        assert fuse_original[-1] <= fuse_original[0] + 1.0
+
+
+class TestFineTuneKernels:
+    def test_benchmark_finetune_epoch(self, benchmark, trained_baseline, bench_arrays):
+        """One online fine-tuning epoch on a 60-frame adaptation set."""
+        adaptation_set = ArrayDataset(bench_arrays.features[:60], bench_arrays.labels[:60])
+        tuner = FineTuner(trained_baseline, FineTuneConfig(epochs=1))
+        benchmark.pedantic(
+            lambda: tuner.finetune(adaptation_set, epochs=1), rounds=3, iterations=1
+        )
+
+    def test_benchmark_inference_latency(self, benchmark, trained_baseline):
+        """Single-frame inference latency (the paper targets real-time edge use)."""
+        features = np.random.default_rng(0).normal(size=(1, 5, 8, 8))
+        benchmark(lambda: trained_baseline.predict_joints(features))

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Figure 4 (fine-tuning only the last FC layer).
+
+Shape checks mirror Figure 3, plus the paper's observation that last-layer
+fine-tuning adapts to a higher final error than all-layer fine-tuning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.adaptation import run_adaptation
+from repro.experiments.figure4 import format_figure4
+
+
+@pytest.fixture(scope="session")
+def adaptation_result(ci_scale):
+    return run_adaptation(ci_scale)
+
+
+def check_figure4_shape(result) -> None:
+    # Forgetting asymmetry persists when only the last layer is tuned.
+    assert result.forgetting("last", "baseline") > result.forgetting("last", "fuse")
+    # Last-layer fine-tuning ends no better than all-layer fine-tuning for FUSE.
+    fuse_last = result.model_curves("last", "fuse").new_curve()[-1]
+    fuse_all = result.model_curves("all", "fuse").new_curve()[-1]
+    assert fuse_last >= fuse_all - 0.3
+
+
+class TestFigure4Reproduction:
+    def test_regenerate_figure4(self, benchmark, adaptation_result):
+        result = benchmark.pedantic(lambda: adaptation_result, rounds=1, iterations=1)
+        print("\n" + format_figure4(result))
+        check_figure4_shape(result)
+
+    def test_last_layer_adapts_worse_than_all_layers(self, adaptation_result):
+        """Paper: fine-tuning all layers reaches a lower new-data MAE."""
+        for model in ("baseline", "fuse"):
+            last = adaptation_result.model_curves("last", model).new_curve()[-1]
+            all_layers = adaptation_result.model_curves("all", model).new_curve()[-1]
+            assert last >= all_layers - 0.5, (
+                f"{model}: last-layer fine-tuning ({last:.2f} cm) should not beat "
+                f"all-layer fine-tuning ({all_layers:.2f} cm)"
+            )
+
+    def test_forgetting_asymmetry_persists(self, adaptation_result):
+        assert adaptation_result.forgetting("last", "baseline") > adaptation_result.forgetting(
+            "last", "fuse"
+        )
+
+    def test_fuse_still_improves_on_new_data(self, adaptation_result):
+        fuse_new = adaptation_result.model_curves("last", "fuse").new_curve()
+        assert fuse_new[-1] < fuse_new[0]

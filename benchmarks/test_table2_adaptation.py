@@ -1,0 +1,75 @@
+"""Benchmark: regenerate Table 2 (baseline vs FUSE adaptation summary).
+
+Paper claims checked in shape: the supervised baseline pays for adapting to
+the new user/movement with catastrophic forgetting of the original data,
+while the meta-learned FUSE model adapts without forgetting and ends up at
+least as accurate on the new data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maml import MetaLearningConfig, MetaTrainer
+from repro.core.models import build_fuse_model
+from repro.experiments.adaptation import run_adaptation
+from repro.experiments.table2 import format_table2
+
+
+@pytest.fixture(scope="session")
+def adaptation_result(ci_scale):
+    return run_adaptation(ci_scale)
+
+
+def check_table2_shape(result) -> None:
+    """The qualitative Table 2 claims shared by both run modes."""
+    for scope in ("all", "last"):
+        baseline_forgetting = result.forgetting(scope, "baseline")
+        fuse_forgetting = result.forgetting(scope, "fuse")
+        assert baseline_forgetting > fuse_forgetting + 1.0, (
+            f"[{scope}] baseline should forget markedly more than FUSE "
+            f"(baseline {baseline_forgetting:+.1f} cm vs FUSE {fuse_forgetting:+.1f} cm)"
+        )
+    baseline_final = result.model_curves("all", "baseline").new_curve()[-1]
+    fuse_final = result.model_curves("all", "fuse").new_curve()[-1]
+    assert fuse_final <= baseline_final + 0.3, (
+        f"FUSE should end at least as accurate on the new data "
+        f"(FUSE {fuse_final:.2f} cm vs baseline {baseline_final:.2f} cm)"
+    )
+
+
+class TestTable2Reproduction:
+    def test_regenerate_table2(self, benchmark, adaptation_result):
+        result = benchmark.pedantic(lambda: adaptation_result, rounds=1, iterations=1)
+        print("\n" + format_table2(result))
+        check_table2_shape(result)
+
+    def test_baseline_forgets_fuse_does_not(self, adaptation_result):
+        for scope in ("all", "last"):
+            assert adaptation_result.forgetting(scope, "baseline") > adaptation_result.forgetting(
+                scope, "fuse"
+            )
+
+    def test_fuse_ends_better_on_new_data(self, adaptation_result):
+        baseline_final = adaptation_result.model_curves("all", "baseline").new_curve()[-1]
+        fuse_final = adaptation_result.model_curves("all", "fuse").new_curve()[-1]
+        assert fuse_final <= baseline_final + 0.3
+
+    def test_fuse_initial_original_mae_higher_than_baseline(self, adaptation_result):
+        """The meta-learned init trades initial fit for adaptability (paper: 12.4 vs 6.7 cm)."""
+        baseline = adaptation_result.model_curves("all", "baseline").initial_original_mae
+        fuse = adaptation_result.model_curves("all", "fuse").initial_original_mae
+        assert fuse > baseline
+
+
+class TestAdaptationKernels:
+    def test_benchmark_meta_iteration(self, benchmark, bench_arrays):
+        """One meta-training iteration (Algorithm 1, lines 3-11)."""
+        model = build_fuse_model()
+        config = MetaLearningConfig(
+            meta_iterations=1, tasks_per_batch=2, support_size=32, query_size=32
+        )
+        trainer = MetaTrainer(model, config)
+        benchmark.pedantic(
+            lambda: trainer.meta_train(bench_arrays, meta_iterations=1), rounds=3, iterations=1
+        )

@@ -1,0 +1,101 @@
+"""Inside the radar: from FMCW chirps to an Eq. 1 point cloud.
+
+The FUSE paper consumes point clouds produced by a TI IWR1443 radar.  This
+example walks through the simulated signal chain that stands in for that
+device here, step by step:
+
+1. pose a human body (squat) and sample surface scatterers,
+2. synthesize the FMCW beat-signal data cube (fast time x chirps x antennas),
+3. apply the range FFT and Doppler FFT,
+4. detect reflections with CA-CFAR,
+5. estimate angles and build the point cloud,
+6. compare the result with the fast geometric backend used for dataset
+   generation, and render both as ASCII front views.
+
+Run with::
+
+    python examples/radar_signal_chain.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.body import BodyScatteringModel, MotionSynthesizer, default_subjects
+from repro.radar import (
+    CfarConfig,
+    RadarConfig,
+    detect_peaks,
+    detections_to_points,
+    make_pipeline,
+    range_doppler_processing,
+    synthesize_data_cube,
+    targets_from_scatterers,
+)
+from repro.viz import render_point_cloud
+
+
+def main() -> None:
+    config = RadarConfig()
+    print("Radar configuration")
+    print(" ", config.describe())
+
+    # ------------------------------------------------------------------
+    # 1. Pose the body and sample scatterers.
+    # ------------------------------------------------------------------
+    subject = default_subjects()[0]
+    trajectory = MotionSynthesizer().synthesize(
+        subject, "squat", duration=5.0, rng=np.random.default_rng(3)
+    )
+    frame_index = 25  # mid-squat
+    positions, velocities = trajectory.frame(frame_index)
+    scatterers = BodyScatteringModel().scatterers(positions, velocities, np.random.default_rng(4))
+    print(f"\nBody model: {len(scatterers)} surface scatterers at "
+          f"{positions[:, 1].mean():.1f} m standoff")
+
+    # ------------------------------------------------------------------
+    # 2-3. Beat-signal synthesis and range/Doppler processing.
+    # ------------------------------------------------------------------
+    scene = targets_from_scatterers(scatterers, config)
+    cube = synthesize_data_cube(scene, config, rng=np.random.default_rng(5))
+    print(f"Data cube: {cube.samples.shape} complex samples "
+          f"(samples x chirps x azimuth x elevation antennas)")
+
+    rd_map = range_doppler_processing(cube)
+    occupied_range = np.argmax(rd_map.power.sum(axis=1))
+    print(f"Range-Doppler map: {rd_map.power.shape}, strongest range bin "
+          f"{occupied_range} = {rd_map.range_of_bin(int(occupied_range)):.2f} m")
+
+    # ------------------------------------------------------------------
+    # 4-5. CFAR detection and angle estimation.
+    # ------------------------------------------------------------------
+    detections = detect_peaks(rd_map.power, CfarConfig())
+    points = detections_to_points(rd_map, detections, config)
+    points[:, 2] += config.radar_height  # radar frame -> world frame
+    print(f"CA-CFAR detections: {len(detections)} -> {points.shape[0]} point-cloud points")
+
+    from repro.radar import PointCloudFrame
+
+    signal_frame = PointCloudFrame(points, frame_index=frame_index)
+
+    # ------------------------------------------------------------------
+    # 6. Compare with the geometric backend.
+    # ------------------------------------------------------------------
+    geometric_frame = make_pipeline("geometric", config=config).process_scatterers(
+        scatterers, np.random.default_rng(6), frame_index=frame_index
+    )
+
+    print()
+    print(render_point_cloud(signal_frame, title="full FMCW signal-chain backend"))
+    print()
+    print(render_point_cloud(geometric_frame, title="fast geometric backend"))
+    print(
+        "\nBoth backends place the reflections on the subject "
+        f"(signal-chain centroid {signal_frame.centroid().round(2)}, "
+        f"geometric centroid {geometric_frame.centroid().round(2)}); the geometric backend "
+        "is the one used to generate the large training datasets."
+    )
+
+
+if __name__ == "__main__":
+    main()

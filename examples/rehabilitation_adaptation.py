@@ -1,0 +1,111 @@
+"""Rehabilitation scenario: adapting to a new patient with a few frames.
+
+The paper motivates FUSE with home rehabilitation: a pose-estimation model is
+shipped pre-trained, and then a *new* patient — never seen during training —
+starts exercising in front of the radar.  Only a handful of labelled frames
+of the new patient can realistically be collected (e.g. during a short
+calibration session supervised by a clinician), so the model must adapt from
+very little data without forgetting the patients it already supports.
+
+This example runs that exact workflow:
+
+1. meta-train FUSE offline on three subjects and nine movements,
+2. deploy it for a new patient (subject 4) doing an unseen movement
+   ("right limb extension"),
+3. fine-tune on a few seconds of calibration frames,
+4. compare the error before and after adaptation, for the new patient and
+   for the original training distribution.
+
+Run with::
+
+    python examples/rehabilitation_adaptation.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    FineTuneConfig,
+    FuseConfig,
+    FusePoseEstimator,
+    MetaLearningConfig,
+)
+from repro.dataset import SyntheticDatasetConfig, generate_dataset, leave_out_split
+from repro.viz import format_table
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Offline: meta-train on the existing patients.
+    # ------------------------------------------------------------------
+    dataset = generate_dataset(SyntheticDatasetConfig(seconds_per_pair=6.0, seed=11))
+    split = leave_out_split(
+        dataset,
+        held_out_subject=4,
+        held_out_movement="right_limb_extension",
+        finetune_frames=40,
+    )
+    print(split.describe())
+
+    estimator = FusePoseEstimator(
+        FuseConfig(
+            num_context_frames=1,
+            meta=MetaLearningConfig(
+                meta_iterations=80,
+                tasks_per_batch=4,
+                support_size=48,
+                query_size=48,
+                warmstart_epochs=8,
+            ),
+            finetune=FineTuneConfig(epochs=10, scope="all"),
+        )
+    )
+    train_arrays = estimator.prepare(split.train)
+    print(f"\nMeta-training on {len(train_arrays)} fused frames...")
+    estimator.fit_meta(train_arrays)
+
+    # ------------------------------------------------------------------
+    # 2. Deployment: a new patient appears.
+    # ------------------------------------------------------------------
+    calibration = estimator.prepare(split.finetune)
+    new_patient_eval = estimator.prepare(split.evaluation)
+    original_eval = estimator.prepare(split.original_eval)
+
+    before_new = estimator.evaluate(new_patient_eval).mae_average
+    before_original = estimator.evaluate(original_eval).mae_average
+
+    # ------------------------------------------------------------------
+    # 3. Online: adapt with the calibration frames.
+    # ------------------------------------------------------------------
+    print(f"Adapting on {len(calibration)} calibration frames "
+          f"({len(calibration) / 10:.0f} seconds of data)...")
+    result = estimator.adapt(
+        calibration,
+        evaluation_sets={"new patient": new_patient_eval, "original patients": original_eval},
+    )
+
+    after_new = result.curves["new patient"][-1]
+    after_original = result.curves["original patients"][-1]
+
+    # ------------------------------------------------------------------
+    # 4. Report.
+    # ------------------------------------------------------------------
+    print()
+    print(
+        format_table(
+            ["evaluation set", "before adaptation (cm)", "after adaptation (cm)"],
+            [
+                ["new patient, unseen movement", before_new, after_new],
+                ["original training distribution", before_original, after_original],
+            ],
+            title="Joint-coordinate MAE before/after few-shot adaptation",
+        )
+    )
+    print(
+        "\nThe meta-learned initialization adapts to the new patient within "
+        f"{len(result.curves['new patient'])} epochs while keeping its accuracy on the "
+        "patients it already knew — the property that makes in-home deployment practical."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""FUSE — Fast and Scalable Human Pose Estimation using mmWave Point Cloud.
+
+A from-scratch reproduction of the DAC 2022 paper by An & Ogras, including
+every substrate it depends on:
+
+* :mod:`repro.nn` — NumPy neural-network framework (autograd, CNN layers,
+  Adam, L1 loss),
+* :mod:`repro.radar` — FMCW mmWave radar simulator (TI IWR1443-like) and
+  point-cloud generation,
+* :mod:`repro.body` — 19-joint kinematic body model with the ten MARS
+  rehabilitation movements,
+* :mod:`repro.dataset` — synthetic MARS-like dataset generation, splits and
+  feature maps,
+* :mod:`repro.core` — the FUSE framework itself: multi-frame fusion,
+  meta-learning, fine-tuning, evaluation,
+* :mod:`repro.viz` — point-cloud rendering and result tables,
+* :mod:`repro.experiments` — drivers that regenerate every table and figure
+  of the paper's evaluation section.
+"""
+
+from . import body, core, dataset, nn, radar
+
+__version__ = "0.1.0"
+
+__all__ = ["nn", "radar", "body", "dataset", "core", "__version__"]

@@ -1,0 +1,67 @@
+"""``repro.body`` — kinematic human body substrate.
+
+Provides the 19-joint MARS/Kinect skeleton, subject anthropometrics, the ten
+rehabilitation movement programs, motion synthesis (joint trajectories and
+velocities) and the body-surface scattering model consumed by the radar
+simulator.
+"""
+
+from .kinematics import (
+    Pose,
+    euler_rotation,
+    forward_kinematics,
+    ground_correction,
+    interpolate_poses,
+    joint_velocities,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+)
+from .motion import MotionSynthesizer, MotionTrajectory
+from .movements import (
+    HELD_OUT_MOVEMENT,
+    MOVEMENT_NAMES,
+    Movement,
+    all_movements,
+    get_movement,
+)
+from .skeleton import (
+    JOINT_INDEX,
+    JOINT_NAMES,
+    JOINT_PARENTS,
+    NUM_JOINTS,
+    SKELETON_EDGES,
+    Skeleton,
+)
+from .subjects import SubjectProfile, default_subjects, make_subject
+from .surface import BodyScatteringModel, Scatterer
+
+__all__ = [
+    "JOINT_NAMES",
+    "JOINT_INDEX",
+    "JOINT_PARENTS",
+    "SKELETON_EDGES",
+    "NUM_JOINTS",
+    "Skeleton",
+    "Pose",
+    "forward_kinematics",
+    "ground_correction",
+    "joint_velocities",
+    "interpolate_poses",
+    "rotation_x",
+    "rotation_y",
+    "rotation_z",
+    "euler_rotation",
+    "SubjectProfile",
+    "default_subjects",
+    "make_subject",
+    "Movement",
+    "MOVEMENT_NAMES",
+    "HELD_OUT_MOVEMENT",
+    "get_movement",
+    "all_movements",
+    "MotionSynthesizer",
+    "MotionTrajectory",
+    "BodyScatteringModel",
+    "Scatterer",
+]

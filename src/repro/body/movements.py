@@ -1,0 +1,237 @@
+"""The ten MARS rehabilitation movements as parametric joint-angle programs.
+
+The MARS dataset (and therefore the FUSE evaluation) contains ten prescribed
+rehabilitation exercises performed in front of the radar.  Each movement is
+modelled here as a periodic program that maps a normalized cycle phase in
+``[0, 1)`` to a :class:`~repro.body.kinematics.Pose`.  The programs use a
+smooth raised-cosine activation so that joint angles (and hence Doppler
+velocities) are continuous, the way a human actually moves.
+
+The held-out movement in the FUSE adaptation experiment is
+``right_limb_extension`` (Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .kinematics import Pose, euler_rotation, rotation_x, rotation_y
+from .subjects import SubjectProfile
+
+__all__ = [
+    "Movement",
+    "MOVEMENT_NAMES",
+    "HELD_OUT_MOVEMENT",
+    "get_movement",
+    "all_movements",
+]
+
+
+def _activation(phase: float) -> float:
+    """Smooth 0 -> 1 -> 0 activation over one movement cycle.
+
+    A raised cosine reaches full extension at ``phase = 0.5`` and returns to
+    rest at the end of the cycle, with zero velocity at both end points.
+    """
+    return 0.5 * (1.0 - np.cos(2.0 * np.pi * phase))
+
+
+@dataclass(frozen=True)
+class Movement:
+    """A named rehabilitation movement.
+
+    Attributes
+    ----------
+    name:
+        Canonical snake_case movement name (stable across the repo).
+    movement_id:
+        1-based identifier matching the MARS numbering.
+    cycle_duration:
+        Nominal duration of one repetition in seconds (before the subject's
+        tempo scaling is applied).
+    pose_program:
+        Function ``(phase, amplitude) -> pose`` where ``phase`` is in
+        ``[0, 1)`` and ``amplitude`` scales the joint-angle excursions.
+    """
+
+    name: str
+    movement_id: int
+    cycle_duration: float
+    pose_program: Callable[[float, float], Pose]
+
+    def pose_at(self, phase: float, subject: SubjectProfile) -> Pose:
+        """Pose of ``subject`` at normalized cycle ``phase``."""
+        phase = float(phase) % 1.0
+        return self.pose_program(phase, subject.amplitude_scale)
+
+    def period_for(self, subject: SubjectProfile) -> float:
+        """Cycle duration for a specific subject (tempo-scaled)."""
+        return self.cycle_duration / subject.tempo_scale
+
+
+# ----------------------------------------------------------------------
+# Pose programs
+# ----------------------------------------------------------------------
+def _arm_raise(side: str, phase: float, amplitude: float) -> Dict[str, np.ndarray]:
+    """Rotations that raise one arm laterally to horizontal and above."""
+    lift = _activation(phase) * amplitude * np.deg2rad(150.0)
+    # Abduction is a roll about the depth (y) axis; sign depends on the side.
+    sign = 1.0 if side == "left" else -1.0
+    shoulder = rotation_y(sign * lift)
+    elbow = rotation_y(sign * 0.1 * lift)
+    return {f"shoulder_{side}": shoulder, f"elbow_{side}": elbow}
+
+
+def _upper_limb_extension(side: str) -> Callable[[float, float], Pose]:
+    def program(phase: float, amplitude: float) -> Pose:
+        rotations = _arm_raise(side, phase, amplitude)
+        return Pose(rotations=rotations)
+
+    return program
+
+
+def _both_upper_limb_extension(phase: float, amplitude: float) -> Pose:
+    rotations = {}
+    rotations.update(_arm_raise("left", phase, amplitude))
+    rotations.update(_arm_raise("right", phase, amplitude))
+    return Pose(rotations=rotations)
+
+
+def _squat(phase: float, amplitude: float) -> Pose:
+    """Two-legged squat: hip and knee flexion with a compensating torso lean."""
+    depth = _activation(phase) * amplitude
+    hip_flex = depth * np.deg2rad(80.0)
+    knee_flex = depth * np.deg2rad(100.0)
+    torso_lean = depth * np.deg2rad(25.0)
+    arms_forward = depth * np.deg2rad(70.0)
+    rotations = {
+        "hip_left": rotation_x(-hip_flex),
+        "hip_right": rotation_x(-hip_flex),
+        "knee_left": rotation_x(knee_flex),
+        "knee_right": rotation_x(knee_flex),
+        "spine_mid": rotation_x(-torso_lean),
+        # Arms extend forward for balance, a characteristic squat signature.
+        "shoulder_left": rotation_x(-arms_forward),
+        "shoulder_right": rotation_x(-arms_forward),
+    }
+    return Pose(rotations=rotations)
+
+
+def _front_lunge(side: str) -> Callable[[float, float], Pose]:
+    """Step forward on ``side`` leg, bending both knees."""
+
+    def program(phase: float, amplitude: float) -> Pose:
+        depth = _activation(phase) * amplitude
+        front_hip = depth * np.deg2rad(60.0)
+        front_knee = depth * np.deg2rad(70.0)
+        back_knee = depth * np.deg2rad(50.0)
+        torso = depth * np.deg2rad(10.0)
+        other = "right" if side == "left" else "left"
+        rotations = {
+            f"hip_{side}": rotation_x(-front_hip),
+            f"knee_{side}": rotation_x(front_knee),
+            f"knee_{other}": rotation_x(back_knee),
+            "spine_mid": rotation_x(-torso),
+        }
+        # The body moves toward the radar as the front foot steps out.
+        return Pose(rotations=rotations, root_offset=np.array([0.0, -0.18 * depth, 0.0]))
+
+    return program
+
+
+def _side_lunge(side: str) -> Callable[[float, float], Pose]:
+    """Step laterally on ``side`` leg, bending that knee."""
+
+    def program(phase: float, amplitude: float) -> Pose:
+        depth = _activation(phase) * amplitude
+        sign = -1.0 if side == "left" else 1.0
+        hip_abduct = depth * np.deg2rad(35.0)
+        knee_flex = depth * np.deg2rad(60.0)
+        torso = depth * np.deg2rad(12.0)
+        rotations = {
+            f"hip_{side}": rotation_y(sign * hip_abduct),
+            f"knee_{side}": rotation_x(knee_flex),
+            "spine_mid": rotation_x(-torso),
+        }
+        return Pose(rotations=rotations, root_offset=np.array([sign * 0.15 * depth, 0.0, 0.0]))
+
+    return program
+
+
+def _limb_extension(side: str) -> Callable[[float, float], Pose]:
+    """Simultaneous arm raise and leg extension on one side of the body.
+
+    ``right_limb_extension`` is the movement excluded from meta-training in
+    the paper's adaptation experiment.
+    """
+
+    def program(phase: float, amplitude: float) -> Pose:
+        level = _activation(phase) * amplitude
+        sign = 1.0 if side == "left" else -1.0
+        arm_lift = level * np.deg2rad(120.0)
+        leg_lift = level * np.deg2rad(45.0)
+        rotations = {
+            f"shoulder_{side}": rotation_y(sign * arm_lift),
+            f"hip_{side}": euler_rotation(rx=-0.2 * leg_lift, ry=sign * leg_lift),
+            f"knee_{side}": rotation_x(0.15 * leg_lift),
+            "spine_mid": rotation_y(-sign * level * np.deg2rad(8.0)),
+        }
+        return Pose(rotations=rotations)
+
+    return program
+
+
+# ----------------------------------------------------------------------
+# Movement registry
+# ----------------------------------------------------------------------
+_MOVEMENT_SPECS: List[Tuple[str, float, Callable[[float, float], Pose]]] = [
+    ("left_upper_limb_extension", 3.0, _upper_limb_extension("left")),
+    ("right_upper_limb_extension", 3.0, _upper_limb_extension("right")),
+    ("both_upper_limb_extension", 3.2, _both_upper_limb_extension),
+    ("left_front_lunge", 4.0, _front_lunge("left")),
+    ("right_front_lunge", 4.0, _front_lunge("right")),
+    ("squat", 4.5, _squat),
+    ("left_side_lunge", 4.0, _side_lunge("left")),
+    ("right_side_lunge", 4.0, _side_lunge("right")),
+    ("left_limb_extension", 3.5, _limb_extension("left")),
+    ("right_limb_extension", 3.5, _limb_extension("right")),
+]
+
+#: Canonical ordered movement names (movement_id = index + 1).
+MOVEMENT_NAMES: Tuple[str, ...] = tuple(name for name, _, _ in _MOVEMENT_SPECS)
+
+#: The movement excluded from training in the FUSE adaptation experiment.
+HELD_OUT_MOVEMENT: str = "right_limb_extension"
+
+_REGISTRY: Dict[str, Movement] = {
+    name: Movement(
+        name=name,
+        movement_id=index + 1,
+        cycle_duration=duration,
+        pose_program=program,
+    )
+    for index, (name, duration, program) in enumerate(_MOVEMENT_SPECS)
+}
+
+
+def get_movement(name_or_id) -> Movement:
+    """Look up a movement by canonical name or 1-based identifier."""
+    if isinstance(name_or_id, Movement):
+        return name_or_id
+    if isinstance(name_or_id, (int, np.integer)):
+        index = int(name_or_id) - 1
+        if not 0 <= index < len(MOVEMENT_NAMES):
+            raise KeyError(f"movement id must be 1..{len(MOVEMENT_NAMES)}, got {name_or_id}")
+        return _REGISTRY[MOVEMENT_NAMES[index]]
+    name = str(name_or_id)
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown movement '{name}'; valid names: {', '.join(MOVEMENT_NAMES)}")
+    return _REGISTRY[name]
+
+
+def all_movements() -> List[Movement]:
+    """All ten movements in canonical order."""
+    return [_REGISTRY[name] for name in MOVEMENT_NAMES]

@@ -1,0 +1,270 @@
+"""The 19-joint human skeleton used by MARS/FUSE.
+
+The MARS dataset labels each mmWave frame with the 3-D coordinates of 19
+joints tracked by a Microsoft Kinect V2 (the Kinect's 25-joint skeleton minus
+hands, hand tips and thumbs).  This module defines that topology — joint
+names, the parent of each joint, and the skeleton's bone segments — together
+with a :class:`Skeleton` class that derives neutral-pose joint offsets from a
+subject's anthropometric measurements.
+
+Coordinate convention (matching the TI radar frame used throughout the repo):
+
+* ``x`` — lateral (positive to the radar's right),
+* ``y`` — depth (positive away from the radar),
+* ``z`` — height above the floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "JOINT_NAMES",
+    "JOINT_INDEX",
+    "JOINT_PARENTS",
+    "SKELETON_EDGES",
+    "NUM_JOINTS",
+    "Skeleton",
+]
+
+#: Ordered list of the 19 MARS joints.  The order defines the layout of the
+#: 57-dimensional label vector (19 joints x 3 coordinates).
+JOINT_NAMES: Tuple[str, ...] = (
+    "spine_base",
+    "spine_mid",
+    "spine_shoulder",
+    "neck",
+    "head",
+    "shoulder_left",
+    "elbow_left",
+    "wrist_left",
+    "shoulder_right",
+    "elbow_right",
+    "wrist_right",
+    "hip_left",
+    "knee_left",
+    "ankle_left",
+    "foot_left",
+    "hip_right",
+    "knee_right",
+    "ankle_right",
+    "foot_right",
+)
+
+NUM_JOINTS: int = len(JOINT_NAMES)
+
+#: Mapping from joint name to its index in :data:`JOINT_NAMES`.
+JOINT_INDEX: Dict[str, int] = {name: index for index, name in enumerate(JOINT_NAMES)}
+
+#: Parent of each joint in the kinematic tree (root maps to itself).
+JOINT_PARENTS: Dict[str, str] = {
+    "spine_base": "spine_base",
+    "spine_mid": "spine_base",
+    "spine_shoulder": "spine_mid",
+    "neck": "spine_shoulder",
+    "head": "neck",
+    "shoulder_left": "spine_shoulder",
+    "elbow_left": "shoulder_left",
+    "wrist_left": "elbow_left",
+    "shoulder_right": "spine_shoulder",
+    "elbow_right": "shoulder_right",
+    "wrist_right": "elbow_right",
+    "hip_left": "spine_base",
+    "knee_left": "hip_left",
+    "ankle_left": "knee_left",
+    "foot_left": "ankle_left",
+    "hip_right": "spine_base",
+    "knee_right": "hip_right",
+    "ankle_right": "knee_right",
+    "foot_right": "ankle_right",
+}
+
+#: Bone segments as ``(parent, child)`` joint-name pairs (18 bones).
+SKELETON_EDGES: Tuple[Tuple[str, str], ...] = tuple(
+    (parent, child) for child, parent in JOINT_PARENTS.items() if parent != child
+)
+
+
+@dataclass
+class Skeleton:
+    """A subject-specific skeleton with neutral-pose bone offsets.
+
+    Parameters
+    ----------
+    height:
+        Standing height of the subject in metres.
+    shoulder_width:
+        Distance between the two shoulder joints in metres.
+    hip_width:
+        Distance between the two hip joints in metres.
+
+    The remaining proportions follow standard anthropometric ratios relative
+    to ``height`` and can be overridden through ``segment_scale``.
+    """
+
+    height: float = 1.75
+    shoulder_width: float = 0.38
+    hip_width: float = 0.26
+    segment_scale: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.height <= 0:
+            raise ValueError(f"height must be positive, got {self.height}")
+        if self.shoulder_width <= 0 or self.hip_width <= 0:
+            raise ValueError("shoulder_width and hip_width must be positive")
+
+    # ------------------------------------------------------------------
+    # Anthropometric proportions
+    # ------------------------------------------------------------------
+    def _scale(self, name: str, default: float) -> float:
+        return self.segment_scale.get(name, default) * self.height
+
+    @property
+    def hip_height(self) -> float:
+        """Height of the spine base (pelvis) above the floor in neutral pose."""
+        return self._scale("hip_height", 0.52)
+
+    @property
+    def upper_arm_length(self) -> float:
+        return self._scale("upper_arm", 0.172)
+
+    @property
+    def forearm_length(self) -> float:
+        return self._scale("forearm", 0.157)
+
+    @property
+    def thigh_length(self) -> float:
+        return self._scale("thigh", 0.245)
+
+    @property
+    def shin_length(self) -> float:
+        return self._scale("shin", 0.246)
+
+    @property
+    def foot_length(self) -> float:
+        return self._scale("foot", 0.08)
+
+    @property
+    def spine_mid_rise(self) -> float:
+        """Vertical offset from spine base to spine mid."""
+        return self._scale("spine_mid", 0.12)
+
+    @property
+    def spine_shoulder_rise(self) -> float:
+        """Vertical offset from spine mid to spine shoulder."""
+        return self._scale("spine_shoulder", 0.16)
+
+    @property
+    def neck_rise(self) -> float:
+        return self._scale("neck", 0.045)
+
+    @property
+    def head_rise(self) -> float:
+        return self._scale("head", 0.09)
+
+    # ------------------------------------------------------------------
+    # Neutral pose
+    # ------------------------------------------------------------------
+    def neutral_offsets(self) -> Dict[str, np.ndarray]:
+        """Offset of each joint from its parent in the neutral standing pose.
+
+        The neutral pose is standing upright facing the radar, arms hanging
+        at the sides.  Offsets are expressed in the world axes (x lateral,
+        y depth, z up) because the neutral pose carries no rotation.
+        """
+        up = np.array([0.0, 0.0, 1.0])
+        down = -up
+        left = np.array([-1.0, 0.0, 0.0])
+        right = np.array([1.0, 0.0, 0.0])
+        forward = np.array([0.0, -1.0, 0.0])  # toward the radar
+
+        offsets: Dict[str, np.ndarray] = {
+            "spine_base": np.zeros(3),
+            "spine_mid": up * self.spine_mid_rise,
+            "spine_shoulder": up * self.spine_shoulder_rise,
+            "neck": up * self.neck_rise,
+            "head": up * self.head_rise,
+            "shoulder_left": left * (self.shoulder_width / 2.0),
+            "elbow_left": down * self.upper_arm_length,
+            "wrist_left": down * self.forearm_length,
+            "shoulder_right": right * (self.shoulder_width / 2.0),
+            "elbow_right": down * self.upper_arm_length,
+            "wrist_right": down * self.forearm_length,
+            "hip_left": left * (self.hip_width / 2.0),
+            "knee_left": down * self.thigh_length,
+            "ankle_left": down * self.shin_length,
+            "foot_left": forward * self.foot_length,
+            "hip_right": right * (self.hip_width / 2.0),
+            "knee_right": down * self.thigh_length,
+            "ankle_right": down * self.shin_length,
+            "foot_right": forward * self.foot_length,
+        }
+        return offsets
+
+    def neutral_joint_positions(
+        self, root_position: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Joint positions of the neutral standing pose.
+
+        Parameters
+        ----------
+        root_position:
+            World position of the spine base.  Defaults to standing on the
+            floor (``z = hip_height``) at ``x = 0``, ``y = 0``.
+
+        Returns
+        -------
+        Array of shape ``(19, 3)`` ordered as :data:`JOINT_NAMES`.
+        """
+        if root_position is None:
+            root_position = np.array([0.0, 0.0, self.hip_height])
+        offsets = self.neutral_offsets()
+        positions = np.zeros((NUM_JOINTS, 3))
+        for index, name in enumerate(JOINT_NAMES):
+            parent = JOINT_PARENTS[name]
+            if parent == name:
+                positions[index] = np.asarray(root_position, dtype=float)
+            else:
+                positions[index] = positions[JOINT_INDEX[parent]] + offsets[name]
+        return positions
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def bone_lengths(self) -> Dict[Tuple[str, str], float]:
+        """Length of every bone segment in the neutral pose."""
+        offsets = self.neutral_offsets()
+        return {
+            (parent, child): float(np.linalg.norm(offsets[child]))
+            for parent, child in SKELETON_EDGES
+        }
+
+    @staticmethod
+    def children_of(joint: str) -> List[str]:
+        """Return the immediate children of ``joint`` in the kinematic tree."""
+        return [child for child, parent in JOINT_PARENTS.items() if parent == joint and child != joint]
+
+    @staticmethod
+    def subtree(joint: str) -> List[str]:
+        """Return ``joint`` and all of its descendants (depth-first order)."""
+        result: List[str] = []
+        stack = [joint]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(Skeleton.children_of(current))
+        return result
+
+    @staticmethod
+    def validate_positions(positions: np.ndarray) -> None:
+        """Raise ``ValueError`` when a joint-position array has the wrong shape."""
+        positions = np.asarray(positions)
+        if positions.shape != (NUM_JOINTS, 3):
+            raise ValueError(
+                f"joint positions must have shape ({NUM_JOINTS}, 3), got {positions.shape}"
+            )
+        if not np.all(np.isfinite(positions)):
+            raise ValueError("joint positions contain NaN or infinite values")

@@ -1,0 +1,154 @@
+"""CNN models for mmWave pose estimation.
+
+The baseline model replicates the MARS CNN that the FUSE paper uses for all
+its experiments (Section 4.1): two convolution layers with ReLU activations
+followed by two fully connected layers of 512 and 57 neurons, about 1.1 M
+parameters in total.  The 57 outputs are the x/y/z coordinates of the 19
+joints.  The FUSE model is architecturally identical — the paper deliberately
+keeps the network fixed so that the gains can be attributed to the input
+representation (multi-frame fusion) and the training procedure
+(meta-learning) rather than to model capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..dataset.features import FeatureMapBuilder
+from ..dataset.sample import LABEL_DIM
+
+__all__ = ["PoseCNNConfig", "PoseCNN", "build_baseline_model", "build_fuse_model"]
+
+
+@dataclass(frozen=True)
+class PoseCNNConfig:
+    """Architecture hyper-parameters of the pose-estimation CNN.
+
+    The defaults reproduce the MARS baseline: 16 and 32 convolution filters
+    (3x3, stride 1, same padding), a 512-unit hidden FC layer and a
+    57-dimensional linear output.
+    """
+
+    input_channels: int = 5
+    input_height: int = 8
+    input_width: int = 8
+    conv_channels: Tuple[int, int] = (16, 32)
+    kernel_size: int = 3
+    hidden_units: int = 512
+    output_dim: int = LABEL_DIM
+    dropout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.input_channels < 1 or self.input_height < 1 or self.input_width < 1:
+            raise ValueError("input dimensions must be positive")
+        if len(self.conv_channels) < 1:
+            raise ValueError("at least one convolution layer is required")
+        if self.output_dim < 1:
+            raise ValueError("output_dim must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+    @classmethod
+    def for_feature_builder(cls, builder: FeatureMapBuilder, **overrides) -> "PoseCNNConfig":
+        """Create a config whose input shape matches a feature-map builder."""
+        channels, height, width = builder.feature_shape
+        return cls(input_channels=channels, input_height=height, input_width=width, **overrides)
+
+
+class PoseCNN(nn.Module):
+    """The MARS/FUSE convolutional pose-regression network."""
+
+    def __init__(self, config: Optional[PoseCNNConfig] = None, seed: int = 0) -> None:
+        super().__init__()
+        self.config = config if config is not None else PoseCNNConfig()
+        rng = np.random.default_rng(seed)
+        cfg = self.config
+        padding = cfg.kernel_size // 2
+
+        layers: list[nn.Module] = []
+        in_channels = cfg.input_channels
+        for out_channels in cfg.conv_channels:
+            layers.append(
+                nn.Conv2d(
+                    in_channels,
+                    out_channels,
+                    cfg.kernel_size,
+                    stride=1,
+                    padding=padding,
+                    rng=rng,
+                )
+            )
+            layers.append(nn.ReLU())
+            in_channels = out_channels
+        layers.append(nn.Flatten())
+
+        flat_features = cfg.conv_channels[-1] * cfg.input_height * cfg.input_width
+        layers.append(nn.Linear(flat_features, cfg.hidden_units, rng=rng))
+        layers.append(nn.ReLU())
+        if cfg.dropout > 0:
+            layers.append(nn.Dropout(cfg.dropout, rng=rng))
+        layers.append(nn.Linear(cfg.hidden_units, cfg.output_dim, rng=rng))
+
+        self.network = nn.Sequential(*layers)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        if x.ndim != 4:
+            raise ValueError(
+                f"PoseCNN expects a (batch, channels, height, width) input, got shape {x.shape}"
+            )
+        expected = (
+            self.config.input_channels,
+            self.config.input_height,
+            self.config.input_width,
+        )
+        if tuple(x.shape[1:]) != expected:
+            raise ValueError(f"PoseCNN expects input shape (B, {expected}), got {x.shape}")
+        return self.network(x)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Run inference on a NumPy batch and return ``(B, 57)`` predictions."""
+        with nn.no_grad():
+            output = self.forward(nn.Tensor(features))
+        return output.numpy()
+
+    def predict_joints(self, features: np.ndarray) -> np.ndarray:
+        """Run inference and reshape the output to ``(B, 19, 3)`` joints."""
+        flat = self.predict(features)
+        return flat.reshape(flat.shape[0], -1, 3)
+
+    @property
+    def last_layer(self) -> nn.Linear:
+        """The final fully connected layer (fine-tuned alone in Figure 4)."""
+        return self.network[-1]
+
+    def last_layer_parameters(self) -> list[nn.Parameter]:
+        """Parameters of the output layer plus its preceding activation."""
+        return self.last_layer.parameters()
+
+
+def build_baseline_model(
+    feature_builder: Optional[FeatureMapBuilder] = None, seed: int = 0, **overrides
+) -> PoseCNN:
+    """Build the MARS baseline CNN (trained with plain supervised learning)."""
+    builder = feature_builder if feature_builder is not None else FeatureMapBuilder()
+    config = PoseCNNConfig.for_feature_builder(builder, **overrides)
+    return PoseCNN(config, seed=seed)
+
+
+def build_fuse_model(
+    feature_builder: Optional[FeatureMapBuilder] = None, seed: int = 0, **overrides
+) -> PoseCNN:
+    """Build the FUSE model.
+
+    Architecturally identical to the baseline (the paper keeps the model
+    fixed); the difference lies in the multi-frame input representation and
+    the meta-learning training procedure.
+    """
+    return build_baseline_model(feature_builder, seed=seed, **overrides)

@@ -1,0 +1,72 @@
+"""Task sampling for meta-learning (Definitions 1-2 of the paper).
+
+The paper defines the meta-training data :math:`D_{train}` as the set of all
+fused frames (Definition 1) and a *task* as a set of fused frames sampled
+uniformly from :math:`D_{train}` (Definition 2).  During each meta-training
+iteration a batch of tasks is drawn; within every task a support subset is
+used for the inner-loop update and a query subset for the outer-loop loss
+(Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..dataset.loader import ArrayDataset
+
+__all__ = ["Task", "TaskSampler"]
+
+
+@dataclass
+class Task:
+    """One meta-learning task: a support set and a query set."""
+
+    support: ArrayDataset
+    query: ArrayDataset
+
+    def __post_init__(self) -> None:
+        if len(self.support) == 0 or len(self.query) == 0:
+            raise ValueError("tasks require non-empty support and query sets")
+
+
+@dataclass
+class TaskSampler:
+    """Samples batches of tasks from a materialized training set.
+
+    Parameters
+    ----------
+    dataset:
+        The fused, feature-mapped training data (:math:`D_{train}`).
+    support_size:
+        Frames per support set (1,000 in the paper's full-scale setup).
+    query_size:
+        Frames per query set (1,000 in the paper).
+    tasks_per_batch:
+        Tasks per meta-iteration (32 in the paper).
+    """
+
+    dataset: ArrayDataset
+    support_size: int = 64
+    query_size: int = 64
+    tasks_per_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if len(self.dataset) == 0:
+            raise ValueError("cannot sample tasks from an empty dataset")
+        if self.support_size < 1 or self.query_size < 1:
+            raise ValueError("support_size and query_size must be >= 1")
+        if self.tasks_per_batch < 1:
+            raise ValueError("tasks_per_batch must be >= 1")
+
+    def sample_task(self, rng: np.random.Generator) -> Task:
+        """Sample one task (uniform sampling with replacement when needed)."""
+        support = self.dataset.sample(self.support_size, rng)
+        query = self.dataset.sample(self.query_size, rng)
+        return Task(support=support, query=query)
+
+    def sample_batch(self, rng: np.random.Generator) -> List[Task]:
+        """Sample one meta-iteration's batch of tasks."""
+        return [self.sample_task(rng) for _ in range(self.tasks_per_batch)]

@@ -1,0 +1,37 @@
+"""``repro.dataset`` — labelled mmWave pose datasets.
+
+Contains the synthetic MARS-like dataset generator, a loader for the real
+MARS CSV layout, the paper's dataset splits, the point-cloud-to-feature-map
+conversion consumed by the CNN models, and batch iteration utilities.
+"""
+
+from .features import FeatureMapBuilder, FeatureNormalization
+from .loader import ArrayDataset, BatchLoader, build_array_dataset
+from .mars import MarsLoadReport, load_mars_directory, load_mars_pair
+from .sample import LABEL_DIM, LabelledFrame, PoseDataset
+from .splits import AdaptationSplit, TrainValTest, leave_out_split, per_movement_split
+from .statistics import DatasetSummary, summarize
+from .synthetic import SyntheticDatasetConfig, SyntheticDatasetGenerator, generate_dataset
+
+__all__ = [
+    "LabelledFrame",
+    "PoseDataset",
+    "LABEL_DIM",
+    "SyntheticDatasetConfig",
+    "SyntheticDatasetGenerator",
+    "generate_dataset",
+    "MarsLoadReport",
+    "load_mars_directory",
+    "load_mars_pair",
+    "TrainValTest",
+    "AdaptationSplit",
+    "per_movement_split",
+    "leave_out_split",
+    "FeatureMapBuilder",
+    "FeatureNormalization",
+    "ArrayDataset",
+    "BatchLoader",
+    "build_array_dataset",
+    "DatasetSummary",
+    "summarize",
+]

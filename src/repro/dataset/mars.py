@@ -1,0 +1,176 @@
+"""Loader for the real MARS dataset CSV layout.
+
+Users who have downloaded the MARS dataset (https://github.com/SizheAn/MARS)
+can load it into the same :class:`~repro.dataset.sample.PoseDataset`
+containers used by the synthetic generator, so every experiment in this
+repository runs unchanged on the real data.
+
+Expected directory layout (one directory per subject)::
+
+    root/
+      subject1/
+        <movement>_pointcloud.csv   # columns: frame, x, y, z, doppler, intensity
+        <movement>_labels.csv       # columns: frame, j0_x, j0_y, j0_z, ..., j18_z
+      subject2/
+        ...
+
+The loader is intentionally tolerant: extra columns are ignored, movements
+are matched case-insensitively against the canonical movement names, and
+frames present in only one of the two files are dropped with a warning
+counter (returned to the caller) rather than raising.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..body.movements import MOVEMENT_NAMES
+from ..body.skeleton import NUM_JOINTS
+from ..radar.pointcloud import PointCloudFrame
+from .sample import LabelledFrame, PoseDataset
+
+__all__ = ["MarsLoadReport", "load_mars_directory", "load_mars_pair"]
+
+
+@dataclass
+class MarsLoadReport:
+    """Bookkeeping about a MARS load operation."""
+
+    num_frames: int = 0
+    num_dropped_unlabelled: int = 0
+    num_dropped_empty: int = 0
+    files_loaded: int = 0
+
+    def merge(self, other: "MarsLoadReport") -> None:
+        self.num_frames += other.num_frames
+        self.num_dropped_unlabelled += other.num_dropped_unlabelled
+        self.num_dropped_empty += other.num_dropped_empty
+        self.files_loaded += other.files_loaded
+
+
+def _read_csv_rows(path: Path) -> List[List[float]]:
+    """Read a numeric CSV (optionally with a header row) into float rows."""
+    rows: List[List[float]] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        for raw in reader:
+            if not raw:
+                continue
+            try:
+                rows.append([float(value) for value in raw])
+            except ValueError:
+                # Header or malformed row — skip it.
+                continue
+    return rows
+
+
+def _canonical_movement(stem: str) -> Optional[str]:
+    """Map a file stem like ``Squat_pointcloud`` to a canonical movement name."""
+    cleaned = stem.lower()
+    for suffix in ("_pointcloud", "_labels", "_label"):
+        if cleaned.endswith(suffix):
+            cleaned = cleaned[: -len(suffix)]
+    cleaned = cleaned.strip("_- ")
+    for name in MOVEMENT_NAMES:
+        if cleaned.replace("-", "_").replace(" ", "_") == name:
+            return name
+    # Fall back to substring matching (e.g. "squats" -> "squat").
+    for name in MOVEMENT_NAMES:
+        if name.replace("_", "") in cleaned.replace("_", "").replace("-", ""):
+            return name
+    return None
+
+
+def load_mars_pair(
+    pointcloud_csv: Path,
+    labels_csv: Path,
+    subject_id: int,
+    movement_name: str,
+    sequence_id: int = 0,
+) -> Tuple[List[LabelledFrame], MarsLoadReport]:
+    """Load one (point cloud CSV, labels CSV) pair into labelled frames."""
+    report = MarsLoadReport(files_loaded=2)
+
+    cloud_rows = _read_csv_rows(Path(pointcloud_csv))
+    label_rows = _read_csv_rows(Path(labels_csv))
+
+    # Group point rows by frame id.
+    points_by_frame: Dict[int, List[List[float]]] = {}
+    for row in cloud_rows:
+        if len(row) < 6:
+            continue
+        frame_id = int(row[0])
+        points_by_frame.setdefault(frame_id, []).append(row[1:6])
+
+    labels_by_frame: Dict[int, np.ndarray] = {}
+    expected_label_len = NUM_JOINTS * 3
+    for row in label_rows:
+        if len(row) < expected_label_len + 1:
+            continue
+        frame_id = int(row[0])
+        labels_by_frame[frame_id] = np.asarray(row[1 : expected_label_len + 1], dtype=float)
+
+    samples: List[LabelledFrame] = []
+    for frame_id in sorted(labels_by_frame):
+        label = labels_by_frame[frame_id]
+        if frame_id not in points_by_frame:
+            report.num_dropped_unlabelled += 1
+            continue
+        points = np.asarray(points_by_frame[frame_id], dtype=float)
+        if points.shape[0] == 0:
+            report.num_dropped_empty += 1
+            continue
+        cloud = PointCloudFrame(points, timestamp=frame_id * 0.1, frame_index=frame_id)
+        samples.append(
+            LabelledFrame(
+                cloud=cloud,
+                joints=label.reshape(NUM_JOINTS, 3),
+                subject_id=subject_id,
+                movement_name=movement_name,
+                sequence_id=sequence_id,
+                frame_index=frame_id,
+            )
+        )
+    report.num_frames = len(samples)
+    return samples, report
+
+
+def load_mars_directory(root: Path | str) -> Tuple[PoseDataset, MarsLoadReport]:
+    """Load a MARS-layout directory tree into a :class:`PoseDataset`."""
+    root = Path(root)
+    if not root.exists():
+        raise FileNotFoundError(f"MARS root directory '{root}' does not exist")
+
+    dataset = PoseDataset(name=f"mars({root.name})")
+    report = MarsLoadReport()
+    sequence_id = 0
+
+    subject_dirs = sorted(p for p in root.iterdir() if p.is_dir())
+    for subject_dir in subject_dirs:
+        digits = "".join(ch for ch in subject_dir.name if ch.isdigit())
+        subject_id = int(digits) if digits else len(dataset.subjects()) + 1
+
+        pointcloud_files = sorted(subject_dir.glob("*pointcloud*.csv"))
+        for pointcloud_csv in pointcloud_files:
+            movement = _canonical_movement(pointcloud_csv.stem)
+            if movement is None:
+                continue
+            label_candidates = [
+                pointcloud_csv.with_name(pointcloud_csv.name.replace("pointcloud", "labels")),
+                pointcloud_csv.with_name(pointcloud_csv.name.replace("pointcloud", "label")),
+            ]
+            labels_csv = next((c for c in label_candidates if c.exists()), None)
+            if labels_csv is None:
+                continue
+            samples, pair_report = load_mars_pair(
+                pointcloud_csv, labels_csv, subject_id, movement, sequence_id=sequence_id
+            )
+            dataset.extend(samples)
+            report.merge(pair_report)
+            sequence_id += 1
+    return dataset, report

@@ -1,0 +1,174 @@
+"""Labelled-sample containers for the pose-estimation dataset.
+
+A :class:`LabelledFrame` pairs one mmWave point-cloud frame (Eq. 1) with its
+ground-truth 19-joint skeleton (the Kinect label in MARS, the kinematic model
+output in the synthetic dataset) and provenance metadata (subject, movement,
+frame index).  A :class:`PoseDataset` is an ordered collection of labelled
+frames with convenience selectors used by the split logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..body.skeleton import NUM_JOINTS
+from ..radar.pointcloud import PointCloudFrame
+
+__all__ = ["LabelledFrame", "PoseDataset", "LABEL_DIM"]
+
+#: Length of the flattened label vector (19 joints x 3 coordinates).
+LABEL_DIM: int = NUM_JOINTS * 3
+
+
+@dataclass
+class LabelledFrame:
+    """One labelled mmWave frame.
+
+    Attributes
+    ----------
+    cloud:
+        The point-cloud frame observed by the radar.
+    joints:
+        Ground-truth joint positions, shape ``(19, 3)`` in metres.
+    subject_id:
+        1-based subject identifier.
+    movement_name:
+        Canonical movement name (see :data:`repro.body.MOVEMENT_NAMES`).
+    sequence_id:
+        Identifier of the recording session this frame belongs to; fusion
+        never crosses sequence boundaries.
+    frame_index:
+        Index of the frame within its sequence.
+    """
+
+    cloud: PointCloudFrame
+    joints: np.ndarray
+    subject_id: int
+    movement_name: str
+    sequence_id: int = 0
+    frame_index: int = 0
+
+    def __post_init__(self) -> None:
+        joints = np.asarray(self.joints, dtype=float)
+        if joints.shape == (LABEL_DIM,):
+            joints = joints.reshape(NUM_JOINTS, 3)
+        if joints.shape != (NUM_JOINTS, 3):
+            raise ValueError(
+                f"joints must have shape ({NUM_JOINTS}, 3) or ({LABEL_DIM},), got {joints.shape}"
+            )
+        self.joints = joints
+
+    @property
+    def label_vector(self) -> np.ndarray:
+        """Flattened 57-dimensional label (x1, y1, z1, x2, ...)."""
+        return self.joints.reshape(-1)
+
+    def with_cloud(self, cloud: PointCloudFrame) -> "LabelledFrame":
+        """Return a copy of this sample with a different point cloud.
+
+        Used by multi-frame fusion, which replaces the single-frame cloud with
+        the fused cloud while keeping the centre frame's label.
+        """
+        return LabelledFrame(
+            cloud=cloud,
+            joints=self.joints.copy(),
+            subject_id=self.subject_id,
+            movement_name=self.movement_name,
+            sequence_id=self.sequence_id,
+            frame_index=self.frame_index,
+        )
+
+
+@dataclass
+class PoseDataset:
+    """An ordered collection of labelled frames."""
+
+    samples: List[LabelledFrame] = field(default_factory=list)
+    name: str = "dataset"
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[LabelledFrame]:
+        return iter(self.samples)
+
+    def __getitem__(self, index) -> "LabelledFrame | PoseDataset":
+        if isinstance(index, slice):
+            return PoseDataset(self.samples[index], name=self.name)
+        return self.samples[index]
+
+    def append(self, sample: LabelledFrame) -> None:
+        self.samples.append(sample)
+
+    def extend(self, samples: Sequence[LabelledFrame]) -> None:
+        self.samples.extend(samples)
+
+    # ------------------------------------------------------------------
+    # Selection helpers
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[LabelledFrame], bool], name: Optional[str] = None) -> "PoseDataset":
+        """Return a new dataset containing only samples matching ``predicate``."""
+        return PoseDataset(
+            [sample for sample in self.samples if predicate(sample)],
+            name=name if name is not None else self.name,
+        )
+
+    def subjects(self) -> List[int]:
+        """Sorted list of subject ids present in the dataset."""
+        return sorted({sample.subject_id for sample in self.samples})
+
+    def movements(self) -> List[str]:
+        """Sorted list of movement names present in the dataset."""
+        return sorted({sample.movement_name for sample in self.samples})
+
+    def sequence_ids(self) -> List[int]:
+        """Sorted list of sequence identifiers present in the dataset."""
+        return sorted({sample.sequence_id for sample in self.samples})
+
+    def for_subject(self, subject_id: int) -> "PoseDataset":
+        return self.filter(lambda s: s.subject_id == subject_id, name=f"{self.name}[subj{subject_id}]")
+
+    def for_movement(self, movement_name: str) -> "PoseDataset":
+        return self.filter(
+            lambda s: s.movement_name == movement_name, name=f"{self.name}[{movement_name}]"
+        )
+
+    def for_sequence(self, sequence_id: int) -> "PoseDataset":
+        return self.filter(lambda s: s.sequence_id == sequence_id, name=f"{self.name}[seq{sequence_id}]")
+
+    def exclude(
+        self, subject_id: Optional[int] = None, movement_name: Optional[str] = None
+    ) -> "PoseDataset":
+        """Remove every sample from one subject and/or one movement."""
+
+        def keep(sample: LabelledFrame) -> bool:
+            if subject_id is not None and sample.subject_id == subject_id:
+                return False
+            if movement_name is not None and sample.movement_name == movement_name:
+                return False
+            return True
+
+        return self.filter(keep, name=f"{self.name}[excluded]")
+
+    # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+    def label_matrix(self) -> np.ndarray:
+        """Stack all labels into an ``(N, 57)`` array."""
+        if not self.samples:
+            return np.zeros((0, LABEL_DIM))
+        return np.stack([sample.label_vector for sample in self.samples])
+
+    def point_counts(self) -> np.ndarray:
+        """Number of radar points in each sample's cloud."""
+        return np.array([sample.cloud.num_points for sample in self.samples], dtype=int)
+
+    def concatenated(self, other: "PoseDataset", name: Optional[str] = None) -> "PoseDataset":
+        """Return a new dataset with this dataset's samples followed by ``other``'s."""
+        return PoseDataset(
+            list(self.samples) + list(other.samples),
+            name=name if name is not None else f"{self.name}+{other.name}",
+        )

@@ -1,0 +1,178 @@
+"""Dataset splitting strategies used by the paper's experiments.
+
+Two splits matter:
+
+* **Per-movement 60/20/20 split** (Section 4.1, used for Table 1): each
+  movement's data is split chronologically into train/validation/test so that
+  every movement and subject appears in all three partitions.
+* **Leave-out split** (Section 4.3.1, used for Table 2 and Figures 3-4): all
+  data from one subject *and* one movement is excluded from training and
+  validation.  The "new data" :math:`D_{test}` used online is the held-out
+  subject performing the held-out movement (749 frames in the paper — i.e.
+  the intersection, one subject-movement pair the model has never seen any
+  aspect of).  A small number of those frames (200 in the paper) are
+  available for fine-tuning; the rest are only used for evaluation.  The
+  remaining excluded data (the held-out subject's other movements and the
+  held-out movement performed by other subjects) is not used at all, exactly
+  as in the paper's frame counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..body.movements import HELD_OUT_MOVEMENT
+from .sample import PoseDataset
+
+__all__ = ["TrainValTest", "AdaptationSplit", "per_movement_split", "leave_out_split"]
+
+
+@dataclass
+class TrainValTest:
+    """A conventional train/validation/test partition."""
+
+    train: PoseDataset
+    validation: PoseDataset
+    test: PoseDataset
+
+    def sizes(self) -> Tuple[int, int, int]:
+        return len(self.train), len(self.validation), len(self.test)
+
+
+@dataclass
+class AdaptationSplit:
+    """The leave-out split used for the adaptation experiments.
+
+    Attributes
+    ----------
+    train:
+        :math:`D_{train}` — every frame except the held-out subject/movement
+        (the union of both exclusions is removed).
+    finetune:
+        The small portion of :math:`D_{test}` (the held-out subject
+        performing the held-out movement) used for online fine-tuning
+        (200 frames in the paper).
+    evaluation:
+        The remainder of :math:`D_{test}`, used only for evaluation of the
+        adapted model ("new data" curves in Figures 3-4).
+    original_eval:
+        A held-back portion of :math:`D_{train}` used to measure forgetting
+        ("original data" curves in Figures 3-4).
+    held_out_subject / held_out_movement:
+        What was excluded from training.
+    """
+
+    train: PoseDataset
+    finetune: PoseDataset
+    evaluation: PoseDataset
+    original_eval: PoseDataset
+    held_out_subject: int
+    held_out_movement: str
+
+    def describe(self) -> str:
+        return (
+            f"AdaptationSplit(train={len(self.train)}, finetune={len(self.finetune)}, "
+            f"new-eval={len(self.evaluation)}, original-eval={len(self.original_eval)}, "
+            f"held_out=subject {self.held_out_subject} + '{self.held_out_movement}')"
+        )
+
+
+def per_movement_split(
+    dataset: PoseDataset,
+    train_fraction: float = 0.6,
+    validation_fraction: float = 0.2,
+) -> TrainValTest:
+    """Split each movement's frames chronologically into train/val/test.
+
+    The paper splits "each movement data individually" 60/20/20; splitting
+    chronologically (rather than by random shuffling) avoids leaking nearly
+    identical neighbouring frames between partitions.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if not 0.0 < validation_fraction < 1.0 - train_fraction:
+        raise ValueError("validation_fraction must leave room for a test partition")
+
+    train = PoseDataset(name=f"{dataset.name}-train")
+    validation = PoseDataset(name=f"{dataset.name}-val")
+    test = PoseDataset(name=f"{dataset.name}-test")
+
+    for movement in dataset.movements():
+        for subject in dataset.subjects():
+            subset = dataset.for_movement(movement).for_subject(subject)
+            if len(subset) == 0:
+                continue
+            # Preserve temporal order within each (movement, subject) block.
+            ordered = sorted(subset, key=lambda s: (s.sequence_id, s.frame_index))
+            n = len(ordered)
+            train_end = int(round(n * train_fraction))
+            val_end = train_end + int(round(n * validation_fraction))
+            train.extend(ordered[:train_end])
+            validation.extend(ordered[train_end:val_end])
+            test.extend(ordered[val_end:])
+    return TrainValTest(train=train, validation=validation, test=test)
+
+
+def leave_out_split(
+    dataset: PoseDataset,
+    held_out_subject: int = 4,
+    held_out_movement: str = HELD_OUT_MOVEMENT,
+    finetune_frames: int = 200,
+    original_eval_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+) -> AdaptationSplit:
+    """Build the worst-case adaptation split of Section 4.3.1.
+
+    ``held_out_subject`` and ``held_out_movement`` default to the paper's
+    choices (user 4 and "right limb extension").  :math:`D_{test}` is the
+    held-out subject performing the held-out movement; its first
+    ``finetune_frames`` frames (chronological order, as they would arrive
+    online) are made available for fine-tuning and the rest are reserved for
+    evaluation.  Training data excludes every frame of the held-out subject
+    and every frame of the held-out movement.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    held_out = dataset.filter(
+        lambda s: s.subject_id == held_out_subject and s.movement_name == held_out_movement,
+        name=f"{dataset.name}-heldout",
+    )
+    train_pool = dataset.exclude(subject_id=held_out_subject, movement_name=held_out_movement)
+    if len(held_out) == 0:
+        raise ValueError(
+            f"the dataset contains no frames of subject {held_out_subject} performing "
+            f"movement '{held_out_movement}'"
+        )
+    if len(train_pool) == 0:
+        raise ValueError("excluding the held-out subject/movement removed every frame")
+
+    ordered_held_out = sorted(held_out, key=lambda s: (s.sequence_id, s.frame_index))
+    finetune_frames = min(finetune_frames, max(1, len(ordered_held_out) // 2))
+    finetune = PoseDataset(ordered_held_out[:finetune_frames], name=f"{dataset.name}-finetune")
+    evaluation = PoseDataset(ordered_held_out[finetune_frames:], name=f"{dataset.name}-neweval")
+
+    # Hold back a slice of the training pool to measure forgetting.
+    train_samples = list(train_pool)
+    indices = rng.permutation(len(train_samples))
+    eval_count = max(1, int(round(len(train_samples) * original_eval_fraction)))
+    original_eval_idx = set(indices[:eval_count].tolist())
+    original_eval = PoseDataset(
+        [train_samples[i] for i in sorted(original_eval_idx)],
+        name=f"{dataset.name}-origeval",
+    )
+    train = PoseDataset(
+        [train_samples[i] for i in range(len(train_samples)) if i not in original_eval_idx],
+        name=f"{dataset.name}-train",
+    )
+
+    return AdaptationSplit(
+        train=train,
+        finetune=finetune,
+        evaluation=evaluation,
+        original_eval=original_eval,
+        held_out_subject=held_out_subject,
+        held_out_movement=held_out_movement,
+    )

@@ -1,0 +1,91 @@
+"""Dataset summary statistics.
+
+Used by the documentation examples and by EXPERIMENTS.md to report what the
+synthetic dataset looks like (frames per subject/movement, point-cloud
+sparsity, label ranges) next to the corresponding MARS numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .sample import PoseDataset
+
+__all__ = ["DatasetSummary", "summarize"]
+
+
+@dataclass
+class DatasetSummary:
+    """Aggregate statistics of a pose dataset."""
+
+    num_frames: int
+    num_subjects: int
+    num_movements: int
+    frames_per_subject: Dict[int, int]
+    frames_per_movement: Dict[str, int]
+    mean_points_per_frame: float
+    min_points_per_frame: int
+    max_points_per_frame: int
+    empty_frame_fraction: float
+    label_min: np.ndarray
+    label_max: np.ndarray
+
+    def as_text(self) -> str:
+        """Render the summary as a small human-readable report."""
+        lines = [
+            f"frames: {self.num_frames}",
+            f"subjects: {self.num_subjects}, movements: {self.num_movements}",
+            f"points/frame: mean {self.mean_points_per_frame:.1f}, "
+            f"min {self.min_points_per_frame}, max {self.max_points_per_frame}",
+            f"empty frames: {self.empty_frame_fraction * 100:.2f}%",
+            "frames per subject: "
+            + ", ".join(f"{k}: {v}" for k, v in sorted(self.frames_per_subject.items())),
+            "frames per movement: "
+            + ", ".join(f"{k}: {v}" for k, v in sorted(self.frames_per_movement.items())),
+        ]
+        return "\n".join(lines)
+
+
+def summarize(dataset: PoseDataset) -> DatasetSummary:
+    """Compute :class:`DatasetSummary` statistics for ``dataset``."""
+    if len(dataset) == 0:
+        return DatasetSummary(
+            num_frames=0,
+            num_subjects=0,
+            num_movements=0,
+            frames_per_subject={},
+            frames_per_movement={},
+            mean_points_per_frame=0.0,
+            min_points_per_frame=0,
+            max_points_per_frame=0,
+            empty_frame_fraction=0.0,
+            label_min=np.zeros(3),
+            label_max=np.zeros(3),
+        )
+
+    counts = dataset.point_counts()
+    frames_per_subject: Dict[int, int] = {}
+    frames_per_movement: Dict[str, int] = {}
+    for sample in dataset:
+        frames_per_subject[sample.subject_id] = frames_per_subject.get(sample.subject_id, 0) + 1
+        frames_per_movement[sample.movement_name] = (
+            frames_per_movement.get(sample.movement_name, 0) + 1
+        )
+
+    labels = np.stack([sample.joints for sample in dataset])
+    return DatasetSummary(
+        num_frames=len(dataset),
+        num_subjects=len(frames_per_subject),
+        num_movements=len(frames_per_movement),
+        frames_per_subject=frames_per_subject,
+        frames_per_movement=frames_per_movement,
+        mean_points_per_frame=float(counts.mean()),
+        min_points_per_frame=int(counts.min()),
+        max_points_per_frame=int(counts.max()),
+        empty_frame_fraction=float(np.mean(counts == 0)),
+        label_min=labels.reshape(-1, 3).min(axis=0),
+        label_max=labels.reshape(-1, 3).max(axis=0),
+    )

@@ -1,0 +1,35 @@
+"""``repro.experiments`` — drivers that regenerate the paper's evaluation.
+
+One module per table/figure of Section 4 plus the shared adaptation runner,
+the scale presets and a unified CLI (``fuse-experiment``).
+"""
+
+from .adaptation import AdaptationResult, ModelCurves, run_adaptation
+from .figure2 import Figure2Result, format_figure2, run_figure2
+from .figure3 import format_figure3, run_figure3
+from .figure4 import format_figure4, run_figure4
+from .scale import SCALE_NAMES, ExperimentScale, get_scale
+from .table1 import Table1Result, Table1Row, format_table1, run_table1
+from .table2 import format_table2, run_table2
+
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "SCALE_NAMES",
+    "run_table1",
+    "format_table1",
+    "Table1Result",
+    "Table1Row",
+    "run_table2",
+    "format_table2",
+    "run_adaptation",
+    "AdaptationResult",
+    "ModelCurves",
+    "run_figure2",
+    "format_figure2",
+    "Figure2Result",
+    "run_figure3",
+    "format_figure3",
+    "run_figure4",
+    "format_figure4",
+]

@@ -1,0 +1,67 @@
+"""Unified command-line interface for the experiment drivers.
+
+Installed as the ``fuse-experiment`` console script::
+
+    fuse-experiment table1 --scale ci
+    fuse-experiment table2 --scale ci
+    fuse-experiment figure2
+    fuse-experiment figure3
+    fuse-experiment figure4
+    fuse-experiment all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from . import figure2, figure3, figure4, table1, table2
+from .scale import SCALE_NAMES
+
+__all__ = ["main"]
+
+_EXPERIMENTS = ("table1", "table2", "figure2", "figure3", "figure4")
+
+
+def _run_one(name: str, scale: str) -> str:
+    if name == "table1":
+        return table1.format_table1(table1.run_table1(scale, verbose=True))
+    if name == "table2":
+        return table2.format_table2(table2.run_table2(scale, verbose=True))
+    if name == "figure2":
+        return figure2.format_figure2(figure2.run_figure2(scale))
+    if name == "figure3":
+        return figure3.format_figure3(figure3.run_figure3(scale, verbose=True))
+    if name == "figure4":
+        return figure4.format_figure4(figure4.run_figure4(scale, verbose=True))
+    raise KeyError(f"unknown experiment '{name}'")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``fuse-experiment`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="fuse-experiment",
+        description="Regenerate the tables and figures of the FUSE paper (DAC 2022).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(*_EXPERIMENTS, "all"),
+        help="which table/figure to regenerate ('all' runs every experiment)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="ci",
+        choices=SCALE_NAMES,
+        help="experiment scale preset (default: ci)",
+    )
+    args = parser.parse_args(argv)
+
+    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(f"\n===== {name} (scale={args.scale}) =====\n")
+        print(_run_one(name, args.scale))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

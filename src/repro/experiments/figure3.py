@@ -1,0 +1,86 @@
+"""Figure 3 — MAE vs fine-tuning epoch when fine-tuning **all layers**.
+
+Panel (a) tracks the MAE on the original training distribution (forgetting),
+panel (b) the MAE on the new user/movement data (adaptation).  The paper's
+observations, which the benchmark asserts in shape:
+
+* the baseline starts lower on the original data (it was fit to it) but its
+  original-data error climbs steadily as it adapts — catastrophic forgetting;
+* FUSE starts higher (it is optimized for adaptability, not fit) but reaches
+  a low new-data MAE within ~5 epochs and keeps its original-data MAE stable;
+* the baseline needs ~26 epochs (paper) to match FUSE on the new data.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from ..core.evaluation import intersection_epoch
+from ..viz.tables import format_curve
+from .adaptation import AdaptationResult, run_adaptation
+from .scale import ExperimentScale
+
+__all__ = ["run_figure3", "format_figure_curves", "format_figure3", "main"]
+
+#: Key values read off the paper's Figure 3.
+PAPER_FIGURE3 = {
+    "baseline_initial_original": 6.7,
+    "fuse_initial_original": 12.4,
+    "fuse_new_after_5_epochs": 6.0,
+    "baseline_new_after_5_epochs": 9.0,
+    "intersection_epoch": 26,
+}
+
+
+def run_figure3(
+    scale: ExperimentScale | str = "ci", use_cache: bool = True, verbose: bool = False
+) -> AdaptationResult:
+    """Run (or reuse) the adaptation experiment that backs Figure 3."""
+    return run_adaptation(scale, use_cache=use_cache, verbose=verbose)
+
+
+def format_figure_curves(result: AdaptationResult, scope: str, figure_name: str) -> str:
+    """Shared text rendering for Figures 3 and 4."""
+    baseline = result.model_curves(scope, "baseline")
+    fuse = result.model_curves(scope, "fuse")
+    crossover = intersection_epoch(baseline.new_curve()[1:], fuse.new_curve()[1:])
+    lines: List[str] = [
+        f"{figure_name} (measured, scale={result.scale_name}, fine-tune scope='{scope}')",
+        result.split_description,
+        "",
+        "(a) original data",
+        format_curve("  baseline original-data MAE (cm)", baseline.original_curve()),
+        format_curve("  FUSE     original-data MAE (cm)", fuse.original_curve()),
+        "",
+        "(b) new data",
+        format_curve("  baseline new-data MAE (cm)", baseline.new_curve()),
+        format_curve("  FUSE     new-data MAE (cm)", fuse.new_curve()),
+        "",
+        f"intersection epoch (baseline matches FUSE on new data): "
+        f"{crossover if crossover is not None else 'not reached'}",
+        f"adaptation speedup vs 5-epoch budget: "
+        f"{result.adaptation_speedup(scope) or float('nan'):.1f}x",
+        f"forgetting after 50 epochs: baseline {result.forgetting(scope, 'baseline'):+.1f} cm, "
+        f"FUSE {result.forgetting(scope, 'fuse'):+.1f} cm",
+    ]
+    return "\n".join(lines)
+
+
+def format_figure3(result: AdaptationResult) -> str:
+    """Render the Figure 3 curves (all-layer fine-tuning)."""
+    return format_figure_curves(result, scope="all", figure_name="Figure 3")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point: ``python -m repro.experiments.figure3``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="ci", help="experiment scale preset (paper/ci/smoke)")
+    args = parser.parse_args(argv)
+    result = run_figure3(args.scale, verbose=True)
+    print(format_figure3(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

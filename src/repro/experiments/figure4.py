@@ -1,0 +1,56 @@
+"""Figure 4 — MAE vs fine-tuning epoch when fine-tuning **only the last layer**.
+
+Same protocol as Figure 3 but only the final fully connected layer (and its
+activation) is updated online.  The paper's findings, asserted in shape by
+the benchmark:
+
+* the pattern matches Figure 3 (FUSE adapts within a few epochs, the baseline
+  needs ~16 epochs and forgets the original data);
+* last-layer fine-tuning adapts more slowly and to a higher error than
+  all-layer fine-tuning for both models, because the frozen feature extractor
+  cannot adjust to the new user's body shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .adaptation import AdaptationResult, run_adaptation
+from .figure3 import format_figure_curves
+from .scale import ExperimentScale
+
+__all__ = ["run_figure4", "format_figure4", "main"]
+
+#: Key values read off the paper's Figure 4.
+PAPER_FIGURE4 = {
+    "fuse_new_after_5_epochs": 8.3,
+    "baseline_new_after_5_epochs": 9.6,
+    "intersection_epoch": 16,
+}
+
+
+def run_figure4(
+    scale: ExperimentScale | str = "ci", use_cache: bool = True, verbose: bool = False
+) -> AdaptationResult:
+    """Run (or reuse) the adaptation experiment that backs Figure 4."""
+    return run_adaptation(scale, use_cache=use_cache, verbose=verbose)
+
+
+def format_figure4(result: AdaptationResult) -> str:
+    """Render the Figure 4 curves (last-layer fine-tuning)."""
+    return format_figure_curves(result, scope="last", figure_name="Figure 4")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point: ``python -m repro.experiments.figure4``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="ci", help="experiment scale preset (paper/ci/smoke)")
+    args = parser.parse_args(argv)
+    result = run_figure4(args.scale, verbose=True)
+    print(format_figure4(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

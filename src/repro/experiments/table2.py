@@ -1,0 +1,120 @@
+"""Table 2 — MAE comparison between baseline and FUSE during fine-tuning.
+
+The paper reports, for both fine-tuning scopes (all layers / last layer
+only), the MAE of the baseline and FUSE models on the original data and on
+the new data after 5 epochs, at the "intersection" epoch (where the
+baseline's new-data MAE first matches FUSE's) and after 50 epochs.  The
+qualitative claims encoded in that table:
+
+* FUSE reaches a low new-data MAE within ~5 epochs;
+* the baseline needs several times more epochs to match it
+  (26 for all layers / 16 for the last layer in the paper);
+* the baseline pays for its adaptation by forgetting the original data,
+  while FUSE's original-data MAE stays roughly flat.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from ..viz.tables import format_table
+from .adaptation import AdaptationResult, run_adaptation
+from .scale import ExperimentScale
+
+__all__ = ["PAPER_TABLE2", "run_table2", "format_table2", "main"]
+
+#: Paper values (cm): [scope][snapshot][model_data].
+PAPER_TABLE2 = {
+    "all": {
+        "5 epochs": {"baseline_original": 6.4, "baseline_new": 9.0, "fuse_original": 7.6, "fuse_new": 6.0},
+        "Intersection": {"baseline_original": 10.6, "baseline_new": 4.6, "fuse_original": 6.6, "fuse_new": 4.3},
+        "50 epochs": {"baseline_original": 18.7, "baseline_new": 2.0, "fuse_original": 6.4, "fuse_new": 3.9},
+    },
+    "last": {
+        "5 epochs": {"baseline_original": 6.5, "baseline_new": 9.6, "fuse_original": 9.0, "fuse_new": 8.3},
+        "Intersection": {"baseline_original": 7.2, "baseline_new": 7.1, "fuse_original": 8.2, "fuse_new": 7.0},
+        "50 epochs": {"baseline_original": 31.0, "baseline_new": 3.9, "fuse_original": 7.8, "fuse_new": 6.0},
+    },
+}
+
+#: Intersection epochs reported in the paper.
+PAPER_INTERSECTION_EPOCHS = {"all": 26, "last": 16}
+
+
+def run_table2(
+    scale: ExperimentScale | str = "ci", use_cache: bool = True, verbose: bool = False
+) -> AdaptationResult:
+    """Run (or reuse) the adaptation experiment that backs Table 2."""
+    return run_adaptation(scale, use_cache=use_cache, verbose=verbose)
+
+
+def format_table2(result: AdaptationResult, include_paper: bool = True) -> str:
+    """Render Table 2 for both fine-tuning scopes."""
+    headers = [
+        "snapshot",
+        "baseline original",
+        "baseline new",
+        "FUSE original",
+        "FUSE new",
+    ]
+    sections: List[str] = []
+    for scope, scope_label in (("all", "All layers"), ("last", "Last layer")):
+        rows = [
+            [
+                row["snapshot"],
+                row["baseline_original"],
+                row["baseline_new"],
+                row["fuse_original"],
+                row["fuse_new"],
+            ]
+            for row in result.summary_rows(scope)
+        ]
+        sections.append(
+            format_table(
+                headers,
+                rows,
+                title=f"Table 2 (measured, scale={result.scale_name}) — fine-tune {scope_label}",
+            )
+        )
+        speedup = result.adaptation_speedup(scope)
+        if speedup is not None:
+            sections.append(
+                f"Adaptation speed: baseline needs ~{speedup:.1f}x more epochs than FUSE's "
+                f"5-epoch budget to reach the same new-data MAE (paper: ~{PAPER_INTERSECTION_EPOCHS[scope] / 5:.1f}x)"
+            )
+        sections.append(
+            "Forgetting after 50 epochs (original-data MAE increase): "
+            f"baseline {result.forgetting(scope, 'baseline'):+.1f} cm, "
+            f"FUSE {result.forgetting(scope, 'fuse'):+.1f} cm"
+        )
+        if include_paper:
+            paper_rows = [
+                [
+                    snapshot,
+                    values["baseline_original"],
+                    values["baseline_new"],
+                    values["fuse_original"],
+                    values["fuse_new"],
+                ]
+                for snapshot, values in PAPER_TABLE2[scope].items()
+            ]
+            sections.append(
+                format_table(headers, paper_rows, title=f"Table 2 (paper) — fine-tune {scope_label}")
+            )
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point: ``python -m repro.experiments.table2``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="ci", help="experiment scale preset (paper/ci/smoke)")
+    args = parser.parse_args(argv)
+    result = run_table2(args.scale, verbose=True)
+    print(format_table2(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+"""Functional interface: activations and loss functions.
+
+The FUSE paper trains with the mean absolute error (L1) between predicted and
+ground-truth joint coordinates (Section 3.1.2); :func:`l1_loss` is therefore
+the primary loss in this repository.  L2 and Huber losses are provided because
+the paper explicitly notes "other functions such as L2 can also be used".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "l1_loss",
+    "l2_loss",
+    "mse_loss",
+    "huber_loss",
+    "cross_entropy_loss",
+]
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return _as_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return _as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return _as_tensor(x).tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = _as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = _as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error — the loss used throughout the FUSE paper."""
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch between prediction {prediction.shape} and target {target.shape}"
+        )
+    return (prediction - target).abs().mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch between prediction {prediction.shape} and target {target.shape}"
+        )
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l2_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Alias for :func:`mse_loss` matching the paper's terminology."""
+    return mse_loss(prediction, target)
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber (smooth L1) loss.
+
+    Quadratic for residuals smaller than ``delta`` and linear beyond, making
+    training robust to the occasional wildly wrong point-cloud frame.
+    """
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    residual = prediction - target
+    abs_residual = residual.abs()
+    quadratic = abs_residual.clip(0.0, delta)
+    linear = abs_residual - quadratic
+    return (quadratic * quadratic * 0.5 + linear * delta).mean()
+
+
+def cross_entropy_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Cross-entropy over integer class labels.
+
+    Not used by the pose-regression pipeline, but required by the activity-
+    classification example that demonstrates reuse of the radar substrate.
+    """
+    logits = _as_tensor(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"cross_entropy_loss expects 2-D logits, got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match batch size {logits.shape[0]}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(logits.shape[0]), labels]
+    return -picked.mean()

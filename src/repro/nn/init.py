@@ -1,0 +1,69 @@
+"""Parameter initialization schemes for ``repro.nn`` layers.
+
+All initializers accept an explicit ``numpy.random.Generator`` so that model
+construction is fully reproducible — a requirement for the paper's
+baseline-vs-FUSE comparisons where both models must start from comparable
+initial conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "calculate_fan",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "kaiming_normal",
+    "zeros",
+    "uniform",
+]
+
+
+def calculate_fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight tensor shape.
+
+    Linear weights are ``(out_features, in_features)``; convolution weights
+    are ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) < 2:
+        raise ValueError(f"fan computation requires at least 2 dimensions, got {shape}")
+    receptive_field = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive_field
+    fan_out = shape[0] * receptive_field
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = calculate_fan(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialization suited to ReLU networks."""
+    fan_in, _ = calculate_fan(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialization suited to ReLU networks."""
+    fan_in, _ = calculate_fan(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zero initialization (used for biases)."""
+    return np.zeros(shape)
+
+
+def uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator, low: float = -0.1, high: float = 0.1
+) -> np.ndarray:
+    """Uniform initialization in ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)

@@ -1,0 +1,238 @@
+"""Convolution and pooling primitives for the ``repro.nn`` substrate.
+
+The implementations use an im2col/col2im lowering so that the heavy lifting is
+delegated to a single matrix multiplication per layer, which keeps CPU
+training of the small MARS/FUSE CNNs practical.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["im2col", "col2im", "conv2d", "max_pool2d", "avg_pool2d"]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _as_pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_shape(
+    height: int, width: int, kernel_size: IntPair, stride: IntPair, padding: IntPair
+) -> Tuple[int, int]:
+    """Spatial output shape of a 2-D convolution/pooling operation."""
+    kh, kw = _as_pair(kernel_size)
+    sh, sw = _as_pair(stride)
+    ph, pw = _as_pair(padding)
+    out_h = (height + 2 * ph - kh) // sh + 1
+    out_w = (width + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output would be empty for input {(height, width)}, "
+            f"kernel {kernel_size}, stride {stride}, padding {padding}"
+        )
+    return out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kernel_size: IntPair, stride: IntPair = 1, padding: IntPair = 0
+) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, channels, height, width)``.
+
+    Returns
+    -------
+    Array of shape ``(batch, out_h, out_w, channels * kh * kw)``.
+    """
+    kh, kw = _as_pair(kernel_size)
+    sh, sw = _as_pair(stride)
+    ph, pw = _as_pair(padding)
+    batch, channels, height, width = x.shape
+    out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), (ph, pw))
+
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    strides = padded.strides
+    window_view = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(batch, channels, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * sh,
+            strides[3] * sw,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (batch, out_h, out_w, channels, kh, kw) -> flatten the patch dims.
+    cols = window_view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h, out_w, channels * kh * kw
+    )
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_size: IntPair,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    kh, kw = _as_pair(kernel_size)
+    sh, sw = _as_pair(stride)
+    ph, pw = _as_pair(padding)
+    batch, channels, height, width = input_shape
+    out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), (ph, pw))
+
+    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += cols[
+                :, :, :, :, i, j
+            ].transpose(0, 3, 1, 2)
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph : ph + height, pw : pw + width]
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Differentiable 2-D cross-correlation (the deep-learning "convolution").
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(batch, in_channels, height, width)``.
+    weight:
+        Filter tensor of shape ``(out_channels, in_channels, kh, kw)``.
+    bias:
+        Optional tensor of shape ``(out_channels,)``.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects a 4-D input, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d expects a 4-D weight, got shape {weight.shape}")
+    out_channels, in_channels, kh, kw = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {in_channels}"
+        )
+
+    batch = x.shape[0]
+    out_h, out_w = conv_output_shape(x.shape[2], x.shape[3], (kh, kw), stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (B, OH, OW, C*kh*kw)
+    cols_flat = cols.reshape(-1, in_channels * kh * kw)
+    weight_flat = weight.data.reshape(out_channels, -1)
+
+    out = cols_flat @ weight_flat.T  # (B*OH*OW, out_channels)
+    out = out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.data.reshape(1, out_channels, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (B, out_channels, OH, OW)
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        if weight.requires_grad:
+            grad_weight = grad_flat.T @ cols_flat
+            weight._accumulate(grad_weight.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_cols = grad_flat @ weight_flat  # (B*OH*OW, C*kh*kw)
+            grad_cols = grad_cols.reshape(batch, out_h, out_w, -1)
+            grad_x = col2im(grad_cols, x.data.shape, (kh, kw), stride, padding)
+            x._accumulate(grad_x)
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: IntPair | None = None) -> Tensor:
+    """Differentiable 2-D max pooling."""
+    if stride is None:
+        stride = kernel_size
+    kh, kw = _as_pair(kernel_size)
+    sh, sw = _as_pair(stride)
+    batch, channels, height, width = x.shape
+    out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), 0)
+
+    cols = im2col(
+        x.data.reshape(batch * channels, 1, height, width), (kh, kw), (sh, sw), 0
+    )  # (B*C, OH, OW, kh*kw)
+    flat = cols.reshape(batch * channels, out_h, out_w, kh * kw)
+    argmax = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+    out = out.reshape(batch, channels, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_cols = np.zeros_like(flat)
+        np.put_along_axis(
+            grad_cols,
+            argmax[..., None],
+            grad.reshape(batch * channels, out_h, out_w, 1),
+            axis=-1,
+        )
+        grad_x = col2im(
+            grad_cols,
+            (batch * channels, 1, height, width),
+            (kh, kw),
+            (sh, sw),
+            0,
+        )
+        x._accumulate(grad_x.reshape(batch, channels, height, width))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: IntPair | None = None) -> Tensor:
+    """Differentiable 2-D average pooling."""
+    if stride is None:
+        stride = kernel_size
+    kh, kw = _as_pair(kernel_size)
+    sh, sw = _as_pair(stride)
+    batch, channels, height, width = x.shape
+    out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), 0)
+
+    cols = im2col(
+        x.data.reshape(batch * channels, 1, height, width), (kh, kw), (sh, sw), 0
+    )
+    flat = cols.reshape(batch * channels, out_h, out_w, kh * kw)
+    out = flat.mean(axis=-1).reshape(batch, channels, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_cols = np.repeat(
+            grad.reshape(batch * channels, out_h, out_w, 1) / (kh * kw), kh * kw, axis=-1
+        )
+        grad_x = col2im(
+            grad_cols, (batch * channels, 1, height, width), (kh, kw), (sh, sw), 0
+        )
+        x._accumulate(grad_x.reshape(batch, channels, height, width))
+
+    return Tensor._make(out, (x,), backward)

@@ -1,0 +1,64 @@
+"""Saving and loading model state.
+
+Models are serialized as ``.npz`` archives containing the state dict produced
+by :meth:`repro.nn.layers.Module.state_dict`.  This keeps checkpoints portable
+(pure NumPy, no pickled code objects) and small enough to version control.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state", "load_state", "save_model", "load_model_into"]
+
+PathLike = Union[str, Path]
+_METADATA_KEY = "__repro_metadata__"
+
+
+def save_state(
+    state: Dict[str, np.ndarray], path: PathLike, metadata: Optional[Dict] = None
+) -> Path:
+    """Write a state dict (plus optional JSON-serializable metadata) to disk."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(state)
+    if metadata is not None:
+        payload[_METADATA_KEY] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez_compressed(path, **payload)
+    # np.savez appends ".npz" when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state(path: PathLike) -> tuple[Dict[str, np.ndarray], Optional[Dict]]:
+    """Load a state dict and its metadata from an ``.npz`` checkpoint."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        candidate = path.with_suffix(path.suffix + ".npz")
+        if candidate.exists():
+            path = candidate
+    with np.load(path, allow_pickle=False) as archive:
+        state = {key: archive[key] for key in archive.files if key != _METADATA_KEY}
+        metadata = None
+        if _METADATA_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_METADATA_KEY].tolist()).decode("utf-8"))
+    return state, metadata
+
+
+def save_model(model: Module, path: PathLike, metadata: Optional[Dict] = None) -> Path:
+    """Serialize a module's parameters and buffers to ``path``."""
+    return save_state(model.state_dict(), path, metadata=metadata)
+
+
+def load_model_into(model: Module, path: PathLike) -> Optional[Dict]:
+    """Load a checkpoint into an existing module; returns stored metadata."""
+    state, metadata = load_state(path)
+    model.load_state_dict(state)
+    return metadata

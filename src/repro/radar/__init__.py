@@ -1,0 +1,53 @@
+"""``repro.radar`` — mmWave FMCW radar substrate.
+
+Simulates a TI IWR1443-class radar end to end: chirp/waveform configuration,
+beat-signal synthesis from point targets, range and Doppler FFTs, CA-CFAR
+detection, angle-of-arrival estimation and point-cloud construction in the
+paper's Eq. 1 format.  A fast geometric backend reproduces the same output
+statistics for large-scale dataset generation.
+"""
+
+from .cfar import CfarConfig, ca_cfar_2d, detect_peaks, group_peaks
+from .config import SPEED_OF_LIGHT, RadarConfig
+from .doa import AngleEstimate, detections_to_points, estimate_angles
+from .geometric import GeometricBackendConfig, GeometricPointCloudGenerator
+from .pipeline import GeometricPipeline, RadarPipeline, SignalChainPipeline, make_pipeline
+from .pointcloud import POINT_FIELDS, PointCloudFrame, PointCloudSequence, merge_frames
+from .scene import RadarTarget, Scene, radar_to_world, targets_from_scatterers, world_to_radar
+from .signal_chain import (
+    RadarDataCube,
+    RangeDopplerMap,
+    range_doppler_processing,
+    synthesize_data_cube,
+)
+
+__all__ = [
+    "RadarConfig",
+    "SPEED_OF_LIGHT",
+    "PointCloudFrame",
+    "PointCloudSequence",
+    "POINT_FIELDS",
+    "merge_frames",
+    "RadarTarget",
+    "Scene",
+    "targets_from_scatterers",
+    "world_to_radar",
+    "radar_to_world",
+    "RadarDataCube",
+    "RangeDopplerMap",
+    "synthesize_data_cube",
+    "range_doppler_processing",
+    "CfarConfig",
+    "ca_cfar_2d",
+    "group_peaks",
+    "detect_peaks",
+    "AngleEstimate",
+    "estimate_angles",
+    "detections_to_points",
+    "GeometricBackendConfig",
+    "GeometricPointCloudGenerator",
+    "RadarPipeline",
+    "SignalChainPipeline",
+    "GeometricPipeline",
+    "make_pipeline",
+]

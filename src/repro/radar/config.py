@@ -1,0 +1,161 @@
+"""Radar configuration modelled on the TI IWR1443 Boost evaluation module.
+
+The MARS dataset (and hence the FUSE evaluation) was collected with a TI
+IWR1443 — a 76-81 GHz FMCW radar with 3 transmit and 4 receive antennas
+operated as a TDM-MIMO virtual array.  :class:`RadarConfig` captures the
+waveform and array parameters needed by the signal-chain simulator and
+exposes the derived quantities (range/velocity/angle resolution, maximum
+unambiguous range and velocity) that determine what the point cloud can and
+cannot resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RadarConfig", "SPEED_OF_LIGHT"]
+
+#: Speed of light in m/s.
+SPEED_OF_LIGHT: float = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class RadarConfig:
+    """FMCW waveform and antenna-array parameters.
+
+    The defaults approximate the IWR1443 configuration used by MARS:
+    a 77 GHz carrier, ~3.5 GHz sweep (≈4.3 cm range resolution), 10 Hz frame
+    rate, and a 12-element virtual array (8 azimuth x 2 elevation with
+    overlap) from 3 Tx x 4 Rx antennas.
+
+    Attributes
+    ----------
+    carrier_frequency:
+        Chirp start frequency in Hz.
+    bandwidth:
+        Swept bandwidth per chirp in Hz.
+    chirp_duration:
+        Active chirp (ramp) duration in seconds.
+    chirp_repetition:
+        Chirp-to-chirp period in seconds (includes idle time and, for
+        TDM-MIMO, the other transmitters' slots).
+    num_chirps:
+        Chirps per frame per transmitter (Doppler FFT length).
+    num_samples:
+        ADC samples per chirp (range FFT length).
+    num_azimuth_antennas:
+        Virtual antennas in the azimuth dimension.
+    num_elevation_antennas:
+        Virtual antennas in the elevation dimension.
+    frame_period:
+        Frame repetition interval in seconds (0.1 s = 10 Hz in MARS/FUSE).
+    radar_height:
+        Mounting height of the sensor above the floor in metres.
+    noise_figure_db:
+        Receiver noise level relative to a unit-RCS target at 1 m, in dB.
+        Controls how many weak scatterers survive CFAR.
+    """
+
+    carrier_frequency: float = 77.0e9
+    bandwidth: float = 3.5e9
+    chirp_duration: float = 60.0e-6
+    chirp_repetition: float = 400.0e-6
+    num_chirps: int = 64
+    num_samples: int = 128
+    num_azimuth_antennas: int = 8
+    num_elevation_antennas: int = 2
+    frame_period: float = 0.1
+    radar_height: float = 1.0
+    noise_figure_db: float = -30.0
+
+    def __post_init__(self) -> None:
+        if self.carrier_frequency <= 0 or self.bandwidth <= 0:
+            raise ValueError("carrier_frequency and bandwidth must be positive")
+        if self.chirp_duration <= 0 or self.chirp_repetition < self.chirp_duration:
+            raise ValueError(
+                "chirp_repetition must be at least chirp_duration and both positive"
+            )
+        if self.num_chirps < 2 or self.num_samples < 2:
+            raise ValueError("num_chirps and num_samples must be at least 2")
+        if self.num_azimuth_antennas < 2 or self.num_elevation_antennas < 1:
+            raise ValueError("virtual array must have >= 2 azimuth and >= 1 elevation antennas")
+        if self.frame_period <= 0:
+            raise ValueError("frame_period must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived waveform quantities
+    # ------------------------------------------------------------------
+    @property
+    def wavelength(self) -> float:
+        """Carrier wavelength in metres (~3.9 mm at 77 GHz)."""
+        return SPEED_OF_LIGHT / self.carrier_frequency
+
+    @property
+    def chirp_slope(self) -> float:
+        """Frequency slope of the chirp in Hz/s."""
+        return self.bandwidth / self.chirp_duration
+
+    @property
+    def sample_rate(self) -> float:
+        """ADC sample rate in samples/s."""
+        return self.num_samples / self.chirp_duration
+
+    @property
+    def range_resolution(self) -> float:
+        """Range resolution ``c / (2 B)`` in metres."""
+        return SPEED_OF_LIGHT / (2.0 * self.bandwidth)
+
+    @property
+    def max_range(self) -> float:
+        """Maximum unambiguous range of the range FFT in metres."""
+        return self.range_resolution * self.num_samples
+
+    @property
+    def velocity_resolution(self) -> float:
+        """Doppler velocity resolution in m/s."""
+        return self.wavelength / (2.0 * self.num_chirps * self.chirp_repetition)
+
+    @property
+    def max_velocity(self) -> float:
+        """Maximum unambiguous radial velocity (+/-) in m/s."""
+        return self.wavelength / (4.0 * self.chirp_repetition)
+
+    @property
+    def num_virtual_antennas(self) -> int:
+        """Total number of virtual antenna elements."""
+        return self.num_azimuth_antennas * self.num_elevation_antennas
+
+    @property
+    def azimuth_resolution(self) -> float:
+        """Approximate azimuth angular resolution in radians (2 / N)."""
+        return 2.0 / self.num_azimuth_antennas
+
+    @property
+    def noise_power(self) -> float:
+        """Linear-scale receiver noise power used by the signal simulator."""
+        return 10.0 ** (self.noise_figure_db / 10.0)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def iwr1443_default(cls) -> "RadarConfig":
+        """The configuration used throughout the reproduction."""
+        return cls()
+
+    @classmethod
+    def low_resolution(cls) -> "RadarConfig":
+        """A coarse configuration for fast unit tests of the signal chain."""
+        return cls(num_chirps=32, num_samples=64, bandwidth=2.0e9)
+
+    def describe(self) -> str:
+        """Human-readable summary of the derived radar performance."""
+        return (
+            f"RadarConfig: {self.carrier_frequency / 1e9:.1f} GHz carrier, "
+            f"{self.bandwidth / 1e9:.2f} GHz sweep -> {self.range_resolution * 100:.1f} cm range res, "
+            f"max range {self.max_range:.1f} m, "
+            f"velocity res {self.velocity_resolution:.2f} m/s (max {self.max_velocity:.1f} m/s), "
+            f"{self.num_virtual_antennas} virtual antennas"
+        )

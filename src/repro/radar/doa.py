@@ -1,0 +1,118 @@
+"""Direction-of-arrival (angle) estimation across the virtual antenna array.
+
+For every CFAR detection the radar extracts the complex antenna snapshot at
+that range-Doppler cell and estimates the azimuth and elevation angles of the
+reflector.  Azimuth uses a zero-padded FFT over the 8-element azimuth array
+(the standard TI processing); elevation uses the phase difference between the
+two elevation rows.  Together with the range and Doppler of the cell this
+yields one point of the Eq. 1 point cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .config import RadarConfig
+from .signal_chain import RangeDopplerMap
+
+__all__ = ["AngleEstimate", "estimate_angles", "detections_to_points"]
+
+
+@dataclass(frozen=True)
+class AngleEstimate:
+    """Angle estimate for one detection."""
+
+    azimuth: float
+    elevation: float
+    power: float
+
+
+def estimate_angles(
+    snapshot: np.ndarray, config: RadarConfig, fft_size: int = 64
+) -> Optional[AngleEstimate]:
+    """Estimate azimuth/elevation from one antenna snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        Complex array of shape ``(num_azimuth_antennas, num_elevation_antennas)``.
+    config:
+        Radar configuration (array geometry).
+    fft_size:
+        Zero-padded FFT length for the azimuth spectrum.
+
+    Returns
+    -------
+    ``AngleEstimate`` or ``None`` when the estimate is unphysical (spatial
+    frequency outside the array's unambiguous region), which real radars
+    discard as ghost detections.
+    """
+    snapshot = np.asarray(snapshot)
+    expected = (config.num_azimuth_antennas, config.num_elevation_antennas)
+    if snapshot.shape != expected:
+        raise ValueError(f"snapshot has shape {snapshot.shape}, expected {expected}")
+
+    # Azimuth: FFT across the azimuth elements (combine elevation rows
+    # coherently after removing their mean phase difference).
+    azimuth_signal = snapshot.sum(axis=1)
+    spectrum = np.fft.fftshift(np.fft.fft(azimuth_signal, n=fft_size))
+    peak_bin = int(np.argmax(np.abs(spectrum)))
+    # Spatial frequency u = sin(az) * cos(el) in [-1, 1) for lambda/2 spacing.
+    u = (peak_bin - fft_size // 2) * (2.0 / fft_size)
+    power = float(np.abs(spectrum[peak_bin]) ** 2)
+
+    # Elevation: phase difference between the two elevation rows.
+    if config.num_elevation_antennas >= 2:
+        row_a = snapshot[:, 0].sum()
+        row_b = snapshot[:, 1].sum()
+        phase_delta = float(np.angle(row_b * np.conj(row_a)))
+        sin_el = phase_delta / np.pi
+        sin_el = float(np.clip(sin_el, -0.999, 0.999))
+    else:
+        sin_el = 0.0
+    elevation = float(np.arcsin(sin_el))
+
+    cos_el = float(np.cos(elevation))
+    if cos_el < 1e-6:
+        return None
+    sin_az = u / cos_el
+    if abs(sin_az) >= 1.0:
+        return None
+    azimuth = float(np.arcsin(sin_az))
+    return AngleEstimate(azimuth=azimuth, elevation=elevation, power=power)
+
+
+def detections_to_points(
+    rd_map: RangeDopplerMap,
+    detections: List[Tuple[int, int]],
+    config: RadarConfig,
+) -> np.ndarray:
+    """Convert CFAR detections into point-cloud rows.
+
+    Returns an array of shape ``(N, 5)`` with columns
+    ``(x, y, z, doppler, intensity)`` in the radar coordinate frame
+    (conversion to the world frame — adding the mounting height — is done by
+    the pipeline).  Intensity is reported in dB, matching the TI firmware.
+    """
+    points = []
+    for range_bin, doppler_bin in detections:
+        snapshot = rd_map.spectrum[range_bin, doppler_bin]
+        estimate = estimate_angles(snapshot, config)
+        if estimate is None:
+            continue
+        distance = rd_map.range_of_bin(range_bin)
+        if distance <= 0.0:
+            continue
+        velocity = rd_map.velocity_of_bin(doppler_bin)
+        cos_el = np.cos(estimate.elevation)
+        x = distance * np.sin(estimate.azimuth) * cos_el
+        y = distance * np.cos(estimate.azimuth) * cos_el
+        z = distance * np.sin(estimate.elevation)
+        intensity_db = 10.0 * np.log10(max(estimate.power, 1e-12))
+        points.append([x, y, z, velocity, intensity_db])
+    if not points:
+        return np.zeros((0, 5))
+    return np.asarray(points, dtype=float)

@@ -1,0 +1,199 @@
+"""Fast geometric point-cloud backend.
+
+Running the full FMCW signal chain for tens of thousands of dataset frames is
+unnecessarily expensive: the chain is deterministic given the scatterer
+geometry, and its output statistics (which scatterers are detected, with what
+measurement error and quantization) can be modelled directly.  This module
+implements that statistical model.  It shares the radar configuration with
+the signal-chain backend so the two emit point clouds with the same
+resolutions, sparsity and coordinate conventions — a property verified by
+``benchmarks/test_ablation_radar_backend.py`` and the radar test-suite.
+
+The model captures the effects that make mmWave point clouds hard to use for
+pose estimation (the paper's core motivation):
+
+* detection probability grows with radar cross-section and SNR, so the torso
+  dominates while wrists/feet frequently drop out;
+* near-static body parts are suppressed (Doppler/clutter filtering), so a
+  motionless subject almost disappears;
+* measurements are quantized to the radar's range/velocity/angle resolution,
+  producing the characteristic "gridded" look and large lateral error at
+  range;
+* the firmware caps the number of emitted points per frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import RadarConfig
+from .pointcloud import PointCloudFrame
+from .scene import Scene
+
+__all__ = ["GeometricBackendConfig", "GeometricPointCloudGenerator"]
+
+
+@dataclass(frozen=True)
+class GeometricBackendConfig:
+    """Tuning parameters of the geometric backend.
+
+    Attributes
+    ----------
+    max_points:
+        Maximum number of points emitted per frame (TI firmware point budget).
+    detection_snr_midpoint_db:
+        SNR (dB) at which the detection probability is 50%.
+    detection_snr_slope:
+        Steepness of the detection-probability sigmoid (per dB).
+    doppler_suppression_velocity:
+        Radial-velocity scale (m/s) of the static-clutter suppression: body
+        parts moving slower than this are increasingly likely to be filtered.
+    static_detection_floor:
+        Residual detection probability multiplier for completely static
+        scatterers (the torso never fully disappears).
+    range_noise_scale / angle_noise_deg / doppler_noise_scale:
+        Measurement noise levels (fractions of a resolution cell / degrees).
+    quantize:
+        Whether to snap measurements to the radar's resolution grid.
+    frame_efficiency_range:
+        Per-frame multiplier on the detection probability, drawn uniformly
+        from this interval for every frame.  Real mmWave point clouds are
+        bursty — multipath fading, interference and the CFAR noise estimate
+        make some frames dramatically sparser than their neighbours — and
+        this burstiness is precisely what multi-frame fusion compensates.
+        Set to ``(1.0, 1.0)`` for a stationary detection process.
+    """
+
+    max_points: int = 64
+    detection_snr_midpoint_db: float = 6.0
+    detection_snr_slope: float = 0.6
+    doppler_suppression_velocity: float = 0.12
+    static_detection_floor: float = 0.25
+    range_noise_scale: float = 0.5
+    angle_noise_deg: float = 1.5
+    doppler_noise_scale: float = 0.5
+    quantize: bool = True
+    angle_fft_size: int = 64
+    frame_efficiency_range: tuple[float, float] = (0.35, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.max_points < 1:
+            raise ValueError("max_points must be >= 1")
+        if not 0.0 <= self.static_detection_floor <= 1.0:
+            raise ValueError("static_detection_floor must be in [0, 1]")
+        if self.doppler_suppression_velocity <= 0:
+            raise ValueError("doppler_suppression_velocity must be positive")
+        low, high = self.frame_efficiency_range
+        if not 0.0 < low <= high <= 1.0:
+            raise ValueError("frame_efficiency_range must satisfy 0 < low <= high <= 1")
+
+
+@dataclass
+class GeometricPointCloudGenerator:
+    """Generates Eq. 1 point-cloud frames directly from a radar scene."""
+
+    radar_config: RadarConfig
+    backend_config: GeometricBackendConfig = GeometricBackendConfig()
+
+    def generate_frame(
+        self,
+        scene: Scene,
+        rng: np.random.Generator,
+        timestamp: float = 0.0,
+        frame_index: int = 0,
+    ) -> PointCloudFrame:
+        """Produce one point-cloud frame from the given radar scene."""
+        cfg = self.backend_config
+        radar = self.radar_config
+
+        scene = scene.within_field_of_view(radar)
+        if len(scene) == 0:
+            return PointCloudFrame.empty(timestamp=timestamp, frame_index=frame_index)
+
+        ranges = scene.ranges()
+        radial_velocities = scene.radial_velocities()
+        azimuths = scene.azimuths()
+        elevations = scene.elevations()
+        rcs = scene.rcs()
+
+        snr_db = self._snr_db(rcs, ranges)
+        detect_prob = self._detection_probability(snr_db, radial_velocities)
+        efficiency = rng.uniform(*cfg.frame_efficiency_range)
+        detected = rng.random(len(scene)) < detect_prob * efficiency
+        if not np.any(detected):
+            return PointCloudFrame.empty(timestamp=timestamp, frame_index=frame_index)
+
+        ranges = ranges[detected]
+        radial_velocities = radial_velocities[detected]
+        azimuths = azimuths[detected]
+        elevations = elevations[detected]
+        snr_db = snr_db[detected]
+
+        # Measurement noise in the radar's native (spherical) coordinates.
+        ranges = ranges + rng.normal(
+            0.0, cfg.range_noise_scale * radar.range_resolution, size=ranges.shape
+        )
+        azimuths = azimuths + rng.normal(
+            0.0, np.deg2rad(cfg.angle_noise_deg), size=azimuths.shape
+        )
+        elevations = elevations + rng.normal(
+            0.0, np.deg2rad(cfg.angle_noise_deg), size=elevations.shape
+        )
+        radial_velocities = radial_velocities + rng.normal(
+            0.0, cfg.doppler_noise_scale * radar.velocity_resolution, size=radial_velocities.shape
+        )
+
+        if cfg.quantize:
+            ranges = np.round(ranges / radar.range_resolution) * radar.range_resolution
+            radial_velocities = (
+                np.round(radial_velocities / radar.velocity_resolution)
+                * radar.velocity_resolution
+            )
+            # Azimuth is estimated by a zero-padded FFT over the virtual
+            # array, so quantize sin(azimuth) in spatial-frequency space with
+            # the same bin width as the signal-chain backend (2 / fft_size).
+            u_step = 2.0 / cfg.angle_fft_size
+            u = np.clip(np.sin(azimuths), -0.999, 0.999)
+            u = np.round(u / u_step) * u_step
+            azimuths = np.arcsin(np.clip(u, -0.999, 0.999))
+
+        intensity = snr_db + rng.normal(0.0, 1.5, size=snr_db.shape)
+
+        cos_el = np.cos(elevations)
+        x = ranges * np.sin(azimuths) * cos_el
+        y = ranges * np.cos(azimuths) * cos_el
+        z = ranges * np.sin(elevations) + radar.radar_height
+
+        points = np.stack([x, y, z, radial_velocities, intensity], axis=1)
+        frame = PointCloudFrame(points, timestamp=timestamp, frame_index=frame_index)
+        if frame.num_points > cfg.max_points:
+            frame = frame.subsampled(cfg.max_points, rng)
+            frame.timestamp = timestamp
+            frame.frame_index = frame_index
+        return frame
+
+    # ------------------------------------------------------------------
+    # Internal statistical model
+    # ------------------------------------------------------------------
+    def _snr_db(self, rcs: np.ndarray, ranges: np.ndarray) -> np.ndarray:
+        """Per-scatterer SNR from the radar equation (R^4 spreading loss)."""
+        radar = self.radar_config
+        snr_linear = rcs / np.maximum(ranges, 0.5) ** 4 / radar.noise_power
+        return 10.0 * np.log10(np.maximum(snr_linear, 1e-12))
+
+    def _detection_probability(
+        self, snr_db: np.ndarray, radial_velocities: np.ndarray
+    ) -> np.ndarray:
+        """Detection probability combining SNR and Doppler clutter filtering."""
+        cfg = self.backend_config
+        snr_term = 1.0 / (
+            1.0
+            + np.exp(-cfg.detection_snr_slope * (snr_db - cfg.detection_snr_midpoint_db))
+        )
+        motion = np.abs(radial_velocities) / cfg.doppler_suppression_velocity
+        doppler_term = cfg.static_detection_floor + (1.0 - cfg.static_detection_floor) * (
+            1.0 - np.exp(-motion)
+        )
+        return np.clip(snr_term * doppler_term, 0.0, 1.0)

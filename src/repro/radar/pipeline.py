@@ -1,0 +1,153 @@
+"""End-to-end radar processing pipelines.
+
+Two interchangeable backends turn a posed human body into an Eq. 1 point
+cloud frame:
+
+* :class:`SignalChainPipeline` — the full FMCW simulation (beat-signal
+  synthesis, range FFT, Doppler FFT, CA-CFAR, angle estimation).  Faithful
+  but relatively slow; used by the radar tests, the signal-chain example and
+  the backend-comparison ablation.
+* :class:`GeometricPipeline` — the statistical model of the same chain
+  (:mod:`repro.radar.geometric`).  Used to generate the large synthetic
+  dataset at MARS scale.
+
+Both accept world-frame scatterers from :class:`repro.body.BodyScatteringModel`
+and emit world-frame point clouds, so the rest of the stack does not care
+which backend produced a frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..body.surface import Scatterer
+from .cfar import CfarConfig, detect_peaks
+from .config import RadarConfig
+from .doa import detections_to_points
+from .geometric import GeometricBackendConfig, GeometricPointCloudGenerator
+from .pointcloud import PointCloudFrame
+from .scene import Scene, targets_from_scatterers
+from .signal_chain import range_doppler_processing, synthesize_data_cube
+
+__all__ = ["RadarPipeline", "SignalChainPipeline", "GeometricPipeline", "make_pipeline"]
+
+
+class RadarPipeline(Protocol):
+    """Protocol implemented by both radar backends."""
+
+    config: RadarConfig
+
+    def process_scatterers(
+        self,
+        scatterers: Sequence[Scatterer],
+        rng: np.random.Generator,
+        timestamp: float = 0.0,
+        frame_index: int = 0,
+    ) -> PointCloudFrame:
+        """Convert world-frame scatterers into a world-frame point cloud."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class SignalChainPipeline:
+    """Full FMCW signal-chain backend."""
+
+    config: RadarConfig = field(default_factory=RadarConfig)
+    cfar_config: CfarConfig = field(default_factory=CfarConfig)
+    add_noise: bool = True
+    peak_grouping: bool = False
+
+    def process_scene(
+        self,
+        scene: Scene,
+        rng: np.random.Generator,
+        timestamp: float = 0.0,
+        frame_index: int = 0,
+    ) -> PointCloudFrame:
+        """Run the signal chain for an already-built radar scene."""
+        scene = scene.within_field_of_view(self.config)
+        cube = synthesize_data_cube(scene, self.config, rng=rng, add_noise=self.add_noise)
+        rd_map = range_doppler_processing(cube)
+        detections = detect_peaks(
+            rd_map.power, self.cfar_config, peak_grouping=self.peak_grouping
+        )
+        points = detections_to_points(rd_map, detections, self.config)
+        if points.shape[0] > 0:
+            # Radar frame -> world frame: add the mounting height.
+            points = points.copy()
+            points[:, 2] += self.config.radar_height
+        return PointCloudFrame(points, timestamp=timestamp, frame_index=frame_index)
+
+    def process_scatterers(
+        self,
+        scatterers: Sequence[Scatterer],
+        rng: np.random.Generator,
+        timestamp: float = 0.0,
+        frame_index: int = 0,
+    ) -> PointCloudFrame:
+        scene = targets_from_scatterers(scatterers, self.config)
+        return self.process_scene(scene, rng, timestamp=timestamp, frame_index=frame_index)
+
+
+@dataclass
+class GeometricPipeline:
+    """Fast statistical backend."""
+
+    config: RadarConfig = field(default_factory=RadarConfig)
+    backend_config: GeometricBackendConfig = field(default_factory=GeometricBackendConfig)
+
+    def __post_init__(self) -> None:
+        self._generator = GeometricPointCloudGenerator(
+            radar_config=self.config, backend_config=self.backend_config
+        )
+
+    def process_scene(
+        self,
+        scene: Scene,
+        rng: np.random.Generator,
+        timestamp: float = 0.0,
+        frame_index: int = 0,
+    ) -> PointCloudFrame:
+        """Generate a frame for an already-built radar scene."""
+        return self._generator.generate_frame(
+            scene, rng, timestamp=timestamp, frame_index=frame_index
+        )
+
+    def process_scatterers(
+        self,
+        scatterers: Sequence[Scatterer],
+        rng: np.random.Generator,
+        timestamp: float = 0.0,
+        frame_index: int = 0,
+    ) -> PointCloudFrame:
+        scene = targets_from_scatterers(scatterers, self.config)
+        return self.process_scene(scene, rng, timestamp=timestamp, frame_index=frame_index)
+
+
+def make_pipeline(
+    backend: str = "geometric",
+    config: Optional[RadarConfig] = None,
+    **kwargs,
+) -> RadarPipeline:
+    """Factory for radar pipelines.
+
+    Parameters
+    ----------
+    backend:
+        ``"geometric"`` (fast statistical model) or ``"signal"`` (full FMCW
+        simulation).
+    config:
+        Radar configuration; defaults to the IWR1443-like configuration.
+    kwargs:
+        Forwarded to the backend constructor (e.g. ``cfar_config``,
+        ``backend_config``).
+    """
+    config = config if config is not None else RadarConfig()
+    if backend == "geometric":
+        return GeometricPipeline(config=config, **kwargs)
+    if backend == "signal":
+        return SignalChainPipeline(config=config, **kwargs)
+    raise ValueError(f"unknown radar backend '{backend}' (expected 'geometric' or 'signal')")

@@ -1,0 +1,209 @@
+"""Point-cloud containers matching the paper's Eq. 1 format.
+
+Each mmWave frame is a variable-length set of points
+``P_i = (x_i, y_i, z_i, d_i, I_i)`` — spatial coordinates, Doppler velocity
+and signal intensity (Eq. 1 in the paper).  :class:`PointCloudFrame` stores
+one frame as an ``(N, 5)`` array plus metadata; :class:`PointCloudSequence`
+stores an ordered run of frames from one recording session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "POINT_FIELDS",
+    "PointCloudFrame",
+    "PointCloudSequence",
+    "merge_frames",
+]
+
+#: Column order of the per-point feature vector (Eq. 1).
+POINT_FIELDS: tuple[str, ...] = ("x", "y", "z", "doppler", "intensity")
+
+
+@dataclass
+class PointCloudFrame:
+    """A single mmWave point-cloud frame.
+
+    Attributes
+    ----------
+    points:
+        Array of shape ``(N, 5)`` with columns :data:`POINT_FIELDS`.
+        ``N`` may be zero (the radar detected nothing in this interval).
+    timestamp:
+        Frame timestamp in seconds from the start of the recording.
+    frame_index:
+        Index of the frame within its sequence.
+    """
+
+    points: np.ndarray
+    timestamp: float = 0.0
+    frame_index: int = 0
+
+    def __post_init__(self) -> None:
+        points = np.asarray(self.points, dtype=float)
+        if points.size == 0:
+            points = points.reshape(0, len(POINT_FIELDS))
+        if points.ndim != 2 or points.shape[1] != len(POINT_FIELDS):
+            raise ValueError(
+                f"points must have shape (N, {len(POINT_FIELDS)}), got {points.shape}"
+            )
+        self.points = points
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        return int(self.points.shape[0])
+
+    def __len__(self) -> int:
+        return self.num_points
+
+    @property
+    def xyz(self) -> np.ndarray:
+        """Spatial coordinates, shape ``(N, 3)``."""
+        return self.points[:, :3]
+
+    @property
+    def doppler(self) -> np.ndarray:
+        """Doppler velocities, shape ``(N,)``."""
+        return self.points[:, 3]
+
+    @property
+    def intensity(self) -> np.ndarray:
+        """Signal intensities, shape ``(N,)``."""
+        return self.points[:, 4]
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one named column of the point array."""
+        if name not in POINT_FIELDS:
+            raise KeyError(f"unknown point field '{name}'; valid fields: {POINT_FIELDS}")
+        return self.points[:, POINT_FIELDS.index(name)]
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def centroid(self) -> np.ndarray:
+        """Intensity-weighted centroid of the frame (zeros if empty)."""
+        if self.num_points == 0:
+            return np.zeros(3)
+        weights = np.maximum(self.intensity, 1e-9)
+        return np.average(self.xyz, axis=0, weights=weights)
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounding box ``(minimum, maximum)`` of the points."""
+        if self.num_points == 0:
+            return np.zeros(3), np.zeros(3)
+        return self.xyz.min(axis=0), self.xyz.max(axis=0)
+
+    def translated(self, offset: Sequence[float]) -> "PointCloudFrame":
+        """Return a copy with all spatial coordinates shifted by ``offset``."""
+        offset = np.asarray(offset, dtype=float)
+        if offset.shape != (3,):
+            raise ValueError(f"offset must have shape (3,), got {offset.shape}")
+        points = self.points.copy()
+        points[:, :3] += offset
+        return PointCloudFrame(points, timestamp=self.timestamp, frame_index=self.frame_index)
+
+    def subsampled(self, max_points: int, rng: np.random.Generator) -> "PointCloudFrame":
+        """Return a copy with at most ``max_points`` points (highest intensity kept
+        preferentially via weighted sampling without replacement)."""
+        if max_points < 0:
+            raise ValueError("max_points must be non-negative")
+        if self.num_points <= max_points:
+            return PointCloudFrame(
+                self.points.copy(), timestamp=self.timestamp, frame_index=self.frame_index
+            )
+        weights = np.maximum(self.intensity, 1e-9)
+        weights = weights / weights.sum()
+        chosen = rng.choice(self.num_points, size=max_points, replace=False, p=weights)
+        return PointCloudFrame(
+            self.points[np.sort(chosen)],
+            timestamp=self.timestamp,
+            frame_index=self.frame_index,
+        )
+
+    @classmethod
+    def empty(cls, timestamp: float = 0.0, frame_index: int = 0) -> "PointCloudFrame":
+        """An empty frame (the radar saw nothing)."""
+        return cls(np.zeros((0, len(POINT_FIELDS))), timestamp=timestamp, frame_index=frame_index)
+
+    @classmethod
+    def from_components(
+        cls,
+        xyz: np.ndarray,
+        doppler: np.ndarray,
+        intensity: np.ndarray,
+        timestamp: float = 0.0,
+        frame_index: int = 0,
+    ) -> "PointCloudFrame":
+        """Assemble a frame from separate coordinate/Doppler/intensity arrays."""
+        xyz = np.asarray(xyz, dtype=float).reshape(-1, 3)
+        doppler = np.asarray(doppler, dtype=float).reshape(-1)
+        intensity = np.asarray(intensity, dtype=float).reshape(-1)
+        if not (xyz.shape[0] == doppler.shape[0] == intensity.shape[0]):
+            raise ValueError("xyz, doppler and intensity must have matching lengths")
+        points = np.concatenate([xyz, doppler[:, None], intensity[:, None]], axis=1)
+        return cls(points, timestamp=timestamp, frame_index=frame_index)
+
+
+@dataclass
+class PointCloudSequence:
+    """An ordered sequence of point-cloud frames from one recording."""
+
+    frames: List[PointCloudFrame] = field(default_factory=list)
+    frame_period: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.frame_period <= 0:
+            raise ValueError("frame_period must be positive")
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[PointCloudFrame]:
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> PointCloudFrame:
+        return self.frames[index]
+
+    def append(self, frame: PointCloudFrame) -> None:
+        """Append a frame, assigning its index/timestamp when left at defaults."""
+        if frame.frame_index == 0 and self.frames:
+            frame.frame_index = len(self.frames)
+        if frame.timestamp == 0.0 and self.frames:
+            frame.timestamp = len(self.frames) * self.frame_period
+        self.frames.append(frame)
+
+    def point_counts(self) -> np.ndarray:
+        """Number of points in each frame."""
+        return np.array([frame.num_points for frame in self.frames], dtype=int)
+
+    def mean_points_per_frame(self) -> float:
+        """Average sparsity of the sequence."""
+        if not self.frames:
+            return 0.0
+        return float(self.point_counts().mean())
+
+
+def merge_frames(frames: Iterable[PointCloudFrame], timestamp: Optional[float] = None) -> PointCloudFrame:
+    """Concatenate several frames into one (the core of multi-frame fusion).
+
+    The resulting frame keeps every point of every input frame; callers that
+    need a fixed-size representation should pad or subsample afterwards.
+    """
+    frames = list(frames)
+    if not frames:
+        return PointCloudFrame.empty()
+    points = np.concatenate([frame.points for frame in frames], axis=0)
+    centre = frames[len(frames) // 2]
+    return PointCloudFrame(
+        points,
+        timestamp=centre.timestamp if timestamp is None else timestamp,
+        frame_index=centre.frame_index,
+    )

@@ -1,0 +1,144 @@
+"""Radar scene description: point targets in the radar coordinate frame.
+
+The radar simulator operates on :class:`RadarTarget` objects — idealized
+point scatterers with a position, a velocity and a radar cross-section.  This
+module also performs the world-to-radar coordinate conversion (the radar is
+mounted at ``radar_height`` above the floor and looks along +y) and computes
+the spherical quantities (range, radial velocity, azimuth, elevation) that
+drive the FMCW signal model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..body.surface import Scatterer
+from .config import RadarConfig
+
+__all__ = ["RadarTarget", "Scene", "targets_from_scatterers"]
+
+
+@dataclass(frozen=True)
+class RadarTarget:
+    """A point scatterer expressed in the radar coordinate frame.
+
+    Attributes
+    ----------
+    position:
+        ``(x, y, z)`` in metres, radar at the origin, +y boresight, +z up.
+    velocity:
+        ``(vx, vy, vz)`` in m/s.
+    rcs:
+        Radar cross-section (linear scale, relative units).
+    """
+
+    position: np.ndarray
+    velocity: np.ndarray
+    rcs: float
+
+    @property
+    def range(self) -> float:
+        """Slant range from the radar in metres."""
+        return float(np.linalg.norm(self.position))
+
+    @property
+    def radial_velocity(self) -> float:
+        """Range-rate in m/s (positive when moving away from the radar)."""
+        distance = self.range
+        if distance < 1e-9:
+            return 0.0
+        return float(np.dot(self.velocity, self.position) / distance)
+
+    @property
+    def azimuth(self) -> float:
+        """Azimuth angle in radians (positive to the radar's right)."""
+        return float(np.arctan2(self.position[0], self.position[1]))
+
+    @property
+    def elevation(self) -> float:
+        """Elevation angle in radians (positive above the boresight plane)."""
+        horizontal = float(np.hypot(self.position[0], self.position[1]))
+        return float(np.arctan2(self.position[2], horizontal))
+
+
+@dataclass
+class Scene:
+    """A collection of radar targets observed during one frame."""
+
+    targets: List[RadarTarget]
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def __iter__(self):
+        return iter(self.targets)
+
+    def ranges(self) -> np.ndarray:
+        return np.array([t.range for t in self.targets])
+
+    def radial_velocities(self) -> np.ndarray:
+        return np.array([t.radial_velocity for t in self.targets])
+
+    def azimuths(self) -> np.ndarray:
+        return np.array([t.azimuth for t in self.targets])
+
+    def elevations(self) -> np.ndarray:
+        return np.array([t.elevation for t in self.targets])
+
+    def rcs(self) -> np.ndarray:
+        return np.array([t.rcs for t in self.targets])
+
+    def within_field_of_view(
+        self, config: RadarConfig, azimuth_limit: float = np.deg2rad(60.0),
+        elevation_limit: float = np.deg2rad(45.0),
+    ) -> "Scene":
+        """Return a scene containing only targets the radar can actually see."""
+        visible = [
+            target
+            for target in self.targets
+            if target.range < config.max_range
+            and abs(target.azimuth) < azimuth_limit
+            and abs(target.elevation) < elevation_limit
+        ]
+        return Scene(visible)
+
+
+def world_to_radar(positions: np.ndarray, config: RadarConfig) -> np.ndarray:
+    """Convert world coordinates (floor origin) into the radar frame.
+
+    The world frame places the origin on the floor directly below the radar;
+    the radar frame shares x/y axes but its origin is at the sensor, which is
+    mounted ``config.radar_height`` metres above the floor.
+    """
+    positions = np.asarray(positions, dtype=float)
+    shifted = positions.copy()
+    shifted[..., 2] = shifted[..., 2] - config.radar_height
+    return shifted
+
+
+def radar_to_world(positions: np.ndarray, config: RadarConfig) -> np.ndarray:
+    """Inverse of :func:`world_to_radar`."""
+    positions = np.asarray(positions, dtype=float)
+    shifted = positions.copy()
+    shifted[..., 2] = shifted[..., 2] + config.radar_height
+    return shifted
+
+
+def targets_from_scatterers(
+    scatterers: Sequence[Scatterer], config: RadarConfig
+) -> Scene:
+    """Convert body-surface scatterers (world frame) into a radar scene."""
+    targets = []
+    for scatterer in scatterers:
+        position = world_to_radar(np.asarray(scatterer.position, dtype=float), config)
+        targets.append(
+            RadarTarget(
+                position=position,
+                velocity=np.asarray(scatterer.velocity, dtype=float),
+                rcs=float(scatterer.rcs),
+            )
+        )
+    return Scene(targets)

@@ -1,0 +1,14 @@
+"""``repro.viz`` — text rendering of point clouds, skeletons and result tables."""
+
+from .render import RenderConfig, occupancy_grid, render_point_cloud, render_skeleton
+from .tables import format_comparison, format_curve, format_table
+
+__all__ = [
+    "RenderConfig",
+    "occupancy_grid",
+    "render_point_cloud",
+    "render_skeleton",
+    "format_table",
+    "format_curve",
+    "format_comparison",
+]

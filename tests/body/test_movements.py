@@ -1,0 +1,144 @@
+"""Tests for the ten rehabilitation movement programs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.kinematics import forward_kinematics
+from repro.body.movements import (
+    HELD_OUT_MOVEMENT,
+    MOVEMENT_NAMES,
+    all_movements,
+    get_movement,
+)
+from repro.body.skeleton import JOINT_INDEX
+from repro.body.subjects import default_subjects
+
+
+@pytest.fixture(scope="module")
+def subject():
+    return default_subjects()[0]
+
+
+class TestRegistry:
+    def test_ten_movements(self):
+        assert len(MOVEMENT_NAMES) == 10
+        assert len(all_movements()) == 10
+
+    def test_held_out_movement_is_registered(self):
+        assert HELD_OUT_MOVEMENT in MOVEMENT_NAMES
+
+    def test_lookup_by_name(self):
+        assert get_movement("squat").name == "squat"
+
+    def test_lookup_by_id(self):
+        for index, name in enumerate(MOVEMENT_NAMES, start=1):
+            assert get_movement(index).name == name
+
+    def test_lookup_passthrough(self):
+        movement = get_movement("squat")
+        assert get_movement(movement) is movement
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_movement("moonwalk")
+
+    def test_out_of_range_id_raises(self):
+        with pytest.raises(KeyError):
+            get_movement(11)
+
+    def test_ids_match_registration_order(self):
+        for index, movement in enumerate(all_movements(), start=1):
+            assert movement.movement_id == index
+
+    def test_left_right_movement_pairs_exist(self):
+        lefts = {name for name in MOVEMENT_NAMES if name.startswith("left_")}
+        for left in lefts:
+            assert left.replace("left_", "right_") in MOVEMENT_NAMES
+
+
+class TestPosePrograms:
+    @pytest.mark.parametrize("name", MOVEMENT_NAMES)
+    def test_poses_are_valid_over_full_cycle(self, name, subject):
+        movement = get_movement(name)
+        for phase in np.linspace(0.0, 1.0, 9):
+            pose = movement.pose_at(phase, subject)
+            pose.validate()
+
+    @pytest.mark.parametrize("name", MOVEMENT_NAMES)
+    def test_rest_phase_is_nearly_neutral(self, name, subject):
+        movement = get_movement(name)
+        pose = movement.pose_at(0.0, subject)
+        for rotation in pose.rotations.values():
+            np.testing.assert_allclose(rotation, np.eye(3), atol=1e-6)
+
+    @pytest.mark.parametrize("name", MOVEMENT_NAMES)
+    def test_mid_cycle_differs_from_rest(self, name, subject):
+        skeleton = subject.skeleton()
+        movement = get_movement(name)
+        rest = forward_kinematics(skeleton, movement.pose_at(0.0, subject))
+        active = forward_kinematics(skeleton, movement.pose_at(0.5, subject))
+        displacement = np.linalg.norm(active - rest, axis=1).max()
+        assert displacement > 0.10, f"{name} barely moves ({displacement:.3f} m)"
+
+    def test_phase_wraps_around(self, subject):
+        movement = get_movement("squat")
+        pose_a = movement.pose_at(0.25, subject)
+        pose_b = movement.pose_at(1.25, subject)
+        for joint in pose_a.rotations:
+            np.testing.assert_allclose(
+                pose_a.rotation_for(joint), pose_b.rotation_for(joint), atol=1e-12
+            )
+
+    def test_squat_lowers_the_head(self, subject):
+        skeleton = subject.skeleton()
+        movement = get_movement("squat")
+        rest = forward_kinematics(skeleton, movement.pose_at(0.0, subject))
+        deep = forward_kinematics(skeleton, movement.pose_at(0.5, subject))
+        assert deep[JOINT_INDEX["head"], 2] < rest[JOINT_INDEX["head"], 2] - 0.15
+
+    def test_right_upper_limb_extension_only_moves_right_arm(self, subject):
+        skeleton = subject.skeleton()
+        movement = get_movement("right_upper_limb_extension")
+        rest = forward_kinematics(skeleton, movement.pose_at(0.0, subject))
+        active = forward_kinematics(skeleton, movement.pose_at(0.5, subject))
+        right_disp = np.linalg.norm(active[JOINT_INDEX["wrist_right"]] - rest[JOINT_INDEX["wrist_right"]])
+        left_disp = np.linalg.norm(active[JOINT_INDEX["wrist_left"]] - rest[JOINT_INDEX["wrist_left"]])
+        assert right_disp > 0.5
+        assert left_disp < 0.05
+
+    def test_both_upper_limb_extension_moves_both_arms(self, subject):
+        skeleton = subject.skeleton()
+        movement = get_movement("both_upper_limb_extension")
+        rest = forward_kinematics(skeleton, movement.pose_at(0.0, subject))
+        active = forward_kinematics(skeleton, movement.pose_at(0.5, subject))
+        for wrist in ("wrist_left", "wrist_right"):
+            assert np.linalg.norm(active[JOINT_INDEX[wrist]] - rest[JOINT_INDEX[wrist]]) > 0.4
+
+    def test_front_lunge_moves_body_forward(self, subject):
+        movement = get_movement("left_front_lunge")
+        pose = movement.pose_at(0.5, subject)
+        assert pose.root_offset[1] < -0.05  # toward the radar (negative y offset)
+
+    def test_side_lunges_shift_opposite_directions(self, subject):
+        left = get_movement("left_side_lunge").pose_at(0.5, subject)
+        right = get_movement("right_side_lunge").pose_at(0.5, subject)
+        assert left.root_offset[0] < 0 < right.root_offset[0]
+
+    def test_amplitude_scaling_increases_excursion(self):
+        subjects = default_subjects()
+        small = subjects[0].with_overrides(amplitude_scale=0.7)
+        large = subjects[0].with_overrides(amplitude_scale=1.3)
+        skeleton = subjects[0].skeleton()
+        movement = get_movement("squat")
+        head_small = forward_kinematics(skeleton, movement.pose_at(0.5, small))[JOINT_INDEX["head"], 2]
+        head_large = forward_kinematics(skeleton, movement.pose_at(0.5, large))[JOINT_INDEX["head"], 2]
+        assert head_large < head_small
+
+    def test_period_scales_with_subject_tempo(self):
+        subjects = default_subjects()
+        fast = subjects[0].with_overrides(tempo_scale=1.5)
+        slow = subjects[0].with_overrides(tempo_scale=0.75)
+        movement = get_movement("squat")
+        assert movement.period_for(fast) < movement.period_for(slow)

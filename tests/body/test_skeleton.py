@@ -1,0 +1,151 @@
+"""Tests for the 19-joint skeleton topology and neutral pose."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.skeleton import (
+    JOINT_INDEX,
+    JOINT_NAMES,
+    JOINT_PARENTS,
+    NUM_JOINTS,
+    SKELETON_EDGES,
+    Skeleton,
+)
+
+
+class TestTopology:
+    def test_nineteen_joints(self):
+        assert NUM_JOINTS == 19
+        assert len(JOINT_NAMES) == 19
+        assert len(set(JOINT_NAMES)) == 19
+
+    def test_joint_index_consistent(self):
+        for name, index in JOINT_INDEX.items():
+            assert JOINT_NAMES[index] == name
+
+    def test_every_joint_has_a_parent_in_the_skeleton(self):
+        for child, parent in JOINT_PARENTS.items():
+            assert child in JOINT_INDEX
+            assert parent in JOINT_INDEX
+
+    def test_single_root(self):
+        roots = [child for child, parent in JOINT_PARENTS.items() if child == parent]
+        assert roots == ["spine_base"]
+
+    def test_eighteen_bones(self):
+        assert len(SKELETON_EDGES) == 18
+
+    def test_tree_is_connected(self):
+        # Every joint must reach the root by following parents.
+        for joint in JOINT_NAMES:
+            current, steps = joint, 0
+            while JOINT_PARENTS[current] != current:
+                current = JOINT_PARENTS[current]
+                steps += 1
+                assert steps < 20, f"cycle detected starting from {joint}"
+            assert current == "spine_base"
+
+    def test_left_right_symmetry_of_topology(self):
+        for name in JOINT_NAMES:
+            if name.endswith("_left"):
+                assert name.replace("_left", "_right") in JOINT_INDEX
+
+    def test_children_of(self):
+        assert set(Skeleton.children_of("spine_base")) == {"spine_mid", "hip_left", "hip_right"}
+
+    def test_subtree_contains_descendants(self):
+        subtree = Skeleton.subtree("shoulder_left")
+        assert set(subtree) == {"shoulder_left", "elbow_left", "wrist_left"}
+
+
+class TestNeutralPose:
+    def test_positions_shape(self):
+        positions = Skeleton().neutral_joint_positions()
+        assert positions.shape == (19, 3)
+
+    def test_head_is_highest_joint(self):
+        positions = Skeleton().neutral_joint_positions()
+        assert np.argmax(positions[:, 2]) == JOINT_INDEX["head"]
+
+    def test_head_height_close_to_body_height(self):
+        skeleton = Skeleton(height=1.80)
+        positions = skeleton.neutral_joint_positions()
+        head_z = positions[JOINT_INDEX["head"], 2]
+        assert 0.85 * 1.80 <= head_z <= 1.80
+
+    def test_feet_lowest_and_near_ground(self):
+        positions = Skeleton().neutral_joint_positions()
+        foot_z = positions[JOINT_INDEX["foot_left"], 2]
+        assert foot_z == pytest.approx(positions[:, 2].min(), abs=1e-9)
+        assert foot_z < 0.15
+
+    def test_lateral_symmetry(self):
+        positions = Skeleton().neutral_joint_positions()
+        left = positions[JOINT_INDEX["shoulder_left"]]
+        right = positions[JOINT_INDEX["shoulder_right"]]
+        assert left[0] == pytest.approx(-right[0])
+        assert left[2] == pytest.approx(right[2])
+
+    def test_shoulder_width_respected(self):
+        skeleton = Skeleton(shoulder_width=0.44)
+        positions = skeleton.neutral_joint_positions()
+        width = np.linalg.norm(
+            positions[JOINT_INDEX["shoulder_left"]] - positions[JOINT_INDEX["shoulder_right"]]
+        )
+        assert width == pytest.approx(0.44, abs=1e-9)
+
+    def test_custom_root_position(self):
+        root = np.array([0.5, 2.0, 1.0])
+        positions = Skeleton().neutral_joint_positions(root_position=root)
+        np.testing.assert_allclose(positions[JOINT_INDEX["spine_base"]], root)
+
+    def test_scaling_with_height(self):
+        short = Skeleton(height=1.55).neutral_joint_positions()
+        tall = Skeleton(height=1.95).neutral_joint_positions()
+        assert tall[JOINT_INDEX["head"], 2] > short[JOINT_INDEX["head"], 2]
+
+    def test_segment_scale_override(self):
+        default = Skeleton()
+        long_arms = Skeleton(segment_scale={"upper_arm": 0.25})
+        assert long_arms.upper_arm_length > default.upper_arm_length
+
+
+class TestBoneLengths:
+    def test_all_bones_positive(self):
+        for (parent, child), length in Skeleton().bone_lengths().items():
+            assert length > 0, f"bone {parent}->{child} has non-positive length"
+
+    def test_thigh_longer_than_foot(self):
+        lengths = Skeleton().bone_lengths()
+        assert lengths[("hip_left", "knee_left")] > lengths[("ankle_left", "foot_left")]
+
+    def test_left_right_bone_lengths_match(self):
+        lengths = Skeleton().bone_lengths()
+        assert lengths[("shoulder_left", "elbow_left")] == pytest.approx(
+            lengths[("shoulder_right", "elbow_right")]
+        )
+
+
+class TestValidation:
+    def test_invalid_height_rejected(self):
+        with pytest.raises(ValueError):
+            Skeleton(height=-1.0)
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            Skeleton(shoulder_width=0.0)
+
+    def test_validate_positions_accepts_valid(self):
+        Skeleton.validate_positions(Skeleton().neutral_joint_positions())
+
+    def test_validate_positions_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            Skeleton.validate_positions(np.zeros((10, 3)))
+
+    def test_validate_positions_rejects_nan(self):
+        positions = Skeleton().neutral_joint_positions()
+        positions[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            Skeleton.validate_positions(positions)

@@ -1,0 +1,71 @@
+"""Tests for subject profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.subjects import SubjectProfile, default_subjects, make_subject
+
+
+class TestDefaultSubjects:
+    def test_four_subjects(self):
+        subjects = default_subjects()
+        assert [s.subject_id for s in subjects] == [1, 2, 3, 4]
+
+    def test_subjects_are_distinct(self):
+        heights = [s.height for s in default_subjects()]
+        assert len(set(heights)) == 4
+
+    def test_subject4_is_most_distinct(self):
+        """Subject 4 is the held-out user; it must differ most from the others."""
+        subjects = default_subjects()
+        others_height = np.mean([s.height for s in subjects[:3]])
+        assert abs(subjects[3].height - others_height) > 0.08
+        assert subjects[3].tempo_scale == max(s.tempo_scale for s in subjects)
+
+    def test_skeleton_built_from_profile(self):
+        subject = default_subjects()[2]
+        skeleton = subject.skeleton()
+        assert skeleton.height == subject.height
+        assert skeleton.shoulder_width == subject.shoulder_width
+
+
+class TestMakeSubject:
+    def test_canonical_ids_return_canonical_profiles(self):
+        assert make_subject(1) == default_subjects()[0]
+        assert make_subject(4) == default_subjects()[3]
+
+    def test_synthetic_ids_are_reproducible(self):
+        assert make_subject(17) == make_subject(17)
+
+    def test_synthetic_ids_differ_between_ids(self):
+        assert make_subject(17) != make_subject(18)
+
+    def test_synthetic_profile_is_plausible(self):
+        subject = make_subject(25)
+        assert 1.2 < subject.height < 2.2
+        assert subject.standoff > 0.3
+
+    def test_invalid_id_raises(self):
+        with pytest.raises(ValueError):
+            make_subject(0)
+
+
+class TestValidation:
+    def test_rejects_implausible_height(self):
+        with pytest.raises(ValueError):
+            SubjectProfile(subject_id=1, height=2.8)
+
+    def test_rejects_zero_amplitude(self):
+        with pytest.raises(ValueError):
+            SubjectProfile(subject_id=1, amplitude_scale=0.0)
+
+    def test_rejects_tiny_standoff(self):
+        with pytest.raises(ValueError):
+            SubjectProfile(subject_id=1, standoff=0.1)
+
+    def test_with_overrides(self):
+        subject = default_subjects()[0].with_overrides(standoff=3.0)
+        assert subject.standoff == 3.0
+        assert subject.height == default_subjects()[0].height

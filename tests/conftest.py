@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+The heavier fixtures (synthetic datasets, trained models) are session-scoped
+so the cost is paid once; individual tests treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.subjects import default_subjects
+from repro.dataset.features import FeatureMapBuilder
+from repro.dataset.loader import build_array_dataset
+from repro.dataset.synthetic import SyntheticDatasetConfig, generate_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset_config() -> SyntheticDatasetConfig:
+    """A two-subject, two-movement configuration small enough for unit tests."""
+    return SyntheticDatasetConfig(
+        subject_ids=(1, 4),
+        movement_names=("squat", "right_limb_extension"),
+        seconds_per_pair=3.0,
+        seed=99,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_dataset_config):
+    """A small labelled synthetic dataset (120 frames), generated once."""
+    return generate_dataset(tiny_dataset_config)
+
+
+@pytest.fixture(scope="session")
+def feature_builder() -> FeatureMapBuilder:
+    """The default projection-layout feature builder."""
+    return FeatureMapBuilder()
+
+
+@pytest.fixture(scope="session")
+def tiny_arrays(tiny_dataset, feature_builder):
+    """Feature/label arrays of the tiny dataset."""
+    return build_array_dataset(tiny_dataset, builder=feature_builder)
+
+
+@pytest.fixture(scope="session")
+def subject_one():
+    """The first canonical subject profile."""
+    return default_subjects()[0]

@@ -1,0 +1,117 @@
+"""Tests for MAE metrics and convergence statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.skeleton import JOINT_NAMES
+from repro.core.evaluation import (
+    epochs_to_reach,
+    evaluate_model,
+    intersection_epoch,
+    mae_cm,
+    mae_per_axis_cm,
+    per_joint_mae_cm,
+)
+from repro.core.models import PoseCNN
+from repro.dataset.loader import ArrayDataset
+
+
+class TestMaeMetrics:
+    def test_per_axis_values(self):
+        targets = np.zeros((2, 19, 3))
+        predictions = np.zeros((2, 19, 3))
+        predictions[..., 0] = 0.05  # 5 cm error on x only
+        mae = mae_per_axis_cm(predictions, targets)
+        np.testing.assert_allclose(mae, [5.0, 0.0, 0.0])
+
+    def test_average(self):
+        targets = np.zeros((4, 19, 3))
+        predictions = np.full((4, 19, 3), 0.03)
+        assert mae_cm(predictions, targets) == pytest.approx(3.0)
+
+    def test_flat_vectors_accepted(self):
+        targets = np.zeros((3, 57))
+        predictions = np.full((3, 57), 0.02)
+        assert mae_cm(predictions, targets) == pytest.approx(2.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mae_cm(np.zeros((2, 57)), np.zeros((3, 57)))
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ValueError):
+            mae_cm(np.zeros((2, 58)), np.zeros((2, 58)))
+
+    def test_per_joint_names(self):
+        errors = per_joint_mae_cm(np.zeros((2, 19, 3)), np.zeros((2, 19, 3)))
+        assert set(errors) == set(JOINT_NAMES)
+
+    def test_per_joint_localizes_error(self):
+        targets = np.zeros((2, 19, 3))
+        predictions = np.zeros((2, 19, 3))
+        predictions[:, 4, :] = 0.10  # head is joint index 4
+        errors = per_joint_mae_cm(predictions, targets)
+        assert errors["head"] == pytest.approx(10.0)
+        assert errors["spine_base"] == 0.0
+
+
+class TestEvaluateModel:
+    def test_report_fields(self, tiny_arrays):
+        model = PoseCNN()
+        report = evaluate_model(model, tiny_arrays)
+        assert report.num_samples == len(tiny_arrays)
+        assert report.mae_average == pytest.approx(
+            np.mean([report.mae_x, report.mae_y, report.mae_z])
+        )
+        assert set(report.per_joint) == set(JOINT_NAMES)
+        assert report.mae_average > 0
+
+    def test_as_row_format(self, tiny_arrays):
+        report = evaluate_model(PoseCNN(), tiny_arrays)
+        row = report.as_row()
+        assert set(row) == {"X (cm)", "Y (cm)", "Z (cm)", "Average (cm)"}
+
+    def test_batching_does_not_change_result(self, tiny_arrays):
+        model = PoseCNN(seed=3)
+        small = evaluate_model(model, tiny_arrays, batch_size=7)
+        large = evaluate_model(model, tiny_arrays, batch_size=1024)
+        assert small.mae_average == pytest.approx(large.mae_average)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_model(PoseCNN(), ArrayDataset(np.zeros((0, 5, 8, 8)), np.zeros((0, 57))))
+
+    def test_perfect_predictions_give_zero_mae(self):
+        model = PoseCNN(seed=1)
+        features = np.random.default_rng(0).normal(size=(10, 5, 8, 8))
+        labels = model.predict(features)
+        report = evaluate_model(model, ArrayDataset(features, labels))
+        assert report.mae_average == pytest.approx(0.0, abs=1e-9)
+
+
+class TestConvergenceStatistics:
+    def test_epochs_to_reach(self):
+        curve = [10.0, 8.0, 6.5, 6.0, 5.0]
+        assert epochs_to_reach(curve, 6.0) == 4
+        assert epochs_to_reach(curve, 10.0) == 1
+        assert epochs_to_reach(curve, 1.0) is None
+
+    def test_epochs_to_reach_empty(self):
+        assert epochs_to_reach([], 5.0) is None
+
+    def test_intersection_epoch_basic(self):
+        fuse = [12.0, 8.0, 6.0, 5.5, 5.4, 5.4]
+        baseline = [9.0, 8.5, 8.0, 7.0, 6.0, 5.0]
+        # Baseline first matches FUSE's best-so-far at epoch 6 (5.0 <= 5.4).
+        assert intersection_epoch(baseline, fuse) == 6
+
+    def test_intersection_immediately_when_baseline_ahead(self):
+        assert intersection_epoch([5.0, 5.0], [10.0, 9.0]) == 1
+
+    def test_intersection_never_reached(self):
+        assert intersection_epoch([9.0, 9.0, 9.0], [5.0, 4.0, 3.0]) is None
+
+    def test_intersection_empty_curves(self):
+        assert intersection_epoch([], [1.0]) is None

@@ -1,0 +1,138 @@
+"""Tests for multi-frame point-cloud fusion (Eq. 2-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import FrameFusion, fuse_dataset
+from repro.dataset.sample import LabelledFrame, PoseDataset
+from repro.radar.pointcloud import PointCloudFrame
+
+
+def make_frames(counts):
+    return [
+        PointCloudFrame(np.full((count, 5), float(index)), timestamp=0.1 * index, frame_index=index)
+        for index, count in enumerate(counts)
+    ]
+
+
+def make_sequence_dataset(frames_per_sequence=6, sequences=2, points=3):
+    dataset = PoseDataset(name="fusion-test")
+    for sequence in range(sequences):
+        for frame in range(frames_per_sequence):
+            cloud = PointCloudFrame(
+                np.full((points, 5), float(frame)), timestamp=0.1 * frame, frame_index=frame
+            )
+            dataset.append(
+                LabelledFrame(
+                    cloud=cloud,
+                    joints=np.full((19, 3), float(frame)),
+                    subject_id=1,
+                    movement_name="squat",
+                    sequence_id=sequence,
+                    frame_index=frame,
+                )
+            )
+    return dataset
+
+
+class TestConfiguration:
+    def test_window_size(self):
+        assert FrameFusion(0).window_size == 1
+        assert FrameFusion(1).window_size == 3
+        assert FrameFusion(2).window_size == 5
+
+    def test_rejects_negative_m(self):
+        with pytest.raises(ValueError):
+            FrameFusion(-1)
+
+    def test_rejects_unknown_boundary(self):
+        with pytest.raises(ValueError):
+            FrameFusion(1, boundary="wrap")
+
+
+class TestSequenceFusion:
+    def test_m0_is_identity(self):
+        frames = make_frames([3, 4, 5])
+        fused = FrameFusion(0).fuse_sequence(frames)
+        assert [f.num_points for f in fused] == [3, 4, 5]
+
+    def test_m1_interior_frame_merges_three(self):
+        frames = make_frames([2, 3, 4, 5, 6])
+        fused = FrameFusion(1).fuse_sequence(frames)
+        assert fused[2].num_points == 3 + 4 + 5
+
+    def test_clamp_boundary_repeats_edge_frame(self):
+        frames = make_frames([2, 3, 4])
+        fused = FrameFusion(1, boundary="clamp").fuse_sequence(frames)
+        # First window clamps to [0, 0, 1] -> 2 + 2 + 3 points.
+        assert fused[0].num_points == 7
+        assert len(fused) == 3
+
+    def test_drop_boundary_removes_incomplete_windows(self):
+        frames = make_frames([2, 3, 4, 5])
+        fused = FrameFusion(1, boundary="drop").fuse_sequence(frames)
+        assert len(fused) == 2
+
+    def test_fused_frame_keeps_centre_metadata(self):
+        frames = make_frames([1, 1, 1, 1, 1])
+        fused = FrameFusion(1).fuse_sequence(frames)
+        assert fused[2].frame_index == 2
+        assert fused[2].timestamp == pytest.approx(0.2)
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            FrameFusion(1).fuse_window([])
+
+    def test_window_size_points_multiply(self):
+        frames = make_frames([10] * 9)
+        for m in (0, 1, 2):
+            fused = FrameFusion(m).fuse_sequence(frames)
+            assert fused[4].num_points == 10 * (2 * m + 1)
+
+
+class TestDatasetFusion:
+    def test_labels_unchanged(self):
+        dataset = make_sequence_dataset()
+        fused = FrameFusion(1).fuse_dataset(dataset)
+        for original, merged in zip(dataset, fused):
+            np.testing.assert_allclose(merged.joints, original.joints)
+
+    def test_sample_count_preserved_with_clamp(self):
+        dataset = make_sequence_dataset(frames_per_sequence=8, sequences=3)
+        fused = FrameFusion(1).fuse_dataset(dataset)
+        assert len(fused) == len(dataset)
+
+    def test_fusion_does_not_cross_sequences(self):
+        dataset = make_sequence_dataset(frames_per_sequence=4, sequences=2, points=2)
+        fused = FrameFusion(1).fuse_dataset(dataset)
+        # The first frame of the second sequence must only contain points
+        # whose payload value is a frame index of that same sequence (0 or 1),
+        # never the large indices of the previous sequence's tail.
+        second_sequence_first = [
+            s for s in fused if s.sequence_id == 1 and s.frame_index == 0
+        ][0]
+        assert set(np.unique(second_sequence_first.cloud.points)) <= {0.0, 1.0}
+
+    def test_m0_returns_same_dataset_object(self):
+        dataset = make_sequence_dataset()
+        assert FrameFusion(0).fuse_dataset(dataset) is dataset
+
+    def test_metadata_preserved(self):
+        dataset = make_sequence_dataset()
+        fused = FrameFusion(2).fuse_dataset(dataset)
+        assert fused[0].subject_id == 1
+        assert fused[0].movement_name == "squat"
+
+    def test_convenience_wrapper(self):
+        dataset = make_sequence_dataset()
+        fused = fuse_dataset(dataset, num_context_frames=1)
+        assert len(fused) == len(dataset)
+        assert fused[2].cloud.num_points == 9
+
+    def test_real_synthetic_dataset_point_enrichment(self, tiny_dataset):
+        fused = fuse_dataset(tiny_dataset, num_context_frames=1)
+        original_mean = tiny_dataset.point_counts().mean()
+        fused_mean = fused.point_counts().mean()
+        assert fused_mean > 2.0 * original_mean

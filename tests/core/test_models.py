@@ -1,0 +1,106 @@
+"""Tests for the MARS baseline / FUSE CNN architecture."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.models import PoseCNN, PoseCNNConfig, build_baseline_model, build_fuse_model
+from repro.dataset.features import FeatureMapBuilder
+
+
+class TestConfig:
+    def test_defaults_match_mars_architecture(self):
+        config = PoseCNNConfig()
+        assert config.conv_channels == (16, 32)
+        assert config.hidden_units == 512
+        assert config.output_dim == 57
+        assert (config.input_channels, config.input_height, config.input_width) == (5, 8, 8)
+
+    def test_for_feature_builder(self):
+        builder = FeatureMapBuilder(num_points=36, grid_height=6, grid_width=6)
+        config = PoseCNNConfig.for_feature_builder(builder)
+        assert (config.input_height, config.input_width) == (6, 6)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            PoseCNNConfig(input_channels=0)
+        with pytest.raises(ValueError):
+            PoseCNNConfig(conv_channels=())
+        with pytest.raises(ValueError):
+            PoseCNNConfig(dropout=1.5)
+
+
+class TestArchitecture:
+    def test_parameter_count_close_to_paper(self):
+        """The paper reports 1,095,115 parameters for the MARS baseline."""
+        model = build_baseline_model()
+        assert abs(model.num_parameters() - 1_095_115) / 1_095_115 < 0.05
+
+    def test_output_shape(self):
+        model = PoseCNN()
+        out = model(nn.Tensor(np.zeros((4, 5, 8, 8))))
+        assert out.shape == (4, 57)
+
+    def test_fuse_model_same_size_as_baseline(self):
+        """Section 4.1: the FUSE model has the same dimensions and model size."""
+        assert build_fuse_model().num_parameters() == build_baseline_model().num_parameters()
+
+    def test_seed_controls_initialization(self):
+        a = PoseCNN(seed=0)
+        b = PoseCNN(seed=0)
+        c = PoseCNN(seed=1)
+        np.testing.assert_allclose(a.parameters()[0].data, b.parameters()[0].data)
+        assert not np.allclose(a.parameters()[0].data, c.parameters()[0].data)
+
+    def test_rejects_wrong_input_rank(self):
+        with pytest.raises(ValueError):
+            PoseCNN()(nn.Tensor(np.zeros((4, 5, 8))))
+
+    def test_rejects_wrong_input_shape(self):
+        with pytest.raises(ValueError):
+            PoseCNN()(nn.Tensor(np.zeros((4, 5, 6, 6))))
+
+    def test_dropout_variant(self):
+        model = PoseCNN(PoseCNNConfig(dropout=0.3))
+        out = model(nn.Tensor(np.random.default_rng(0).normal(size=(2, 5, 8, 8))))
+        assert out.shape == (2, 57)
+
+    def test_custom_architecture(self):
+        config = PoseCNNConfig(conv_channels=(8,), hidden_units=64)
+        model = PoseCNN(config)
+        assert model(nn.Tensor(np.zeros((1, 5, 8, 8)))).shape == (1, 57)
+        assert model.num_parameters() < 300_000
+
+
+class TestInference:
+    def test_predict_returns_numpy(self):
+        model = PoseCNN()
+        out = model.predict(np.zeros((3, 5, 8, 8)))
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (3, 57)
+
+    def test_predict_joints_shape(self):
+        model = PoseCNN()
+        joints = model.predict_joints(np.zeros((2, 5, 8, 8)))
+        assert joints.shape == (2, 19, 3)
+
+    def test_predict_does_not_build_graph(self):
+        model = PoseCNN()
+        model.predict(np.zeros((1, 5, 8, 8)))
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestLastLayerAccess:
+    def test_last_layer_is_output_linear(self):
+        model = PoseCNN()
+        assert isinstance(model.last_layer, nn.Linear)
+        assert model.last_layer.out_features == 57
+
+    def test_last_layer_parameters_subset(self):
+        model = PoseCNN()
+        last = model.last_layer_parameters()
+        assert len(last) == 2  # weight + bias
+        all_ids = {id(p) for p in model.parameters()}
+        assert all(id(p) in all_ids for p in last)

@@ -1,0 +1,60 @@
+"""Tests for meta-learning task sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tasks import Task, TaskSampler
+from repro.dataset.loader import ArrayDataset
+
+
+def arrays(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.normal(size=(n, 5, 8, 8)), rng.normal(size=(n, 57)))
+
+
+class TestTask:
+    def test_rejects_empty_sets(self):
+        data = arrays(10)
+        with pytest.raises(ValueError):
+            Task(support=data.subset([]), query=data.subset([0]))
+
+
+class TestTaskSampler:
+    def test_sample_sizes(self, rng):
+        sampler = TaskSampler(arrays(), support_size=16, query_size=24)
+        task = sampler.sample_task(rng)
+        assert len(task.support) == 16
+        assert len(task.query) == 24
+
+    def test_batch_size(self, rng):
+        sampler = TaskSampler(arrays(), support_size=8, query_size=8, tasks_per_batch=5)
+        batch = sampler.sample_batch(rng)
+        assert len(batch) == 5
+
+    def test_tasks_differ_within_batch(self, rng):
+        sampler = TaskSampler(arrays(), support_size=8, query_size=8, tasks_per_batch=2)
+        batch = sampler.sample_batch(rng)
+        assert not np.allclose(batch[0].support.labels, batch[1].support.labels)
+
+    def test_sampling_with_small_dataset_uses_replacement(self, rng):
+        sampler = TaskSampler(arrays(4), support_size=16, query_size=16)
+        task = sampler.sample_task(rng)
+        assert len(task.support) == 16
+
+    def test_deterministic_given_rng(self):
+        sampler = TaskSampler(arrays(), support_size=8, query_size=8)
+        a = sampler.sample_task(np.random.default_rng(3))
+        b = sampler.sample_task(np.random.default_rng(3))
+        np.testing.assert_allclose(a.support.labels, b.support.labels)
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError):
+            TaskSampler(arrays(0))
+
+    def test_rejects_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            TaskSampler(arrays(), support_size=0)
+        with pytest.raises(ValueError):
+            TaskSampler(arrays(), tasks_per_batch=0)

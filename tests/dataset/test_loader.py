@@ -1,0 +1,110 @@
+"""Tests for array datasets and batch iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.features import FeatureMapBuilder
+from repro.dataset.loader import ArrayDataset, BatchLoader, build_array_dataset
+
+
+def make_arrays(n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.normal(size=(n, 5, 8, 8)), rng.normal(size=(n, 57)))
+
+
+class TestArrayDataset:
+    def test_length(self):
+        assert len(make_arrays(13)) == 13
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((4, 5, 8, 8)), np.zeros((3, 57)))
+
+    def test_subset(self):
+        data = make_arrays(10)
+        subset = data.subset([1, 3, 5])
+        assert len(subset) == 3
+        np.testing.assert_allclose(subset.features[1], data.features[3])
+
+    def test_sample_without_replacement(self, rng):
+        data = make_arrays(10)
+        sample = data.sample(5, rng)
+        assert len(sample) == 5
+
+    def test_sample_with_replacement_when_larger(self, rng):
+        data = make_arrays(4)
+        sample = data.sample(10, rng)
+        assert len(sample) == 10
+
+    def test_sample_rejects_non_positive(self, rng):
+        with pytest.raises(ValueError):
+            make_arrays().sample(0, rng)
+
+    def test_split_partitions_everything(self, rng):
+        data = make_arrays(20)
+        left, right = data.split(0.7, rng)
+        assert len(left) + len(right) == 20
+        assert len(left) == 14
+
+    def test_split_rejects_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            make_arrays().split(1.5, rng)
+
+
+class TestBatchLoader:
+    def test_number_of_batches(self):
+        loader = BatchLoader(make_arrays(25), batch_size=10, shuffle=False)
+        assert len(loader) == 3
+        batches = list(loader)
+        assert [b[0].shape[0] for b in batches] == [10, 10, 5]
+
+    def test_drop_last(self):
+        loader = BatchLoader(make_arrays(25), batch_size=10, shuffle=False, drop_last=True)
+        assert len(loader) == 2
+        assert all(features.shape[0] == 10 for features, _ in loader)
+
+    def test_covers_every_sample_once(self):
+        data = make_arrays(17)
+        loader = BatchLoader(data, batch_size=5, shuffle=True, seed=3)
+        seen = np.concatenate([labels for _, labels in loader])
+        assert seen.shape[0] == 17
+        # Sorting both sets of labels row-wise should give identical multisets.
+        np.testing.assert_allclose(
+            np.sort(seen.sum(axis=1)), np.sort(data.labels.sum(axis=1))
+        )
+
+    def test_shuffle_changes_order_between_epochs(self):
+        data = make_arrays(32)
+        loader = BatchLoader(data, batch_size=32, shuffle=True, seed=0)
+        first_epoch = next(iter(loader))[1]
+        second_epoch = next(iter(loader))[1]
+        assert not np.allclose(first_epoch, second_epoch)
+
+    def test_no_shuffle_preserves_order(self):
+        data = make_arrays(8)
+        loader = BatchLoader(data, batch_size=4, shuffle=False)
+        features, labels = next(iter(loader))
+        np.testing.assert_allclose(labels, data.labels[:4])
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchLoader(make_arrays(), batch_size=0)
+
+
+class TestBuildArrayDataset:
+    def test_from_pose_dataset(self, tiny_dataset):
+        arrays = build_array_dataset(tiny_dataset[:12], builder=FeatureMapBuilder())
+        assert len(arrays) == 12
+        assert arrays.features.shape[1:] == (5, 8, 8)
+        assert arrays.labels.shape[1] == 57
+
+    def test_from_sample_list(self, tiny_dataset):
+        arrays = build_array_dataset(list(tiny_dataset)[:5])
+        assert len(arrays) == 5
+
+    def test_labels_match_source(self, tiny_dataset):
+        samples = list(tiny_dataset)[:6]
+        arrays = build_array_dataset(samples)
+        np.testing.assert_allclose(arrays.labels[2], samples[2].label_vector)

@@ -1,0 +1,109 @@
+"""Tests for the real-MARS CSV loader (exercised on synthetic CSV files)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.body.skeleton import NUM_JOINTS
+from repro.dataset.mars import load_mars_directory, load_mars_pair
+
+
+def write_pair(directory: Path, movement: str, num_frames: int = 5, points_per_frame: int = 4,
+               header: bool = False, skip_cloud_frames: tuple = ()):
+    """Write a (pointcloud, labels) CSV pair in the documented MARS layout."""
+    directory.mkdir(parents=True, exist_ok=True)
+    rng = np.random.default_rng(0)
+
+    cloud_path = directory / f"{movement}_pointcloud.csv"
+    with open(cloud_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(["frame", "x", "y", "z", "doppler", "intensity"])
+        for frame in range(num_frames):
+            if frame in skip_cloud_frames:
+                continue
+            for _ in range(points_per_frame):
+                writer.writerow([frame, *rng.normal(size=5).round(4)])
+
+    labels_path = directory / f"{movement}_labels.csv"
+    with open(labels_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(["frame"] + [f"v{i}" for i in range(NUM_JOINTS * 3)])
+        for frame in range(num_frames):
+            writer.writerow([frame, *rng.normal(size=NUM_JOINTS * 3).round(4)])
+    return cloud_path, labels_path
+
+
+class TestLoadMarsPair:
+    def test_loads_all_frames(self, tmp_path):
+        cloud, labels = write_pair(tmp_path / "subject1", "squat", num_frames=6)
+        samples, report = load_mars_pair(cloud, labels, subject_id=1, movement_name="squat")
+        assert len(samples) == 6
+        assert report.num_frames == 6
+        assert samples[0].cloud.num_points == 4
+        assert samples[0].joints.shape == (NUM_JOINTS, 3)
+
+    def test_headers_are_skipped(self, tmp_path):
+        cloud, labels = write_pair(tmp_path / "subject1", "squat", num_frames=3, header=True)
+        samples, _ = load_mars_pair(cloud, labels, 1, "squat")
+        assert len(samples) == 3
+
+    def test_frames_missing_pointcloud_are_dropped(self, tmp_path):
+        cloud, labels = write_pair(
+            tmp_path / "subject1", "squat", num_frames=5, skip_cloud_frames=(2,)
+        )
+        samples, report = load_mars_pair(cloud, labels, 1, "squat")
+        assert len(samples) == 4
+        assert report.num_dropped_unlabelled == 1
+
+    def test_metadata_propagated(self, tmp_path):
+        cloud, labels = write_pair(tmp_path / "subject3", "squat", num_frames=2)
+        samples, _ = load_mars_pair(cloud, labels, subject_id=3, movement_name="squat", sequence_id=9)
+        assert samples[0].subject_id == 3
+        assert samples[0].sequence_id == 9
+        assert samples[0].movement_name == "squat"
+
+    def test_timestamps_follow_10hz(self, tmp_path):
+        cloud, labels = write_pair(tmp_path / "subject1", "squat", num_frames=3)
+        samples, _ = load_mars_pair(cloud, labels, 1, "squat")
+        assert samples[1].cloud.timestamp == pytest.approx(0.1)
+
+
+class TestLoadMarsDirectory:
+    def test_loads_multiple_subjects_and_movements(self, tmp_path):
+        write_pair(tmp_path / "subject1", "squat", num_frames=4)
+        write_pair(tmp_path / "subject1", "left_front_lunge", num_frames=3)
+        write_pair(tmp_path / "subject2", "squat", num_frames=5)
+        dataset, report = load_mars_directory(tmp_path)
+        assert len(dataset) == 12
+        assert dataset.subjects() == [1, 2]
+        assert set(dataset.movements()) == {"squat", "left_front_lunge"}
+        assert report.files_loaded == 6
+
+    def test_sequence_ids_unique_per_file_pair(self, tmp_path):
+        write_pair(tmp_path / "subject1", "squat", num_frames=2)
+        write_pair(tmp_path / "subject2", "squat", num_frames=2)
+        dataset, _ = load_mars_directory(tmp_path)
+        assert len(dataset.sequence_ids()) == 2
+
+    def test_movement_name_normalization(self, tmp_path):
+        # File uses a dash and capital letters; it must map to the canonical name.
+        directory = tmp_path / "subject1"
+        write_pair(directory, "Left-Front-Lunge".lower().replace("-", "_"), num_frames=2)
+        dataset, _ = load_mars_directory(tmp_path)
+        assert dataset.movements() == ["left_front_lunge"]
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_mars_directory(tmp_path / "nope")
+
+    def test_unknown_movement_files_skipped(self, tmp_path):
+        write_pair(tmp_path / "subject1", "squat", num_frames=2)
+        write_pair(tmp_path / "subject1", "jumping_jacks", num_frames=2)
+        dataset, _ = load_mars_directory(tmp_path)
+        assert dataset.movements() == ["squat"]

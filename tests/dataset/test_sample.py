@@ -1,0 +1,128 @@
+"""Tests for labelled-frame containers and dataset selectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.skeleton import NUM_JOINTS
+from repro.dataset.sample import LABEL_DIM, LabelledFrame, PoseDataset
+from repro.radar.pointcloud import PointCloudFrame
+
+
+def make_sample(subject=1, movement="squat", sequence=0, frame=0, n_points=10, seed=0):
+    rng = np.random.default_rng(seed)
+    cloud = PointCloudFrame(rng.normal(size=(n_points, 5)))
+    joints = rng.normal(size=(NUM_JOINTS, 3))
+    return LabelledFrame(
+        cloud=cloud,
+        joints=joints,
+        subject_id=subject,
+        movement_name=movement,
+        sequence_id=sequence,
+        frame_index=frame,
+    )
+
+
+class TestLabelledFrame:
+    def test_label_dim(self):
+        assert LABEL_DIM == 57
+
+    def test_label_vector_flattens_joints(self):
+        sample = make_sample()
+        assert sample.label_vector.shape == (57,)
+        np.testing.assert_allclose(sample.label_vector.reshape(19, 3), sample.joints)
+
+    def test_accepts_flat_label_vector(self):
+        flat = np.arange(57.0)
+        sample = LabelledFrame(
+            cloud=PointCloudFrame.empty(), joints=flat, subject_id=1, movement_name="squat"
+        )
+        assert sample.joints.shape == (19, 3)
+
+    def test_rejects_wrong_joint_shape(self):
+        with pytest.raises(ValueError):
+            LabelledFrame(
+                cloud=PointCloudFrame.empty(),
+                joints=np.zeros((18, 3)),
+                subject_id=1,
+                movement_name="squat",
+            )
+
+    def test_with_cloud_keeps_label_and_metadata(self):
+        sample = make_sample(subject=3, movement="squat", sequence=7, frame=42)
+        new_cloud = PointCloudFrame(np.zeros((2, 5)))
+        updated = sample.with_cloud(new_cloud)
+        assert updated.cloud.num_points == 2
+        assert updated.subject_id == 3
+        assert updated.sequence_id == 7
+        assert updated.frame_index == 42
+        np.testing.assert_allclose(updated.joints, sample.joints)
+
+
+class TestPoseDataset:
+    @pytest.fixture
+    def dataset(self):
+        samples = [
+            make_sample(subject=1, movement="squat", sequence=0, frame=i, seed=i) for i in range(5)
+        ] + [
+            make_sample(subject=2, movement="left_front_lunge", sequence=1, frame=i, seed=10 + i)
+            for i in range(3)
+        ]
+        return PoseDataset(samples, name="unit")
+
+    def test_len_and_iteration(self, dataset):
+        assert len(dataset) == 8
+        assert len(list(dataset)) == 8
+
+    def test_indexing_and_slicing(self, dataset):
+        assert isinstance(dataset[0], LabelledFrame)
+        subset = dataset[2:5]
+        assert isinstance(subset, PoseDataset)
+        assert len(subset) == 3
+
+    def test_subjects_and_movements(self, dataset):
+        assert dataset.subjects() == [1, 2]
+        assert dataset.movements() == ["left_front_lunge", "squat"]
+        assert dataset.sequence_ids() == [0, 1]
+
+    def test_for_subject(self, dataset):
+        assert len(dataset.for_subject(1)) == 5
+        assert len(dataset.for_subject(2)) == 3
+
+    def test_for_movement(self, dataset):
+        assert len(dataset.for_movement("squat")) == 5
+
+    def test_for_sequence(self, dataset):
+        assert len(dataset.for_sequence(1)) == 3
+
+    def test_exclude_union(self, dataset):
+        remaining = dataset.exclude(subject_id=1, movement_name="left_front_lunge")
+        assert len(remaining) == 0
+
+    def test_exclude_subject_only(self, dataset):
+        remaining = dataset.exclude(subject_id=2)
+        assert remaining.subjects() == [1]
+
+    def test_filter_predicate(self, dataset):
+        late = dataset.filter(lambda s: s.frame_index >= 2)
+        assert all(s.frame_index >= 2 for s in late)
+
+    def test_label_matrix_shape(self, dataset):
+        assert dataset.label_matrix().shape == (8, 57)
+
+    def test_label_matrix_empty(self):
+        assert PoseDataset().label_matrix().shape == (0, 57)
+
+    def test_point_counts(self, dataset):
+        assert dataset.point_counts().shape == (8,)
+
+    def test_append_and_extend(self):
+        dataset = PoseDataset()
+        dataset.append(make_sample())
+        dataset.extend([make_sample(seed=1), make_sample(seed=2)])
+        assert len(dataset) == 3
+
+    def test_concatenated(self, dataset):
+        combined = dataset.concatenated(dataset)
+        assert len(combined) == 16

@@ -1,0 +1,43 @@
+"""Tests for dataset summary statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.sample import PoseDataset
+from repro.dataset.statistics import summarize
+
+
+class TestSummarize:
+    def test_counts(self, tiny_dataset, tiny_dataset_config):
+        summary = summarize(tiny_dataset)
+        assert summary.num_frames == len(tiny_dataset)
+        assert summary.num_subjects == len(tiny_dataset_config.subject_ids)
+        assert summary.num_movements == len(tiny_dataset_config.movement_names)
+
+    def test_per_subject_counts_sum_to_total(self, tiny_dataset):
+        summary = summarize(tiny_dataset)
+        assert sum(summary.frames_per_subject.values()) == summary.num_frames
+        assert sum(summary.frames_per_movement.values()) == summary.num_frames
+
+    def test_point_statistics_consistent(self, tiny_dataset):
+        summary = summarize(tiny_dataset)
+        counts = tiny_dataset.point_counts()
+        assert summary.min_points_per_frame == counts.min()
+        assert summary.max_points_per_frame == counts.max()
+        assert summary.mean_points_per_frame == counts.mean()
+
+    def test_label_bounds(self, tiny_dataset):
+        summary = summarize(tiny_dataset)
+        assert np.all(summary.label_min <= summary.label_max)
+
+    def test_empty_dataset(self):
+        summary = summarize(PoseDataset())
+        assert summary.num_frames == 0
+        assert summary.frames_per_subject == {}
+
+    def test_as_text_contains_key_numbers(self, tiny_dataset):
+        summary = summarize(tiny_dataset)
+        text = summary.as_text()
+        assert f"frames: {summary.num_frames}" in text
+        assert "points/frame" in text

@@ -1,0 +1,139 @@
+"""Tests for the synthetic MARS-like dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.movements import MOVEMENT_NAMES
+from repro.dataset.synthetic import (
+    SyntheticDatasetConfig,
+    SyntheticDatasetGenerator,
+    generate_dataset,
+)
+
+
+class TestConfig:
+    def test_defaults_cover_mars_composition(self):
+        config = SyntheticDatasetConfig()
+        assert config.subject_ids == (1, 2, 3, 4)
+        assert config.movement_names == MOVEMENT_NAMES
+        assert config.frame_rate == 10.0
+
+    def test_expected_frames(self):
+        config = SyntheticDatasetConfig(
+            subject_ids=(1, 2), movement_names=("squat",), seconds_per_pair=5.0
+        )
+        assert config.expected_frames == 2 * 1 * 50
+
+    def test_mars_scale_matches_dataset_size(self):
+        # 4 subjects x 10 movements x 100 s x 10 Hz = 40,000 frames (paper: 40,083).
+        assert SyntheticDatasetConfig.mars_scale().expected_frames == 40_000
+
+    def test_ci_scale_is_small(self):
+        assert SyntheticDatasetConfig.ci_scale().expected_frames < 5_000
+
+    def test_scaled(self):
+        config = SyntheticDatasetConfig(seconds_per_pair=10.0)
+        assert config.scaled(0.5).seconds_per_pair == 5.0
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SyntheticDatasetConfig().scaled(0.0)
+
+    def test_invalid_movement_rejected(self):
+        with pytest.raises(KeyError):
+            SyntheticDatasetConfig(movement_names=("flying",))
+
+    def test_invalid_sessions_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticDatasetConfig(sessions_per_pair=0)
+
+    def test_empty_subjects_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticDatasetConfig(subject_ids=())
+
+
+class TestGeneration:
+    def test_frame_count_matches_expectation(self, tiny_dataset, tiny_dataset_config):
+        assert len(tiny_dataset) == tiny_dataset_config.expected_frames
+
+    def test_all_subject_movement_pairs_present(self, tiny_dataset, tiny_dataset_config):
+        for subject_id in tiny_dataset_config.subject_ids:
+            for movement in tiny_dataset_config.movement_names:
+                subset = tiny_dataset.for_subject(subject_id).for_movement(movement)
+                assert len(subset) > 0
+
+    def test_sequences_have_unique_ids_per_pair(self, tiny_dataset):
+        for sequence_id in tiny_dataset.sequence_ids():
+            subset = tiny_dataset.for_sequence(sequence_id)
+            assert len({(s.subject_id, s.movement_name) for s in subset}) == 1
+
+    def test_frame_indices_are_contiguous_within_sequence(self, tiny_dataset):
+        sequence = tiny_dataset.for_sequence(tiny_dataset.sequence_ids()[0])
+        indices = sorted(s.frame_index for s in sequence)
+        assert indices == list(range(len(sequence)))
+
+    def test_labels_are_plausible_human_poses(self, tiny_dataset):
+        labels = np.stack([s.joints for s in tiny_dataset])
+        assert labels[..., 2].min() > -0.2  # nothing far below the floor
+        assert labels[..., 2].max() < 2.3  # nothing above a tall person's reach
+        assert 1.0 < labels[..., 1].mean() < 4.0  # subjects stand in front of the radar
+
+    def test_point_clouds_are_sparse(self, tiny_dataset):
+        counts = tiny_dataset.point_counts()
+        assert counts.max() <= 64
+        assert 5 < counts.mean() < 64
+
+    def test_determinism_across_generators(self, tiny_dataset_config):
+        first = SyntheticDatasetGenerator(tiny_dataset_config).generate()
+        second = SyntheticDatasetGenerator(tiny_dataset_config).generate()
+        assert len(first) == len(second)
+        np.testing.assert_allclose(first[0].cloud.points, second[0].cloud.points)
+        np.testing.assert_allclose(first[-1].joints, second[-1].joints)
+
+    def test_seed_changes_data(self, tiny_dataset_config):
+        other = SyntheticDatasetGenerator(
+            SyntheticDatasetConfig(
+                subject_ids=tiny_dataset_config.subject_ids,
+                movement_names=tiny_dataset_config.movement_names,
+                seconds_per_pair=tiny_dataset_config.seconds_per_pair,
+                seed=7,
+            )
+        ).generate()
+        base = SyntheticDatasetGenerator(tiny_dataset_config).generate()
+        assert not np.allclose(other[0].cloud.points.shape, base[0].cloud.points.shape) or not np.allclose(
+            other[0].joints, base[0].joints
+        )
+
+    def test_cache_returns_same_object(self, tiny_dataset_config):
+        a = generate_dataset(tiny_dataset_config, use_cache=True)
+        b = generate_dataset(tiny_dataset_config, use_cache=True)
+        assert a is b
+
+    def test_cache_bypass_returns_new_object(self, tiny_dataset_config):
+        a = generate_dataset(tiny_dataset_config, use_cache=True)
+        b = generate_dataset(tiny_dataset_config, use_cache=False)
+        assert a is not b
+
+    def test_label_noise_perturbs_labels(self):
+        clean_config = SyntheticDatasetConfig(
+            subject_ids=(1,), movement_names=("squat",), seconds_per_pair=2.0, label_noise_std=0.0
+        )
+        noisy_config = SyntheticDatasetConfig(
+            subject_ids=(1,), movement_names=("squat",), seconds_per_pair=2.0, label_noise_std=0.05
+        )
+        clean = generate_dataset(clean_config, use_cache=False)
+        noisy = generate_dataset(noisy_config, use_cache=False)
+        difference = np.abs(clean.label_matrix() - noisy.label_matrix()).mean()
+        assert 0.01 < difference < 0.2
+
+    def test_signal_backend_supported(self):
+        config = SyntheticDatasetConfig(
+            subject_ids=(1,),
+            movement_names=("squat",),
+            seconds_per_pair=0.5,
+            radar_backend="signal",
+        )
+        dataset = generate_dataset(config, use_cache=False)
+        assert len(dataset) == 5

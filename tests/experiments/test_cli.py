@@ -1,0 +1,31 @@
+"""Tests for the ``fuse-experiment`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import cli
+
+
+class TestCli:
+    def test_figure2_smoke(self, capsys):
+        exit_code = cli.main(["figure2", "--scale", "smoke"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "figure2" in captured
+        assert "multi-frame point cloud" in captured
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["table9"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["figure2", "--scale", "galactic"])
+
+    def test_help_lists_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["--help"])
+        text = capsys.readouterr().out
+        for name in ("table1", "table2", "figure2", "figure3", "figure4"):
+            assert name in text

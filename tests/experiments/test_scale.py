@@ -1,0 +1,49 @@
+"""Tests for experiment scale presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import SCALE_NAMES, ExperimentScale, get_scale
+
+
+class TestScalePresets:
+    def test_all_presets_constructible(self):
+        for name in SCALE_NAMES:
+            scale = get_scale(name)
+            assert isinstance(scale, ExperimentScale)
+            assert scale.name == name
+
+    def test_paper_scale_matches_section_41(self):
+        scale = get_scale("paper")
+        assert scale.dataset.expected_frames == 40_000
+        assert scale.training.epochs == 150
+        assert scale.training.batch_size == 128
+        assert scale.meta.meta_iterations == 20_000
+        assert scale.meta.tasks_per_batch == 32
+        assert scale.finetune_frames == 200
+
+    def test_ci_scale_is_much_smaller_than_paper(self):
+        paper, ci = get_scale("paper"), get_scale("ci")
+        assert ci.dataset.expected_frames < paper.dataset.expected_frames / 5
+        assert ci.meta.meta_iterations < paper.meta.meta_iterations / 50
+
+    def test_smoke_scale_is_tiny(self):
+        smoke = get_scale("smoke")
+        assert smoke.dataset.expected_frames < 300
+        assert smoke.training.epochs <= 5
+
+    def test_fusion_settings_cover_table1(self):
+        assert get_scale("ci").fusion_settings == (0, 1, 2)
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            get_scale("enormous")
+
+    def test_with_overrides(self):
+        scale = get_scale("smoke").with_overrides(finetune_frames=5)
+        assert scale.finetune_frames == 5
+        assert scale.name == "smoke"
+
+    def test_default_is_ci(self):
+        assert get_scale().name == "ci"

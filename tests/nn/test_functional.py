@@ -1,0 +1,146 @@
+"""Tests for losses and functional activations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.grad_check import check_gradients
+from repro.nn.tensor import Tensor
+
+
+class TestL1Loss:
+    def test_value_matches_numpy(self, rng):
+        pred = rng.normal(size=(8, 57))
+        target = rng.normal(size=(8, 57))
+        loss = nn.l1_loss(Tensor(pred), Tensor(target))
+        assert loss.item() == pytest.approx(np.abs(pred - target).mean())
+
+    def test_zero_when_equal(self, rng):
+        x = rng.normal(size=(4, 3))
+        assert nn.l1_loss(Tensor(x), Tensor(x)).item() == 0.0
+
+    def test_gradient(self, rng):
+        pred = Tensor(rng.normal(size=(3, 4)) + 0.3, requires_grad=True)
+        target = Tensor(rng.normal(size=(3, 4)))
+        check_gradients(lambda inp: nn.l1_loss(inp[0], target), [pred], tolerance=1e-4)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.l1_loss(Tensor(np.zeros((2, 3))), Tensor(np.zeros((3, 2))))
+
+    def test_accepts_raw_arrays(self, rng):
+        pred = rng.normal(size=(2, 2))
+        target = rng.normal(size=(2, 2))
+        assert nn.l1_loss(pred, target).item() == pytest.approx(np.abs(pred - target).mean())
+
+
+class TestMseLoss:
+    def test_value(self, rng):
+        pred = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 3))
+        assert nn.mse_loss(Tensor(pred), Tensor(target)).item() == pytest.approx(
+            ((pred - target) ** 2).mean()
+        )
+
+    def test_l2_alias(self, rng):
+        pred, target = rng.normal(size=(4,)), rng.normal(size=(4,))
+        assert nn.l2_loss(Tensor(pred), Tensor(target)).item() == pytest.approx(
+            nn.mse_loss(Tensor(pred), Tensor(target)).item()
+        )
+
+    def test_gradient(self, rng):
+        pred = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        target = Tensor(rng.normal(size=(3, 3)))
+        check_gradients(lambda inp: nn.mse_loss(inp[0], target), [pred])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.mse_loss(Tensor(np.zeros((2,))), Tensor(np.zeros((3,))))
+
+
+class TestHuberLoss:
+    def test_quadratic_for_small_residuals(self):
+        pred = Tensor(np.array([0.1]))
+        target = Tensor(np.array([0.0]))
+        assert nn.huber_loss(pred, target, delta=1.0).item() == pytest.approx(0.5 * 0.01)
+
+    def test_linear_for_large_residuals(self):
+        pred = Tensor(np.array([10.0]))
+        target = Tensor(np.array([0.0]))
+        # 0.5 * delta^2 + delta * (|r| - delta) = 0.5 + 9 = 9.5
+        assert nn.huber_loss(pred, target, delta=1.0).item() == pytest.approx(9.5)
+
+    def test_between_l1_and_l2_behaviour(self, rng):
+        pred = rng.normal(size=(50,)) * 3
+        target = np.zeros(50)
+        huber = nn.huber_loss(Tensor(pred), Tensor(target)).item()
+        l1 = nn.l1_loss(Tensor(pred), Tensor(target)).item()
+        l2 = nn.mse_loss(Tensor(pred), Tensor(target)).item()
+        assert huber <= l2 + 1e-9
+        assert huber >= 0.3 * l1
+
+    def test_gradient(self, rng):
+        pred = Tensor(rng.normal(size=(6,)) * 2 + 0.2, requires_grad=True)
+        target = Tensor(np.zeros(6))
+        check_gradients(lambda inp: nn.huber_loss(inp[0], target), [pred], tolerance=1e-4)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(4, 10)) * 10)
+        probs = nn.softmax(logits).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_stability_with_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 1000.0]]))
+        probs = nn.softmax(logits).numpy()
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = Tensor(rng.normal(size=(3, 5)))
+        np.testing.assert_allclose(
+            nn.log_softmax(logits).numpy(), np.log(nn.softmax(logits).numpy()), atol=1e-10
+        )
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_has_low_loss(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        loss = nn.cross_entropy_loss(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_is_log_classes(self):
+        logits = Tensor(np.zeros((4, 5)))
+        loss = nn.cross_entropy_loss(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(5))
+
+    def test_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        labels = np.array([0, 2, 3])
+        check_gradients(lambda inp: nn.cross_entropy_loss(inp[0], labels), [logits], tolerance=1e-4)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            nn.cross_entropy_loss(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            nn.cross_entropy_loss(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+
+class TestFunctionalActivations:
+    def test_relu(self):
+        np.testing.assert_allclose(nn.relu(Tensor([-1.0, 1.0])).numpy(), [0.0, 1.0])
+
+    def test_sigmoid_symmetry(self, rng):
+        x = rng.normal(size=(10,))
+        s_pos = nn.sigmoid(Tensor(x)).numpy()
+        s_neg = nn.sigmoid(Tensor(-x)).numpy()
+        np.testing.assert_allclose(s_pos + s_neg, 1.0, atol=1e-12)
+
+    def test_tanh_range(self, rng):
+        out = nn.tanh(Tensor(rng.normal(size=(100,)) * 10)).numpy()
+        assert np.all(np.abs(out) <= 1.0)

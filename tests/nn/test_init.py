@@ -1,0 +1,67 @@
+"""Tests for parameter initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import init as initializers
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(42)
+
+
+class TestFanCalculation:
+    def test_linear_weight(self):
+        fan_in, fan_out = initializers.calculate_fan((64, 128))
+        assert fan_in == 128
+        assert fan_out == 64
+
+    def test_conv_weight_includes_receptive_field(self):
+        fan_in, fan_out = initializers.calculate_fan((16, 5, 3, 3))
+        assert fan_in == 5 * 9
+        assert fan_out == 16 * 9
+
+    def test_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            initializers.calculate_fan((10,))
+
+
+class TestDistributions:
+    def test_xavier_uniform_bounds(self, gen):
+        weights = initializers.xavier_uniform((50, 80), gen)
+        limit = np.sqrt(6.0 / (80 + 50))
+        assert weights.shape == (50, 80)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_kaiming_uniform_bounds(self, gen):
+        weights = initializers.kaiming_uniform((64, 32), gen)
+        limit = np.sqrt(6.0 / 32)
+        assert np.all(np.abs(weights) <= limit)
+        # Should actually use a good part of the range.
+        assert np.abs(weights).max() > 0.5 * limit
+
+    def test_kaiming_normal_std(self, gen):
+        weights = initializers.kaiming_normal((2000, 100), gen)
+        expected_std = np.sqrt(2.0 / 100)
+        assert weights.std() == pytest.approx(expected_std, rel=0.05)
+
+    def test_zeros(self):
+        np.testing.assert_allclose(initializers.zeros((3, 4)), 0.0)
+
+    def test_uniform_range(self, gen):
+        values = initializers.uniform((1000,), gen, low=-0.2, high=0.4)
+        assert values.min() >= -0.2
+        assert values.max() < 0.4
+
+    def test_reproducible_given_seed(self):
+        a = initializers.kaiming_uniform((8, 8), np.random.default_rng(1))
+        b = initializers.kaiming_uniform((8, 8), np.random.default_rng(1))
+        np.testing.assert_allclose(a, b)
+
+    def test_scaling_shrinks_with_fan_in(self, gen):
+        wide = initializers.kaiming_uniform((10, 2048), gen)
+        narrow = initializers.kaiming_uniform((10, 8), np.random.default_rng(42))
+        assert np.abs(wide).max() < np.abs(narrow).max()

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the autograd core.
+
+These check structural invariants of the differentiation engine — linearity
+of gradients, correctness under broadcasting, invariance of values to graph
+construction — over randomly generated shapes and values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro import nn
+from repro.nn.grad_check import max_relative_error, numerical_gradient
+from repro.nn.tensor import Tensor
+
+_FLOATS = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_dims: int = 2, max_side: int = 4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=_FLOATS,
+    )
+
+
+class TestValueSemantics:
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_addition_is_commutative(self, data):
+        a = Tensor(data)
+        b = Tensor(data * 0.5 + 1.0)
+        np.testing.assert_allclose((a + b).numpy(), (b + a).numpy())
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_relu_is_idempotent(self, data):
+        x = Tensor(data)
+        once = x.relu().numpy()
+        twice = x.relu().relu().numpy()
+        np.testing.assert_allclose(once, twice)
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_sum_matches_numpy(self, data):
+        np.testing.assert_allclose(Tensor(data).sum().item(), data.sum(), atol=1e-9)
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_rows_are_distributions(self, data):
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        probs = nn.softmax(Tensor(data)).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0.0)
+
+
+class TestGradientSemantics:
+    @given(small_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_of_sum_is_ones(self, data):
+        x = Tensor(data, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    @given(small_arrays(), st.floats(min_value=-2.0, max_value=2.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_is_linear_in_scalar_factor(self, data, factor):
+        x1 = Tensor(data, requires_grad=True)
+        (x1 * factor).sum().backward()
+        x2 = Tensor(data, requires_grad=True)
+        x2.sum().backward()
+        np.testing.assert_allclose(x1.grad, factor * x2.grad, atol=1e-9)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4),
+            # Keep values away from zero: central differences of x^2 lose all
+            # significant digits there and the comparison becomes meaningless.
+            elements=st.floats(min_value=0.05, max_value=3.0),
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_elementwise_square_gradient_matches_finite_difference(self, data):
+        x = Tensor(data, requires_grad=True)
+
+        def f(inputs):
+            return (inputs[0] * inputs[0]).sum()
+
+        f([x]).backward()
+        numeric = numerical_gradient(f, [x], 0)
+        assert max_relative_error(x.grad, numeric) < 1e-4
+
+    @given(
+        arrays(np.float64, array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=3), elements=_FLOATS),
+        arrays(np.float64, array_shapes(min_dims=1, max_dims=1, min_side=1, max_side=3), elements=_FLOATS),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_broadcast_add_gradient_sums_over_batch(self, matrix, row):
+        if matrix.shape[1] != row.shape[0]:
+            row = np.resize(row, matrix.shape[1])
+        m = Tensor(matrix, requires_grad=True)
+        r = Tensor(row, requires_grad=True)
+        (m + r).sum().backward()
+        np.testing.assert_allclose(m.grad, np.ones_like(matrix))
+        np.testing.assert_allclose(r.grad, np.full_like(row, matrix.shape[0]))
+
+
+class TestLossProperties:
+    @given(small_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_l1_loss_is_non_negative_and_zero_on_identity(self, data):
+        t = Tensor(data)
+        assert nn.l1_loss(t, Tensor(data.copy())).item() == 0.0
+        shifted = Tensor(data + 1.0)
+        assert nn.l1_loss(shifted, t).item() >= 0.0
+
+    @given(small_arrays(), st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_l1_loss_equals_constant_offset(self, data, offset):
+        base = Tensor(data)
+        loss = nn.l1_loss(Tensor(data + offset), base).item()
+        np.testing.assert_allclose(loss, offset, atol=1e-9)
+
+    @given(small_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_mse_at_least_squared_l1_over_n(self, data):
+        # By Jensen's inequality mean(r^2) >= mean(|r|)^2.
+        target = Tensor(np.zeros_like(data))
+        pred = Tensor(data)
+        l1 = nn.l1_loss(pred, target).item()
+        l2 = nn.mse_loss(pred, target).item()
+        assert l2 >= l1**2 - 1e-9

@@ -1,0 +1,62 @@
+"""Tests for model checkpoint serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def build_model():
+    rng = np.random.default_rng(3)
+    return nn.Sequential(nn.Linear(6, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+
+
+class TestSaveLoadState:
+    def test_roundtrip(self, tmp_path):
+        state = {"a": np.arange(6.0).reshape(2, 3), "b": np.ones(4)}
+        path = nn.save_state(state, tmp_path / "ckpt.npz")
+        loaded, metadata = nn.load_state(path)
+        assert metadata is None
+        np.testing.assert_allclose(loaded["a"], state["a"])
+        np.testing.assert_allclose(loaded["b"], state["b"])
+
+    def test_metadata_roundtrip(self, tmp_path):
+        path = nn.save_state({"x": np.zeros(2)}, tmp_path / "ckpt.npz", metadata={"epoch": 7, "tag": "fuse"})
+        _, metadata = nn.load_state(path)
+        assert metadata == {"epoch": 7, "tag": "fuse"}
+
+    def test_extension_added_when_missing(self, tmp_path):
+        path = nn.save_state({"x": np.zeros(1)}, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        loaded, _ = nn.load_state(tmp_path / "weights")
+        assert "x" in loaded
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = nn.save_state({"x": np.zeros(1)}, tmp_path / "nested" / "dir" / "ckpt.npz")
+        assert path.exists()
+
+
+class TestSaveLoadModel:
+    def test_model_roundtrip_preserves_outputs(self, tmp_path):
+        model = build_model()
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 6)))
+        expected = model(x).numpy()
+
+        path = nn.save_model(model, tmp_path / "model.npz", metadata={"kind": "test"})
+        fresh = build_model()
+        # Perturb so the test would fail if loading did nothing.
+        for param in fresh.parameters():
+            param.data = param.data + 1.0
+        metadata = nn.load_model_into(fresh, path)
+        assert metadata == {"kind": "test"}
+        np.testing.assert_allclose(fresh(x).numpy(), expected)
+
+    def test_load_into_wrong_architecture_fails(self, tmp_path):
+        model = build_model()
+        path = nn.save_model(model, tmp_path / "model.npz")
+        other = nn.Sequential(nn.Linear(6, 5, rng=np.random.default_rng(1)))
+        with pytest.raises((KeyError, ValueError)):
+            nn.load_model_into(other, path)

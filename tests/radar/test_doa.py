@@ -1,0 +1,84 @@
+"""Tests for direction-of-arrival estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radar.config import RadarConfig
+from repro.radar.doa import detections_to_points, estimate_angles
+from repro.radar.scene import RadarTarget, Scene
+from repro.radar.signal_chain import range_doppler_processing, synthesize_data_cube
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RadarConfig.low_resolution()
+
+
+def snapshot_for(config, azimuth, elevation):
+    """Build the ideal antenna snapshot for a plane wave from (azimuth, elevation)."""
+    az_idx = np.arange(config.num_azimuth_antennas)
+    el_idx = np.arange(config.num_elevation_antennas)
+    azimuth_phase = np.pi * np.sin(azimuth) * np.cos(elevation)
+    elevation_phase = np.pi * np.sin(elevation)
+    return np.exp(1j * np.add.outer(azimuth_phase * az_idx, elevation_phase * el_idx))
+
+
+class TestEstimateAngles:
+    @pytest.mark.parametrize("azimuth_deg", [-40, -20, 0, 15, 35])
+    def test_azimuth_recovered(self, config, azimuth_deg):
+        azimuth = np.deg2rad(azimuth_deg)
+        estimate = estimate_angles(snapshot_for(config, azimuth, 0.0), config)
+        assert estimate is not None
+        assert np.rad2deg(estimate.azimuth) == pytest.approx(azimuth_deg, abs=4.0)
+
+    @pytest.mark.parametrize("elevation_deg", [-20, 0, 25])
+    def test_elevation_recovered(self, config, elevation_deg):
+        elevation = np.deg2rad(elevation_deg)
+        estimate = estimate_angles(snapshot_for(config, 0.0, elevation), config)
+        assert estimate is not None
+        assert np.rad2deg(estimate.elevation) == pytest.approx(elevation_deg, abs=3.0)
+
+    def test_combined_angles(self, config):
+        estimate = estimate_angles(snapshot_for(config, np.deg2rad(20), np.deg2rad(10)), config)
+        assert estimate is not None
+        assert np.rad2deg(estimate.azimuth) == pytest.approx(20, abs=5)
+        assert np.rad2deg(estimate.elevation) == pytest.approx(10, abs=3)
+
+    def test_power_reported_positive(self, config):
+        estimate = estimate_angles(snapshot_for(config, 0.2, 0.0), config)
+        assert estimate is not None and estimate.power > 0
+
+    def test_wrong_snapshot_shape_raises(self, config):
+        with pytest.raises(ValueError):
+            estimate_angles(np.zeros((3, 3), dtype=complex), config)
+
+
+class TestDetectionsToPoints:
+    def test_single_target_geometry(self, config, rng):
+        distance, azimuth = 2.0, np.deg2rad(20)
+        position = np.array([distance * np.sin(azimuth), distance * np.cos(azimuth), 0.0])
+        scene = Scene([RadarTarget(position=position, velocity=np.zeros(3), rcs=10.0)])
+        cube = synthesize_data_cube(scene, config, rng=rng, add_noise=False)
+        rd_map = range_doppler_processing(cube)
+        half = rd_map.power[: config.num_samples // 2]
+        peak = np.unravel_index(np.argmax(half), half.shape)
+        points = detections_to_points(rd_map, [tuple(peak)], config)
+        assert points.shape == (1, 5)
+        x, y, z, doppler, intensity = points[0]
+        assert np.hypot(x, y) == pytest.approx(distance, abs=3 * config.range_resolution)
+        assert np.arctan2(x, y) == pytest.approx(azimuth, abs=np.deg2rad(6))
+        assert doppler == pytest.approx(0.0, abs=config.velocity_resolution)
+
+    def test_empty_detections(self, config, rng):
+        cube = synthesize_data_cube(Scene([]), config, rng=rng)
+        rd_map = range_doppler_processing(cube)
+        points = detections_to_points(rd_map, [], config)
+        assert points.shape == (0, 5)
+
+    def test_zero_range_detection_skipped(self, config, rng):
+        cube = synthesize_data_cube(Scene([]), config, rng=rng)
+        rd_map = range_doppler_processing(cube)
+        points = detections_to_points(rd_map, [(0, config.num_chirps // 2)], config)
+        assert points.shape[0] == 0

@@ -1,0 +1,139 @@
+"""Tests for the fast geometric point-cloud backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.motion import MotionSynthesizer
+from repro.body.subjects import default_subjects
+from repro.body.surface import BodyScatteringModel
+from repro.radar.config import RadarConfig
+from repro.radar.geometric import GeometricBackendConfig, GeometricPointCloudGenerator
+from repro.radar.scene import targets_from_scatterers
+
+
+@pytest.fixture(scope="module")
+def scene():
+    subject = default_subjects()[0]
+    trajectory = MotionSynthesizer().synthesize(
+        subject, "squat", 3.0, rng=np.random.default_rng(0)
+    )
+    positions, velocities = trajectory.frame(12)
+    scatterers = BodyScatteringModel(points_per_segment=8).scatterers(
+        positions, velocities, np.random.default_rng(1)
+    )
+    return targets_from_scatterers(scatterers, RadarConfig())
+
+
+@pytest.fixture
+def generator():
+    return GeometricPointCloudGenerator(radar_config=RadarConfig())
+
+
+class TestBackendConfig:
+    def test_defaults_valid(self):
+        GeometricBackendConfig()
+
+    def test_rejects_zero_max_points(self):
+        with pytest.raises(ValueError):
+            GeometricBackendConfig(max_points=0)
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(ValueError):
+            GeometricBackendConfig(static_detection_floor=1.5)
+
+    def test_rejects_bad_efficiency_range(self):
+        with pytest.raises(ValueError):
+            GeometricBackendConfig(frame_efficiency_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            GeometricBackendConfig(frame_efficiency_range=(0.9, 0.5))
+
+
+class TestGeneration:
+    def test_produces_sparse_frame(self, scene, generator):
+        frame = generator.generate_frame(scene, np.random.default_rng(2))
+        assert 0 < frame.num_points <= generator.backend_config.max_points
+
+    def test_points_near_the_body(self, scene, generator):
+        frame = generator.generate_frame(scene, np.random.default_rng(3))
+        centroid = frame.centroid()
+        # Body stands ~2.5 m in front of the radar, roughly centred laterally.
+        assert abs(centroid[0]) < 0.6
+        assert 1.5 < centroid[1] < 3.5
+        assert 0.0 < centroid[2] < 2.0
+
+    def test_respects_max_points(self, scene):
+        generator = GeometricPointCloudGenerator(
+            radar_config=RadarConfig(),
+            backend_config=GeometricBackendConfig(max_points=10, frame_efficiency_range=(1.0, 1.0)),
+        )
+        frame = generator.generate_frame(scene, np.random.default_rng(4))
+        assert frame.num_points <= 10
+
+    def test_deterministic_given_rng(self, scene, generator):
+        frame_a = generator.generate_frame(scene, np.random.default_rng(7))
+        frame_b = generator.generate_frame(scene, np.random.default_rng(7))
+        np.testing.assert_allclose(frame_a.points, frame_b.points)
+
+    def test_empty_scene_gives_empty_frame(self, generator):
+        from repro.radar.scene import Scene
+
+        frame = generator.generate_frame(Scene([]), np.random.default_rng(0))
+        assert frame.num_points == 0
+
+    def test_metadata_propagated(self, scene, generator):
+        frame = generator.generate_frame(scene, np.random.default_rng(5), timestamp=1.2, frame_index=12)
+        assert frame.timestamp == 1.2
+        assert frame.frame_index == 12
+
+    def test_quantization_snaps_ranges(self, scene):
+        config = RadarConfig()
+        generator = GeometricPointCloudGenerator(
+            radar_config=config,
+            backend_config=GeometricBackendConfig(
+                quantize=True, angle_noise_deg=0.0, range_noise_scale=0.0, doppler_noise_scale=0.0
+            ),
+        )
+        frame = generator.generate_frame(scene, np.random.default_rng(6))
+        assert frame.num_points > 0
+        # Radial velocities must sit on the Doppler-resolution grid.
+        remainder = np.abs(
+            frame.doppler / config.velocity_resolution
+            - np.round(frame.doppler / config.velocity_resolution)
+        )
+        assert np.all(remainder < 1e-6)
+
+    def test_higher_noise_floor_reduces_detections(self, scene):
+        quiet = GeometricPointCloudGenerator(radar_config=RadarConfig(noise_figure_db=-32.0))
+        noisy = GeometricPointCloudGenerator(radar_config=RadarConfig(noise_figure_db=-18.0))
+        counts_quiet = np.mean(
+            [quiet.generate_frame(scene, np.random.default_rng(s)).num_points for s in range(8)]
+        )
+        counts_noisy = np.mean(
+            [noisy.generate_frame(scene, np.random.default_rng(s)).num_points for s in range(8)]
+        )
+        assert counts_noisy < counts_quiet
+
+    def test_frame_efficiency_creates_bursty_counts(self, scene):
+        stationary = GeometricPointCloudGenerator(
+            radar_config=RadarConfig(),
+            backend_config=GeometricBackendConfig(frame_efficiency_range=(1.0, 1.0)),
+        )
+        bursty = GeometricPointCloudGenerator(
+            radar_config=RadarConfig(),
+            backend_config=GeometricBackendConfig(frame_efficiency_range=(0.2, 1.0)),
+        )
+        counts_stationary = [
+            stationary.generate_frame(scene, np.random.default_rng(s)).num_points for s in range(20)
+        ]
+        counts_bursty = [
+            bursty.generate_frame(scene, np.random.default_rng(s)).num_points for s in range(20)
+        ]
+        assert np.std(counts_bursty) > np.std(counts_stationary)
+
+    def test_intensity_correlates_with_rcs(self, scene, generator):
+        frame = generator.generate_frame(scene, np.random.default_rng(9))
+        # Intensities are SNR values in dB: they must be finite and spread out.
+        assert np.all(np.isfinite(frame.intensity))
+        assert frame.intensity.std() > 0.5

@@ -1,0 +1,93 @@
+"""Tests for the end-to-end radar pipelines (both backends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.motion import MotionSynthesizer
+from repro.body.subjects import default_subjects
+from repro.body.surface import BodyScatteringModel
+from repro.radar.config import RadarConfig
+from repro.radar.pipeline import GeometricPipeline, SignalChainPipeline, make_pipeline
+
+
+@pytest.fixture(scope="module")
+def body_frame():
+    subject = default_subjects()[0]
+    trajectory = MotionSynthesizer().synthesize(
+        subject, "squat", 3.0, rng=np.random.default_rng(0)
+    )
+    positions, velocities = trajectory.frame(15)
+    scatterers = BodyScatteringModel(points_per_segment=6).scatterers(
+        positions, velocities, np.random.default_rng(1)
+    )
+    return positions, scatterers
+
+
+class TestMakePipeline:
+    def test_geometric_default(self):
+        assert isinstance(make_pipeline(), GeometricPipeline)
+
+    def test_signal_backend(self):
+        assert isinstance(make_pipeline("signal"), SignalChainPipeline)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            make_pipeline("lidar")
+
+    def test_custom_config_respected(self):
+        config = RadarConfig(radar_height=1.4)
+        pipeline = make_pipeline("geometric", config=config)
+        assert pipeline.config.radar_height == 1.4
+
+
+class TestGeometricPipeline:
+    def test_world_frame_output(self, body_frame):
+        positions, scatterers = body_frame
+        pipeline = make_pipeline("geometric")
+        frame = pipeline.process_scatterers(scatterers, np.random.default_rng(2))
+        assert frame.num_points > 0
+        # Cloud centroid should be near the body centroid (world frame).
+        assert np.linalg.norm(frame.centroid() - positions.mean(axis=0)) < 0.6
+
+    def test_points_span_body_height(self, body_frame):
+        _, scatterers = body_frame
+        pipeline = make_pipeline("geometric")
+        frame = pipeline.process_scatterers(scatterers, np.random.default_rng(3))
+        z = frame.xyz[:, 2]
+        assert z.max() - z.min() > 0.5
+
+
+class TestSignalChainPipeline:
+    def test_produces_points_near_body(self, body_frame):
+        positions, scatterers = body_frame
+        pipeline = make_pipeline("signal", config=RadarConfig.low_resolution())
+        frame = pipeline.process_scatterers(scatterers, np.random.default_rng(4))
+        assert frame.num_points > 0
+        centroid = frame.centroid()
+        assert abs(centroid[0] - positions[:, 0].mean()) < 0.5
+        assert abs(centroid[1] - positions[:, 1].mean()) < 0.5
+
+    def test_timestamp_and_index_propagated(self, body_frame):
+        _, scatterers = body_frame
+        pipeline = make_pipeline("signal", config=RadarConfig.low_resolution())
+        frame = pipeline.process_scatterers(
+            scatterers, np.random.default_rng(5), timestamp=3.3, frame_index=33
+        )
+        assert frame.timestamp == 3.3
+        assert frame.frame_index == 33
+
+
+class TestBackendAgreement:
+    def test_backends_report_similar_body_location(self, body_frame):
+        """Both backends must localize the body at the same place (coarse check)."""
+        positions, scatterers = body_frame
+        geometric = make_pipeline("geometric").process_scatterers(
+            scatterers, np.random.default_rng(6)
+        )
+        signal = make_pipeline("signal", config=RadarConfig.low_resolution()).process_scatterers(
+            scatterers, np.random.default_rng(6)
+        )
+        assert geometric.num_points > 0 and signal.num_points > 0
+        assert np.linalg.norm(geometric.centroid()[:2] - signal.centroid()[:2]) < 0.7

@@ -1,0 +1,161 @@
+"""Tests for point-cloud containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radar.pointcloud import (
+    POINT_FIELDS,
+    PointCloudFrame,
+    PointCloudSequence,
+    merge_frames,
+)
+
+
+def make_frame(n=5, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    points = np.column_stack(
+        [
+            rng.uniform(-1, 1, n),
+            rng.uniform(1, 4, n),
+            rng.uniform(0, 2, n),
+            rng.normal(0, 0.5, n),
+            rng.uniform(0, 30, n),
+        ]
+    )
+    return PointCloudFrame(points, **kwargs)
+
+
+class TestPointCloudFrame:
+    def test_fields_order_matches_eq1(self):
+        assert POINT_FIELDS == ("x", "y", "z", "doppler", "intensity")
+
+    def test_num_points(self):
+        assert make_frame(7).num_points == 7
+        assert len(make_frame(7)) == 7
+
+    def test_empty_frame(self):
+        frame = PointCloudFrame.empty(timestamp=1.5, frame_index=3)
+        assert frame.num_points == 0
+        assert frame.points.shape == (0, 5)
+        assert frame.timestamp == 1.5
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            PointCloudFrame(np.zeros((4, 3)))
+
+    def test_accepts_empty_array_of_any_shape(self):
+        frame = PointCloudFrame(np.zeros((0,)))
+        assert frame.points.shape == (0, 5)
+
+    def test_column_accessors(self):
+        frame = make_frame(6)
+        np.testing.assert_allclose(frame.xyz, frame.points[:, :3])
+        np.testing.assert_allclose(frame.doppler, frame.points[:, 3])
+        np.testing.assert_allclose(frame.intensity, frame.points[:, 4])
+        np.testing.assert_allclose(frame.column("z"), frame.points[:, 2])
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            make_frame().column("snr")
+
+    def test_centroid_weighted_by_intensity(self):
+        points = np.array(
+            [
+                [0.0, 0.0, 0.0, 0.0, 1.0],
+                [1.0, 1.0, 1.0, 0.0, 3.0],
+            ]
+        )
+        frame = PointCloudFrame(points)
+        np.testing.assert_allclose(frame.centroid(), [0.75, 0.75, 0.75])
+
+    def test_centroid_of_empty_frame(self):
+        np.testing.assert_allclose(PointCloudFrame.empty().centroid(), np.zeros(3))
+
+    def test_bounding_box(self):
+        frame = make_frame(20)
+        low, high = frame.bounding_box()
+        assert np.all(low <= high)
+        np.testing.assert_allclose(low, frame.xyz.min(axis=0))
+
+    def test_translated(self):
+        frame = make_frame(4)
+        shifted = frame.translated([1.0, -2.0, 0.5])
+        np.testing.assert_allclose(shifted.xyz, frame.xyz + [1.0, -2.0, 0.5])
+        # Doppler/intensity untouched.
+        np.testing.assert_allclose(shifted.points[:, 3:], frame.points[:, 3:])
+
+    def test_translated_rejects_bad_offset(self):
+        with pytest.raises(ValueError):
+            make_frame().translated([1.0, 2.0])
+
+    def test_subsampled_caps_points(self, rng):
+        frame = make_frame(50)
+        small = frame.subsampled(10, rng)
+        assert small.num_points == 10
+
+    def test_subsampled_noop_when_under_budget(self, rng):
+        frame = make_frame(5)
+        assert frame.subsampled(10, rng).num_points == 5
+
+    def test_from_components(self):
+        xyz = np.zeros((3, 3))
+        frame = PointCloudFrame.from_components(xyz, np.ones(3), np.full(3, 5.0))
+        assert frame.num_points == 3
+        np.testing.assert_allclose(frame.doppler, 1.0)
+
+    def test_from_components_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PointCloudFrame.from_components(np.zeros((3, 3)), np.ones(2), np.ones(3))
+
+
+class TestPointCloudSequence:
+    def test_append_assigns_index_and_timestamp(self):
+        sequence = PointCloudSequence(frame_period=0.1)
+        sequence.append(make_frame(3))
+        sequence.append(make_frame(4))
+        assert sequence[1].frame_index == 1
+        assert sequence[1].timestamp == pytest.approx(0.1)
+
+    def test_point_counts_and_mean(self):
+        sequence = PointCloudSequence()
+        for n in (3, 5, 7):
+            sequence.append(make_frame(n))
+        np.testing.assert_array_equal(sequence.point_counts(), [3, 5, 7])
+        assert sequence.mean_points_per_frame() == pytest.approx(5.0)
+
+    def test_empty_sequence_mean(self):
+        assert PointCloudSequence().mean_points_per_frame() == 0.0
+
+    def test_iteration(self):
+        sequence = PointCloudSequence()
+        sequence.append(make_frame(2))
+        assert len(list(sequence)) == 1
+
+    def test_invalid_frame_period(self):
+        with pytest.raises(ValueError):
+            PointCloudSequence(frame_period=0.0)
+
+
+class TestMergeFrames:
+    def test_concatenates_points(self):
+        merged = merge_frames([make_frame(3), make_frame(4, seed=1), make_frame(5, seed=2)])
+        assert merged.num_points == 12
+
+    def test_keeps_centre_frame_metadata(self):
+        frames = [
+            make_frame(2, timestamp=0.0, frame_index=0),
+            make_frame(2, timestamp=0.1, frame_index=1),
+            make_frame(2, timestamp=0.2, frame_index=2),
+        ]
+        merged = merge_frames(frames)
+        assert merged.frame_index == 1
+        assert merged.timestamp == pytest.approx(0.1)
+
+    def test_merge_empty_list(self):
+        assert merge_frames([]).num_points == 0
+
+    def test_merge_with_empty_frames(self):
+        merged = merge_frames([PointCloudFrame.empty(), make_frame(4), PointCloudFrame.empty()])
+        assert merged.num_points == 4

@@ -1,0 +1,115 @@
+"""Tests for radar scene geometry (ranges, angles, coordinate transforms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.surface import Scatterer
+from repro.radar.config import RadarConfig
+from repro.radar.scene import (
+    RadarTarget,
+    Scene,
+    radar_to_world,
+    targets_from_scatterers,
+    world_to_radar,
+)
+
+
+def make_target(position, velocity=(0.0, 0.0, 0.0), rcs=1.0):
+    return RadarTarget(
+        position=np.asarray(position, dtype=float),
+        velocity=np.asarray(velocity, dtype=float),
+        rcs=rcs,
+    )
+
+
+class TestRadarTarget:
+    def test_range(self):
+        assert make_target([3.0, 4.0, 0.0]).range == pytest.approx(5.0)
+
+    def test_radial_velocity_receding(self):
+        target = make_target([0.0, 2.0, 0.0], velocity=[0.0, 1.0, 0.0])
+        assert target.radial_velocity == pytest.approx(1.0)
+
+    def test_radial_velocity_approaching_is_negative(self):
+        target = make_target([0.0, 2.0, 0.0], velocity=[0.0, -0.5, 0.0])
+        assert target.radial_velocity == pytest.approx(-0.5)
+
+    def test_tangential_velocity_has_zero_radial_component(self):
+        target = make_target([0.0, 2.0, 0.0], velocity=[1.0, 0.0, 0.0])
+        assert target.radial_velocity == pytest.approx(0.0)
+
+    def test_azimuth_sign_convention(self):
+        # +x is to the radar's right -> positive azimuth.
+        assert make_target([1.0, 1.0, 0.0]).azimuth == pytest.approx(np.pi / 4)
+        assert make_target([-1.0, 1.0, 0.0]).azimuth == pytest.approx(-np.pi / 4)
+
+    def test_boresight_target_has_zero_angles(self):
+        target = make_target([0.0, 3.0, 0.0])
+        assert target.azimuth == pytest.approx(0.0)
+        assert target.elevation == pytest.approx(0.0)
+
+    def test_elevation_sign_convention(self):
+        assert make_target([0.0, 1.0, 1.0]).elevation == pytest.approx(np.pi / 4)
+        assert make_target([0.0, 1.0, -1.0]).elevation == pytest.approx(-np.pi / 4)
+
+    def test_zero_range_target_has_zero_radial_velocity(self):
+        target = make_target([0.0, 0.0, 0.0], velocity=[1.0, 1.0, 1.0])
+        assert target.radial_velocity == 0.0
+
+
+class TestScene:
+    def test_vector_accessors(self):
+        scene = Scene([make_target([0.0, 2.0, 0.0]), make_target([1.0, 1.0, 0.0], rcs=2.0)])
+        assert len(scene) == 2
+        assert scene.ranges().shape == (2,)
+        assert scene.rcs()[1] == pytest.approx(2.0)
+
+    def test_field_of_view_filters_behind_and_far(self):
+        config = RadarConfig()
+        scene = Scene(
+            [
+                make_target([0.0, 2.0, 0.0]),  # visible
+                make_target([0.0, 100.0, 0.0]),  # beyond max range
+                make_target([5.0, 0.5, 0.0]),  # extreme azimuth
+            ]
+        )
+        visible = scene.within_field_of_view(config)
+        assert len(visible) == 1
+
+    def test_field_of_view_keeps_everything_when_wide(self):
+        config = RadarConfig()
+        scene = Scene([make_target([0.3, 2.0, 0.2]), make_target([-0.5, 3.0, -0.3])])
+        assert len(scene.within_field_of_view(config)) == 2
+
+
+class TestCoordinateTransforms:
+    def test_world_to_radar_shifts_height(self):
+        config = RadarConfig(radar_height=1.2)
+        world = np.array([0.5, 2.0, 1.2])
+        radar = world_to_radar(world, config)
+        np.testing.assert_allclose(radar, [0.5, 2.0, 0.0])
+
+    def test_roundtrip(self):
+        config = RadarConfig()
+        world = np.random.default_rng(0).normal(size=(10, 3))
+        np.testing.assert_allclose(radar_to_world(world_to_radar(world, config), config), world)
+
+    def test_targets_from_scatterers(self):
+        config = RadarConfig(radar_height=1.0)
+        scatterers = [
+            Scatterer(
+                position=np.array([0.0, 2.5, 1.0]),
+                velocity=np.array([0.0, 0.1, 0.0]),
+                rcs=1.5,
+                segment="spine_mid",
+            )
+        ]
+        scene = targets_from_scatterers(scatterers, config)
+        assert len(scene) == 1
+        target = scene.targets[0]
+        # At the radar's mounting height the elevation should be zero.
+        assert target.elevation == pytest.approx(0.0, abs=1e-9)
+        assert target.rcs == pytest.approx(1.5)
+        assert target.range == pytest.approx(2.5)

@@ -1,0 +1,110 @@
+"""Tests for FMCW beat-signal synthesis and range/Doppler processing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radar.config import RadarConfig
+from repro.radar.scene import RadarTarget, Scene
+from repro.radar.signal_chain import (
+    RadarDataCube,
+    range_doppler_processing,
+    synthesize_data_cube,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RadarConfig.low_resolution()
+
+
+def single_target_scene(distance=2.0, velocity=0.0, azimuth=0.0, rcs=5.0):
+    position = np.array([distance * np.sin(azimuth), distance * np.cos(azimuth), 0.0])
+    direction = position / np.linalg.norm(position)
+    return Scene([RadarTarget(position=position, velocity=velocity * direction, rcs=rcs)])
+
+
+class TestDataCube:
+    def test_shape(self, config, rng):
+        cube = synthesize_data_cube(single_target_scene(), config, rng=rng)
+        assert cube.samples.shape == (
+            config.num_samples,
+            config.num_chirps,
+            config.num_azimuth_antennas,
+            config.num_elevation_antennas,
+        )
+
+    def test_complex_dtype(self, config, rng):
+        cube = synthesize_data_cube(single_target_scene(), config, rng=rng)
+        assert np.iscomplexobj(cube.samples)
+
+    def test_empty_scene_is_pure_noise(self, config, rng):
+        cube = synthesize_data_cube(Scene([]), config, rng=rng, add_noise=True)
+        power = np.mean(np.abs(cube.samples) ** 2)
+        assert power == pytest.approx(config.noise_power, rel=0.2)
+
+    def test_no_noise_option(self, config, rng):
+        cube = synthesize_data_cube(Scene([]), config, rng=rng, add_noise=False)
+        assert np.all(cube.samples == 0)
+
+    def test_wrong_shape_rejected(self, config):
+        with pytest.raises(ValueError):
+            RadarDataCube(samples=np.zeros((2, 2, 2, 2), dtype=complex), config=config)
+
+    def test_out_of_range_target_contributes_nothing(self, config, rng):
+        scene = single_target_scene(distance=config.max_range * 2)
+        cube = synthesize_data_cube(scene, config, rng=rng, add_noise=False)
+        assert np.allclose(cube.samples, 0)
+
+
+class TestRangeDopplerProcessing:
+    def test_peak_at_expected_range_bin(self, config, rng):
+        distance = 2.0
+        cube = synthesize_data_cube(
+            single_target_scene(distance=distance), config, rng=rng, add_noise=False
+        )
+        rd_map = range_doppler_processing(cube)
+        # Only search the unambiguous (positive-beat) half of the range axis.
+        half = rd_map.power[: config.num_samples // 2]
+        peak_range_bin = np.unravel_index(np.argmax(half), half.shape)[0]
+        expected_bin = distance / config.range_resolution
+        assert abs(peak_range_bin - expected_bin) <= 1.5
+
+    def test_static_target_lands_in_zero_doppler_bin(self, config, rng):
+        cube = synthesize_data_cube(single_target_scene(velocity=0.0), config, rng=rng, add_noise=False)
+        rd_map = range_doppler_processing(cube)
+        peak = np.unravel_index(np.argmax(rd_map.power), rd_map.power.shape)
+        assert abs(peak[1] - config.num_chirps // 2) <= 1
+
+    def test_moving_target_shifts_doppler_bin(self, config, rng):
+        velocity = 1.0
+        cube = synthesize_data_cube(
+            single_target_scene(velocity=velocity), config, rng=rng, add_noise=False
+        )
+        rd_map = range_doppler_processing(cube)
+        peak = np.unravel_index(np.argmax(rd_map.power), rd_map.power.shape)
+        measured_velocity = rd_map.velocity_of_bin(peak[1])
+        assert measured_velocity == pytest.approx(velocity, abs=2 * config.velocity_resolution)
+
+    def test_bin_conversions(self, config, rng):
+        cube = synthesize_data_cube(single_target_scene(), config, rng=rng)
+        rd_map = range_doppler_processing(cube)
+        assert rd_map.range_of_bin(0) == 0.0
+        assert rd_map.range_of_bin(10) == pytest.approx(10 * config.range_resolution)
+        assert rd_map.velocity_of_bin(config.num_chirps // 2) == pytest.approx(0.0)
+
+    def test_power_map_shape(self, config, rng):
+        cube = synthesize_data_cube(single_target_scene(), config, rng=rng)
+        rd_map = range_doppler_processing(cube)
+        assert rd_map.power.shape == (config.num_samples, config.num_chirps)
+        assert rd_map.spectrum.shape[:2] == rd_map.power.shape
+
+    def test_stronger_rcs_gives_stronger_peak(self, config, rng):
+        weak = range_doppler_processing(
+            synthesize_data_cube(single_target_scene(rcs=1.0), config, rng=np.random.default_rng(0), add_noise=False)
+        ).power.max()
+        strong = range_doppler_processing(
+            synthesize_data_cube(single_target_scene(rcs=9.0), config, rng=np.random.default_rng(0), add_noise=False)
+        ).power.max()
+        assert strong > 4.0 * weak

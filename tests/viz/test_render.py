@@ -1,0 +1,95 @@
+"""Tests for ASCII rendering of point clouds and skeletons."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.skeleton import Skeleton
+from repro.radar.pointcloud import PointCloudFrame
+from repro.viz.render import RenderConfig, occupancy_grid, render_point_cloud, render_skeleton
+
+
+def frame_with_points(points):
+    return PointCloudFrame(np.asarray(points, dtype=float))
+
+
+class TestRenderConfig:
+    def test_defaults_valid(self):
+        RenderConfig()
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            RenderConfig(width=1)
+
+    def test_rejects_inverted_ranges(self):
+        with pytest.raises(ValueError):
+            RenderConfig(x_range=(1.0, -1.0))
+
+
+class TestOccupancyGrid:
+    def test_shape(self):
+        grid = occupancy_grid(frame_with_points([[0.0, 2.0, 1.0, 0.0, 10.0]]))
+        assert grid.shape == (24, 48)
+
+    def test_single_point_single_cell(self):
+        grid = occupancy_grid(frame_with_points([[0.0, 2.0, 1.0, 0.0, 10.0]]))
+        assert grid.sum() == 1
+
+    def test_empty_frame(self):
+        assert occupancy_grid(PointCloudFrame.empty()).sum() == 0
+
+    def test_out_of_range_points_ignored(self):
+        grid = occupancy_grid(frame_with_points([[10.0, 2.0, 1.0, 0.0, 10.0]]))
+        assert grid.sum() == 0
+
+    def test_higher_point_maps_to_lower_row_index(self):
+        config = RenderConfig()
+        high = occupancy_grid(frame_with_points([[0.0, 2.0, 1.8, 0.0, 1.0]]), config)
+        low = occupancy_grid(frame_with_points([[0.0, 2.0, 0.2, 0.0, 1.0]]), config)
+        assert np.argwhere(high)[0][0] < np.argwhere(low)[0][0]
+
+
+class TestRenderPointCloud:
+    def test_contains_header_and_frame(self):
+        text = render_point_cloud(frame_with_points([[0.0, 2.0, 1.0, 0.0, 10.0]]), title="demo")
+        assert "demo" in text
+        assert "1 points" in text
+        assert text.count("+") >= 2  # top and bottom rulers
+
+    def test_line_widths_consistent(self):
+        config = RenderConfig(width=30, height=10)
+        text = render_point_cloud(frame_with_points([[0.0, 2.0, 1.0, 0.0, 10.0]]), config)
+        body_lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert len(body_lines) == 10
+        assert all(len(line) == 32 for line in body_lines)
+
+    def test_denser_cloud_renders_darker(self):
+        sparse = frame_with_points([[0.0, 2.0, 1.0, 0.0, 10.0]])
+        rng = np.random.default_rng(0)
+        dense_points = np.column_stack(
+            [
+                rng.uniform(-0.1, 0.1, 50),
+                np.full(50, 2.0),
+                rng.uniform(0.9, 1.1, 50),
+                np.zeros(50),
+                np.full(50, 10.0),
+            ]
+        )
+        dense = frame_with_points(dense_points)
+        # The dense cloud uses high-density glyphs somewhere.
+        assert "@" in render_point_cloud(dense)
+        assert "@" in render_point_cloud(sparse)  # single cell is also the max
+
+
+class TestRenderSkeleton:
+    def test_contains_joints_and_bones(self):
+        positions = Skeleton().neutral_joint_positions()
+        text = render_skeleton(positions, title="pose")
+        assert "pose" in text
+        assert "o" in text
+        assert "." in text
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            render_skeleton(np.zeros((5, 3)))

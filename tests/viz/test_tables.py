@@ -1,0 +1,60 @@
+"""Tests for plain-text table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz.tables import format_comparison, format_curve, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["name", "value"], [["alpha", 1.234], ["beta", 5]], title="demo")
+        assert "demo" in text
+        assert "alpha" in text
+        assert "1.23" in text
+        assert "5" in text
+
+    def test_alignment_produces_equal_length_data_lines(self):
+        text = format_table(["a", "b"], [["x", 1.0], ["longer", 123.456]])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines[:1] + lines[2:])) == 1
+
+    def test_precision_control(self):
+        text = format_table(["v"], [[3.14159]], precision=4)
+        assert "3.1416" in text
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_table_without_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatCurve:
+    def test_epoch_indices_present(self):
+        text = format_curve("mae", [5.0, 4.5, 4.0])
+        assert "mae" in text
+        assert "0:" in text and "2:" in text
+
+    def test_line_wrapping(self):
+        text = format_curve("mae", list(range(25)), per_line=10)
+        # Header plus three wrapped lines.
+        assert len(text.splitlines()) == 4
+
+
+class TestFormatComparison:
+    def test_paper_and_measured_columns(self):
+        text = format_comparison({"MAE": 5.5}, {"MAE": 6.1}, title="table 1")
+        assert "paper" in text and "measured" in text
+        assert "5.50" in text and "6.10" in text
+
+    def test_missing_measured_value_rendered_as_nan(self):
+        text = format_comparison({"MAE": 5.5}, {})
+        assert "nan" in text
