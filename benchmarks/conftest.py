@@ -9,6 +9,8 @@ Table 2 / Figure 3 / Figure 4 benches share one offline-training run.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,26 @@ from repro.dataset.loader import build_array_dataset
 from repro.dataset.splits import per_movement_split
 from repro.dataset.synthetic import SyntheticDatasetConfig, generate_dataset
 from repro.experiments.scale import get_scale
+
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``slow``.
+
+    The benchmark harness replays CI-scale experiments (minutes each) and is
+    excluded from the default test tier; run ``pytest -m slow`` (or the
+    scheduled CI job) to execute it.  The hook receives the whole session's
+    item list, so restrict the marker to items that live in this directory.
+    """
+    for item in items:
+        try:
+            in_benchmarks = Path(str(item.fspath)).resolve().is_relative_to(_BENCH_DIR)
+        except (OSError, ValueError):
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,20 @@
+"""Root conftest: make ``repro`` importable without an install.
+
+The supported installation path is ``pip install -e .`` (see pyproject.toml),
+after which this shim is a no-op.  For environments where an editable install
+is unavailable (offline containers, quick checkouts) the ``src/`` layout is
+prepended to ``sys.path`` so that ``pytest`` works out of the box and the
+historical ``PYTHONPATH=src`` prefix becomes optional.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - depends on install state
+    sys.path.insert(0, str(_SRC))

@@ -13,13 +13,16 @@ every substrate it depends on:
   feature maps,
 * :mod:`repro.core` — the FUSE framework itself: multi-frame fusion,
   meta-learning, fine-tuning, evaluation,
+* :mod:`repro.engine` — the vectorized batched execution engine
+  (:class:`repro.engine.BatchPlan`) driving the radar, feature and
+  meta-learning hot paths,
 * :mod:`repro.viz` — point-cloud rendering and result tables,
 * :mod:`repro.experiments` — drivers that regenerate every table and figure
   of the paper's evaluation section.
 """
 
-from . import body, core, dataset, nn, radar
+from . import body, core, dataset, engine, nn, radar
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
-__all__ = ["nn", "radar", "body", "dataset", "core", "__version__"]
+__all__ = ["nn", "radar", "body", "dataset", "core", "engine", "__version__"]

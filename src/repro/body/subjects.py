@@ -10,7 +10,7 @@ split genuinely harder than a random split.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List
 
 import numpy as np

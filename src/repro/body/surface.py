@@ -169,3 +169,95 @@ class BodyScatteringModel:
         velocities = np.array([s.velocity for s in scatterers])
         rcs = np.array([s.rcs for s in scatterers])
         return positions, velocities, rcs
+
+    # ------------------------------------------------------------------
+    # Batched sampling
+    # ------------------------------------------------------------------
+    @property
+    def scatterers_per_frame(self) -> int:
+        """Number of scatterers emitted for every posed frame."""
+        return len(SKELETON_EDGES) * self.points_per_segment
+
+    def _edge_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-edge index and constant tables for the vectorized sampler."""
+        parents = np.array([JOINT_INDEX[parent] for parent, _child in SKELETON_EDGES])
+        children = np.array([JOINT_INDEX[child] for _parent, child in SKELETON_EDGES])
+        rcs = np.array(
+            [_SEGMENT_RCS.get(child, 1.0) for _parent, child in SKELETON_EDGES]
+        )
+        radius = np.array(
+            [_SEGMENT_RADIUS.get(child, 0.05) for _parent, child in SKELETON_EDGES]
+        )
+        return parents, children, rcs, radius
+
+    def scatterer_batch(
+        self,
+        joint_positions: np.ndarray,
+        joint_velocities: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample scatterers for a whole trajectory of posed frames at once.
+
+        Parameters
+        ----------
+        joint_positions / joint_velocities:
+            Arrays of shape ``(frames, 19, 3)``.
+        rng:
+            Random generator controlling surface-offset sampling.  All noise
+            for the batch is drawn in a handful of vectorized calls, so the
+            draw order differs from calling :meth:`scatterers` per frame —
+            the two paths agree in distribution, not sample-for-sample.
+
+        Returns
+        -------
+        ``(positions, velocities, rcs)`` arrays of shapes
+        ``(frames, S, 3)``, ``(frames, S, 3)`` and ``(frames, S)`` where
+        ``S = len(SKELETON_EDGES) * points_per_segment``.
+        """
+        joint_positions = np.asarray(joint_positions, dtype=float)
+        joint_velocities = np.asarray(joint_velocities, dtype=float)
+        if joint_positions.shape != joint_velocities.shape:
+            raise ValueError("positions and velocities must have identical shapes")
+        if joint_positions.ndim != 3 or joint_positions.shape[-1] != 3:
+            raise ValueError(
+                f"expected (frames, joints, 3) arrays, got {joint_positions.shape}"
+            )
+
+        parents, children, edge_rcs, edge_radius = self._edge_tables()
+        frames = joint_positions.shape[0]
+        edges = parents.shape[0]
+        fractions = np.linspace(0.15, 0.85, self.points_per_segment)
+
+        # Interpolate centres/velocities along every bone: (T, E, F, 3).
+        p_parent = joint_positions[:, parents][:, :, None, :]
+        p_child = joint_positions[:, children][:, :, None, :]
+        v_parent = joint_velocities[:, parents][:, :, None, :]
+        v_child = joint_velocities[:, children][:, :, None, :]
+        frac = fractions[None, None, :, None]
+        centres = (1.0 - frac) * p_parent + frac * p_child
+        velocities = (1.0 - frac) * v_parent + frac * v_child
+
+        # Random unit offsets scaled to the segment surface radius.
+        offsets = rng.normal(0.0, 1.0, size=(frames, edges, self.points_per_segment, 3))
+        norms = np.linalg.norm(offsets, axis=-1, keepdims=True)
+        scales = edge_radius[None, :, None] + rng.normal(
+            0.0, self.surface_noise, size=(frames, edges, self.points_per_segment)
+        )
+        offsets = np.where(
+            norms > 1e-9, offsets / np.maximum(norms, 1e-12) * scales[..., None], 0.0
+        )
+        positions = centres + offsets
+
+        rcs = np.maximum(
+            edge_rcs[None, :, None]
+            * self.reflectivity
+            * rng.uniform(0.6, 1.4, size=(frames, edges, self.points_per_segment)),
+            1e-3,
+        )
+
+        count = edges * self.points_per_segment
+        return (
+            positions.reshape(frames, count, 3),
+            velocities.reshape(frames, count, 3),
+            rcs.reshape(frames, count),
+        )

@@ -21,20 +21,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from .. import nn
+from ..dataset.cache import FeatureCache
 from ..dataset.features import FeatureMapBuilder
 from ..dataset.loader import ArrayDataset, build_array_dataset
-from ..dataset.sample import LabelledFrame, PoseDataset
+from ..dataset.sample import PoseDataset
+from ..engine.plan import BatchPlan
 from ..radar.pointcloud import PointCloudFrame
 from .evaluation import PoseErrorReport, evaluate_model
 from .finetune import FineTuneConfig, FineTuneResult, FineTuner
 from .fusion import FrameFusion
 from .maml import MetaLearningConfig, MetaTrainer, MetaTrainingHistory
-from .models import PoseCNN, PoseCNNConfig, build_fuse_model
+from .models import PoseCNN, build_fuse_model
 from .training import SupervisedTrainer, TrainingConfig, TrainingHistory
 
 __all__ = ["FuseConfig", "FusePoseEstimator"]
@@ -60,6 +62,10 @@ class FuseConfig:
         Online adaptation hyper-parameters (used by :meth:`adapt`).
     model_seed:
         Seed of the model's weight initialization.
+    plan:
+        Batched-execution plan (:class:`repro.engine.BatchPlan`): selects the
+        vectorized hot path, the feature-cache policy and the radar backend
+        override for everything this estimator does.
     """
 
     num_context_frames: int = 1
@@ -68,6 +74,7 @@ class FuseConfig:
     meta: MetaLearningConfig = field(default_factory=MetaLearningConfig)
     finetune: FineTuneConfig = field(default_factory=FineTuneConfig)
     model_seed: int = 0
+    plan: BatchPlan = field(default_factory=BatchPlan)
 
 
 class FusePoseEstimator:
@@ -75,12 +82,18 @@ class FusePoseEstimator:
 
     def __init__(self, config: Optional[FuseConfig] = None, model: Optional[PoseCNN] = None) -> None:
         self.config = config if config is not None else FuseConfig()
+        self.plan = self.config.plan
         self.fusion = FrameFusion(num_context_frames=self.config.num_context_frames)
         self.feature_builder = self.config.feature_builder
         self.model = (
             model
             if model is not None
             else build_fuse_model(self.feature_builder, seed=self.config.model_seed)
+        )
+        self._feature_cache = (
+            FeatureCache(capacity=self.plan.cache_capacity)
+            if self.plan.cache_policy == "memory"
+            else None
         )
         self.training_history: Optional[TrainingHistory] = None
         self.meta_history: Optional[MetaTrainingHistory] = None
@@ -90,8 +103,18 @@ class FusePoseEstimator:
     # Data preparation
     # ------------------------------------------------------------------
     def prepare(self, dataset: PoseDataset, fuse: bool = True) -> ArrayDataset:
-        """Fuse a labelled dataset and convert it to feature/label arrays."""
+        """Fuse a labelled dataset and convert it to feature/label arrays.
+
+        With a caching plan the built arrays are memoized by content hash, so
+        repeated preparation of the same split (the adaptation experiments
+        re-prepare their evaluation sets many times) costs one lookup.
+        """
         fused = self.fusion.fuse_dataset(dataset) if fuse else dataset
+        if self._feature_cache is not None:
+            features, labels = self._feature_cache.get_or_build(
+                fused, self.feature_builder
+            )
+            return ArrayDataset(features, labels)
         return build_array_dataset(fused, builder=self.feature_builder)
 
     # ------------------------------------------------------------------
@@ -123,7 +146,7 @@ class FusePoseEstimator:
         """Meta-train the initialization (Algorithm 1)."""
         train_arrays = self._as_arrays(train)
         validation_arrays = self._as_arrays(validation) if validation is not None else None
-        trainer = MetaTrainer(self.model, self.config.meta)
+        trainer = MetaTrainer(self.model, self.config.meta, plan=self.plan)
         self.meta_history = trainer.meta_train(
             train_arrays,
             validation_data=validation_arrays,

@@ -5,6 +5,7 @@ MARS CSV layout, the paper's dataset splits, the point-cloud-to-feature-map
 conversion consumed by the CNN models, and batch iteration utilities.
 """
 
+from .cache import CacheStats, FeatureCache
 from .features import FeatureMapBuilder, FeatureNormalization
 from .loader import ArrayDataset, BatchLoader, build_array_dataset
 from .mars import MarsLoadReport, load_mars_directory, load_mars_pair
@@ -29,6 +30,8 @@ __all__ = [
     "leave_out_split",
     "FeatureMapBuilder",
     "FeatureNormalization",
+    "FeatureCache",
+    "CacheStats",
     "ArrayDataset",
     "BatchLoader",
     "build_array_dataset",

@@ -57,10 +57,10 @@ class FeatureNormalization:
         )
 
     def apply(self, points: np.ndarray) -> np.ndarray:
-        """Normalize an ``(N, 5)`` point array channel-wise to ``[-1, 1]``."""
+        """Normalize a ``(..., 5)`` point array channel-wise to ``[-1, 1]``."""
         points = np.asarray(points, dtype=float)
-        if points.ndim != 2 or points.shape[1] != 5:
-            raise ValueError(f"expected an (N, 5) point array, got {points.shape}")
+        if points.ndim < 2 or points.shape[-1] != 5:
+            raise ValueError(f"expected a (..., 5) point array, got {points.shape}")
         ranges = self.ranges()
         low, high = ranges[:, 0], ranges[:, 1]
         scale = np.where(high > low, high - low, 1.0)
@@ -221,6 +221,120 @@ class FeatureMapBuilder:
             feature_map[channel][occupied] = accumulator[occupied] / weight_sum[occupied]
         return feature_map
 
+    # ------------------------------------------------------------------
+    # Batched conversion
+    # ------------------------------------------------------------------
+    def _build_projection_batch(
+        self, points: np.ndarray, frame_ids: np.ndarray, batch: int
+    ) -> np.ndarray:
+        """Vectorized projection layout for a ragged batch.
+
+        ``points`` is the ``(P, 5)`` concatenation of every frame's points and
+        ``frame_ids`` maps each row to its frame.  All per-cell accumulation
+        runs through flat ``bincount`` calls over ``frame * cell`` indices, so
+        the cost is independent of the number of frames.
+        """
+        feature_maps = np.zeros((batch, self.num_channels, self.grid_height, self.grid_width))
+        if points.shape[0] == 0:
+            return feature_maps
+
+        x_low, x_high = self.x_grid_range
+        z_low, z_high = self.z_grid_range
+        cols = np.floor((points[:, 0] - x_low) / (x_high - x_low) * self.grid_width).astype(int)
+        rows = np.floor((z_high - points[:, 2]) / (z_high - z_low) * self.grid_height).astype(int)
+        in_bounds = (
+            (cols >= 0) & (cols < self.grid_width) & (rows >= 0) & (rows < self.grid_height)
+        )
+        if not np.any(in_bounds):
+            return feature_maps
+
+        points = points[in_bounds]
+        rows, cols = rows[in_bounds], cols[in_bounds]
+        frame_ids = frame_ids[in_bounds]
+        normalized = self.normalization.apply(points)
+
+        # Per-frame intensity floor (the sequential path subtracts the frame
+        # minimum of the *in-bounds* points before weighting).
+        frame_min = np.full(batch, np.inf)
+        np.minimum.at(frame_min, frame_ids, points[:, 4])
+        weights = np.maximum(points[:, 4] - frame_min[frame_ids] + 1.0, 1e-3)
+
+        cells = self.grid_height * self.grid_width
+        flat = frame_ids * cells + rows * self.grid_width + cols
+        weight_sum = np.bincount(flat, weights=weights, minlength=batch * cells)
+        occupied = weight_sum > 0
+        safe_weight = np.where(occupied, weight_sum, 1.0)
+        for channel in range(self.num_channels):
+            accumulator = np.bincount(
+                flat, weights=weights * normalized[:, channel], minlength=batch * cells
+            )
+            values = np.where(occupied, accumulator / safe_weight, 0.0)
+            feature_maps[:, channel] = values.reshape(batch, self.grid_height, self.grid_width)
+        return feature_maps
+
+    def _build_sorted_batch(
+        self,
+        per_frame_points: list[np.ndarray],
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Vectorized point-list layout for a ragged batch.
+
+        Frames are padded to a common length with sentinel rows; selection
+        and ordering then run as batched ``argsort``/``lexsort`` calls whose
+        per-row results match the sequential :meth:`_build_sorted`.
+        """
+        batch = len(per_frame_points)
+        out = np.zeros((batch, self.num_channels, self.grid_height, self.grid_width))
+        counts = np.array([p.shape[0] for p in per_frame_points], dtype=int)
+        if batch == 0 or counts.max(initial=0) == 0:
+            return out
+
+        if self.selection == "random":
+            # Random subsampling is inherently per-frame (without-replacement
+            # draws of ragged sizes); fall back to the reference path.
+            maps = [self._build_sorted(p, rng) for p in per_frame_points]
+            return np.stack(maps)
+
+        max_count = int(counts.max())
+        padded = np.zeros((batch, max_count, self.num_channels))
+        present = np.arange(max_count)[None, :] < counts[:, None]
+        for index, pts in enumerate(per_frame_points):
+            if pts.shape[0]:
+                padded[index, : pts.shape[0]] = pts
+
+        # Selection: keep the strongest ``num_points`` returns per frame.
+        # Frames within budget keep their original row order (the sequential
+        # path skips selection for them, which matters for sort_axis="none").
+        if max_count > self.num_points:
+            intensity = np.where(present, padded[:, :, 4], -np.inf)
+            by_intensity = np.argsort(intensity, axis=1)[:, ::-1]
+            original = np.broadcast_to(np.arange(max_count), (batch, max_count))
+            order = np.where((counts > self.num_points)[:, None], by_intensity, original)
+            order = order[:, : self.num_points]
+            padded = np.take_along_axis(padded, order[:, :, None], axis=1)
+            present = np.take_along_axis(present, order, axis=1)
+
+        kept = padded.shape[1]
+        # Ordering for the grid layout, with absent rows pushed to the end.
+        if self.sort_axis == "intensity":
+            key = np.where(present, padded[:, :, 4], -np.inf)
+            order = np.argsort(key, axis=1)[:, ::-1]
+        elif self.sort_axis == "spatial":
+            minus_z = np.where(present, -padded[:, :, 2], np.inf)
+            x = np.where(present, padded[:, :, 0], np.inf)
+            order = np.lexsort((x, minus_z), axis=1)
+        else:  # "none": preserve input order, absent rows already trail
+            order = np.broadcast_to(np.arange(kept), (batch, kept))
+        padded = np.take_along_axis(padded, order[:, :, None], axis=1)
+        present = np.take_along_axis(present, order, axis=1)
+
+        normalized = np.where(present[:, :, None], self.normalization.apply(padded), 0.0)
+        result = np.zeros((batch, self.num_points, self.num_channels))
+        usable = min(kept, self.num_points)
+        result[:, :usable] = normalized[:, :usable]
+        grids = result.reshape(batch, self.grid_height, self.grid_width, self.num_channels)
+        return np.ascontiguousarray(grids.transpose(0, 3, 1, 2))
+
     def build(
         self, cloud: PointCloudFrame, rng: np.random.Generator | None = None
     ) -> np.ndarray:
@@ -233,24 +347,46 @@ class FeatureMapBuilder:
         self,
         clouds: Iterable[PointCloudFrame],
         rng: np.random.Generator | None = None,
+        vectorized: bool = True,
     ) -> np.ndarray:
-        """Convert an iterable of frames into a ``(B, 5, H, W)`` batch."""
-        maps = [self.build(cloud, rng=rng) for cloud in clouds]
-        if not maps:
+        """Convert an iterable of frames into a ``(B, 5, H, W)`` batch.
+
+        The default path vectorizes the conversion across the whole batch
+        (one pass over a ragged concatenation of every frame's points);
+        ``vectorized=False`` keeps the frame-at-a-time reference path used by
+        the equivalence tests.
+        """
+        per_frame = [np.asarray(cloud.points, dtype=float) for cloud in clouds]
+        batch = len(per_frame)
+        if batch == 0:
             return np.zeros((0, *self.feature_shape))
-        return np.stack(maps)
+        if not vectorized:
+            if self.layout == "projection":
+                return np.stack([self._build_projection(p) for p in per_frame])
+            return np.stack([self._build_sorted(p, rng) for p in per_frame])
+        if self.layout == "projection":
+            counts = np.array([p.shape[0] for p in per_frame], dtype=int)
+            points = (
+                np.concatenate(per_frame, axis=0) if counts.sum() else np.zeros((0, 5))
+            )
+            frame_ids = np.repeat(np.arange(batch), counts)
+            return self._build_projection_batch(points, frame_ids, batch)
+        return self._build_sorted_batch(per_frame, rng)
 
     def build_dataset(
         self,
         samples: Sequence[LabelledFrame],
         rng: np.random.Generator | None = None,
+        vectorized: bool = True,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Convert labelled samples into ``(features, labels)`` arrays.
 
         Returns feature maps of shape ``(B, 5, H, W)`` and labels of shape
         ``(B, 57)`` (metres).
         """
-        features = self.build_batch((sample.cloud for sample in samples), rng=rng)
+        features = self.build_batch(
+            (sample.cloud for sample in samples), rng=rng, vectorized=vectorized
+        )
         if len(samples) == 0:
             return features, np.zeros((0, 57))
         labels = np.stack([sample.label_vector for sample in samples])

@@ -32,6 +32,7 @@ from ..body.subjects import SubjectProfile, default_subjects, make_subject
 from ..body.surface import BodyScatteringModel
 from ..radar.config import RadarConfig
 from ..radar.pipeline import make_pipeline
+from ..radar.scene import scene_batch_from_world
 from .sample import LabelledFrame, PoseDataset
 
 __all__ = ["SyntheticDatasetConfig", "SyntheticDatasetGenerator", "generate_dataset"]
@@ -121,8 +122,10 @@ class SyntheticDatasetConfig:
         return cls(seconds_per_pair=6.0)
 
 
-# In-process memoization of generated datasets keyed by configuration.
-_DATASET_CACHE: Dict[SyntheticDatasetConfig, PoseDataset] = {}
+# In-process memoization of generated datasets keyed by configuration and
+# generation path (the batched path draws its randomness in a different
+# order, so the two paths produce distinct — equally valid — datasets).
+_DATASET_CACHE: Dict[Tuple[SyntheticDatasetConfig, bool], PoseDataset] = {}
 
 
 @dataclass
@@ -182,8 +185,70 @@ class SyntheticDatasetGenerator:
             )
         return samples
 
-    def generate(self) -> PoseDataset:
-        """Generate the full dataset described by the configuration."""
+    def generate_sequence_batched(
+        self,
+        subject: SubjectProfile,
+        movement_name: str,
+        sequence_id: int,
+        rng: np.random.Generator,
+    ) -> List[LabelledFrame]:
+        """Generate one recording session through the batched radar path.
+
+        The whole trajectory is pushed through the scattering model and the
+        radar backend as ``(frames, scatterers, ...)`` arrays — no per-frame
+        Python loop over targets.  The random draw order differs from
+        :meth:`generate_sequence`, so the two paths yield statistically
+        equivalent (not sample-identical) datasets; each is deterministic
+        given the seed.
+        """
+        cfg = self.config
+        synthesizer = MotionSynthesizer(frame_rate=cfg.frame_rate)
+        trajectory = synthesizer.synthesize(
+            subject,
+            movement_name,
+            duration=cfg.seconds_per_pair,
+            rng=rng,
+            start_phase=float(rng.uniform(0.0, 1.0)),
+        )
+        scattering = BodyScatteringModel(
+            points_per_segment=cfg.points_per_segment, reflectivity=subject.reflectivity
+        )
+        pipeline = make_pipeline(cfg.radar_backend, config=cfg.radar_config)
+
+        positions, velocities, rcs = scattering.scatterer_batch(
+            trajectory.positions, trajectory.velocities, rng
+        )
+        scene_batch = scene_batch_from_world(positions, velocities, rcs, cfg.radar_config)
+        clouds = pipeline.process_batch(
+            scene_batch,
+            rng,
+            timestamps=trajectory.timestamps,
+            frame_indices=np.arange(trajectory.num_frames),
+        )
+
+        joints = trajectory.positions
+        if cfg.label_noise_std > 0:
+            joints = joints + rng.normal(0.0, cfg.label_noise_std, size=joints.shape)
+
+        return [
+            LabelledFrame(
+                cloud=clouds.frame(frame_index),
+                joints=joints[frame_index],
+                subject_id=subject.subject_id,
+                movement_name=movement_name,
+                sequence_id=sequence_id,
+                frame_index=frame_index,
+            )
+            for frame_index in range(trajectory.num_frames)
+        ]
+
+    def generate(self, vectorized: bool = True) -> PoseDataset:
+        """Generate the full dataset described by the configuration.
+
+        ``vectorized`` selects the batched radar/scattering path (the
+        default); the per-frame path is retained as the reference
+        implementation and for throughput comparisons.
+        """
         cfg = self.config
         dataset = PoseDataset(name=f"synthetic-mars(seed={cfg.seed})")
         sequence_id = 0
@@ -198,21 +263,27 @@ class SyntheticDatasetGenerator:
                     key = f"{cfg.seed}/{subject_id}/{movement_name}/{session}".encode()
                     child_seed = zlib.crc32(key)
                     rng = np.random.default_rng(child_seed)
+                    generate_one = (
+                        self.generate_sequence_batched if vectorized else self.generate_sequence
+                    )
                     dataset.extend(
-                        self.generate_sequence(subject, movement_name, sequence_id, rng)
+                        generate_one(subject, movement_name, sequence_id, rng)
                     )
                     sequence_id += 1
         return dataset
 
 
 def generate_dataset(
-    config: Optional[SyntheticDatasetConfig] = None, use_cache: bool = True
+    config: Optional[SyntheticDatasetConfig] = None,
+    use_cache: bool = True,
+    vectorized: bool = True,
 ) -> PoseDataset:
     """Generate (or fetch from the in-process cache) a synthetic dataset."""
     config = config if config is not None else SyntheticDatasetConfig()
-    if use_cache and config in _DATASET_CACHE:
-        return _DATASET_CACHE[config]
-    dataset = SyntheticDatasetGenerator(config).generate()
+    cache_key = (config, vectorized)
+    if use_cache and cache_key in _DATASET_CACHE:
+        return _DATASET_CACHE[cache_key]
+    dataset = SyntheticDatasetGenerator(config).generate(vectorized=vectorized)
     if use_cache:
-        _DATASET_CACHE[config] = dataset
+        _DATASET_CACHE[cache_key] = dataset
     return dataset

@@ -1,0 +1,31 @@
+"""``repro.engine`` — the vectorized batched execution engine.
+
+The engine is the architectural seam between "what the reproduction
+computes" and "how fast it computes it".  Its pieces:
+
+* :class:`BatchPlan` — one frozen object selecting batch size, feature-cache
+  policy and radar backend, consumed by :class:`repro.core.FusePoseEstimator`
+  and the experiment drivers;
+* :class:`BatchedRadarEngine` — whole-trajectory radar execution over
+  ``(batch, frame, ...)`` arrays;
+* task-batched functional model execution
+  (:func:`replicate_parameters` / :func:`batched_forward`) used by the
+  meta-learning and fine-tuning task loops.
+
+Every vectorized path has a per-frame / per-task reference twin selected by
+``BatchPlan.reference()``; the equivalence tests in ``tests/engine`` pin the
+two together numerically, and ``benchmarks/test_engine_throughput.py``
+tracks the speedup as ``BENCH_engine.json``.
+"""
+
+from .functional import batched_forward, replicate_parameters, supports_batched_execution
+from .plan import BatchPlan
+from .radar import BatchedRadarEngine
+
+__all__ = [
+    "BatchPlan",
+    "BatchedRadarEngine",
+    "batched_forward",
+    "replicate_parameters",
+    "supports_batched_execution",
+]

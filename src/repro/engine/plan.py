@@ -1,0 +1,66 @@
+"""The :class:`BatchPlan` — one object describing how the hot path executes.
+
+A plan bundles the knobs of the batched execution engine: how many radar
+frames are pushed through the vectorized signal chain per chunk, whether
+built feature maps are memoized in the content-addressed cache, and which
+radar backend produces the point clouds.  The estimator
+(:class:`repro.core.FusePoseEstimator`), the meta-trainer and the experiment
+drivers all consume the same plan, so one object switches the whole stack
+between the vectorized and the per-frame reference paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BatchPlan"]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Execution plan of the batched engine.
+
+    Attributes
+    ----------
+    vectorized:
+        Master switch: ``True`` (default) routes radar synthesis, feature
+        building and meta-learning inner loops through the batched kernels;
+        ``False`` selects the frame-at-a-time / task-at-a-time reference
+        paths (used by the equivalence tests and throughput benchmarks).
+    batch_size:
+        Number of radar frames processed per vectorized chunk.  Bounds peak
+        memory of the signal-chain backend (each frame's data cube is a
+        ``(samples, chirps, antennas)`` complex array).
+    cache_policy:
+        ``"memory"`` memoizes built feature/label arrays in the in-process
+        content-addressed LRU cache (:mod:`repro.dataset.cache`);
+        ``"none"`` rebuilds on every call.
+    cache_capacity:
+        Maximum number of cached feature datasets when caching is enabled.
+    backend:
+        Optional radar-backend override (``"geometric"`` or ``"signal"``)
+        applied by engine helpers that construct pipelines; ``None`` keeps
+        the caller's configured backend.
+    """
+
+    vectorized: bool = True
+    batch_size: int = 64
+    cache_policy: str = "memory"
+    cache_capacity: int = 16
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.cache_policy not in ("none", "memory"):
+            raise ValueError(f"unknown cache policy '{self.cache_policy}'")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+        if self.backend is not None and self.backend not in ("geometric", "signal"):
+            raise ValueError(f"unknown radar backend '{self.backend}'")
+
+    @classmethod
+    def reference(cls) -> "BatchPlan":
+        """The per-frame / per-task reference plan (no vectorization, no cache)."""
+        return cls(vectorized=False, cache_policy="none")

@@ -30,7 +30,7 @@ import numpy as np
 from ..core.evaluation import epochs_to_reach, intersection_epoch
 from ..core.finetune import FineTuneConfig, FineTuneResult, FineTuner
 from ..core.maml import MetaTrainer
-from ..core.models import PoseCNN, build_baseline_model, build_fuse_model
+from ..core.models import PoseCNN
 from ..core.pipeline import FuseConfig, FusePoseEstimator
 from ..core.training import SupervisedTrainer
 from ..dataset.loader import ArrayDataset
@@ -176,7 +176,9 @@ def run_adaptation(
     # Offline training
     # ------------------------------------------------------------------
     baseline_estimator = FusePoseEstimator(
-        FuseConfig(num_context_frames=0, training=scale.training, model_seed=0)
+        FuseConfig(
+            num_context_frames=0, training=scale.training, model_seed=0, plan=scale.plan
+        )
     )
     baseline_arrays = _prepare_arrays(baseline_estimator, split)
     if verbose:
@@ -185,12 +187,14 @@ def run_adaptation(
     baseline_state = baseline_estimator.model.state_dict()
 
     fuse_estimator = FusePoseEstimator(
-        FuseConfig(num_context_frames=1, meta=scale.meta, model_seed=1)
+        FuseConfig(num_context_frames=1, meta=scale.meta, model_seed=1, plan=scale.plan)
     )
     fuse_arrays = _prepare_arrays(fuse_estimator, split)
     if verbose:
         print(f"[adaptation] offline meta-training ({scale.meta.meta_iterations} iterations)")
-    MetaTrainer(fuse_estimator.model, scale.meta).meta_train(fuse_arrays["train"])
+    MetaTrainer(fuse_estimator.model, scale.meta, plan=scale.plan).meta_train(
+        fuse_arrays["train"]
+    )
     fuse_state = fuse_estimator.model.state_dict()
 
     # ------------------------------------------------------------------

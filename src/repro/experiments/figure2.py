@@ -22,8 +22,9 @@ from ..body.skeleton import JOINT_INDEX
 from ..body.subjects import default_subjects
 from ..body.surface import BodyScatteringModel
 from ..core.fusion import FrameFusion
-from ..radar.pipeline import make_pipeline
-from ..radar.pointcloud import PointCloudFrame, PointCloudSequence
+from ..engine.plan import BatchPlan
+from ..engine.radar import BatchedRadarEngine
+from ..radar.pointcloud import PointCloudFrame
 from ..viz.render import RenderConfig, occupancy_grid, render_point_cloud
 from ..viz.tables import format_table
 from .scale import ExperimentScale, get_scale
@@ -70,9 +71,16 @@ def run_figure2(
     num_context_frames: int = 1,
     frame_index: int = 25,
     seed: int = 11,
+    plan: Optional[BatchPlan] = None,
 ) -> Figure2Result:
-    """Generate the squat sequence and build the single vs fused comparison."""
+    """Generate the squat sequence and build the single vs fused comparison.
+
+    The radar stage runs through the batched execution engine; pass
+    ``plan=BatchPlan.reference()`` to reproduce the historical per-frame
+    loop (the throughput benchmark compares the two).
+    """
     scale = get_scale(scale) if isinstance(scale, str) else scale
+    plan = plan if plan is not None else scale.plan
     subject = default_subjects()[0]
     rng = np.random.default_rng(seed)
 
@@ -82,17 +90,11 @@ def run_figure2(
         points_per_segment=scale.dataset.points_per_segment,
         reflectivity=subject.reflectivity,
     )
-    pipeline = make_pipeline(scale.dataset.radar_backend, config=scale.dataset.radar_config)
-
-    sequence = PointCloudSequence(frame_period=1.0 / scale.dataset.frame_rate)
-    for index in range(trajectory.num_frames):
-        positions, velocities = trajectory.frame(index)
-        scatterers = scattering.scatterers(positions, velocities, rng)
-        sequence.append(
-            pipeline.process_scatterers(
-                scatterers, rng, timestamp=float(trajectory.timestamps[index]), frame_index=index
-            )
-        )
+    engine = BatchedRadarEngine(plan=plan)
+    pipeline = engine.make_pipeline(
+        scale.dataset.radar_backend, config=scale.dataset.radar_config
+    )
+    sequence = engine.point_cloud_sequence(scattering, trajectory, pipeline, rng)
 
     frame_index = min(frame_index, len(sequence) - 1)
     fusion = FrameFusion(num_context_frames=num_context_frames)

@@ -21,13 +21,20 @@ from ..core.finetune import FineTuneConfig
 from ..core.maml import MetaLearningConfig
 from ..core.training import TrainingConfig
 from ..dataset.synthetic import SyntheticDatasetConfig
+from ..engine.plan import BatchPlan
 
 __all__ = ["ExperimentScale", "get_scale", "SCALE_NAMES"]
 
 
 @dataclass(frozen=True)
 class ExperimentScale:
-    """A bundle of dataset and training budgets used by experiment drivers."""
+    """A bundle of dataset and training budgets used by experiment drivers.
+
+    ``plan`` is the :class:`repro.engine.BatchPlan` the drivers hand to the
+    estimator stack; override it (``with_overrides(plan=...)``) to force the
+    per-frame reference path, a different radar backend or a different cache
+    policy for one run.
+    """
 
     name: str
     dataset: SyntheticDatasetConfig
@@ -37,6 +44,7 @@ class ExperimentScale:
     finetune_last: FineTuneConfig
     finetune_frames: int = 200
     fusion_settings: tuple[int, ...] = (0, 1, 2)
+    plan: BatchPlan = field(default_factory=BatchPlan)
 
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         """Return a copy with selected fields replaced."""

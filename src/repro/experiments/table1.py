@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..core.pipeline import FuseConfig, FusePoseEstimator
 from ..dataset.splits import per_movement_split
@@ -90,6 +90,7 @@ def run_table1(
                 num_context_frames=num_context_frames,
                 training=scale.training,
                 model_seed=0,
+                plan=scale.plan,
             )
         )
         train_arrays = estimator.prepare(split.train)

@@ -9,6 +9,8 @@ the losses and optimizers used in the paper (:mod:`repro.nn.functional`,
 
 from .functional import (
     cross_entropy_loss,
+    linear_batched,
+    per_task_loss,
     huber_loss,
     l1_loss,
     l2_loss,
@@ -35,7 +37,7 @@ from .layers import (
     Sigmoid,
     Tanh,
 )
-from .ops import avg_pool2d, conv2d, im2col, col2im, max_pool2d
+from .ops import avg_pool2d, col2im, conv2d, conv2d_batched, im2col, max_pool2d
 from .optim import SGD, Adam, Optimizer
 from .serialization import load_model_into, load_state, save_model, save_state
 from .tensor import Tensor, is_grad_enabled, no_grad
@@ -47,6 +49,7 @@ __all__ = [
     "is_grad_enabled",
     # ops
     "conv2d",
+    "conv2d_batched",
     "max_pool2d",
     "avg_pool2d",
     "im2col",
@@ -76,6 +79,8 @@ __all__ = [
     "mse_loss",
     "huber_loss",
     "cross_entropy_loss",
+    "linear_batched",
+    "per_task_loss",
     # optim
     "Optimizer",
     "SGD",

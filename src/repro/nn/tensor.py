@@ -184,6 +184,25 @@ class Tensor:
         else:
             self.grad = self.grad + grad
 
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient buffer the caller guarantees is freshly
+        allocated and unaliased, skipping the defensive copy of
+        :meth:`_accumulate`.
+
+        Only backward rules that just produced ``grad`` from a BLAS call or
+        reduction may use this; sharing the array with another tensor
+        afterwards would corrupt gradient accumulation.  The saving matters
+        for the large ``(tasks, ...)`` gradients of the batched meta-learning
+        inner loop.
+        """
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad = self.grad + grad
+
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Backpropagate gradients from this tensor through the graph.
 

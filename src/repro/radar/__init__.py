@@ -7,29 +7,61 @@ paper's Eq. 1 format.  A fast geometric backend reproduces the same output
 statistics for large-scale dataset generation.
 """
 
-from .cfar import CfarConfig, ca_cfar_2d, detect_peaks, group_peaks
+from .cfar import (
+    CfarConfig,
+    ca_cfar_2d,
+    ca_cfar_2d_batch,
+    detect_peaks,
+    detect_peaks_batch,
+    group_peaks,
+)
 from .config import SPEED_OF_LIGHT, RadarConfig
-from .doa import AngleEstimate, detections_to_points, estimate_angles
+from .doa import (
+    AngleEstimate,
+    detections_to_points,
+    detections_to_points_batch,
+    estimate_angles,
+    estimate_angles_batch,
+)
 from .geometric import GeometricBackendConfig, GeometricPointCloudGenerator
 from .pipeline import GeometricPipeline, RadarPipeline, SignalChainPipeline, make_pipeline
-from .pointcloud import POINT_FIELDS, PointCloudFrame, PointCloudSequence, merge_frames
-from .scene import RadarTarget, Scene, radar_to_world, targets_from_scatterers, world_to_radar
+from .pointcloud import (
+    POINT_FIELDS,
+    PointCloudBatch,
+    PointCloudFrame,
+    PointCloudSequence,
+    merge_frames,
+)
+from .scene import (
+    RadarTarget,
+    Scene,
+    SceneBatch,
+    radar_to_world,
+    scene_batch_from_world,
+    targets_from_scatterers,
+    world_to_radar,
+)
 from .signal_chain import (
     RadarDataCube,
     RangeDopplerMap,
     range_doppler_processing,
+    range_doppler_processing_batch,
     synthesize_data_cube,
+    synthesize_data_cube_batch,
 )
 
 __all__ = [
     "RadarConfig",
     "SPEED_OF_LIGHT",
     "PointCloudFrame",
+    "PointCloudBatch",
     "PointCloudSequence",
     "POINT_FIELDS",
     "merge_frames",
     "RadarTarget",
     "Scene",
+    "SceneBatch",
+    "scene_batch_from_world",
     "targets_from_scatterers",
     "world_to_radar",
     "radar_to_world",
@@ -37,13 +69,19 @@ __all__ = [
     "RangeDopplerMap",
     "synthesize_data_cube",
     "range_doppler_processing",
+    "synthesize_data_cube_batch",
+    "range_doppler_processing_batch",
     "CfarConfig",
     "ca_cfar_2d",
     "group_peaks",
     "detect_peaks",
+    "ca_cfar_2d_batch",
+    "detect_peaks_batch",
     "AngleEstimate",
     "estimate_angles",
     "detections_to_points",
+    "estimate_angles_batch",
+    "detections_to_points_batch",
     "GeometricBackendConfig",
     "GeometricPointCloudGenerator",
     "RadarPipeline",

@@ -18,7 +18,13 @@ import numpy as np
 from .config import RadarConfig
 from .signal_chain import RangeDopplerMap
 
-__all__ = ["AngleEstimate", "estimate_angles", "detections_to_points"]
+__all__ = [
+    "AngleEstimate",
+    "estimate_angles",
+    "estimate_angles_batch",
+    "detections_to_points",
+    "detections_to_points_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +91,83 @@ def estimate_angles(
     return AngleEstimate(azimuth=azimuth, elevation=elevation, power=power)
 
 
+def estimate_angles_batch(
+    snapshots: np.ndarray, config: RadarConfig, fft_size: int = 64
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized angle estimation for ``(N, n_az, n_el)`` antenna snapshots.
+
+    Performs the zero-padded azimuth FFT for every snapshot in one call and
+    the elevation phase comparison with array arithmetic.  Returns
+    ``(azimuths, elevations, powers, valid)`` arrays of shape ``(N,)``; rows
+    with ``valid == False`` correspond to detections a real radar would
+    discard as ghosts (unphysical spatial frequency).
+    """
+    snapshots = np.asarray(snapshots)
+    expected = (config.num_azimuth_antennas, config.num_elevation_antennas)
+    if snapshots.ndim != 3 or snapshots.shape[1:] != expected:
+        raise ValueError(
+            f"snapshots must have shape (N, {expected[0]}, {expected[1]}), "
+            f"got {snapshots.shape}"
+        )
+    count = snapshots.shape[0]
+    if count == 0:
+        empty = np.zeros(0)
+        return empty, empty, empty, np.zeros(0, dtype=bool)
+
+    # Azimuth: one zero-padded FFT across the azimuth elements for all rows.
+    azimuth_signal = snapshots.sum(axis=2)  # (N, n_az)
+    spectrum = np.fft.fftshift(np.fft.fft(azimuth_signal, n=fft_size, axis=1), axes=1)
+    magnitude = np.abs(spectrum)
+    peak_bins = np.argmax(magnitude, axis=1)
+    u = (peak_bins - fft_size // 2) * (2.0 / fft_size)
+    powers = np.take_along_axis(magnitude, peak_bins[:, None], axis=1)[:, 0] ** 2
+
+    # Elevation: phase difference between the two elevation rows.
+    if config.num_elevation_antennas >= 2:
+        row_a = snapshots[:, :, 0].sum(axis=1)
+        row_b = snapshots[:, :, 1].sum(axis=1)
+        phase_delta = np.angle(row_b * np.conj(row_a))
+        sin_el = np.clip(phase_delta / np.pi, -0.999, 0.999)
+    else:
+        sin_el = np.zeros(count)
+    elevations = np.arcsin(sin_el)
+
+    cos_el = np.cos(elevations)
+    valid = cos_el >= 1e-6
+    sin_az = np.where(valid, u / np.where(valid, cos_el, 1.0), 0.0)
+    valid = valid & (np.abs(sin_az) < 1.0)
+    azimuths = np.arcsin(np.clip(sin_az, -0.999999999, 0.999999999))
+    return azimuths, elevations, powers, valid
+
+
+def _cells_to_points(
+    snapshots: np.ndarray,
+    cells: np.ndarray,
+    config: RadarConfig,
+    num_doppler_bins: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared vectorized kernel mapping detection cells to Eq. 1 point rows.
+
+    ``snapshots`` holds one antenna snapshot per detection cell (gathered by
+    the caller, possibly across several frames).  Returns ``(points, valid)``
+    with one row per input cell so callers can slice per frame; rows with
+    ``valid == False`` are ghost detections a real radar discards.
+    """
+    azimuths, elevations, powers, valid = estimate_angles_batch(snapshots, config)
+
+    distances = cells[:, 0] * config.range_resolution
+    centre = num_doppler_bins // 2
+    velocities = (cells[:, 1] - centre) * config.velocity_resolution
+    valid = valid & (distances > 0.0)
+
+    cos_el = np.cos(elevations)
+    x = distances * np.sin(azimuths) * cos_el
+    y = distances * np.cos(azimuths) * cos_el
+    z = distances * np.sin(elevations)
+    intensity_db = 10.0 * np.log10(np.maximum(powers, 1e-12))
+    return np.stack([x, y, z, velocities, intensity_db], axis=1), valid
+
+
 def detections_to_points(
     rd_map: RangeDopplerMap,
     detections: List[Tuple[int, int]],
@@ -96,23 +179,47 @@ def detections_to_points(
     ``(x, y, z, doppler, intensity)`` in the radar coordinate frame
     (conversion to the world frame — adding the mounting height — is done by
     the pipeline).  Intensity is reported in dB, matching the TI firmware.
+    All detections of the frame are processed with one vectorized FFT rather
+    than a Python loop per detection.
     """
-    points = []
-    for range_bin, doppler_bin in detections:
-        snapshot = rd_map.spectrum[range_bin, doppler_bin]
-        estimate = estimate_angles(snapshot, config)
-        if estimate is None:
-            continue
-        distance = rd_map.range_of_bin(range_bin)
-        if distance <= 0.0:
-            continue
-        velocity = rd_map.velocity_of_bin(doppler_bin)
-        cos_el = np.cos(estimate.elevation)
-        x = distance * np.sin(estimate.azimuth) * cos_el
-        y = distance * np.cos(estimate.azimuth) * cos_el
-        z = distance * np.sin(estimate.elevation)
-        intensity_db = 10.0 * np.log10(max(estimate.power, 1e-12))
-        points.append([x, y, z, velocity, intensity_db])
-    if not points:
+    cells = np.asarray(detections, dtype=int).reshape(-1, 2)
+    if cells.shape[0] == 0:
         return np.zeros((0, 5))
-    return np.asarray(points, dtype=float)
+    snapshots = rd_map.spectrum[cells[:, 0], cells[:, 1]]
+    points, valid = _cells_to_points(snapshots, cells, config, rd_map.num_doppler_bins)
+    return points[valid] if np.any(valid) else np.zeros((0, 5))
+
+
+def detections_to_points_batch(
+    spectra: np.ndarray,
+    detections: List[np.ndarray],
+    config: RadarConfig,
+) -> List[np.ndarray]:
+    """Batched variant over ``(B, R, D, n_az, n_el)`` spectra.
+
+    ``detections[b]`` holds the CFAR cells of frame ``b``; the angle
+    estimation for every detection of every frame runs through a single
+    vectorized kernel, and the results are split back per frame along the
+    known per-frame offsets.
+    """
+    if spectra.ndim != 5:
+        raise ValueError(f"expected (B, R, D, n_az, n_el) spectra, got {spectra.shape}")
+    if len(detections) != spectra.shape[0]:
+        raise ValueError("one detection array per frame is required")
+    per_frame_cells = [np.asarray(d, dtype=int).reshape(-1, 2) for d in detections]
+    counts = np.array([c.shape[0] for c in per_frame_cells], dtype=int)
+    if counts.sum() == 0:
+        return [np.zeros((0, 5)) for _ in detections]
+
+    frame_ids = np.repeat(np.arange(len(detections)), counts)
+    cells = np.concatenate(per_frame_cells, axis=0)
+    snapshots = spectra[frame_ids, cells[:, 0], cells[:, 1]]
+    points, valid = _cells_to_points(snapshots, cells, config, spectra.shape[2])
+
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    frames: List[np.ndarray] = []
+    for index in range(len(detections)):
+        start, stop = offsets[index], offsets[index + 1]
+        keep = valid[start:stop]
+        frames.append(points[start:stop][keep] if keep.any() else np.zeros((0, 5)))
+    return frames

@@ -25,12 +25,13 @@ pose estimation (the paper's core motivation):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from .config import RadarConfig
-from .pointcloud import PointCloudFrame
-from .scene import Scene
+from .pointcloud import PointCloudBatch, PointCloudFrame
+from .scene import Scene, SceneBatch
 
 __all__ = ["GeometricBackendConfig", "GeometricPointCloudGenerator"]
 
@@ -112,10 +113,7 @@ class GeometricPointCloudGenerator:
         if len(scene) == 0:
             return PointCloudFrame.empty(timestamp=timestamp, frame_index=frame_index)
 
-        ranges = scene.ranges()
-        radial_velocities = scene.radial_velocities()
-        azimuths = scene.azimuths()
-        elevations = scene.elevations()
+        ranges, radial_velocities, azimuths, elevations = scene.spherical()
         rcs = scene.rcs()
 
         snr_db = self._snr_db(rcs, ranges)
@@ -173,6 +171,84 @@ class GeometricPointCloudGenerator:
             frame.timestamp = timestamp
             frame.frame_index = frame_index
         return frame
+
+    def generate_batch(
+        self,
+        batch: SceneBatch,
+        rng: np.random.Generator,
+        timestamps: Optional[np.ndarray] = None,
+        frame_indices: Optional[np.ndarray] = None,
+    ) -> PointCloudBatch:
+        """Produce point clouds for a whole batch of scenes in one pass.
+
+        The detection, noise, quantization and intensity models are applied
+        to ``(B, S)`` arrays at once; only the ragged per-frame assembly (and
+        the rare over-budget subsampling) touches individual frames.  The
+        random draw order differs from calling :meth:`generate_frame` per
+        frame, so batched and sequential outputs agree statistically rather
+        than sample-for-sample.
+        """
+        cfg = self.backend_config
+        radar = self.radar_config
+        num_frames = len(batch)
+        if timestamps is None:
+            timestamps = np.zeros(num_frames)
+        if frame_indices is None:
+            frame_indices = np.arange(num_frames)
+
+        mask = batch.fov_mask(radar)
+        ranges, radial_velocities, azimuths, elevations = batch.spherical()
+
+        snr_db = self._snr_db(batch.rcs, ranges)
+        detect_prob = np.where(
+            mask, self._detection_probability(snr_db, radial_velocities), 0.0
+        )
+        efficiency = rng.uniform(*cfg.frame_efficiency_range, size=(num_frames, 1))
+        detected = rng.random(detect_prob.shape) < detect_prob * efficiency
+
+        # Measurement noise in the radar's native (spherical) coordinates,
+        # drawn for every slot at once (undetected slots discard theirs).
+        shape = ranges.shape
+        ranges = ranges + rng.normal(0.0, cfg.range_noise_scale * radar.range_resolution, shape)
+        azimuths = azimuths + rng.normal(0.0, np.deg2rad(cfg.angle_noise_deg), shape)
+        elevations = elevations + rng.normal(0.0, np.deg2rad(cfg.angle_noise_deg), shape)
+        radial_velocities = radial_velocities + rng.normal(
+            0.0, cfg.doppler_noise_scale * radar.velocity_resolution, shape
+        )
+
+        if cfg.quantize:
+            ranges = np.round(ranges / radar.range_resolution) * radar.range_resolution
+            radial_velocities = (
+                np.round(radial_velocities / radar.velocity_resolution)
+                * radar.velocity_resolution
+            )
+            u_step = 2.0 / cfg.angle_fft_size
+            u = np.clip(np.sin(azimuths), -0.999, 0.999)
+            u = np.round(u / u_step) * u_step
+            azimuths = np.arcsin(np.clip(u, -0.999, 0.999))
+
+        intensity = snr_db + rng.normal(0.0, 1.5, shape)
+
+        cos_el = np.cos(elevations)
+        x = ranges * np.sin(azimuths) * cos_el
+        y = ranges * np.cos(azimuths) * cos_el
+        z = ranges * np.sin(elevations) + radar.radar_height
+        points = np.stack([x, y, z, radial_velocities, intensity], axis=-1)  # (B, S, 5)
+
+        per_frame: List[np.ndarray] = []
+        for index in range(num_frames):
+            frame_points = points[index][detected[index]]
+            if frame_points.shape[0] > cfg.max_points:
+                weights = np.maximum(frame_points[:, 4], 1e-9)
+                weights = weights / weights.sum()
+                chosen = rng.choice(
+                    frame_points.shape[0], size=cfg.max_points, replace=False, p=weights
+                )
+                frame_points = frame_points[np.sort(chosen)]
+            per_frame.append(frame_points)
+        return PointCloudBatch.from_ragged(
+            per_frame, timestamps=timestamps, frame_indices=frame_indices
+        )
 
     # ------------------------------------------------------------------
     # Internal statistical model

@@ -24,13 +24,18 @@ from typing import Optional, Protocol, Sequence
 import numpy as np
 
 from ..body.surface import Scatterer
-from .cfar import CfarConfig, detect_peaks
+from .cfar import CfarConfig, detect_peaks, detect_peaks_batch
 from .config import RadarConfig
-from .doa import detections_to_points
+from .doa import detections_to_points, detections_to_points_batch
 from .geometric import GeometricBackendConfig, GeometricPointCloudGenerator
-from .pointcloud import PointCloudFrame
-from .scene import Scene, targets_from_scatterers
-from .signal_chain import range_doppler_processing, synthesize_data_cube
+from .pointcloud import PointCloudBatch, PointCloudFrame
+from .scene import Scene, SceneBatch, targets_from_scatterers
+from .signal_chain import (
+    range_doppler_processing,
+    range_doppler_processing_batch,
+    synthesize_data_cube,
+    synthesize_data_cube_batch,
+)
 
 __all__ = ["RadarPipeline", "SignalChainPipeline", "GeometricPipeline", "make_pipeline"]
 
@@ -48,6 +53,16 @@ class RadarPipeline(Protocol):
         frame_index: int = 0,
     ) -> PointCloudFrame:
         """Convert world-frame scatterers into a world-frame point cloud."""
+        ...  # pragma: no cover - protocol definition
+
+    def process_batch(
+        self,
+        batch: SceneBatch,
+        rng: np.random.Generator,
+        timestamps: Optional[np.ndarray] = None,
+        frame_indices: Optional[np.ndarray] = None,
+    ) -> PointCloudBatch:
+        """Convert a batch of radar scenes into world-frame point clouds."""
         ...  # pragma: no cover - protocol definition
 
 
@@ -91,6 +106,40 @@ class SignalChainPipeline:
         scene = targets_from_scatterers(scatterers, self.config)
         return self.process_scene(scene, rng, timestamp=timestamp, frame_index=frame_index)
 
+    def process_batch(
+        self,
+        batch: SceneBatch,
+        rng: np.random.Generator,
+        timestamps: Optional[np.ndarray] = None,
+        frame_indices: Optional[np.ndarray] = None,
+    ) -> PointCloudBatch:
+        """Run the full signal chain for a batch of scenes in one pass.
+
+        Cube synthesis, the range/Doppler FFTs and the CFAR threshold are
+        computed on ``(batch, ...)`` arrays; angle estimation batches every
+        detection of every frame through one FFT call.
+        """
+        num_frames = len(batch)
+        if timestamps is None:
+            timestamps = np.zeros(num_frames)
+        if frame_indices is None:
+            frame_indices = np.arange(num_frames)
+        cubes = synthesize_data_cube_batch(
+            batch, self.config, rng=rng, add_noise=self.add_noise
+        )
+        spectra, power = range_doppler_processing_batch(cubes, self.config)
+        detections = detect_peaks_batch(
+            power, self.cfar_config, peak_grouping=self.peak_grouping
+        )
+        per_frame = detections_to_points_batch(spectra, detections, self.config)
+        for points in per_frame:
+            if points.shape[0] > 0:
+                # Radar frame -> world frame: add the mounting height.
+                points[:, 2] += self.config.radar_height
+        return PointCloudBatch.from_ragged(
+            per_frame, timestamps=timestamps, frame_indices=frame_indices
+        )
+
 
 @dataclass
 class GeometricPipeline:
@@ -125,6 +174,18 @@ class GeometricPipeline:
     ) -> PointCloudFrame:
         scene = targets_from_scatterers(scatterers, self.config)
         return self.process_scene(scene, rng, timestamp=timestamp, frame_index=frame_index)
+
+    def process_batch(
+        self,
+        batch: SceneBatch,
+        rng: np.random.Generator,
+        timestamps: Optional[np.ndarray] = None,
+        frame_indices: Optional[np.ndarray] = None,
+    ) -> PointCloudBatch:
+        """Generate point clouds for a batch of scenes in one vectorized pass."""
+        return self._generator.generate_batch(
+            batch, rng, timestamps=timestamps, frame_indices=frame_indices
+        )
 
 
 def make_pipeline(

@@ -17,6 +17,7 @@ import numpy as np
 __all__ = [
     "POINT_FIELDS",
     "PointCloudFrame",
+    "PointCloudBatch",
     "PointCloudSequence",
     "merge_frames",
 ]
@@ -150,6 +151,111 @@ class PointCloudFrame:
             raise ValueError("xyz, doppler and intensity must have matching lengths")
         points = np.concatenate([xyz, doppler[:, None], intensity[:, None]], axis=1)
         return cls(points, timestamp=timestamp, frame_index=frame_index)
+
+
+@dataclass
+class PointCloudBatch:
+    """A ragged batch of point-cloud frames stored as one flat array.
+
+    The batched execution engine carries whole windows of frames through the
+    radar and feature stages without materializing per-frame Python objects.
+    Frame ``b`` owns the rows ``points[offsets[b]:offsets[b + 1]]``.
+
+    Attributes
+    ----------
+    points:
+        Array of shape ``(P, 5)`` concatenating every frame's points in
+        frame order (columns are :data:`POINT_FIELDS`).
+    offsets:
+        Integer array of shape ``(B + 1,)`` with ``offsets[0] == 0`` and
+        ``offsets[-1] == P``.
+    timestamps / frame_indices:
+        Per-frame metadata arrays of shape ``(B,)``.
+    """
+
+    points: np.ndarray
+    offsets: np.ndarray
+    timestamps: np.ndarray
+    frame_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=float).reshape(-1, len(POINT_FIELDS))
+        self.offsets = np.asarray(self.offsets, dtype=int)
+        self.timestamps = np.asarray(self.timestamps, dtype=float)
+        self.frame_indices = np.asarray(self.frame_indices, dtype=int)
+        if self.offsets.ndim != 1 or self.offsets.shape[0] < 1:
+            raise ValueError("offsets must be a 1-D array of length B + 1")
+        if self.offsets[0] != 0 or self.offsets[-1] != self.points.shape[0]:
+            raise ValueError("offsets must start at 0 and end at the total point count")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        batch = self.offsets.shape[0] - 1
+        if self.timestamps.shape != (batch,) or self.frame_indices.shape != (batch,):
+            raise ValueError("timestamps and frame_indices must have one entry per frame")
+
+    def __len__(self) -> int:
+        """Number of frames in the batch."""
+        return int(self.offsets.shape[0] - 1)
+
+    def num_points_per_frame(self) -> np.ndarray:
+        """Point count of each frame, shape ``(B,)``."""
+        return np.diff(self.offsets)
+
+    def frame(self, index: int) -> PointCloudFrame:
+        """Materialize one frame of the batch."""
+        start, stop = self.offsets[index], self.offsets[index + 1]
+        return PointCloudFrame(
+            self.points[start:stop].copy(),
+            timestamp=float(self.timestamps[index]),
+            frame_index=int(self.frame_indices[index]),
+        )
+
+    def to_frames(self) -> List[PointCloudFrame]:
+        """Materialize the whole batch as per-frame objects."""
+        return [self.frame(index) for index in range(len(self))]
+
+    @classmethod
+    def from_frames(cls, frames: Sequence[PointCloudFrame]) -> "PointCloudBatch":
+        """Pack per-frame objects into one flat batch."""
+        frames = list(frames)
+        counts = [frame.num_points for frame in frames]
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(int)
+        if frames:
+            points = np.concatenate([frame.points for frame in frames], axis=0)
+        else:
+            points = np.zeros((0, len(POINT_FIELDS)))
+        return cls(
+            points=points,
+            offsets=offsets,
+            timestamps=np.array([frame.timestamp for frame in frames], dtype=float),
+            frame_indices=np.array([frame.frame_index for frame in frames], dtype=int),
+        )
+
+    @classmethod
+    def from_ragged(
+        cls,
+        per_frame_points: Sequence[np.ndarray],
+        timestamps: Optional[Sequence[float]] = None,
+        frame_indices: Optional[Sequence[int]] = None,
+    ) -> "PointCloudBatch":
+        """Pack a list of ``(N_b, 5)`` arrays into one flat batch."""
+        arrays = [np.asarray(p, dtype=float).reshape(-1, len(POINT_FIELDS)) for p in per_frame_points]
+        counts = [a.shape[0] for a in arrays]
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(int)
+        points = (
+            np.concatenate(arrays, axis=0) if arrays else np.zeros((0, len(POINT_FIELDS)))
+        )
+        batch = len(arrays)
+        if timestamps is None:
+            timestamps = np.zeros(batch)
+        if frame_indices is None:
+            frame_indices = np.arange(batch)
+        return cls(
+            points=points,
+            offsets=offsets,
+            timestamps=np.asarray(timestamps, dtype=float),
+            frame_indices=np.asarray(frame_indices, dtype=int),
+        )
 
 
 @dataclass

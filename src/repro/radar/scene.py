@@ -6,19 +6,40 @@ module also performs the world-to-radar coordinate conversion (the radar is
 mounted at ``radar_height`` above the floor and looks along +y) and computes
 the spherical quantities (range, radial velocity, azimuth, elevation) that
 drive the FMCW signal model.
+
+Two representations coexist:
+
+* :class:`Scene` — a list of :class:`RadarTarget` objects, the original
+  per-frame API.  Its accessors are computed from stacked arrays (built once
+  and cached) rather than per-target Python properties, so even the
+  object-based path is vectorized internally.
+* :class:`SceneBatch` — a struct-of-arrays batch of ``(batch, targets, ...)``
+  NumPy arrays used by the batched execution engine.  A validity mask takes
+  the place of per-frame filtering so that every frame in the batch shares
+  one array shape.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..body.surface import Scatterer
 from .config import RadarConfig
 
-__all__ = ["RadarTarget", "Scene", "targets_from_scatterers"]
+__all__ = [
+    "RadarTarget",
+    "Scene",
+    "SceneBatch",
+    "targets_from_scatterers",
+    "scene_batch_from_world",
+]
+
+#: Default angular field-of-view limits shared by Scene and SceneBatch.
+DEFAULT_AZIMUTH_LIMIT: float = np.deg2rad(60.0)
+DEFAULT_ELEVATION_LIMIT: float = np.deg2rad(45.0)
 
 
 @dataclass(frozen=True)
@@ -64,9 +85,34 @@ class RadarTarget:
         return float(np.arctan2(self.position[2], horizontal))
 
 
+def _spherical_from_arrays(
+    positions: np.ndarray, velocities: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized ``(range, radial velocity, azimuth, elevation)`` arrays.
+
+    Works on any leading shape: ``positions``/``velocities`` of shape
+    ``(..., 3)`` produce four arrays of shape ``(...)``.
+    """
+    ranges = np.linalg.norm(positions, axis=-1)
+    safe = np.maximum(ranges, 1e-9)
+    radial = np.einsum("...i,...i->...", velocities, positions) / safe
+    radial = np.where(ranges < 1e-9, 0.0, radial)
+    azimuths = np.arctan2(positions[..., 0], positions[..., 1])
+    horizontal = np.hypot(positions[..., 0], positions[..., 1])
+    elevations = np.arctan2(positions[..., 2], horizontal)
+    return ranges, radial, azimuths, elevations
+
+
 @dataclass
 class Scene:
-    """A collection of radar targets observed during one frame."""
+    """A collection of radar targets observed during one frame.
+
+    The accessors stack the per-target attributes into arrays and compute
+    the spherical quantities vectorized (much faster than the original
+    per-target Python properties).  Nothing is cached: the public
+    ``targets`` list — and the arrays inside each target — stay freely
+    mutable without any risk of stale derived values.
+    """
 
     targets: List[RadarTarget]
 
@@ -76,34 +122,197 @@ class Scene:
     def __iter__(self):
         return iter(self.targets)
 
+    # ------------------------------------------------------------------
+    # Vectorized array views
+    # ------------------------------------------------------------------
+    def positions(self) -> np.ndarray:
+        """Target positions stacked into an ``(N, 3)`` array."""
+        if not self.targets:
+            return np.zeros((0, 3))
+        return np.stack([t.position for t in self.targets]).astype(float)
+
+    def velocities(self) -> np.ndarray:
+        """Target velocities stacked into an ``(N, 3)`` array."""
+        if not self.targets:
+            return np.zeros((0, 3))
+        return np.stack([t.velocity for t in self.targets]).astype(float)
+
+    def spherical(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(ranges, radial velocities, azimuths, elevations)``, each ``(N,)``.
+
+        Prefer this over calling the individual accessors when several
+        quantities are needed — it stacks the targets once.
+        """
+        return _spherical_from_arrays(self.positions(), self.velocities())
+
     def ranges(self) -> np.ndarray:
-        return np.array([t.range for t in self.targets])
+        return self.spherical()[0]
 
     def radial_velocities(self) -> np.ndarray:
-        return np.array([t.radial_velocity for t in self.targets])
+        return self.spherical()[1]
 
     def azimuths(self) -> np.ndarray:
-        return np.array([t.azimuth for t in self.targets])
+        return self.spherical()[2]
 
     def elevations(self) -> np.ndarray:
-        return np.array([t.elevation for t in self.targets])
+        return self.spherical()[3]
 
     def rcs(self) -> np.ndarray:
-        return np.array([t.rcs for t in self.targets])
+        return np.array([t.rcs for t in self.targets], dtype=float)
 
     def within_field_of_view(
-        self, config: RadarConfig, azimuth_limit: float = np.deg2rad(60.0),
-        elevation_limit: float = np.deg2rad(45.0),
+        self, config: RadarConfig, azimuth_limit: float = DEFAULT_AZIMUTH_LIMIT,
+        elevation_limit: float = DEFAULT_ELEVATION_LIMIT,
     ) -> "Scene":
         """Return a scene containing only targets the radar can actually see."""
-        visible = [
-            target
-            for target in self.targets
-            if target.range < config.max_range
-            and abs(target.azimuth) < azimuth_limit
-            and abs(target.elevation) < elevation_limit
-        ]
-        return Scene(visible)
+        if not self.targets:
+            return Scene([])
+        ranges, _, azimuths, elevations = self.spherical()
+        visible = (
+            (ranges < config.max_range)
+            & (np.abs(azimuths) < azimuth_limit)
+            & (np.abs(elevations) < elevation_limit)
+        )
+        return Scene([target for target, keep in zip(self.targets, visible) if keep])
+
+
+@dataclass
+class SceneBatch:
+    """A batch of radar scenes stored as ``(batch, targets, ...)`` arrays.
+
+    Every frame in the batch holds the same number of target slots ``S``;
+    frames with fewer physical targets mark the padding rows invalid through
+    ``valid``.  All positions are expressed in the radar coordinate frame
+    (sensor at the origin, +y boresight).
+
+    Attributes
+    ----------
+    positions / velocities:
+        Arrays of shape ``(B, S, 3)``.
+    rcs:
+        Array of shape ``(B, S)`` (linear-scale radar cross-sections).
+    valid:
+        Boolean array of shape ``(B, S)``; padding and discarded targets are
+        ``False`` and contribute nothing downstream.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    rcs: np.ndarray
+    valid: np.ndarray
+    _spherical: Optional[tuple] = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=float)
+        self.velocities = np.asarray(self.velocities, dtype=float)
+        self.rcs = np.asarray(self.rcs, dtype=float)
+        if self.positions.ndim != 3 or self.positions.shape[-1] != 3:
+            raise ValueError(
+                f"positions must have shape (B, S, 3), got {self.positions.shape}"
+            )
+        if self.velocities.shape != self.positions.shape:
+            raise ValueError("velocities must match positions in shape")
+        expected = self.positions.shape[:2]
+        if self.rcs.shape != expected:
+            raise ValueError(f"rcs must have shape {expected}, got {self.rcs.shape}")
+        if self.valid is None:
+            self.valid = np.ones(expected, dtype=bool)
+        self.valid = np.asarray(self.valid, dtype=bool)
+        if self.valid.shape != expected:
+            raise ValueError(f"valid must have shape {expected}, got {self.valid.shape}")
+
+    # ------------------------------------------------------------------
+    # Shape information
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of frames in the batch."""
+        return int(self.positions.shape[0])
+
+    @property
+    def num_slots(self) -> int:
+        """Target slots per frame (including invalid padding)."""
+        return int(self.positions.shape[1])
+
+    # ------------------------------------------------------------------
+    # Vectorized spherical quantities
+    # ------------------------------------------------------------------
+    def spherical(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(ranges, radial velocities, azimuths, elevations)``, each ``(B, S)``.
+
+        Computed once and cached: a :class:`SceneBatch` is treated as
+        immutable after construction (the engine builds a fresh batch per
+        chunk), and ``fov_mask`` plus the backends would otherwise derive
+        the same four arrays several times per chunk.
+        """
+        if self._spherical is None:
+            self._spherical = _spherical_from_arrays(self.positions, self.velocities)
+        return self._spherical
+
+    def ranges(self) -> np.ndarray:
+        return self.spherical()[0]
+
+    def radial_velocities(self) -> np.ndarray:
+        return self.spherical()[1]
+
+    def azimuths(self) -> np.ndarray:
+        return self.spherical()[2]
+
+    def elevations(self) -> np.ndarray:
+        return self.spherical()[3]
+
+    def fov_mask(
+        self,
+        config: RadarConfig,
+        azimuth_limit: float = DEFAULT_AZIMUTH_LIMIT,
+        elevation_limit: float = DEFAULT_ELEVATION_LIMIT,
+    ) -> np.ndarray:
+        """Validity mask restricted to targets inside the field of view."""
+        ranges, _, azimuths, elevations = self.spherical()
+        return (
+            self.valid
+            & (ranges < config.max_range)
+            & (np.abs(azimuths) < azimuth_limit)
+            & (np.abs(elevations) < elevation_limit)
+        )
+
+    # ------------------------------------------------------------------
+    # Interop with the per-frame representation
+    # ------------------------------------------------------------------
+    def scene(self, index: int) -> Scene:
+        """Materialize one frame of the batch as an object-based :class:`Scene`."""
+        mask = self.valid[index]
+        return Scene(
+            [
+                RadarTarget(
+                    position=self.positions[index, slot].copy(),
+                    velocity=self.velocities[index, slot].copy(),
+                    rcs=float(self.rcs[index, slot]),
+                )
+                for slot in np.flatnonzero(mask)
+            ]
+        )
+
+    def scenes(self) -> List[Scene]:
+        """Materialize the whole batch as per-frame scenes."""
+        return [self.scene(index) for index in range(len(self))]
+
+    @classmethod
+    def from_scenes(cls, scenes: Sequence[Scene]) -> "SceneBatch":
+        """Pack object-based scenes into one padded array batch."""
+        batch = len(scenes)
+        slots = max((len(scene) for scene in scenes), default=0)
+        positions = np.zeros((batch, slots, 3))
+        velocities = np.zeros((batch, slots, 3))
+        rcs = np.zeros((batch, slots))
+        valid = np.zeros((batch, slots), dtype=bool)
+        for index, scene in enumerate(scenes):
+            count = len(scene)
+            if count:
+                positions[index, :count] = scene.positions()
+                velocities[index, :count] = scene.velocities()
+                rcs[index, :count] = scene.rcs()
+                valid[index, :count] = True
+        return cls(positions=positions, velocities=velocities, rcs=rcs, valid=valid)
 
 
 def world_to_radar(positions: np.ndarray, config: RadarConfig) -> np.ndarray:
@@ -142,3 +351,33 @@ def targets_from_scatterers(
             )
         )
     return Scene(targets)
+
+
+def scene_batch_from_world(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    rcs: np.ndarray,
+    config: RadarConfig,
+    valid: Optional[np.ndarray] = None,
+) -> SceneBatch:
+    """Build a :class:`SceneBatch` from world-frame scatterer arrays.
+
+    Parameters
+    ----------
+    positions / velocities:
+        World-frame arrays of shape ``(B, S, 3)``.
+    rcs:
+        Array of shape ``(B, S)``.
+    valid:
+        Optional boolean mask ``(B, S)``; defaults to all-valid.
+    """
+    positions = world_to_radar(np.asarray(positions, dtype=float), config)
+    rcs = np.asarray(rcs, dtype=float)
+    if valid is None:
+        valid = np.ones(rcs.shape, dtype=bool)
+    return SceneBatch(
+        positions=positions,
+        velocities=np.asarray(velocities, dtype=float),
+        rcs=rcs,
+        valid=valid,
+    )

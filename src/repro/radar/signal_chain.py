@@ -27,9 +27,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from .config import SPEED_OF_LIGHT, RadarConfig
-from .scene import Scene
+from .scene import Scene, SceneBatch
 
-__all__ = ["RadarDataCube", "RangeDopplerMap", "synthesize_data_cube", "range_doppler_processing"]
+__all__ = [
+    "RadarDataCube",
+    "RangeDopplerMap",
+    "synthesize_data_cube",
+    "synthesize_data_cube_batch",
+    "range_doppler_processing",
+    "range_doppler_processing_batch",
+]
 
 
 @dataclass
@@ -117,10 +124,7 @@ def synthesize_data_cube(
     cube = np.zeros(shape, dtype=np.complex128)
 
     if len(scene) > 0:
-        ranges = scene.ranges()
-        velocities = scene.radial_velocities()
-        azimuths = scene.azimuths()
-        elevations = scene.elevations()
+        ranges, velocities, azimuths, elevations = scene.spherical()
         rcs = scene.rcs()
 
         # Keep only physically meaningful targets.
@@ -161,17 +165,109 @@ def synthesize_data_cube(
     return RadarDataCube(samples=cube, config=config)
 
 
+def synthesize_data_cube_batch(
+    batch: SceneBatch,
+    config: RadarConfig,
+    rng: np.random.Generator | None = None,
+    add_noise: bool = True,
+    apply_fov: bool = True,
+) -> np.ndarray:
+    """Generate beat-signal cubes for a whole batch of scenes in one pass.
+
+    The per-target exponential factors are built as ``(B, S, axis)`` arrays
+    and contracted with a single ``einsum`` call; invalid / out-of-view
+    targets contribute through a zeroed amplitude, so every frame in the
+    batch shares the same array shapes.
+
+    Returns a complex array of shape
+    ``(B, num_samples, num_chirps, n_azimuth, n_elevation)``.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    num_frames = len(batch)
+    shape = (
+        num_frames,
+        config.num_samples,
+        config.num_chirps,
+        config.num_azimuth_antennas,
+        config.num_elevation_antennas,
+    )
+
+    mask = batch.fov_mask(config) if apply_fov else batch.valid
+    ranges, velocities, azimuths, elevations = batch.spherical()
+    mask = mask & (ranges > 0.1) & (ranges < config.max_range)
+
+    if np.any(mask):
+        sample_times = np.arange(config.num_samples) / config.sample_rate
+        chirp_indices = np.arange(config.num_chirps)
+        az_indices = np.arange(config.num_azimuth_antennas)
+        el_indices = np.arange(config.num_elevation_antennas)
+
+        beat_frequencies = 2.0 * config.chirp_slope * ranges / SPEED_OF_LIGHT
+        doppler_phase_per_chirp = (
+            4.0 * np.pi * velocities * config.chirp_repetition / config.wavelength
+        )
+        azimuth_phase = np.pi * np.sin(azimuths) * np.cos(elevations)
+        elevation_phase = np.pi * np.sin(elevations)
+        amplitudes = np.where(
+            mask, np.sqrt(batch.rcs) / np.maximum(ranges, 0.5) ** 2, 0.0
+        )
+
+        fast = np.exp(
+            1j * 2.0 * np.pi * beat_frequencies[..., None] * sample_times
+        )  # (B, S, n)
+        slow = np.exp(1j * doppler_phase_per_chirp[..., None] * chirp_indices)
+        az = np.exp(1j * azimuth_phase[..., None] * az_indices)
+        el = np.exp(1j * elevation_phase[..., None] * el_indices)
+
+        cubes = np.einsum(
+            "bt,btn,btm,btk,btl->bnmkl", amplitudes, fast, slow, az, el, optimize=True
+        )
+    else:
+        cubes = np.zeros(shape, dtype=np.complex128)
+
+    if add_noise:
+        noise_sigma = np.sqrt(config.noise_power / 2.0)
+        cubes = cubes + noise_sigma * (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        )
+    return cubes
+
+
+def _rd_windows(config: RadarConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Range and Doppler Hann windows shaped for frame-axis broadcasting."""
+    range_window = np.hanning(config.num_samples)[:, None, None, None]
+    doppler_window = np.hanning(config.num_chirps)[None, :, None, None]
+    return range_window, doppler_window
+
+
 def range_doppler_processing(cube: RadarDataCube) -> RangeDopplerMap:
     """Apply windowed range and Doppler FFTs and build the detection map."""
     config = cube.config
     samples = cube.samples
 
-    range_window = np.hanning(config.num_samples)[:, None, None, None]
-    doppler_window = np.hanning(config.num_chirps)[None, :, None, None]
-
+    range_window, doppler_window = _rd_windows(config)
     range_fft = np.fft.fft(samples * range_window, axis=0)
     doppler_fft = np.fft.fft(range_fft * doppler_window, axis=1)
     spectrum = np.fft.fftshift(doppler_fft, axes=1)
 
     power = np.sum(np.abs(spectrum) ** 2, axis=(2, 3))
     return RangeDopplerMap(spectrum=spectrum, power=power, config=config)
+
+
+def range_doppler_processing_batch(
+    cubes: np.ndarray, config: RadarConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched range/Doppler processing over ``(B, n, m, k, l)`` cubes.
+
+    Returns ``(spectrum, power)`` with shapes ``(B, R, D, k, l)`` and
+    ``(B, R, D)``; each batch entry equals the per-frame
+    :func:`range_doppler_processing` output for the same cube.
+    """
+    if cubes.ndim != 5:
+        raise ValueError(f"expected a (B, n, m, k, l) cube batch, got {cubes.shape}")
+    range_window, doppler_window = _rd_windows(config)
+    range_fft = np.fft.fft(cubes * range_window[None], axis=1)
+    doppler_fft = np.fft.fft(range_fft * doppler_window[None], axis=2)
+    spectrum = np.fft.fftshift(doppler_fft, axes=2)
+    power = np.sum(np.abs(spectrum) ** 2, axis=(3, 4))
+    return spectrum, power

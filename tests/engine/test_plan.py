@@ -1,0 +1,42 @@
+"""Validation tests of the :class:`repro.engine.BatchPlan`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import BatchPlan
+
+
+def test_default_plan_is_vectorized_with_cache():
+    plan = BatchPlan()
+    assert plan.vectorized
+    assert plan.batch_size >= 1
+    assert plan.cache_policy == "memory"
+    assert plan.backend is None
+
+
+def test_reference_plan_disables_vectorization_and_cache():
+    plan = BatchPlan.reference()
+    assert not plan.vectorized
+    assert plan.cache_policy == "none"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"batch_size": 0},
+        {"cache_policy": "disk"},
+        {"cache_capacity": 0},
+        {"backend": "quantum"},
+    ],
+)
+def test_invalid_plans_rejected(kwargs):
+    with pytest.raises(ValueError):
+        BatchPlan(**kwargs)
+
+
+def test_plan_is_hashable_and_frozen():
+    plan = BatchPlan()
+    assert hash(plan) == hash(BatchPlan())
+    with pytest.raises(AttributeError):
+        plan.batch_size = 2
