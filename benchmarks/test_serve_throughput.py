@@ -1,0 +1,176 @@
+"""Throughput benchmark of the streaming serving subsystem.
+
+Replays 50 simulated concurrent users from the synthetic dataset through
+three serving paths:
+
+* **naive sequential** — the honest baseline: a plain per-user, per-frame
+  loop over ``estimator.predict`` with no serving machinery at all;
+* **unbatched server** — the full serving stack with ``max_batch_size=1``
+  (the bitwise reference path of the equivalence tests);
+* **micro-batched server** — cross-user coalescing, the deployment
+  configuration.
+
+The acceptance bar is micro-batched serving at >= 3x the frames/sec of the
+naive sequential path.  Results land in ``BENCH_serve.json`` at the
+repository root; the scheduled CI slow tier uploads the file and
+``scripts/bench_regression.py`` fails the job if throughput drops more than
+30% below the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core import FuseConfig, FusePoseEstimator
+from repro.core.training import TrainingConfig
+from repro.dataset.synthetic import SyntheticDatasetConfig, generate_dataset
+from repro.serve import (
+    PoseServer,
+    ServeConfig,
+    adaptation_split,
+    replay_users,
+    sequential_reference,
+    user_streams_from_dataset,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+_RESULTS: dict = {}
+
+NUM_USERS = 50
+FRAMES_PER_USER = 15
+
+
+def _record(section: str, payload: dict) -> None:
+    _RESULTS[section] = payload
+    BENCH_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def _serve_fixture():
+    # 4 sessions x 210 frames: enough for 50 disjoint 15-frame user streams
+    # (13 users share each session) plus the adaptation frames.
+    config = SyntheticDatasetConfig(
+        subject_ids=(1, 2),
+        movement_names=("squat", "right_limb_extension"),
+        seconds_per_pair=21.0,
+        seed=5,
+    )
+    dataset = generate_dataset(config)
+    estimator = FusePoseEstimator(
+        FuseConfig(num_context_frames=1, training=TrainingConfig(epochs=3, batch_size=128))
+    )
+    estimator.fit_supervised(estimator.prepare(dataset))
+    streams = user_streams_from_dataset(
+        dataset, num_users=NUM_USERS, frames_per_user=FRAMES_PER_USER
+    )
+    return estimator, streams
+
+
+class TestServeThroughput:
+    def test_micro_batched_serving_speedup(self):
+        """The acceptance bar: micro-batched >= 3x naive sequential serving."""
+        estimator, streams = _serve_fixture()
+        total = sum(len(stream) for stream in streams.values())
+
+        # Warm caches/allocators once so every path is measured hot.
+        replay_users(PoseServer(estimator, ServeConfig(max_batch_size=64)), streams)
+
+        start = time.perf_counter()
+        sequential_reference(estimator, streams)
+        naive_seconds = time.perf_counter() - start
+
+        unbatched = replay_users(
+            PoseServer(estimator, ServeConfig(max_batch_size=1, gemm_block=64)), streams
+        )
+        batched_server = PoseServer(estimator, ServeConfig(max_batch_size=64))
+        batched = replay_users(batched_server, streams)
+
+        naive_fps = total / naive_seconds
+        speedup_vs_naive = batched.frames_per_second / naive_fps
+        metrics = batched.metrics
+        _record(
+            "base_model_serving",
+            {
+                "users": NUM_USERS,
+                "frames": total,
+                "naive_sequential_fps": naive_fps,
+                "unbatched_server_fps": unbatched.frames_per_second,
+                "batched_fps": batched.frames_per_second,
+                "speedup_vs_naive": speedup_vs_naive,
+                "speedup_vs_unbatched_server": (
+                    batched.frames_per_second / unbatched.frames_per_second
+                ),
+                "mean_batch_size": metrics["mean_batch_size"],
+                "latency_p50_ms": metrics["latency_p50_ms"],
+                "latency_p95_ms": metrics["latency_p95_ms"],
+            },
+        )
+        assert speedup_vs_naive >= 3.0, (
+            f"micro-batched serving only {speedup_vs_naive:.2f}x naive sequential"
+        )
+
+    def test_adapted_serving_throughput(self):
+        """Per-user-adapted traffic under both adaptation scopes.
+
+        ``scope="last"`` (shared trunk + personal heads, the paper's cheap
+        online regime) must stay within striking distance of base-model
+        serving; ``scope="all"`` (fully personalised networks) is recorded to
+        document its memory-bound cost per user.
+        """
+        estimator, streams = _serve_fixture()
+        calibration, serving = adaptation_split(streams, adaptation_frames=5)
+        adapted_users = list(serving)[::2]  # every other user has personal weights
+
+        from repro.core.finetune import FineTuneConfig
+
+        naive_base = _RESULTS.get("base_model_serving", {}).get("naive_sequential_fps")
+        if naive_base is None:  # standalone -k run: measure the yardstick here
+            total = sum(len(stream) for stream in serving.values())
+            sequential_reference(estimator, serving)  # warm
+            start = time.perf_counter()
+            sequential_reference(estimator, serving)
+            naive_base = total / (time.perf_counter() - start)
+
+        for scope, min_fps_ratio in (("last", 2.0), ("all", 0.0)):
+            server = PoseServer(
+                estimator,
+                ServeConfig(max_batch_size=64),
+                adaptation=FineTuneConfig(epochs=3, scope=scope),
+            )
+            adapt_start = time.perf_counter()
+            server.adapt_users(
+                {user: _as_dataset(calibration[user]) for user in adapted_users}
+            )
+            adapt_seconds = time.perf_counter() - adapt_start
+
+            result = replay_users(server, serving)
+            metrics = result.metrics
+            _record(
+                f"mixed_adapted_serving_scope_{scope}",
+                {
+                    "users": NUM_USERS,
+                    "adapted_users": len(adapted_users),
+                    "frames": result.frames_served,
+                    "grouped_adaptation_seconds": adapt_seconds,
+                    "adaptation_users_per_sec": len(adapted_users) / adapt_seconds,
+                    "batched_fps": result.frames_per_second,
+                    "param_cache_hit_rate": metrics["param_cache_hit_rate"],
+                    "mean_batch_size": metrics["mean_batch_size"],
+                    "latency_p95_ms": metrics["latency_p95_ms"],
+                },
+            )
+            assert result.frames_dropped == 0
+            assert result.frames_per_second >= min_fps_ratio * naive_base, (
+                f"scope={scope} adapted serving at {result.frames_per_second:.0f} fps "
+                f"vs naive base {naive_base:.0f} fps"
+            )
+
+
+def _as_dataset(frames):
+    from repro.dataset.sample import PoseDataset
+
+    dataset = PoseDataset(name="calibration")
+    dataset.extend(frames)
+    return dataset

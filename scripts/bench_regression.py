@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Benchmark trending: fail CI when throughput regresses vs the baseline.
+
+The slow CI tier regenerates ``BENCH_*.json`` at the repository root.  This
+script compares every throughput-like figure (keys containing ``fps``,
+``per_sec``, ``tps`` or ``throughput``) in the fresh files against the
+committed baseline (``git show <ref>:<file>``) and exits non-zero when any
+figure dropped by more than ``--threshold`` (default 30%).
+
+Usage::
+
+    python scripts/bench_regression.py BENCH_engine.json BENCH_serve.json
+    python scripts/bench_regression.py --threshold 0.3 --baseline-ref HEAD BENCH_*.json
+
+New figures (present only in the fresh file) and removed figures are
+reported but never fail the check, so adding a benchmark does not require a
+baseline in the same commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+THROUGHPUT_KEY = re.compile(r"(^|_)(fps|tps|per_sec|throughput)($|_)")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One throughput figure that dropped beyond the threshold."""
+
+    path: str
+    baseline: float
+    fresh: float
+
+    @property
+    def drop(self) -> float:
+        return 1.0 - self.fresh / self.baseline
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}: {self.baseline:.2f} -> {self.fresh:.2f} "
+            f"({self.drop:+.1%} drop)"
+        )
+
+
+def throughput_figures(payload, prefix: str = "") -> Dict[str, float]:
+    """Flatten a benchmark JSON to ``dotted.path -> value`` throughput leaves."""
+    figures: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                figures.update(throughput_figures(value, path))
+            elif isinstance(value, (int, float)) and THROUGHPUT_KEY.search(str(key)):
+                figures[path] = float(value)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            figures.update(throughput_figures(value, f"{prefix}[{index}]"))
+    return figures
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> List[Regression]:
+    """Throughput figures that dropped by more than ``threshold`` (a fraction)."""
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be a fraction in (0, 1)")
+    regressions: List[Regression] = []
+    baseline_figures = throughput_figures(baseline)
+    fresh_figures = throughput_figures(fresh)
+    for path, old in sorted(baseline_figures.items()):
+        new = fresh_figures.get(path)
+        if new is None or old <= 0:
+            continue
+        if new < old * (1.0 - threshold):
+            regressions.append(Regression(path=path, baseline=old, fresh=new))
+    return regressions
+
+
+def load_baseline(name: str, ref: str) -> Optional[dict]:
+    """The committed version of ``name`` at ``ref``, or ``None`` if absent."""
+    result = subprocess.run(
+        ["git", "show", f"{ref}:{name}"], capture_output=True, text=True
+    )
+    if result.returncode != 0:
+        return None
+    try:
+        return json.loads(result.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="fresh BENCH_*.json files to check")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional throughput drop (default 0.30)",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref holding the baseline files (default HEAD)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    for name in args.files:
+        fresh_path = Path(name)
+        if not fresh_path.exists():
+            print(f"[bench-regression] {name}: fresh file missing, skipping")
+            continue
+        try:
+            fresh = json.loads(fresh_path.read_text())
+        except json.JSONDecodeError as error:
+            failures.append(f"{name}: fresh file is not valid JSON ({error})")
+            continue
+        baseline = load_baseline(name, args.baseline_ref)
+        if baseline is None:
+            print(
+                f"[bench-regression] {name}: no baseline at {args.baseline_ref}, skipping"
+            )
+            continue
+        regressions = compare(baseline, fresh, args.threshold)
+        checked = len(throughput_figures(baseline))
+        if regressions:
+            for regression in regressions:
+                failures.append(f"{name}: {regression}")
+        print(
+            f"[bench-regression] {name}: {checked} throughput figures checked, "
+            f"{len(regressions)} regressed beyond {args.threshold:.0%}"
+        )
+
+    if failures:
+        print("\nThroughput regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

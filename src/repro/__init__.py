@@ -16,13 +16,16 @@ every substrate it depends on:
 * :mod:`repro.engine` — the vectorized batched execution engine
   (:class:`repro.engine.BatchPlan`) driving the radar, feature and
   meta-learning hot paths,
+* :mod:`repro.serve` — the streaming multi-user serving layer
+  (:class:`repro.serve.PoseServer`): per-user sessions, cross-user
+  micro-batching, per-user adaptation at scale,
 * :mod:`repro.viz` — point-cloud rendering and result tables,
 * :mod:`repro.experiments` — drivers that regenerate every table and figure
   of the paper's evaluation section.
 """
 
-from . import body, core, dataset, engine, nn, radar
+from . import body, core, dataset, engine, nn, radar, serve
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
-__all__ = ["nn", "radar", "body", "dataset", "core", "engine", "__version__"]
+__all__ = ["nn", "radar", "body", "dataset", "core", "engine", "serve", "__version__"]

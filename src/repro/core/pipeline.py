@@ -30,6 +30,7 @@ from ..dataset.cache import FeatureCache
 from ..dataset.features import FeatureMapBuilder
 from ..dataset.loader import ArrayDataset, build_array_dataset
 from ..dataset.sample import PoseDataset
+from ..engine.functional import predict_with_parameters
 from ..engine.plan import BatchPlan
 from ..radar.pointcloud import PointCloudFrame
 from .evaluation import PoseErrorReport, evaluate_model
@@ -90,11 +91,18 @@ class FusePoseEstimator:
             if model is not None
             else build_fuse_model(self.feature_builder, seed=self.config.model_seed)
         )
-        self._feature_cache = (
-            FeatureCache(capacity=self.plan.cache_capacity)
-            if self.plan.cache_policy == "memory"
-            else None
-        )
+        if self.plan.cache_policy == "memory":
+            self._feature_cache: Optional[FeatureCache] = FeatureCache(
+                capacity=self.plan.cache_capacity
+            )
+        elif self.plan.cache_policy == "disk":
+            self._feature_cache = FeatureCache(
+                capacity=self.plan.cache_capacity,
+                cache_dir=self.plan.cache_dir,
+                disk_capacity=self.plan.cache_disk_capacity,
+            )
+        else:
+            self._feature_cache = None
         self.training_history: Optional[TrainingHistory] = None
         self.meta_history: Optional[MetaTrainingHistory] = None
         self.finetune_result: Optional[FineTuneResult] = None
@@ -177,13 +185,22 @@ class FusePoseEstimator:
         return self.finetune_result
 
     def predict(
-        self, frames: Union[Sequence[PointCloudFrame], PoseDataset, np.ndarray]
+        self,
+        frames: Union[Sequence[PointCloudFrame], PoseDataset, np.ndarray],
+        parameters: Optional[Sequence[np.ndarray]] = None,
     ) -> np.ndarray:
         """Predict joint coordinates.
 
         Accepts raw point-cloud frames (fused on the fly with the configured
         window), a labelled dataset, or pre-built feature maps.  Returns an
         ``(N, 19, 3)`` array of joint coordinates in metres.
+
+        With ``parameters`` — plain arrays in ``model.parameters()`` order,
+        e.g. a per-user adapted set from
+        :class:`repro.serve.AdapterRegistry` — inference runs functionally
+        through those weights and the estimator's own model state is neither
+        consulted nor mutated, so one shared estimator can serve many users'
+        personalised parameter sets concurrently.
         """
         if isinstance(frames, np.ndarray):
             features = frames
@@ -194,6 +211,9 @@ class FusePoseEstimator:
             frame_list = list(frames)
             fused = self.fusion.fuse_sequence(frame_list)
             features = self.feature_builder.build_batch(fused)
+        if parameters is not None:
+            flat = predict_with_parameters(self.model, parameters, features)
+            return flat.reshape(flat.shape[0], -1, 3)
         return self.model.predict_joints(features)
 
     def evaluate(self, dataset: PoseDataset | ArrayDataset) -> PoseErrorReport:
@@ -225,11 +245,24 @@ class FusePoseEstimator:
         nn.load_model_into(self.model, path)
 
     # ------------------------------------------------------------------
-    # Internal helpers
+    # Helpers
     # ------------------------------------------------------------------
-    def _as_arrays(self, data: PoseDataset | ArrayDataset) -> ArrayDataset:
+    @property
+    def feature_cache(self) -> Optional[FeatureCache]:
+        """The configured feature cache (``None`` under ``cache_policy="none"``)."""
+        return self._feature_cache
+
+    def to_arrays(self, data: PoseDataset | ArrayDataset) -> ArrayDataset:
+        """Coerce labelled or pre-built data to feature/label arrays.
+
+        Labelled datasets run through :meth:`prepare` (fusion, feature
+        building, caching); array datasets pass through unchanged.
+        """
         if isinstance(data, ArrayDataset):
             return data
         if isinstance(data, PoseDataset):
             return self.prepare(data)
         raise TypeError(f"expected PoseDataset or ArrayDataset, got {type(data).__name__}")
+
+    def _as_arrays(self, data: PoseDataset | ArrayDataset) -> ArrayDataset:
+        return self.to_arrays(data)

@@ -18,7 +18,12 @@ two together numerically, and ``benchmarks/test_engine_throughput.py``
 tracks the speedup as ``BENCH_engine.json``.
 """
 
-from .functional import batched_forward, replicate_parameters, supports_batched_execution
+from .functional import (
+    batched_forward,
+    predict_with_parameters,
+    replicate_parameters,
+    supports_batched_execution,
+)
 from .plan import BatchPlan
 from .radar import BatchedRadarEngine
 
@@ -26,6 +31,7 @@ __all__ = [
     "BatchPlan",
     "BatchedRadarEngine",
     "batched_forward",
+    "predict_with_parameters",
     "replicate_parameters",
     "supports_batched_execution",
 ]

@@ -27,6 +27,7 @@ __all__ = [
     "replicate_parameters",
     "batched_forward",
     "gradient_step",
+    "predict_with_parameters",
 ]
 
 
@@ -106,6 +107,28 @@ def batched_forward(
     if leftover is not None:
         raise ValueError("more per-task parameters supplied than the module consumes")
     return out
+
+
+def predict_with_parameters(
+    module: nn.Module, parameters: Sequence[np.ndarray], features: np.ndarray
+) -> np.ndarray:
+    """Inference with an explicit parameter set, leaving ``module`` untouched.
+
+    This is how the serving layer predicts with per-user adapted weights:
+    the module supplies only the architecture, ``parameters`` (plain arrays
+    in ``module.parameters()`` order) supply the weights, and the module's
+    own state is neither read nor mutated.  Returns the flat ``(batch, out)``
+    predictions for ``(batch, ...)`` features.
+    """
+    expected = sum(1 for _ in module.parameters())
+    if len(parameters) != expected:
+        raise ValueError(
+            f"module has {expected} parameters but {len(parameters)} were supplied"
+        )
+    params = [nn.Tensor(np.asarray(p, dtype=float)[None]) for p in parameters]
+    with nn.no_grad():
+        out = batched_forward(module, params, nn.Tensor(np.asarray(features)[None]))
+    return out.numpy()[0]
 
 
 def _take(iterator: Iterator[nn.Tensor], layer: nn.Module, name: str) -> nn.Tensor:

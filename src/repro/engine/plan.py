@@ -35,9 +35,16 @@ class BatchPlan:
     cache_policy:
         ``"memory"`` memoizes built feature/label arrays in the in-process
         content-addressed LRU cache (:mod:`repro.dataset.cache`);
-        ``"none"`` rebuilds on every call.
+        ``"disk"`` additionally spills entries to ``cache_dir`` so other
+        processes (and later runs) reuse them; ``"none"`` rebuilds on every
+        call.
     cache_capacity:
         Maximum number of cached feature datasets when caching is enabled.
+    cache_dir:
+        Directory of the on-disk cache tier (required when ``cache_policy``
+        is ``"disk"``).
+    cache_disk_capacity:
+        Maximum number of persisted entries before the oldest are evicted.
     backend:
         Optional radar-backend override (``"geometric"`` or ``"signal"``)
         applied by engine helpers that construct pipelines; ``None`` keeps
@@ -48,15 +55,21 @@ class BatchPlan:
     batch_size: int = 64
     cache_policy: str = "memory"
     cache_capacity: int = 16
+    cache_dir: Optional[str] = None
+    cache_disk_capacity: int = 64
     backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        if self.cache_policy not in ("none", "memory"):
+        if self.cache_policy not in ("none", "memory", "disk"):
             raise ValueError(f"unknown cache policy '{self.cache_policy}'")
+        if self.cache_policy == "disk" and not self.cache_dir:
+            raise ValueError("cache_policy='disk' requires cache_dir")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
+        if self.cache_disk_capacity < 1:
+            raise ValueError("cache_disk_capacity must be >= 1")
         if self.backend is not None and self.backend not in ("geometric", "signal"):
             raise ValueError(f"unknown radar backend '{self.backend}'")
 

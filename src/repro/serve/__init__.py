@@ -1,0 +1,63 @@
+"""``repro.serve`` — streaming multi-user pose serving.
+
+The serving subsystem turns the reproduction from an experiment harness into
+a deployable system: many users stream radar frames, the server fuses each
+user's frames (streaming multi-frame fusion over a per-session ring buffer),
+coalesces requests *across users* into micro-batches, and answers through
+batch-invariant inference kernels so coalescing never changes a prediction.
+
+Pieces:
+
+* :class:`ServeConfig` — scheduling and capacity knobs;
+* :class:`PoseServer` — the synchronous in-process front door
+  (``submit(user_id, frame) -> (joints, 3)``);
+* :class:`SessionManager` / :class:`UserSession` — per-user sliding frame
+  windows feeding streaming fusion;
+* :class:`MicroBatcher` — bounded pending queue with max-batch/max-latency
+  scheduling and drop-oldest backpressure;
+* :class:`AdapterRegistry` — per-user fine-tuned parameter sets, adapted in
+  grouped task-batched calls and gathered per micro-batch;
+* :class:`SharedParameterKernel` — fixed-GEMM-shape inference for the shared
+  base parameters (the reason batched == unbatched, bitwise);
+* :class:`ServeMetrics` — latency percentiles, throughput, queue depth and
+  cache hit rates;
+* the replay driver (:func:`replay_users`, :func:`user_streams_from_dataset`)
+  simulating N concurrent users from the synthetic dataset.
+"""
+
+from .adapters import AdapterRegistry
+from .batcher import FrameDropped, MicroBatcher, PendingPrediction, QueueFull, ServeRequest
+from .config import ServeConfig
+from .kernel import SharedParameterKernel
+from .metrics import ServeMetrics, percentile
+from .replay import (
+    ReplayResult,
+    adaptation_split,
+    replay_users,
+    sequential_reference,
+    user_streams_from_dataset,
+)
+from .server import PoseServer
+from .session import SessionManager, UserSession, streaming_window
+
+__all__ = [
+    "AdapterRegistry",
+    "FrameDropped",
+    "MicroBatcher",
+    "PendingPrediction",
+    "PoseServer",
+    "QueueFull",
+    "ReplayResult",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServeRequest",
+    "SessionManager",
+    "SharedParameterKernel",
+    "UserSession",
+    "adaptation_split",
+    "percentile",
+    "replay_users",
+    "sequential_reference",
+    "streaming_window",
+    "user_streams_from_dataset",
+]

@@ -1,0 +1,312 @@
+"""Per-user adapted parameter sets, fine-tuned in grouped calls.
+
+The FUSE deployment story is per-user adaptation: a handful of labelled
+frames from a new user fine-tune the meta-learned initialization into a
+personal parameter set.  Doing that one user at a time wastes the batched
+substrate, so :class:`AdapterRegistry` adapts *populations*: every user in an
+:meth:`AdapterRegistry.adapt_many` call becomes one slice of a
+``(users, ...)`` parameter tensor and all users share a single grouped
+forward/backward per mini-batch through :func:`repro.engine.batched_forward`
+(the same task-batched kernels as the meta-learning inner loop).
+
+Because task slices are mathematically and bitwise independent, a user
+adapted inside a group ends up with exactly the parameters a solo
+:meth:`adapt_user` call would have produced — ``tests/serve`` pins this.
+
+Two adaptation scopes mirror the paper's Figures 3 and 4:
+
+* ``scope="all"`` personalises every layer.  Maximum capacity, but serving
+  must read ~1.1 M parameters per user per batch — adapted traffic becomes
+  memory-bound (the throughput benchmark documents the cost).
+* ``scope="last"`` personalises only the final FC layer (the paper's
+  low-cost online regime): the convolutional/FC trunk stays shared — so
+  serving runs it once per micro-batch through the batch-invariant kernel —
+  and each user owns just a ``(57, 512)`` head.  Adaptation precomputes the
+  trunk embedding of the calibration frames once and fine-tunes the head as
+  a tiny grouped linear problem; both adaptation and serving scale to far
+  more concurrent personalised users.
+
+The registry also answers the serving hot path: :meth:`gather` stacks the
+parameter sets of the users in one micro-batch into ``(tasks, ...)`` tensors,
+memoized by batch composition so steady-state traffic (the same cohort every
+scheduling tick) skips the stacking memcpy — the ``param_cache`` hit rate in
+:class:`repro.serve.ServeMetrics`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..core.finetune import FineTuneConfig
+from ..core.models import PoseCNN
+from ..dataset.loader import ArrayDataset
+from ..engine.functional import (
+    batched_forward,
+    gradient_step,
+    replicate_parameters,
+    supports_batched_execution,
+)
+from .kernel import SharedParameterKernel
+from .metrics import ServeMetrics
+
+__all__ = ["AdapterRegistry"]
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.setflags(write=False)
+    return view
+
+
+class AdapterRegistry:
+    """Stores per-user adapted parameter sets and produces them in bulk.
+
+    Parameters
+    ----------
+    model:
+        The shared base model whose parameters seed every adaptation.  The
+        registry never mutates it.
+    config:
+        Fine-tuning hyper-parameters.  Grouped adaptation requires the plain
+        SGD update (``optimizer="sgd"``) — the rule the FUSE initialization
+        was optimized for — with either scope.  The default is the paper's
+        ~5-epoch online regime rather than the offline 50-epoch sweep.
+    gather_cache_size:
+        Number of recently used ``(tasks, ...)`` parameter stacks memoized
+        for the serving hot path.
+    metrics:
+        Optional :class:`ServeMetrics` receiving cache and adaptation events.
+    gemm_block:
+        Block width of the trunk-embedding kernel under ``scope="last"``
+        (matched to the server's ``gemm_block`` so embeddings agree bitwise
+        with the serving path).
+    """
+
+    def __init__(
+        self,
+        model: PoseCNN,
+        config: Optional[FineTuneConfig] = None,
+        gather_cache_size: int = 8,
+        metrics: Optional[ServeMetrics] = None,
+        gemm_block: int = 32,
+    ) -> None:
+        self.model = model
+        self.config = config if config is not None else FineTuneConfig(epochs=5)
+        if self.config.optimizer != "sgd":
+            raise ValueError("grouped adaptation only supports the sgd optimizer")
+        if gather_cache_size < 1:
+            raise ValueError("gather_cache_size must be >= 1")
+        if self.config.scope == "last":
+            head = model.last_layer
+            if not isinstance(head, nn.Linear):
+                raise ValueError("scope='last' requires the final layer to be Linear")
+            trunk = nn.Sequential(*list(model.network)[:-1])
+            self._trunk_kernel: Optional[SharedParameterKernel] = SharedParameterKernel(
+                trunk, block=gemm_block
+            )
+            self._head_init = [head.weight.data.copy()]
+            if head.bias is not None:
+                self._head_init.append(head.bias.data.copy())
+        else:
+            # The task-batched training kernels are only required once
+            # adaptation actually runs (checked in _adapt_group), so a model
+            # they cannot handle — e.g. with active dropout — still serves
+            # base traffic through a registry-less route.
+            self._trunk_kernel = None
+            self._head_init = []
+        self.metrics = metrics
+        self.version = 0
+        self._params: "OrderedDict[Hashable, List[np.ndarray]]" = OrderedDict()
+        self._gather_cache: "OrderedDict[Tuple, List[nn.Tensor]]" = OrderedDict()
+        self._gather_cache_size = gather_cache_size
+
+    @property
+    def scope(self) -> str:
+        """Which layers are personalised: ``"all"`` or ``"last"``."""
+        return self.config.scope
+
+    def trunk_embed(self, features: np.ndarray) -> np.ndarray:
+        """The shared-trunk embedding under ``scope="last"`` (batch-invariant)."""
+        if self._trunk_kernel is None:
+            raise ValueError("trunk_embed is only available with scope='last'")
+        return self._trunk_kernel.predict(features)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __contains__(self, user_id: Hashable) -> bool:
+        return user_id in self._params
+
+    @property
+    def user_ids(self) -> List[Hashable]:
+        return list(self._params)
+
+    def parameters_for(self, user_id: Hashable) -> Optional[List[np.ndarray]]:
+        """The user's adapted parameters as read-only views, or ``None``.
+
+        Under ``scope="all"`` these follow ``model.parameters()`` order;
+        under ``scope="last"`` they are the personal head's
+        ``[weight, bias]``.
+        """
+        params = self._params.get(user_id)
+        if params is None:
+            return None
+        return [_readonly(p) for p in params]
+
+    # ------------------------------------------------------------------
+    # Adaptation
+    # ------------------------------------------------------------------
+    def adapt_user(
+        self, user_id: Hashable, dataset: ArrayDataset, epochs: Optional[int] = None
+    ) -> List[np.ndarray]:
+        """Fine-tune one user's parameter set from the shared base model."""
+        return self.adapt_many({user_id: dataset}, epochs=epochs)[user_id]
+
+    def adapt_many(
+        self,
+        datasets: Mapping[Hashable, ArrayDataset],
+        epochs: Optional[int] = None,
+    ) -> Dict[Hashable, List[np.ndarray]]:
+        """Fine-tune many users at once through the task-batched kernels.
+
+        Users whose adaptation sets have equal sizes share one grouped
+        forward/backward per mini-batch (one ``(users, ...)`` parameter
+        tensor); unequal sizes are grouped by size so every set still runs
+        grouped with its peers.  Each user's slice starts from the shared
+        base parameters and follows exactly the update sequence a solo
+        adaptation would — results are bitwise identical to
+        :meth:`adapt_user` per user.
+        """
+        if not datasets:
+            raise ValueError("at least one adaptation set is required")
+        by_size: Dict[int, List[Hashable]] = {}
+        for user_id, dataset in datasets.items():
+            if len(dataset) == 0:
+                raise ValueError(f"adaptation set of user {user_id!r} is empty")
+            by_size.setdefault(len(dataset), []).append(user_id)
+
+        adapted: Dict[Hashable, List[np.ndarray]] = {}
+        for size in sorted(by_size):
+            users = by_size[size]
+            group = self._adapt_group(
+                users, [datasets[user] for user in users], size, epochs
+            )
+            adapted.update(group)
+
+        for user_id, params in adapted.items():
+            self._params[user_id] = params
+        self.version += 1
+        self._gather_cache.clear()
+        if self.metrics is not None:
+            self.metrics.record_adaptation(len(adapted))
+        return adapted
+
+    def _adapt_group(
+        self,
+        users: Sequence[Hashable],
+        datasets: Sequence[ArrayDataset],
+        size: int,
+        epochs: Optional[int],
+    ) -> Dict[Hashable, List[np.ndarray]]:
+        """One grouped adaptation over equally sized sets."""
+        cfg = self.config
+        epochs = epochs if epochs is not None else cfg.epochs
+        num_users = len(users)
+        batch_size = min(cfg.batch_size, size)
+        labels = np.stack([dataset.labels for dataset in datasets])
+
+        if cfg.scope == "last":
+            # The trunk is shared and frozen: embed every calibration frame
+            # in one batch-invariant kernel pass (per-frame results are
+            # independent of the concatenation), then the personal head is a
+            # tiny grouped linear problem.
+            stacked = self.trunk_embed(
+                np.concatenate([dataset.features for dataset in datasets])
+            )
+            features = stacked.reshape(num_users, size, -1)
+            params = [
+                nn.Tensor(
+                    np.broadcast_to(p, (num_users, *p.shape)).copy(), requires_grad=True
+                )
+                for p in self._head_init
+            ]
+
+            def forward(p: List[nn.Tensor], x: nn.Tensor) -> nn.Tensor:
+                return nn.linear_batched(x, p[0], p[1] if len(p) > 1 else None)
+        else:
+            if not supports_batched_execution(self.model):
+                raise ValueError(
+                    "model architecture has no task-batched kernels; "
+                    "scope='all' adaptation is unavailable (scope='last' may still work)"
+                )
+            features = np.stack([dataset.features for dataset in datasets])
+            params = replicate_parameters(self.model, num_users)
+
+            def forward(p: List[nn.Tensor], x: nn.Tensor) -> nn.Tensor:
+                return batched_forward(self.model, p, x)
+
+        for epoch in range(epochs):
+            # Mirror BatchLoader's shuffling so grouped and solo adaptation
+            # consume mini-batches in the same order.
+            indices = np.arange(size)
+            if cfg.shuffle:
+                indices = np.random.default_rng(cfg.seed + epoch).permutation(size)
+            for start in range(0, size, batch_size):
+                batch = indices[start : start + batch_size]
+                x = nn.Tensor(features[:, batch])
+                y = nn.Tensor(labels[:, batch])
+                predictions = forward(params, x)
+                losses = nn.per_task_loss(predictions, y, cfg.loss)
+                losses.sum().backward()
+                params = gradient_step(params, cfg.learning_rate)
+
+        return {
+            user: [stacked.data[slot].copy() for stacked in params]
+            for slot, user in enumerate(users)
+        }
+
+    def remove(self, user_id: Hashable) -> bool:
+        """Forget one user's adapted parameters; returns whether they existed."""
+        existed = self._params.pop(user_id, None) is not None
+        if existed:
+            self.version += 1
+            self._gather_cache.clear()
+        return existed
+
+    # ------------------------------------------------------------------
+    # Serving hot path
+    # ------------------------------------------------------------------
+    def gather(self, user_ids: Sequence[Hashable]) -> List[nn.Tensor]:
+        """Stack the users' parameter sets into ``(tasks, ...)`` tensors.
+
+        The result feeds :func:`repro.engine.batched_forward` directly and is
+        memoized by (registry version, batch composition): a steady cohort of
+        users hitting the server every tick pays the stacking cost once.
+        """
+        if not user_ids:
+            raise ValueError("at least one user is required")
+        missing = [user for user in user_ids if user not in self._params]
+        if missing:
+            raise KeyError(f"no adapted parameters for users {missing!r}")
+        key = (self.version, tuple(user_ids))
+        cached = self._gather_cache.get(key)
+        if cached is not None:
+            self._gather_cache.move_to_end(key)
+            if self.metrics is not None:
+                self.metrics.record_param_cache(hit=True)
+            return cached
+        if self.metrics is not None:
+            self.metrics.record_param_cache(hit=False)
+        per_param = zip(*(self._params[user] for user in user_ids))
+        stacked = [nn.Tensor(np.stack(arrays)) for arrays in per_param]
+        self._gather_cache[key] = stacked
+        while len(self._gather_cache) > self._gather_cache_size:
+            self._gather_cache.popitem(last=False)
+        return stacked

@@ -1,0 +1,168 @@
+"""Cross-user micro-batching: the pending-request queue and its policies.
+
+The :class:`MicroBatcher` is the scheduling half of the serving layer.  It
+owns the bounded queue of pending requests, decides when a micro-batch is due
+(capacity reached or the oldest request's latency budget spent) and applies
+backpressure when producers outrun the model — the classic request-coalescing
+pattern of RAN/inference serving systems (cf. ACCoRD in PAPERS.md), kept
+single-threaded and deterministic here so serving results are replayable.
+
+Execution of a drained batch belongs to :class:`repro.serve.PoseServer`; the
+batcher never touches the model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional
+
+import numpy as np
+
+from ..radar.pointcloud import PointCloudFrame
+from .config import ServeConfig
+from .metrics import ServeMetrics
+
+__all__ = ["FrameDropped", "QueueFull", "PendingPrediction", "ServeRequest", "MicroBatcher"]
+
+
+class FrameDropped(RuntimeError):
+    """Raised when a request's prediction was dropped under backpressure."""
+
+
+class QueueFull(RuntimeError):
+    """Raised under the ``"reject"`` overflow policy when the queue is full."""
+
+
+class PendingPrediction:
+    """Handle to a prediction that a future micro-batch will produce.
+
+    The handle resolves when the request's batch is flushed.  Calling
+    :meth:`result` forces outstanding flushes first, so a caller that cannot
+    wait for co-riders still gets an answer synchronously.
+    """
+
+    __slots__ = ("user_id", "sequence", "submitted_at", "_value", "_dropped", "_flush")
+
+    def __init__(
+        self,
+        user_id: Hashable,
+        sequence: int,
+        submitted_at: float,
+        flush: Callable[[], int],
+    ) -> None:
+        self.user_id = user_id
+        self.sequence = sequence
+        self.submitted_at = submitted_at
+        self._value: Optional[np.ndarray] = None
+        self._dropped = False
+        self._flush = flush
+
+    @property
+    def done(self) -> bool:
+        return self._value is not None
+
+    @property
+    def dropped(self) -> bool:
+        return self._dropped
+
+    def _resolve(self, value: np.ndarray) -> None:
+        self._value = value
+
+    def _drop(self) -> None:
+        self._dropped = True
+
+    def result(self, flush: bool = True) -> np.ndarray:
+        """The ``(joints, 3)`` prediction, forcing a flush if still pending."""
+        while self._value is None and not self._dropped and flush:
+            if self._flush() == 0:
+                break
+        if self._dropped:
+            raise FrameDropped(
+                f"request {self.sequence} of user {self.user_id!r} was dropped under backpressure"
+            )
+        if self._value is None:
+            raise RuntimeError(
+                f"request {self.sequence} of user {self.user_id!r} is still pending"
+            )
+        return self._value
+
+
+@dataclass
+class ServeRequest:
+    """One enqueued frame: the fused cloud plus bookkeeping."""
+
+    user_id: Hashable
+    fused: PointCloudFrame
+    pending: PendingPrediction
+    arrival: float
+    features: Optional[np.ndarray] = field(default=None, repr=False)
+
+
+class MicroBatcher:
+    """Bounded deterministic queue of :class:`ServeRequest` objects."""
+
+    def __init__(self, config: ServeConfig, metrics: Optional[ServeMetrics] = None) -> None:
+        self.config = config
+        self.metrics = metrics
+        self._pending: "deque[ServeRequest]" = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def full(self) -> bool:
+        """Whether the next flush is due on capacity grounds."""
+        return len(self._pending) >= self.config.max_batch_size
+
+    def admit(self) -> None:
+        """Make room for one incoming request per the overflow policy.
+
+        Called *before* the request is built so a rejected submission has no
+        side effects (in particular, it must not touch the user's session
+        ring).  Under ``"drop_oldest"`` the oldest pending request is dropped
+        and its handle resolves to the dropped state.
+        """
+        if len(self._pending) < self.config.max_queue_depth:
+            return
+        if self.config.overflow == "reject":
+            raise QueueFull(
+                f"pending queue is at max_queue_depth={self.config.max_queue_depth}"
+            )
+        oldest = self._pending.popleft()
+        oldest.pending._drop()
+        if self.metrics is not None:
+            self.metrics.record_drop()
+
+    def enqueue(self, request: ServeRequest) -> None:
+        """Append an admitted request (see :meth:`admit`)."""
+        self._pending.append(request)
+
+    def oldest_age(self, now: float) -> float:
+        """Seconds the oldest pending request has waited (0.0 when empty)."""
+        if not self._pending:
+            return 0.0
+        return max(0.0, now - self._pending[0].arrival)
+
+    def due(self, now: float) -> bool:
+        """Whether a flush is due: batch capacity reached or deadline spent."""
+        if not self._pending:
+            return False
+        if self.full:
+            return True
+        return self.oldest_age(now) >= self.config.max_delay_s
+
+    def drain(self) -> List[ServeRequest]:
+        """Pop the next micro-batch (up to ``max_batch_size`` requests)."""
+        count = min(len(self._pending), self.config.max_batch_size)
+        return [self._pending.popleft() for _ in range(count)]
+
+    def clear(self) -> int:
+        """Drop every pending request (server shutdown); returns the count."""
+        count = len(self._pending)
+        while self._pending:
+            request = self._pending.popleft()
+            request.pending._drop()
+            if self.metrics is not None:
+                self.metrics.record_drop()
+        return count

@@ -1,0 +1,93 @@
+"""Configuration of the streaming pose-serving subsystem.
+
+One frozen :class:`ServeConfig` object describes how a :class:`PoseServer`
+schedules work: how many cross-user requests a micro-batch may coalesce, how
+long a request may wait for co-riders before the batch is forced out, how
+deep the pending queue may grow before backpressure kicks in, and how much
+per-user frame history each session retains for streaming fusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Scheduling and capacity knobs of the serving layer.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Upper bound on the number of pending requests one micro-batch may
+        coalesce across users.  Enqueueing the ``max_batch_size``-th request
+        triggers an immediate flush.
+    max_delay_ms:
+        Deadline of the oldest pending request: :meth:`PoseServer.poll`
+        flushes a partial batch once the oldest request has waited this long
+        (micro-batching trades at most this much latency for throughput).
+    max_queue_depth:
+        Bound of the pending-request queue.  Requests beyond this depth are
+        subject to the ``overflow`` policy — serving never buffers without
+        limit.
+    overflow:
+        Backpressure policy when the queue is full: ``"drop_oldest"``
+        (default) drops the oldest pending request (its
+        :class:`PendingPrediction` resolves to the dropped state) so fresh
+        frames stay relevant, ``"reject"`` raises on the incoming request
+        instead.
+    ring_capacity:
+        Number of frames of per-user history each session retains for the
+        streaming fusion window.  ``None`` derives ``2M + 1`` from the
+        estimator's fusion setting.
+    max_sessions:
+        Bound on concurrently tracked user sessions; the least recently
+        active session is evicted beyond it.
+    gemm_block:
+        Width of the fixed-shape GEMM blocks of the batch-invariant shared
+        parameter kernel (:class:`repro.serve.SharedParameterKernel`).
+        ``None`` uses ``max_batch_size``.  Every micro-batch — including a
+        single-request one — is computed with GEMMs of exactly this width,
+        so within one server any batch composition yields the same bits.
+        Comparing *different* servers bitwise (e.g. the unbatched reference
+        in ``tests/serve``) additionally requires pinning both to the same
+        ``gemm_block``: different block widths use differently shaped GEMMs
+        and may differ in the last bits.
+    """
+
+    max_batch_size: int = 32
+    max_delay_ms: float = 5.0
+    max_queue_depth: int = 256
+    overflow: str = "drop_oldest"
+    ring_capacity: Optional[int] = None
+    max_sessions: int = 1024
+    gemm_block: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.overflow not in ("drop_oldest", "reject"):
+            raise ValueError(f"unknown overflow policy '{self.overflow}'")
+        if self.ring_capacity is not None and self.ring_capacity < 1:
+            raise ValueError("ring_capacity must be >= 1")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if self.gemm_block is not None and self.gemm_block < 2:
+            raise ValueError("gemm_block must be >= 2 (width-1 GEMMs hit the gemv kernel)")
+
+    @property
+    def max_delay_s(self) -> float:
+        """The flush deadline in seconds."""
+        return self.max_delay_ms / 1000.0
+
+    @property
+    def block_width(self) -> int:
+        """Effective GEMM block width of the shared-parameter kernel."""
+        return self.gemm_block if self.gemm_block is not None else max(2, self.max_batch_size)

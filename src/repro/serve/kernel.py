@@ -1,0 +1,228 @@
+"""Batch-invariant shared-parameter inference kernel.
+
+Micro-batching is only correct if coalescing requests cannot change their
+answers.  Plain ``model.predict`` does not guarantee that: BLAS picks
+different kernels for different GEMM shapes (a one-row matrix product goes
+through ``gemv``, a many-row one through blocked ``gemm``), so the same frame
+served alone and served inside a batch can differ in the last bits.
+
+:class:`SharedParameterKernel` removes the batch size from every GEMM shape.
+Frames are processed in fixed-width blocks of exactly ``block`` frames (the
+last block is zero-padded):
+
+* convolutions run as one ``im2col`` matrix product whose row count is
+  ``block * out_h * out_w`` — constant;
+* fully connected layers run transposed, ``weight @ x.T``, so the batch
+  dimension is the GEMM's *column* count, again padded to ``block``.
+
+Because each output row/column of a fixed-shape GEMM is an independent dot
+product computed in a fixed reduction order, a frame's prediction depends
+only on its own features — not on how many co-riders shared the block, which
+slot it occupied, or what the padding contained.  This is verified bitwise by
+``tests/serve/test_replay_equivalence.py``.
+
+The kernel is inference-only (no autograd) and holds its own contiguous copy
+of the shared parameters, so serving never races with training code mutating
+the live model.  Per-user *adapted* parameters take the task-batched
+:func:`repro.engine.batched_forward` path instead, which is slice-stable by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn.ops import conv_output_shape, im2col
+
+__all__ = ["SharedParameterKernel"]
+
+
+class _ConvStep:
+    """One convolution lowered to a fixed-shape matrix product."""
+
+    def __init__(self, layer: nn.Conv2d, weight: np.ndarray, bias: Optional[np.ndarray]) -> None:
+        out_channels = weight.shape[0]
+        self.kernel_size = weight.shape[2], weight.shape[3]
+        self.stride = layer.stride
+        self.padding = layer.padding
+        # (patch, out_channels), contiguous so the GEMM reads it linearly.
+        self.weight_flat = np.ascontiguousarray(weight.reshape(out_channels, -1).T)
+        self.bias = None if bias is None else np.ascontiguousarray(bias)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        block = x.shape[0]
+        out_h, out_w = conv_output_shape(
+            x.shape[2], x.shape[3], self.kernel_size, self.stride, self.padding
+        )
+        cols = im2col(x, self.kernel_size, self.stride, self.padding)
+        flat = cols.reshape(block * out_h * out_w, -1)
+        out = flat @ self.weight_flat
+        if self.bias is not None:
+            out += self.bias
+        return np.ascontiguousarray(
+            out.reshape(block, out_h, out_w, -1).transpose(0, 3, 1, 2)
+        )
+
+
+class _LinearStep:
+    """One fully connected layer computed transposed (batch on the N axis)."""
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray]) -> None:
+        self.weight = np.ascontiguousarray(weight)  # (out_features, in_features)
+        self.bias = None if bias is None else np.ascontiguousarray(bias)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out_t = self.weight @ np.ascontiguousarray(x).T  # (out_features, block)
+        if self.bias is not None:
+            out_t += self.bias[:, None]
+        return out_t.T
+
+
+class _ReluStep:
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+
+class _TanhStep:
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+
+class _SigmoidStep:
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+
+class _FlattenStep:
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+class SharedParameterKernel:
+    """Batch-size-invariant forward pass for one shared parameter set.
+
+    Parameters
+    ----------
+    module:
+        The architecture template (every layer must be one of the supported
+        types: ``Conv2d``, ``Linear``, ``ReLU``, ``Tanh``, ``Sigmoid``,
+        ``Flatten``, inactive ``Dropout``, or a container of those).
+    parameters:
+        Optional explicit parameter arrays in ``module.parameters()`` order;
+        defaults to a snapshot of the module's current parameters.
+    block:
+        Fixed GEMM block width.  Must be >= 2: single-column products fall
+        into BLAS's ``gemv`` fast path, whose reduction order differs from
+        the blocked ``gemm`` kernel and would break batch invariance.
+    """
+
+    def __init__(
+        self,
+        module: nn.Module,
+        parameters: Optional[Sequence[np.ndarray]] = None,
+        block: int = 32,
+    ) -> None:
+        if block < 2:
+            raise ValueError("block must be >= 2 for batch-invariant GEMM shapes")
+        self.block = block
+        if parameters is None:
+            parameters = [param.data for param in module.parameters()]
+        expected = sum(1 for _ in module.parameters())
+        parameters = [np.asarray(p, dtype=float).copy() for p in parameters]
+        if len(parameters) != expected:
+            raise ValueError(
+                f"module has {expected} parameters but {len(parameters)} were supplied"
+            )
+        self._steps: List = []
+        self._out_features: Optional[int] = None
+        remaining = self._compile(module, list(parameters))
+        if remaining:
+            raise ValueError("more parameters supplied than the module consumes")
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _compile(self, module: nn.Module, params: List[np.ndarray]) -> List[np.ndarray]:
+        """Flatten the module tree into primitive steps, consuming ``params``."""
+        if isinstance(module, nn.Sequential):
+            for child in module:
+                params = self._compile(child, params)
+            return params
+        if isinstance(module, nn.Conv2d):
+            weight = params.pop(0)
+            bias = params.pop(0) if module.bias is not None else None
+            self._steps.append(_ConvStep(module, weight, bias))
+            return params
+        if isinstance(module, nn.Linear):
+            weight = params.pop(0)
+            bias = params.pop(0) if module.bias is not None else None
+            self._steps.append(_LinearStep(weight, bias))
+            self._out_features = int(weight.shape[0])
+            return params
+        if isinstance(module, nn.ReLU):
+            self._steps.append(_ReluStep())
+            return params
+        if isinstance(module, nn.Tanh):
+            self._steps.append(_TanhStep())
+            return params
+        if isinstance(module, nn.Sigmoid):
+            self._steps.append(_SigmoidStep())
+            return params
+        if isinstance(module, nn.Flatten):
+            self._steps.append(_FlattenStep())
+            return params
+        if isinstance(module, nn.Dropout):
+            # Serving is inference: dropout is identity regardless of p.
+            return params
+        children = list(module._modules.values())
+        if children and not module._parameters:
+            for child in children:
+                params = self._compile(child, params)
+            return params
+        raise NotImplementedError(
+            f"no batch-invariant serving kernel for layer {module!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _run_block(self, x: np.ndarray) -> np.ndarray:
+        for step in self._steps:
+            x = step(x)
+        return x
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Forward ``(batch, channels, height, width)`` features to ``(batch, out)``.
+
+        The batch is processed in zero-padded blocks of exactly
+        :attr:`block` frames so every GEMM shape — and therefore every
+        frame's bit pattern — is independent of the batch size.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 4:
+            raise ValueError(
+                f"expected (batch, channels, height, width) features, got {features.shape}"
+            )
+        total = features.shape[0]
+        if total == 0:
+            if self._out_features is None:
+                raise ValueError("cannot infer output width of an empty batch")
+            return np.zeros((0, self._out_features))
+        outputs: List[np.ndarray] = []
+        buffer = np.zeros((self.block, *features.shape[1:]))
+        for start in range(0, total, self.block):
+            chunk = features[start : start + self.block]
+            valid = chunk.shape[0]
+            buffer[:valid] = chunk
+            if valid < self.block:
+                buffer[valid:] = 0.0
+            outputs.append(self._run_block(buffer)[:valid].copy())
+        return np.concatenate(outputs, axis=0)
+
+    def predict_joints(self, features: np.ndarray) -> np.ndarray:
+        """Inference reshaped to ``(batch, joints, 3)`` coordinates."""
+        flat = self.predict(features)
+        return flat.reshape(flat.shape[0], -1, 3)

@@ -1,0 +1,152 @@
+"""Serving observability: latency percentiles, throughput and queue health.
+
+:class:`ServeMetrics` is the single metrics surface of the serving subsystem.
+Every component reports into it — the server records submissions, flushes and
+completion latencies, the micro-batcher records drops and queue depth, the
+adapter registry records parameter-stack cache hits — and
+:meth:`ServeMetrics.snapshot` renders one flat dictionary suitable for
+logging, the benchmark JSONs and the replay driver's report.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+__all__ = ["ServeMetrics", "percentile"]
+
+
+def percentile(values, fraction: float) -> float:
+    """Nearest-rank percentile of a sequence (0.0 for an empty one)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+class ServeMetrics:
+    """Counters and latency window describing a :class:`PoseServer`'s health.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of most recent per-request latencies retained for the
+        percentile estimates (bounded so long-running servers do not grow).
+    clock:
+        Monotonic time source; injectable so tests can drive virtual time.
+    """
+
+    def __init__(
+        self, latency_window: int = 2048, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        if latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+        self._clock = clock
+        self._latencies: "deque[float]" = deque(maxlen=latency_window)
+        self.submitted = 0
+        self.completed = 0
+        self.dropped = 0
+        self.flushes = 0
+        self.batched_frames = 0
+        self.max_batch_seen = 0
+        self.max_queue_depth_seen = 0
+        self.session_evictions = 0
+        self.param_cache_hits = 0
+        self.param_cache_misses = 0
+        self.adaptation_runs = 0
+        self.adapted_users = 0
+        self._first_submit_at: Optional[float] = None
+        self._last_completion_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_submit(self, queue_depth: int) -> None:
+        self.submitted += 1
+        if self._first_submit_at is None:
+            self._first_submit_at = self._clock()
+        if queue_depth > self.max_queue_depth_seen:
+            self.max_queue_depth_seen = queue_depth
+
+    def record_flush(self, batch_size: int) -> None:
+        self.flushes += 1
+        self.batched_frames += batch_size
+        if batch_size > self.max_batch_seen:
+            self.max_batch_seen = batch_size
+
+    def record_completion(self, latency_s: float) -> None:
+        self.completed += 1
+        self._latencies.append(latency_s)
+        self._last_completion_at = self._clock()
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    def record_session_eviction(self) -> None:
+        self.session_evictions += 1
+
+    def record_param_cache(self, hit: bool) -> None:
+        if hit:
+            self.param_cache_hits += 1
+        else:
+            self.param_cache_misses += 1
+
+    def record_adaptation(self, users: int) -> None:
+        self.adaptation_runs += 1
+        self.adapted_users += users
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def latency_p50_ms(self) -> float:
+        return percentile(self._latencies, 0.50) * 1000.0
+
+    @property
+    def latency_p95_ms(self) -> float:
+        return percentile(self._latencies, 0.95) * 1000.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_frames / self.flushes if self.flushes else 0.0
+
+    @property
+    def throughput_fps(self) -> float:
+        """Completed predictions per second of serving wall time."""
+        if self._first_submit_at is None or self._last_completion_at is None:
+            return 0.0
+        elapsed = self._last_completion_at - self._first_submit_at
+        return self.completed / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def param_cache_hit_rate(self) -> float:
+        requests = self.param_cache_hits + self.param_cache_misses
+        return self.param_cache_hits / requests if requests else 0.0
+
+    def snapshot(self, queue_depth: Optional[int] = None) -> Dict[str, float]:
+        """One flat dictionary of every counter and derived statistic."""
+        report: Dict[str, float] = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "flushes": self.flushes,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_seen": self.max_batch_seen,
+            "max_queue_depth_seen": self.max_queue_depth_seen,
+            "session_evictions": self.session_evictions,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "throughput_fps": self.throughput_fps,
+            "param_cache_hits": self.param_cache_hits,
+            "param_cache_misses": self.param_cache_misses,
+            "param_cache_hit_rate": self.param_cache_hit_rate,
+            "adaptation_runs": self.adaptation_runs,
+            "adapted_users": self.adapted_users,
+        }
+        if queue_depth is not None:
+            report["queue_depth"] = queue_depth
+        return report

@@ -1,0 +1,246 @@
+"""The in-process streaming pose server.
+
+:class:`PoseServer` is the front door of the serving subsystem.  It ties the
+pieces together per request:
+
+1. the user's :class:`UserSession` turns the incoming radar frame into a
+   fused point cloud (streaming multi-frame fusion);
+2. the :class:`MicroBatcher` coalesces fused frames *across users* until the
+   batch is full or the oldest request's latency budget is spent;
+3. a flush builds every feature map in one vectorized
+   :meth:`FeatureMapBuilder.build_batch` call, then routes base-model users
+   through the batch-invariant :class:`SharedParameterKernel` and adapted
+   users through the task-batched :func:`repro.engine.batched_forward` with
+   their per-user parameter slices from the :class:`AdapterRegistry`.
+
+Both inference routes are batch-composition invariant, so a replay of N
+interleaved users is bitwise identical to serving each user alone — the
+property that makes micro-batching safe to deploy and simple to test.
+
+The server is single-threaded and synchronous by design: "concurrency" is
+logical (many interleaved user streams), scheduling is explicit
+(:meth:`poll` / :meth:`flush`), and every run is deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Union
+
+import numpy as np
+
+from .. import nn
+from ..core.finetune import FineTuneConfig
+from ..core.pipeline import FusePoseEstimator
+from ..dataset.loader import ArrayDataset
+from ..dataset.sample import PoseDataset
+from ..engine.functional import batched_forward
+from ..radar.pointcloud import PointCloudFrame
+from .adapters import AdapterRegistry
+from .batcher import MicroBatcher, PendingPrediction, ServeRequest
+from .config import ServeConfig
+from .kernel import SharedParameterKernel
+from .metrics import ServeMetrics
+from .session import SessionManager
+
+__all__ = ["PoseServer"]
+
+
+class PoseServer:
+    """Streaming multi-user pose serving on top of a trained estimator.
+
+    Parameters
+    ----------
+    estimator:
+        A (typically trained) :class:`FusePoseEstimator`.  The server reuses
+        its fusion setting, feature builder and model; the model is treated
+        as read-only — per-user adaptation lives in the registry, never in
+        the shared weights.
+    config:
+        Scheduling and capacity knobs (:class:`ServeConfig`).
+    adaptation:
+        Fine-tuning hyper-parameters for per-user adaptation; defaults to
+        the online ~5-epoch regime.
+    clock:
+        Monotonic time source, injectable for deterministic latency tests.
+    """
+
+    def __init__(
+        self,
+        estimator: FusePoseEstimator,
+        config: Optional[ServeConfig] = None,
+        adaptation: Optional[FineTuneConfig] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.estimator = estimator
+        self.config = config if config is not None else ServeConfig()
+        self.clock = clock
+        self.metrics = ServeMetrics(clock=clock)
+        self.sessions = SessionManager(
+            num_context_frames=estimator.config.num_context_frames,
+            ring_capacity=self.config.ring_capacity,
+            max_sessions=self.config.max_sessions,
+            on_evict=lambda _session: self.metrics.record_session_eviction(),
+        )
+        self.registry = AdapterRegistry(
+            estimator.model,
+            config=adaptation if adaptation is not None else FineTuneConfig(epochs=5),
+            metrics=self.metrics,
+            gemm_block=self.config.block_width,
+        )
+        self.kernel = SharedParameterKernel(
+            estimator.model, block=self.config.block_width
+        )
+        self._batcher = MicroBatcher(self.config, metrics=self.metrics)
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of requests waiting for the next micro-batch."""
+        return len(self._batcher)
+
+    def enqueue(self, user_id: Hashable, frame: PointCloudFrame) -> PendingPrediction:
+        """Accept one frame; may trigger a flush when the batch fills up.
+
+        Returns a :class:`PendingPrediction` handle that resolves at the
+        next flush (or immediately if this request completed the batch).
+        """
+        # Admission first: a request rejected under backpressure must leave
+        # no trace, in particular not in the user's fusion ring.
+        self._batcher.admit()
+        session = self.sessions.get_or_create(user_id)
+        fused = session.observe(frame)
+        now = self.clock()
+        pending = PendingPrediction(user_id, self._sequence, now, flush=self.flush)
+        self._sequence += 1
+        request = ServeRequest(user_id=user_id, fused=fused, pending=pending, arrival=now)
+        self._batcher.enqueue(request)
+        self.metrics.record_submit(queue_depth=len(self._batcher))
+        if self._batcher.full:
+            self.flush()
+        return pending
+
+    def submit(self, user_id: Hashable, frame: PointCloudFrame) -> np.ndarray:
+        """Synchronous prediction: enqueue, flush, return ``(joints, 3)``.
+
+        Under logical concurrency (other requests already pending) the flush
+        still coalesces them with this frame into one micro-batch.
+        """
+        return self.enqueue(user_id, frame).result(flush=True)
+
+    def poll(self, now: Optional[float] = None) -> int:
+        """Flush if the pending batch is due (full, or deadline exceeded).
+
+        Returns the number of predictions produced (0 when nothing was due).
+        A serving loop calls this between arrivals so partial batches respect
+        ``max_delay_ms``.
+        """
+        now = now if now is not None else self.clock()
+        if not self._batcher.due(now):
+            return 0
+        return self.flush()
+
+    def flush(self) -> int:
+        """Execute one micro-batch now; returns the number of predictions."""
+        requests = self._batcher.drain()
+        if not requests:
+            return 0
+        features = self.estimator.feature_builder.build_batch(
+            [request.fused for request in requests]
+        )
+        outputs = np.empty((len(requests), self.estimator.model.config.output_dim))
+
+        base_rows: List[int] = []
+        adapted_rows: List[int] = []
+        for row, request in enumerate(requests):
+            (adapted_rows if request.user_id in self.registry else base_rows).append(row)
+
+        if base_rows:
+            outputs[base_rows] = self.kernel.predict(features[base_rows])
+        if adapted_rows:
+            outputs[adapted_rows] = self._predict_adapted(
+                [requests[row].user_id for row in adapted_rows], features[adapted_rows]
+            )
+
+        now = self.clock()
+        self.metrics.record_flush(len(requests))
+        joints = outputs.reshape(len(requests), -1, 3)
+        for row, request in enumerate(requests):
+            request.pending._resolve(joints[row])
+            self.metrics.record_completion(now - request.arrival)
+        return len(requests)
+
+    def _predict_adapted(self, user_ids: List[Hashable], features: np.ndarray) -> np.ndarray:
+        """Grouped inference with per-user parameter slices.
+
+        Under ``scope="last"`` the shared trunk embeds every adapted frame
+        through the batch-invariant kernel and only the tiny personal heads
+        run per-user.  Under ``scope="all"`` each request rides one task
+        slice of the fully personalised network (a width-one batch axis), so
+        every route is bitwise identical to serving each request alone.
+        """
+        if self.registry.scope == "last":
+            hidden = self.registry.trunk_embed(features)
+            params = self.registry.gather(user_ids)
+            bias = params[1] if len(params) > 1 else None
+            with nn.no_grad():
+                stacked = nn.linear_batched(nn.Tensor(hidden[:, None]), params[0], bias)
+            return stacked.numpy()[:, 0]
+        params = self.registry.gather(user_ids)
+        with nn.no_grad():
+            stacked = batched_forward(
+                self.estimator.model, params, nn.Tensor(features[:, None])
+            )
+        return stacked.numpy()[:, 0]
+
+    # ------------------------------------------------------------------
+    # Per-user adaptation
+    # ------------------------------------------------------------------
+    def adapt_user(
+        self,
+        user_id: Hashable,
+        dataset: Union[PoseDataset, ArrayDataset],
+        epochs: Optional[int] = None,
+    ) -> None:
+        """Fine-tune a personal parameter set from a few labelled frames."""
+        self.adapt_users({user_id: dataset}, epochs=epochs)
+
+    def adapt_users(
+        self,
+        datasets: Mapping[Hashable, Union[PoseDataset, ArrayDataset]],
+        epochs: Optional[int] = None,
+    ) -> None:
+        """Adapt many users in grouped task-batched calls.
+
+        Labelled :class:`PoseDataset` inputs run through the estimator's
+        prepare path (fusion + feature building, memoized by the configured
+        feature cache), so repeated onboarding of the same calibration data
+        is cheap.
+        """
+        arrays = {
+            user_id: self.estimator.to_arrays(dataset)
+            for user_id, dataset in datasets.items()
+        }
+        self.registry.adapt_many(arrays, epochs=epochs)
+
+    def forget_user(self, user_id: Hashable) -> None:
+        """Drop a user's session history and adapted parameters."""
+        self.sessions.close(user_id)
+        self.registry.remove(user_id)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Serving metrics plus queue, session and cache gauges."""
+        report = self.metrics.snapshot(queue_depth=len(self._batcher))
+        report["sessions"] = len(self.sessions)
+        report["adapted_parameter_sets"] = len(self.registry)
+        cache = self.estimator.feature_cache
+        if cache is not None:
+            for key, value in cache.stats.as_dict().items():
+                report[f"feature_cache_{key}"] = value
+        return report

@@ -1,0 +1,42 @@
+"""Fixtures shared by the serving-subsystem tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FuseConfig, FusePoseEstimator
+from repro.dataset.synthetic import SyntheticDatasetConfig, generate_dataset
+from repro.radar.pointcloud import PointCloudFrame
+
+
+@pytest.fixture(scope="module")
+def serve_dataset():
+    """A four-session labelled dataset big enough for 50 simulated users."""
+    config = SyntheticDatasetConfig(
+        subject_ids=(1, 2),
+        movement_names=("squat", "right_limb_extension"),
+        seconds_per_pair=6.0,
+        seed=5,
+    )
+    return generate_dataset(config)
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    """A shared (untrained — serving only reads it) FUSE estimator."""
+    return FusePoseEstimator(FuseConfig(num_context_frames=1))
+
+
+def make_frame(rng: np.random.Generator, count: int = 24) -> PointCloudFrame:
+    """One synthetic mmWave frame with plausible channel ranges."""
+    points = np.column_stack(
+        [
+            rng.uniform(-1.2, 1.2, count),
+            rng.uniform(0.5, 4.5, count),
+            rng.uniform(0.0, 2.2, count),
+            rng.normal(0.0, 1.0, count),
+            rng.uniform(-5.0, 35.0, count),
+        ]
+    )
+    return PointCloudFrame(points)

@@ -1,0 +1,105 @@
+"""Tests of the batch-invariant shared-parameter inference kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import PoseCNN
+from repro.serve import SharedParameterKernel
+
+from .conftest import make_frame
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PoseCNN(seed=3)
+
+
+@pytest.fixture(scope="module")
+def kernel(model):
+    return SharedParameterKernel(model, block=16)
+
+
+class TestBatchInvariance:
+    def test_single_frame_equals_full_batch_bitwise(self, model, kernel, rng):
+        """The property micro-batching rests on: batch composition is invisible."""
+        features = rng.normal(size=(37, 5, 8, 8))
+        full = kernel.predict(features)
+        solo = np.concatenate([kernel.predict(features[i : i + 1]) for i in range(37)])
+        np.testing.assert_array_equal(full, solo)
+
+    def test_arbitrary_split_points_are_bitwise_identical(self, kernel, rng):
+        features = rng.normal(size=(23, 5, 8, 8))
+        full = kernel.predict(features)
+        pieces = np.concatenate(
+            [kernel.predict(features[:5]), kernel.predict(features[5:16]), kernel.predict(features[16:])]
+        )
+        np.testing.assert_array_equal(full, pieces)
+
+    def test_neighbours_do_not_leak(self, kernel, rng):
+        """A frame's prediction is independent of its co-riders' content."""
+        features = rng.normal(size=(16, 5, 8, 8))
+        others = rng.normal(size=(16, 5, 8, 8))
+        mixed = others.copy()
+        mixed[7] = features[7]
+        np.testing.assert_array_equal(kernel.predict(features)[7], kernel.predict(mixed)[7])
+
+    def test_matches_model_forward_numerically(self, model, kernel, rng):
+        """Same mathematics as the training forward, different BLAS kernels."""
+        features = rng.normal(size=(12, 5, 8, 8))
+        np.testing.assert_allclose(
+            kernel.predict(features), model.predict(features), rtol=1e-9, atol=1e-12
+        )
+
+    def test_predict_joints_shape(self, kernel, rng):
+        joints = kernel.predict_joints(rng.normal(size=(4, 5, 8, 8)))
+        assert joints.shape == (4, 19, 3)
+
+    def test_empty_batch(self, kernel):
+        assert kernel.predict(np.zeros((0, 5, 8, 8))).shape == (0, 57)
+
+
+class TestConstruction:
+    def test_explicit_parameters_override_model_state(self, model, rng):
+        parameters = [rng.normal(size=p.data.shape) for p in model.parameters()]
+        kernel = SharedParameterKernel(model, parameters=parameters, block=4)
+        default = SharedParameterKernel(model, block=4)
+        features = rng.normal(size=(3, 5, 8, 8))
+        assert not np.allclose(kernel.predict(features), default.predict(features))
+
+    def test_snapshot_isolates_from_later_model_mutation(self, rng):
+        model = PoseCNN(seed=8)
+        kernel = SharedParameterKernel(model, block=4)
+        features = rng.normal(size=(2, 5, 8, 8))
+        before = kernel.predict(features)
+        for param in model.parameters():
+            param.data += 1.0
+        np.testing.assert_array_equal(kernel.predict(features), before)
+
+    def test_rejects_width_one_blocks(self, model):
+        with pytest.raises(ValueError, match="block"):
+            SharedParameterKernel(model, block=1)
+
+    def test_rejects_wrong_parameter_count(self, model):
+        with pytest.raises(ValueError, match="parameters"):
+            SharedParameterKernel(model, parameters=[np.zeros((1,))], block=4)
+
+    def test_dropout_model_is_servable(self, rng):
+        """Dropout is identity at inference, so a dropout-regularized model
+        must compile — and a PoseServer must accept it for base traffic."""
+        from repro.core import FuseConfig, FusePoseEstimator
+        from repro.core.models import PoseCNNConfig
+        from repro.serve import PoseServer, ServeConfig
+
+        model = PoseCNN(PoseCNNConfig(dropout=0.3), seed=1)
+        model.eval()
+        kernel = SharedParameterKernel(model, block=4)
+        features = rng.normal(size=(3, 5, 8, 8))
+        np.testing.assert_allclose(
+            kernel.predict(features), model.predict(features), rtol=1e-9, atol=1e-12
+        )
+        server = PoseServer(
+            FusePoseEstimator(FuseConfig(), model=model), ServeConfig(max_batch_size=4)
+        )
+        assert server.submit("u", make_frame(rng)).shape == (19, 3)

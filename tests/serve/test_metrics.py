@@ -1,0 +1,89 @@
+"""Tests of the serving metrics surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeMetrics, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 0.5) == 51  # nearest rank over 100 samples
+        assert percentile(values, 1.0) == 100
+
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestServeMetrics:
+    @pytest.fixture
+    def clock(self):
+        class _Clock:
+            time = 0.0
+
+            def __call__(self) -> float:
+                return self.time
+
+        return _Clock()
+
+    def test_latency_percentiles(self, clock):
+        metrics = ServeMetrics(clock=clock)
+        for latency_ms in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            metrics.record_completion(latency_ms / 1000.0)
+        assert metrics.latency_p50_ms == pytest.approx(3.0)
+        assert metrics.latency_p95_ms == pytest.approx(100.0)
+
+    def test_latency_window_is_bounded(self, clock):
+        metrics = ServeMetrics(latency_window=4, clock=clock)
+        for latency in [10.0, 10.0, 10.0, 1.0, 1.0, 1.0, 1.0]:
+            metrics.record_completion(latency)
+        # Only the last four latencies remain in the window.
+        assert metrics.latency_p95_ms == pytest.approx(1000.0)
+
+    def test_throughput_uses_wall_clock(self, clock):
+        metrics = ServeMetrics(clock=clock)
+        metrics.record_submit(queue_depth=1)
+        for _ in range(10):
+            metrics.record_completion(0.001)
+        clock.time = 2.0
+        metrics.record_completion(0.001)
+        assert metrics.throughput_fps == pytest.approx(11 / 2.0)
+
+    def test_batch_statistics(self, clock):
+        metrics = ServeMetrics(clock=clock)
+        metrics.record_flush(4)
+        metrics.record_flush(8)
+        assert metrics.mean_batch_size == pytest.approx(6.0)
+        assert metrics.max_batch_seen == 8
+
+    def test_param_cache_hit_rate(self, clock):
+        metrics = ServeMetrics(clock=clock)
+        metrics.record_param_cache(hit=False)
+        metrics.record_param_cache(hit=True)
+        metrics.record_param_cache(hit=True)
+        assert metrics.param_cache_hit_rate == pytest.approx(2 / 3)
+
+    def test_snapshot_contains_every_surface(self, clock):
+        metrics = ServeMetrics(clock=clock)
+        snapshot = metrics.snapshot(queue_depth=3)
+        for key in (
+            "submitted",
+            "completed",
+            "dropped",
+            "flushes",
+            "mean_batch_size",
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "throughput_fps",
+            "param_cache_hit_rate",
+            "queue_depth",
+        ):
+            assert key in snapshot
+        assert snapshot["queue_depth"] == 3

@@ -1,0 +1,120 @@
+"""Tests of the CI benchmark-trending script (``scripts/bench_regression.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "bench_regression.py"
+
+spec = importlib.util.spec_from_file_location("bench_regression", _SCRIPT)
+bench_regression = importlib.util.module_from_spec(spec)
+# Register before executing: the script's dataclasses resolve their module
+# through sys.modules at class-creation time.
+sys.modules[spec.name] = bench_regression
+spec.loader.exec_module(bench_regression)
+
+
+class TestThroughputFigures:
+    def test_extracts_only_throughput_keys(self):
+        payload = {
+            "radar": {"batched_fps": 100.0, "frames": 300, "speedup": 4.0},
+            "meta": {"sequential_tps": 2.0, "note": "text"},
+            "serve": {"throughput_fps": 9.0},
+        }
+        figures = bench_regression.throughput_figures(payload)
+        assert figures == {
+            "radar.batched_fps": 100.0,
+            "meta.sequential_tps": 2.0,
+            "serve.throughput_fps": 9.0,
+        }
+
+    def test_handles_lists(self):
+        payload = {"runs": [{"fps": 10.0}, {"fps": 20.0}]}
+        figures = bench_regression.throughput_figures(payload)
+        assert figures == {"runs[0].fps": 10.0, "runs[1].fps": 20.0}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        baseline = {"bench": {"batched_fps": 100.0}}
+        fresh = {"bench": {"batched_fps": 75.0}}
+        assert bench_regression.compare(baseline, fresh, threshold=0.30) == []
+
+    def test_beyond_threshold_fails(self):
+        baseline = {"bench": {"batched_fps": 100.0}}
+        fresh = {"bench": {"batched_fps": 60.0}}
+        regressions = bench_regression.compare(baseline, fresh, threshold=0.30)
+        assert len(regressions) == 1
+        assert regressions[0].path == "bench.batched_fps"
+        assert regressions[0].drop == pytest.approx(0.40)
+
+    def test_improvements_and_new_figures_pass(self):
+        baseline = {"bench": {"batched_fps": 100.0}}
+        fresh = {"bench": {"batched_fps": 500.0}, "extra": {"fps": 1.0}}
+        assert bench_regression.compare(baseline, fresh, threshold=0.30) == []
+
+    def test_removed_figures_do_not_crash(self):
+        baseline = {"bench": {"batched_fps": 100.0}}
+        assert bench_regression.compare(baseline, {}, threshold=0.30) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            bench_regression.compare({}, {}, threshold=1.5)
+
+
+class TestMain:
+    def test_end_to_end_against_git_baseline(self, tmp_path):
+        """Full run inside a scratch git repository."""
+        repo = tmp_path / "repo"
+        repo.mkdir()
+
+        def git(*args):
+            subprocess.run(
+                ["git", *args],
+                cwd=repo,
+                check=True,
+                capture_output=True,
+                env={
+                    "GIT_AUTHOR_NAME": "t",
+                    "GIT_AUTHOR_EMAIL": "t@t",
+                    "GIT_COMMITTER_NAME": "t",
+                    "GIT_COMMITTER_EMAIL": "t@t",
+                    "PATH": "/usr/bin:/bin:/usr/local/bin",
+                    "HOME": str(tmp_path),
+                },
+            )
+
+        bench = repo / "BENCH_x.json"
+        bench.write_text(json.dumps({"bench": {"batched_fps": 100.0}}))
+        git("init", "-q")
+        git("add", "BENCH_x.json")
+        git("commit", "-qm", "baseline")
+
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(repo)
+        try:
+            bench.write_text(json.dumps({"bench": {"batched_fps": 90.0}}))
+            assert bench_regression.main(["BENCH_x.json"]) == 0
+            bench.write_text(json.dumps({"bench": {"batched_fps": 10.0}}))
+            assert bench_regression.main(["BENCH_x.json"]) == 1
+        finally:
+            os.chdir(cwd)
+
+    def test_missing_fresh_file_is_skipped(self, tmp_path, capsys):
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            assert bench_regression.main(["BENCH_missing.json"]) == 0
+        finally:
+            os.chdir(cwd)
+        assert "missing" in capsys.readouterr().out
