@@ -1,0 +1,30 @@
+"""Shared I/O for the ``BENCH_*.json`` result files.
+
+Each benchmark module keeps its own in-process section dict and calls
+:func:`record_section` after every measurement; the helper merges with
+whatever is already on disk so a partial run (``pytest -k <one-bench>``
+while iterating) never clobbers the other committed sections.
+
+The flip side of merging: a *renamed or deleted* section is never pruned
+automatically — when retiring a benchmark, remove its stale section from the
+committed ``BENCH_*.json`` in the same commit, or the regression gate will
+keep trending the phantom figure against itself.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def record_section(bench_path: Path, results: dict, section: str, payload: dict) -> None:
+    """Update one section of a benchmark JSON, merging with the disk state."""
+    results[section] = payload
+    merged: dict = {}
+    if bench_path.exists():
+        try:
+            merged = json.loads(bench_path.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    merged.update(results)
+    bench_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")

@@ -8,7 +8,10 @@ paths on three axes of the hot path:
 * **tasks/sec** — meta-learning: tasks adapted per second through the
   task-batched inner loop vs the sequential loop;
 * **figure2 end-to-end** — wall-clock of the Figure 2 experiment (motion
-  synthesis, radar, fusion, statistics) under both plans.
+  synthesis, radar, fusion, statistics) under both plans;
+* **shard scaling** — synthetic dataset generation through
+  ``runtime.map_shards`` at 1/2/4 worker processes (bitwise-identical
+  output, so only the wall clock moves).
 
 Results are written to ``BENCH_engine.json`` at the repository root so the
 performance trajectory is tracked from PR to PR; the scheduled CI slow tier
@@ -17,12 +20,13 @@ uploads the file as an artifact.
 
 from __future__ import annotations
 
-import json
+import os
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
+from bench_io import record_section
 
 from repro.body.motion import MotionSynthesizer
 from repro.body.subjects import default_subjects
@@ -31,6 +35,7 @@ from repro.core.maml import MetaLearningConfig, MetaTrainer
 from repro.core.models import PoseCNN
 from repro.dataset.features import FeatureMapBuilder
 from repro.dataset.loader import ArrayDataset
+from repro.dataset.synthetic import SyntheticDatasetConfig, generate_dataset
 from repro.engine import BatchPlan, BatchedRadarEngine
 from repro.experiments.figure2 import run_figure2
 from repro.radar import GeometricPipeline, RadarConfig
@@ -41,8 +46,7 @@ _RESULTS: dict = {}
 
 
 def _record(section: str, payload: dict) -> None:
-    _RESULTS[section] = payload
-    BENCH_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+    record_section(BENCH_PATH, _RESULTS, section, payload)
 
 
 def _time(callable_, repeats: int = 1) -> float:
@@ -159,6 +163,36 @@ class TestMetaThroughput:
             },
         )
         assert speedup >= 0.8, f"task-batched meta step regressed to {speedup:.2f}x"
+
+
+class TestShardScaling:
+    def test_dataset_generation_shard_scaling(self):
+        """Sharded generation at 1/2/4 workers; identical bits, faster walls.
+
+        On multi-core hosts the 4-worker run must beat the serial run; on a
+        single-core container the process pool can only add overhead, so the
+        bar there is a sanity floor (the pool must not be catastrophically
+        slow) and the figures are recorded for the trend check.
+        """
+        config = SyntheticDatasetConfig(seconds_per_pair=8.0)  # 40 sessions, 3200 frames
+        frames = config.expected_frames
+        payload: dict = {"frames": frames, "cpu_count": os.cpu_count()}
+        seconds: dict = {}
+        for workers in (1, 2, 4):
+            plan = BatchPlan(workers=workers)
+            seconds[workers] = _time(
+                lambda plan=plan: generate_dataset(config, use_cache=False, plan=plan),
+                repeats=2,
+            )
+            payload[f"workers_{workers}_fps"] = frames / seconds[workers]
+        payload["speedup_4_workers"] = seconds[1] / seconds[4]
+        _record("dataset_generation_shards", payload)
+
+        speedup = payload["speedup_4_workers"]
+        if (os.cpu_count() or 1) >= 4:
+            assert speedup >= 1.3, f"4-worker generation only {speedup:.2f}x serial"
+        else:
+            assert speedup >= 0.4, f"sharding overhead excessive: {speedup:.2f}x serial"
 
 
 class TestEndToEnd:

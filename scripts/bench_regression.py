@@ -7,10 +7,20 @@ script compares every throughput-like figure (keys containing ``fps``,
 committed baseline (``git show <ref>:<file>``) and exits non-zero when any
 figure dropped by more than ``--threshold`` (default 30%).
 
+With ``--history DIR`` the script additionally trends against a *rolling
+window* of prior benchmark snapshots (e.g. the ``BENCH_*.json`` artifacts of
+previous scheduled runs, downloaded into ``DIR/<stem>/``): the fresh figures
+are compared against the per-figure median of the window — which is robust
+to one noisy run in either direction, unlike the single committed baseline —
+and the fresh file is appended to the window afterwards, pruned to
+``--history-window`` snapshots.
+
 Usage::
 
     python scripts/bench_regression.py BENCH_engine.json BENCH_serve.json
     python scripts/bench_regression.py --threshold 0.3 --baseline-ref HEAD BENCH_*.json
+    python scripts/bench_regression.py --history .bench-history --run-id "$GITHUB_RUN_ID" \\
+        BENCH_engine.json BENCH_serve.json
 
 New figures (present only in the fresh file) and removed figures are
 reported but never fail the check, so adding a benchmark does not require a
@@ -24,6 +34,7 @@ import json
 import re
 import subprocess
 import sys
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -68,18 +79,9 @@ def throughput_figures(payload, prefix: str = "") -> Dict[str, float]:
 
 def compare(baseline: dict, fresh: dict, threshold: float) -> List[Regression]:
     """Throughput figures that dropped by more than ``threshold`` (a fraction)."""
-    if not 0.0 < threshold < 1.0:
-        raise ValueError("threshold must be a fraction in (0, 1)")
-    regressions: List[Regression] = []
-    baseline_figures = throughput_figures(baseline)
-    fresh_figures = throughput_figures(fresh)
-    for path, old in sorted(baseline_figures.items()):
-        new = fresh_figures.get(path)
-        if new is None or old <= 0:
-            continue
-        if new < old * (1.0 - threshold):
-            regressions.append(Regression(path=path, baseline=old, fresh=new))
-    return regressions
+    return compare_figures(
+        throughput_figures(baseline), throughput_figures(fresh), threshold
+    )
 
 
 def load_baseline(name: str, ref: str) -> Optional[dict]:
@@ -93,6 +95,98 @@ def load_baseline(name: str, ref: str) -> Optional[dict]:
         return json.loads(result.stdout)
     except json.JSONDecodeError:
         return None
+
+
+# ----------------------------------------------------------------------
+# Rolling history window
+# ----------------------------------------------------------------------
+def history_dir_for(history_root: Path, name: str) -> Path:
+    """Snapshots of one benchmark file live under ``<root>/<stem>/``."""
+    return history_root / Path(name).stem
+
+
+def load_history(history_root: Path, name: str) -> List[dict]:
+    """Every parseable snapshot of ``name``, oldest first (by file name).
+
+    Snapshot names sort chronologically (run ids or UTC timestamps), so a
+    plain lexicographic order is the trend order.
+    """
+    directory = history_dir_for(history_root, name)
+    if not directory.is_dir():
+        return []
+    snapshots: List[dict] = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            snapshots.append(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError):
+            continue  # a torn artifact must not break the trend check
+    return snapshots
+
+
+def history_baseline(snapshots: List[dict]) -> dict:
+    """Per-figure median over a history window, as a flat figure dict.
+
+    The median tolerates a single outlier run in either direction, which a
+    lone committed baseline cannot.
+    """
+    pooled: Dict[str, List[float]] = {}
+    for snapshot in snapshots:
+        for path, value in throughput_figures(snapshot).items():
+            pooled.setdefault(path, []).append(value)
+    baseline: Dict[str, float] = {}
+    for path, values in pooled.items():
+        ordered = sorted(values)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            baseline[path] = ordered[middle]
+        else:
+            baseline[path] = (ordered[middle - 1] + ordered[middle]) / 2.0
+    return baseline
+
+
+def compare_figures(
+    baseline_figures: Dict[str, float], fresh_figures: Dict[str, float], threshold: float
+) -> List[Regression]:
+    """Like :func:`compare`, over already-flattened figure dicts."""
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be a fraction in (0, 1)")
+    regressions: List[Regression] = []
+    for path, old in sorted(baseline_figures.items()):
+        new = fresh_figures.get(path)
+        if new is None or old <= 0:
+            continue
+        if new < old * (1.0 - threshold):
+            regressions.append(Regression(path=path, baseline=old, fresh=new))
+    return regressions
+
+
+def append_history(
+    history_root: Path, name: str, fresh: dict, run_id: str, window: int
+) -> Path:
+    """Add the fresh snapshot to the rolling window and prune the oldest.
+
+    Returns the path the snapshot was written to.  ``window`` bounds the
+    number of retained snapshots per benchmark file.  Ordering — both for
+    pruning and for :func:`load_history` — is lexicographic on the file
+    name, so ``run_id`` must sort chronologically; :func:`main` guarantees
+    this by prefixing every id with the UTC timestamp (a raw CI run counter
+    would mis-sort when it grows a digit).
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    directory = history_dir_for(history_root, name)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{run_id}.json"
+    path.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+    snapshots = sorted(directory.glob("*.json"))
+    while len(snapshots) > window:
+        snapshots.pop(0).unlink()
+    return path
+
+
+def default_run_id() -> str:
+    """A lexicographically sortable snapshot id (UTC timestamp)."""
+    return time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -109,7 +203,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="HEAD",
         help="git ref holding the baseline files (default HEAD)",
     )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        help="directory of prior benchmark snapshots (e.g. downloaded workflow "
+        "artifacts); enables the rolling-window trend check",
+    )
+    parser.add_argument(
+        "--history-window",
+        type=int,
+        default=10,
+        help="snapshots retained per benchmark file in the history (default 10)",
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        help="snapshot id suffix for the history entry (e.g. the CI run id); "
+        "the UTC timestamp is always prefixed so the window sorts "
+        "chronologically",
+    )
     args = parser.parse_args(argv)
+    run_id = default_run_id()
+    if args.run_id is not None:
+        run_id = f"{run_id}-{args.run_id}"
 
     failures: List[str] = []
     for name in args.files:
@@ -127,16 +244,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"[bench-regression] {name}: no baseline at {args.baseline_ref}, skipping"
             )
-            continue
-        regressions = compare(baseline, fresh, args.threshold)
-        checked = len(throughput_figures(baseline))
-        if regressions:
+        else:
+            regressions = compare(baseline, fresh, args.threshold)
+            checked = len(throughput_figures(baseline))
             for regression in regressions:
                 failures.append(f"{name}: {regression}")
-        print(
-            f"[bench-regression] {name}: {checked} throughput figures checked, "
-            f"{len(regressions)} regressed beyond {args.threshold:.0%}"
-        )
+            print(
+                f"[bench-regression] {name}: {checked} throughput figures checked, "
+                f"{len(regressions)} regressed beyond {args.threshold:.0%}"
+            )
+
+        if args.history is None:
+            continue
+        snapshots = load_history(args.history, name)
+        if snapshots:
+            trend = history_baseline(snapshots)
+            history_regressions = compare_figures(
+                trend, throughput_figures(fresh), args.threshold
+            )
+            for regression in history_regressions:
+                failures.append(f"{name} (history median): {regression}")
+            print(
+                f"[bench-regression] {name}: trend over {len(snapshots)} snapshot(s), "
+                f"{len(history_regressions)} regressed beyond {args.threshold:.0%} "
+                "of the median"
+            )
+        else:
+            print(f"[bench-regression] {name}: no history yet, starting the window")
+        append_history(args.history, name, fresh, run_id, args.history_window)
 
     if failures:
         print("\nThroughput regressions detected:", file=sys.stderr)

@@ -13,19 +13,34 @@ every substrate it depends on:
   feature maps,
 * :mod:`repro.core` — the FUSE framework itself: multi-frame fusion,
   meta-learning, fine-tuning, evaluation,
+* :mod:`repro.runtime` — the shared execution-policy layer
+  (:class:`repro.runtime.ExecutionPlan`): worker pools, shard layout,
+  deterministic per-shard seeding and result merging, consulted by every
+  compute layer,
 * :mod:`repro.engine` — the vectorized batched execution engine
-  (:class:`repro.engine.BatchPlan`) driving the radar, feature and
-  meta-learning hot paths,
+  (:class:`repro.engine.BatchPlan`, a façade over the runtime plan) driving
+  the radar, feature and meta-learning hot paths,
 * :mod:`repro.serve` — the streaming multi-user serving layer
-  (:class:`repro.serve.PoseServer`): per-user sessions, cross-user
-  micro-batching, per-user adaptation at scale,
+  (:class:`repro.serve.PoseServer` / :class:`repro.serve.ShardedPoseServer`):
+  per-user sessions, cross-user micro-batching, per-user adaptation at
+  scale, multi-shard placement,
 * :mod:`repro.viz` — point-cloud rendering and result tables,
 * :mod:`repro.experiments` — drivers that regenerate every table and figure
   of the paper's evaluation section.
 """
 
-from . import body, core, dataset, engine, nn, radar, serve
+from . import body, core, dataset, engine, nn, radar, runtime, serve
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
-__all__ = ["nn", "radar", "body", "dataset", "core", "engine", "serve", "__version__"]
+__all__ = [
+    "nn",
+    "radar",
+    "body",
+    "dataset",
+    "core",
+    "engine",
+    "runtime",
+    "serve",
+    "__version__",
+]

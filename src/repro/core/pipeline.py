@@ -64,9 +64,11 @@ class FuseConfig:
     model_seed:
         Seed of the model's weight initialization.
     plan:
-        Batched-execution plan (:class:`repro.engine.BatchPlan`): selects the
-        vectorized hot path, the feature-cache policy and the radar backend
-        override for everything this estimator does.
+        Execution plan (:class:`repro.engine.BatchPlan`, a façade over
+        :class:`repro.runtime.ExecutionPlan`): selects the vectorized hot
+        path, the worker-process count for bulk feature building, the
+        feature-cache policy and the radar backend override for everything
+        this estimator does.
     """
 
     num_context_frames: int = 1
@@ -120,10 +122,12 @@ class FusePoseEstimator:
         fused = self.fusion.fuse_dataset(dataset) if fuse else dataset
         if self._feature_cache is not None:
             features, labels = self._feature_cache.get_or_build(
-                fused, self.feature_builder
+                fused, self.feature_builder, workers=self.plan.workers
             )
             return ArrayDataset(features, labels)
-        return build_array_dataset(fused, builder=self.feature_builder)
+        return build_array_dataset(
+            fused, builder=self.feature_builder, workers=self.plan.workers
+        )
 
     # ------------------------------------------------------------------
     # Offline training

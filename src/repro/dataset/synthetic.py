@@ -20,8 +20,8 @@ do not pay the generation cost twice.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -33,9 +33,15 @@ from ..body.surface import BodyScatteringModel
 from ..radar.config import RadarConfig
 from ..radar.pipeline import make_pipeline
 from ..radar.scene import scene_batch_from_world
+from ..runtime import ExecutionPlan, map_shards, merge_shards, rng_for_key
 from .sample import LabelledFrame, PoseDataset
 
-__all__ = ["SyntheticDatasetConfig", "SyntheticDatasetGenerator", "generate_dataset"]
+__all__ = [
+    "SessionSpec",
+    "SyntheticDatasetConfig",
+    "SyntheticDatasetGenerator",
+    "generate_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -125,7 +131,24 @@ class SyntheticDatasetConfig:
 # In-process memoization of generated datasets keyed by configuration and
 # generation path (the batched path draws its randomness in a different
 # order, so the two paths produce distinct — equally valid — datasets).
+# Worker count is deliberately absent from the key: sharded generation is
+# bitwise identical to serial generation (pinned by tests/dataset).
 _DATASET_CACHE: Dict[Tuple[SyntheticDatasetConfig, bool], PoseDataset] = {}
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One unit of sharded generation work: a single recording session.
+
+    Every session owns a child seed derived from its coordinates (via
+    :func:`repro.runtime.rng_for_key`), so the frames it produces do not
+    depend on which shard — or which process — generates it.
+    """
+
+    subject_id: int
+    movement_name: str
+    session: int
+    sequence_id: int
 
 
 @dataclass
@@ -242,48 +265,95 @@ class SyntheticDatasetGenerator:
             for frame_index in range(trajectory.num_frames)
         ]
 
-    def generate(self, vectorized: bool = True) -> PoseDataset:
-        """Generate the full dataset described by the configuration.
-
-        ``vectorized`` selects the batched radar/scattering path (the
-        default); the per-frame path is retained as the reference
-        implementation and for throughput comparisons.
-        """
+    def session_specs(self) -> List[SessionSpec]:
+        """The full work list: one :class:`SessionSpec` per recording session."""
         cfg = self.config
-        dataset = PoseDataset(name=f"synthetic-mars(seed={cfg.seed})")
+        specs: List[SessionSpec] = []
         sequence_id = 0
         for subject_id in cfg.subject_ids:
-            subject = self._subject(subject_id)
             for movement_name in cfg.movement_names:
                 for session in range(cfg.sessions_per_pair):
-                    # Derive a unique, stable child seed per session so that
-                    # adding subjects or movements does not reshuffle others.
-                    # (zlib.crc32 is deterministic across processes, unlike
-                    # Python's built-in string hashing.)
-                    key = f"{cfg.seed}/{subject_id}/{movement_name}/{session}".encode()
-                    child_seed = zlib.crc32(key)
-                    rng = np.random.default_rng(child_seed)
-                    generate_one = (
-                        self.generate_sequence_batched if vectorized else self.generate_sequence
-                    )
-                    dataset.extend(
-                        generate_one(subject, movement_name, sequence_id, rng)
+                    specs.append(
+                        SessionSpec(subject_id, movement_name, session, sequence_id)
                     )
                     sequence_id += 1
+        return specs
+
+    def generate_session(self, spec: SessionSpec, vectorized: bool = True) -> List[LabelledFrame]:
+        """Generate one session from its spec, with its own derived seed.
+
+        The child seed depends only on the master seed and the session
+        coordinates — adding subjects or movements does not reshuffle other
+        sessions, and neither does the shard layout or the worker count.
+        """
+        cfg = self.config
+        rng = rng_for_key(cfg.seed, spec.subject_id, spec.movement_name, spec.session)
+        generate_one = self.generate_sequence_batched if vectorized else self.generate_sequence
+        return generate_one(
+            self._subject(spec.subject_id), spec.movement_name, spec.sequence_id, rng
+        )
+
+    def generate(
+        self, vectorized: Optional[bool] = None, plan: Optional[ExecutionPlan] = None
+    ) -> PoseDataset:
+        """Generate the full dataset described by the configuration.
+
+        ``vectorized`` selects the batched radar/scattering path; the
+        per-frame path is retained as the reference implementation and for
+        throughput comparisons.  Left as ``None`` it follows
+        ``plan.vectorized`` (the plan's master switch), defaulting to the
+        batched path without a plan; an explicit argument wins over the
+        plan.  ``plan.workers > 1`` shards the sessions over a process pool
+        (:func:`repro.runtime.map_shards`); per-session seeding makes the
+        output bitwise identical to the serial run.
+        """
+        if vectorized is None:
+            vectorized = plan.vectorized if plan is not None else True
+        cfg = self.config
+        dataset = PoseDataset(name=f"synthetic-mars(seed={cfg.seed})")
+        shard_results = map_shards(
+            partial(_generate_session_shard, cfg, vectorized),
+            self.session_specs(),
+            plan,
+        )
+        dataset.extend(merge_shards(shard_results))
         return dataset
+
+
+def _generate_session_shard(
+    config: SyntheticDatasetConfig, vectorized: bool, specs: List[SessionSpec]
+) -> List[LabelledFrame]:
+    """Generate one shard of sessions (module-level: crosses the pool's
+    pickle boundary)."""
+    generator = SyntheticDatasetGenerator(config)
+    frames: List[LabelledFrame] = []
+    for spec in specs:
+        frames.extend(generator.generate_session(spec, vectorized=vectorized))
+    return frames
 
 
 def generate_dataset(
     config: Optional[SyntheticDatasetConfig] = None,
     use_cache: bool = True,
-    vectorized: bool = True,
+    vectorized: Optional[bool] = None,
+    plan: Optional[ExecutionPlan] = None,
 ) -> PoseDataset:
-    """Generate (or fetch from the in-process cache) a synthetic dataset."""
+    """Generate (or fetch from the in-process cache) a synthetic dataset.
+
+    The generation path follows ``vectorized`` when given, else
+    ``plan.vectorized``, else the batched default (the batched and
+    reference paths draw randomness in different orders, so they are
+    distinct cache entries).  The plan's *scheduling* half (worker
+    processes, shard layout) never affects contents, so cached datasets are
+    shared across worker counts.
+    """
     config = config if config is not None else SyntheticDatasetConfig()
+    if vectorized is None:
+        vectorized = plan.vectorized if plan is not None else True
     cache_key = (config, vectorized)
     if use_cache and cache_key in _DATASET_CACHE:
         return _DATASET_CACHE[cache_key]
-    dataset = SyntheticDatasetGenerator(config).generate(vectorized=vectorized)
+    dataset = SyntheticDatasetGenerator(config).generate(vectorized=vectorized, plan=plan)
     if use_cache:
         _DATASET_CACHE[cache_key] = dataset
     return dataset

@@ -4,8 +4,10 @@ The engine is the architectural seam between "what the reproduction
 computes" and "how fast it computes it".  Its pieces:
 
 * :class:`BatchPlan` — one frozen object selecting batch size, feature-cache
-  policy and radar backend, consumed by :class:`repro.core.FusePoseEstimator`
-  and the experiment drivers;
+  policy, worker processes and radar backend, consumed by
+  :class:`repro.core.FusePoseEstimator` and the experiment drivers.  Since
+  the runtime refactor it is a thin façade over
+  :class:`repro.runtime.ExecutionPlan`, the shared execution-policy layer;
 * :class:`BatchedRadarEngine` — whole-trajectory radar execution over
   ``(batch, frame, ...)`` arrays;
 * task-batched functional model execution

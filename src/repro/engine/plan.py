@@ -1,79 +1,35 @@
-"""The :class:`BatchPlan` — one object describing how the hot path executes.
+"""The :class:`BatchPlan` — the engine's view of the execution policy.
 
-A plan bundles the knobs of the batched execution engine: how many radar
-frames are pushed through the vectorized signal chain per chunk, whether
-built feature maps are memoized in the content-addressed cache, and which
-radar backend produces the point clouds.  The estimator
-(:class:`repro.core.FusePoseEstimator`), the meta-trainer and the experiment
-drivers all consume the same plan, so one object switches the whole stack
-between the vectorized and the per-frame reference paths.
+Historically the batched execution engine owned its own plan object.  The
+policy half (workers, shard layout, vectorization, cache policy, backend)
+now lives in :class:`repro.runtime.ExecutionPlan`, which every subsystem —
+dataset generation, the engine, serving, the experiment drivers — consults.
+``BatchPlan`` remains as a thin compatibility façade: a subclass adding no
+fields, so every existing construction site, ``isinstance`` check and
+``dataclasses.replace`` call keeps working, while new code can type against
+the runtime class directly.
+
+The estimator (:class:`repro.core.FusePoseEstimator`), the meta-trainer and
+the experiment drivers all consume the same plan, so one object switches the
+whole stack between the vectorized and the per-frame reference paths — and,
+since the runtime refactor, between serial and multi-process execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+
+from ..runtime.plan import ExecutionPlan
 
 __all__ = ["BatchPlan"]
 
 
 @dataclass(frozen=True)
-class BatchPlan:
-    """Execution plan of the batched engine.
+class BatchPlan(ExecutionPlan):
+    """Compatibility façade over :class:`repro.runtime.ExecutionPlan`.
 
-    Attributes
-    ----------
-    vectorized:
-        Master switch: ``True`` (default) routes radar synthesis, feature
-        building and meta-learning inner loops through the batched kernels;
-        ``False`` selects the frame-at-a-time / task-at-a-time reference
-        paths (used by the equivalence tests and throughput benchmarks).
-    batch_size:
-        Number of radar frames processed per vectorized chunk.  Bounds peak
-        memory of the signal-chain backend (each frame's data cube is a
-        ``(samples, chirps, antennas)`` complex array).
-    cache_policy:
-        ``"memory"`` memoizes built feature/label arrays in the in-process
-        content-addressed LRU cache (:mod:`repro.dataset.cache`);
-        ``"disk"`` additionally spills entries to ``cache_dir`` so other
-        processes (and later runs) reuse them; ``"none"`` rebuilds on every
-        call.
-    cache_capacity:
-        Maximum number of cached feature datasets when caching is enabled.
-    cache_dir:
-        Directory of the on-disk cache tier (required when ``cache_policy``
-        is ``"disk"``).
-    cache_disk_capacity:
-        Maximum number of persisted entries before the oldest are evicted.
-    backend:
-        Optional radar-backend override (``"geometric"`` or ``"signal"``)
-        applied by engine helpers that construct pipelines; ``None`` keeps
-        the caller's configured backend.
+    See the runtime class for the field documentation.  ``BatchPlan()`` and
+    ``BatchPlan.reference()`` behave exactly as they always have; the
+    ``workers`` / ``shard_size`` fields added by the runtime layer default to
+    serial execution.
     """
-
-    vectorized: bool = True
-    batch_size: int = 64
-    cache_policy: str = "memory"
-    cache_capacity: int = 16
-    cache_dir: Optional[str] = None
-    cache_disk_capacity: int = 64
-    backend: Optional[str] = None
-
-    def __post_init__(self) -> None:
-        if self.batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
-        if self.cache_policy not in ("none", "memory", "disk"):
-            raise ValueError(f"unknown cache policy '{self.cache_policy}'")
-        if self.cache_policy == "disk" and not self.cache_dir:
-            raise ValueError("cache_policy='disk' requires cache_dir")
-        if self.cache_capacity < 1:
-            raise ValueError("cache_capacity must be >= 1")
-        if self.cache_disk_capacity < 1:
-            raise ValueError("cache_disk_capacity must be >= 1")
-        if self.backend is not None and self.backend not in ("geometric", "signal"):
-            raise ValueError(f"unknown radar backend '{self.backend}'")
-
-    @classmethod
-    def reference(cls) -> "BatchPlan":
-        """The per-frame / per-task reference plan (no vectorization, no cache)."""
-        return cls(vectorized=False, cache_policy="none")

@@ -165,11 +165,17 @@ def run_adaptation(
 ) -> AdaptationResult:
     """Run (or fetch) the full adaptation experiment for one scale."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
-    cache_key = f"{scale.name}/{scale.dataset}/{scale.finetune_frames}"
+    # plan.vectorized selects which (deliberately distinct) dataset the
+    # generator produces, so it is part of the result's identity; the
+    # plan's scheduling half (workers/shards) is not.
+    cache_key = (
+        f"{scale.name}/{scale.dataset}/{scale.finetune_frames}"
+        f"/vectorized={scale.plan.vectorized}"
+    )
     if use_cache and cache_key in _RESULT_CACHE:
         return _RESULT_CACHE[cache_key]
 
-    dataset = generate_dataset(scale.dataset)
+    dataset = generate_dataset(scale.dataset, plan=scale.plan)
     split = leave_out_split(dataset, finetune_frames=scale.finetune_frames)
 
     # ------------------------------------------------------------------

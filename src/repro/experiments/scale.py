@@ -30,10 +30,13 @@ __all__ = ["ExperimentScale", "get_scale", "SCALE_NAMES"]
 class ExperimentScale:
     """A bundle of dataset and training budgets used by experiment drivers.
 
-    ``plan`` is the :class:`repro.engine.BatchPlan` the drivers hand to the
-    estimator stack; override it (``with_overrides(plan=...)``) to force the
-    per-frame reference path, a different radar backend or a different cache
-    policy for one run.
+    ``plan`` is the :class:`repro.engine.BatchPlan` (a façade over
+    :class:`repro.runtime.ExecutionPlan`) the drivers hand to the estimator
+    stack *and* to dataset generation; override it
+    (``with_overrides(plan=...)``) to force the per-frame reference path, a
+    different radar backend, a different cache policy — or, via
+    :meth:`with_workers`, a multi-process run — without touching the
+    drivers.
     """
 
     name: str
@@ -49,6 +52,14 @@ class ExperimentScale:
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def with_workers(self, workers: int) -> "ExperimentScale":
+        """Return a copy whose plan shards work over ``workers`` processes.
+
+        Sharded stages are bitwise identical to serial ones (per-work-item
+        seeding), so this changes reproduction wall clock, never results.
+        """
+        return self.with_overrides(plan=replace(self.plan, workers=workers))
 
 
 def _paper_scale() -> ExperimentScale:

@@ -78,7 +78,7 @@ def run_table1(
 ) -> Table1Result:
     """Train the baseline under every fusion setting and collect the MAE rows."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
-    dataset = generate_dataset(scale.dataset)
+    dataset = generate_dataset(scale.dataset, plan=scale.plan)
     split = per_movement_split(dataset)
 
     result = Table1Result(scale_name=scale.name)

@@ -1,0 +1,134 @@
+"""Worker pools, shard layout and result merging.
+
+:func:`map_shards` is the one fan-out primitive of the runtime layer: cut a
+list of work items into contiguous shards, apply a function to every shard —
+in-process when the plan asks for one worker, over a process pool otherwise —
+and return the per-shard results *in shard order*, so merging is a plain
+concatenation and the output is independent of scheduling.
+
+Design constraints:
+
+* **Determinism** — shard layout is a pure function of ``(len(items),
+  workers, shard_size)``; results are returned in submission order
+  (``ProcessPoolExecutor.map`` preserves it), and stochastic stages draw
+  per-item randomness (:mod:`repro.runtime.seeding`), so worker count never
+  changes bits.
+* **Portability** — the pool prefers the cheap ``fork`` start method where
+  the platform offers it and falls back to ``spawn`` elsewhere, which is why
+  shard functions must be module-level callables (or ``functools.partial``
+  of one): they cross a pickle boundary.
+* **No pool for trivial work** — one worker or one shard short-circuits to a
+  plain loop; callers never pay process start-up for small inputs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from .plan import ExecutionPlan
+
+__all__ = ["shard_items", "map_shards", "merge_shards", "shard_for"]
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def shard_items(
+    items: Sequence[ItemT],
+    num_shards: Optional[int] = None,
+    shard_size: Optional[int] = None,
+) -> List[List[ItemT]]:
+    """Cut ``items`` into contiguous, order-preserving shards.
+
+    Exactly one of ``num_shards`` / ``shard_size`` selects the layout; with
+    ``num_shards`` the items are spread as evenly as possible (sizes differ
+    by at most one).  Empty shards are never produced.
+    """
+    items = list(items)
+    if (num_shards is None) == (shard_size is None):
+        raise ValueError("provide exactly one of num_shards / shard_size")
+    if not items:
+        return []
+    if shard_size is not None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        return [items[start : start + shard_size] for start in range(0, len(items), shard_size)]
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    num_shards = min(num_shards, len(items))
+    base, extra = divmod(len(items), num_shards)
+    shards: List[List[ItemT]] = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(items[start : start + size])
+        start += size
+    return shards
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """The cheapest available start method (fork where the OS has it)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def map_shards(
+    fn: Callable[[List[ItemT]], ResultT],
+    items: Sequence[ItemT],
+    plan: Optional[ExecutionPlan] = None,
+    *,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+) -> List[ResultT]:
+    """Apply ``fn`` to every shard of ``items``; results come back in order.
+
+    The worker count and shard size default to the plan's (``workers=1`` and
+    one shard per worker when no plan is given).  With one effective worker
+    or one shard the call degenerates to a serial loop in this process;
+    otherwise shards run on a process pool, so ``fn`` must be picklable — a
+    module-level function or a :func:`functools.partial` of one.
+    """
+    if workers is None:
+        workers = plan.workers if plan is not None else 1
+    if shard_size is None and plan is not None:
+        shard_size = plan.shard_size
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    items = list(items)
+    if shard_size is not None:
+        shards = shard_items(items, shard_size=shard_size)
+    else:
+        shards = shard_items(items, num_shards=max(workers, 1))
+    if not shards:
+        return []
+
+    effective = min(workers, len(shards))
+    if effective <= 1:
+        return [fn(shard) for shard in shards]
+    with ProcessPoolExecutor(max_workers=effective, mp_context=_pool_context()) as pool:
+        return list(pool.map(fn, shards))
+
+
+def merge_shards(per_shard: Sequence[Sequence[ResultT]]) -> List[ResultT]:
+    """Concatenate per-shard result lists back into one flat, ordered list."""
+    merged: List[ResultT] = []
+    for shard in per_shard:
+        merged.extend(shard)
+    return merged
+
+
+def shard_for(key: object, num_shards: int) -> int:
+    """Stable shard assignment of an arbitrary key (e.g. a serving user id).
+
+    Uses CRC32 of ``str(key)`` rather than :func:`hash` so the assignment is
+    identical across processes and interpreter runs — a user always lands on
+    the same shard, which is what keeps per-shard session state and adapted
+    parameter sets consistent.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    return zlib.crc32(str(key).encode()) % num_shards

@@ -16,11 +16,16 @@ Pieces:
 * :class:`MicroBatcher` — bounded pending queue with max-batch/max-latency
   scheduling and drop-oldest backpressure;
 * :class:`AdapterRegistry` — per-user fine-tuned parameter sets, adapted in
-  grouped task-batched calls and gathered per micro-batch;
+  grouped task-batched calls, gathered per micro-batch and persistable
+  (``save`` / ``load`` on :mod:`repro.nn.serialization`);
 * :class:`SharedParameterKernel` — fixed-GEMM-shape inference for the shared
   base parameters (the reason batched == unbatched, bitwise);
 * :class:`ServeMetrics` — latency percentiles, throughput, queue depth and
-  cache hit rates;
+  cache hit rates, with Prometheus text export
+  (:meth:`ServeMetrics.to_prometheus` / :func:`prometheus_exposition`);
+* :class:`ShardedPoseServer` — N independent server shards behind one
+  façade; users hash onto shards (:func:`repro.runtime.shard_for`), each
+  shard owns its registry/batcher/sessions, metrics aggregate across shards;
 * the replay driver (:func:`replay_users`, :func:`user_streams_from_dataset`)
   simulating N concurrent users from the synthetic dataset.
 """
@@ -29,7 +34,7 @@ from .adapters import AdapterRegistry
 from .batcher import FrameDropped, MicroBatcher, PendingPrediction, QueueFull, ServeRequest
 from .config import ServeConfig
 from .kernel import SharedParameterKernel
-from .metrics import ServeMetrics, percentile
+from .metrics import ServeMetrics, percentile, prometheus_exposition
 from .replay import (
     ReplayResult,
     adaptation_split,
@@ -39,6 +44,7 @@ from .replay import (
 )
 from .server import PoseServer
 from .session import SessionManager, UserSession, streaming_window
+from .sharded import ShardedPoseServer
 
 __all__ = [
     "AdapterRegistry",
@@ -53,9 +59,11 @@ __all__ = [
     "ServeRequest",
     "SessionManager",
     "SharedParameterKernel",
+    "ShardedPoseServer",
     "UserSession",
     "adaptation_split",
     "percentile",
+    "prometheus_exposition",
     "replay_users",
     "sequential_reference",
     "streaming_window",

@@ -36,7 +36,8 @@ scheduling tick) skips the stacking memcpy — the ``param_cache`` hit rate in
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,6 +51,7 @@ from ..engine.functional import (
     replicate_parameters,
     supports_batched_execution,
 )
+from ..nn.serialization import load_state, save_state
 from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics
 
@@ -271,6 +273,78 @@ class AdapterRegistry:
             user: [stacked.data[slot].copy() for stacked in params]
             for slot, user in enumerate(users)
         }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_user(user_id: Hashable) -> List:
+        if isinstance(user_id, bool) or not isinstance(user_id, (str, int)):
+            raise TypeError(
+                f"only str/int user ids are persistable, got {type(user_id).__name__}"
+            )
+        return ["str" if isinstance(user_id, str) else "int", user_id]
+
+    @staticmethod
+    def _decode_user(encoded: Sequence) -> Hashable:
+        kind, value = encoded
+        return str(value) if kind == "str" else int(value)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist every user's adapted parameter set to an ``.npz`` archive.
+
+        Built on :mod:`repro.nn.serialization`: pure-NumPy arrays plus a JSON
+        metadata block (format version, adaptation scope, user ids), no
+        pickled code objects.  User ids must be strings or integers — the
+        hashables a JSON round trip preserves.
+        """
+        state: Dict[str, np.ndarray] = {}
+        users: List[List] = []
+        for index, (user_id, params) in enumerate(self._params.items()):
+            users.append(self._encode_user(user_id))
+            for slot, array in enumerate(params):
+                # Zero-padded slots keep the lexicographic key order equal to
+                # the parameter order on reload.
+                state[f"user{index:06d}.p{slot:03d}"] = array
+        metadata = {"format": 1, "scope": self.scope, "users": users}
+        return save_state(state, path, metadata=metadata)
+
+    def load(self, path: Union[str, Path], replace: bool = True) -> List[Hashable]:
+        """Restore adapted parameter sets saved by :meth:`save`.
+
+        ``replace=True`` (default) drops the current registry contents
+        first; ``replace=False`` merges, with loaded users overwriting any
+        existing parameter set of the same id.  The archive's adaptation
+        scope must match this registry's (the parameter layout differs
+        between scopes).  Returns the loaded user ids.
+        """
+        state, metadata = load_state(path)
+        if not metadata or metadata.get("format") != 1:
+            raise ValueError(f"{path} is not an adapter-registry checkpoint")
+        if metadata["scope"] != self.scope:
+            raise ValueError(
+                f"checkpoint was saved with scope='{metadata['scope']}', "
+                f"registry has scope='{self.scope}'"
+            )
+        # One pass over the (sorted-once) keys; zero-padded user and slot
+        # indices make lexicographic order equal to parameter order.
+        by_user: Dict[str, List[np.ndarray]] = {}
+        for key in sorted(state):
+            prefix, _, _ = key.partition(".")
+            by_user.setdefault(prefix, []).append(state[key])
+        loaded: "OrderedDict[Hashable, List[np.ndarray]]" = OrderedDict()
+        for index, encoded in enumerate(metadata["users"]):
+            params = by_user.get(f"user{index:06d}")
+            if not params:
+                raise ValueError(f"checkpoint is missing parameters for user #{index}")
+            loaded[self._decode_user(encoded)] = params
+        if replace:
+            self._params = loaded
+        else:
+            self._params.update(loaded)
+        self.version += 1
+        self._gather_cache.clear()
+        return list(loaded)
 
     def remove(self, user_id: Hashable) -> bool:
         """Forget one user's adapted parameters; returns whether they existed."""

@@ -6,15 +6,25 @@ completion latencies, the micro-batcher records drops and queue depth, the
 adapter registry records parameter-stack cache hits — and
 :meth:`ServeMetrics.snapshot` renders one flat dictionary suitable for
 logging, the benchmark JSONs and the replay driver's report.
+
+Two export surfaces sit on top of the counters:
+
+* :meth:`ServeMetrics.to_prometheus` renders the Prometheus text exposition
+  format (counters, gauges and a latency summary with quantiles), optionally
+  with a fixed label set — :class:`repro.serve.ShardedPoseServer` labels each
+  shard's block with ``shard="<index>"``.
+* :meth:`ServeMetrics.aggregate` merges several instances (one per serving
+  shard) into a single snapshot: counters sum, high-water marks take the
+  maximum, and latency percentiles are computed over the pooled windows.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Mapping, Optional, Sequence
 
-__all__ = ["ServeMetrics", "percentile"]
+__all__ = ["ServeMetrics", "percentile", "prometheus_exposition"]
 
 
 def percentile(values, fraction: float) -> float:
@@ -59,6 +69,7 @@ class ServeMetrics:
         self.param_cache_misses = 0
         self.adaptation_runs = 0
         self.adapted_users = 0
+        self.latency_sum_s = 0.0
         self._first_submit_at: Optional[float] = None
         self._last_completion_at: Optional[float] = None
 
@@ -81,6 +92,7 @@ class ServeMetrics:
     def record_completion(self, latency_s: float) -> None:
         self.completed += 1
         self._latencies.append(latency_s)
+        self.latency_sum_s += latency_s
         self._last_completion_at = self._clock()
 
     def record_drop(self) -> None:
@@ -150,3 +162,190 @@ class ServeMetrics:
         if queue_depth is not None:
             report["queue_depth"] = queue_depth
         return report
+
+    # ------------------------------------------------------------------
+    # Cross-shard aggregation
+    # ------------------------------------------------------------------
+    #: snapshot keys that are high-water marks (merged with max, not sum).
+    _AGGREGATE_MAX_KEYS = ("max_batch_seen", "max_queue_depth_seen")
+    #: snapshot keys that are ratios/derived figures, recomputed from the
+    #: merged raw numbers rather than combined per-shard.
+    _AGGREGATE_DERIVED_KEYS = (
+        "mean_batch_size",
+        "latency_p50_ms",
+        "latency_p95_ms",
+        "throughput_fps",
+        "param_cache_hit_rate",
+    )
+
+    @classmethod
+    def aggregate(cls, metrics: Sequence["ServeMetrics"]) -> Dict[str, float]:
+        """Merge several instances (one per shard) into one snapshot dict.
+
+        The schema is :meth:`snapshot`'s: plain counters sum (so a counter
+        added to the snapshot aggregates correctly with no change here),
+        high-water marks take the per-shard maximum, latency percentiles
+        are computed over the pooled windows, and throughput spans the
+        earliest submission to the latest completion across all shards
+        (shards serve concurrently interleaved traffic, so their wall
+        clocks overlap rather than add).
+        """
+        if not metrics:
+            raise ValueError("at least one ServeMetrics instance is required")
+        snapshots = [m.snapshot() for m in metrics]
+        report: Dict[str, float] = {}
+        for key in snapshots[0]:
+            if key in cls._AGGREGATE_DERIVED_KEYS:
+                continue
+            values = [snapshot[key] for snapshot in snapshots]
+            report[key] = max(values) if key in cls._AGGREGATE_MAX_KEYS else sum(values)
+
+        flushes = sum(m.flushes for m in metrics)
+        batched_frames = sum(m.batched_frames for m in metrics)
+        report["mean_batch_size"] = batched_frames / flushes if flushes else 0.0
+
+        pooled_latencies = [value for m in metrics for value in m._latencies]
+        report["latency_p50_ms"] = percentile(pooled_latencies, 0.50) * 1000.0
+        report["latency_p95_ms"] = percentile(pooled_latencies, 0.95) * 1000.0
+
+        first_submits = [m._first_submit_at for m in metrics if m._first_submit_at is not None]
+        last_completions = [
+            m._last_completion_at for m in metrics if m._last_completion_at is not None
+        ]
+        report["throughput_fps"] = 0.0
+        if first_submits and last_completions:
+            elapsed = max(last_completions) - min(first_submits)
+            if elapsed > 0:
+                report["throughput_fps"] = report["completed"] / elapsed
+
+        cache_requests = report["param_cache_hits"] + report["param_cache_misses"]
+        report["param_cache_hit_rate"] = (
+            report["param_cache_hits"] / cache_requests if cache_requests else 0.0
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Prometheus text exposition
+    # ------------------------------------------------------------------
+    #: metric name -> (attribute, type, help text)
+    _PROMETHEUS_COUNTERS = (
+        ("fuse_serve_requests_submitted_total", "submitted", "Requests accepted for serving."),
+        ("fuse_serve_requests_completed_total", "completed", "Predictions returned to callers."),
+        ("fuse_serve_requests_dropped_total", "dropped", "Requests dropped under backpressure."),
+        ("fuse_serve_flushes_total", "flushes", "Micro-batch flushes executed."),
+        ("fuse_serve_batched_frames_total", "batched_frames", "Frames served through micro-batches."),
+        ("fuse_serve_session_evictions_total", "session_evictions", "LRU session evictions."),
+        ("fuse_serve_param_cache_hits_total", "param_cache_hits", "Parameter-stack cache hits."),
+        ("fuse_serve_param_cache_misses_total", "param_cache_misses", "Parameter-stack cache misses."),
+        ("fuse_serve_adaptation_runs_total", "adaptation_runs", "Grouped adaptation calls."),
+        ("fuse_serve_adapted_users_total", "adapted_users", "Users adapted across all runs."),
+    )
+    _PROMETHEUS_GAUGES = (
+        ("fuse_serve_mean_batch_size", "mean_batch_size", "Mean frames per micro-batch flush."),
+        ("fuse_serve_max_batch_seen", "max_batch_seen", "Largest micro-batch observed."),
+        (
+            "fuse_serve_max_queue_depth_seen",
+            "max_queue_depth_seen",
+            "Deepest pending queue observed.",
+        ),
+        ("fuse_serve_throughput_fps", "throughput_fps", "Completed predictions per second."),
+    )
+    _PROMETHEUS_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+    def to_prometheus(
+        self,
+        labels: Optional[Mapping[str, str]] = None,
+        queue_depth: Optional[int] = None,
+    ) -> str:
+        """Render this instance in the Prometheus text exposition format.
+
+        ``labels`` is attached to every sample (e.g. ``{"shard": "0"}``).
+        To expose several instances — one per serving shard — in one valid
+        exposition, use :func:`prometheus_exposition`, which groups every
+        metric's samples under a single ``# HELP`` / ``# TYPE`` header.
+        """
+        return prometheus_exposition([(labels, self, queue_depth)])
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format (\\\\, \\", \\n)."""
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Optional[Mapping[str, str]]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels.items()
+    )
+    return "{" + rendered + "}"
+
+
+def prometheus_exposition(
+    instances: Sequence[
+        tuple[Optional[Mapping[str, str]], ServeMetrics, Optional[int]]
+    ],
+) -> str:
+    """Render labelled :class:`ServeMetrics` instances as one text exposition.
+
+    ``instances`` is a sequence of ``(labels, metrics, queue_depth)`` tuples
+    (``labels`` and ``queue_depth`` may be ``None``).  The output groups all
+    label sets of each metric under one ``# HELP`` / ``# TYPE`` header, as
+    the exposition format requires, so a sharded server can expose every
+    shard with a ``shard="<i>"`` label in a single scrape body.
+    """
+    if not instances:
+        raise ValueError("at least one metrics instance is required")
+    lines: list[str] = []
+
+    def emit_family(name: str, kind: str, help_text: str, values) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(values)
+
+    for name, attribute, help_text in ServeMetrics._PROMETHEUS_COUNTERS:
+        emit_family(
+            name,
+            "counter",
+            help_text,
+            [
+                f"{name}{_format_labels(labels)} {float(getattr(metrics, attribute)):.10g}"
+                for labels, metrics, _ in instances
+            ],
+        )
+    for name, attribute, help_text in ServeMetrics._PROMETHEUS_GAUGES:
+        emit_family(
+            name,
+            "gauge",
+            help_text,
+            [
+                f"{name}{_format_labels(labels)} {float(getattr(metrics, attribute)):.10g}"
+                for labels, metrics, _ in instances
+            ],
+        )
+    if any(queue_depth is not None for _, _, queue_depth in instances):
+        emit_family(
+            "fuse_serve_queue_depth",
+            "gauge",
+            "Requests pending in the queue.",
+            [
+                f"fuse_serve_queue_depth{_format_labels(labels)} {queue_depth}"
+                for labels, _, queue_depth in instances
+                if queue_depth is not None
+            ],
+        )
+
+    name = "fuse_serve_request_latency_seconds"
+    summary_lines = []
+    for labels, metrics, _ in instances:
+        for quantile in ServeMetrics._PROMETHEUS_QUANTILES:
+            quantile_labels = dict(labels or {})
+            quantile_labels["quantile"] = f"{quantile:g}"
+            summary_lines.append(
+                f"{name}{_format_labels(quantile_labels)} "
+                f"{percentile(metrics._latencies, quantile):.10g}"
+            )
+        summary_lines.append(f"{name}_sum{_format_labels(labels)} {metrics.latency_sum_s:.10g}")
+        summary_lines.append(f"{name}_count{_format_labels(labels)} {metrics.completed}")
+    emit_family(name, "summary", "Request latency from submission to completion.", summary_lines)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,173 @@
+"""Multi-shard serving: hash users onto N independent :class:`PoseServer`\\ s.
+
+One :class:`PoseServer` is single-threaded by design; scaling past one core
+(or one process, with a process-per-shard deployment in front) means running
+several of them side by side.  :class:`ShardedPoseServer` owns that layout:
+
+* every user hashes onto a fixed shard (:func:`repro.runtime.shard_for`,
+  stable across processes), so the user's session ring, adapted parameters
+  and micro-batch co-riders all live on one shard — no cross-shard state;
+* each shard has its own :class:`MicroBatcher`, :class:`SessionManager` and
+  :class:`AdapterRegistry`, sharing only the read-only estimator (weights
+  and feature builder);
+* metrics aggregate across shards (:meth:`ServeMetrics.aggregate`), and the
+  Prometheus exposition labels each shard's samples with ``shard="<i>"``.
+
+Because every serving route is batch-composition invariant, splitting users
+over shards never changes a prediction: a replay through N shards is bitwise
+identical to the same replay through one server with the same scheduling
+config — ``tests/serve/test_sharded_server.py`` pins this user for user.
+
+The façade mirrors the :class:`PoseServer` surface (``enqueue`` / ``submit``
+/ ``poll`` / ``flush`` / ``adapt_users`` / ``metrics_snapshot``), so the
+replay driver and the examples run unchanged against either.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Union
+
+import numpy as np
+
+from ..core.finetune import FineTuneConfig
+from ..core.pipeline import FusePoseEstimator
+from ..dataset.loader import ArrayDataset
+from ..dataset.sample import PoseDataset
+from ..radar.pointcloud import PointCloudFrame
+from ..runtime import shard_for
+from .batcher import PendingPrediction
+from .config import ServeConfig
+from .metrics import ServeMetrics, prometheus_exposition
+from .server import PoseServer
+
+__all__ = ["ShardedPoseServer"]
+
+
+class ShardedPoseServer:
+    """N :class:`PoseServer` shards behind one server-shaped façade.
+
+    Parameters
+    ----------
+    estimator:
+        The shared (read-only) estimator; every shard serves the same base
+        weights and feature builder.
+    num_shards:
+        Number of independent shards.  Users are assigned by a stable hash
+        of their id, so the mapping survives restarts and is identical in
+        every process of a multi-process deployment.
+    config / adaptation / clock:
+        Forwarded to every shard (see :class:`PoseServer`).  Using one
+        scheduling config everywhere keeps the shared-parameter kernel's
+        GEMM block width identical across shards, which is what makes the
+        sharded replay bitwise equal to a single-server replay.
+    """
+
+    def __init__(
+        self,
+        estimator: FusePoseEstimator,
+        num_shards: int = 2,
+        config: Optional[ServeConfig] = None,
+        adaptation: Optional[FineTuneConfig] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.estimator = estimator
+        self.config = config if config is not None else ServeConfig()
+        self.shards: List[PoseServer] = [
+            PoseServer(estimator, self.config, adaptation=adaptation, clock=clock)
+            for _ in range(num_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_index(self, user_id: Hashable) -> int:
+        """The shard a user's traffic and state live on (stable hash)."""
+        return shard_for(user_id, len(self.shards))
+
+    def shard_of(self, user_id: Hashable) -> PoseServer:
+        return self.shards[self.shard_index(user_id)]
+
+    # ------------------------------------------------------------------
+    # Request path (PoseServer façade)
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests waiting for the next micro-batch, across all shards."""
+        return sum(shard.pending for shard in self.shards)
+
+    def enqueue(self, user_id: Hashable, frame: PointCloudFrame) -> PendingPrediction:
+        """Route one frame to the user's shard (may flush that shard)."""
+        return self.shard_of(user_id).enqueue(user_id, frame)
+
+    def submit(self, user_id: Hashable, frame: PointCloudFrame) -> np.ndarray:
+        """Synchronous prediction through the user's shard."""
+        return self.shard_of(user_id).submit(user_id, frame)
+
+    def poll(self, now: Optional[float] = None) -> int:
+        """Apply every shard's latency deadline; returns predictions produced."""
+        return sum(shard.poll(now) for shard in self.shards)
+
+    def flush(self) -> int:
+        """Flush every shard's pending micro-batch now."""
+        return sum(shard.flush() for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Per-user adaptation
+    # ------------------------------------------------------------------
+    def adapt_user(
+        self,
+        user_id: Hashable,
+        dataset: Union[PoseDataset, ArrayDataset],
+        epochs: Optional[int] = None,
+    ) -> None:
+        """Fine-tune one user's personal parameters on their shard."""
+        self.shard_of(user_id).adapt_user(user_id, dataset, epochs=epochs)
+
+    def adapt_users(
+        self,
+        datasets: Mapping[Hashable, Union[PoseDataset, ArrayDataset]],
+        epochs: Optional[int] = None,
+    ) -> None:
+        """Adapt many users, grouped per shard so each shard's registry
+        still runs one grouped task-batched call for its cohort."""
+        by_shard: Dict[int, Dict[Hashable, Union[PoseDataset, ArrayDataset]]] = {}
+        for user_id, dataset in datasets.items():
+            by_shard.setdefault(self.shard_index(user_id), {})[user_id] = dataset
+        for index, group in sorted(by_shard.items()):
+            self.shards[index].adapt_users(group, epochs=epochs)
+
+    def forget_user(self, user_id: Hashable) -> None:
+        """Drop a user's session history and adapted parameters."""
+        self.shard_of(user_id).forget_user(user_id)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """One aggregated snapshot across shards, plus shard-level gauges."""
+        report = ServeMetrics.aggregate([shard.metrics for shard in self.shards])
+        report["queue_depth"] = self.pending
+        report["shards"] = len(self.shards)
+        report["sessions"] = sum(len(shard.sessions) for shard in self.shards)
+        report["adapted_parameter_sets"] = sum(len(shard.registry) for shard in self.shards)
+        cache = self.estimator.feature_cache
+        if cache is not None:
+            for key, value in cache.stats.as_dict().items():
+                report[f"feature_cache_{key}"] = value
+        return report
+
+    def to_prometheus(self) -> str:
+        """One valid text exposition with every shard labelled ``shard="i"``."""
+        return prometheus_exposition(
+            [
+                ({"shard": str(index)}, shard.metrics, shard.pending)
+                for index, shard in enumerate(self.shards)
+            ]
+        )

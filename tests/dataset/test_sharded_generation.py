@@ -1,0 +1,144 @@
+"""Shard transparency of dataset generation and bulk feature building.
+
+The runtime contract: ``workers`` changes the wall clock, never the bits.
+Generation derives every session's randomness from the session coordinates
+(:func:`repro.runtime.rng_for_key`), so the shard layout cannot reorder any
+draw; feature building is per-frame independent, so chunked builds
+concatenate back to the whole-batch result exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.loader import build_array_dataset, build_features_sharded
+from repro.dataset.synthetic import (
+    SyntheticDatasetConfig,
+    SyntheticDatasetGenerator,
+    generate_dataset,
+)
+from repro.engine import BatchPlan
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return SyntheticDatasetConfig(
+        subject_ids=(1, 2),
+        movement_names=("squat", "right_limb_extension"),
+        seconds_per_pair=2.0,
+        seed=31,
+    )
+
+
+def _assert_datasets_identical(a, b):
+    assert len(a) == len(b)
+    for frame_a, frame_b in zip(a, b):
+        np.testing.assert_array_equal(frame_a.cloud.points, frame_b.cloud.points)
+        np.testing.assert_array_equal(frame_a.joints, frame_b.joints)
+        assert frame_a.subject_id == frame_b.subject_id
+        assert frame_a.movement_name == frame_b.movement_name
+        assert frame_a.sequence_id == frame_b.sequence_id
+        assert frame_a.frame_index == frame_b.frame_index
+
+
+class TestShardedGeneration:
+    def test_workers_4_bitwise_identical_to_workers_1(self, small_config):
+        serial = generate_dataset(small_config, use_cache=False, plan=BatchPlan(workers=1))
+        sharded = generate_dataset(small_config, use_cache=False, plan=BatchPlan(workers=4))
+        _assert_datasets_identical(serial, sharded)
+
+    def test_shard_size_does_not_change_bits(self, small_config):
+        """Cutting the four sessions into single-session shards (the least
+        balanced layout) still reproduces the serial dataset exactly."""
+        serial = generate_dataset(small_config, use_cache=False)
+        fine = generate_dataset(
+            small_config, use_cache=False, plan=BatchPlan(workers=2, shard_size=1)
+        )
+        _assert_datasets_identical(serial, fine)
+
+    def test_reference_path_shards_identically(self, small_config):
+        serial = generate_dataset(small_config, use_cache=False, vectorized=False)
+        sharded = generate_dataset(
+            small_config, use_cache=False, vectorized=False, plan=BatchPlan(workers=2)
+        )
+        _assert_datasets_identical(serial, sharded)
+
+    def test_no_plan_means_serial(self, small_config):
+        _assert_datasets_identical(
+            generate_dataset(small_config, use_cache=False),
+            generate_dataset(small_config, use_cache=False, plan=None),
+        )
+
+    def test_session_specs_cover_every_session_once(self, small_config):
+        generator = SyntheticDatasetGenerator(small_config)
+        specs = generator.session_specs()
+        assert len(specs) == 4  # 2 subjects x 2 movements x 1 session
+        assert [spec.sequence_id for spec in specs] == [0, 1, 2, 3]
+        assert len({(s.subject_id, s.movement_name, s.session) for s in specs}) == 4
+
+
+class TestShardedFeatureBuild:
+    def test_sharded_build_bitwise_identical(self, tiny_dataset, feature_builder):
+        serial_features, serial_labels = build_features_sharded(
+            list(tiny_dataset), feature_builder, workers=1
+        )
+        # min_frames_per_worker=1 forces the pool even for this small batch,
+        # so the equality below genuinely crosses the process boundary.
+        sharded_features, sharded_labels = build_features_sharded(
+            list(tiny_dataset), feature_builder, workers=4, min_frames_per_worker=1
+        )
+        np.testing.assert_array_equal(serial_features, sharded_features)
+        np.testing.assert_array_equal(serial_labels, sharded_labels)
+
+    def test_small_builds_stay_serial(self, tiny_dataset, feature_builder, monkeypatch):
+        """Below the per-worker floor the pool is never forked (its start-up
+        would dwarf the build)."""
+        from repro.dataset import loader
+
+        def _fail(*args, **kwargs):
+            raise AssertionError("map_shards must not run for small builds")
+
+        monkeypatch.setattr(loader, "map_shards", _fail)
+        features, _ = build_features_sharded(list(tiny_dataset), feature_builder, workers=4)
+        assert features.shape[0] == len(tiny_dataset)
+
+    def test_build_array_dataset_workers(self, tiny_dataset, feature_builder):
+        serial = build_array_dataset(tiny_dataset, builder=feature_builder)
+        sharded = build_array_dataset(tiny_dataset, builder=feature_builder, workers=3)
+        np.testing.assert_array_equal(serial.features, sharded.features)
+        np.testing.assert_array_equal(serial.labels, sharded.labels)
+
+    def test_estimator_prepare_with_workers(self, tiny_dataset):
+        from repro.core import FuseConfig, FusePoseEstimator
+
+        serial = FusePoseEstimator(FuseConfig(plan=BatchPlan(workers=1)))
+        sharded = FusePoseEstimator(FuseConfig(plan=BatchPlan(workers=2)))
+        np.testing.assert_array_equal(
+            serial.prepare(tiny_dataset).features,
+            sharded.prepare(tiny_dataset).features,
+        )
+
+
+class TestPlanVectorizedResolution:
+    def test_reference_plan_selects_reference_path(self, small_config):
+        """plan.vectorized is the master switch when no explicit argument."""
+        explicit = generate_dataset(small_config, use_cache=False, vectorized=False)
+        via_plan = generate_dataset(
+            small_config, use_cache=False, plan=BatchPlan.reference()
+        )
+        _assert_datasets_identical(explicit, via_plan)
+
+    def test_explicit_argument_wins_over_plan(self, small_config):
+        explicit = generate_dataset(
+            small_config, use_cache=False, vectorized=True, plan=BatchPlan.reference()
+        )
+        batched = generate_dataset(small_config, use_cache=False)
+        _assert_datasets_identical(explicit, batched)
+
+    def test_cache_keys_by_resolved_path(self, small_config):
+        batched = generate_dataset(small_config, use_cache=True)
+        via_plan = generate_dataset(
+            small_config, use_cache=True, plan=BatchPlan(workers=1)
+        )
+        assert batched is via_plan  # same resolved path -> same cache entry

@@ -87,3 +87,113 @@ class TestServeMetrics:
         ):
             assert key in snapshot
         assert snapshot["queue_depth"] == 3
+
+
+class TestAggregate:
+    @pytest.fixture
+    def clock(self):
+        class _Clock:
+            time = 0.0
+
+            def __call__(self) -> float:
+                return self.time
+
+        return _Clock()
+
+    def test_counters_sum_and_marks_take_max(self, clock):
+        a = ServeMetrics(clock=clock)
+        b = ServeMetrics(clock=clock)
+        a.record_submit(queue_depth=2)
+        a.record_flush(2)
+        b.record_submit(queue_depth=7)
+        b.record_submit(queue_depth=1)
+        b.record_flush(4)
+        merged = ServeMetrics.aggregate([a, b])
+        assert merged["submitted"] == 3
+        assert merged["flushes"] == 2
+        assert merged["mean_batch_size"] == pytest.approx(3.0)
+        assert merged["max_batch_seen"] == 4
+        assert merged["max_queue_depth_seen"] == 7
+
+    def test_latency_percentiles_pool_across_shards(self, clock):
+        a = ServeMetrics(clock=clock)
+        b = ServeMetrics(clock=clock)
+        for value in (0.001, 0.002):
+            a.record_completion(value)
+        for value in (0.003, 0.100):
+            b.record_completion(value)
+        merged = ServeMetrics.aggregate([a, b])
+        # Nearest-rank p50 over the pooled window [1, 2, 3, 100] ms.
+        assert merged["latency_p50_ms"] == pytest.approx(3.0)
+        assert merged["latency_p95_ms"] == pytest.approx(100.0)
+        assert merged["completed"] == 4
+
+    def test_throughput_spans_overlapping_shard_clocks(self, clock):
+        a = ServeMetrics(clock=clock)
+        b = ServeMetrics(clock=clock)
+        clock.time = 0.0
+        a.record_submit(queue_depth=0)
+        b.record_submit(queue_depth=0)
+        clock.time = 2.0
+        a.record_completion(0.5)
+        b.record_completion(0.5)
+        merged = ServeMetrics.aggregate([a, b])
+        # 2 completions over 2 shared seconds — not 2 over 4 summed seconds.
+        assert merged["throughput_fps"] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ServeMetrics.aggregate([])
+
+
+class TestPrometheusExport:
+    @pytest.fixture
+    def clock(self):
+        class _Clock:
+            time = 0.0
+
+            def __call__(self) -> float:
+                return self.time
+
+        return _Clock()
+
+    def test_counters_gauges_and_summary_present(self, clock):
+        metrics = ServeMetrics(clock=clock)
+        metrics.record_submit(queue_depth=1)
+        metrics.record_flush(1)
+        metrics.record_completion(0.004)
+        text = metrics.to_prometheus(queue_depth=0)
+        assert "# TYPE fuse_serve_requests_submitted_total counter" in text
+        assert "fuse_serve_requests_submitted_total 1" in text
+        assert "# TYPE fuse_serve_queue_depth gauge" in text
+        assert "# TYPE fuse_serve_request_latency_seconds summary" in text
+        assert 'fuse_serve_request_latency_seconds{quantile="0.5"} 0.004' in text
+        assert "fuse_serve_request_latency_seconds_sum 0.004" in text
+        assert "fuse_serve_request_latency_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_labels_attach_to_every_sample(self, clock):
+        metrics = ServeMetrics(clock=clock)
+        metrics.record_completion(0.002)
+        text = metrics.to_prometheus(labels={"shard": "3"})
+        assert 'fuse_serve_requests_completed_total{shard="3"} 1' in text
+        assert 'fuse_serve_request_latency_seconds{shard="3",quantile="0.95"}' in text
+        assert 'fuse_serve_request_latency_seconds_count{shard="3"} 1' in text
+
+    def test_multi_instance_exposition_groups_families(self, clock):
+        from repro.serve import prometheus_exposition
+
+        a, b = ServeMetrics(clock=clock), ServeMetrics(clock=clock)
+        a.record_completion(0.001)
+        text = prometheus_exposition(
+            [({"shard": "0"}, a, 2), ({"shard": "1"}, b, 0)]
+        )
+        assert text.count("# TYPE fuse_serve_requests_completed_total counter") == 1
+        assert 'fuse_serve_requests_completed_total{shard="0"} 1' in text
+        assert 'fuse_serve_requests_completed_total{shard="1"} 0' in text
+        assert 'fuse_serve_queue_depth{shard="0"} 2' in text
+
+    def test_label_values_are_escaped(self, clock):
+        metrics = ServeMetrics(clock=clock)
+        text = metrics.to_prometheus(labels={"host": 'node"1\\a\nb'})
+        assert 'host="node\\"1\\\\a\\nb"' in text

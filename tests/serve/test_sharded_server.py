@@ -1,0 +1,147 @@
+"""Multi-shard serving: placement, equivalence and aggregated observability.
+
+The acceptance property mirrors the micro-batching one: sharding users over
+N independent :class:`PoseServer` shards must be invisible — a replay
+through a :class:`ShardedPoseServer` is bitwise identical, user for user, to
+the same replay through a single server with the same scheduling config.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.sample import PoseDataset
+from repro.serve import (
+    PoseServer,
+    ServeConfig,
+    ShardedPoseServer,
+    adaptation_split,
+    replay_users,
+    user_streams_from_dataset,
+)
+
+
+def as_pose_dataset(frames) -> PoseDataset:
+    dataset = PoseDataset(name="calibration")
+    dataset.extend(frames)
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def streams(serve_dataset):
+    return user_streams_from_dataset(serve_dataset, num_users=24, frames_per_user=4)
+
+
+class TestPlacement:
+    def test_users_route_to_stable_shards(self, estimator):
+        server = ShardedPoseServer(estimator, num_shards=4)
+        for user in ("alice", "bob", 42):
+            index = server.shard_index(user)
+            assert 0 <= index < 4
+            assert server.shard_index(user) == index
+            assert server.shard_of(user) is server.shards[index]
+
+    def test_invalid_shard_count(self, estimator):
+        with pytest.raises(ValueError):
+            ShardedPoseServer(estimator, num_shards=0)
+
+    def test_single_shard_degenerates_to_one_server(self, estimator):
+        server = ShardedPoseServer(estimator, num_shards=1)
+        assert len(server.shards) == 1
+        assert server.shard_of("anyone") is server.shards[0]
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_sharded_replay_bitwise_identical_to_single_server(
+        self, estimator, streams, num_shards
+    ):
+        config = ServeConfig(max_batch_size=32)
+        single = replay_users(PoseServer(estimator, config), streams)
+        sharded_server = ShardedPoseServer(estimator, num_shards=num_shards, config=config)
+        sharded = replay_users(sharded_server, streams)
+        assert sharded.frames_served == single.frames_served
+        assert sharded.frames_dropped == 0
+        for user in streams:
+            np.testing.assert_array_equal(
+                sharded.predictions[user], single.predictions[user]
+            )
+        # Traffic genuinely spread over the shards.
+        active = [shard for shard in sharded_server.shards if shard.metrics.submitted]
+        assert len(active) > 1
+
+    def test_adapted_sharded_replay_bitwise_identical(self, estimator, serve_dataset):
+        streams = user_streams_from_dataset(serve_dataset, num_users=12, frames_per_user=10)
+        calibration, serving = adaptation_split(streams, adaptation_frames=6)
+        adapted_users = list(serving)[:5]
+        calibration_sets = {
+            user: as_pose_dataset(calibration[user]) for user in adapted_users
+        }
+
+        config = ServeConfig(max_batch_size=16)
+        single_server = PoseServer(estimator, config)
+        single_server.adapt_users(calibration_sets, epochs=2)
+        sharded_server = ShardedPoseServer(estimator, num_shards=3, config=config)
+        sharded_server.adapt_users(calibration_sets, epochs=2)
+
+        single = replay_users(single_server, serving)
+        sharded = replay_users(sharded_server, serving)
+        for user in serving:
+            np.testing.assert_array_equal(
+                sharded.predictions[user], single.predictions[user]
+            )
+        # Each adapted user's parameters live on exactly their shard.
+        for user in adapted_users:
+            owner = sharded_server.shard_index(user)
+            for index, shard in enumerate(sharded_server.shards):
+                assert (user in shard.registry) == (index == owner)
+
+    def test_submit_and_forget_route_to_the_owner_shard(self, estimator, streams):
+        server = ShardedPoseServer(estimator, num_shards=2, config=ServeConfig(max_batch_size=4))
+        user = next(iter(streams))
+        frame = streams[user][0].cloud
+        joints = server.submit(user, frame)
+        assert joints.shape == (19, 3)
+        assert len(server.shard_of(user).sessions) == 1
+        server.forget_user(user)
+        assert len(server.shard_of(user).sessions) == 0
+
+
+class TestAggregatedMetrics:
+    def test_snapshot_sums_across_shards(self, estimator, streams):
+        config = ServeConfig(max_batch_size=8)
+        server = ShardedPoseServer(estimator, num_shards=3, config=config)
+        result = replay_users(server, streams)
+        total = sum(len(stream) for stream in streams.values())
+        snapshot = result.metrics
+        assert snapshot["shards"] == 3
+        assert snapshot["submitted"] == total
+        assert snapshot["completed"] == total
+        assert snapshot["sessions"] == len(streams)
+        assert snapshot["flushes"] == sum(s.metrics.flushes for s in server.shards)
+        assert snapshot["latency_p95_ms"] >= snapshot["latency_p50_ms"] >= 0.0
+        assert snapshot["throughput_fps"] > 0
+
+    def test_poll_applies_every_shards_deadline(self, estimator, streams):
+        config = ServeConfig(max_batch_size=64, max_delay_ms=0.0)
+        server = ShardedPoseServer(estimator, num_shards=2, config=config)
+        users = list(streams)[:4]
+        for user in users:
+            server.enqueue(user, streams[user][0].cloud)
+        assert server.pending == 4
+        produced = server.poll()
+        assert produced == 4
+        assert server.pending == 0
+
+    def test_prometheus_exposition_labels_every_shard(self, estimator, streams):
+        server = ShardedPoseServer(estimator, num_shards=2, config=ServeConfig(max_batch_size=8))
+        replay_users(server, streams)
+        text = server.to_prometheus()
+        assert text.endswith("\n")
+        for shard in (0, 1):
+            assert f'fuse_serve_requests_completed_total{{shard="{shard}"}}' in text
+            assert f'shard="{shard}",quantile="0.95"' in text
+        # One header per metric family, not one per shard.
+        assert text.count("# TYPE fuse_serve_requests_completed_total counter") == 1
+        assert text.count("# TYPE fuse_serve_request_latency_seconds summary") == 1

@@ -118,3 +118,96 @@ class TestMain:
         finally:
             os.chdir(cwd)
         assert "missing" in capsys.readouterr().out
+
+
+class TestHistory:
+    def test_history_baseline_is_per_figure_median(self):
+        snapshots = [
+            {"bench": {"batched_fps": 100.0}},
+            {"bench": {"batched_fps": 300.0}},
+            {"bench": {"batched_fps": 200.0, "other_fps": 50.0}},
+        ]
+        baseline = bench_regression.history_baseline(snapshots)
+        assert baseline["bench.batched_fps"] == 200.0
+        assert baseline["bench.other_fps"] == 50.0
+
+    def test_history_baseline_even_window_averages_the_middle(self):
+        snapshots = [
+            {"bench": {"batched_fps": 100.0}},
+            {"bench": {"batched_fps": 200.0}},
+        ]
+        baseline = bench_regression.history_baseline(snapshots)
+        assert baseline["bench.batched_fps"] == 150.0
+
+    def test_append_and_prune_rolling_window(self, tmp_path):
+        for run in range(5):
+            bench_regression.append_history(
+                tmp_path,
+                "BENCH_x.json",
+                {"bench": {"batched_fps": float(run)}},
+                run_id=f"run-{run:03d}",
+                window=3,
+            )
+        directory = bench_regression.history_dir_for(tmp_path, "BENCH_x.json")
+        names = sorted(p.name for p in directory.glob("*.json"))
+        assert names == ["run-002.json", "run-003.json", "run-004.json"]
+        snapshots = bench_regression.load_history(tmp_path, "BENCH_x.json")
+        assert [s["bench"]["batched_fps"] for s in snapshots] == [2.0, 3.0, 4.0]
+
+    def test_torn_snapshot_is_ignored(self, tmp_path):
+        bench_regression.append_history(
+            tmp_path, "BENCH_x.json", {"bench": {"fps": 1.0}}, run_id="a", window=5
+        )
+        directory = bench_regression.history_dir_for(tmp_path, "BENCH_x.json")
+        (directory / "b.json").write_text("{ torn")
+        assert len(bench_regression.load_history(tmp_path, "BENCH_x.json")) == 1
+
+    def test_invalid_window(self, tmp_path):
+        with pytest.raises(ValueError):
+            bench_regression.append_history(tmp_path, "BENCH_x.json", {}, "a", window=0)
+
+    def test_main_trends_against_history_median(self, tmp_path):
+        """No git baseline: only the history window gates the run."""
+        import os
+
+        history = tmp_path / "history"
+        for run, fps in enumerate([100.0, 110.0, 120.0]):
+            bench_regression.append_history(
+                history,
+                "BENCH_y.json",
+                {"bench": {"batched_fps": fps}},
+                run_id=f"run-{run:03d}",
+                window=10,
+            )
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            fresh = tmp_path / "BENCH_y.json"
+            fresh.write_text(json.dumps({"bench": {"batched_fps": 95.0}}))
+            assert (
+                bench_regression.main(
+                    ["--history", str(history), "--run-id", "run-100", "BENCH_y.json"]
+                )
+                == 0
+            )
+            fresh.write_text(json.dumps({"bench": {"batched_fps": 10.0}}))
+            assert (
+                bench_regression.main(
+                    ["--history", str(history), "--run-id", "run-101", "BENCH_y.json"]
+                )
+                == 1
+            )
+        finally:
+            os.chdir(cwd)
+        # Both runs were appended to the window regardless of pass/fail; the
+        # snapshot names carry a chronological timestamp prefix plus the id.
+        names = sorted(
+            p.name
+            for p in bench_regression.history_dir_for(history, "BENCH_y.json").glob("*.json")
+        )
+        assert any(name.endswith("-run-100.json") for name in names)
+        assert any(name.endswith("-run-101.json") for name in names)
+
+    def test_default_run_id_is_sortable_timestamp(self):
+        run_id = bench_regression.default_run_id()
+        assert len(run_id) == 16 and run_id.endswith("Z")
