@@ -34,7 +34,10 @@ from repro.core import FuseConfig, FusePoseEstimator
 from repro.core.training import TrainingConfig
 from repro.dataset.synthetic import SyntheticDatasetConfig, generate_dataset
 from repro.serve import (
+    AsyncPoseClient,
+    PoseFrontend,
     PoseServer,
+    ProcessShardedPoseServer,
     ServeConfig,
     ShardedPoseServer,
     adaptation_split,
@@ -216,6 +219,72 @@ class TestShardedServing:
             f"4-shard serving collapsed to {payload['shard_overhead_ratio_4_vs_1']:.2f}x "
             "of single-shard throughput"
         )
+
+
+class TestServingFrontend:
+    def test_process_shard_scaling_and_socket_throughput(self):
+        """Shard-process scaling plus the socket front-end, end to end.
+
+        Two measurements land in the ``serving_frontend`` section:
+
+        * **process replay** — the 50-user replay through a
+          :class:`ProcessShardedPoseServer` at 1/2/4 shard processes.  The
+          parent replays single-threaded with one transport round-trip per
+          frame, so on a single-core container this documents the IPC
+          overhead; on a multi-core host the per-shard flushes overlap and
+          the fps climbs with the shard count.
+        * **socket submits** — every user drives its own
+          :class:`AsyncPoseClient` connection into a
+          :class:`PoseFrontend` over a Unix socket concurrently, the
+          deployment shape (`fuse-serve`): shard processes genuinely work
+          in parallel when the host has the cores.
+        """
+        import asyncio
+        import tempfile
+        from pathlib import Path as _Path
+
+        estimator, streams = _serve_fixture()
+        total = sum(len(stream) for stream in streams.values())
+        config = ServeConfig(max_batch_size=64)
+        payload: dict = {
+            "users": NUM_USERS,
+            "frames": total,
+            "cpu_count": os.cpu_count(),
+        }
+
+        for shards in (1, 2, 4):
+            with ProcessShardedPoseServer(
+                estimator, num_shards=shards, config=config
+            ) as server:
+                result = replay_users(server, streams)
+                assert result.frames_dropped == 0
+                assert result.frames_served == total
+                payload[f"process_shards_{shards}_fps"] = result.frames_per_second
+
+        async def socket_run() -> float:
+            socket_path = str(_Path(tempfile.mkdtemp(prefix="fuse-bench-")) / "fuse.sock")
+            with ProcessShardedPoseServer(estimator, num_shards=2, config=config) as server:
+                frontend = PoseFrontend(server, unix_path=socket_path)
+                await frontend.start()
+                try:
+
+                    async def stream_user(user, frames):
+                        async with AsyncPoseClient() as client:
+                            await client.connect_unix(socket_path)
+                            for sample in frames:
+                                await client.submit(user, sample.cloud)
+
+                    start = time.perf_counter()
+                    await asyncio.gather(
+                        *(stream_user(user, frames) for user, frames in streams.items())
+                    )
+                    return total / (time.perf_counter() - start)
+                finally:
+                    await frontend.stop()
+
+        payload["socket_submit_fps"] = asyncio.run(socket_run())
+        _record("serving_frontend", payload)
+        assert payload["socket_submit_fps"] > 0
 
 
 def _as_dataset(frames):

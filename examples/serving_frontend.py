@@ -1,0 +1,147 @@
+"""Drive the ``fuse-serve`` socket front-end end to end over a Unix socket.
+
+This example is the full network serving story:
+
+1. launch ``fuse-experiment fuse-serve`` in a separate process — it trains a
+   small estimator on synthetic data, starts a
+   :class:`repro.serve.ProcessShardedPoseServer` (one worker process per
+   shard) and listens on a Unix-domain socket;
+2. connect one :class:`repro.serve.AsyncPoseClient` per simulated user and
+   stream every user's frames concurrently with asyncio — frames travel as
+   length-prefixed msgpack/JSON messages (see ``docs/serving.md``);
+3. fetch the aggregated serving metrics and the Prometheus exposition over
+   the same socket, then ask the front-end to shut down.
+
+Run with::
+
+    python examples/serving_frontend.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.dataset import SyntheticDatasetConfig, generate_dataset
+from repro.serve import AsyncPoseClient, user_streams_from_dataset
+
+NUM_USERS = 8
+FRAMES_PER_USER = 10
+NUM_SHARDS = 2
+
+
+def launch_frontend(socket_path: str) -> subprocess.Popen:
+    """Start ``fuse-serve`` exactly as an operator would, as a subprocess."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro.experiments.cli",
+        "fuse-serve",
+        "--unix",
+        socket_path,
+        "--shards",
+        str(NUM_SHARDS),
+        "--train-seconds",
+        "6.0",
+        "--train-epochs",
+        "2",
+        "--allow-remote-shutdown",
+    ]
+    return subprocess.Popen(command)
+
+
+def wait_for_socket(path: str, process: subprocess.Popen, timeout_s: float = 300.0) -> None:
+    """Block until the front-end binds its socket (training happens first)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return
+        if process.poll() is not None:
+            raise RuntimeError(f"fuse-serve exited early with code {process.returncode}")
+        time.sleep(0.2)
+    raise TimeoutError(f"front-end did not bind {path} within {timeout_s:.0f}s")
+
+
+async def stream_user(socket_path: str, user_id: str, frames) -> np.ndarray:
+    """One user's connection: submit every frame in order, collect joints."""
+    async with AsyncPoseClient() as client:
+        await client.connect_unix(socket_path)
+        predictions = [await client.submit(user_id, sample.cloud) for sample in frames]
+    return np.stack(predictions)
+
+
+async def drive(socket_path: str) -> None:
+    # The client slices its own copy of the synthetic dataset into user
+    # streams — same generator, same seed, so frames are realistic mmWave
+    # clouds rather than random noise.
+    dataset = generate_dataset(
+        SyntheticDatasetConfig(
+            subject_ids=(1, 2),
+            movement_names=("squat", "right_limb_extension"),
+            seconds_per_pair=6.0,
+            seed=5,
+        )
+    )
+    streams = user_streams_from_dataset(
+        dataset, num_users=NUM_USERS, frames_per_user=FRAMES_PER_USER
+    )
+
+    async with AsyncPoseClient() as admin:
+        await admin.connect_unix(socket_path)
+        hello = await admin.hello()
+        print(f"Connected: protocol v{hello['protocol']}, codecs {hello['codecs']}, "
+              f"{hello['shards']} shard(s)")
+
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *(stream_user(socket_path, user, frames) for user, frames in streams.items())
+        )
+        wall = time.perf_counter() - start
+        total = sum(len(frames) for frames in streams.values())
+        print(f"\nServed {total} frames from {len(streams)} concurrent users "
+              f"in {wall:.2f}s ({total / wall:,.0f} frames/s over the socket)")
+
+        errors = []
+        for (user, frames), predicted in zip(streams.items(), results):
+            labels = np.stack([sample.joints for sample in frames])
+            errors.append(np.abs(predicted - labels).mean())
+        print(f"Mean absolute joint error over the wire: {np.mean(errors) * 100:.2f} cm")
+
+        metrics = await admin.metrics()
+        print("\nAggregated serving metrics (via the socket):")
+        for key in ("submitted", "completed", "flushes", "mean_batch_size",
+                    "latency_p50_ms", "latency_p95_ms", "shards", "shard_restarts"):
+            print(f"  {key:20s} {metrics[key]:10.3f}")
+
+        prometheus = await admin.prometheus()
+        print("\nPrometheus exposition (first lines):")
+        print("\n".join(prometheus.splitlines()[:6]))
+
+        await admin.shutdown()
+        print("\nSent shutdown; front-end is draining.")
+
+
+def main() -> None:
+    socket_dir = tempfile.mkdtemp(prefix="fuse-serve-")
+    socket_path = os.path.join(socket_dir, "fuse.sock")
+    process = launch_frontend(socket_path)
+    try:
+        wait_for_socket(socket_path, process)
+        asyncio.run(drive(socket_path))
+        process.wait(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.terminate()
+            process.wait(timeout=10)
+    print("Front-end exited cleanly." if process.returncode == 0
+          else f"Front-end exit code: {process.returncode}")
+
+
+if __name__ == "__main__":
+    main()

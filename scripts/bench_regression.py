@@ -84,6 +84,41 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> List[Regression]:
     )
 
 
+def missing_from_fresh(baseline: dict, fresh: dict) -> List[str]:
+    """Readable descriptions of baseline content absent from the fresh run.
+
+    A benchmark section (top-level key) or an individual throughput figure
+    that exists in the committed baseline but not in the fresh file means
+    the current run silently skipped work the gate is supposed to watch —
+    e.g. a renamed section, or a bench that crashed before recording.  The
+    caller turns these into check failures with a readable message instead
+    of the bare ``KeyError`` a naive lookup would raise.
+    """
+    problems: List[str] = []
+    missing_sections = [
+        key
+        for key, value in baseline.items()
+        if isinstance(value, dict) and key not in fresh
+    ]
+    for section in sorted(missing_sections):
+        problems.append(
+            f"section '{section}' exists in the baseline but is missing from "
+            "the current run (renamed bench? crashed before recording?)"
+        )
+    baseline_figures = throughput_figures(baseline)
+    fresh_figures = throughput_figures(fresh)
+    for path in sorted(baseline_figures):
+        section = path.split(".", 1)[0]
+        if section in missing_sections:
+            continue  # already reported at section granularity
+        if path not in fresh_figures:
+            problems.append(
+                f"throughput figure '{path}' exists in the baseline but is "
+                "missing from the current run"
+            )
+    return problems
+
+
 def load_baseline(name: str, ref: str) -> Optional[dict]:
     """The committed version of ``name`` at ``ref``, or ``None`` if absent."""
     result = subprocess.run(
@@ -249,9 +284,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             checked = len(throughput_figures(baseline))
             for regression in regressions:
                 failures.append(f"{name}: {regression}")
+            missing = missing_from_fresh(baseline, fresh)
+            for problem in missing:
+                failures.append(f"{name}: {problem}")
             print(
                 f"[bench-regression] {name}: {checked} throughput figures checked, "
-                f"{len(regressions)} regressed beyond {args.threshold:.0%}"
+                f"{len(regressions)} regressed beyond {args.threshold:.0%}, "
+                f"{len(missing)} baseline entries missing from the fresh run"
             )
 
         if args.history is None:

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Offline documentation checks: link integrity without any dependencies.
+
+CI's fast tier runs this next to ``mkdocs build --strict``; unlike mkdocs it
+needs nothing installed, so it also guards environments (and pre-commit
+runs) where the docs toolchain is absent.  Checks:
+
+* every relative Markdown link in ``docs/*.md`` and ``README.md`` resolves
+  to an existing file (external ``http(s)``/``mailto`` links are skipped —
+  the checker is offline by design);
+* fragment links (``file.md#section`` and intra-page ``#section``) resolve
+  to a real heading of the target document, using GitHub-style slugs;
+* every page listed in the ``mkdocs.yml`` nav exists under ``docs/``.
+
+Usage::
+
+    python scripts/check_docs.py            # check the repository it lives in
+    python scripts/check_docs.py --root DIR # check another tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: inline Markdown links: [text](target) — images share the syntax
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$")
+#: fenced code blocks must not contribute links or headings
+FENCE = re.compile(r"^(```|~~~)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, punctuation stripped, spaces to '-'."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep their text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def markdown_lines(path: Path) -> List[str]:
+    """The file's lines with fenced code blocks blanked out."""
+    lines: List[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def heading_slugs(path: Path) -> List[str]:
+    slugs: List[str] = []
+    for line in markdown_lines(path):
+        match = HEADING.match(line)
+        if match:
+            slugs.append(github_slug(match.group(1)))
+    return slugs
+
+
+def check_file(path: Path, root: Path, slug_cache: Dict[Path, List[str]]) -> List[str]:
+    problems: List[str] = []
+    for number, line in enumerate(markdown_lines(path), start=1):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            target, _, fragment = target.partition("#")
+            if target:
+                resolved = (path.parent / target).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(root)}:{number}: broken link '{target}'"
+                    )
+                    continue
+            else:
+                resolved = path.resolve()
+            if fragment and resolved.suffix == ".md":
+                slugs = slug_cache.setdefault(resolved, heading_slugs(resolved))
+                if fragment not in slugs:
+                    problems.append(
+                        f"{path.relative_to(root)}:{number}: broken anchor "
+                        f"'#{fragment}' (no such heading in {resolved.name})"
+                    )
+    return problems
+
+
+def nav_pages(mkdocs_yml: Path) -> List[str]:
+    """Page paths referenced in the mkdocs nav (line-based, no YAML dep)."""
+    pages: List[str] = []
+    in_nav = False
+    for line in mkdocs_yml.read_text(encoding="utf-8").splitlines():
+        stripped = line.rstrip()
+        if stripped.startswith("nav:"):
+            in_nav = True
+            continue
+        if in_nav:
+            if stripped and not stripped.startswith((" ", "-", "\t")):
+                break  # left the nav block
+            match = re.search(r":\s*([\w\-./]+\.md)\s*$", stripped)
+            if match:
+                pages.append(match.group(1))
+    return pages
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parents[1],
+        help="repository root (default: this script's repository)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    sources = sorted((root / "docs").glob("*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        sources.append(readme)
+    if not sources:
+        print(f"[check-docs] no markdown sources under {root}", file=sys.stderr)
+        return 1
+
+    slug_cache: Dict[Path, List[str]] = {}
+    problems: List[str] = []
+    for path in sources:
+        problems.extend(check_file(path, root, slug_cache))
+
+    mkdocs_yml = root / "mkdocs.yml"
+    if mkdocs_yml.exists():
+        pages = nav_pages(mkdocs_yml)
+        if not pages:
+            problems.append("mkdocs.yml: nav lists no pages (parse failure?)")
+        for page in pages:
+            if not (root / "docs" / page).exists():
+                problems.append(f"mkdocs.yml: nav page 'docs/{page}' does not exist")
+
+    checked = len(sources)
+    if problems:
+        print(f"[check-docs] {checked} files checked, {len(problems)} problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"[check-docs] {checked} files checked, all links and nav entries resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,17 +21,23 @@ every substrate it depends on:
   (:class:`repro.engine.BatchPlan`, a façade over the runtime plan) driving
   the radar, feature and meta-learning hot paths,
 * :mod:`repro.serve` — the streaming multi-user serving layer
-  (:class:`repro.serve.PoseServer` / :class:`repro.serve.ShardedPoseServer`):
-  per-user sessions, cross-user micro-batching, per-user adaptation at
-  scale, multi-shard placement,
+  (:class:`repro.serve.PoseServer` / :class:`repro.serve.ShardedPoseServer`
+  / :class:`repro.serve.ProcessShardedPoseServer`): per-user sessions,
+  cross-user micro-batching, per-user adaptation at scale, multi-shard
+  placement in one process or one worker process per shard, and the asyncio
+  socket front-end (:class:`repro.serve.PoseFrontend`),
 * :mod:`repro.viz` — point-cloud rendering and result tables,
 * :mod:`repro.experiments` — drivers that regenerate every table and figure
-  of the paper's evaluation section.
+  of the paper's evaluation section, plus the ``fuse-experiment`` /
+  ``fuse-serve`` command-line interfaces.
+
+``docs/architecture.md`` walks the layer diagram and the data flow between
+these packages.
 """
 
 from . import body, core, dataset, engine, nn, radar, runtime, serve
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "nn",

@@ -1,8 +1,27 @@
-"""``repro.dataset`` — labelled mmWave pose datasets.
+"""``repro.dataset`` — labelled mmWave pose datasets and feature building.
 
-Contains the synthetic MARS-like dataset generator, a loader for the real
-MARS CSV layout, the paper's dataset splits, the point-cloud-to-feature-map
-conversion consumed by the CNN models, and batch iteration utilities.
+The data layer's contract: everything between raw point clouds and the
+``(N, C, H, W)`` feature tensors the models consume lives here, and every
+stage is deterministic for a fixed configuration (generation draws
+randomness per work item via :mod:`repro.runtime.seeding`, so sharded
+generation is bitwise identical to serial).
+
+Public entry points:
+
+* :func:`generate_dataset` / :class:`SyntheticDatasetConfig` — the
+  synthetic MARS-like dataset generator (shardable over a
+  :class:`repro.runtime.ExecutionPlan`);
+* :func:`load_mars_directory` / :func:`load_mars_pair` — loader for the
+  real MARS CSV layout;
+* :class:`PoseDataset` / :class:`LabelledFrame` — the labelled-frame
+  containers every driver exchanges;
+* :class:`FeatureMapBuilder` — point-cloud-to-feature-map conversion
+  (vectorized ``build_batch``), with :class:`FeatureCache` memoization
+  (in-memory LRU, optional disk spill);
+* :func:`per_movement_split` / :func:`leave_out_split` — the paper's
+  evaluation splits;
+* :class:`BatchLoader` / :func:`build_array_dataset` — batch iteration for
+  training loops.
 """
 
 from .cache import CacheStats, FeatureCache

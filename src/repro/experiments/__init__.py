@@ -1,7 +1,21 @@
 """``repro.experiments`` — drivers that regenerate the paper's evaluation.
 
-One module per table/figure of Section 4 plus the shared adaptation runner,
-the scale presets and a unified CLI (``fuse-experiment``).
+The experiments layer's contract: every table and figure of Section 4 is a
+pure function of an :class:`ExperimentScale` preset — no hidden state, so
+``smoke`` / ``ci`` / ``paper`` runs differ only in size, and a preset
+threaded with workers (:meth:`ExperimentScale.with_workers`) produces
+bitwise-identical numbers while sharding the data stages over processes.
+
+Public entry points:
+
+* ``run_table1`` / ``run_table2`` / ``run_figure2`` / ``run_figure3`` /
+  ``run_figure4`` with their ``format_*`` twins — one pair per artefact of
+  the paper;
+* :func:`run_adaptation` — the shared fine-tuning curve runner behind
+  Table 2 and Figures 3/4;
+* :func:`get_scale` / :data:`SCALE_NAMES` — the scale presets;
+* :mod:`repro.experiments.cli` — the ``fuse-experiment`` console script,
+  which also hosts the ``fuse-serve`` serving front-end launcher.
 """
 
 from .adaptation import AdaptationResult, ModelCurves, run_adaptation

@@ -1,30 +1,39 @@
-"""Unified command-line interface for the experiment drivers.
+"""Unified command-line interface: experiment drivers and the serving front-end.
 
 Installed as the ``fuse-experiment`` console script::
 
     fuse-experiment table1 --scale ci
     fuse-experiment table2 --scale ci
     fuse-experiment figure2
-    fuse-experiment figure3
-    fuse-experiment figure4
     fuse-experiment all --scale smoke
     fuse-experiment table1 --scale ci --workers 4   # sharded generation/features
+
+    fuse-experiment fuse-serve --unix /tmp/fuse.sock --shards 4
+    fuse-experiment fuse-serve --host 127.0.0.1 --port 8707 --backend inproc
 
 ``--workers`` threads a multi-process :class:`repro.runtime.ExecutionPlan`
 through the selected scale: dataset generation and bulk feature building
 shard over a process pool, with bitwise-identical results (per-work-item
 seeding), so reproductions only get faster, never different.
+
+``fuse-serve`` (also installed as its own ``fuse-serve`` console script)
+trains a small estimator on synthetic data, stands up a
+:class:`repro.serve.ProcessShardedPoseServer` — one worker process per
+serving shard — and exposes it through the asyncio socket front-end
+(:class:`repro.serve.PoseFrontend`).  The wire protocol is specified in
+``docs/serving.md``; ``examples/serving_frontend.py`` drives it end to end.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from . import figure2, figure3, figure4, table1, table2
 from .scale import SCALE_NAMES, ExperimentScale, get_scale
 
-__all__ = ["main"]
+__all__ = ["main", "serve_main"]
 
 _EXPERIMENTS = ("table1", "table2", "figure2", "figure3", "figure4")
 
@@ -43,17 +52,7 @@ def _run_one(name: str, scale: ExperimentScale) -> str:
     raise KeyError(f"unknown experiment '{name}'")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``fuse-experiment`` console script."""
-    parser = argparse.ArgumentParser(
-        prog="fuse-experiment",
-        description="Regenerate the tables and figures of the FUSE paper (DAC 2022).",
-    )
-    parser.add_argument(
-        "experiment",
-        choices=(*_EXPERIMENTS, "all"),
-        help="which table/figure to regenerate ('all' runs every experiment)",
-    )
+def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
         default="ci",
@@ -67,18 +66,172 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker processes for shardable stages (default: 1; results are "
         "bitwise independent of this knob)",
     )
+
+
+def _add_serve_options(parser: argparse.ArgumentParser) -> None:
+    binding = parser.add_argument_group("socket binding")
+    binding.add_argument(
+        "--unix", metavar="PATH", default=None, help="serve on a Unix-domain socket"
+    )
+    binding.add_argument(
+        "--host", default=None, help="serve on TCP (default 127.0.0.1 when --unix is absent)"
+    )
+    binding.add_argument(
+        "--port", type=int, default=8707, help="TCP port (default: 8707; 0 picks a free port)"
+    )
+
+    sharding = parser.add_argument_group("shard layout")
+    sharding.add_argument(
+        "--shards", type=int, default=2, help="serving shards / worker processes (default: 2)"
+    )
+    sharding.add_argument(
+        "--backend",
+        choices=("process", "inproc"),
+        default="process",
+        help="run shards in worker processes (default) or in the front-end process",
+    )
+
+    scheduling = parser.add_argument_group("micro-batch scheduling")
+    scheduling.add_argument("--max-batch-size", type=int, default=32)
+    scheduling.add_argument("--max-delay-ms", type=float, default=5.0)
+    scheduling.add_argument("--max-queue-depth", type=int, default=256)
+
+    model = parser.add_argument_group("estimator bootstrap")
+    model.add_argument(
+        "--train-seconds",
+        type=float,
+        default=9.0,
+        help="seconds of synthetic data per subject/movement pair (default: 9.0)",
+    )
+    model.add_argument("--train-epochs", type=int, default=3)
+    model.add_argument("--seed", type=int, default=5)
+
+    parser.add_argument(
+        "--allow-remote-shutdown",
+        action="store_true",
+        help="honour the protocol's 'shutdown' message (examples and tests)",
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Train a small estimator, start the shard backend and serve sockets."""
+    import asyncio
+
+    from ..core import FuseConfig, FusePoseEstimator
+    from ..core.training import TrainingConfig
+    from ..dataset.synthetic import SyntheticDatasetConfig, generate_dataset
+    from ..serve import PoseFrontend, ProcessShardedPoseServer, ServeConfig, ShardedPoseServer
+
+    if args.shards < 1:
+        return _fail("--shards must be >= 1")
+    if args.unix is not None and args.host is not None:
+        return _fail("--unix and --host are mutually exclusive")
+
+    dataset = generate_dataset(
+        SyntheticDatasetConfig(
+            subject_ids=(1, 2),
+            movement_names=("squat", "right_limb_extension"),
+            seconds_per_pair=args.train_seconds,
+            seed=args.seed,
+        )
+    )
+    estimator = FusePoseEstimator(
+        FuseConfig(
+            num_context_frames=1,
+            training=TrainingConfig(epochs=args.train_epochs, batch_size=128),
+        )
+    )
+    print(f"[fuse-serve] training on {len(dataset)} synthetic frames...", flush=True)
+    estimator.fit_supervised(estimator.prepare(dataset))
+
+    config = ServeConfig(
+        max_batch_size=args.max_batch_size,
+        max_delay_ms=args.max_delay_ms,
+        max_queue_depth=args.max_queue_depth,
+    )
+    if args.backend == "process":
+        server = ProcessShardedPoseServer(estimator, num_shards=args.shards, config=config)
+    else:
+        server = ShardedPoseServer(estimator, num_shards=args.shards, config=config)
+
+    async def run() -> None:
+        frontend = PoseFrontend(
+            server,
+            host=None if args.unix is not None else (args.host or "127.0.0.1"),
+            port=args.port,
+            unix_path=args.unix,
+            allow_remote_shutdown=args.allow_remote_shutdown,
+        )
+        await frontend.start()
+        where = frontend.address
+        print(
+            f"[fuse-serve] {args.shards} {args.backend} shard(s) listening on {where}",
+            flush=True,
+        )
+        try:
+            await frontend.serve_until_closed()
+        finally:
+            print(
+                f"[fuse-serve] served {frontend.requests_served} requests over "
+                f"{frontend.connections_served} connection(s)",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("[fuse-serve] interrupted, shutting down", flush=True)
+    finally:
+        if hasattr(server, "close"):
+            server.close()
+    return 0
+
+
+def _fail(message: str) -> int:
+    print(f"fuse-serve: {message}", file=sys.stderr)
+    return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``fuse-experiment`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="fuse-experiment",
+        description="Regenerate the tables and figures of the FUSE paper (DAC 2022), "
+        "or launch the serving front-end.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True, metavar="command")
+    for name in _EXPERIMENTS:
+        _add_experiment_options(
+            commands.add_parser(name, help=f"regenerate {name} of the paper")
+        )
+    _add_experiment_options(commands.add_parser("all", help="run every experiment"))
+    _add_serve_options(
+        commands.add_parser(
+            "fuse-serve",
+            help="launch the asyncio socket front-end over process-per-shard serving",
+        )
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "fuse-serve":
+        return _run_serve(args)
+
     if args.workers < 1:
         parser.error("--workers must be >= 1")
-
     scale = get_scale(args.scale)
     if args.workers != 1:
         scale = scale.with_workers(args.workers)
-    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    names = _EXPERIMENTS if args.command == "all" else (args.command,)
     for name in names:
         print(f"\n===== {name} (scale={args.scale}, workers={args.workers}) =====\n")
         print(_run_one(name, scale))
     return 0
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``fuse-serve`` console script (a thin alias)."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    return main(["fuse-serve", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover

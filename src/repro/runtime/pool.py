@@ -30,7 +30,7 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 
 from .plan import ExecutionPlan
 
-__all__ = ["shard_items", "map_shards", "merge_shards", "shard_for"]
+__all__ = ["shard_items", "map_shards", "merge_shards", "pool_context", "shard_for"]
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -69,10 +69,24 @@ def shard_items(
     return shards
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """The cheapest available start method (fork where the OS has it)."""
+def pool_context(start_method: Optional[str] = None) -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every runtime consumer shares.
+
+    Defaults to the cheapest available start method — ``fork`` where the OS
+    has it (child processes inherit large read-only state, e.g. a trained
+    estimator, copy-on-write), ``spawn`` elsewhere.  Both the shard pools
+    here and the serving shard workers (:mod:`repro.serve.worker`) derive
+    their processes from this one policy, so a deployment overrides the
+    start method in exactly one place.
+    """
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+#: backwards-compatible private alias (pre-frontend callers)
+_pool_context = pool_context
 
 
 def map_shards(

@@ -1,4 +1,4 @@
-"""``repro.serve`` — streaming multi-user pose serving.
+"""``repro.serve`` — streaming multi-user pose serving, in-process to socket.
 
 The serving subsystem turns the reproduction from an experiment harness into
 a deployable system: many users stream radar frames, the server fuses each
@@ -6,7 +6,7 @@ user's frames (streaming multi-frame fusion over a per-session ring buffer),
 coalesces requests *across users* into micro-batches, and answers through
 batch-invariant inference kernels so coalescing never changes a prediction.
 
-Pieces:
+Pieces, inside-out:
 
 * :class:`ServeConfig` — scheduling and capacity knobs;
 * :class:`PoseServer` — the synchronous in-process front door
@@ -21,11 +21,19 @@ Pieces:
 * :class:`SharedParameterKernel` — fixed-GEMM-shape inference for the shared
   base parameters (the reason batched == unbatched, bitwise);
 * :class:`ServeMetrics` — latency percentiles, throughput, queue depth and
-  cache hit rates, with Prometheus text export
-  (:meth:`ServeMetrics.to_prometheus` / :func:`prometheus_exposition`);
+  cache hit rates, with Prometheus text export and picklable state transfer
+  for cross-process aggregation;
 * :class:`ShardedPoseServer` — N independent server shards behind one
   façade; users hash onto shards (:func:`repro.runtime.shard_for`), each
   shard owns its registry/batcher/sessions, metrics aggregate across shards;
+* :class:`ProcessShardedPoseServer` — the same shard layout with every
+  shard in its own worker process (:mod:`repro.serve.worker`): bounded
+  request/reply pipes, graceful shutdown, restart on crash, replay still
+  bitwise identical to the in-process servers;
+* :class:`PoseFrontend` / :class:`AsyncPoseClient`
+  (:mod:`repro.serve.frontend`) — the asyncio socket layer speaking the
+  length-prefixed msgpack/JSON wire protocol of
+  :mod:`repro.serve.transport`;
 * the replay driver (:func:`replay_users`, :func:`user_streams_from_dataset`)
   simulating N concurrent users from the synthetic dataset.
 """
@@ -33,6 +41,7 @@ Pieces:
 from .adapters import AdapterRegistry
 from .batcher import FrameDropped, MicroBatcher, PendingPrediction, QueueFull, ServeRequest
 from .config import ServeConfig
+from .frontend import AsyncPoseClient, PoseFrontend, ServerClosing
 from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics, percentile, prometheus_exposition
 from .replay import (
@@ -44,20 +53,28 @@ from .replay import (
 )
 from .server import PoseServer
 from .session import SessionManager, UserSession, streaming_window
-from .sharded import ShardedPoseServer
+from .sharded import ProcessShardedPoseServer, ShardedPoseServer
+from .worker import ShardCrashed, ShardProcess, ShardRemoteError
 
 __all__ = [
     "AdapterRegistry",
+    "AsyncPoseClient",
     "FrameDropped",
     "MicroBatcher",
     "PendingPrediction",
+    "PoseFrontend",
     "PoseServer",
+    "ProcessShardedPoseServer",
     "QueueFull",
     "ReplayResult",
     "ServeConfig",
     "ServeMetrics",
     "ServeRequest",
+    "ServerClosing",
     "SessionManager",
+    "ShardCrashed",
+    "ShardProcess",
+    "ShardRemoteError",
     "SharedParameterKernel",
     "ShardedPoseServer",
     "UserSession",

@@ -1,0 +1,385 @@
+"""Asyncio socket front-end: network ingress for the serving subsystem.
+
+:class:`PoseFrontend` decouples request ingress from shard compute.  It
+accepts length-prefixed msgpack/JSON frames (:mod:`repro.serve.transport`)
+over TCP or a Unix socket, turns each ``submit`` into a call on the backend
+server — typically a :class:`repro.serve.ProcessShardedPoseServer`, whose
+:func:`repro.runtime.shard_for` placement routes the user to its shard
+process — and streams the prediction back on the same connection.
+
+Concurrency model:
+
+* the asyncio event loop owns every socket: reads, frame parsing and writes
+  never block on model compute;
+* backend calls run on a thread pool sized to the backend's shard count, so
+  requests for *different* shards execute concurrently while each shard's
+  strict one-in-flight transport discipline keeps per-shard execution
+  serialized (and therefore deterministic);
+* each connection is strict request/reply — a client wanting pipeline
+  parallelism opens one connection per stream, as the example client does.
+
+Backpressure surfaces exactly like in-process serving: a full shard queue
+drops or rejects per :class:`repro.serve.ServeConfig`, and the client sees
+either a ``prediction`` or an ``error`` frame per submission.  Framing
+violations (truncated or oversized frames, unknown codecs) close the
+connection after an ``error`` frame — the stream cannot be resynchronized.
+
+:class:`AsyncPoseClient` is the matching client used by the examples, the
+tests and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import stat
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+import numpy as np
+
+from ..radar.pointcloud import PointCloudFrame
+from .batcher import FrameDropped, QueueFull
+from . import transport
+from .transport import (
+    CODEC_JSON,
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    WireError,
+    available_codecs,
+    read_message,
+    write_message,
+)
+
+__all__ = ["AsyncPoseClient", "PoseFrontend", "ServerClosing"]
+
+
+class ServerClosing(RuntimeError):
+    """The front-end refused a request because it is shutting down."""
+
+
+class PoseFrontend:
+    """Socket front-end over any server with the :class:`PoseServer` façade.
+
+    Parameters
+    ----------
+    server:
+        The backend: a :class:`repro.serve.ProcessShardedPoseServer` for a
+        process-per-shard deployment, or any object with ``submit`` /
+        ``metrics_snapshot`` / ``to_prometheus`` (the in-process servers
+        work too, serialized through a single executor thread).
+    host / port:
+        TCP listening address, or
+    unix_path:
+        Unix-domain socket path (mutually exclusive with ``host``).
+    max_frame_bytes:
+        Per-frame payload bound enforced before any payload is read.
+    parallelism:
+        Executor threads for backend calls.  Defaults to the backend's
+        ``num_shards`` when the backend declares ``parallel_safe = True``
+        (the process-per-shard server does: each shard's commands
+        serialize on their own lock) and to 1 otherwise — the in-process
+        servers are single-threaded by design and must never see
+        concurrent calls.  More threads than shards buys nothing: each
+        shard serializes its own commands.
+    allow_remote_shutdown:
+        Honour the ``shutdown`` message type (handy for examples and tests;
+        leave off for real deployments).
+    """
+
+    def __init__(
+        self,
+        server,
+        host: Optional[str] = None,
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        parallelism: Optional[int] = None,
+        allow_remote_shutdown: bool = False,
+    ) -> None:
+        if (host is None) == (unix_path is None):
+            raise ValueError("provide exactly one of host / unix_path")
+        self.server = server
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.max_frame_bytes = max_frame_bytes
+        self.allow_remote_shutdown = allow_remote_shutdown
+        if parallelism is None:
+            if getattr(server, "parallel_safe", False):
+                parallelism = int(getattr(server, "num_shards", 1) or 1)
+            else:
+                parallelism = 1
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._closing = asyncio.Event()
+        self.connections_served = 0
+        self.requests_served = 0
+        self.protocol_errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self):
+        """The bound address: ``(host, port)`` for TCP, the path for Unix."""
+        if self._listener is None:
+            raise RuntimeError("front-end is not started")
+        if self.unix_path is not None:
+            return self.unix_path
+        return self._listener.sockets[0].getsockname()[:2]
+
+    async def start(self) -> "PoseFrontend":
+        """Bind the socket and start accepting connections."""
+        if self._listener is not None:
+            raise RuntimeError("front-end is already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.parallelism, thread_name_prefix="fuse-frontend"
+        )
+        if self.unix_path is not None:
+            # A previous listener that exited without stop() leaves its
+            # socket file behind; binding over a stale socket (never a
+            # regular file) is the conventional Unix-server behaviour.
+            if stat.S_ISSOCK(_path_mode(self.unix_path)):
+                os.unlink(self.unix_path)
+            self._listener = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path
+            )
+        else:
+            self._listener = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+            self.port = self._listener.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, close the listener and release the executor.
+
+        The backend server is *not* closed: the caller owns its lifecycle
+        (the CLI closes it after the front-end stops).
+        """
+        self._closing.set()
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+            if self.unix_path is not None and stat.S_ISSOCK(_path_mode(self.unix_path)):
+                with contextlib.suppress(OSError):
+                    os.unlink(self.unix_path)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def serve_until_closed(self) -> None:
+        """Block until :meth:`stop` is called (or a remote shutdown)."""
+        await self._closing.wait()
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        codec = CODEC_JSON
+        try:
+            while True:
+                try:
+                    framed = await read_message(reader, self.max_frame_bytes)
+                except WireError as error:
+                    # The stream cannot be resynchronized after a framing
+                    # fault: report and hang up.
+                    self.protocol_errors += 1
+                    await self._best_effort_error(writer, codec, error)
+                    break
+                if framed is None:
+                    break  # clean EOF between frames
+                message, codec = framed
+                try:
+                    reply = await self._dispatch(message)
+                except (FrameDropped, QueueFull, ServerClosing) as error:
+                    reply = _error_message(error)
+                except Exception as error:  # backend fault: report, keep serving
+                    self.protocol_errors += 1
+                    reply = _error_message(error)
+                await write_message(writer, reply, codec, self.max_frame_bytes)
+                self.requests_served += 1
+                if reply["type"] == "goodbye":
+                    self._closing.set()
+                    break
+        finally:
+            writer.close()
+            # Suppress CancelledError too: stop() tears connections down
+            # mid-wait and the close has already been issued above.
+            with contextlib.suppress(ConnectionError, BrokenPipeError, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _best_effort_error(self, writer, codec, error) -> None:
+        try:
+            await write_message(writer, _error_message(error), codec, self.max_frame_bytes)
+        except (ConnectionError, BrokenPipeError, WireError):
+            pass
+
+    async def _dispatch(self, message: dict) -> dict:
+        kind = message["type"]
+        if kind == "hello":
+            return {
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "codecs": list(available_codecs()),
+                "shards": int(getattr(self.server, "num_shards", 1) or 1),
+            }
+        if kind == "ping":
+            return {"type": "pong"}
+        if kind == "submit":
+            return await self._submit(message)
+        if kind == "metrics":
+            snapshot = await self._run_blocking(self.server.metrics_snapshot)
+            return {"type": "metrics_report", "metrics": snapshot}
+        if kind == "prometheus":
+            text = await self._run_blocking(self.server.to_prometheus)
+            return {"type": "prometheus_report", "text": text}
+        if kind == "shutdown":
+            if not self.allow_remote_shutdown:
+                raise ServerClosing("remote shutdown is disabled on this front-end")
+            return {"type": "goodbye"}
+        raise transport.ProtocolError(f"front-end cannot serve message type {kind!r}")
+
+    async def _submit(self, message: dict) -> dict:
+        if self._closing.is_set():
+            raise ServerClosing("front-end is shutting down")
+        try:
+            user = message["user"]
+            frame = message["frame"]
+            points = np.asarray(frame["points"], dtype=float)
+            timestamp = float(frame.get("timestamp", 0.0))
+            frame_index = int(frame.get("frame_index", 0))
+        except (KeyError, TypeError, ValueError) as error:
+            raise transport.ProtocolError(f"malformed submit message: {error}") from error
+        cloud = PointCloudFrame(points, timestamp=timestamp, frame_index=frame_index)
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        joints = await self._run_blocking(self.server.submit, user, cloud)
+        return {
+            "type": "prediction",
+            "user": user,
+            "joints": np.asarray(joints),
+            "latency_ms": (loop.time() - start) * 1000.0,
+        }
+
+    async def _run_blocking(self, fn, *args):
+        if self._executor is None:
+            raise ServerClosing("front-end is not running")
+        return await asyncio.get_running_loop().run_in_executor(self._executor, fn, *args)
+
+
+def _error_message(error: Exception) -> dict:
+    return {"type": "error", "error": type(error).__name__, "detail": str(error)}
+
+
+def _path_mode(path: str) -> int:
+    """The path's stat mode, 0 when it does not exist."""
+    try:
+        return os.stat(path).st_mode
+    except OSError:
+        return 0
+
+
+class AsyncPoseClient:
+    """Asyncio client of a :class:`PoseFrontend` socket.
+
+    One client speaks strict request/reply over one connection; open several
+    clients for concurrent streams (each user stream in the example owns
+    one).  ``codec`` selects msgpack when both sides have it; the server
+    always answers in the codec of the request.
+    """
+
+    def __init__(
+        self,
+        codec: Optional[str] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.codec = codec if codec is not None else available_codecs()[-1]
+        self.max_frame_bytes = max_frame_bytes
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------
+    # Connection
+    # ------------------------------------------------------------------
+    async def connect_unix(self, path: str) -> "AsyncPoseClient":
+        self._reader, self._writer = await asyncio.open_unix_connection(path)
+        return self
+
+    async def connect_tcp(self, host: str, port: int) -> "AsyncPoseClient":
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncPoseClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def request(self, message: dict) -> dict:
+        """One request/reply round-trip; raises on an ``error`` reply."""
+        if self._reader is None or self._writer is None:
+            raise RuntimeError("client is not connected")
+        async with self._lock:
+            await write_message(self._writer, message, self.codec, self.max_frame_bytes)
+            framed = await read_message(self._reader, self.max_frame_bytes)
+        if framed is None:
+            raise ConnectionError("server closed the connection mid-request")
+        reply, _ = framed
+        if reply["type"] == "error":
+            raise RuntimeError(f"server error {reply['error']}: {reply['detail']}")
+        return reply
+
+    async def hello(self) -> dict:
+        return await self.request({"type": "hello", "protocol": PROTOCOL_VERSION})
+
+    async def ping(self) -> bool:
+        return (await self.request({"type": "ping"}))["type"] == "pong"
+
+    async def submit(self, user_id, frame: PointCloudFrame) -> np.ndarray:
+        """Submit one frame; returns the ``(joints, 3)`` prediction."""
+        reply = await self.request(
+            {
+                "type": "submit",
+                "user": user_id,
+                "frame": {
+                    "points": frame.points,
+                    "timestamp": frame.timestamp,
+                    "frame_index": frame.frame_index,
+                },
+            }
+        )
+        return np.asarray(reply["joints"])
+
+    async def metrics(self) -> dict:
+        return (await self.request({"type": "metrics"}))["metrics"]
+
+    async def prometheus(self) -> str:
+        return (await self.request({"type": "prometheus"}))["text"]
+
+    async def shutdown(self) -> None:
+        """Ask the front-end to stop (requires ``allow_remote_shutdown``)."""
+        await self.request({"type": "shutdown"})

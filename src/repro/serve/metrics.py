@@ -164,6 +164,56 @@ class ServeMetrics:
         return report
 
     # ------------------------------------------------------------------
+    # Cross-process state transfer
+    # ------------------------------------------------------------------
+    #: plain integer/float counters carried verbatim by the state dict.
+    _STATE_COUNTERS = (
+        "submitted",
+        "completed",
+        "dropped",
+        "flushes",
+        "batched_frames",
+        "max_batch_seen",
+        "max_queue_depth_seen",
+        "session_evictions",
+        "param_cache_hits",
+        "param_cache_misses",
+        "adaptation_runs",
+        "adapted_users",
+        "latency_sum_s",
+    )
+
+    def state_dict(self) -> Dict[str, object]:
+        """Full picklable state, exact enough to rebuild this instance.
+
+        Unlike :meth:`snapshot` (a flat report of *derived* figures), the
+        state dict carries the raw latency window and wall-clock anchors, so
+        a :class:`ServeMetrics` rebuilt with :meth:`from_state` in another
+        process aggregates (:meth:`aggregate`) and renders Prometheus output
+        identically to the original.  This is how process-per-shard serving
+        ships each worker's metrics over the transport.
+        """
+        state: Dict[str, object] = {key: getattr(self, key) for key in self._STATE_COUNTERS}
+        state["latency_window"] = self._latencies.maxlen
+        state["latencies"] = list(self._latencies)
+        state["first_submit_at"] = self._first_submit_at
+        state["last_completion_at"] = self._last_completion_at
+        return state
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping[str, object], clock: Callable[[], float] = time.perf_counter
+    ) -> "ServeMetrics":
+        """Rebuild an instance from a :meth:`state_dict` payload."""
+        metrics = cls(latency_window=int(state["latency_window"]), clock=clock)
+        for key in cls._STATE_COUNTERS:
+            setattr(metrics, key, state[key])
+        metrics._latencies.extend(state["latencies"])
+        metrics._first_submit_at = state["first_submit_at"]
+        metrics._last_completion_at = state["last_completion_at"]
+        return metrics
+
+    # ------------------------------------------------------------------
     # Cross-shard aggregation
     # ------------------------------------------------------------------
     #: snapshot keys that are high-water marks (merged with max, not sum).

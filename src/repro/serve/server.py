@@ -244,3 +244,11 @@ class PoseServer:
             for key, value in cache.stats.as_dict().items():
                 report[f"feature_cache_{key}"] = value
         return report
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of this server's metrics.
+
+        Façade parity with the sharded servers, so the socket front-end can
+        expose any backend; a single server's samples carry no shard label.
+        """
+        return self.metrics.to_prometheus(queue_depth=self.pending)

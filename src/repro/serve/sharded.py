@@ -21,10 +21,18 @@ config — ``tests/serve/test_sharded_server.py`` pins this user for user.
 The façade mirrors the :class:`PoseServer` surface (``enqueue`` / ``submit``
 / ``poll`` / ``flush`` / ``adapt_users`` / ``metrics_snapshot``), so the
 replay driver and the examples run unchanged against either.
+
+:class:`ProcessShardedPoseServer` keeps the same façade and the same
+bitwise-replay guarantee but runs every shard in its own worker process
+(:class:`repro.serve.worker.ShardProcess`): identical shard placement,
+identical per-shard scheduling, so the only difference is *where* each
+shard's flush executes.  That is the layer at which shard parallelism
+finally buys wall-clock throughput on a multi-core host.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Union
 
@@ -36,12 +44,25 @@ from ..dataset.loader import ArrayDataset
 from ..dataset.sample import PoseDataset
 from ..radar.pointcloud import PointCloudFrame
 from ..runtime import shard_for
-from .batcher import PendingPrediction
+from .batcher import FrameDropped, PendingPrediction
 from .config import ServeConfig
 from .metrics import ServeMetrics, prometheus_exposition
 from .server import PoseServer
+from .worker import (
+    DEFAULT_CHANNEL_DEPTH,
+    AdaptUsers,
+    Enqueue,
+    Flush,
+    ForgetUser,
+    MetricsRequest,
+    Poll,
+    ShardCrashed,
+    ShardEvents,
+    ShardFactory,
+    ShardProcess,
+)
 
-__all__ = ["ShardedPoseServer"]
+__all__ = ["ProcessShardedPoseServer", "ShardedPoseServer"]
 
 
 class ShardedPoseServer:
@@ -171,3 +192,328 @@ class ShardedPoseServer:
                 for index, shard in enumerate(self.shards)
             ]
         )
+
+
+class ProcessPendingPrediction:
+    """Parent-side handle to a prediction computed in a shard worker.
+
+    Mirrors the :class:`repro.serve.PendingPrediction` surface (``done`` /
+    ``dropped`` / ``result``) so the replay driver treats in-process and
+    process-backed serving identically.  Resolution arrives through the
+    shard's event ledger rather than a direct callback.
+    """
+
+    __slots__ = ("user_id", "sequence", "shard_index", "_value", "_dropped", "_flush")
+
+    def __init__(self, user_id: Hashable, sequence: int, shard_index: int, flush) -> None:
+        self.user_id = user_id
+        self.sequence = sequence
+        self.shard_index = shard_index
+        self._value: Optional[np.ndarray] = None
+        self._dropped = False
+        self._flush = flush
+
+    @property
+    def done(self) -> bool:
+        return self._value is not None
+
+    @property
+    def dropped(self) -> bool:
+        return self._dropped
+
+    def _resolve(self, value: np.ndarray) -> None:
+        self._value = value
+
+    def _drop(self) -> None:
+        self._dropped = True
+
+    def result(self, flush: bool = True) -> np.ndarray:
+        """The ``(joints, 3)`` prediction, forcing shard flushes if pending."""
+        while self._value is None and not self._dropped and flush:
+            if self._flush(self.shard_index) == 0:
+                break
+        if self._dropped:
+            raise FrameDropped(
+                f"request {self.sequence} of user {self.user_id!r} was dropped "
+                "(backpressure or shard restart)"
+            )
+        if self._value is None:
+            raise RuntimeError(
+                f"request {self.sequence} of user {self.user_id!r} is still pending"
+            )
+        return self._value
+
+
+class ProcessShardedPoseServer:
+    """N :class:`PoseServer` shards, each in its own worker process.
+
+    Same placement (:func:`repro.runtime.shard_for`), same per-shard
+    scheduling config and the same replay guarantee as
+    :class:`ShardedPoseServer` — a replay through N shard *processes* is
+    bitwise identical to the same replay through the in-process sharded
+    server, and therefore to a single server.  What changes is execution:
+    every shard's micro-batch flush runs on its own core, so on a
+    multi-core host shard parallelism becomes real throughput.
+
+    Lifecycle
+    ---------
+    Workers start in the constructor and stop in :meth:`close` (the class is
+    a context manager).  A worker that dies mid-call is restarted with the
+    same factory when ``auto_restart`` is on; the crashed shard's
+    outstanding predictions resolve as dropped, its session rings and
+    adapted parameters are rebuilt from scratch (sessions re-warm on the
+    next frames; call :meth:`adapt_users` again to restore personal
+    parameters), and the in-flight call raises
+    :class:`repro.serve.worker.ShardCrashed` so the caller sees the fault.
+
+    Parameters
+    ----------
+    estimator / num_shards / config / adaptation:
+        As for :class:`ShardedPoseServer`.
+    channel_depth:
+        Bound of each shard's request queue (see
+        :class:`repro.serve.worker.ShardProcess`).
+    start_method:
+        Multiprocessing start method override (default: ``fork`` where the
+        platform has it, else ``spawn``).
+    auto_restart:
+        Restart a crashed shard worker automatically (default ``True``).
+    """
+
+    def __init__(
+        self,
+        estimator: FusePoseEstimator,
+        num_shards: int = 2,
+        config: Optional[ServeConfig] = None,
+        adaptation: Optional[FineTuneConfig] = None,
+        channel_depth: int = DEFAULT_CHANNEL_DEPTH,
+        start_method: Optional[str] = None,
+        auto_restart: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.estimator = estimator
+        self.config = config if config is not None else ServeConfig()
+        self.auto_restart = auto_restart
+        factory = ShardFactory(estimator, self.config, adaptation=adaptation)
+        self.workers: List[ShardProcess] = [
+            ShardProcess(factory, index, channel_depth=channel_depth, start_method=start_method)
+            for index in range(num_shards)
+        ]
+        self._outstanding: List[Dict[int, ProcessPendingPrediction]] = [
+            {} for _ in range(num_shards)
+        ]
+        # Parent-side per-shard locks: the worker round-trip is serialized
+        # inside ShardProcess, but the handle bookkeeping around it
+        # (_outstanding registration + event application) must be atomic
+        # with the round-trip too, or a concurrent caller's reply events
+        # could resolve a sequence before its handle is registered.  The
+        # asyncio front-end calls this class from multiple executor threads.
+        self._shard_locks = [threading.Lock() for _ in range(num_shards)]
+        #: thread-safe across shards: each shard's commands serialize on its
+        #: own lock, so the front-end may dispatch shards in parallel.
+        self.parallel_safe = True
+        self._closed = False
+        for worker in self.workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.workers)
+
+    def shard_index(self, user_id: Hashable) -> int:
+        """The shard a user's traffic and state live on (stable hash)."""
+        return shard_for(user_id, len(self.workers))
+
+    # ------------------------------------------------------------------
+    # Worker plumbing
+    # ------------------------------------------------------------------
+    def _apply_events(self, shard_index: int, events: ShardEvents) -> None:
+        outstanding = self._outstanding[shard_index]
+        for sequence, value in events.resolved:
+            handle = outstanding.pop(sequence, None)
+            if handle is not None:
+                handle._resolve(value)
+        for sequence in events.dropped:
+            handle = outstanding.pop(sequence, None)
+            if handle is not None:
+                handle._drop()
+
+    def _call(self, shard_index: int, command, register=None):
+        """One command round-trip, with crash recovery, atomically.
+
+        The shard's parent-side lock covers the round-trip *and* the handle
+        bookkeeping: ``register(reply)`` (when given) runs after the reply
+        arrives but before its event ledger is applied — the window in
+        which an enqueue's own resolution may already sit in the ledger.
+        On a worker crash every outstanding handle of the shard resolves as
+        dropped, the worker restarts (when ``auto_restart``), and the crash
+        propagates to the caller.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        worker = self.workers[shard_index]
+        with self._shard_locks[shard_index]:
+            try:
+                reply = worker.call(command)
+            except ShardCrashed:
+                outstanding = self._outstanding[shard_index]
+                for handle in outstanding.values():
+                    handle._drop()
+                outstanding.clear()
+                if self.auto_restart:
+                    worker.restart()
+                raise
+            if register is not None:
+                register(reply)
+            self._apply_events(shard_index, reply.events)
+        return reply
+
+    def _flush_shard(self, shard_index: int) -> int:
+        return self._call(shard_index, Flush()).produced
+
+    # ------------------------------------------------------------------
+    # Request path (PoseServer façade)
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests awaiting resolution across all shard processes."""
+        return sum(len(outstanding) for outstanding in self._outstanding)
+
+    def enqueue(self, user_id: Hashable, frame: PointCloudFrame) -> ProcessPendingPrediction:
+        """Route one frame to the user's shard process (may flush there)."""
+        index = self.shard_index(user_id)
+        command = Enqueue(
+            user_id=user_id,
+            points=frame.points,
+            timestamp=frame.timestamp,
+            frame_index=frame.frame_index,
+        )
+        handle_box: List[ProcessPendingPrediction] = []
+
+        def register(reply) -> None:
+            # Register before the ledger is applied: the enqueue may have
+            # completed a batch inside the worker, in which case this very
+            # request's resolution already sits in the reply's events.
+            handle = ProcessPendingPrediction(
+                user_id, reply.sequence, index, flush=self._flush_shard
+            )
+            self._outstanding[index][reply.sequence] = handle
+            handle_box.append(handle)
+
+        self._call(index, command, register=register)
+        return handle_box[0]
+
+    def submit(self, user_id: Hashable, frame: PointCloudFrame) -> np.ndarray:
+        """Synchronous prediction through the user's shard process."""
+        return self.enqueue(user_id, frame).result(flush=True)
+
+    def poll(self, now: Optional[float] = None) -> int:
+        """Apply every shard's latency deadline (on the worker's clock).
+
+        ``now`` is accepted for façade compatibility but ignored: deadlines
+        are evaluated against each worker process's own monotonic clock.
+        """
+        return sum(self._call(index, Poll()).produced for index in range(self.num_shards))
+
+    def flush(self) -> int:
+        """Flush every shard's pending micro-batch now."""
+        return sum(self._flush_shard(index) for index in range(self.num_shards))
+
+    # ------------------------------------------------------------------
+    # Per-user adaptation
+    # ------------------------------------------------------------------
+    def adapt_user(
+        self,
+        user_id: Hashable,
+        dataset: Union[PoseDataset, ArrayDataset],
+        epochs: Optional[int] = None,
+    ) -> None:
+        """Fine-tune one user's personal parameters on their shard process."""
+        self.adapt_users({user_id: dataset}, epochs=epochs)
+
+    def adapt_users(
+        self,
+        datasets: Mapping[Hashable, Union[PoseDataset, ArrayDataset]],
+        epochs: Optional[int] = None,
+    ) -> None:
+        """Adapt many users, grouped per shard (one grouped call per shard)."""
+        by_shard: Dict[int, Dict[Hashable, Union[PoseDataset, ArrayDataset]]] = {}
+        for user_id, dataset in datasets.items():
+            by_shard.setdefault(self.shard_index(user_id), {})[user_id] = dataset
+        for index, group in sorted(by_shard.items()):
+            self._call(index, AdaptUsers(datasets=group, epochs=epochs))
+
+    def forget_user(self, user_id: Hashable) -> None:
+        """Drop a user's session history and adapted parameters."""
+        self._call(self.shard_index(user_id), ForgetUser(user_id=user_id))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _shard_reports(self):
+        """Fresh ``(metrics, reply)`` per shard, rebuilt from worker state."""
+        reports = []
+        for index in range(self.num_shards):
+            reply = self._call(index, MetricsRequest())
+            reports.append((ServeMetrics.from_state(reply.state), reply))
+        return reports
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """One aggregated snapshot across shard processes, plus gauges."""
+        reports = self._shard_reports()
+        report = ServeMetrics.aggregate([metrics for metrics, _ in reports])
+        report["queue_depth"] = sum(reply.pending for _, reply in reports)
+        report["shards"] = self.num_shards
+        report["sessions"] = sum(reply.sessions for _, reply in reports)
+        report["adapted_parameter_sets"] = sum(
+            reply.adapted_parameter_sets for _, reply in reports
+        )
+        report["shard_restarts"] = self.restarts
+        return report
+
+    def to_prometheus(self) -> str:
+        """One valid text exposition with every shard labelled ``shard="i"``."""
+        reports = self._shard_reports()
+        return prometheus_exposition(
+            [
+                ({"shard": str(index)}, metrics, reply.pending)
+                for index, (metrics, reply) in enumerate(reports)
+            ]
+        )
+
+    @property
+    def restarts(self) -> int:
+        """Total shard-worker restarts since construction."""
+        return sum(worker.restarts for worker in self.workers)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Gracefully stop every shard worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for index, worker in enumerate(self.workers):
+            final = worker.stop(timeout=timeout)
+            if final is not None:
+                self._apply_events(index, final.events)
+            for handle in self._outstanding[index].values():
+                handle._drop()
+            self._outstanding[index].clear()
+
+    def __enter__(self) -> "ProcessShardedPoseServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best effort: don't leak worker processes
+        try:
+            self.close(timeout=0.5)
+        except Exception:
+            pass

@@ -1,0 +1,416 @@
+"""Process-per-shard execution: one :class:`PoseServer` per worker process.
+
+The in-process :class:`repro.serve.ShardedPoseServer` proves that sharding
+is *correct* (bitwise-identical replay); this module is what makes it
+*useful* on a multi-core host.  Each shard runs in its own worker process
+and talks to the parent over a picklable request/reply transport:
+
+* **Commands** (:class:`Enqueue`, :class:`Flush`, :class:`Poll`,
+  :class:`AdaptUsers`, :class:`ForgetUser`, :class:`MetricsRequest`,
+  :class:`Shutdown`) are small frozen dataclasses; frames travel as raw
+  ``(N, 5)`` point arrays, never as live server objects.
+* **Replies** carry an :class:`ShardEvents` ledger — every prediction the
+  shard resolved and every request it dropped since the last reply — so the
+  parent's pending handles resolve without polling.
+* The request queue is **bounded** (``channel_depth``); combined with the
+  strict one-in-flight request/reply discipline of :class:`ShardProcess`,
+  a stalled worker back-pressures its caller instead of buffering without
+  limit.
+* **Lifecycle** — :meth:`ShardProcess.stop` drains the shard gracefully
+  (flush, resolve, exit); a crashed worker is detected mid-call
+  (:class:`ShardCrashed`) and :meth:`ShardProcess.restart` brings up a
+  fresh process with the same factory.  Per-shard determinism is preserved
+  by seeding each worker from :func:`repro.runtime.seed_for_key`, the same
+  derivation the sharded dataset generator uses.
+
+The worker body builds its :class:`PoseServer` from a :class:`ShardFactory`
+*inside* the child, so under ``fork`` the (potentially large) estimator is
+shared copy-on-write and under ``spawn`` it crosses the pickle boundary
+exactly once, at start-up.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.finetune import FineTuneConfig
+from ..core.pipeline import FusePoseEstimator
+from ..dataset.loader import ArrayDataset
+from ..dataset.sample import PoseDataset
+from ..radar.pointcloud import PointCloudFrame
+from ..runtime import pool_context, seed_for_key
+from .batcher import PendingPrediction
+from .config import ServeConfig
+from .server import PoseServer
+
+__all__ = [
+    "AdaptUsers",
+    "Enqueue",
+    "Enqueued",
+    "Done",
+    "Flush",
+    "Flushed",
+    "ForgetUser",
+    "MetricsReply",
+    "MetricsRequest",
+    "Poll",
+    "ShardCrashed",
+    "ShardEvents",
+    "ShardFactory",
+    "ShardProcess",
+    "ShardRemoteError",
+    "Shutdown",
+    "Stopped",
+    "WorkerError",
+    "shard_worker_main",
+]
+
+#: default bound of the per-shard request queue
+DEFAULT_CHANNEL_DEPTH = 64
+
+
+class ShardCrashed(RuntimeError):
+    """The worker process died while a command was in flight."""
+
+
+class ShardRemoteError(RuntimeError):
+    """A command raised inside the worker; carries the remote traceback."""
+
+
+# ----------------------------------------------------------------------
+# Picklable command / reply types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardFactory:
+    """Everything a worker needs to build its :class:`PoseServer` shard."""
+
+    estimator: FusePoseEstimator
+    config: ServeConfig
+    adaptation: Optional[FineTuneConfig] = None
+
+    def build(self) -> PoseServer:
+        return PoseServer(self.estimator, self.config, adaptation=self.adaptation)
+
+
+@dataclass(frozen=True)
+class Enqueue:
+    """Enqueue one frame for ``user_id`` (may trigger an in-shard flush)."""
+
+    user_id: Hashable
+    points: np.ndarray
+    timestamp: float = 0.0
+    frame_index: int = 0
+
+    def frame(self) -> PointCloudFrame:
+        return PointCloudFrame(
+            self.points, timestamp=self.timestamp, frame_index=self.frame_index
+        )
+
+
+@dataclass(frozen=True)
+class Flush:
+    """Force the shard's pending micro-batch out now."""
+
+
+@dataclass(frozen=True)
+class Poll:
+    """Apply the shard's latency deadline (worker-clock ``now``)."""
+
+
+@dataclass(frozen=True)
+class AdaptUsers:
+    """Fine-tune personal parameters for a cohort living on this shard."""
+
+    datasets: Mapping[Hashable, Union[PoseDataset, ArrayDataset]]
+    epochs: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ForgetUser:
+    """Drop one user's session history and adapted parameters."""
+
+    user_id: Hashable
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Ask for the shard's metrics state and occupancy gauges."""
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Graceful stop: flush, resolve outstanding handles, exit."""
+
+
+@dataclass
+class ShardEvents:
+    """Predictions resolved and requests dropped since the last reply."""
+
+    resolved: List[Tuple[int, np.ndarray]] = field(default_factory=list)
+    dropped: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Enqueued:
+    """Reply to :class:`Enqueue`: the shard-local sequence id of the handle."""
+
+    sequence: int
+    events: ShardEvents
+
+
+@dataclass
+class Flushed:
+    """Reply to :class:`Flush` / :class:`Poll`."""
+
+    produced: int
+    events: ShardEvents
+
+
+@dataclass
+class Done:
+    """Reply to side-effect commands (adaptation, forget)."""
+
+    events: ShardEvents
+
+
+@dataclass
+class MetricsReply:
+    """Reply to :class:`MetricsRequest`.
+
+    ``state`` is a :meth:`repro.serve.ServeMetrics.state_dict` payload; the
+    parent rebuilds a :class:`ServeMetrics` from it and aggregates across
+    shards exactly as the in-process sharded server does.
+    """
+
+    state: dict
+    pending: int
+    sessions: int
+    adapted_parameter_sets: int
+    events: ShardEvents
+
+
+@dataclass
+class Stopped:
+    """Final reply of a graceful shutdown."""
+
+    events: ShardEvents
+
+
+@dataclass
+class WorkerError:
+    """A command failed inside the worker (the shard itself is still up)."""
+
+    message: str
+    remote_traceback: str
+
+
+# ----------------------------------------------------------------------
+# Worker body (runs in the child process)
+# ----------------------------------------------------------------------
+def _collect_events(outstanding: Dict[int, PendingPrediction]) -> ShardEvents:
+    """Harvest every handle that resolved or dropped since the last reply."""
+    events = ShardEvents()
+    for sequence in sorted(outstanding):
+        handle = outstanding[sequence]
+        if handle.done:
+            events.resolved.append((sequence, handle.result(flush=False)))
+        elif handle.dropped:
+            events.dropped.append(sequence)
+        else:
+            continue
+        del outstanding[sequence]
+    return events
+
+
+def shard_worker_main(
+    factory: ShardFactory,
+    requests: "multiprocessing.queues.Queue",
+    replies: "multiprocessing.queues.Queue",
+    shard_index: int,
+    seed: Optional[int] = None,
+) -> None:
+    """The worker loop: build one shard, serve commands until shutdown.
+
+    Runs as the target of a :class:`ShardProcess`; module-level so it
+    crosses the pickle boundary under every start method.
+    """
+    if seed is None:
+        seed = seed_for_key("serve-shard", shard_index)
+    np.random.seed(seed & 0xFFFFFFFF)
+    server = factory.build()
+    outstanding: Dict[int, PendingPrediction] = {}
+    while True:
+        command = requests.get()
+        try:
+            if isinstance(command, Shutdown):
+                server.flush()
+                replies.put(Stopped(events=_collect_events(outstanding)))
+                return
+            replies.put(_dispatch(server, outstanding, command))
+        except Exception as error:  # report, keep serving: shard state is intact
+            replies.put(WorkerError(message=str(error), remote_traceback=traceback.format_exc()))
+
+
+def _dispatch(
+    server: PoseServer, outstanding: Dict[int, PendingPrediction], command
+):
+    if isinstance(command, Enqueue):
+        handle = server.enqueue(command.user_id, command.frame())
+        outstanding[handle.sequence] = handle
+        return Enqueued(sequence=handle.sequence, events=_collect_events(outstanding))
+    if isinstance(command, Flush):
+        return Flushed(produced=server.flush(), events=_collect_events(outstanding))
+    if isinstance(command, Poll):
+        return Flushed(produced=server.poll(), events=_collect_events(outstanding))
+    if isinstance(command, AdaptUsers):
+        server.adapt_users(command.datasets, epochs=command.epochs)
+        return Done(events=_collect_events(outstanding))
+    if isinstance(command, ForgetUser):
+        server.forget_user(command.user_id)
+        return Done(events=_collect_events(outstanding))
+    if isinstance(command, MetricsRequest):
+        return MetricsReply(
+            state=server.metrics.state_dict(),
+            pending=server.pending,
+            sessions=len(server.sessions),
+            adapted_parameter_sets=len(server.registry),
+            events=_collect_events(outstanding),
+        )
+    raise TypeError(f"unknown shard command {type(command).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Parent-side handle
+# ----------------------------------------------------------------------
+class ShardProcess:
+    """Parent-side handle of one shard worker process.
+
+    The handle enforces a strict one-in-flight request/reply discipline
+    under an internal lock, which makes it safe to call from the executor
+    threads of the asyncio front-end, keeps the bounded request queue from
+    ever deepening past one command, and guarantees replies are matched to
+    the commands that produced them.
+    """
+
+    def __init__(
+        self,
+        factory: ShardFactory,
+        index: int,
+        channel_depth: int = DEFAULT_CHANNEL_DEPTH,
+        start_method: Optional[str] = None,
+        reply_poll_s: float = 0.1,
+    ) -> None:
+        if channel_depth < 1:
+            raise ValueError("channel_depth must be >= 1")
+        self.factory = factory
+        self.index = index
+        self.channel_depth = channel_depth
+        self.restarts = 0
+        self._reply_poll_s = reply_poll_s
+        self._context = pool_context(start_method)
+        self._lock = threading.Lock()
+        self._process: Optional[multiprocessing.process.BaseProcess] = None
+        self._requests = None
+        self._replies = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def start(self) -> None:
+        if self.alive:
+            raise RuntimeError(f"shard {self.index} is already running")
+        self._requests = self._context.Queue(maxsize=self.channel_depth)
+        self._replies = self._context.Queue()
+        self._process = self._context.Process(
+            target=shard_worker_main,
+            args=(self.factory, self._requests, self._replies, self.index),
+            name=f"fuse-serve-shard-{self.index}",
+            daemon=True,
+        )
+        self._process.start()
+
+    def restart(self) -> None:
+        """Replace a dead worker with a fresh one (session state is lost)."""
+        self._teardown(graceful=False)
+        self.restarts += 1
+        self.start()
+
+    def stop(self, timeout: float = 5.0) -> Optional[Stopped]:
+        """Gracefully drain and stop the worker; returns its final events."""
+        with self._lock:
+            final: Optional[Stopped] = None
+            if self.alive:
+                try:
+                    reply = self._roundtrip(Shutdown(), timeout=timeout)
+                    if isinstance(reply, Stopped):
+                        final = reply
+                except (ShardCrashed, ShardRemoteError):
+                    final = None
+            self._teardown(graceful=True, timeout=timeout)
+            return final
+
+    def _teardown(self, graceful: bool, timeout: float = 5.0) -> None:
+        if self._process is not None:
+            self._process.join(timeout if graceful else 0.1)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout)
+            self._process = None
+        for channel in (self._requests, self._replies):
+            if channel is not None:
+                channel.close()
+                channel.join_thread()
+        self._requests = self._replies = None
+
+    # ------------------------------------------------------------------
+    # Command round-trips
+    # ------------------------------------------------------------------
+    def call(self, command, timeout: Optional[float] = None):
+        """Send one command and wait for its reply.
+
+        Raises :class:`ShardCrashed` when the worker dies mid-call (the
+        caller decides whether to :meth:`restart`) and
+        :class:`ShardRemoteError` when the command failed remotely but the
+        worker is still healthy.
+        """
+        with self._lock:
+            if not self.alive:
+                raise ShardCrashed(f"shard {self.index} worker is not running")
+            return self._roundtrip(command, timeout=timeout)
+
+    def _roundtrip(self, command, timeout: Optional[float] = None):
+        self._requests.put(command)
+        waited = 0.0
+        while True:
+            try:
+                reply = self._replies.get(timeout=self._reply_poll_s)
+            except queue.Empty:
+                waited += self._reply_poll_s
+                if not self.alive:
+                    raise ShardCrashed(
+                        f"shard {self.index} worker died while handling "
+                        f"{type(command).__name__}"
+                    ) from None
+                if timeout is not None and waited >= timeout:
+                    raise ShardCrashed(
+                        f"shard {self.index} did not reply to "
+                        f"{type(command).__name__} within {timeout:.1f}s"
+                    ) from None
+                continue
+            if isinstance(reply, WorkerError):
+                raise ShardRemoteError(
+                    f"shard {self.index} failed on {type(command).__name__}: "
+                    f"{reply.message}\n--- remote traceback ---\n{reply.remote_traceback}"
+                )
+            return reply

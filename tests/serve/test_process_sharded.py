@@ -1,0 +1,217 @@
+"""Process-per-shard serving: replay equivalence, lifecycle, crash recovery.
+
+The acceptance property extends the sharded one across the process
+boundary: a replay through a :class:`ProcessShardedPoseServer` — every
+shard a worker process behind a picklable request/reply transport — is
+bitwise identical, user for user, to the same replay through the in-process
+:class:`ShardedPoseServer` (and therefore to a single server).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.sample import PoseDataset
+from repro.serve import (
+    FrameDropped,
+    ProcessShardedPoseServer,
+    ServeConfig,
+    ShardCrashed,
+    ShardRemoteError,
+    ShardedPoseServer,
+    adaptation_split,
+    replay_users,
+    user_streams_from_dataset,
+)
+from repro.serve.worker import MetricsRequest
+
+
+@pytest.fixture(scope="module")
+def streams(serve_dataset):
+    return user_streams_from_dataset(serve_dataset, num_users=12, frames_per_user=4)
+
+
+@pytest.fixture()
+def server(estimator):
+    with ProcessShardedPoseServer(
+        estimator, num_shards=2, config=ServeConfig(max_batch_size=8)
+    ) as server:
+        yield server
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("num_shards", [2, 3])
+    def test_process_replay_bitwise_identical_to_in_process(
+        self, estimator, streams, num_shards
+    ):
+        config = ServeConfig(max_batch_size=16)
+        inproc = replay_users(
+            ShardedPoseServer(estimator, num_shards=num_shards, config=config), streams
+        )
+        with ProcessShardedPoseServer(
+            estimator, num_shards=num_shards, config=config
+        ) as server:
+            proc = replay_users(server, streams)
+        assert proc.frames_served == inproc.frames_served
+        assert proc.frames_dropped == 0
+        for user in streams:
+            np.testing.assert_array_equal(proc.predictions[user], inproc.predictions[user])
+
+    def test_adapted_process_replay_bitwise_identical(self, estimator, serve_dataset):
+        streams = user_streams_from_dataset(serve_dataset, num_users=6, frames_per_user=10)
+        calibration, serving = adaptation_split(streams, adaptation_frames=6)
+        adapted = list(serving)[:3]
+        calibration_sets = {}
+        for user in adapted:
+            dataset = PoseDataset(name="calibration")
+            dataset.extend(calibration[user])
+            calibration_sets[user] = dataset
+
+        config = ServeConfig(max_batch_size=8)
+        inproc_server = ShardedPoseServer(estimator, num_shards=2, config=config)
+        inproc_server.adapt_users(calibration_sets, epochs=2)
+        inproc = replay_users(inproc_server, serving)
+
+        with ProcessShardedPoseServer(estimator, num_shards=2, config=config) as server:
+            server.adapt_users(calibration_sets, epochs=2)
+            snapshot = server.metrics_snapshot()
+            assert snapshot["adapted_parameter_sets"] == len(adapted)
+            proc = replay_users(server, serving)
+
+        for user in serving:
+            np.testing.assert_array_equal(proc.predictions[user], inproc.predictions[user])
+
+
+class TestFacade:
+    def test_submit_routes_and_answers(self, server, streams):
+        user = next(iter(streams))
+        joints = server.submit(user, streams[user][0].cloud)
+        assert joints.shape == (19, 3)
+        assert server.pending == 0
+
+    def test_enqueue_resolves_on_flush(self, server, streams):
+        users = list(streams)[:3]
+        handles = [server.enqueue(user, streams[user][0].cloud) for user in users]
+        assert server.pending == len([h for h in handles if not h.done])
+        server.flush()
+        for handle in handles:
+            assert handle.done
+            assert handle.result(flush=False).shape == (19, 3)
+        assert server.pending == 0
+
+    def test_poll_applies_worker_deadlines(self, estimator, streams):
+        config = ServeConfig(max_batch_size=64, max_delay_ms=0.0)
+        with ProcessShardedPoseServer(estimator, num_shards=2, config=config) as server:
+            users = list(streams)[:4]
+            for user in users:
+                server.enqueue(user, streams[user][0].cloud)
+            assert server.pending == 4
+            assert server.poll() == 4
+            assert server.pending == 0
+
+    def test_forget_user_clears_shard_state(self, server, streams):
+        user = next(iter(streams))
+        server.submit(user, streams[user][0].cloud)
+        index = server.shard_index(user)
+        assert server.workers[index].call(MetricsRequest()).sessions == 1
+        server.forget_user(user)
+        assert server.workers[index].call(MetricsRequest()).sessions == 0
+
+    def test_remote_error_reports_traceback_and_keeps_shard_alive(self, server, streams):
+        user = next(iter(streams))
+        with pytest.raises(ShardRemoteError, match="remote traceback"):
+            server.adapt_users({user: object()})  # not a dataset: fails in the worker
+        # The shard survived the failed command and still serves.
+        assert server.submit(user, streams[user][0].cloud).shape == (19, 3)
+        assert server.restarts == 0
+
+
+class TestObservability:
+    def test_snapshot_aggregates_across_processes(self, server, streams):
+        result = replay_users(server, streams)
+        total = sum(len(stream) for stream in streams.values())
+        snapshot = result.metrics
+        assert snapshot["shards"] == 2
+        assert snapshot["submitted"] == total
+        assert snapshot["completed"] == total
+        assert snapshot["sessions"] == len(streams)
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["shard_restarts"] == 0
+        assert snapshot["latency_p95_ms"] >= snapshot["latency_p50_ms"] >= 0.0
+        assert snapshot["throughput_fps"] > 0
+
+    def test_prometheus_labels_every_shard_process(self, server, streams):
+        replay_users(server, streams)
+        text = server.to_prometheus()
+        for shard in (0, 1):
+            assert f'fuse_serve_requests_completed_total{{shard="{shard}"}}' in text
+        assert text.count("# TYPE fuse_serve_requests_completed_total counter") == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_submits_from_many_threads(self, estimator, streams):
+        """The façade is called from the front-end's executor threads.
+
+        The worker round-trip and the parent-side handle bookkeeping must
+        be atomic per shard: without the shard locks, a reply ledger can
+        resolve a sequence before its handle is registered and a submit
+        hangs or raises 'still pending'.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ProcessShardedPoseServer(
+            estimator, num_shards=2, config=ServeConfig(max_batch_size=4)
+        ) as server:
+            users = list(streams)
+
+            def pump(user):
+                return [
+                    server.submit(user, sample.cloud) for sample in streams[user][:3]
+                ]
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                results = list(pool.map(pump, users))
+            for per_user in results:
+                assert all(joints.shape == (19, 3) for joints in per_user)
+            snapshot = server.metrics_snapshot()
+            assert snapshot["completed"] == 3 * len(users)
+            assert server.pending == 0
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_drops_outstanding(self, estimator, streams):
+        config = ServeConfig(max_batch_size=64, max_delay_ms=10_000.0)
+        server = ProcessShardedPoseServer(estimator, num_shards=2, config=config)
+        user = next(iter(streams))
+        handle = server.enqueue(user, streams[user][0].cloud)
+        server.close()
+        server.close()
+        assert handle.done or handle.dropped
+        with pytest.raises(RuntimeError):
+            server.submit(user, streams[user][0].cloud)
+
+    def test_crashed_shard_restarts_and_serving_continues(self, estimator, streams):
+        with ProcessShardedPoseServer(
+            estimator, num_shards=2, config=ServeConfig(max_batch_size=4)
+        ) as server:
+            users = list(streams)
+            # Park one pending request so the crash has something to drop.
+            victim_shard = server.shard_index(users[0])
+            handle = server.enqueue(users[0], streams[users[0]][0].cloud)
+
+            server.workers[victim_shard]._process.kill()
+            with pytest.raises(ShardCrashed):
+                server.submit(users[0], streams[users[0]][0].cloud)
+
+            # The worker was replaced; its outstanding request was dropped.
+            assert server.restarts == 1
+            assert handle.done or handle.dropped
+            if handle.dropped:
+                with pytest.raises(FrameDropped):
+                    handle.result(flush=False)
+
+            # Fresh shard serves the same users again (sessions restart empty).
+            for user in users[:4]:
+                assert server.submit(user, streams[user][0].cloud).shape == (19, 3)
+            assert server.metrics_snapshot()["shard_restarts"] == 1

@@ -68,7 +68,84 @@ class TestCompare:
             bench_regression.compare({}, {}, threshold=1.5)
 
 
+class TestMissingFromFresh:
+    def test_missing_section_reported_readably(self):
+        baseline = {"serving": {"batched_fps": 10.0}, "radar": {"fps": 5.0}}
+        fresh = {"radar": {"fps": 5.0}}
+        problems = bench_regression.missing_from_fresh(baseline, fresh)
+        assert len(problems) == 1
+        assert "section 'serving'" in problems[0]
+        assert "missing from the current run" in problems[0]
+
+    def test_missing_figure_inside_surviving_section_reported(self):
+        baseline = {"serving": {"batched_fps": 10.0, "sharded_fps": 20.0}}
+        fresh = {"serving": {"batched_fps": 10.0}}
+        problems = bench_regression.missing_from_fresh(baseline, fresh)
+        assert problems == [
+            "throughput figure 'serving.sharded_fps' exists in the baseline "
+            "but is missing from the current run"
+        ]
+
+    def test_missing_section_not_double_reported_per_figure(self):
+        baseline = {"serving": {"batched_fps": 10.0, "sharded_fps": 20.0}}
+        problems = bench_regression.missing_from_fresh(baseline, {})
+        assert len(problems) == 1
+
+    def test_identical_payloads_report_nothing(self):
+        payload = {"serving": {"batched_fps": 10.0}, "note": "text"}
+        assert bench_regression.missing_from_fresh(payload, dict(payload)) == []
+
+    def test_new_fresh_sections_are_fine(self):
+        baseline = {"serving": {"batched_fps": 10.0}}
+        fresh = {"serving": {"batched_fps": 10.0}, "frontend": {"fps": 1.0}}
+        assert bench_regression.missing_from_fresh(baseline, fresh) == []
+
+
 class TestMain:
+    def test_missing_baseline_section_fails_with_readable_error(
+        self, tmp_path, capsys
+    ):
+        """A section in the committed baseline but not in the fresh run must
+        fail the gate with a message, not blow up with a KeyError."""
+        repo = tmp_path / "repo"
+        repo.mkdir()
+
+        def git(*args):
+            subprocess.run(
+                ["git", *args],
+                cwd=repo,
+                check=True,
+                capture_output=True,
+                env={
+                    "GIT_AUTHOR_NAME": "t",
+                    "GIT_AUTHOR_EMAIL": "t@t",
+                    "GIT_COMMITTER_NAME": "t",
+                    "GIT_COMMITTER_EMAIL": "t@t",
+                    "PATH": "/usr/bin:/bin:/usr/local/bin",
+                    "HOME": str(tmp_path),
+                },
+            )
+
+        bench = repo / "BENCH_x.json"
+        bench.write_text(
+            json.dumps({"serving": {"batched_fps": 100.0}, "radar": {"fps": 5.0}})
+        )
+        git("init", "-q")
+        git("add", "BENCH_x.json")
+        git("commit", "-qm", "baseline")
+
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(repo)
+        try:
+            bench.write_text(json.dumps({"radar": {"fps": 5.0}}))
+            assert bench_regression.main(["BENCH_x.json"]) == 1
+        finally:
+            os.chdir(cwd)
+        captured = capsys.readouterr()
+        assert "section 'serving'" in captured.err
+        assert "missing from the current run" in captured.err
     def test_end_to_end_against_git_baseline(self, tmp_path):
         """Full run inside a scratch git repository."""
         repo = tmp_path / "repo"
