@@ -13,7 +13,11 @@ three serving paths:
   :class:`repro.serve.ShardedPoseServer` at 1/2/4 shards (users hashed onto
   independent server shards; predictions identical, throughput recorded for
   the trend check — in-process shards document the scheduling overhead a
-  process-per-shard deployment would amortize over real cores).
+  process-per-shard deployment would amortize over real cores);
+* **socket front-end** — the strict v1 request/reply path
+  (``serving_frontend``) and the protocol-v2 pipelined/batched paths
+  (``serving_frontend_pipelined``: in-flight windows 1/8/64 and batched
+  submits), both through shard worker processes behind a Unix socket.
 
 The acceptance bar is micro-batched serving at >= 3x the frames/sec of the
 naive sequential path.  Results land in ``BENCH_serve.json`` at the
@@ -160,6 +164,7 @@ class TestServeThroughput:
             _record(
                 f"mixed_adapted_serving_scope_{scope}",
                 {
+                    "cpu_count": os.cpu_count(),
                     "users": NUM_USERS,
                     "adapted_users": len(adapted_users),
                     "frames": result.frames_served,
@@ -285,6 +290,99 @@ class TestServingFrontend:
         payload["socket_submit_fps"] = asyncio.run(socket_run())
         _record("serving_frontend", payload)
         assert payload["socket_submit_fps"] > 0
+
+    def test_pipelined_and_batched_socket_throughput(self):
+        """Protocol v2 over the same deployment shape: close the socket gap.
+
+        Four measurements land in ``serving_frontend_pipelined``, all
+        through a 2-shard-process backend over a Unix socket:
+
+        * **in_flight_{1,8,64}_fps** — every user pipelines its own
+          connection with the given in-flight window
+          (:meth:`AsyncPoseClient.submit_many`).  Window 1 *is* the strict
+          v1 request/reply discipline, measured here as the same-host
+          baseline the acceptance bar compares against.
+        * **batched_submit_fps** — one admin connection sends one
+          ``submit_batch`` per replay tick (all 50 users' frames in one
+          wire frame, one contiguous ndarray block, one ``EnqueueBatch``
+          IPC hop per shard), the cheapest way to feed the cross-user
+          micro-batcher remotely.
+
+        The acceptance bar: the batched path must reach >= 5x the strict
+        per-frame round-trip throughput on the same host.
+        """
+        import asyncio
+        import tempfile
+        from pathlib import Path as _Path
+
+        estimator, streams = _serve_fixture()
+        total = sum(len(stream) for stream in streams.values())
+        config = ServeConfig(max_batch_size=64)
+        payload: dict = {
+            "users": NUM_USERS,
+            "frames": total,
+            "cpu_count": os.cpu_count(),
+        }
+
+        async def run() -> None:
+            socket_path = str(
+                _Path(tempfile.mkdtemp(prefix="fuse-bench-")) / "fuse.sock"
+            )
+            with ProcessShardedPoseServer(estimator, num_shards=2, config=config) as server:
+                frontend = PoseFrontend(server, unix_path=socket_path, max_in_flight=64)
+                await frontend.start()
+                try:
+
+                    async def stream_user(user, frames, window):
+                        async with AsyncPoseClient() as client:
+                            await client.connect_unix(socket_path)
+                            await client.submit_many(
+                                user,
+                                [sample.cloud for sample in frames],
+                                max_in_flight=window,
+                            )
+
+                    for window in (1, 8, 64):
+                        start = time.perf_counter()
+                        await asyncio.gather(
+                            *(
+                                stream_user(user, frames, window)
+                                for user, frames in streams.items()
+                            )
+                        )
+                        payload[f"in_flight_{window}_fps"] = total / (
+                            time.perf_counter() - start
+                        )
+
+                    async with AsyncPoseClient() as client:
+                        await client.connect_unix(socket_path)
+                        ticks = max(len(stream) for stream in streams.values())
+                        start = time.perf_counter()
+                        for tick in range(ticks):
+                            items = [
+                                (user, stream[tick].cloud)
+                                for user, stream in streams.items()
+                                if tick < len(stream)
+                            ]
+                            await client.submit_batch(items)
+                        payload["batched_submit_fps"] = total / (
+                            time.perf_counter() - start
+                        )
+                finally:
+                    await frontend.stop()
+
+        asyncio.run(run())
+        payload["pipelining_speedup_64_vs_1"] = (
+            payload["in_flight_64_fps"] / payload["in_flight_1_fps"]
+        )
+        payload["batched_speedup_vs_strict"] = (
+            payload["batched_submit_fps"] / payload["in_flight_1_fps"]
+        )
+        _record("serving_frontend_pipelined", payload)
+        assert payload["batched_speedup_vs_strict"] >= 5.0, (
+            f"batched submits only {payload['batched_speedup_vs_strict']:.1f}x the "
+            "strict request/reply socket path"
+        )
 
 
 def _as_dataset(frames):

@@ -1,14 +1,19 @@
-"""Drive the ``fuse-serve`` socket front-end end to end over a Unix socket.
+"""Drive the ``fuse-serve`` socket front-end end to end over TCP.
 
-This example is the full network serving story:
+This example is the full network serving story, protocol v2 edition:
 
-1. launch ``fuse-experiment fuse-serve`` in a separate process — it trains a
-   small estimator on synthetic data, starts a
+1. launch ``fuse-experiment fuse-serve`` in a separate process with
+   ``--port 0`` — it trains a small estimator on synthetic data, starts a
    :class:`repro.serve.ProcessShardedPoseServer` (one worker process per
-   shard) and listens on a Unix-domain socket;
-2. connect one :class:`repro.serve.AsyncPoseClient` per simulated user and
-   stream every user's frames concurrently with asyncio — frames travel as
-   length-prefixed msgpack/JSON messages (see ``docs/serving.md``);
+   shard), binds a kernel-assigned TCP port and prints a
+   ``[fuse-serve] ready tcp=HOST:PORT`` line.  Waiting for that line (and
+   connecting with bounded-backoff retries) makes the hand-off race-free —
+   no sleeps, no socket-file polling;
+2. stream every user's frames concurrently over **one pipelined
+   connection per user** (:meth:`AsyncPoseClient.submit_many` with a
+   bounded in-flight window), then replay the same traffic as **batched
+   submits** — 50 frames per wire frame in one contiguous ndarray block —
+   so the server's cross-user micro-batcher sees real batches;
 3. fetch the aggregated serving metrics and the Prometheus exposition over
    the same socket, then ask the front-end to shut down.
 
@@ -20,10 +25,9 @@ Run with::
 from __future__ import annotations
 
 import asyncio
-import os
+import re
 import subprocess
 import sys
-import tempfile
 import time
 
 import numpy as np
@@ -34,17 +38,22 @@ from repro.serve import AsyncPoseClient, user_streams_from_dataset
 NUM_USERS = 8
 FRAMES_PER_USER = 10
 NUM_SHARDS = 2
+MAX_IN_FLIGHT = 8
+
+READY_LINE = re.compile(r"\[fuse-serve\] ready tcp=(?P<host>[^:]+):(?P<port>\d+)")
 
 
-def launch_frontend(socket_path: str) -> subprocess.Popen:
+def launch_frontend() -> subprocess.Popen:
     """Start ``fuse-serve`` exactly as an operator would, as a subprocess."""
     command = [
         sys.executable,
         "-m",
         "repro.experiments.cli",
         "fuse-serve",
-        "--unix",
-        socket_path,
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
         "--shards",
         str(NUM_SHARDS),
         "--train-seconds",
@@ -53,30 +62,31 @@ def launch_frontend(socket_path: str) -> subprocess.Popen:
         "2",
         "--allow-remote-shutdown",
     ]
-    return subprocess.Popen(command)
+    return subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
 
 
-def wait_for_socket(path: str, process: subprocess.Popen, timeout_s: float = 300.0) -> None:
-    """Block until the front-end binds its socket (training happens first)."""
-    deadline = time.monotonic() + timeout_s
-    while time.monotonic() < deadline:
-        if os.path.exists(path):
-            return
-        if process.poll() is not None:
-            raise RuntimeError(f"fuse-serve exited early with code {process.returncode}")
-        time.sleep(0.2)
-    raise TimeoutError(f"front-end did not bind {path} within {timeout_s:.0f}s")
+def wait_for_ready(process: subprocess.Popen) -> tuple[str, int]:
+    """Read stdout until the ready line reports the bound host and port."""
+    assert process.stdout is not None
+    for line in process.stdout:
+        print(line, end="")  # pass training progress through
+        match = READY_LINE.search(line)
+        if match:
+            return match.group("host"), int(match.group("port"))
+    raise RuntimeError(f"fuse-serve exited early with code {process.wait()}")
 
 
-async def stream_user(socket_path: str, user_id: str, frames) -> np.ndarray:
-    """One user's connection: submit every frame in order, collect joints."""
+async def stream_user(host: str, port: int, user_id: str, frames) -> np.ndarray:
+    """One user's pipelined connection: a bounded window of in-flight frames."""
     async with AsyncPoseClient() as client:
-        await client.connect_unix(socket_path)
-        predictions = [await client.submit(user_id, sample.cloud) for sample in frames]
+        await client.connect_tcp(host, port, retries=5)
+        predictions = await client.submit_many(
+            user_id, [sample.cloud for sample in frames], max_in_flight=MAX_IN_FLIGHT
+        )
     return np.stack(predictions)
 
 
-async def drive(socket_path: str) -> None:
+async def drive(host: str, port: int) -> None:
     # The client slices its own copy of the synthetic dataset into user
     # streams — same generator, same seed, so frames are realistic mmWave
     # clouds rather than random noise.
@@ -91,27 +101,46 @@ async def drive(socket_path: str) -> None:
     streams = user_streams_from_dataset(
         dataset, num_users=NUM_USERS, frames_per_user=FRAMES_PER_USER
     )
+    total = sum(len(frames) for frames in streams.values())
 
     async with AsyncPoseClient() as admin:
-        await admin.connect_unix(socket_path)
+        await admin.connect_tcp(host, port, retries=5)
         hello = await admin.hello()
-        print(f"Connected: protocol v{hello['protocol']}, codecs {hello['codecs']}, "
-              f"{hello['shards']} shard(s)")
+        print(
+            f"Connected: protocol v{hello['protocol']}, codecs {hello['codecs']}, "
+            f"{hello['shards']} shard(s), window {hello['max_in_flight']}"
+        )
 
         start = time.perf_counter()
         results = await asyncio.gather(
-            *(stream_user(socket_path, user, frames) for user, frames in streams.items())
+            *(stream_user(host, port, user, frames) for user, frames in streams.items())
         )
         wall = time.perf_counter() - start
-        total = sum(len(frames) for frames in streams.values())
-        print(f"\nServed {total} frames from {len(streams)} concurrent users "
-              f"in {wall:.2f}s ({total / wall:,.0f} frames/s over the socket)")
+        print(
+            f"\nPipelined: {total} frames from {len(streams)} users, one "
+            f"connection each ({MAX_IN_FLIGHT} in flight) in {wall:.2f}s "
+            f"({total / wall:,.0f} frames/s over the socket)"
+        )
 
         errors = []
         for (user, frames), predicted in zip(streams.items(), results):
             labels = np.stack([sample.joints for sample in frames])
             errors.append(np.abs(predicted - labels).mean())
         print(f"Mean absolute joint error over the wire: {np.mean(errors) * 100:.2f} cm")
+
+        # The same traffic again, now as one submit_batch per tick: every
+        # wire frame carries one frame per user in a contiguous ndarray
+        # block, so the micro-batcher coalesces the whole cohort at once.
+        start = time.perf_counter()
+        for tick in range(FRAMES_PER_USER):
+            await admin.submit_batch(
+                [(user, streams[user][tick].cloud) for user in streams]
+            )
+        wall = time.perf_counter() - start
+        print(
+            f"Batched submits: {total} frames in {FRAMES_PER_USER} wire frames "
+            f"in {wall:.2f}s ({total / wall:,.0f} frames/s over the socket)"
+        )
 
         metrics = await admin.metrics()
         print("\nAggregated serving metrics (via the socket):")
@@ -128,13 +157,14 @@ async def drive(socket_path: str) -> None:
 
 
 def main() -> None:
-    socket_dir = tempfile.mkdtemp(prefix="fuse-serve-")
-    socket_path = os.path.join(socket_dir, "fuse.sock")
-    process = launch_frontend(socket_path)
+    process = launch_frontend()
     try:
-        wait_for_socket(socket_path, process)
-        asyncio.run(drive(socket_path))
-        process.wait(timeout=60)
+        host, port = wait_for_ready(process)
+        asyncio.run(drive(host, port))
+        # Drain the pipe and wait, with a bound: a wedged server must hit
+        # the terminate path in the finally block, not block forever here.
+        remaining, _ = process.communicate(timeout=60)
+        print(remaining, end="")
     finally:
         if process.poll() is None:
             process.terminate()

@@ -10,6 +10,7 @@ Installed as the ``fuse-experiment`` console script::
 
     fuse-experiment fuse-serve --unix /tmp/fuse.sock --shards 4
     fuse-experiment fuse-serve --host 127.0.0.1 --port 8707 --backend inproc
+    fuse-experiment fuse-serve --host 127.0.0.1 --port 0 --max-in-flight 64
 
 ``--workers`` threads a multi-process :class:`repro.runtime.ExecutionPlan`
 through the selected scale: dataset generation and bulk feature building
@@ -20,7 +21,12 @@ seeding), so reproductions only get faster, never different.
 trains a small estimator on synthetic data, stands up a
 :class:`repro.serve.ProcessShardedPoseServer` — one worker process per
 serving shard — and exposes it through the asyncio socket front-end
-(:class:`repro.serve.PoseFrontend`).  The wire protocol is specified in
+(:class:`repro.serve.PoseFrontend`), speaking the pipelined protocol v2 by
+default (``--protocol 1`` restores strict request/reply;
+``--max-in-flight`` bounds per-connection pipelining).  Once the socket is
+bound a ``[fuse-serve] ready ...`` line reports the actual address — with
+``--port 0`` that is the kernel-assigned port, so drivers wait for the
+line instead of sleeping.  The wire protocol is specified in
 ``docs/serving.md``; ``examples/serving_frontend.py`` drives it end to end.
 """
 
@@ -96,6 +102,23 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     scheduling.add_argument("--max-delay-ms", type=float, default=5.0)
     scheduling.add_argument("--max-queue-depth", type=int, default=256)
 
+    wire = parser.add_argument_group("wire protocol")
+    wire.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=32,
+        help="pipelined requests served concurrently per connection "
+        "(protocol v2; default: 32)",
+    )
+    wire.add_argument(
+        "--protocol",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help="highest wire-protocol generation to speak (1 = strict "
+        "request/reply, 2 = pipelined/streaming/batched; default: 2)",
+    )
+
     model = parser.add_argument_group("estimator bootstrap")
     model.add_argument(
         "--train-seconds",
@@ -124,6 +147,8 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     if args.shards < 1:
         return _fail("--shards must be >= 1")
+    if args.max_in_flight < 1:
+        return _fail("--max-in-flight must be >= 1")
     if args.unix is not None and args.host is not None:
         return _fail("--unix and --host are mutually exclusive")
 
@@ -160,14 +185,25 @@ def _run_serve(args: argparse.Namespace) -> int:
             host=None if args.unix is not None else (args.host or "127.0.0.1"),
             port=args.port,
             unix_path=args.unix,
+            max_in_flight=args.max_in_flight,
+            protocol=args.protocol,
             allow_remote_shutdown=args.allow_remote_shutdown,
         )
         await frontend.start()
         where = frontend.address
         print(
-            f"[fuse-serve] {args.shards} {args.backend} shard(s) listening on {where}",
+            f"[fuse-serve] {args.shards} {args.backend} shard(s) listening on {where} "
+            f"(protocol v{args.protocol}, max in-flight {args.max_in_flight})",
             flush=True,
         )
+        # A parseable readiness line carrying the *bound* address — with
+        # ``--port 0`` the kernel picks the port, so e2e drivers wait for
+        # this line instead of sleeping or polling (see
+        # examples/serving_frontend.py).
+        if args.unix is not None:
+            print(f"[fuse-serve] ready unix={where}", flush=True)
+        else:
+            print(f"[fuse-serve] ready tcp={where[0]}:{where[1]}", flush=True)
         try:
             await frontend.serve_until_closed()
         finally:

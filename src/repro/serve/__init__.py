@@ -33,7 +33,11 @@ Pieces, inside-out:
 * :class:`PoseFrontend` / :class:`AsyncPoseClient`
   (:mod:`repro.serve.frontend`) — the asyncio socket layer speaking the
   length-prefixed msgpack/JSON wire protocol of
-  :mod:`repro.serve.transport`;
+  :mod:`repro.serve.transport`, v2: pipelined multi-in-flight connections
+  with out-of-order reply correlation, a streaming ``enqueue``/push path
+  that feeds the cross-user micro-batcher from remote traffic, and
+  batched submits carrying N frames per wire frame in one contiguous
+  zero-copy ndarray block;
 * the replay driver (:func:`replay_users`, :func:`user_streams_from_dataset`)
   simulating N concurrent users from the synthetic dataset.
 """

@@ -2,27 +2,44 @@
 
 :class:`PoseFrontend` decouples request ingress from shard compute.  It
 accepts length-prefixed msgpack/JSON frames (:mod:`repro.serve.transport`)
-over TCP or a Unix socket, turns each ``submit`` into a call on the backend
-server — typically a :class:`repro.serve.ProcessShardedPoseServer`, whose
-:func:`repro.runtime.shard_for` placement routes the user to its shard
-process — and streams the prediction back on the same connection.
+over TCP or a Unix socket, routes each request to the backend server —
+typically a :class:`repro.serve.ProcessShardedPoseServer`, whose
+:func:`repro.runtime.shard_for` placement sends the user to its shard
+process — and streams results back on the same connection.
 
-Concurrency model:
+Concurrency model (protocol v2, the default):
 
 * the asyncio event loop owns every socket: reads, frame parsing and writes
   never block on model compute;
-* backend calls run on a thread pool sized to the backend's shard count, so
-  requests for *different* shards execute concurrently while each shard's
-  strict one-in-flight transport discipline keeps per-shard execution
-  serialized (and therefore deterministic);
-* each connection is strict request/reply — a client wanting pipeline
-  parallelism opens one connection per stream, as the example client does.
+* a connection is **pipelined**: every request carrying an ``id`` is
+  dispatched as its own task (bounded by ``max_in_flight`` per connection)
+  and replies carry the request's ``id`` so they may return out of order —
+  one client can keep several shards busy through one socket;
+* per-shard **FIFO ordering locks** keep each shard's submissions in
+  arrival order (queue positions are claimed synchronously at dispatch
+  time — :class:`_FifoShardLock`), so a user's frame order — what
+  streaming fusion depends on — survives pipelining while different
+  shards still execute concurrently;
+* the streaming ``enqueue`` path returns a ``ticket`` immediately and the
+  completed prediction is **pushed** later, so the cross-user micro-batcher
+  finally forms batches from remote traffic instead of being defeated by
+  per-frame round-trips; a background poller applies the server's latency
+  deadline while tickets are outstanding;
+* ``submit_batch`` carries N frames in one frame (contiguous
+  :class:`repro.serve.transport.ArrayBlock` payload) and enqueues them with
+  one backend batch call per shard — the cheapest way to feed the batcher
+  over a socket.
+
+Requests without an ``id`` keep the strict v1 request/reply discipline:
+they are served inline, in order, and answered without an ``id`` — a v1
+client on a v2 server downgrades gracefully.
 
 Backpressure surfaces exactly like in-process serving: a full shard queue
 drops or rejects per :class:`repro.serve.ServeConfig`, and the client sees
-either a ``prediction`` or an ``error`` frame per submission.  Framing
-violations (truncated or oversized frames, unknown codecs) close the
-connection after an ``error`` frame — the stream cannot be resynchronized.
+a ``prediction``, a pushed resolution, or an ``error`` frame per request.
+Framing violations (truncated or oversized frames, unknown codecs) close
+the connection after a best-effort ``error`` frame — the stream cannot be
+resynchronized.
 
 :class:`AsyncPoseClient` is the matching client used by the examples, the
 tests and the benchmark harness.
@@ -34,8 +51,9 @@ import asyncio
 import contextlib
 import os
 import stat
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -46,6 +64,9 @@ from .transport import (
     CODEC_JSON,
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
+    V2_MESSAGE_TYPES,
+    ArrayBlock,
     WireError,
     available_codecs,
     read_message,
@@ -54,9 +75,98 @@ from .transport import (
 
 __all__ = ["AsyncPoseClient", "PoseFrontend", "ServerClosing"]
 
+#: default bound on concurrently dispatched requests per connection
+DEFAULT_MAX_IN_FLIGHT = 32
+
 
 class ServerClosing(RuntimeError):
     """The front-end refused a request because it is shutting down."""
+
+
+class _FifoShardLock:
+    """A FIFO lock whose queue position is taken *synchronously*.
+
+    ``asyncio.Lock`` wakes waiters first-in first-out, but a task only
+    joins the queue when it *awaits* ``acquire`` — a dispatch path with an
+    await before the acquire (``submit_batch`` fans out one task per
+    shard) would lose its arrival-order slot to a later request that
+    reaches its lock without suspending.  :meth:`claim` registers the
+    position at dispatch time, synchronously; the holder awaits the claim
+    when it is ready to enqueue.  Per-shard submission order therefore
+    always equals request arrival order.
+    """
+
+    __slots__ = ("_locked", "_waiters")
+
+    def __init__(self) -> None:
+        self._locked = False
+        self._waiters: "deque[asyncio.Future]" = deque()
+
+    def claim(self) -> asyncio.Future:
+        """Take the next queue position now; await the result to hold it."""
+        claim = asyncio.get_running_loop().create_future()
+        if self._locked or self._waiters:
+            self._waiters.append(claim)
+        else:
+            self._locked = True
+            claim.set_result(None)
+        return claim
+
+    async def acquire(self, claim: asyncio.Future) -> None:
+        try:
+            await claim
+        except asyncio.CancelledError:
+            if claim.done() and not claim.cancelled():
+                self.release()  # granted concurrently with the cancellation
+            else:
+                with contextlib.suppress(ValueError):
+                    self._waiters.remove(claim)
+            raise
+
+    def release(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():  # skip claims their tasks abandoned
+                waiter.set_result(None)
+                return
+        self._locked = False
+
+    @contextlib.asynccontextmanager
+    async def held(self, claim: asyncio.Future):
+        await self.acquire(claim)
+        try:
+            yield
+        finally:
+            self.release()
+
+
+class _Connection:
+    """Per-connection pipelining state, owned by the event loop."""
+
+    __slots__ = ("reader", "writer", "codec", "outbox", "window", "inflight", "tickets", "tasks")
+
+    def __init__(self, reader, writer, max_in_flight: int) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.codec = CODEC_JSON
+        #: replies and pushes serialized onto the socket by the write
+        #: loop, as ``(message, codec, on_written)`` triples (``None`` is
+        #: the shutdown sentinel): every reply is encoded in the codec of
+        #: *its own* request, and ``on_written`` releases the dispatch
+        #: window slot
+        self.outbox: "asyncio.Queue[Optional[tuple]]" = asyncio.Queue()
+        #: bounds requests between read and *written reply*: acquired in
+        #: the read loop (a saturated window stops reading) and released
+        #: by the write loop after the reply hits the socket, so a client
+        #: that never reads cannot grow the reply queue without limit —
+        #: its socket buffer fills, writes stall, the window stays full
+        #: and reads stop.
+        self.window = asyncio.Semaphore(max_in_flight)
+        #: ids currently being served (duplicate detection)
+        self.inflight: Set = set()
+        #: streaming ledger: ticket id -> (user_id, pending handle, codec)
+        self.tickets: "OrderedDict" = OrderedDict()
+        self.tasks: Set[asyncio.Task] = set()
 
 
 class PoseFrontend:
@@ -67,8 +177,9 @@ class PoseFrontend:
     server:
         The backend: a :class:`repro.serve.ProcessShardedPoseServer` for a
         process-per-shard deployment, or any object with ``submit`` /
-        ``metrics_snapshot`` / ``to_prometheus`` (the in-process servers
-        work too, serialized through a single executor thread).
+        ``enqueue`` / ``poll`` / ``flush`` / ``metrics_snapshot`` /
+        ``to_prometheus`` (the in-process servers work too, serialized
+        through a single executor thread).
     host / port:
         TCP listening address, or
     unix_path:
@@ -83,6 +194,20 @@ class PoseFrontend:
         servers are single-threaded by design and must never see
         concurrent calls.  More threads than shards buys nothing: each
         shard serializes its own commands.
+    max_in_flight:
+        Bound on concurrently dispatched requests per connection
+        (protocol v2 pipelining).  When a connection's window is full the
+        front-end stops reading from it, so the socket's own buffers are
+        the only queue ahead of the dispatch layer.
+    protocol:
+        Highest protocol generation to speak (default 2).  ``protocol=1``
+        restores the strict one-request-in-flight behaviour: request ids
+        are ignored and the v2 message types are rejected.
+    poll_interval_s:
+        Cadence of the background poller that applies the backend's
+        micro-batch latency deadline while streaming tickets are
+        outstanding.  Defaults to the backend's ``config.max_delay_s``
+        (5 ms for a default :class:`repro.serve.ServeConfig`).
     allow_remote_shutdown:
         Honour the ``shutdown`` message type (handy for examples and tests;
         leave off for real deployments).
@@ -96,16 +221,31 @@ class PoseFrontend:
         unix_path: Optional[str] = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         parallelism: Optional[int] = None,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        protocol: int = PROTOCOL_VERSION,
+        poll_interval_s: Optional[float] = None,
         allow_remote_shutdown: bool = False,
     ) -> None:
         if (host is None) == (unix_path is None):
             raise ValueError("provide exactly one of host / unix_path")
+        if protocol not in SUPPORTED_PROTOCOLS:
+            raise ValueError(f"protocol must be one of {SUPPORTED_PROTOCOLS}")
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
         self.server = server
         self.host = host
         self.port = port
         self.unix_path = unix_path
         self.max_frame_bytes = max_frame_bytes
+        self.max_in_flight = max_in_flight
+        self.protocol = protocol
         self.allow_remote_shutdown = allow_remote_shutdown
+        if poll_interval_s is None:
+            config = getattr(server, "config", None)
+            poll_interval_s = getattr(config, "max_delay_s", None) or 0.005
+        if poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        self.poll_interval_s = poll_interval_s
         if parallelism is None:
             if getattr(server, "parallel_safe", False):
                 parallelism = int(getattr(server, "num_shards", 1) or 1)
@@ -116,9 +256,13 @@ class PoseFrontend:
         self.parallelism = parallelism
         self._executor: Optional[ThreadPoolExecutor] = None
         self._listener: Optional[asyncio.AbstractServer] = None
+        self._poller: Optional[asyncio.Task] = None
         self._closing = asyncio.Event()
+        self._connections: Set[_Connection] = set()
+        self._shard_locks: Dict[int, _FifoShardLock] = {}
         self.connections_served = 0
         self.requests_served = 0
+        self.predictions_pushed = 0
         self.protocol_errors = 0
 
     # ------------------------------------------------------------------
@@ -154,6 +298,8 @@ class PoseFrontend:
                 self._handle_connection, host=self.host, port=self.port
             )
             self.port = self._listener.sockets[0].getsockname()[1]
+        if self.protocol >= 2:
+            self._poller = asyncio.ensure_future(self._poll_loop())
         return self
 
     async def stop(self) -> None:
@@ -163,6 +309,11 @@ class PoseFrontend:
         (the CLI closes it after the front-end stops).
         """
         self._closing.set()
+        if self._poller is not None:
+            self._poller.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._poller
+            self._poller = None
         if self._listener is not None:
             self._listener.close()
             await self._listener.wait_closed()
@@ -170,6 +321,11 @@ class PoseFrontend:
             if self.unix_path is not None and stat.S_ISSOCK(_path_mode(self.unix_path)):
                 with contextlib.suppress(OSError):
                     os.unlink(self.unix_path)
+        # Hang up on lingering connections: their read loops observe EOF and
+        # tear down cleanly instead of being cancelled mid-read when the
+        # event loop exits.
+        for conn in list(self._connections):
+            conn.writer.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -186,58 +342,217 @@ class PoseFrontend:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_served += 1
-        codec = CODEC_JSON
+        conn = _Connection(reader, writer, self.max_in_flight)
+        self._connections.add(conn)
+        write_loop = asyncio.ensure_future(self._write_loop(conn))
         try:
             while True:
                 try:
                     framed = await read_message(reader, self.max_frame_bytes)
+                except asyncio.CancelledError:
+                    break  # event-loop shutdown mid-read: clean up as on EOF
+                except (ConnectionError, OSError):
+                    break  # peer reset underneath us
                 except WireError as error:
                     # The stream cannot be resynchronized after a framing
                     # fault: report and hang up.
                     self.protocol_errors += 1
-                    await self._best_effort_error(writer, codec, error)
+                    conn.outbox.put_nowait((_error_message(error), conn.codec, None))
                     break
                 if framed is None:
                     break  # clean EOF between frames
                 message, codec = framed
-                try:
-                    reply = await self._dispatch(message)
-                except (FrameDropped, QueueFull, ServerClosing) as error:
-                    reply = _error_message(error)
-                except Exception as error:  # backend fault: report, keep serving
-                    self.protocol_errors += 1
-                    reply = _error_message(error)
-                await write_message(writer, reply, codec, self.max_frame_bytes)
-                self.requests_served += 1
-                if reply["type"] == "goodbye":
-                    self._closing.set()
-                    break
+                conn.codec = codec  # fallback for unparseable-frame errors
+                request_id = message.get("id") if self.protocol >= 2 else None
+                if request_id is None:
+                    # Strict v1 discipline: serve inline, reply without id.
+                    # Barrier behind in-flight pipelined requests first —
+                    # this inline path would otherwise reach its shard lock
+                    # before an earlier request's task has even started,
+                    # overtaking it in the enqueue order.
+                    if conn.tasks:
+                        await asyncio.gather(*list(conn.tasks), return_exceptions=True)
+                    reply = await self._serve(conn, message, None, codec)
+                    conn.outbox.put_nowait((reply, codec, None))
+                    self.requests_served += 1
+                    if reply["type"] == "goodbye":
+                        self._closing.set()
+                        break
+                    continue
+                if not isinstance(request_id, (int, str)):
+                    conn.outbox.put_nowait(
+                        (
+                            _error_message(
+                                transport.ProtocolError("request id must be an int or str")
+                            ),
+                            codec,
+                            None,
+                        )
+                    )
+                    continue
+                if request_id in conn.inflight:
+                    conn.outbox.put_nowait(
+                        (
+                            _error_message(
+                                transport.ProtocolError(
+                                    f"request id {request_id!r} is already in flight"
+                                ),
+                                request_id=request_id,
+                            ),
+                            codec,
+                            None,
+                        )
+                    )
+                    continue
+                # Acquire the window in the read loop: a full window stops
+                # reads (backpressure) and guarantees dispatch tasks are
+                # created — and therefore hit the shard locks — in arrival
+                # order.
+                await conn.window.acquire()
+                conn.inflight.add(request_id)
+                task = asyncio.ensure_future(
+                    self._serve_pipelined(conn, message, request_id, codec)
+                )
+                conn.tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
         finally:
+            # Half-close support: finish in-flight requests and flush their
+            # replies before hanging up.
+            if conn.tasks:
+                await asyncio.gather(*list(conn.tasks), return_exceptions=True)
+            conn.outbox.put_nowait(None)
+            # Suppress everything: an unexpected write-loop fault must not
+            # skip the connection teardown below.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await write_loop
+            self._connections.discard(conn)
+            conn.tickets.clear()
             writer.close()
             # Suppress CancelledError too: stop() tears connections down
             # mid-wait and the close has already been issued above.
             with contextlib.suppress(ConnectionError, BrokenPipeError, asyncio.CancelledError):
                 await writer.wait_closed()
 
-    async def _best_effort_error(self, writer, codec, error) -> None:
-        try:
-            await write_message(writer, _error_message(error), codec, self.max_frame_bytes)
-        except (ConnectionError, BrokenPipeError, WireError):
-            pass
+    async def _write_loop(self, conn: _Connection) -> None:
+        """Serialize every reply and push of one connection onto its socket."""
+        while True:
+            item = await conn.outbox.get()
+            if item is None:
+                return
+            message, codec, on_written = item
+            try:
+                await write_message(conn.writer, message, codec, self.max_frame_bytes)
+            except WireError as error:
+                # The reply itself cannot be framed (e.g. it encodes past
+                # max_frame_bytes) but the socket is healthy: substitute a
+                # correlated error frame so the client gets an exception
+                # instead of awaiting a reply that never comes.
+                self.protocol_errors += 1
+                fallback = _error_message(error)
+                for key in ("id", "ticket"):
+                    if key in message:
+                        fallback[key] = message[key]
+                try:
+                    await write_message(conn.writer, fallback, codec, self.max_frame_bytes)
+                except (OSError, WireError):
+                    conn.writer.close()  # give the read loop its EOF
+                    if on_written is not None:
+                        on_written()
+                    await self._drain_outbox(conn)
+                    return
+                if on_written is not None:
+                    on_written()
+            except OSError:
+                # Connection is gone — any socket-level fault, not just the
+                # ConnectionError family (a NAT-vanished peer surfaces as
+                # ETIMEDOUT): close, then drain the outbox — still
+                # releasing window slots so the read loop never wedges on a
+                # window that cannot refill — and let the read side
+                # observe EOF and tear down.
+                conn.writer.close()
+                if on_written is not None:
+                    on_written()
+                await self._drain_outbox(conn)
+                return
+            else:
+                if on_written is not None:
+                    on_written()
 
-    async def _dispatch(self, message: dict) -> dict:
+    @staticmethod
+    async def _drain_outbox(conn: _Connection) -> None:
+        """Consume the outbox of a dead connection, freeing window slots."""
+        while True:
+            leftover = await conn.outbox.get()
+            if leftover is None:
+                return
+            if leftover[2] is not None:
+                leftover[2]()
+
+    async def _serve_pipelined(
+        self, conn: _Connection, message: dict, request_id, codec: str
+    ) -> None:
+        try:
+            reply = await self._serve(conn, message, request_id, codec)
+        except BaseException:
+            # Cancellation (frontend teardown): free the slot so the read
+            # loop never wedges on a window that cannot refill.
+            conn.inflight.discard(request_id)
+            conn.window.release()
+            raise
+        conn.inflight.discard(request_id)
+        # The slot frees when the reply is *written*, not when it is
+        # queued: that ties the dispatch window to socket backpressure.
+        conn.outbox.put_nowait(
+            (dict(reply, id=reply.get("id", request_id)), codec, conn.window.release)
+        )
+        self.requests_served += 1
+        if reply["type"] == "goodbye":
+            self._closing.set()
+
+    async def _serve(self, conn: _Connection, message: dict, request_id, codec: str) -> dict:
+        try:
+            reply = await self._dispatch(conn, message, request_id, codec)
+        except (FrameDropped, QueueFull, ServerClosing) as error:
+            reply = _error_message(error, request_id=request_id)
+        except Exception as error:  # backend fault: report, keep serving
+            self.protocol_errors += 1
+            reply = _error_message(error, request_id=request_id)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, conn: _Connection, message: dict, request_id, codec: str) -> dict:
         kind = message["type"]
+        if self.protocol < 2 and kind in V2_MESSAGE_TYPES:
+            raise transport.ProtocolError(
+                f"message type {kind!r} requires protocol v2, front-end speaks v1"
+            )
         if kind == "hello":
             return {
                 "type": "hello",
-                "protocol": PROTOCOL_VERSION,
+                "protocol": self.protocol,
+                "protocols": [v for v in SUPPORTED_PROTOCOLS if v <= self.protocol],
                 "codecs": list(available_codecs()),
                 "shards": int(getattr(self.server, "num_shards", 1) or 1),
+                "max_in_flight": self.max_in_flight,
             }
         if kind == "ping":
             return {"type": "pong"}
         if kind == "submit":
             return await self._submit(message)
+        if kind == "enqueue":
+            return await self._enqueue(conn, message, request_id, codec)
+        if kind == "poll":
+            produced = await self._run_blocking(self.server.poll)
+            self._sweep()
+            return {"type": "flushed", "produced": int(produced)}
+        if kind == "flush":
+            produced = await self._run_blocking(self.server.flush)
+            self._sweep()
+            return {"type": "flushed", "produced": int(produced)}
+        if kind == "submit_batch":
+            return await self._submit_batch(message)
         if kind == "metrics":
             snapshot = await self._run_blocking(self.server.metrics_snapshot)
             return {"type": "metrics_report", "metrics": snapshot}
@@ -250,21 +565,41 @@ class PoseFrontend:
             return {"type": "goodbye"}
         raise transport.ProtocolError(f"front-end cannot serve message type {kind!r}")
 
+    @staticmethod
+    def _parse_frame(frame: dict) -> PointCloudFrame:
+        points = np.asarray(frame["points"], dtype=float)
+        timestamp = float(frame.get("timestamp", 0.0))
+        frame_index = int(frame.get("frame_index", 0))
+        return PointCloudFrame(points, timestamp=timestamp, frame_index=frame_index)
+
+    def _shard_lock(self, user_id: Hashable) -> _FifoShardLock:
+        """The FIFO ordering lock of the user's shard: per-shard submission
+        order equals request arrival order even under pipelining (claims
+        are taken synchronously at dispatch time)."""
+        shard_index = getattr(self.server, "shard_index", None)
+        index = shard_index(user_id) if callable(shard_index) else 0
+        return self._shard_lock_by_index(index)
+
+    def _shard_lock_by_index(self, index: int) -> _FifoShardLock:
+        lock = self._shard_locks.get(index)
+        if lock is None:
+            lock = self._shard_locks[index] = _FifoShardLock()
+        return lock
+
     async def _submit(self, message: dict) -> dict:
         if self._closing.is_set():
             raise ServerClosing("front-end is shutting down")
         try:
             user = message["user"]
-            frame = message["frame"]
-            points = np.asarray(frame["points"], dtype=float)
-            timestamp = float(frame.get("timestamp", 0.0))
-            frame_index = int(frame.get("frame_index", 0))
+            cloud = self._parse_frame(message["frame"])
         except (KeyError, TypeError, ValueError) as error:
             raise transport.ProtocolError(f"malformed submit message: {error}") from error
-        cloud = PointCloudFrame(points, timestamp=timestamp, frame_index=frame_index)
         loop = asyncio.get_running_loop()
         start = loop.time()
-        joints = await self._run_blocking(self.server.submit, user, cloud)
+        lock = self._shard_lock(user)
+        async with lock.held(lock.claim()):
+            joints = await self._run_blocking(self.server.submit, user, cloud)
+        self._sweep()
         return {
             "type": "prediction",
             "user": user,
@@ -272,14 +607,222 @@ class PoseFrontend:
             "latency_ms": (loop.time() - start) * 1000.0,
         }
 
+    async def _enqueue(self, conn: _Connection, message: dict, request_id, codec: str) -> dict:
+        if self._closing.is_set():
+            raise ServerClosing("front-end is shutting down")
+        if request_id is None:
+            raise transport.ProtocolError(
+                "enqueue requires a request id (it doubles as the ticket)"
+            )
+        if request_id in conn.tickets:
+            raise transport.ProtocolError(
+                f"ticket {request_id!r} is still outstanding on this connection"
+            )
+        try:
+            user = message["user"]
+            cloud = self._parse_frame(message["frame"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise transport.ProtocolError(f"malformed enqueue message: {error}") from error
+        lock = self._shard_lock(user)
+        async with lock.held(lock.claim()):
+            handle = await self._run_blocking(self.server.enqueue, user, cloud)
+        # Register before sweeping: this very enqueue may have completed a
+        # micro-batch, in which case its own resolution is pushed right away.
+        conn.tickets[request_id] = (user, handle, codec)
+        self._sweep()
+        return {"type": "ticket", "user": user, "ticket": request_id}
+
+    async def _submit_batch(self, message: dict) -> dict:
+        if self._closing.is_set():
+            raise ServerClosing("front-end is shutting down")
+        try:
+            users = list(message["users"])
+            frames = message["frames"]
+            points = list(frames["points"])
+            timestamps = list(frames.get("timestamps") or [0.0] * len(points))
+            frame_indices = list(frames.get("frame_indices") or [0] * len(points))
+        except (KeyError, TypeError, ValueError) as error:
+            raise transport.ProtocolError(
+                f"malformed submit_batch message: {error}"
+            ) from error
+        if not users or not (len(users) == len(points) == len(timestamps) == len(frame_indices)):
+            raise transport.ProtocolError(
+                "submit_batch requires equally sized, non-empty users/frames lists"
+            )
+        try:
+            items: List[Tuple[Hashable, PointCloudFrame]] = [
+                (
+                    user,
+                    PointCloudFrame(
+                        np.asarray(cloud, dtype=float),
+                        timestamp=float(timestamp),
+                        frame_index=int(frame_index),
+                    ),
+                )
+                for user, cloud, timestamp, frame_index in zip(
+                    users, points, timestamps, frame_indices
+                )
+            ]
+        except (TypeError, ValueError) as error:
+            raise transport.ProtocolError(
+                f"malformed submit_batch frame: {error}"
+            ) from error
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+
+        by_shard: Dict[int, List[int]] = {}
+        shard_index = getattr(self.server, "shard_index", None)
+        for position, (user, _) in enumerate(items):
+            index = shard_index(user) if callable(shard_index) else 0
+            by_shard.setdefault(index, []).append(position)
+
+        handles: List = [None] * len(items)
+
+        # Claim every involved shard's queue position NOW, synchronously —
+        # the fan-out below runs as separate tasks, and a later request
+        # that reaches its shard lock without suspending must not overtake
+        # this batch's frames on any shard.
+        claims = {
+            index: self._shard_lock_by_index(index).claim() for index in sorted(by_shard)
+        }
+
+        async def enqueue_shard(index: int, positions: List[int]) -> None:
+            shard_items = [items[p] for p in positions]
+            async with self._shard_lock_by_index(index).held(claims[index]):
+                got = await self._run_blocking(self._enqueue_many_blocking, shard_items)
+            for position, handle in zip(positions, got):
+                handles[position] = handle
+
+        # Settle every shard before surfacing a failure: a sibling shard's
+        # fault must not orphan half-registered handles mid-flight.
+        outcomes = await asyncio.gather(
+            *(enqueue_shard(index, positions) for index, positions in sorted(by_shard.items())),
+            return_exceptions=True,
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+
+        async def resolve_shard(positions: List[int]) -> List:
+            return await self._run_blocking(
+                self._resolve_handles_blocking, [handles[p] for p in positions]
+            )
+
+        resolutions: List = [None] * len(items)
+        per_shard = await asyncio.gather(
+            *(resolve_shard(positions) for _, positions in sorted(by_shard.items()))
+        )
+        for (_, positions), resolved in zip(sorted(by_shard.items()), per_shard):
+            for position, value in zip(positions, resolved):
+                resolutions[position] = value
+        self._sweep()
+
+        results: List[dict] = []
+        joints: List[np.ndarray] = []
+        for user, value in zip(users, resolutions):
+            if isinstance(value, Exception):
+                results.append(
+                    {"ok": False, "user": user, "error": type(value).__name__, "detail": str(value)}
+                )
+            else:
+                results.append({"ok": True, "user": user})
+                joints.append(np.asarray(value))
+        return {
+            "type": "predictions",
+            "results": results,
+            "joints": ArrayBlock(joints),
+            "latency_ms": (loop.time() - start) * 1000.0,
+        }
+
+    def _enqueue_many_blocking(self, items: Sequence[Tuple[Hashable, PointCloudFrame]]):
+        enqueue_many = getattr(self.server, "enqueue_many", None)
+        if enqueue_many is not None:
+            return enqueue_many(items)
+        from .server import enqueue_each
+
+        return enqueue_each(self.server, items)
+
+    @staticmethod
+    def _resolve_handles_blocking(handles: Sequence) -> List:
+        resolved: List = []
+        for handle in handles:
+            if isinstance(handle, Exception):  # rejected at enqueue time
+                resolved.append(handle)
+                continue
+            try:
+                resolved.append(handle.result(flush=True))
+            except (FrameDropped, QueueFull) as error:
+                resolved.append(error)
+        return resolved
+
+    # ------------------------------------------------------------------
+    # Streaming resolution
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        """Push every resolved or dropped ticket of every connection.
+
+        Runs on the event loop after any backend call that can resolve
+        handles (a flush inside an enqueue, an explicit poll/flush, a
+        submit's co-rider batch) — never blocks: ``result(flush=False)`` on
+        a done handle is a plain attribute read.
+        """
+        for conn in self._connections:
+            if not conn.tickets:
+                continue
+            completed = [
+                ticket
+                for ticket, (_, handle, _codec) in conn.tickets.items()
+                if handle.done or handle.dropped
+            ]
+            for ticket in completed:
+                user, handle, codec = conn.tickets.pop(ticket)
+                if handle.dropped:
+                    push = _error_message(
+                        FrameDropped(
+                            f"request {ticket!r} of user {user!r} was dropped "
+                            "(backpressure or shard restart)"
+                        )
+                    )
+                    push["ticket"] = ticket
+                else:
+                    push = {
+                        "type": "prediction",
+                        "user": user,
+                        "ticket": ticket,
+                        "joints": np.asarray(handle.result(flush=False)),
+                        "pushed": True,
+                    }
+                self.predictions_pushed += 1
+                conn.outbox.put_nowait((push, codec, None))
+
+    async def _poll_loop(self) -> None:
+        """Apply the backend's latency deadline while tickets are pending."""
+        while not self._closing.is_set():
+            await asyncio.sleep(self.poll_interval_s)
+            if not any(conn.tickets for conn in self._connections):
+                continue
+            try:
+                await self._run_blocking(self.server.poll)
+            except ServerClosing:
+                return
+            except Exception:
+                pass  # backend hiccup: the next tick retries
+            # Sweep even after a failed poll: a crashed shard records its
+            # drops in the handles before the poll raises, and those drop
+            # notifications must still reach the waiting clients.
+            self._sweep()
+
     async def _run_blocking(self, fn, *args):
         if self._executor is None:
             raise ServerClosing("front-end is not running")
         return await asyncio.get_running_loop().run_in_executor(self._executor, fn, *args)
 
 
-def _error_message(error: Exception) -> dict:
-    return {"type": "error", "error": type(error).__name__, "detail": str(error)}
+def _error_message(error: Exception, request_id=None) -> dict:
+    message = {"type": "error", "error": type(error).__name__, "detail": str(error)}
+    if request_id is not None:
+        message["id"] = request_id
+    return message
 
 
 def _path_mode(path: str) -> int:
@@ -293,10 +836,24 @@ def _path_mode(path: str) -> int:
 class AsyncPoseClient:
     """Asyncio client of a :class:`PoseFrontend` socket.
 
-    One client speaks strict request/reply over one connection; open several
-    clients for concurrent streams (each user stream in the example owns
-    one).  ``codec`` selects msgpack when both sides have it; the server
-    always answers in the codec of the request.
+    Protocol v2: every request carries a connection-unique ``id``, a reader
+    task demultiplexes replies by ``id`` (out-of-order safe) and pushed
+    ``prediction`` frames by ``ticket``, so one connection can hold many
+    requests in flight:
+
+    * :meth:`submit_many` pipelines ``submit`` requests under a bounded
+      in-flight window;
+    * :meth:`stream` rides the ``enqueue``/``ticket`` path — frames join
+      the server's cross-user micro-batches and resolutions are pushed
+      back as they complete;
+    * :meth:`submit_batch` ships N frames in one contiguous
+      :class:`repro.serve.transport.ArrayBlock` frame.
+
+    Replies without an ``id`` (a v1 server) resolve the oldest outstanding
+    request — exactly the strict-ordering discipline v1 guarantees — so the
+    same client speaks to either protocol generation.  ``codec`` selects
+    msgpack when both sides have it; the server always answers in the codec
+    of the request.
     """
 
     def __init__(
@@ -306,22 +863,77 @@ class AsyncPoseClient:
     ) -> None:
         self.codec = codec if codec is not None else available_codecs()[-1]
         self.max_frame_bytes = max_frame_bytes
+        self.unmatched_replies = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
-        self._lock = asyncio.Lock()
+        self._reader_task: Optional[asyncio.Task] = None
+        self._send_lock = asyncio.Lock()
+        self._pending: "OrderedDict[object, asyncio.Future]" = OrderedDict()
+        self._tickets: Dict[object, asyncio.Future] = {}
+        self._next_id = 0
+        self._server_protocol: Optional[int] = None
+        self._read_error: Optional[Exception] = None
 
     # ------------------------------------------------------------------
     # Connection
     # ------------------------------------------------------------------
-    async def connect_unix(self, path: str) -> "AsyncPoseClient":
-        self._reader, self._writer = await asyncio.open_unix_connection(path)
-        return self
+    async def connect_unix(
+        self,
+        path: str,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 1.0,
+    ) -> "AsyncPoseClient":
+        """Connect to a Unix socket, optionally retrying with backoff.
 
-    async def connect_tcp(self, host: str, port: int) -> "AsyncPoseClient":
-        self._reader, self._writer = await asyncio.open_connection(host, port)
+        ``retries`` extra attempts are spaced by an exponentially growing
+        delay (``backoff_s``, doubled per attempt, capped at
+        ``max_backoff_s``) — enough to absorb the race between launching
+        ``fuse-serve`` and its socket appearing, without spinning.
+        """
+        return await self._connect(
+            lambda: asyncio.open_unix_connection(path), retries, backoff_s, max_backoff_s
+        )
+
+    async def connect_tcp(
+        self,
+        host: str,
+        port: int,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 1.0,
+    ) -> "AsyncPoseClient":
+        """Connect over TCP, optionally retrying with bounded backoff."""
+        return await self._connect(
+            lambda: asyncio.open_connection(host, port), retries, backoff_s, max_backoff_s
+        )
+
+    async def _connect(self, opener, retries, backoff_s, max_backoff_s) -> "AsyncPoseClient":
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_s <= 0 or max_backoff_s <= 0:
+            raise ValueError("backoff delays must be positive")
+        delay = backoff_s
+        for attempt in range(retries + 1):
+            try:
+                self._reader, self._writer = await opener()
+                break
+            except (ConnectionError, FileNotFoundError, OSError) as error:
+                if attempt == retries:
+                    raise ConnectionError(
+                        f"could not connect after {retries + 1} attempt(s): {error}"
+                    ) from error
+                await asyncio.sleep(delay)
+                delay = min(delay * 2.0, max_backoff_s)
+        self._reader_task = asyncio.ensure_future(self._read_loop())
         return self
 
     async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reader_task
+            self._reader_task = None
         if self._writer is not None:
             self._writer.close()
             try:
@@ -329,6 +941,7 @@ class AsyncPoseClient:
             except (ConnectionError, BrokenPipeError):
                 pass
             self._reader = self._writer = None
+        self._fail_outstanding(ConnectionError("client closed"))
 
     async def __aenter__(self) -> "AsyncPoseClient":
         return self
@@ -337,24 +950,113 @@ class AsyncPoseClient:
         await self.close()
 
     # ------------------------------------------------------------------
+    # Reply demultiplexing
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        error: Exception = ConnectionError("server closed the connection")
+        try:
+            while True:
+                framed = await read_message(self._reader, self.max_frame_bytes)
+                if framed is None:
+                    break
+                self._route(framed[0])
+        except asyncio.CancelledError:
+            self._fail_outstanding(ConnectionError("client closed"))
+            raise
+        except (WireError, ConnectionError, OSError) as caught:
+            error = caught
+        self._read_error = error
+        self._fail_outstanding(error)
+
+    def _route(self, message: dict) -> None:
+        """One incoming frame: a correlated reply, a push, or unmatched."""
+        request_id = message.get("id")
+        if request_id is not None and request_id in self._pending:
+            self._resolve(self._pending.pop(request_id), message)
+            return
+        ticket = message.get("ticket")
+        if ticket is not None and ticket in self._tickets:
+            self._resolve(self._tickets.pop(ticket), message)
+            return
+        if request_id is None and ticket is None:
+            if message["type"] == "error" and (self._server_protocol or 0) >= 2:
+                # A v2 server only ever sends an uncorrelated error for a
+                # connection-level fault (an unparseable frame) and hangs
+                # up right after — blaming the oldest request would point
+                # the caller at the wrong submission.
+                self._fail_outstanding(
+                    RuntimeError(
+                        f"server error {message['error']}: {message['detail']}"
+                    )
+                )
+                return
+            if self._pending:
+                # A v1 server answers strictly in order and without ids:
+                # the reply belongs to the oldest outstanding request.
+                _, future = self._pending.popitem(last=False)
+                self._resolve(future, message)
+                return
+        self.unmatched_replies += 1
+
+    @staticmethod
+    def _resolve(future: asyncio.Future, message: dict) -> None:
+        if future.done():
+            return
+        if message["type"] == "error":
+            future.set_exception(
+                RuntimeError(f"server error {message['error']}: {message['detail']}")
+            )
+        else:
+            future.set_result(message)
+
+    def _fail_outstanding(self, error: Exception) -> None:
+        for future in list(self._pending.values()) + list(self._tickets.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        self._tickets.clear()
+
+    def _claim_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
     async def request(self, message: dict) -> dict:
-        """One request/reply round-trip; raises on an ``error`` reply."""
+        """Send one request and await its correlated reply.
+
+        Raises on an ``error`` reply.  Many requests may be in flight at
+        once; replies resolve by ``id`` (or in order against a v1 server).
+        """
         if self._reader is None or self._writer is None:
             raise RuntimeError("client is not connected")
-        async with self._lock:
-            await write_message(self._writer, message, self.codec, self.max_frame_bytes)
-            framed = await read_message(self._reader, self.max_frame_bytes)
-        if framed is None:
-            raise ConnectionError("server closed the connection mid-request")
-        reply, _ = framed
-        if reply["type"] == "error":
-            raise RuntimeError(f"server error {reply['error']}: {reply['detail']}")
-        return reply
+        if self._reader_task is not None and self._reader_task.done():
+            # The reader died (framing fault, reset): registering a future
+            # now would await a reply nothing can ever deliver.
+            raise ConnectionError(
+                f"connection is broken: {self._read_error or 'reader stopped'}"
+            )
+        request_id = message.get("id")
+        if request_id is None:
+            request_id = self._claim_id()
+            message = {**message, "id": request_id}
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._send_lock:
+                await write_message(self._writer, message, self.codec, self.max_frame_bytes)
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
 
     async def hello(self) -> dict:
-        return await self.request({"type": "hello", "protocol": PROTOCOL_VERSION})
+        reply = await self.request({"type": "hello", "protocol": PROTOCOL_VERSION})
+        try:
+            self._server_protocol = int(reply.get("protocol", 1))
+        except (TypeError, ValueError):
+            self._server_protocol = None
+        return reply
 
     async def ping(self) -> bool:
         return (await self.request({"type": "ping"}))["type"] == "pong"
@@ -374,6 +1076,181 @@ class AsyncPoseClient:
         )
         return np.asarray(reply["joints"])
 
+    async def submit_many(
+        self,
+        user_id,
+        frames: Sequence[PointCloudFrame],
+        max_in_flight: int = 8,
+    ) -> List[np.ndarray]:
+        """Pipeline many submits under a bounded in-flight window.
+
+        Frames are sent in order on this one connection (the front-end's
+        per-shard FIFO locks preserve that order into the serving layer),
+        up to ``max_in_flight`` awaiting replies at any moment.  Returns
+        the predictions in frame order.
+        """
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        window = asyncio.Semaphore(max_in_flight)
+        results: List[Optional[np.ndarray]] = [None] * len(frames)
+
+        async def one(index: int, frame: PointCloudFrame) -> None:
+            try:
+                results[index] = await self.submit(user_id, frame)
+            finally:
+                window.release()
+
+        tasks: List[asyncio.Task] = []
+        try:
+            for index, frame in enumerate(frames):
+                await window.acquire()
+                tasks.append(asyncio.ensure_future(one(index, frame)))
+            await asyncio.gather(*tasks)
+        except BaseException:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            raise
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Streaming (enqueue / ticket / push)
+    # ------------------------------------------------------------------
+    async def enqueue(self, user_id, frame: PointCloudFrame) -> asyncio.Future:
+        """Enqueue one frame; returns a future for the pushed prediction.
+
+        The returned future resolves with the ``(joints, 3)`` array when
+        the server pushes the completed prediction (batch full, a poll
+        deadline, or an explicit :meth:`flush`); it raises if the request
+        was dropped under backpressure.
+        """
+        ticket = self._claim_id()
+        loop = asyncio.get_running_loop()
+        push: asyncio.Future = loop.create_future()
+        # Register before sending: the push may beat the ticket reply when
+        # this enqueue completes a micro-batch inside the server.
+        self._tickets[ticket] = push
+        try:
+            await self.request(
+                {
+                    "type": "enqueue",
+                    "id": ticket,
+                    "user": user_id,
+                    "frame": {
+                        "points": frame.points,
+                        "timestamp": frame.timestamp,
+                        "frame_index": frame.frame_index,
+                    },
+                }
+            )
+        except BaseException:
+            self._tickets.pop(ticket, None)
+            raise
+        return push
+
+    async def poll(self) -> int:
+        """Apply the server's latency deadline; returns predictions produced."""
+        return int((await self.request({"type": "poll"}))["produced"])
+
+    async def flush(self) -> int:
+        """Force the server's pending micro-batches out now."""
+        return int((await self.request({"type": "flush"}))["produced"])
+
+    async def stream(
+        self,
+        user_id,
+        frames: Sequence[PointCloudFrame],
+        max_in_flight: int = 8,
+        flush: bool = True,
+        return_errors: bool = False,
+    ) -> List:
+        """Stream frames through the server's micro-batcher, in order.
+
+        Each frame is enqueued (joining cross-user micro-batches on the
+        server) with at most ``max_in_flight`` unresolved tickets; the
+        final partial batch is flushed unless ``flush=False`` (e.g. when
+        co-riding clients or the server's poll deadline will flush it).
+        Returns the predictions in frame order.  Every ticket is awaited
+        even when some frames fail (dropped under backpressure), so
+        successful predictions are never abandoned mid-stream; a failed
+        frame raises after the stream settles — or, with
+        ``return_errors=True``, yields the error object in its slot.
+        """
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        futures: List[asyncio.Future] = []
+        for index, frame in enumerate(frames):
+            if index >= max_in_flight:
+                with contextlib.suppress(Exception):
+                    # Window pacing only; failures surface when collected.
+                    await self._await_push(futures[index - max_in_flight])
+            futures.append(await self.enqueue(user_id, frame))
+        if flush and frames:
+            await self.flush()
+        outcomes: List = []
+        first_error: Optional[Exception] = None
+        for future in futures:
+            try:
+                outcomes.append(await self._await_push(future))
+            except Exception as error:
+                outcomes.append(error)
+                if first_error is None:
+                    first_error = error
+        if first_error is not None and not return_errors:
+            raise first_error
+        return outcomes
+
+    @staticmethod
+    async def _await_push(future: asyncio.Future) -> np.ndarray:
+        message = await future
+        return np.asarray(message["joints"])
+
+    # ------------------------------------------------------------------
+    # Batched submits
+    # ------------------------------------------------------------------
+    async def submit_batch(
+        self,
+        items: Sequence[Tuple[Hashable, PointCloudFrame]],
+        return_errors: bool = False,
+    ) -> List:
+        """Submit N ``(user_id, frame)`` pairs in one wire frame.
+
+        Point clouds travel as one contiguous
+        :class:`repro.serve.transport.ArrayBlock` (one header + one bytes
+        region per dtype/shape group).  Returns the predictions in item
+        order; a frame dropped under backpressure raises — or, with
+        ``return_errors=True``, yields the error object in its slot.
+        """
+        if not items:
+            raise ValueError("at least one (user, frame) item is required")
+        reply = await self.request(
+            {
+                "type": "submit_batch",
+                "users": [user for user, _ in items],
+                "frames": {
+                    "points": ArrayBlock([frame.points for _, frame in items]),
+                    "timestamps": [float(frame.timestamp) for _, frame in items],
+                    "frame_indices": [int(frame.frame_index) for _, frame in items],
+                },
+            }
+        )
+        joints = iter(reply["joints"])
+        out: List = []
+        for result in reply["results"]:
+            if result["ok"]:
+                out.append(np.asarray(next(joints)))
+                continue
+            error = RuntimeError(
+                f"server error {result['error']}: {result['detail']}"
+            )
+            if not return_errors:
+                raise error
+            out.append(error)
+        return out
+
+    # ------------------------------------------------------------------
+    # Observability / control
+    # ------------------------------------------------------------------
     async def metrics(self) -> dict:
         return (await self.request({"type": "metrics"}))["metrics"]
 

@@ -25,7 +25,7 @@ logical (many interleaved user streams), scheduling is explicit
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Union
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,7 +43,28 @@ from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics
 from .session import SessionManager
 
-__all__ = ["PoseServer"]
+__all__ = ["PoseServer", "enqueue_each"]
+
+
+def enqueue_each(
+    server, items: Sequence[Tuple[Hashable, PointCloudFrame]]
+) -> List[Union[PendingPrediction, Exception]]:
+    """Enqueue ``(user_id, frame)`` pairs in order, one outcome per slot.
+
+    The shared per-frame contract of every ``enqueue_many`` surface: each
+    slot holds the handle, or the exception its enqueue raised
+    (``QueueFull`` under the ``reject`` backpressure policy).  Capturing
+    per slot — rather than raising mid-batch — keeps the already-admitted
+    prefix addressable: those frames *did* enter their users' fusion
+    rings, so a caller must never blindly resubmit them.
+    """
+    outcomes: List[Union[PendingPrediction, Exception]] = []
+    for user_id, frame in items:
+        try:
+            outcomes.append(server.enqueue(user_id, frame))
+        except Exception as error:
+            outcomes.append(error)
+    return outcomes
 
 
 class PoseServer:
@@ -122,6 +143,18 @@ class PoseServer:
         if self._batcher.full:
             self.flush()
         return pending
+
+    def enqueue_many(
+        self, items: Sequence[Tuple[Hashable, PointCloudFrame]]
+    ) -> List[Union[PendingPrediction, Exception]]:
+        """Enqueue many ``(user_id, frame)`` pairs in order, one outcome
+        per slot (see :func:`enqueue_each` for the per-frame contract).
+
+        The batched surface exists so transports (the socket front-end,
+        the process-shard command channel) can amortize their per-request
+        round-trip cost over N frames.
+        """
+        return enqueue_each(self, items)
 
     def submit(self, user_id: Hashable, frame: PointCloudFrame) -> np.ndarray:
         """Synchronous prediction: enqueue, flush, return ``(joints, 3)``.

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Union
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,14 +44,15 @@ from ..dataset.loader import ArrayDataset
 from ..dataset.sample import PoseDataset
 from ..radar.pointcloud import PointCloudFrame
 from ..runtime import shard_for
-from .batcher import FrameDropped, PendingPrediction
+from .batcher import FrameDropped, PendingPrediction, QueueFull
 from .config import ServeConfig
 from .metrics import ServeMetrics, prometheus_exposition
-from .server import PoseServer
+from .server import PoseServer, enqueue_each
 from .worker import (
     DEFAULT_CHANNEL_DEPTH,
     AdaptUsers,
     Enqueue,
+    EnqueueBatch,
     Flush,
     ForgetUser,
     MetricsRequest,
@@ -126,6 +127,14 @@ class ShardedPoseServer:
     def enqueue(self, user_id: Hashable, frame: PointCloudFrame) -> PendingPrediction:
         """Route one frame to the user's shard (may flush that shard)."""
         return self.shard_of(user_id).enqueue(user_id, frame)
+
+    def enqueue_many(
+        self, items: Sequence[Tuple[Hashable, PointCloudFrame]]
+    ) -> List[Union[PendingPrediction, Exception]]:
+        """Enqueue many ``(user_id, frame)`` pairs in order, one outcome
+        per slot — the shared :func:`repro.serve.server.enqueue_each`
+        contract."""
+        return enqueue_each(self, items)
 
     def submit(self, user_id: Hashable, frame: PointCloudFrame) -> np.ndarray:
         """Synchronous prediction through the user's shard."""
@@ -406,6 +415,58 @@ class ProcessShardedPoseServer:
 
         self._call(index, command, register=register)
         return handle_box[0]
+
+    def enqueue_many(
+        self, items: Sequence[Tuple[Hashable, PointCloudFrame]]
+    ) -> List[Union[ProcessPendingPrediction, Exception]]:
+        """Enqueue many ``(user_id, frame)`` pairs with one IPC hop per shard.
+
+        Items are grouped by shard with their relative order preserved, so
+        per-user frame order — what streaming fusion depends on — is exactly
+        the caller's order; each shard sees a single :class:`EnqueueBatch`
+        command instead of N :class:`Enqueue` round-trips.  Returns one
+        outcome per item, in the original order: the handle, or the
+        exception its enqueue raised inside the worker (``QueueFull``
+        under the ``reject`` policy).  A mid-batch failure never orphans
+        the admitted prefix — those handles stay registered and resolve
+        normally.
+        """
+        outcomes: List[Union[ProcessPendingPrediction, Exception, None]] = [None] * len(items)
+        by_shard: Dict[int, List[int]] = {}
+        for position, (user_id, _) in enumerate(items):
+            by_shard.setdefault(self.shard_index(user_id), []).append(position)
+        for index, positions in sorted(by_shard.items()):
+            command = EnqueueBatch(
+                user_ids=tuple(items[p][0] for p in positions),
+                points=tuple(items[p][1].points for p in positions),
+                timestamps=tuple(float(items[p][1].timestamp) for p in positions),
+                frame_indices=tuple(int(items[p][1].frame_index) for p in positions),
+            )
+
+            def register(reply, index=index, positions=positions) -> None:
+                # Same window as Enqueue's register: handles must exist
+                # before the reply's event ledger is applied, because frames
+                # that completed a batch inside the worker already sit
+                # resolved in that ledger.
+                for position, sequence, error in zip(
+                    positions, reply.sequences, reply.errors
+                ):
+                    if sequence is None:
+                        name, detail = error
+                        outcomes[position] = (
+                            QueueFull(detail) if name == "QueueFull" else RuntimeError(
+                                f"{name}: {detail}"
+                            )
+                        )
+                        continue
+                    handle = ProcessPendingPrediction(
+                        items[position][0], sequence, index, flush=self._flush_shard
+                    )
+                    self._outstanding[index][sequence] = handle
+                    outcomes[position] = handle
+
+            self._call(index, command, register=register)
+        return outcomes
 
     def submit(self, user_id: Hashable, frame: PointCloudFrame) -> np.ndarray:
         """Synchronous prediction through the user's shard process."""

@@ -24,6 +24,16 @@ goes through this module, so the protocol has exactly one definition:
   by ``tests/serve/test_transport.py``.  :func:`validate_message` rejects
   frames without a known type before they reach the serving layer.
 
+* **Protocol v2** — requests may carry a caller-chosen ``"id"`` so one
+  connection holds many requests in flight and replies correlate out of
+  order; the streaming ``enqueue``/``ticket``/``poll``/``flush`` messages
+  expose the server's micro-batching API over the socket; ``submit_batch``
+  carries N frames in one frame using :class:`ArrayBlock` — a contiguous
+  ndarray block with one header and one ``bytes`` region per dtype/shape
+  group, decoded with buffer-protocol reads (no per-frame copy, no
+  per-frame tag overhead).  v1 messages (no ``id``) remain valid and keep
+  their strict request/reply semantics.
+
 The module is deliberately transport-agnostic: :class:`FrameDecoder` does
 incremental parsing over any byte stream, and the ``read_message`` /
 ``write_message`` coroutines adapt it to asyncio streams.
@@ -51,6 +61,8 @@ __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "MESSAGE_TYPES",
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOLS",
+    "ArrayBlock",
     "FrameDecoder",
     "FrameTooLarge",
     "ProtocolError",
@@ -58,8 +70,10 @@ __all__ = [
     "WireError",
     "available_codecs",
     "decode_array",
+    "decode_array_block",
     "decode_payload",
     "encode_array",
+    "encode_array_block",
     "encode_message",
     "iter_frames",
     "read_message",
@@ -67,7 +81,11 @@ __all__ = [
     "write_message",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: every protocol generation a v2 front-end can speak (v1 = strict
+#: request/reply without ids; v2 adds correlation, streaming and batching)
+SUPPORTED_PROTOCOLS = (1, 2)
 
 CODEC_JSON = "json"
 CODEC_MSGPACK = "msgpack"
@@ -96,7 +114,20 @@ MESSAGE_TYPES = frozenset(
         "shutdown",
         "goodbye",
         "error",
+        # --- protocol v2: streaming + batching -------------------------
+        "enqueue",
+        "ticket",
+        "poll",
+        "flush",
+        "flushed",
+        "submit_batch",
+        "predictions",
     }
+)
+
+#: message types that exist only in protocol v2
+V2_MESSAGE_TYPES = frozenset(
+    {"enqueue", "ticket", "poll", "flush", "flushed", "submit_batch", "predictions"}
 )
 
 
@@ -169,7 +200,105 @@ def decode_array(tagged: dict) -> np.ndarray:
         raise ProtocolError(f"malformed array payload: {error}") from error
 
 
+# ----------------------------------------------------------------------
+# Contiguous ndarray blocks (protocol v2 batched transport)
+# ----------------------------------------------------------------------
+class ArrayBlock:
+    """An ordered list of arrays encoded as one contiguous block per group.
+
+    Put an ``ArrayBlock`` anywhere in a message to ship N arrays — e.g. the
+    point clouds of a ``submit_batch`` — without per-array tag overhead:
+    the encoder groups them by ``(dtype, shape)`` and emits **one** header
+    plus **one** ``bytes`` region per group, and the decoder rebuilds each
+    array as a buffer-protocol *view* into its group's region
+    (:func:`np.frombuffer`, no per-frame copy).  Decoded messages carry a
+    plain ``list`` of read-only arrays in the original order.
+    """
+
+    __slots__ = ("arrays",)
+
+    def __init__(self, arrays: Iterable[np.ndarray]) -> None:
+        self.arrays = [np.asarray(array) for array in arrays]
+
+
+def encode_array_block(arrays: Iterable[np.ndarray], binary: bool) -> dict:
+    """Tag N arrays as one dtype/shape-grouped contiguous block."""
+    groups: List[dict] = []
+    parts: List[List[bytes]] = []
+    positions: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+    index: List[int] = []
+    for array in arrays:
+        array = np.asarray(array)
+        key = (array.dtype.str, array.shape)
+        slot = positions.get(key)
+        if slot is None:
+            slot = positions[key] = len(groups)
+            groups.append({"dtype": array.dtype.str, "shape": list(array.shape), "count": 0})
+            parts.append([])
+        groups[slot]["count"] += 1
+        parts[slot].append(array.tobytes())  # C-order, one copy per array
+        index.append(slot)
+    for group, chunks in zip(groups, parts):
+        data = b"".join(chunks)
+        group["data"] = data if binary else base64.b64encode(data).decode("ascii")
+    return {"__ndblock__": True, "index": index, "groups": groups}
+
+
+def decode_array_block(tagged: dict) -> List[np.ndarray]:
+    """Rebuild the ordered array list from its grouped block form.
+
+    Each returned array is a **read-only view** into its group's byte
+    region (``np.frombuffer`` honours the buffer protocol, so under msgpack
+    the payload bytes are never copied).  Every malformed input raises
+    :class:`ProtocolError`, mirroring :func:`decode_array`.
+    """
+    try:
+        index = [int(slot) for slot in tagged["index"]]
+        raw_groups = list(tagged["groups"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed array block: {error}") from error
+    views: List[np.ndarray] = []
+    counts: List[int] = []
+    for group in raw_groups:
+        try:
+            dtype = np.dtype(group["dtype"])
+            shape = tuple(int(axis) for axis in group["shape"])
+            count = int(group["count"])
+            data = group["data"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(f"malformed array block group: {error}") from error
+        if dtype.hasobject or dtype.itemsize == 0:
+            raise ProtocolError(f"refusing non-fixed-width array dtype {dtype.str!r}")
+        if count < 0:
+            raise ProtocolError("array block group has a negative count")
+        if isinstance(data, str):
+            try:
+                data = base64.b64decode(data.encode("ascii"))
+            except (ValueError, binascii.Error) as error:
+                raise ProtocolError(f"malformed array block payload: {error}") from error
+        per_array = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
+        if len(data) != per_array * count:
+            raise ProtocolError(
+                f"array block group holds {len(data)} bytes, "
+                f"{count} arrays of dtype/shape require {per_array * count}"
+            )
+        views.append(np.frombuffer(data, dtype=dtype).reshape((count, *shape)))
+        counts.append(count)
+    if sorted(index) != sorted(
+        slot for slot, count in enumerate(counts) for _ in range(count)
+    ):
+        raise ProtocolError("array block index disagrees with its group counts")
+    rows = [0] * len(views)
+    arrays: List[np.ndarray] = []
+    for slot in index:
+        arrays.append(views[slot][rows[slot]])
+        rows[slot] += 1
+    return arrays
+
+
 def _tag_arrays(value, binary: bool):
+    if isinstance(value, ArrayBlock):
+        return encode_array_block(value.arrays, binary)
     if isinstance(value, np.ndarray):
         return encode_array(value, binary)
     if isinstance(value, dict):
@@ -185,6 +314,8 @@ def _untag_arrays(value):
     if isinstance(value, dict):
         if value.get("__nd__"):
             return decode_array(value)
+        if value.get("__ndblock__"):
+            return decode_array_block(value)
         return {key: _untag_arrays(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [_untag_arrays(item) for item in value]

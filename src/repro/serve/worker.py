@@ -5,10 +5,14 @@ is *correct* (bitwise-identical replay); this module is what makes it
 *useful* on a multi-core host.  Each shard runs in its own worker process
 and talks to the parent over a picklable request/reply transport:
 
-* **Commands** (:class:`Enqueue`, :class:`Flush`, :class:`Poll`,
-  :class:`AdaptUsers`, :class:`ForgetUser`, :class:`MetricsRequest`,
-  :class:`Shutdown`) are small frozen dataclasses; frames travel as raw
-  ``(N, 5)`` point arrays, never as live server objects.
+* **Commands** (:class:`Enqueue`, :class:`EnqueueBatch`, :class:`Flush`,
+  :class:`Poll`, :class:`AdaptUsers`, :class:`ForgetUser`,
+  :class:`MetricsRequest`, :class:`Shutdown`) are small frozen
+  dataclasses; frames travel as raw ``(N, 5)`` point arrays, never as
+  live server objects.  :class:`EnqueueBatch` amortizes the queue
+  round-trip over N frames — the command surface behind
+  ``ProcessShardedPoseServer.enqueue_many`` and the socket front-end's
+  batched submits.
 * **Replies** carry an :class:`ShardEvents` ledger — every prediction the
   shard resolved and every request it dropped since the last reply — so the
   parent's pending handles resolve without polling.
@@ -53,7 +57,9 @@ from .server import PoseServer
 __all__ = [
     "AdaptUsers",
     "Enqueue",
+    "EnqueueBatch",
     "Enqueued",
+    "EnqueuedBatch",
     "Done",
     "Flush",
     "Flushed",
@@ -115,6 +121,29 @@ class Enqueue:
 
 
 @dataclass(frozen=True)
+class EnqueueBatch:
+    """Enqueue N frames in one command round-trip (one IPC hop for N).
+
+    Frames are enqueued strictly in tuple order, so per-user frame order —
+    what streaming fusion depends on — is exactly what the caller sent.
+    The reply carries one shard-local sequence id per frame.
+    """
+
+    user_ids: Tuple[Hashable, ...]
+    points: Tuple[np.ndarray, ...]
+    timestamps: Tuple[float, ...]
+    frame_indices: Tuple[int, ...]
+
+    def frames(self) -> List[PointCloudFrame]:
+        return [
+            PointCloudFrame(points, timestamp=timestamp, frame_index=frame_index)
+            for points, timestamp, frame_index in zip(
+                self.points, self.timestamps, self.frame_indices
+            )
+        ]
+
+
+@dataclass(frozen=True)
 class Flush:
     """Force the shard's pending micro-batch out now."""
 
@@ -162,6 +191,24 @@ class Enqueued:
     """Reply to :class:`Enqueue`: the shard-local sequence id of the handle."""
 
     sequence: int
+    events: ShardEvents
+
+
+@dataclass
+class EnqueuedBatch:
+    """Reply to :class:`EnqueueBatch`: one outcome per frame, in order.
+
+    ``sequences[i]`` is the frame's shard-local sequence id, or ``None``
+    when its enqueue failed — then ``errors[i]`` carries ``(type name,
+    detail)``.  Per-frame outcomes keep a mid-batch admission failure
+    (``QueueFull`` under the ``reject`` policy) from orphaning the
+    already-admitted prefix: those frames stay valid, resolvable requests
+    instead of being silently discarded with mutated fusion rings behind
+    them.
+    """
+
+    sequences: List[Optional[int]]
+    errors: List[Optional[Tuple[str, str]]]
     events: ShardEvents
 
 
@@ -265,6 +312,22 @@ def _dispatch(
         handle = server.enqueue(command.user_id, command.frame())
         outstanding[handle.sequence] = handle
         return Enqueued(sequence=handle.sequence, events=_collect_events(outstanding))
+    if isinstance(command, EnqueueBatch):
+        sequences: List[Optional[int]] = []
+        errors: List[Optional[Tuple[str, str]]] = []
+        for user_id, frame in zip(command.user_ids, command.frames()):
+            try:
+                handle = server.enqueue(user_id, frame)
+            except Exception as error:  # per-frame: the prefix stays valid
+                sequences.append(None)
+                errors.append((type(error).__name__, str(error)))
+                continue
+            outstanding[handle.sequence] = handle
+            sequences.append(handle.sequence)
+            errors.append(None)
+        return EnqueuedBatch(
+            sequences=sequences, errors=errors, events=_collect_events(outstanding)
+        )
     if isinstance(command, Flush):
         return Flushed(produced=server.flush(), events=_collect_events(outstanding))
     if isinstance(command, Poll):

@@ -29,3 +29,32 @@ class TestCli:
         text = capsys.readouterr().out
         for name in ("table1", "table2", "figure2", "figure3", "figure4"):
             assert name in text
+
+
+class TestServeCli:
+    """Argument wiring of fuse-serve (fail-fast paths: no training runs)."""
+
+    def test_serve_help_lists_protocol_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["fuse-serve", "--help"])
+        text = capsys.readouterr().out
+        assert "--max-in-flight" in text
+        assert "--protocol" in text
+        assert "--port" in text
+
+    def test_invalid_shards_fails_fast(self, capsys):
+        assert cli.main(["fuse-serve", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_invalid_window_fails_fast(self, capsys):
+        assert cli.main(["fuse-serve", "--max-in-flight", "0"]) == 2
+        assert "--max-in-flight" in capsys.readouterr().err
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fuse-serve", "--protocol", "3"])
+
+    def test_unix_and_host_mutually_exclusive(self, capsys):
+        exit_code = cli.main(["fuse-serve", "--unix", "/tmp/x.sock", "--host", "::1"])
+        assert exit_code == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -62,7 +62,8 @@ class TestUnixSocketServing:
     def test_hello_ping_metrics_prometheus(self, backend, tmp_path):
         async def scenario(client, frontend):
             hello = await client.hello()
-            assert hello["protocol"] == 1
+            assert hello["protocol"] == 2
+            assert hello["protocols"] == [1, 2]
             assert CODEC_JSON in hello["codecs"]
             assert await client.ping()
             await client.submit("bob", make_frame(np.random.default_rng(0)))

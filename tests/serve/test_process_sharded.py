@@ -16,6 +16,7 @@ from repro.dataset.sample import PoseDataset
 from repro.serve import (
     FrameDropped,
     ProcessShardedPoseServer,
+    QueueFull,
     ServeConfig,
     ShardCrashed,
     ShardRemoteError,
@@ -99,6 +100,50 @@ class TestFacade:
             assert handle.done
             assert handle.result(flush=False).shape == (19, 3)
         assert server.pending == 0
+
+    def test_enqueue_many_matches_sequential_enqueues_bitwise(
+        self, estimator, streams
+    ):
+        """One EnqueueBatch IPC hop per shard == N Enqueue round-trips."""
+        users = list(streams)[:6]
+        items = [
+            (user, streams[user][tick].cloud) for tick in range(3) for user in users
+        ]
+        config = ServeConfig(max_batch_size=8)
+        with ProcessShardedPoseServer(estimator, num_shards=2, config=config) as one:
+            sequential = [one.enqueue(user, frame) for user, frame in items]
+            one.flush()
+        with ProcessShardedPoseServer(estimator, num_shards=2, config=config) as many:
+            batched = many.enqueue_many(items)
+            many.flush()
+        assert len(batched) == len(items)
+        for left, right in zip(sequential, batched):
+            np.testing.assert_array_equal(
+                left.result(flush=False), right.result(flush=False)
+            )
+
+    def test_enqueue_many_mid_batch_rejection_keeps_prefix_valid(
+        self, estimator, streams
+    ):
+        """A QueueFull on frame k must not orphan frames 0..k-1: they stay
+        registered, resolvable handles; the rejected frames come back as
+        per-slot exceptions (never a whole-batch failure the client would
+        blindly retry, double-feeding fusion rings)."""
+        users = list(streams)[:6]
+        config = ServeConfig(
+            max_batch_size=64, max_queue_depth=2, overflow="reject"
+        )
+        with ProcessShardedPoseServer(estimator, num_shards=1, config=config) as server:
+            items = [(user, streams[user][0].cloud) for user in users]
+            outcomes = server.enqueue_many(items)
+            handles = [h for h in outcomes if not isinstance(h, Exception)]
+            rejected = [h for h in outcomes if isinstance(h, Exception)]
+            assert len(handles) == 2  # the admitted prefix, in order
+            assert outcomes[0] is handles[0] and outcomes[1] is handles[1]
+            assert all(isinstance(error, QueueFull) for error in rejected)
+            server.flush()
+            for handle in handles:
+                assert handle.result(flush=False).shape == (19, 3)
 
     def test_poll_applies_worker_deadlines(self, estimator, streams):
         config = ServeConfig(max_batch_size=64, max_delay_ms=0.0)
