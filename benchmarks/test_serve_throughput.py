@@ -183,6 +183,93 @@ class TestServeThroughput:
             )
 
 
+    def test_lora_adapted_serving_and_onboarding(self):
+        """Low-rank per-user adaptation: serving speed and onboarding cost.
+
+        Two sections:
+
+        * ``lora_adapted_serving`` — the 50-user mixed replay with every
+          other user carrying rank-4 low-rank factors.  The lora route runs
+          the shared base through the fixed-block kernel and applies each
+          frame's factors as two rank-r products, so it must stay within 2x
+          of ``scope="last"`` serving (full-network personalization at
+          near-last-layer speed).
+        * ``adapter_onboarding`` — grouped onboarding throughput
+          (users/sec) at ranks 2/4/8 against the ``scope="all"`` grouped
+          baseline.  Training rank-r factors backpropagates and updates
+          ``O(r * (in + out))`` values per layer instead of full tensors;
+          the bar is >= 5x the full-adaptation onboarding rate.
+        """
+        from repro.serve import AdapterPolicy
+
+        estimator, streams = _serve_fixture()
+        calibration, serving = adaptation_split(streams, adaptation_frames=5)
+        adapted_users = list(serving)[::2]
+        datasets = {user: _as_dataset(calibration[user]) for user in adapted_users}
+
+        def onboard(policy):
+            server = PoseServer(
+                estimator, ServeConfig(max_batch_size=64), policy=policy
+            )
+            start = time.perf_counter()
+            server.adapt_users(datasets)
+            return server, time.perf_counter() - start
+
+        # Warm the adaptation kernels once so every rank is measured hot.
+        onboard(AdapterPolicy(scope="lora", rank=2, epochs=3))
+
+        onboarding: dict = {
+            "cpu_count": os.cpu_count(),
+            "adapted_users": len(adapted_users),
+            "calibration_frames_per_user": 5,
+            "epochs": 3,
+        }
+        lora_servers = {}
+        for rank in (2, 4, 8):
+            server, seconds = onboard(AdapterPolicy(scope="lora", rank=rank, epochs=3))
+            lora_servers[rank] = server
+            onboarding[f"lora_rank_{rank}_onboarding_per_sec"] = (
+                len(adapted_users) / seconds
+            )
+        _, all_seconds = onboard(AdapterPolicy(scope="all", epochs=3))
+        onboarding["scope_all_onboarding_per_sec"] = len(adapted_users) / all_seconds
+        onboarding["lora_rank_4_speedup_vs_all"] = (
+            onboarding["lora_rank_4_onboarding_per_sec"]
+            / onboarding["scope_all_onboarding_per_sec"]
+        )
+        _record("adapter_onboarding", onboarding)
+        assert onboarding["lora_rank_4_speedup_vs_all"] >= 5.0, (
+            f"rank-4 lora onboarding only "
+            f"{onboarding['lora_rank_4_speedup_vs_all']:.1f}x scope='all'"
+        )
+
+        last_server, _ = onboard(AdapterPolicy(scope="last", epochs=3))
+        last_result = replay_users(last_server, serving)
+        lora_result = replay_users(lora_servers[4], serving)
+        assert lora_result.frames_dropped == 0
+        serving_payload = {
+            "cpu_count": os.cpu_count(),
+            "users": NUM_USERS,
+            "adapted_users": len(adapted_users),
+            "rank": 4,
+            "frames": lora_result.frames_served,
+            "batched_fps": lora_result.frames_per_second,
+            "scope_last_fps": last_result.frames_per_second,
+            # Named without fps/throughput so the regression gate's
+            # throughput-key regex does not trend a same-run ratio.
+            "serving_ratio_vs_scope_last": (
+                lora_result.frames_per_second / last_result.frames_per_second
+            ),
+            "latency_p95_ms": lora_result.metrics["latency_p95_ms"],
+            "mean_batch_size": lora_result.metrics["mean_batch_size"],
+        }
+        _record("lora_adapted_serving", serving_payload)
+        assert serving_payload["serving_ratio_vs_scope_last"] >= 0.5, (
+            f"rank-4 lora serving at {lora_result.frames_per_second:.0f} fps is below "
+            f"half of scope='last' ({last_result.frames_per_second:.0f} fps)"
+        )
+
+
 class TestShardedServing:
     def test_shard_scaling_throughput(self):
         """50-user replay through 1/2/4 server shards.

@@ -22,6 +22,9 @@ tracks the speedup as ``BENCH_engine.json``.
 
 from .functional import (
     batched_forward,
+    lowrank_forward,
+    lowrank_parameters,
+    lowrank_shapes,
     predict_with_parameters,
     replicate_parameters,
     supports_batched_execution,
@@ -33,6 +36,9 @@ __all__ = [
     "BatchPlan",
     "BatchedRadarEngine",
     "batched_forward",
+    "lowrank_forward",
+    "lowrank_parameters",
+    "lowrank_shapes",
     "predict_with_parameters",
     "replicate_parameters",
     "supports_batched_execution",

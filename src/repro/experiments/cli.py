@@ -119,6 +119,28 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
         "request/reply, 2 = pipelined/streaming/batched; default: 2)",
     )
 
+    adaptation = parser.add_argument_group("per-user adaptation")
+    adaptation.add_argument(
+        "--adapter-scope",
+        choices=("all", "last", "lora"),
+        default=None,
+        help="per-user adaptation scope: full network, last layer, or "
+        "low-rank factors (default: the serving default, 'all')",
+    )
+    adaptation.add_argument(
+        "--adapter-rank",
+        type=int,
+        default=None,
+        help="low-rank factor rank for --adapter-scope lora (default: 4)",
+    )
+    adaptation.add_argument(
+        "--adapter-spill-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for warm-tier adapter spill files; adapted users "
+        "survive shard-process restarts when set",
+    )
+
     model = parser.add_argument_group("estimator bootstrap")
     model.add_argument(
         "--train-seconds",
@@ -143,7 +165,13 @@ def _run_serve(args: argparse.Namespace) -> int:
     from ..core import FuseConfig, FusePoseEstimator
     from ..core.training import TrainingConfig
     from ..dataset.synthetic import SyntheticDatasetConfig, generate_dataset
-    from ..serve import PoseFrontend, ProcessShardedPoseServer, ServeConfig, ShardedPoseServer
+    from ..serve import (
+        AdapterPolicy,
+        PoseFrontend,
+        ProcessShardedPoseServer,
+        ServeConfig,
+        ShardedPoseServer,
+    )
 
     if args.shards < 1:
         return _fail("--shards must be >= 1")
@@ -151,6 +179,22 @@ def _run_serve(args: argparse.Namespace) -> int:
         return _fail("--max-in-flight must be >= 1")
     if args.unix is not None and args.host is not None:
         return _fail("--unix and --host are mutually exclusive")
+    if args.adapter_rank is not None and args.adapter_scope != "lora":
+        return _fail("--adapter-rank requires --adapter-scope lora")
+
+    adapter = None
+    if any(
+        value is not None
+        for value in (args.adapter_scope, args.adapter_rank, args.adapter_spill_dir)
+    ):
+        try:
+            adapter = AdapterPolicy(
+                scope=args.adapter_scope if args.adapter_scope is not None else "all",
+                rank=args.adapter_rank if args.adapter_rank is not None else 4,
+                spill_dir=args.adapter_spill_dir,
+            )
+        except ValueError as error:
+            return _fail(str(error))
 
     dataset = generate_dataset(
         SyntheticDatasetConfig(
@@ -173,6 +217,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         max_delay_ms=args.max_delay_ms,
         max_queue_depth=args.max_queue_depth,
+        adapter=adapter,
     )
     if args.backend == "process":
         server = ProcessShardedPoseServer(estimator, num_shards=args.shards, config=config)

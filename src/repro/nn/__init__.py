@@ -10,6 +10,7 @@ the losses and optimizers used in the paper (:mod:`repro.nn.functional`,
 from .functional import (
     cross_entropy_loss,
     linear_batched,
+    linear_lowrank_batched,
     per_task_loss,
     huber_loss,
     l1_loss,
@@ -37,7 +38,15 @@ from .layers import (
     Sigmoid,
     Tanh,
 )
-from .ops import avg_pool2d, col2im, conv2d, conv2d_batched, im2col, max_pool2d
+from .ops import (
+    avg_pool2d,
+    col2im,
+    conv2d,
+    conv2d_batched,
+    conv2d_lowrank_batched,
+    im2col,
+    max_pool2d,
+)
 from .optim import SGD, Adam, Optimizer
 from .serialization import load_model_into, load_state, save_model, save_state
 from .tensor import Tensor, is_grad_enabled, no_grad
@@ -50,6 +59,7 @@ __all__ = [
     # ops
     "conv2d",
     "conv2d_batched",
+    "conv2d_lowrank_batched",
     "max_pool2d",
     "avg_pool2d",
     "im2col",
@@ -80,6 +90,7 @@ __all__ = [
     "huber_loss",
     "cross_entropy_loss",
     "linear_batched",
+    "linear_lowrank_batched",
     "per_task_loss",
     # optim
     "Optimizer",

@@ -19,6 +19,7 @@ __all__ = [
     "softmax",
     "log_softmax",
     "linear_batched",
+    "linear_lowrank_batched",
     "l1_loss",
     "l2_loss",
     "mse_loss",
@@ -116,6 +117,100 @@ def linear_batched(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Ten
             weight._accumulate_owned(np.matmul(grad.transpose(0, 2, 1), x.data))
         if bias is not None and bias.requires_grad:
             bias._accumulate_owned(grad.sum(axis=1))
+
+    return Tensor._make(out, parents, backward)
+
+
+def linear_lowrank_batched(
+    x: Tensor,
+    weight: Tensor,
+    a: Tensor,
+    b: Tensor,
+    bias: Tensor | None = None,
+) -> Tensor:
+    """Fully connected layer with a *shared* base and per-task rank-r deltas.
+
+    Task ``t`` of the output equals ``x[t] @ (weight + b[t] @ a[t]).T +
+    bias`` — but the dense ``(out, in)`` delta is never materialized: the
+    low-rank factors are applied as two small matrix products per task,
+    ``(x[t] @ a[t].T) @ b[t].T``.  That is the arithmetic that makes
+    full-network per-user personalization cost ``O(r * (in + out))`` memory
+    per task instead of ``O(in * out)``.
+
+    Gradients flow to ``a`` and ``b`` (and through ``x``); the base
+    ``weight`` / ``bias`` are typically frozen snapshots (``requires_grad``
+    False), so adaptation trains only the rank-r factors.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(tasks, batch, in_features)``.
+    weight:
+        Shared base weights of shape ``(out_features, in_features)`` — no
+        task axis; every task reads the same matrix.
+    a:
+        Down-projection factors of shape ``(tasks, rank, in_features)``.
+    b:
+        Up-projection factors of shape ``(tasks, out_features, rank)``.
+    bias:
+        Optional shared base bias of shape ``(out_features,)``.
+
+    Returns
+    -------
+    Tensor of shape ``(tasks, batch, out_features)``.
+    """
+    x, weight, a, b = _as_tensor(x), _as_tensor(weight), _as_tensor(a), _as_tensor(b)
+    if x.ndim != 3 or weight.ndim != 2 or a.ndim != 3 or b.ndim != 3:
+        raise ValueError(
+            "linear_lowrank_batched expects (T, B, I) inputs, (O, I) base "
+            f"weights, (T, r, I) and (T, O, r) factors, got {x.shape}, "
+            f"{weight.shape}, {a.shape}, {b.shape}"
+        )
+    tasks, _, in_features = x.shape
+    out_features = weight.shape[0]
+    if weight.shape[1] != in_features:
+        raise ValueError(
+            f"base weight {weight.shape} does not match input width {in_features}"
+        )
+    rank = a.shape[1]
+    if a.shape != (tasks, rank, in_features):
+        raise ValueError(f"a must have shape {(tasks, rank, in_features)}, got {a.shape}")
+    if b.shape != (tasks, out_features, rank):
+        raise ValueError(f"b must have shape {(tasks, out_features, rank)}, got {b.shape}")
+    if bias is not None:
+        bias = _as_tensor(bias)
+        if bias.shape != (out_features,):
+            raise ValueError(f"bias must have shape {(out_features,)}, got {bias.shape}")
+
+    # Base path: one shared matrix for every task (broadcast over the task
+    # axis, each slice its own fixed-shape GEMM).  Low-rank path: two
+    # rank-r products per task.
+    hidden = np.matmul(x.data, a.data.transpose(0, 2, 1))  # (T, B, r)
+    out = np.matmul(x.data, weight.data.T)
+    out += np.matmul(hidden, b.data.transpose(0, 2, 1))
+    if bias is not None:
+        out += bias.data
+
+    parents = (x, weight, a, b) if bias is None else (x, weight, a, b, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        if b.requires_grad:
+            b._accumulate_owned(np.matmul(grad.transpose(0, 2, 1), hidden))
+        grad_hidden = None
+        if a.requires_grad or x.requires_grad:
+            grad_hidden = np.matmul(grad, b.data)  # (T, B, r)
+        if a.requires_grad:
+            a._accumulate_owned(np.matmul(grad_hidden.transpose(0, 2, 1), x.data))
+        if x.requires_grad:
+            grad_x = np.matmul(grad, weight.data)
+            grad_x += np.matmul(grad_hidden, a.data)
+            x._accumulate_owned(grad_x)
+        if weight.requires_grad:
+            weight._accumulate(
+                np.einsum("tbo,tbi->oi", grad, x.data, optimize=True)
+            )
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 1)))
 
     return Tensor._make(out, parents, backward)
 

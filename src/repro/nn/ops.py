@@ -13,7 +13,15 @@ import numpy as np
 
 from .tensor import Tensor
 
-__all__ = ["im2col", "col2im", "conv2d", "conv2d_batched", "max_pool2d", "avg_pool2d"]
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv2d_batched",
+    "conv2d_lowrank_batched",
+    "max_pool2d",
+    "avg_pool2d",
+]
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -240,6 +248,114 @@ def conv2d_batched(
             bias._accumulate_owned(grad.sum(axis=(1, 3, 4)))
         if x.requires_grad:
             grad_cols = np.matmul(grad_flat, weight_flat)  # (T, B*OH*OW, patch)
+            grad_cols = grad_cols.reshape(tasks * batch, out_h, out_w, patch)
+            grad_x = col2im(
+                grad_cols,
+                (tasks * batch, in_channels, height, width),
+                (kh, kw),
+                stride,
+                padding,
+            )
+            x._accumulate_owned(grad_x.reshape(x.shape))
+
+    return Tensor._make(out, parents, backward)
+
+
+def conv2d_lowrank_batched(
+    x: Tensor,
+    weight: Tensor,
+    a: Tensor,
+    b: Tensor,
+    bias: Tensor | None = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Grouped convolution with a *shared* filter bank and rank-r deltas.
+
+    The effective per-task filters are ``weight + unflatten(b[t] @ a[t])``
+    on the im2col-lowered ``(out_channels, patch)`` view of the weights
+    (``patch = in_channels * kh * kw``), but the dense delta is never
+    materialized: the base runs as one broadcast matrix product against the
+    shared filters and the delta as two rank-r products per task.  Only the
+    factors carry gradients in the adaptation use case (the base weight and
+    bias are frozen snapshots), so fine-tuning a task touches
+    ``O(r * (patch + out_channels))`` parameters instead of the full bank.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(tasks, batch, in_channels, height, width)``.
+    weight:
+        Shared filter bank of shape ``(out_channels, in_channels, kh, kw)``
+        — no task axis.
+    a:
+        Down-projection factors of shape ``(tasks, rank, patch)``.
+    b:
+        Up-projection factors of shape ``(tasks, out_channels, rank)``.
+    bias:
+        Optional shared bias of shape ``(out_channels,)``.
+
+    Returns
+    -------
+    Tensor of shape ``(tasks, batch, out_channels, out_h, out_w)``.
+    """
+    if x.ndim != 5:
+        raise ValueError(f"conv2d_lowrank_batched expects a 5-D input, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(
+            f"conv2d_lowrank_batched expects a shared 4-D weight, got shape {weight.shape}"
+        )
+    tasks, batch, in_channels, height, width = x.shape
+    out_channels, w_in, kh, kw = weight.shape
+    if w_in != in_channels:
+        raise ValueError(f"input has {in_channels} channels but weight expects {w_in}")
+    patch = in_channels * kh * kw
+    if a.ndim != 3 or a.shape[0] != tasks or a.shape[2] != patch:
+        raise ValueError(
+            f"a must have shape ({tasks}, rank, {patch}), got {a.shape}"
+        )
+    rank = a.shape[1]
+    if b.shape != (tasks, out_channels, rank):
+        raise ValueError(f"b must have shape {(tasks, out_channels, rank)}, got {b.shape}")
+    if bias is not None and bias.shape != (out_channels,):
+        raise ValueError(f"bias must have shape ({out_channels},), got {bias.shape}")
+
+    out_h, out_w = conv_output_shape(height, width, (kh, kw), stride, padding)
+    rows = batch * out_h * out_w
+
+    cols = im2col(
+        x.data.reshape(tasks * batch, in_channels, height, width), (kh, kw), stride, padding
+    )  # (T*B, OH, OW, patch)
+    cols_flat = cols.reshape(tasks, rows, patch)
+    weight_flat = weight.data.reshape(out_channels, patch)
+
+    hidden = np.matmul(cols_flat, a.data.transpose(0, 2, 1))  # (T, rows, r)
+    out = np.matmul(cols_flat, weight_flat.T)  # broadcast base: (T, rows, O)
+    out += np.matmul(hidden, b.data.transpose(0, 2, 1))
+    out = out.reshape(tasks, batch, out_h, out_w, out_channels).transpose(0, 1, 4, 2, 3)
+    if bias is not None:
+        out = out + bias.data.reshape(1, 1, out_channels, 1, 1)
+
+    parents = (x, weight, a, b) if bias is None else (x, weight, a, b, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (T, B, O, OH, OW)
+        grad_flat = grad.transpose(0, 1, 3, 4, 2).reshape(tasks, rows, out_channels)
+        if b.requires_grad:
+            b._accumulate_owned(np.matmul(grad_flat.transpose(0, 2, 1), hidden))
+        grad_hidden = None
+        if a.requires_grad or x.requires_grad:
+            grad_hidden = np.matmul(grad_flat, b.data)  # (T, rows, r)
+        if a.requires_grad:
+            a._accumulate_owned(np.matmul(grad_hidden.transpose(0, 2, 1), cols_flat))
+        if weight.requires_grad:
+            grad_weight = np.einsum("tro,trp->op", grad_flat, cols_flat, optimize=True)
+            weight._accumulate(grad_weight.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 1, 3, 4)))
+        if x.requires_grad:
+            grad_cols = np.matmul(grad_flat, weight_flat)  # (T, rows, patch)
+            grad_cols += np.matmul(grad_hidden, a.data)
             grad_cols = grad_cols.reshape(tasks * batch, out_h, out_w, patch)
             grad_x = col2im(
                 grad_cols,

@@ -15,7 +15,7 @@ import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_state", "load_state", "save_model", "load_model_into"]
+__all__ = ["save_state", "load_state", "read_metadata", "save_model", "load_model_into"]
 
 PathLike = Union[str, Path]
 _METADATA_KEY = "__repro_metadata__"
@@ -50,6 +50,19 @@ def load_state(path: PathLike) -> tuple[Dict[str, np.ndarray], Optional[Dict]]:
         if _METADATA_KEY in archive.files:
             metadata = json.loads(bytes(archive[_METADATA_KEY].tolist()).decode("utf-8"))
     return state, metadata
+
+
+def read_metadata(path: PathLike) -> Optional[Dict]:
+    """Read only the metadata block of a checkpoint.
+
+    ``.npz`` members decompress lazily, so this touches just the (tiny) JSON
+    array — the cheap way to identify many archives (e.g. scanning an adapter
+    spill directory on startup) without loading their tensors.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if _METADATA_KEY not in archive.files:
+            return None
+        return json.loads(bytes(archive[_METADATA_KEY].tolist()).decode("utf-8"))
 
 
 def save_model(model: Module, path: PathLike, metadata: Optional[Dict] = None) -> Path:

@@ -45,6 +45,7 @@ Pieces, inside-out:
 from .adapters import AdapterRegistry
 from .batcher import FrameDropped, MicroBatcher, PendingPrediction, QueueFull, ServeRequest
 from .config import ServeConfig
+from .policy import AdapterPolicy
 from .frontend import AsyncPoseClient, PoseFrontend, ServerClosing
 from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics, percentile, prometheus_exposition
@@ -61,6 +62,7 @@ from .sharded import ProcessShardedPoseServer, ShardedPoseServer
 from .worker import ShardCrashed, ShardProcess, ShardRemoteError
 
 __all__ = [
+    "AdapterPolicy",
     "AdapterRegistry",
     "AsyncPoseClient",
     "FrameDropped",

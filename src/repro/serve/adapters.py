@@ -13,18 +13,34 @@ Because task slices are mathematically and bitwise independent, a user
 adapted inside a group ends up with exactly the parameters a solo
 :meth:`adapt_user` call would have produced — ``tests/serve`` pins this.
 
-Two adaptation scopes mirror the paper's Figures 3 and 4:
+Three adaptation scopes, selected by :class:`repro.serve.AdapterPolicy`:
 
-* ``scope="all"`` personalises every layer.  Maximum capacity, but serving
-  must read ~1.1 M parameters per user per batch — adapted traffic becomes
-  memory-bound (the throughput benchmark documents the cost).
+* ``scope="all"`` personalises every layer as full per-user tensors.
+  Maximum capacity, but serving must read ~1.1 M parameters per user per
+  batch — adapted traffic becomes memory-bound (the throughput benchmark
+  documents the cost).
 * ``scope="last"`` personalises only the final FC layer (the paper's
   low-cost online regime): the convolutional/FC trunk stays shared — so
   serving runs it once per micro-batch through the batch-invariant kernel —
-  and each user owns just a ``(57, 512)`` head.  Adaptation precomputes the
-  trunk embedding of the calibration frames once and fine-tunes the head as
-  a tiny grouped linear problem; both adaptation and serving scale to far
-  more concurrent personalised users.
+  and each user owns just a ``(57, 512)`` head.
+* ``scope="lora"`` personalises *every* layer through rank-``r`` low-rank
+  deltas: the shared base weights are frozen and each user owns per-layer
+  ``(A, B)`` factor pairs with ``delta = B @ A``, trained through the
+  grouped low-rank kernels (:func:`repro.engine.lowrank_forward`) so the
+  dense delta is never materialized.  Per-user memory drops from
+  ``O(in * out)`` to ``O(r * (in + out))`` — full-network personalization at
+  close to last-layer cost, the route to millions of resident users.
+
+Around the parameter store sits the **adapter lifecycle**: the in-memory
+store is the *hot* tier, bounded by ``policy.hot_capacity`` with
+least-recently-served demotion.  With ``policy.spill_dir`` set, every
+adaptation is written through to a per-user ``.npz`` spill file, so a
+demoted user lands in the *warm* tier (on disk, promoted back transparently
+on the next access) instead of vanishing; ``policy.warm_capacity`` bounds
+the spill files before the coldest users are dropped entirely (*cold* —
+re-onboard on demand).  Because spill files are written through at
+adaptation time, they double as crash persistence: a restarted process
+pointed at the same spill directory re-attaches every warm user.
 
 The registry also answers the serving hot path: :meth:`gather` stacks the
 parameter sets of the users in one micro-batch into ``(tasks, ...)`` tensors.
@@ -40,9 +56,11 @@ as the only miss.
 
 from __future__ import annotations
 
+import hashlib
+import warnings
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -53,14 +71,27 @@ from ..dataset.loader import ArrayDataset
 from ..engine.functional import (
     batched_forward,
     gradient_step,
+    lowrank_forward,
+    lowrank_parameters,
+    lowrank_shapes,
     replicate_parameters,
     supports_batched_execution,
 )
-from ..nn.serialization import load_state, save_state
+from ..nn.serialization import load_state, read_metadata, save_state
+from ..runtime.seeding import seed_for_key
 from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics
+from .policy import AdapterPolicy
 
 __all__ = ["AdapterRegistry"]
+
+#: current on-disk schema of :meth:`AdapterRegistry.save` and the spill files.
+#: Format 1 (PR-3 era) stored full parameter tensors with no rank metadata;
+#: format 2 adds the ``rank`` field so low-rank factor archives are
+#: self-describing.  :meth:`AdapterRegistry.load` reads both.
+SAVE_FORMAT = 2
+
+_SPILL_PREFIX = "user-"
 
 
 def _readonly(array: np.ndarray) -> np.ndarray:
@@ -77,16 +108,21 @@ class AdapterRegistry:
     model:
         The shared base model whose parameters seed every adaptation.  The
         registry never mutates it.
-    config:
-        Fine-tuning hyper-parameters.  Grouped adaptation requires the plain
-        SGD update (``optimizer="sgd"``) — the rule the FUSE initialization
-        was optimized for — with either scope.  The default is the paper's
-        ~5-epoch online regime rather than the offline 50-epoch sweep.
+    policy:
+        The :class:`repro.serve.AdapterPolicy` governing everything here:
+        adaptation scope and hyper-parameters, the low-rank ``rank``, and the
+        hot/warm/cold tier budgets.  ``None`` uses the default policy
+        (``scope="all"``, the paper's ~5-epoch online regime).  Passing a
+        legacy :class:`FineTuneConfig` (positionally or via the deprecated
+        ``config=`` keyword) still works — it is translated through
+        :meth:`AdapterPolicy.from_finetune`, bitwise-equivalent — but emits a
+        :class:`DeprecationWarning`.
     gather_cache_size:
         Number of recently used ``(tasks, ...)`` parameter stacks memoized
         for the serving hot path.
     metrics:
-        Optional :class:`ServeMetrics` receiving cache and adaptation events.
+        Optional :class:`ServeMetrics` receiving cache, adaptation and
+        tier-lifecycle events.
     gemm_block:
         Block width of the trunk-embedding kernel under ``scope="last"``
         (matched to the server's ``gemm_block`` so embeddings agree bitwise
@@ -96,18 +132,35 @@ class AdapterRegistry:
     def __init__(
         self,
         model: PoseCNN,
-        config: Optional[FineTuneConfig] = None,
+        policy: Optional[Union[AdapterPolicy, FineTuneConfig]] = None,
         gather_cache_size: int = 8,
         metrics: Optional[ServeMetrics] = None,
         gemm_block: int = 32,
+        config: Optional[FineTuneConfig] = None,
     ) -> None:
         self.model = model
-        self.config = config if config is not None else FineTuneConfig(epochs=5)
-        if self.config.optimizer != "sgd":
-            raise ValueError("grouped adaptation only supports the sgd optimizer")
+        if config is not None:
+            if policy is not None:
+                raise TypeError("pass either policy= or the legacy config=, not both")
+            warnings.warn(
+                "AdapterRegistry(config=FineTuneConfig(...)) is deprecated; "
+                "pass policy=AdapterPolicy(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = AdapterPolicy.from_finetune(config)
+        elif isinstance(policy, FineTuneConfig):
+            warnings.warn(
+                "passing a FineTuneConfig to AdapterRegistry is deprecated; "
+                "pass an AdapterPolicy instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = AdapterPolicy.from_finetune(policy)
+        self.policy: AdapterPolicy = policy if policy is not None else AdapterPolicy()
         if gather_cache_size < 1:
             raise ValueError("gather_cache_size must be >= 1")
-        if self.config.scope == "last":
+        if self.policy.scope == "last":
             head = model.last_layer
             if not isinstance(head, nn.Linear):
                 raise ValueError("scope='last' requires the final layer to be Linear")
@@ -118,6 +171,16 @@ class AdapterRegistry:
             self._head_init = [head.weight.data.copy()]
             if head.bias is not None:
                 self._head_init.append(head.bias.data.copy())
+            self._lora_base: List[nn.Tensor] = []
+        elif self.policy.scope == "lora":
+            # The adaptable-layer census doubles as the architecture check;
+            # the base snapshot is what lowrank_forward serves against and
+            # deliberately does not require gradients — adaptation trains
+            # only the rank-r factors.
+            lowrank_shapes(model)
+            self._trunk_kernel = None
+            self._head_init = []
+            self._lora_base = [nn.Tensor(p.data.copy()) for p in model.parameters()]
         else:
             # The task-batched training kernels are only required once
             # adaptation actually runs (checked in _adapt_group), so a model
@@ -125,9 +188,21 @@ class AdapterRegistry:
             # base traffic through a registry-less route.
             self._trunk_kernel = None
             self._head_init = []
+            self._lora_base = []
         self.metrics = metrics
         self.version = 0
+        # Hot tier: in-memory parameter sets, LRU-ordered by last access.
         self._params: "OrderedDict[Hashable, List[np.ndarray]]" = OrderedDict()
+        # Warm tier: users whose parameters live only in their spill file,
+        # LRU-ordered by demotion time.  `_spill_paths` tracks the current
+        # spill file of *every* spilled user, hot or warm (write-through
+        # keeps the file in sync with memory, so demotion is a pure drop).
+        self._warm: "OrderedDict[Hashable, Path]" = OrderedDict()
+        self._spill_paths: Dict[Hashable, Path] = {}
+        # Cold: users whose state was dropped entirely — only their ids are
+        # remembered, so the registry can report a cold miss distinct from
+        # "never adapted".
+        self._cold: Set[Hashable] = set()
         self._gather_cache: "OrderedDict[Tuple, List[nn.Tensor]]" = OrderedDict()
         self._gather_cache_size = gather_cache_size
         # Full-registry (all_users, ...) stack, rebuilt lazily when `version`
@@ -136,11 +211,25 @@ class AdapterRegistry:
         self._stack: Optional[List[np.ndarray]] = None
         self._stack_rows: Dict[Hashable, int] = {}
         self._stack_version = -1
+        self._spill_dir = self.policy.spill_path()
+        if self._spill_dir is not None:
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+            self._attach_spill_dir()
 
     @property
     def scope(self) -> str:
-        """Which layers are personalised: ``"all"`` or ``"last"``."""
-        return self.config.scope
+        """Which layers are personalised: ``"all"``, ``"last"`` or ``"lora"``."""
+        return self.policy.scope
+
+    @property
+    def config(self) -> FineTuneConfig:
+        """Legacy accessor: the policy as a :class:`FineTuneConfig`.
+
+        Pre-policy call sites read ``registry.config`` for the adaptation
+        hyper-parameters; they keep working for the scopes a
+        :class:`FineTuneConfig` can express (``all``/``last``).
+        """
+        return self.policy.finetune_config()
 
     def trunk_embed(self, features: np.ndarray) -> np.ndarray:
         """The shared-trunk embedding under ``scope="last"`` (batch-invariant)."""
@@ -152,23 +241,43 @@ class AdapterRegistry:
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._params)
+        """Number of resident (hot + warm) users."""
+        return len(self._params) + len(self._warm)
 
     def __contains__(self, user_id: Hashable) -> bool:
-        return user_id in self._params
+        """Whether the user is resident (hot or warm) — cold users are not."""
+        return user_id in self._params or user_id in self._warm
 
     @property
     def user_ids(self) -> List[Hashable]:
-        return list(self._params)
+        return list(self._params) + list(self._warm)
+
+    def tier_sizes(self) -> Dict[str, int]:
+        """Current population of each lifecycle tier."""
+        return {"hot": len(self._params), "warm": len(self._warm), "cold": len(self._cold)}
+
+    def resident_bytes(self, user_id: Hashable) -> int:
+        """Bytes of in-memory (hot-tier) parameter state the user would occupy.
+
+        This is the per-user cost the lifecycle budgets govern: for
+        ``scope="all"`` the full parameter set, for ``scope="lora"`` just the
+        rank-r factors.  Warm users are promoted to answer (their hot-tier
+        footprint is the question being asked).
+        """
+        params = self._lookup(user_id, record=False)
+        if params is None:
+            raise KeyError(f"no adapted parameters for user {user_id!r}")
+        return sum(int(array.nbytes) for array in params)
 
     def parameters_for(self, user_id: Hashable) -> Optional[List[np.ndarray]]:
         """The user's adapted parameters as read-only views, or ``None``.
 
         Under ``scope="all"`` these follow ``model.parameters()`` order;
         under ``scope="last"`` they are the personal head's
-        ``[weight, bias]``.
+        ``[weight, bias]``; under ``scope="lora"`` the per-layer factors
+        ``[a0, b0, a1, b1, ...]``.  A warm user is transparently promoted.
         """
-        params = self._params.get(user_id)
+        params = self._lookup(user_id, record=False)
         if params is None:
             return None
         return [_readonly(p) for p in params]
@@ -195,7 +304,9 @@ class AdapterRegistry:
         grouped with its peers.  Each user's slice starts from the shared
         base parameters and follows exactly the update sequence a solo
         adaptation would — results are bitwise identical to
-        :meth:`adapt_user` per user.
+        :meth:`adapt_user` per user.  (Under ``scope="lora"`` the factor
+        initialization is seeded per user, so a user's trajectory is also
+        independent of which peers share the grouped call.)
         """
         if not datasets:
             raise ValueError("at least one adaptation set is required")
@@ -215,7 +326,12 @@ class AdapterRegistry:
 
         for user_id, params in adapted.items():
             self._params[user_id] = params
+            self._params.move_to_end(user_id)
+            self._warm.pop(user_id, None)
+            self._cold.discard(user_id)
+            self._write_spill(user_id, params)
         self._absorb_adaptation(adapted)
+        self._enforce_budgets()
         if self.metrics is not None:
             self.metrics.record_adaptation(len(adapted))
         return adapted
@@ -228,13 +344,13 @@ class AdapterRegistry:
         epochs: Optional[int],
     ) -> Dict[Hashable, List[np.ndarray]]:
         """One grouped adaptation over equally sized sets."""
-        cfg = self.config
-        epochs = epochs if epochs is not None else cfg.epochs
+        policy = self.policy
+        epochs = epochs if epochs is not None else policy.epochs
         num_users = len(users)
-        batch_size = min(cfg.batch_size, size)
+        batch_size = min(policy.batch_size, size)
         labels = np.stack([dataset.labels for dataset in datasets])
 
-        if cfg.scope == "last":
+        if policy.scope == "last":
             # The trunk is shared and frozen: embed every calibration frame
             # in one batch-invariant kernel pass (per-frame results are
             # independent of the concatenation), then the personal head is a
@@ -252,6 +368,20 @@ class AdapterRegistry:
 
             def forward(p: List[nn.Tensor], x: nn.Tensor) -> nn.Tensor:
                 return nn.linear_batched(x, p[0], p[1] if len(p) > 1 else None)
+        elif policy.scope == "lora":
+            # The base stays frozen; each user trains only per-layer rank-r
+            # factors.  Factor initialization is seeded by the user id, not
+            # the group slot, so the trajectory is bitwise independent of
+            # which peers (if any) share the grouped call.
+            features = np.stack([dataset.features for dataset in datasets])
+            seeds = [
+                seed_for_key("lora-init", policy.seed, repr(user)) for user in users
+            ]
+            params = lowrank_parameters(self.model, policy.rank, seeds)
+            base = self._lora_base
+
+            def forward(p: List[nn.Tensor], x: nn.Tensor) -> nn.Tensor:
+                return lowrank_forward(self.model, base, p, x)
         else:
             if not supports_batched_execution(self.model):
                 raise ValueError(
@@ -268,21 +398,122 @@ class AdapterRegistry:
             # Mirror BatchLoader's shuffling so grouped and solo adaptation
             # consume mini-batches in the same order.
             indices = np.arange(size)
-            if cfg.shuffle:
-                indices = np.random.default_rng(cfg.seed + epoch).permutation(size)
+            if policy.shuffle:
+                indices = np.random.default_rng(policy.seed + epoch).permutation(size)
             for start in range(0, size, batch_size):
                 batch = indices[start : start + batch_size]
                 x = nn.Tensor(features[:, batch])
                 y = nn.Tensor(labels[:, batch])
                 predictions = forward(params, x)
-                losses = nn.per_task_loss(predictions, y, cfg.loss)
+                losses = nn.per_task_loss(predictions, y, policy.loss)
                 losses.sum().backward()
-                params = gradient_step(params, cfg.learning_rate)
+                params = gradient_step(params, policy.learning_rate)
 
         return {
             user: [stacked.data[slot].copy() for stacked in params]
             for slot, user in enumerate(users)
         }
+
+    # ------------------------------------------------------------------
+    # Lifecycle tiers
+    # ------------------------------------------------------------------
+    def _lookup(
+        self, user_id: Hashable, record: bool = True
+    ) -> Optional[List[np.ndarray]]:
+        """Resolve a user's parameters across tiers, promoting warm users.
+
+        Hot users are touched (LRU refresh); warm users are promoted into the
+        hot tier; cold and unknown users return ``None`` (a known-cold miss
+        is recorded distinctly from never-adapted traffic).
+        """
+        params = self._params.get(user_id)
+        if params is not None:
+            self._params.move_to_end(user_id)
+            if record and self.metrics is not None:
+                self.metrics.record_adapter_access("hot")
+            return params
+        if user_id in self._warm:
+            params = self._promote(user_id)
+            if record and self.metrics is not None:
+                self.metrics.record_adapter_access("warm")
+            return params
+        if record and self.metrics is not None and user_id in self._cold:
+            self.metrics.record_adapter_access("cold")
+        return None
+
+    def _promote(
+        self, user_id: Hashable, protect: Set[Hashable] = frozenset()
+    ) -> List[np.ndarray]:
+        """Load a warm user's spill file back into the hot tier."""
+        path = self._warm.pop(user_id)
+        state, metadata = load_state(path)
+        self._validate_archive(metadata, path, spill=True)
+        params = [state[key] for key in sorted(state)]
+        self._params[user_id] = params
+        self._params.move_to_end(user_id)
+        # The spill file stays current (write-through), so a later demotion
+        # of this user is again a pure in-memory drop.
+        self._invalidate_gather_state()
+        self._enforce_budgets(protect={user_id} | set(protect))
+        return params
+
+    def _enforce_budgets(self, protect: Set[Hashable] = frozenset()) -> None:
+        """Demote past-budget users: hot → warm (or cold), warm → cold."""
+        hot_capacity = self.policy.hot_capacity
+        if hot_capacity is not None and len(self._params) > hot_capacity:
+            evictable = [user for user in self._params if user not in protect]
+            evicted = False
+            while len(self._params) > hot_capacity and evictable:
+                user = evictable.pop(0)
+                del self._params[user]
+                evicted = True
+                if user in self._spill_paths:
+                    self._warm[user] = self._spill_paths[user]
+                    if self.metrics is not None:
+                        self.metrics.record_adapter_demotion("warm")
+                else:
+                    self._cold.add(user)
+                    if self.metrics is not None:
+                        self.metrics.record_adapter_demotion("cold")
+            if evicted:
+                self._invalidate_gather_state()
+        warm_capacity = self.policy.warm_capacity
+        if warm_capacity is not None:
+            while len(self._warm) > warm_capacity:
+                user, path = self._warm.popitem(last=False)
+                path.unlink(missing_ok=True)
+                del self._spill_paths[user]
+                self._cold.add(user)
+                if self.metrics is not None:
+                    self.metrics.record_adapter_demotion("cold")
+
+    def _attach_spill_dir(self) -> None:
+        """Register existing spill files as warm users (restart re-attach).
+
+        This is what lets adapter state survive a worker-process crash: the
+        restarted process scans ``policy.spill_dir`` and every previously
+        spilled user comes back warm, promoted on their next request.
+        """
+        for path in sorted(self._spill_dir.glob(f"{_SPILL_PREFIX}*.npz")):
+            metadata = read_metadata(path)
+            if not metadata or "user" not in metadata:
+                continue
+            self._validate_archive(metadata, path, spill=True)
+            user_id = self._decode_user(metadata["user"])
+            if user_id not in self._params:
+                self._warm[user_id] = path
+            self._spill_paths[user_id] = path
+
+    def _write_spill(self, user_id: Hashable, params: Sequence[np.ndarray]) -> None:
+        """Write-through one user's parameters to their spill file."""
+        if self._spill_dir is None:
+            return
+        encoded = self._encode_user(user_id)
+        digest = hashlib.sha1(repr(encoded).encode("utf-8")).hexdigest()[:16]
+        path = self._spill_dir / f"{_SPILL_PREFIX}{digest}.npz"
+        state = {f"p{slot:03d}": array for slot, array in enumerate(params)}
+        save_state(state, path, metadata=self._archive_metadata(user=encoded))
+        self._spill_paths[user_id] = path
 
     # ------------------------------------------------------------------
     # Persistence
@@ -300,42 +531,82 @@ class AdapterRegistry:
         kind, value = encoded
         return str(value) if kind == "str" else int(value)
 
+    def _archive_metadata(self, **extra) -> Dict:
+        metadata = {"format": SAVE_FORMAT, "scope": self.scope}
+        if self.scope == "lora":
+            metadata["rank"] = self.policy.rank
+        metadata.update(extra)
+        return metadata
+
+    def _validate_archive(self, metadata: Optional[Dict], path, spill: bool = False) -> None:
+        """Check an archive's schema against this registry's policy.
+
+        Raises a readable error on any mismatch instead of letting a wrong
+        archive surface later as a shape crash inside a gather.
+        """
+        kind = "spill file" if spill else "checkpoint"
+        if not metadata or metadata.get("format") not in (1, SAVE_FORMAT):
+            raise ValueError(f"{path} is not an adapter-registry {kind}")
+        archive_scope = metadata.get("scope")
+        if archive_scope != self.scope:
+            raise ValueError(
+                f"{kind} {path} was saved with scope='{archive_scope}', "
+                f"registry policy has scope='{self.scope}'"
+            )
+        if metadata["format"] == 1 and self.scope == "lora":
+            raise ValueError(
+                f"{kind} {path} is a legacy format-1 archive (full parameter "
+                "tensors); it cannot load into a scope='lora' policy"
+            )
+        if self.scope == "lora":
+            archive_rank = metadata.get("rank")
+            if archive_rank != self.policy.rank:
+                raise ValueError(
+                    f"{kind} {path} holds rank-{archive_rank} factors, "
+                    f"registry policy has rank={self.policy.rank}"
+                )
+
     def save(self, path: Union[str, Path]) -> Path:
-        """Persist every user's adapted parameter set to an ``.npz`` archive.
+        """Persist every resident user's parameter set to an ``.npz`` archive.
 
         Built on :mod:`repro.nn.serialization`: pure-NumPy arrays plus a JSON
-        metadata block (format version, adaptation scope, user ids), no
-        pickled code objects.  User ids must be strings or integers — the
-        hashables a JSON round trip preserves.
+        metadata block (format version, adaptation scope, low-rank rank, user
+        ids), no pickled code objects.  Both hot and warm users are included
+        (warm users are read from their spill files without promotion).  User
+        ids must be strings or integers — the hashables a JSON round trip
+        preserves.
         """
         state: Dict[str, np.ndarray] = {}
         users: List[List] = []
-        for index, (user_id, params) in enumerate(self._params.items()):
+        entries = [(user, params) for user, params in self._params.items()]
+        for user in self._warm:
+            warm_state, _ = load_state(self._warm[user])
+            entries.append((user, [warm_state[key] for key in sorted(warm_state)]))
+        for index, (user_id, params) in enumerate(entries):
             users.append(self._encode_user(user_id))
             for slot, array in enumerate(params):
                 # Zero-padded slots keep the lexicographic key order equal to
                 # the parameter order on reload.
                 state[f"user{index:06d}.p{slot:03d}"] = array
-        metadata = {"format": 1, "scope": self.scope, "users": users}
-        return save_state(state, path, metadata=metadata)
+        return save_state(state, path, metadata=self._archive_metadata(users=users))
 
     def load(self, path: Union[str, Path], replace: bool = True) -> List[Hashable]:
         """Restore adapted parameter sets saved by :meth:`save`.
 
-        ``replace=True`` (default) drops the current registry contents
+        Reads both the current format-2 schema and legacy PR-3-era format-1
+        archives (full parameter tensors, scopes ``all``/``last``) — a legacy
+        archive loads into a registry whose policy matches its scope exactly
+        as it always did.  Mismatched scope or rank raises a readable error.
+
+        ``replace=True`` (default) makes the registry contents equal the
+        archive's — current users (including warm spill files) are dropped
         first; ``replace=False`` merges, with loaded users overwriting any
-        existing parameter set of the same id.  The archive's adaptation
-        scope must match this registry's (the parameter layout differs
-        between scopes).  Returns the loaded user ids.
+        existing parameter set of the same id.  Loaded users enter the hot
+        tier and are written through to the spill directory when one is
+        configured.  Returns the loaded user ids.
         """
         state, metadata = load_state(path)
-        if not metadata or metadata.get("format") != 1:
-            raise ValueError(f"{path} is not an adapter-registry checkpoint")
-        if metadata["scope"] != self.scope:
-            raise ValueError(
-                f"checkpoint was saved with scope='{metadata['scope']}', "
-                f"registry has scope='{self.scope}'"
-            )
+        self._validate_archive(metadata, path)
         # One pass over the (sorted-once) keys; zero-padded user and slot
         # indices make lexicographic order equal to parameter order.
         by_user: Dict[str, List[np.ndarray]] = {}
@@ -349,15 +620,31 @@ class AdapterRegistry:
                 raise ValueError(f"checkpoint is missing parameters for user #{index}")
             loaded[self._decode_user(encoded)] = params
         if replace:
+            for stale in set(self._spill_paths) - set(loaded):
+                self._spill_paths.pop(stale).unlink(missing_ok=True)
             self._params = loaded
+            self._warm.clear()
+            self._cold.clear()
         else:
-            self._params.update(loaded)
+            for user_id, params in loaded.items():
+                self._params[user_id] = params
+                self._params.move_to_end(user_id)
+                self._warm.pop(user_id, None)
+                self._cold.discard(user_id)
+        for user_id, params in loaded.items():
+            self._write_spill(user_id, params)
         self._invalidate_gather_state()
+        self._enforce_budgets()
         return list(loaded)
 
     def remove(self, user_id: Hashable) -> bool:
-        """Forget one user's adapted parameters; returns whether they existed."""
+        """Forget one user entirely (all tiers); returns whether they existed."""
         existed = self._params.pop(user_id, None) is not None
+        existed = self._warm.pop(user_id, None) is not None or existed
+        spill = self._spill_paths.pop(user_id, None)
+        if spill is not None:
+            spill.unlink(missing_ok=True)
+        self._cold.discard(user_id)
         if existed:
             self._invalidate_gather_state()
         return existed
@@ -396,21 +683,38 @@ class AdapterRegistry:
     def gather(self, user_ids: Sequence[Hashable]) -> List[nn.Tensor]:
         """Stack the users' parameter sets into ``(tasks, ...)`` tensors.
 
-        The result feeds :func:`repro.engine.batched_forward` directly.  An
-        exact composition repeat returns the memoized tensors; any other
-        composition row-indexes the full-registry stack (one vectorized copy
-        per parameter tensor).  The only cache *miss* is a registry-stack
-        rebuild, which happens only when the cohort's membership changes
-        (re-adapting existing users overwrites their rows in place) —
-        steady-state serving hits on every micro-batch even when batch
-        boundaries drift across the cohort (the bug the old
+        The result feeds :func:`repro.engine.batched_forward` (or the
+        low-rank kernels, for ``scope="lora"`` factor stacks) directly.  Warm
+        users are transparently promoted to the hot tier first; requesting a
+        cold or unknown user raises :class:`KeyError` (the caller re-onboards
+        on demand).  An exact composition repeat returns the memoized
+        tensors; any other composition row-indexes the full-registry stack
+        (one vectorized copy per parameter tensor).  The only cache *miss* is
+        a registry-stack rebuild, which happens only when the hot cohort's
+        membership changes (re-adapting existing users overwrites their rows
+        in place) — steady-state serving hits on every micro-batch even when
+        batch boundaries drift across the user cohort (the bug the old
         composition-keyed cache had: with 50 users and 64-wide batches no
         composition ever repeated inside the LRU window, so the hit rate
         pinned at 0).
         """
         if not user_ids:
             raise ValueError("at least one user is required")
-        missing = [user for user in user_ids if user not in self._params]
+        missing = []
+        composition = set(user_ids)
+        for user in dict.fromkeys(user_ids):
+            if user in self._params:
+                self._params.move_to_end(user)
+                if self.metrics is not None:
+                    self.metrics.record_adapter_access("hot")
+            elif user in self._warm:
+                self._promote(user, protect=composition)
+                if self.metrics is not None:
+                    self.metrics.record_adapter_access("warm")
+            else:
+                if self.metrics is not None and user in self._cold:
+                    self.metrics.record_adapter_access("cold")
+                missing.append(user)
         if missing:
             raise KeyError(f"no adapted parameters for users {missing!r}")
         key = (self.version, tuple(user_ids))

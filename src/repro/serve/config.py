@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .policy import AdapterPolicy
+
 __all__ = ["ServeConfig"]
 
 
@@ -56,6 +58,12 @@ class ServeConfig:
         in ``tests/serve``) additionally requires pinning both to the same
         ``gemm_block``: different block widths use differently shaped GEMMs
         and may differ in the last bits.
+    adapter:
+        The per-user adaptation policy (:class:`repro.serve.AdapterPolicy`):
+        scope, rank, training hyper-parameters, and hot/warm/cold tier
+        budgets.  ``None`` falls back to the server's legacy ``adaptation``
+        kwarg (or the default all-scope policy) — existing call sites keep
+        working unchanged.
     """
 
     max_batch_size: int = 32
@@ -65,6 +73,7 @@ class ServeConfig:
     ring_capacity: Optional[int] = None
     max_sessions: int = 1024
     gemm_block: Optional[int] = None
+    adapter: Optional[AdapterPolicy] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:

@@ -529,6 +529,7 @@ class PoseFrontend:
                 f"message type {kind!r} requires protocol v2, front-end speaks v1"
             )
         if kind == "hello":
+            policy = getattr(self.server, "policy", None)
             return {
                 "type": "hello",
                 "protocol": self.protocol,
@@ -536,6 +537,10 @@ class PoseFrontend:
                 "codecs": list(available_codecs()),
                 "shards": int(getattr(self.server, "num_shards", 1) or 1),
                 "max_in_flight": self.max_in_flight,
+                # adapter_policy lets a client discover how this deployment
+                # personalizes (scope, rank, tier budgets) without a side
+                # channel; None when the backend predates AdapterPolicy.
+                "adapter_policy": policy.to_dict() if policy is not None else None,
             }
         if kind == "ping":
             return {"type": "pong"}

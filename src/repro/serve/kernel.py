@@ -66,6 +66,31 @@ class _ConvStep:
             out.reshape(block, out_h, out_w, -1).transpose(0, 3, 1, 2)
         )
 
+    def lowrank(self, x: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """The base product plus a per-frame rank-r delta on the patch view.
+
+        The base GEMM is exactly :meth:`__call__`'s fixed-shape product; the
+        delta ``(cols @ a[i].T) @ b[i].T`` runs as per-frame batched rank-r
+        matmuls whose shapes never depend on the batch, so the sum stays
+        batch-invariant frame by frame.
+        """
+        block = x.shape[0]
+        out_h, out_w = conv_output_shape(
+            x.shape[2], x.shape[3], self.kernel_size, self.stride, self.padding
+        )
+        cols = im2col(x, self.kernel_size, self.stride, self.padding)
+        flat = cols.reshape(block * out_h * out_w, -1)
+        out = flat @ self.weight_flat
+        if self.bias is not None:
+            out += self.bias
+        cols3 = flat.reshape(block, out_h * out_w, -1)
+        hidden = np.matmul(cols3, a.transpose(0, 2, 1))  # (block, oh*ow, r)
+        out3 = out.reshape(block, out_h * out_w, -1)
+        out3 += np.matmul(hidden, b.transpose(0, 2, 1))
+        return np.ascontiguousarray(
+            out3.reshape(block, out_h, out_w, -1).transpose(0, 3, 1, 2)
+        )
+
 
 class _LinearStep:
     """One fully connected layer computed transposed (batch on the N axis)."""
@@ -79,6 +104,15 @@ class _LinearStep:
         if self.bias is not None:
             out_t += self.bias[:, None]
         return out_t.T
+
+    def lowrank(self, x: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """The base product plus a per-frame rank-r delta (see _ConvStep)."""
+        out_t = self.weight @ np.ascontiguousarray(x).T
+        if self.bias is not None:
+            out_t += self.bias[:, None]
+        hidden = np.matmul(x[:, None, :], a.transpose(0, 2, 1))  # (block, 1, r)
+        delta = np.matmul(hidden, b.transpose(0, 2, 1))[:, 0]  # (block, out)
+        return out_t.T + delta
 
 
 class _ReluStep:
@@ -221,6 +255,69 @@ class SharedParameterKernel:
                 buffer[valid:] = 0.0
             outputs.append(self._run_block(buffer)[:valid].copy())
         return np.concatenate(outputs, axis=0)
+
+    def predict_lowrank(
+        self, features: np.ndarray, factors: Sequence
+    ) -> np.ndarray:
+        """Forward with per-frame low-rank deltas on every adaptable layer.
+
+        ``factors`` carries one ``(batch, rank, fan_in)`` down-projection and
+        one ``(batch, fan_out, rank)`` up-projection per Conv2d/Linear step,
+        interleaved ``[a0, b0, a1, b1, ...]`` — the stacks
+        :meth:`repro.serve.AdapterRegistry.gather` produces under
+        ``scope="lora"``, one row per frame.  The shared base runs in the
+        same fixed-width zero-padded blocks as :meth:`predict` (padding rows
+        get zero factors), and each frame's delta is a chain of per-frame
+        rank-r products — so predictions stay bitwise independent of the
+        micro-batch composition while the heavy GEMMs remain the shared
+        base's, not per-user ones.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 4:
+            raise ValueError(
+                f"expected (batch, channels, height, width) features, got {features.shape}"
+            )
+        arrays = [
+            np.asarray(f.data if isinstance(f, nn.Tensor) else f, dtype=float)
+            for f in factors
+        ]
+        adaptable = sum(isinstance(step, (_ConvStep, _LinearStep)) for step in self._steps)
+        if len(arrays) != 2 * adaptable:
+            raise ValueError(
+                f"kernel has {adaptable} adaptable layers and needs {2 * adaptable} "
+                f"factor stacks, got {len(arrays)}"
+            )
+        total = features.shape[0]
+        if any(array.shape[0] != total for array in arrays):
+            raise ValueError("every factor stack needs one row per frame")
+        if total == 0:
+            if self._out_features is None:
+                raise ValueError("cannot infer output width of an empty batch")
+            return np.zeros((0, self._out_features))
+        outputs: List[np.ndarray] = []
+        buffer = np.zeros((self.block, *features.shape[1:]))
+        padded = [np.zeros((self.block, *array.shape[1:])) for array in arrays]
+        for start in range(0, total, self.block):
+            chunk = features[start : start + self.block]
+            valid = chunk.shape[0]
+            buffer[:valid] = chunk
+            if valid < self.block:
+                buffer[valid:] = 0.0
+            for slot, array in enumerate(arrays):
+                padded[slot][:valid] = array[start : start + valid]
+                if valid < self.block:
+                    padded[slot][valid:] = 0.0
+            outputs.append(self._run_block_lowrank(buffer, padded)[:valid].copy())
+        return np.concatenate(outputs, axis=0)
+
+    def _run_block_lowrank(self, x: np.ndarray, factors: Sequence[np.ndarray]) -> np.ndarray:
+        pairs = iter(factors)
+        for step in self._steps:
+            if isinstance(step, (_ConvStep, _LinearStep)):
+                x = step.lowrank(x, next(pairs), next(pairs))
+            else:
+                x = step(x)
+        return x
 
     def predict_joints(self, features: np.ndarray) -> np.ndarray:
         """Inference reshaped to ``(batch, joints, 3)`` coordinates."""

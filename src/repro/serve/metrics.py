@@ -69,6 +69,11 @@ class ServeMetrics:
         self.param_cache_misses = 0
         self.adaptation_runs = 0
         self.adapted_users = 0
+        self.adapter_hot_hits = 0
+        self.adapter_warm_hits = 0
+        self.adapter_cold_misses = 0
+        self.adapter_demotions_warm = 0
+        self.adapter_demotions_cold = 0
         self.latency_sum_s = 0.0
         self._first_submit_at: Optional[float] = None
         self._last_completion_at: Optional[float] = None
@@ -111,6 +116,31 @@ class ServeMetrics:
         self.adaptation_runs += 1
         self.adapted_users += users
 
+    def record_adapter_access(self, tier: str) -> None:
+        """One adapter lookup, by the lifecycle tier that answered it.
+
+        ``"hot"`` — served from memory; ``"warm"`` — promoted from the spill
+        directory; ``"cold"`` — the user's state was dropped and must be
+        re-onboarded (a miss).
+        """
+        if tier == "hot":
+            self.adapter_hot_hits += 1
+        elif tier == "warm":
+            self.adapter_warm_hits += 1
+        elif tier == "cold":
+            self.adapter_cold_misses += 1
+        else:
+            raise ValueError(f"unknown adapter tier '{tier}'")
+
+    def record_adapter_demotion(self, tier: str) -> None:
+        """One adapter demotion into ``tier`` (``"warm"`` or ``"cold"``)."""
+        if tier == "warm":
+            self.adapter_demotions_warm += 1
+        elif tier == "cold":
+            self.adapter_demotions_cold += 1
+        else:
+            raise ValueError(f"unknown demotion tier '{tier}'")
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
@@ -139,6 +169,14 @@ class ServeMetrics:
         requests = self.param_cache_hits + self.param_cache_misses
         return self.param_cache_hits / requests if requests else 0.0
 
+    @property
+    def adapter_tier_hit_rate(self) -> float:
+        """Fraction of adapter lookups answered without re-onboarding."""
+        accesses = self.adapter_hot_hits + self.adapter_warm_hits + self.adapter_cold_misses
+        return (
+            (self.adapter_hot_hits + self.adapter_warm_hits) / accesses if accesses else 0.0
+        )
+
     def snapshot(self, queue_depth: Optional[int] = None) -> Dict[str, float]:
         """One flat dictionary of every counter and derived statistic."""
         report: Dict[str, float] = {
@@ -158,6 +196,12 @@ class ServeMetrics:
             "param_cache_hit_rate": self.param_cache_hit_rate,
             "adaptation_runs": self.adaptation_runs,
             "adapted_users": self.adapted_users,
+            "adapter_hot_hits": self.adapter_hot_hits,
+            "adapter_warm_hits": self.adapter_warm_hits,
+            "adapter_cold_misses": self.adapter_cold_misses,
+            "adapter_demotions_warm": self.adapter_demotions_warm,
+            "adapter_demotions_cold": self.adapter_demotions_cold,
+            "adapter_tier_hit_rate": self.adapter_tier_hit_rate,
         }
         if queue_depth is not None:
             report["queue_depth"] = queue_depth
@@ -180,6 +224,11 @@ class ServeMetrics:
         "param_cache_misses",
         "adaptation_runs",
         "adapted_users",
+        "adapter_hot_hits",
+        "adapter_warm_hits",
+        "adapter_cold_misses",
+        "adapter_demotions_warm",
+        "adapter_demotions_cold",
         "latency_sum_s",
     )
 
@@ -226,6 +275,7 @@ class ServeMetrics:
         "latency_p95_ms",
         "throughput_fps",
         "param_cache_hit_rate",
+        "adapter_tier_hit_rate",
     )
 
     @classmethod
@@ -272,6 +322,16 @@ class ServeMetrics:
         report["param_cache_hit_rate"] = (
             report["param_cache_hits"] / cache_requests if cache_requests else 0.0
         )
+        tier_accesses = (
+            report["adapter_hot_hits"]
+            + report["adapter_warm_hits"]
+            + report["adapter_cold_misses"]
+        )
+        report["adapter_tier_hit_rate"] = (
+            (report["adapter_hot_hits"] + report["adapter_warm_hits"]) / tier_accesses
+            if tier_accesses
+            else 0.0
+        )
         return report
 
     # ------------------------------------------------------------------
@@ -289,6 +349,27 @@ class ServeMetrics:
         ("fuse_serve_param_cache_misses_total", "param_cache_misses", "Parameter-stack cache misses."),
         ("fuse_serve_adaptation_runs_total", "adaptation_runs", "Grouped adaptation calls."),
         ("fuse_serve_adapted_users_total", "adapted_users", "Users adapted across all runs."),
+        ("fuse_serve_adapter_hot_hits_total", "adapter_hot_hits", "Adapter lookups served from memory."),
+        (
+            "fuse_serve_adapter_warm_hits_total",
+            "adapter_warm_hits",
+            "Adapter lookups promoted from the warm spill tier.",
+        ),
+        (
+            "fuse_serve_adapter_cold_misses_total",
+            "adapter_cold_misses",
+            "Adapter lookups for dropped users requiring re-onboarding.",
+        ),
+        (
+            "fuse_serve_adapter_demotions_warm_total",
+            "adapter_demotions_warm",
+            "Adapter demotions from the hot tier to the warm spill tier.",
+        ),
+        (
+            "fuse_serve_adapter_demotions_cold_total",
+            "adapter_demotions_cold",
+            "Adapter state drops to the cold tier.",
+        ),
     )
     _PROMETHEUS_GAUGES = (
         ("fuse_serve_mean_batch_size", "mean_batch_size", "Mean frames per micro-batch flush."),
@@ -299,6 +380,11 @@ class ServeMetrics:
             "Deepest pending queue observed.",
         ),
         ("fuse_serve_throughput_fps", "throughput_fps", "Completed predictions per second."),
+        (
+            "fuse_serve_adapter_tier_hit_rate",
+            "adapter_tier_hit_rate",
+            "Fraction of adapter lookups answered from the hot or warm tier.",
+        ),
     )
     _PROMETHEUS_QUANTILES = (0.5, 0.9, 0.95, 0.99)
 

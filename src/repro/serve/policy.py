@@ -1,0 +1,188 @@
+"""The unified per-user adaptation policy of the serving subsystem.
+
+Historically the adapter surface was a string ``scope`` on
+:class:`repro.core.finetune.FineTuneConfig` plus scattered constructor
+kwargs (``adaptation=...``, ``gemm_block=...``) threaded hand to hand
+through :class:`AdapterRegistry`, the servers and the CLI.
+:class:`AdapterPolicy` replaces that with one frozen configuration object
+describing *everything* about per-user adaptation:
+
+* **what is personalised** — ``scope``: ``"all"`` (full per-user parameter
+  tensors), ``"last"`` (shared trunk + personal final layer), or ``"lora"``
+  (full-network personalization through rank-``rank`` low-rank deltas on
+  every layer: ``O(rank * (fan_in + fan_out))`` resident memory per user
+  instead of ``O(fan_in * fan_out)``);
+* **how adaptation trains** — ``epochs`` / ``learning_rate`` /
+  ``batch_size`` / ``loss`` / ``shuffle`` / ``seed``, mirroring the
+  fine-tuning hyper-parameters the registry always used (plain SGD, the
+  rule the FUSE initialization was optimized for);
+* **where adapter state lives** — the hot/warm/cold lifecycle:
+  ``hot_capacity`` bounds the users resident in the in-memory gather stack,
+  ``spill_dir`` enables the warm tier (per-user ``.npz`` spill files,
+  written through on adaptation so they double as crash persistence), and
+  ``warm_capacity`` bounds the spill files before the coldest users are
+  dropped entirely (cold: re-onboard on demand).
+
+One policy object travels through :class:`repro.serve.ServeConfig`, every
+server constructor, the :class:`repro.serve.worker.ShardFactory` pickle
+boundary, the wire protocol's ``hello`` handshake and the ``fuse-serve``
+CLI.  The legacy ``adaptation=FineTuneConfig(...)`` kwargs keep working
+through :meth:`AdapterPolicy.from_finetune` (with a
+``DeprecationWarning``), bitwise-equivalent to the old path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Optional
+
+from ..core.finetune import FineTuneConfig
+
+__all__ = ["AdapterPolicy"]
+
+#: adaptation scopes the serving subsystem understands
+ADAPTER_SCOPES = ("all", "last", "lora")
+
+
+@dataclass(frozen=True)
+class AdapterPolicy:
+    """Everything about per-user adaptation, in one frozen object.
+
+    Attributes
+    ----------
+    scope:
+        ``"all"`` | ``"last"`` | ``"lora"`` — which parameters each user
+        personalises (see the module docstring).
+    rank:
+        Rank of the per-layer low-rank deltas under ``scope="lora"``
+        (ignored by the other scopes).
+    epochs:
+        Passes over the calibration frames per adaptation (the paper's
+        ~5-epoch online regime by default).
+    learning_rate / batch_size / loss / shuffle / seed:
+        Optimization settings of the grouped SGD adaptation, identical in
+        meaning to :class:`repro.core.finetune.FineTuneConfig`.
+    hot_capacity:
+        Bound on users resident in the in-memory (hot) tier; the least
+        recently served user beyond it is demoted.  ``None`` = unbounded.
+    warm_capacity:
+        Bound on users in the warm tier (spill files on disk); beyond it
+        the least recently demoted user's file is deleted (cold).
+        ``None`` = unbounded.
+    spill_dir:
+        Directory of the warm tier's per-user ``.npz`` files.  ``None``
+        disables the warm tier: demoted users drop straight to cold, and
+        adapter state does not survive a process restart.
+    """
+
+    scope: str = "all"
+    rank: int = 4
+    epochs: int = 5
+    learning_rate: float = 1e-2
+    batch_size: int = 32
+    loss: str = "l1"
+    shuffle: bool = True
+    seed: int = 0
+    hot_capacity: Optional[int] = None
+    warm_capacity: Optional[int] = None
+    spill_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scope not in ADAPTER_SCOPES:
+            raise ValueError(
+                f"unknown adaptation scope '{self.scope}' "
+                f"(expected one of {', '.join(ADAPTER_SCOPES)})"
+            )
+        if self.rank < 1:
+            raise ValueError("rank must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.loss not in ("l1", "l2", "mse", "huber"):
+            raise ValueError(f"unknown loss '{self.loss}'")
+        if self.hot_capacity is not None and self.hot_capacity < 1:
+            raise ValueError("hot_capacity must be >= 1")
+        if self.warm_capacity is not None and self.warm_capacity < 1:
+            raise ValueError("warm_capacity must be >= 1")
+        if self.spill_dir is not None and not isinstance(self.spill_dir, str):
+            # Frozen dataclass: normalise Path and friends through the
+            # object.__setattr__ escape hatch the dataclass itself uses.
+            object.__setattr__(self, "spill_dir", str(self.spill_dir))
+
+    # ------------------------------------------------------------------
+    # Legacy interop
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_finetune(cls, config: FineTuneConfig, **overrides) -> "AdapterPolicy":
+        """Translate a legacy :class:`FineTuneConfig` into a policy.
+
+        The translation is exact — every adaptation hyper-parameter carries
+        over verbatim, so an old ``adaptation=FineTuneConfig(...)`` call
+        site behaves bitwise identically under the policy API.  Grouped
+        adaptation requires plain SGD, as it always has.
+        """
+        if config.optimizer != "sgd":
+            raise ValueError("grouped adaptation only supports the sgd optimizer")
+        return cls(
+            scope=config.scope,
+            epochs=config.epochs,
+            learning_rate=config.learning_rate,
+            batch_size=config.batch_size,
+            loss=config.loss,
+            shuffle=config.shuffle,
+            seed=config.seed,
+            **overrides,
+        )
+
+    def finetune_config(self) -> FineTuneConfig:
+        """The equivalent :class:`FineTuneConfig` (scopes ``all``/``last``).
+
+        ``scope="lora"`` has no fine-tune-config equivalent — the low-rank
+        trajectory trains factors, not parameter tensors.
+        """
+        if self.scope == "lora":
+            raise ValueError("scope='lora' has no FineTuneConfig equivalent")
+        return FineTuneConfig(
+            epochs=self.epochs,
+            scope=self.scope,
+            optimizer="sgd",
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            loss=self.loss,
+            shuffle=self.shuffle,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived forms
+    # ------------------------------------------------------------------
+    def with_spill_subdir(self, name: str) -> "AdapterPolicy":
+        """The same policy with ``spill_dir`` pushed one directory down.
+
+        Sharded deployments give every shard its own subdirectory so two
+        shards never race on one user file; a policy without a spill
+        directory is returned unchanged.
+        """
+        if self.spill_dir is None:
+            return self
+        return replace(self, spill_dir=str(Path(self.spill_dir) / name))
+
+    def spill_path(self) -> Optional[Path]:
+        return None if self.spill_dir is None else Path(self.spill_dir)
+
+    # ------------------------------------------------------------------
+    # Wire transport (the serve-config handshake)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable description for the wire handshake."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AdapterPolicy":
+        """Rebuild a policy from :meth:`to_dict` output (unknown keys ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})

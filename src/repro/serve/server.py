@@ -25,6 +25,7 @@ logical (many interleaved user streams), scheduling is explicit
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -41,6 +42,7 @@ from .batcher import MicroBatcher, PendingPrediction, ServeRequest
 from .config import ServeConfig
 from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics
+from .policy import AdapterPolicy
 from .session import SessionManager
 
 __all__ = ["PoseServer", "enqueue_each"]
@@ -78,12 +80,19 @@ class PoseServer:
         as read-only — per-user adaptation lives in the registry, never in
         the shared weights.
     config:
-        Scheduling and capacity knobs (:class:`ServeConfig`).
+        Scheduling and capacity knobs (:class:`ServeConfig`).  Its
+        ``adapter`` field is the canonical place to configure per-user
+        adaptation.
     adaptation:
-        Fine-tuning hyper-parameters for per-user adaptation; defaults to
-        the online ~5-epoch regime.
+        Deprecated: legacy fine-tuning hyper-parameters.  Use
+        ``policy=AdapterPolicy(...)`` (or ``config.adapter``) instead; the
+        translated policy is bitwise-equivalent.
     clock:
         Monotonic time source, injectable for deterministic latency tests.
+    policy:
+        The per-user :class:`AdapterPolicy`.  Resolution order: this kwarg,
+        then ``config.adapter``, then the default policy (``scope="all"``,
+        the ~5-epoch online regime the legacy default expressed).
     """
 
     def __init__(
@@ -92,9 +101,23 @@ class PoseServer:
         config: Optional[ServeConfig] = None,
         adaptation: Optional[FineTuneConfig] = None,
         clock: Callable[[], float] = time.perf_counter,
+        policy: Optional[AdapterPolicy] = None,
     ) -> None:
         self.estimator = estimator
         self.config = config if config is not None else ServeConfig()
+        if adaptation is not None:
+            if policy is not None:
+                raise TypeError("pass either policy= or the legacy adaptation=, not both")
+            warnings.warn(
+                "PoseServer(adaptation=FineTuneConfig(...)) is deprecated; "
+                "pass policy=AdapterPolicy(...) or set ServeConfig.adapter instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = AdapterPolicy.from_finetune(adaptation)
+        if policy is None:
+            policy = self.config.adapter
+        self.policy = policy if policy is not None else AdapterPolicy()
         self.clock = clock
         self.metrics = ServeMetrics(clock=clock)
         self.sessions = SessionManager(
@@ -105,7 +128,7 @@ class PoseServer:
         )
         self.registry = AdapterRegistry(
             estimator.model,
-            config=adaptation if adaptation is not None else FineTuneConfig(epochs=5),
+            policy=self.policy,
             metrics=self.metrics,
             gemm_block=self.config.block_width,
         )
@@ -211,10 +234,17 @@ class PoseServer:
 
         Under ``scope="last"`` the shared trunk embeds every adapted frame
         through the batch-invariant kernel and only the tiny personal heads
-        run per-user.  Under ``scope="all"`` each request rides one task
-        slice of the fully personalised network (a width-one batch axis), so
-        every route is bitwise identical to serving each request alone.
+        run per-user.  Under ``scope="lora"`` the shared base runs through
+        the fixed-block kernel with each request's rank-r factor slices
+        applied as per-frame deltas (:meth:`SharedParameterKernel.predict_lowrank`)
+        — near-base-model speed with full-network personalization.  Under
+        ``scope="all"`` each request rides one task slice of the fully
+        personalised network (a width-one batch axis).  Every route is
+        bitwise identical to serving each request alone.
         """
+        if self.registry.scope == "lora":
+            factors = self.registry.gather(user_ids)
+            return self.kernel.predict_lowrank(features, factors)
         if self.registry.scope == "last":
             hidden = self.registry.trunk_embed(features)
             params = self.registry.gather(user_ids)
@@ -272,6 +302,8 @@ class PoseServer:
         report = self.metrics.snapshot(queue_depth=len(self._batcher))
         report["sessions"] = len(self.sessions)
         report["adapted_parameter_sets"] = len(self.registry)
+        for tier, count in self.registry.tier_sizes().items():
+            report[f"adapter_tier_{tier}"] = count
         cache = self.estimator.feature_cache
         if cache is not None:
             for key, value in cache.stats.as_dict().items():

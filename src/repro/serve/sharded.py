@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -47,6 +48,7 @@ from ..runtime import shard_for
 from .batcher import FrameDropped, PendingPrediction, QueueFull
 from .config import ServeConfig
 from .metrics import ServeMetrics, prometheus_exposition
+from .policy import AdapterPolicy
 from .server import PoseServer, enqueue_each
 from .worker import (
     DEFAULT_CHANNEL_DEPTH,
@@ -66,6 +68,32 @@ from .worker import (
 __all__ = ["ProcessShardedPoseServer", "ShardedPoseServer"]
 
 
+def _resolve_policy(
+    config: ServeConfig,
+    adaptation: Optional[FineTuneConfig],
+    policy: Optional[AdapterPolicy],
+    owner: str,
+) -> Optional[AdapterPolicy]:
+    """Shared kwarg resolution of the sharded façades.
+
+    Explicit ``policy`` wins; the legacy ``adaptation`` kwarg is translated
+    (with a :class:`DeprecationWarning`, bitwise-equivalent); otherwise
+    ``config.adapter`` applies, and ``None`` leaves each shard on the
+    default policy.
+    """
+    if adaptation is not None:
+        if policy is not None:
+            raise TypeError("pass either policy= or the legacy adaptation=, not both")
+        warnings.warn(
+            f"{owner}(adaptation=FineTuneConfig(...)) is deprecated; "
+            "pass policy=AdapterPolicy(...) or set ServeConfig.adapter instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        policy = AdapterPolicy.from_finetune(adaptation)
+    return policy if policy is not None else config.adapter
+
+
 class ShardedPoseServer:
     """N :class:`PoseServer` shards behind one server-shaped façade.
 
@@ -78,11 +106,14 @@ class ShardedPoseServer:
         Number of independent shards.  Users are assigned by a stable hash
         of their id, so the mapping survives restarts and is identical in
         every process of a multi-process deployment.
-    config / adaptation / clock:
-        Forwarded to every shard (see :class:`PoseServer`).  Using one
+    config / adaptation / clock / policy:
+        Forwarded to every shard (see :class:`PoseServer`; ``adaptation``
+        is the deprecated legacy spelling of ``policy``).  Using one
         scheduling config everywhere keeps the shared-parameter kernel's
         GEMM block width identical across shards, which is what makes the
-        sharded replay bitwise equal to a single-server replay.
+        sharded replay bitwise equal to a single-server replay.  A policy
+        with a spill directory is split into per-shard subdirectories
+        (``shard000/…``) so shards never share spill files.
     """
 
     def __init__(
@@ -92,14 +123,22 @@ class ShardedPoseServer:
         config: Optional[ServeConfig] = None,
         adaptation: Optional[FineTuneConfig] = None,
         clock: Callable[[], float] = time.perf_counter,
+        policy: Optional[AdapterPolicy] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.estimator = estimator
         self.config = config if config is not None else ServeConfig()
+        resolved = _resolve_policy(self.config, adaptation, policy, "ShardedPoseServer")
+        self.policy = resolved if resolved is not None else AdapterPolicy()
         self.shards: List[PoseServer] = [
-            PoseServer(estimator, self.config, adaptation=adaptation, clock=clock)
-            for _ in range(num_shards)
+            PoseServer(
+                estimator,
+                self.config,
+                clock=clock,
+                policy=self.policy.with_spill_subdir(f"shard{index:03d}"),
+            )
+            for index in range(num_shards)
         ]
 
     # ------------------------------------------------------------------
@@ -275,9 +314,14 @@ class ProcessShardedPoseServer:
     parameters), and the in-flight call raises
     :class:`repro.serve.worker.ShardCrashed` so the caller sees the fault.
 
+    With a spill directory configured on the adapter policy, a restarted
+    worker re-attaches its shard's warm spill files, so previously adapted
+    users keep their personal parameters across the crash (they come back
+    warm and promote on their next request).
+
     Parameters
     ----------
-    estimator / num_shards / config / adaptation:
+    estimator / num_shards / config / adaptation / policy:
         As for :class:`ShardedPoseServer`.
     channel_depth:
         Bound of each shard's request queue (see
@@ -298,13 +342,18 @@ class ProcessShardedPoseServer:
         channel_depth: int = DEFAULT_CHANNEL_DEPTH,
         start_method: Optional[str] = None,
         auto_restart: bool = True,
+        policy: Optional[AdapterPolicy] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.estimator = estimator
         self.config = config if config is not None else ServeConfig()
+        resolved = _resolve_policy(
+            self.config, adaptation, policy, "ProcessShardedPoseServer"
+        )
+        self.policy = resolved if resolved is not None else AdapterPolicy()
         self.auto_restart = auto_restart
-        factory = ShardFactory(estimator, self.config, adaptation=adaptation)
+        factory = ShardFactory(estimator, self.config, policy=self.policy)
         self.workers: List[ShardProcess] = [
             ShardProcess(factory, index, channel_depth=channel_depth, start_method=start_method)
             for index in range(num_shards)

@@ -52,6 +52,7 @@ from ..radar.pointcloud import PointCloudFrame
 from ..runtime import pool_context, seed_for_key
 from .batcher import PendingPrediction
 from .config import ServeConfig
+from .policy import AdapterPolicy
 from .server import PoseServer
 
 __all__ = [
@@ -95,14 +96,27 @@ class ShardRemoteError(RuntimeError):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ShardFactory:
-    """Everything a worker needs to build its :class:`PoseServer` shard."""
+    """Everything a worker needs to build its :class:`PoseServer` shard.
+
+    ``policy`` is the adapter policy every shard serves under; the legacy
+    ``adaptation`` field is kept for old pickles and translated on build.
+    """
 
     estimator: FusePoseEstimator
     config: ServeConfig
     adaptation: Optional[FineTuneConfig] = None
+    policy: Optional[AdapterPolicy] = None
 
-    def build(self) -> PoseServer:
-        return PoseServer(self.estimator, self.config, adaptation=self.adaptation)
+    def build(self, shard_index: Optional[int] = None) -> PoseServer:
+        policy = self.policy
+        if policy is None and self.adaptation is not None:
+            policy = AdapterPolicy.from_finetune(self.adaptation)
+        if policy is not None and shard_index is not None:
+            # Every shard spills under its own subdirectory — two shards
+            # never share a user (stable hash placement), so this keeps a
+            # restarted worker re-attaching exactly its own cohort.
+            policy = policy.with_spill_subdir(f"shard{shard_index:03d}")
+        return PoseServer(self.estimator, self.config, policy=policy)
 
 
 @dataclass(frozen=True)
@@ -291,7 +305,7 @@ def shard_worker_main(
     if seed is None:
         seed = seed_for_key("serve-shard", shard_index)
     np.random.seed(seed & 0xFFFFFFFF)
-    server = factory.build()
+    server = factory.build(shard_index)
     outstanding: Dict[int, PendingPrediction] = {}
     while True:
         command = requests.get()

@@ -1,0 +1,223 @@
+"""Equivalence and gradient tests for the shared-base low-rank ops.
+
+The low-rank batched ops promise two things:
+
+1. **Dense equivalence** — applying the rank-r factors as two small
+   products is numerically identical (to float64 round-off) to running the
+   plain task-batched op with materialized dense weights
+   ``base + b[t] @ a[t]``.
+2. **Grouping invariance** — a task's output does not depend on which
+   other tasks share the batched call, the bitwise property per-user
+   adaptation and grouped serving are built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.grad_check import check_gradients
+from repro.nn.tensor import Tensor
+
+
+def _dense_linear_weights(weight: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return weight[None] + np.matmul(b, a)
+
+
+class TestLinearLowRankBatched:
+    @pytest.mark.parametrize(
+        "tasks,batch,in_features,out_features,rank",
+        [
+            (1, 1, 3, 2, 1),
+            (2, 4, 6, 5, 2),
+            (3, 2, 8, 8, 4),
+            (5, 3, 4, 7, 3),
+        ],
+    )
+    def test_matches_dense_batched(self, rng, tasks, batch, in_features, out_features, rank):
+        x = rng.normal(size=(tasks, batch, in_features))
+        weight = rng.normal(size=(out_features, in_features))
+        a = rng.normal(size=(tasks, rank, in_features))
+        b = rng.normal(size=(tasks, out_features, rank))
+        bias = rng.normal(size=(out_features,))
+
+        lowrank = nn.linear_lowrank_batched(
+            Tensor(x), Tensor(weight), Tensor(a), Tensor(b), Tensor(bias)
+        ).numpy()
+        dense = nn.linear_batched(
+            Tensor(x),
+            Tensor(_dense_linear_weights(weight, a, b)),
+            Tensor(np.broadcast_to(bias, (tasks, out_features)).copy()),
+        ).numpy()
+        np.testing.assert_allclose(lowrank, dense, rtol=1e-12, atol=1e-12)
+
+    def test_bias_optional(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        weight = rng.normal(size=(5, 4))
+        a = rng.normal(size=(2, 2, 4))
+        b = rng.normal(size=(2, 5, 2))
+        out = nn.linear_lowrank_batched(Tensor(x), Tensor(weight), Tensor(a), Tensor(b)).numpy()
+        dense = np.einsum("tbi,toi->tbo", x, _dense_linear_weights(weight, a, b))
+        np.testing.assert_allclose(out, dense, rtol=1e-12, atol=1e-12)
+
+    def test_zero_b_factor_reduces_to_base(self, rng):
+        """The freshly initialized adapter (B = 0) is exactly the base model."""
+        x = rng.normal(size=(3, 2, 6))
+        weight = rng.normal(size=(4, 6))
+        bias = rng.normal(size=(4,))
+        a = rng.normal(size=(3, 2, 6))
+        b = np.zeros((3, 4, 2))
+        out = nn.linear_lowrank_batched(
+            Tensor(x), Tensor(weight), Tensor(a), Tensor(b), Tensor(bias)
+        ).numpy()
+        base = x @ weight.T + bias
+        np.testing.assert_array_equal(out, base)
+
+    @pytest.mark.parametrize("peers", [0, 1, 3])
+    def test_grouping_invariance(self, rng, peers):
+        """A task's row is bitwise identical however the group is composed."""
+        x = rng.normal(size=(1 + peers, 2, 5))
+        weight = rng.normal(size=(3, 5))
+        a = rng.normal(size=(1 + peers, 2, 5))
+        b = rng.normal(size=(1 + peers, 3, 2))
+        grouped = nn.linear_lowrank_batched(
+            Tensor(x), Tensor(weight), Tensor(a), Tensor(b)
+        ).numpy()
+        solo = nn.linear_lowrank_batched(
+            Tensor(x[:1]), Tensor(weight), Tensor(a[:1]), Tensor(b[:1])
+        ).numpy()
+        np.testing.assert_array_equal(grouped[0], solo[0])
+
+    def test_gradients_flow_to_factors(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        weight = Tensor(rng.normal(size=(5, 4)))
+        a = Tensor(rng.normal(size=(2, 2, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 5, 2)) * 0.3, requires_grad=True)
+        bias = Tensor(rng.normal(size=(5,)))
+
+        def f(inputs):
+            xx, aa, bb = inputs
+            return (nn.linear_lowrank_batched(xx, weight, aa, bb, bias) ** 2).sum()
+
+        check_gradients(f, [x, a, b], tolerance=1e-4)
+
+    def test_frozen_base_receives_no_gradient(self, rng):
+        weight = Tensor(rng.normal(size=(3, 4)))
+        a = Tensor(rng.normal(size=(1, 2, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 3, 2)), requires_grad=True)
+        out = nn.linear_lowrank_batched(
+            Tensor(rng.normal(size=(1, 2, 4))), weight, a, b
+        )
+        (out ** 2).sum().backward()
+        assert a.grad is not None and b.grad is not None
+        assert weight.grad is None
+
+    def test_shape_validation(self, rng):
+        good = dict(
+            x=Tensor(rng.normal(size=(2, 3, 4))),
+            weight=Tensor(rng.normal(size=(5, 4))),
+            a=Tensor(rng.normal(size=(2, 2, 4))),
+            b=Tensor(rng.normal(size=(2, 5, 2))),
+        )
+        with pytest.raises(ValueError):
+            nn.linear_lowrank_batched(
+                good["x"], good["weight"], Tensor(rng.normal(size=(3, 2, 4))), good["b"]
+            )
+        with pytest.raises(ValueError):
+            nn.linear_lowrank_batched(
+                good["x"], good["weight"], good["a"], Tensor(rng.normal(size=(2, 4, 2)))
+            )
+        with pytest.raises(ValueError):
+            nn.linear_lowrank_batched(
+                good["x"], Tensor(rng.normal(size=(5, 6))), good["a"], good["b"]
+            )
+
+
+class TestConv2dLowRankBatched:
+    @pytest.mark.parametrize(
+        "tasks,batch,channels,out_channels,size,kernel,rank,stride,padding",
+        [
+            (1, 1, 1, 2, 5, 3, 1, 1, 0),
+            (2, 2, 3, 4, 6, 3, 2, 1, 1),
+            (3, 1, 2, 5, 8, 3, 4, 2, 1),
+            (2, 3, 4, 3, 5, 2, 3, 1, 0),
+        ],
+    )
+    def test_matches_dense_batched(
+        self, rng, tasks, batch, channels, out_channels, size, kernel, rank, stride, padding
+    ):
+        patch = channels * kernel * kernel
+        x = rng.normal(size=(tasks, batch, channels, size, size))
+        weight = rng.normal(size=(out_channels, channels, kernel, kernel))
+        a = rng.normal(size=(tasks, rank, patch))
+        b = rng.normal(size=(tasks, out_channels, rank))
+        bias = rng.normal(size=(out_channels,))
+
+        lowrank = nn.conv2d_lowrank_batched(
+            Tensor(x), Tensor(weight), Tensor(a), Tensor(b), Tensor(bias),
+            stride=stride, padding=padding,
+        ).numpy()
+        dense_weight = (
+            weight.reshape(out_channels, patch)[None] + np.matmul(b, a)
+        ).reshape(tasks, out_channels, channels, kernel, kernel)
+        dense = nn.conv2d_batched(
+            Tensor(x),
+            Tensor(dense_weight),
+            Tensor(np.broadcast_to(bias, (tasks, out_channels)).copy()),
+            stride=stride, padding=padding,
+        ).numpy()
+        np.testing.assert_allclose(lowrank, dense, rtol=1e-12, atol=1e-12)
+
+    def test_zero_b_factor_reduces_to_base(self, rng):
+        x = rng.normal(size=(2, 1, 2, 5, 5))
+        weight = rng.normal(size=(3, 2, 3, 3))
+        bias = rng.normal(size=(3,))
+        a = rng.normal(size=(2, 2, 2 * 3 * 3))
+        b = np.zeros((2, 3, 2))
+        out = nn.conv2d_lowrank_batched(
+            Tensor(x), Tensor(weight), Tensor(a), Tensor(b), Tensor(bias), padding=1
+        ).numpy()
+        base = nn.conv2d(
+            Tensor(x.reshape(2, 2, 5, 5)), Tensor(weight), Tensor(bias), padding=1
+        ).numpy()
+        np.testing.assert_array_equal(out.reshape(base.shape), base)
+
+    @pytest.mark.parametrize("peers", [0, 2])
+    def test_grouping_invariance(self, rng, peers):
+        tasks = 1 + peers
+        x = rng.normal(size=(tasks, 2, 2, 4, 4))
+        weight = rng.normal(size=(3, 2, 3, 3))
+        a = rng.normal(size=(tasks, 2, 2 * 3 * 3))
+        b = rng.normal(size=(tasks, 3, 2))
+        grouped = nn.conv2d_lowrank_batched(
+            Tensor(x), Tensor(weight), Tensor(a), Tensor(b), padding=1
+        ).numpy()
+        solo = nn.conv2d_lowrank_batched(
+            Tensor(x[:1]), Tensor(weight), Tensor(a[:1]), Tensor(b[:1]), padding=1
+        ).numpy()
+        np.testing.assert_array_equal(grouped[0], solo[0])
+
+    def test_gradients_flow_to_factors(self, rng):
+        x = Tensor(rng.normal(size=(2, 1, 2, 4, 4)), requires_grad=True)
+        weight = Tensor(rng.normal(size=(3, 2, 2, 2)))
+        a = Tensor(rng.normal(size=(2, 2, 2 * 2 * 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3, 2)) * 0.3, requires_grad=True)
+
+        def f(inputs):
+            xx, aa, bb = inputs
+            return (nn.conv2d_lowrank_batched(xx, weight, aa, bb) ** 2).sum()
+
+        check_gradients(f, [x, a, b], tolerance=1e-4)
+
+    def test_shape_validation(self, rng):
+        x = Tensor(rng.normal(size=(2, 1, 2, 4, 4)))
+        weight = Tensor(rng.normal(size=(3, 2, 2, 2)))
+        a = Tensor(rng.normal(size=(2, 2, 8)))
+        b = Tensor(rng.normal(size=(2, 3, 2)))
+        with pytest.raises(ValueError):
+            nn.conv2d_lowrank_batched(Tensor(rng.normal(size=(2, 2, 4, 4))), weight, a, b)
+        with pytest.raises(ValueError):
+            nn.conv2d_lowrank_batched(x, weight, Tensor(rng.normal(size=(2, 2, 7))), b)
+        with pytest.raises(ValueError):
+            nn.conv2d_lowrank_batched(x, weight, a, Tensor(rng.normal(size=(2, 2, 2))))

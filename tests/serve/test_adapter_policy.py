@@ -1,0 +1,247 @@
+"""The unified :class:`AdapterPolicy` API and its backward-compatible shims.
+
+One frozen policy object travels from the CLI / :class:`ServeConfig` through
+every server down to the :class:`AdapterRegistry`.  The legacy spellings —
+``AdapterRegistry(config=FineTuneConfig(...))`` and
+``PoseServer(adaptation=FineTuneConfig(...))`` — keep working with a
+:class:`DeprecationWarning` and are pinned bitwise-equivalent to the policy
+they translate into.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.finetune import FineTuneConfig
+from repro.dataset.loader import ArrayDataset
+from repro.serve import (
+    AdapterPolicy,
+    AdapterRegistry,
+    PoseServer,
+    ServeConfig,
+    ShardedPoseServer,
+)
+from repro.serve.sharded import ProcessShardedPoseServer
+
+
+@pytest.fixture(scope="module")
+def calibration(estimator, serve_dataset):
+    arrays = estimator.prepare(serve_dataset[:8])
+    return {"alice": ArrayDataset(arrays.features, arrays.labels)}
+
+
+class TestPolicyValidation:
+    def test_defaults_mirror_the_legacy_finetune_defaults(self):
+        policy = AdapterPolicy()
+        legacy = FineTuneConfig(epochs=5)
+        assert policy.scope == legacy.scope == "all"
+        assert policy.epochs == legacy.epochs
+        assert policy.learning_rate == legacy.learning_rate
+        assert policy.batch_size == legacy.batch_size
+        assert policy.loss == legacy.loss
+        assert policy.seed == legacy.seed
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scope": "lorax"},
+            {"rank": 0},
+            {"epochs": 0},
+            {"learning_rate": 0.0},
+            {"batch_size": 0},
+            {"loss": "hinge"},
+            {"hot_capacity": 0},
+            {"warm_capacity": -1},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdapterPolicy(**kwargs)
+
+    def test_frozen(self):
+        policy = AdapterPolicy()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            policy.scope = "last"
+
+    def test_spill_dir_accepts_path_and_normalizes_to_str(self, tmp_path):
+        policy = AdapterPolicy(spill_dir=tmp_path / "spill")
+        assert isinstance(policy.spill_dir, str)
+        assert policy.spill_path() == tmp_path / "spill"
+        assert AdapterPolicy().spill_path() is None
+
+    def test_with_spill_subdir(self, tmp_path):
+        policy = AdapterPolicy(spill_dir=tmp_path)
+        sharded = policy.with_spill_subdir("shard007")
+        assert sharded.spill_path() == tmp_path / "shard007"
+        assert policy.spill_path() == tmp_path  # original untouched
+        assert AdapterPolicy().with_spill_subdir("shard007").spill_dir is None
+
+    def test_dict_round_trip(self, tmp_path):
+        policy = AdapterPolicy(
+            scope="lora", rank=8, epochs=3, hot_capacity=10, spill_dir=tmp_path
+        )
+        encoded = policy.to_dict()
+        assert encoded["scope"] == "lora" and encoded["rank"] == 8
+        assert AdapterPolicy.from_dict(encoded) == policy
+        assert AdapterPolicy.from_dict({**encoded, "unknown_field": 1}) == policy
+
+
+class TestFineTuneTranslation:
+    def test_from_finetune_copies_every_shared_field(self):
+        legacy = FineTuneConfig(
+            epochs=7, learning_rate=0.5, batch_size=4, scope="last",
+            loss="l2", shuffle=False, seed=9,
+        )
+        policy = AdapterPolicy.from_finetune(legacy)
+        assert policy.scope == "last" and policy.epochs == 7
+        assert policy.learning_rate == 0.5 and policy.batch_size == 4
+        assert policy.loss == "l2" and policy.shuffle is False and policy.seed == 9
+
+    def test_from_finetune_rejects_non_sgd(self):
+        with pytest.raises(ValueError, match="sgd"):
+            AdapterPolicy.from_finetune(FineTuneConfig(optimizer="adam"))
+
+    def test_finetune_config_round_trip(self):
+        policy = AdapterPolicy(scope="last", epochs=2, learning_rate=0.1)
+        legacy = policy.finetune_config()
+        assert isinstance(legacy, FineTuneConfig)
+        assert AdapterPolicy.from_finetune(legacy) == policy
+
+    def test_finetune_config_unavailable_for_lora(self):
+        with pytest.raises(ValueError, match="lora"):
+            AdapterPolicy(scope="lora").finetune_config()
+
+
+class TestDeprecatedShims:
+    def test_registry_config_kwarg_warns_and_is_bitwise_equivalent(
+        self, estimator, calibration
+    ):
+        legacy_cfg = FineTuneConfig(epochs=2, scope="last")
+        with pytest.warns(DeprecationWarning):
+            legacy = AdapterRegistry(estimator.model, config=legacy_cfg)
+        modern = AdapterRegistry(
+            estimator.model, policy=AdapterPolicy.from_finetune(legacy_cfg)
+        )
+        legacy.adapt_many(calibration)
+        modern.adapt_many(calibration)
+        for a, b in zip(
+            legacy.parameters_for("alice"), modern.parameters_for("alice")
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_registry_positional_finetune_config_warns(self, estimator):
+        with pytest.warns(DeprecationWarning):
+            registry = AdapterRegistry(estimator.model, FineTuneConfig(epochs=1))
+        assert registry.policy.epochs == 1
+
+    def test_registry_rejects_both_policy_and_config(self, estimator):
+        with pytest.raises(TypeError):
+            AdapterRegistry(
+                estimator.model,
+                policy=AdapterPolicy(),
+                config=FineTuneConfig(),
+            )
+
+    def test_registry_config_property_still_reads(self, estimator):
+        registry = AdapterRegistry(
+            estimator.model, policy=AdapterPolicy(scope="last", epochs=3)
+        )
+        assert isinstance(registry.config, FineTuneConfig)
+        assert registry.config.epochs == 3
+
+    def test_server_adaptation_kwarg_warns_and_is_bitwise_equivalent(
+        self, estimator, calibration
+    ):
+        legacy_cfg = FineTuneConfig(epochs=2, scope="last")
+        with pytest.warns(DeprecationWarning):
+            legacy = PoseServer(estimator, adaptation=legacy_cfg)
+        modern = PoseServer(
+            estimator, policy=AdapterPolicy.from_finetune(legacy_cfg)
+        )
+        legacy.registry.adapt_many(calibration)
+        modern.registry.adapt_many(calibration)
+        for a, b in zip(
+            legacy.registry.parameters_for("alice"),
+            modern.registry.parameters_for("alice"),
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_server_rejects_both_policy_and_adaptation(self, estimator):
+        with pytest.raises(TypeError):
+            PoseServer(
+                estimator,
+                adaptation=FineTuneConfig(),
+                policy=AdapterPolicy(),
+            )
+
+
+class TestPolicyThreading:
+    def test_serve_config_adapter_reaches_the_registry(self, estimator):
+        policy = AdapterPolicy(scope="last", epochs=1)
+        server = PoseServer(estimator, ServeConfig(adapter=policy))
+        assert server.policy is policy
+        assert server.registry.policy is policy
+
+    def test_explicit_policy_overrides_config_adapter(self, estimator):
+        configured = AdapterPolicy(scope="last")
+        explicit = AdapterPolicy(scope="all")
+        server = PoseServer(
+            estimator, ServeConfig(adapter=configured), policy=explicit
+        )
+        assert server.policy is explicit
+
+    def test_sharded_server_splits_spill_dir_per_shard(self, estimator, tmp_path):
+        policy = AdapterPolicy(scope="last", epochs=1, spill_dir=tmp_path)
+        server = ShardedPoseServer(estimator, num_shards=3, policy=policy)
+        assert server.policy is policy
+        for index, shard in enumerate(server.shards):
+            assert shard.policy.spill_dir == str(Path(tmp_path) / f"shard{index:03d}")
+
+    def test_sharded_server_legacy_adaptation_warns(self, estimator):
+        with pytest.warns(DeprecationWarning):
+            server = ShardedPoseServer(
+                estimator, num_shards=2, adaptation=FineTuneConfig(epochs=1)
+            )
+        assert server.policy.epochs == 1
+
+    @pytest.mark.slow
+    def test_process_sharded_policy_reaches_the_workers(self, estimator, tmp_path):
+        policy = AdapterPolicy(scope="last", epochs=1, spill_dir=tmp_path)
+        with ProcessShardedPoseServer(
+            estimator, num_shards=2, policy=policy
+        ) as server:
+            assert server.policy is policy
+            assert server.metrics_snapshot()["completed"] == 0
+        # Each worker created its own shard-scoped spill directory.
+        assert (tmp_path / "shard000").is_dir()
+        assert (tmp_path / "shard001").is_dir()
+
+
+class TestHelloHandshake:
+    def test_hello_reports_the_adapter_policy(self, estimator, tmp_path):
+        import asyncio
+
+        from repro.serve import AsyncPoseClient, PoseFrontend
+
+        policy = AdapterPolicy(scope="lora", rank=2, epochs=1)
+        server = PoseServer(estimator, ServeConfig(adapter=policy))
+
+        async def body():
+            path = str(tmp_path / "fuse.sock")
+            frontend = PoseFrontend(server, unix_path=path)
+            await frontend.start()
+            try:
+                async with AsyncPoseClient() as client:
+                    await client.connect_unix(path)
+                    return await client.hello()
+            finally:
+                await frontend.stop()
+
+        hello = asyncio.run(body())
+        assert hello["adapter_policy"]["scope"] == "lora"
+        assert hello["adapter_policy"]["rank"] == 2
+        assert AdapterPolicy.from_dict(hello["adapter_policy"]) == policy
