@@ -17,7 +17,11 @@ three serving paths:
 * **socket front-end** — the strict v1 request/reply path
   (``serving_frontend``) and the protocol-v2 pipelined/batched paths
   (``serving_frontend_pipelined``: in-flight windows 1/8/64 and batched
-  submits), both through shard worker processes behind a Unix socket.
+  submits), both through shard worker processes behind a Unix socket;
+* **routed cluster** — the replay through :class:`repro.serve.PoseRouter`
+  over one and two process-backed backends (``router_fan_out``): the
+  routing hop's overhead versus a direct front-end connection, and the
+  fan-out recovery from consistent-hash placement over two backends.
 
 The acceptance bar is micro-batched serving at >= 3x the frames/sec of the
 naive sequential path.  Results land in ``BENCH_serve.json`` at the
@@ -478,3 +482,97 @@ def _as_dataset(frames):
     dataset = PoseDataset(name="calibration")
     dataset.extend(frames)
     return dataset
+
+
+class TestRouterFanOut:
+    def test_routed_cluster_throughput(self):
+        """The cluster tier: the 50-user replay through ``PoseRouter``.
+
+        Three measurements land in the ``router_fan_out`` section, every
+        backend a 1-shard-process server behind its own Unix socket:
+
+        * **direct_backend_fps** — the replay straight into one backend's
+          front-end (no router): the baseline the router's extra hop is
+          measured against;
+        * **routed_1_backend_fps** — the same replay through the router
+          over that single backend: the pure routing overhead (one more
+          socket hop and FIFO placement lock per frame);
+        * **routed_2_backends_fps** — the router fanning the users out over
+          two backends by consistent hashing: on a multi-core host the
+          backends' micro-batch flushes overlap and fps recovers the hop.
+        """
+        import asyncio
+        import tempfile
+        from pathlib import Path as _Path
+
+        from repro.serve import BackendSpec, PoseRouter
+
+        estimator, streams = _serve_fixture()
+        total = sum(len(stream) for stream in streams.values())
+        config = ServeConfig(max_batch_size=64)
+        payload: dict = {
+            "users": NUM_USERS,
+            "frames": total,
+            "cpu_count": os.cpu_count(),
+        }
+
+        async def drive(path: str) -> float:
+            async def stream_user(user, frames):
+                async with AsyncPoseClient() as client:
+                    await client.connect_unix(path)
+                    for sample in frames:
+                        await client.submit(user, sample.cloud)
+
+            start = time.perf_counter()
+            await asyncio.gather(
+                *(stream_user(user, frames) for user, frames in streams.items())
+            )
+            return total / (time.perf_counter() - start)
+
+        async def run() -> None:
+            root = _Path(tempfile.mkdtemp(prefix="fuse-bench-router-"))
+            for num_backends in (1, 2):
+                servers = [
+                    ProcessShardedPoseServer(estimator, num_shards=1, config=config)
+                    for _ in range(num_backends)
+                ]
+                frontends = []
+                specs = []
+                try:
+                    for index, server in enumerate(servers):
+                        path = str(root / f"fan{num_backends}-b{index}.sock")
+                        frontend = PoseFrontend(server, unix_path=path)
+                        await frontend.start()
+                        frontends.append(frontend)
+                        specs.append(BackendSpec(name=f"b{index}", unix_path=path))
+
+                    if num_backends == 1:
+                        payload["direct_backend_fps"] = await drive(specs[0].unix_path)
+
+                    router_path = str(root / f"router-{num_backends}.sock")
+                    router = PoseRouter(specs, unix_path=router_path)
+                    await router.start()
+                    try:
+                        payload[f"routed_{num_backends}_backend{'s' if num_backends > 1 else ''}_fps"] = (
+                            await drive(router_path)
+                        )
+                        if num_backends == 2:
+                            placed = set(router._placement.values())
+                            payload["backends_used"] = len(placed)
+                    finally:
+                        await router.stop()
+                finally:
+                    for frontend in frontends:
+                        await frontend.stop()
+                    for server in servers:
+                        server.close()
+
+        asyncio.run(run())
+        payload["routing_overhead_vs_direct"] = (
+            payload["direct_backend_fps"] / payload["routed_1_backend_fps"]
+        )
+        payload["fan_out_speedup_2_vs_1"] = (
+            payload["routed_2_backends_fps"] / payload["routed_1_backend_fps"]
+        )
+        _record("router_fan_out", payload)
+        assert payload["routed_2_backends_fps"] > 0

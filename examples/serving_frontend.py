@@ -25,7 +25,6 @@ Run with::
 from __future__ import annotations
 
 import asyncio
-import re
 import subprocess
 import sys
 import time
@@ -33,14 +32,12 @@ import time
 import numpy as np
 
 from repro.dataset import SyntheticDatasetConfig, generate_dataset
-from repro.serve import AsyncPoseClient, user_streams_from_dataset
+from repro.serve import AsyncPoseClient, parse_ready_line, user_streams_from_dataset
 
 NUM_USERS = 8
 FRAMES_PER_USER = 10
 NUM_SHARDS = 2
 MAX_IN_FLIGHT = 8
-
-READY_LINE = re.compile(r"\[fuse-serve\] ready tcp=(?P<host>[^:]+):(?P<port>\d+)")
 
 
 def launch_frontend() -> subprocess.Popen:
@@ -70,9 +67,9 @@ def wait_for_ready(process: subprocess.Popen) -> tuple[str, int]:
     assert process.stdout is not None
     for line in process.stdout:
         print(line, end="")  # pass training progress through
-        match = READY_LINE.search(line)
-        if match:
-            return match.group("host"), int(match.group("port"))
+        address = parse_ready_line(line)
+        if address is not None and address.kind == "tcp":
+            return address.host, address.port
     raise RuntimeError(f"fuse-serve exited early with code {process.wait()}")
 
 

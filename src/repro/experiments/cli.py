@@ -39,7 +39,7 @@ from typing import List, Optional
 from . import figure2, figure3, figure4, table1, table2
 from .scale import SCALE_NAMES, ExperimentScale, get_scale
 
-__all__ = ["main", "serve_main"]
+__all__ = ["main", "router_main", "serve_main"]
 
 _EXPERIMENTS = ("table1", "table2", "figure2", "figure3", "figure4")
 
@@ -172,6 +172,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         ServeConfig,
         ShardedPoseServer,
     )
+    from ..serve.cli_utils import format_ready_line
 
     if args.shards < 1:
         return _fail("--shards must be >= 1")
@@ -243,12 +244,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
         # A parseable readiness line carrying the *bound* address — with
         # ``--port 0`` the kernel picks the port, so e2e drivers wait for
-        # this line instead of sleeping or polling (see
-        # examples/serving_frontend.py).
+        # this line instead of sleeping or polling
+        # (repro.serve.cli_utils.parse_ready_line is the matching parser).
         if args.unix is not None:
-            print(f"[fuse-serve] ready unix={where}", flush=True)
+            print(format_ready_line("fuse-serve", path=where), flush=True)
         else:
-            print(f"[fuse-serve] ready tcp={where[0]}:{where[1]}", flush=True)
+            print(format_ready_line("fuse-serve", host=where[0], port=where[1]), flush=True)
         try:
             await frontend.serve_until_closed()
         finally:
@@ -268,8 +269,209 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fail(message: str) -> int:
-    print(f"fuse-serve: {message}", file=sys.stderr)
+def _add_router_options(parser: argparse.ArgumentParser) -> None:
+    binding = parser.add_argument_group("socket binding")
+    binding.add_argument(
+        "--unix", metavar="PATH", default=None, help="serve on a Unix-domain socket"
+    )
+    binding.add_argument(
+        "--host", default=None, help="serve on TCP (default 127.0.0.1 when --unix is absent)"
+    )
+    binding.add_argument(
+        "--port", type=int, default=8717, help="TCP port (default: 8717; 0 picks a free port)"
+    )
+
+    fleet = parser.add_argument_group("backend fleet")
+    fleet.add_argument(
+        "--backend",
+        metavar="NAME=ENDPOINT",
+        action="append",
+        default=None,
+        help="attach a running fuse-serve backend (ENDPOINT is host:port or "
+        "a Unix socket path); repeatable",
+    )
+    fleet.add_argument(
+        "--spawn",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn N local fuse-serve backends on Unix sockets and attach "
+        "them (they train the same seeded estimator, so replicas agree "
+        "bitwise)",
+    )
+    fleet.add_argument(
+        "--vnodes", type=int, default=128, help="virtual nodes per backend (default: 128)"
+    )
+
+    health = parser.add_argument_group("health checking")
+    health.add_argument("--health-interval", type=float, default=1.0, metavar="SECONDS")
+    health.add_argument("--health-timeout", type=float, default=1.0, metavar="SECONDS")
+    health.add_argument(
+        "--health-failures",
+        type=int,
+        default=3,
+        help="consecutive failed pings before failover (default: 3)",
+    )
+
+    wire = parser.add_argument_group("wire protocol")
+    wire.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=32,
+        help="pipelined requests served concurrently per connection (default: 32)",
+    )
+    wire.add_argument(
+        "--push-credits",
+        type=int,
+        default=256,
+        help="per-connection push flow-control budget (default: 256)",
+    )
+
+    spawned = parser.add_argument_group("spawned backends (with --spawn)")
+    spawned.add_argument(
+        "--shards", type=int, default=2, help="serving shards per spawned backend (default: 2)"
+    )
+    spawned.add_argument("--max-batch-size", type=int, default=32)
+    spawned.add_argument("--max-delay-ms", type=float, default=5.0)
+    spawned.add_argument("--max-queue-depth", type=int, default=256)
+    spawned.add_argument("--train-seconds", type=float, default=9.0)
+    spawned.add_argument("--train-epochs", type=int, default=3)
+    spawned.add_argument("--seed", type=int, default=5)
+
+    parser.add_argument(
+        "--allow-remote-shutdown",
+        action="store_true",
+        help="honour the protocol's 'shutdown' message (examples and tests)",
+    )
+
+
+def _run_router(args: argparse.Namespace) -> int:
+    """Attach (or spawn) the backend fleet and route one cluster socket."""
+    import asyncio
+    import os
+    import subprocess
+    import tempfile
+
+    from ..serve import BackendSpec, PoseRouter
+    from ..serve.cli_utils import format_ready_line, wait_for_ready
+
+    if args.unix is not None and args.host is not None:
+        return _fail("--unix and --host are mutually exclusive", prog="fuse-router")
+    if args.spawn < 0:
+        return _fail("--spawn must be >= 0", prog="fuse-router")
+    if not args.spawn and not args.backend:
+        return _fail(
+            "no backends: give --backend NAME=ENDPOINT and/or --spawn N",
+            prog="fuse-router",
+        )
+
+    specs: list = []
+    procs: list = []
+    try:
+        if args.spawn:
+            spawn_dir = tempfile.mkdtemp(prefix="fuse-router-")
+            for index in range(args.spawn):
+                sock = os.path.join(spawn_dir, f"backend-{index}.sock")
+                command = [
+                    sys.executable,
+                    "-m",
+                    "repro.experiments.cli",
+                    "fuse-serve",
+                    "--unix",
+                    sock,
+                    "--shards",
+                    str(args.shards),
+                    "--max-batch-size",
+                    str(args.max_batch_size),
+                    "--max-delay-ms",
+                    str(args.max_delay_ms),
+                    "--max-queue-depth",
+                    str(args.max_queue_depth),
+                    "--train-seconds",
+                    str(args.train_seconds),
+                    "--train-epochs",
+                    str(args.train_epochs),
+                    # One shared seed: every replica trains the identical
+                    # estimator, so failover/migration stay bitwise.
+                    "--seed",
+                    str(args.seed),
+                ]
+                procs.append(
+                    subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
+                )
+            for index, proc in enumerate(procs):
+                address = wait_for_ready(proc.stdout)
+                specs.append(
+                    BackendSpec(name=f"backend-{index}", unix_path=address.path)
+                )
+                print(
+                    f"[fuse-router] spawned backend-{index} on {address.endpoint}",
+                    flush=True,
+                )
+        for entry in args.backend or []:
+            name, sep, endpoint = entry.partition("=")
+            if not sep or not name or not endpoint:
+                return _fail(
+                    f"--backend expects NAME=ENDPOINT, got {entry!r}", prog="fuse-router"
+                )
+            specs.append(BackendSpec.from_endpoint(name, endpoint))
+
+        async def run() -> None:
+            router = PoseRouter(
+                specs,
+                host=None if args.unix is not None else (args.host or "127.0.0.1"),
+                port=args.port,
+                unix_path=args.unix,
+                vnodes=args.vnodes,
+                max_in_flight=args.max_in_flight,
+                push_credits=args.push_credits,
+                health_interval_s=args.health_interval,
+                health_timeout_s=args.health_timeout,
+                health_failures=args.health_failures,
+                allow_remote_shutdown=args.allow_remote_shutdown,
+            )
+            await router.start()
+            where = router.address
+            print(
+                f"[fuse-router] routing {len(specs)} backend(s): "
+                + ", ".join(spec.name for spec in specs),
+                flush=True,
+            )
+            if args.unix is not None:
+                print(format_ready_line("fuse-router", path=where), flush=True)
+            else:
+                print(
+                    format_ready_line("fuse-router", host=where[0], port=where[1]),
+                    flush=True,
+                )
+            try:
+                await router.serve_until_closed()
+            finally:
+                print(
+                    f"[fuse-router] routed {router.frames_routed} frame(s), "
+                    f"{router.users_failed_over} failover(s), "
+                    f"{router.users_migrated} migration(s)",
+                    flush=True,
+                )
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("[fuse-router] interrupted, shutting down", flush=True)
+        return 0
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def _fail(message: str, prog: str = "fuse-serve") -> int:
+    print(f"{prog}: {message}", file=sys.stderr)
     return 2
 
 
@@ -292,10 +494,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             help="launch the asyncio socket front-end over process-per-shard serving",
         )
     )
+    _add_router_options(
+        commands.add_parser(
+            "fuse-router",
+            help="route one cluster socket across N fuse-serve backends "
+            "(consistent hashing, failover, live migration)",
+        )
+    )
     args = parser.parse_args(argv)
 
     if args.command == "fuse-serve":
         return _run_serve(args)
+    if args.command == "fuse-router":
+        return _run_router(args)
 
     if args.workers < 1:
         parser.error("--workers must be >= 1")
@@ -313,6 +524,12 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``fuse-serve`` console script (a thin alias)."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     return main(["fuse-serve", *argv])
+
+
+def router_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``fuse-router`` console script (a thin alias)."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    return main(["fuse-router", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover

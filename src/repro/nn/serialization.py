@@ -7,6 +7,7 @@ by :meth:`repro.nn.layers.Module.state_dict`.  This keeps checkpoints portable
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -15,7 +16,15 @@ import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_state", "load_state", "read_metadata", "save_model", "load_model_into"]
+__all__ = [
+    "save_state",
+    "load_state",
+    "load_state_bytes",
+    "read_metadata",
+    "save_model",
+    "save_state_bytes",
+    "load_model_into",
+]
 
 PathLike = Union[str, Path]
 _METADATA_KEY = "__repro_metadata__"
@@ -45,6 +54,34 @@ def load_state(path: PathLike) -> tuple[Dict[str, np.ndarray], Optional[Dict]]:
         if candidate.exists():
             path = candidate
     with np.load(path, allow_pickle=False) as archive:
+        state = {key: archive[key] for key in archive.files if key != _METADATA_KEY}
+        metadata = None
+        if _METADATA_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_METADATA_KEY].tolist()).decode("utf-8"))
+    return state, metadata
+
+
+def save_state_bytes(state: Dict[str, np.ndarray], metadata: Optional[Dict] = None) -> bytes:
+    """Serialize a state dict to in-memory ``.npz`` bytes.
+
+    Same archive layout as :func:`save_state` (so the two are mutually
+    readable), but targeting a buffer instead of a file — this is how
+    per-user adapter state travels over the serving wire during live user
+    migration without touching the spill directory.
+    """
+    payload = dict(state)
+    if metadata is not None:
+        payload[_METADATA_KEY] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        )
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **payload)
+    return buffer.getvalue()
+
+
+def load_state_bytes(data: bytes) -> tuple[Dict[str, np.ndarray], Optional[Dict]]:
+    """Load a state dict and its metadata from in-memory ``.npz`` bytes."""
+    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
         state = {key: archive[key] for key in archive.files if key != _METADATA_KEY}
         metadata = None
         if _METADATA_KEY in archive.files:

@@ -39,16 +39,35 @@ Pieces, inside-out:
   batched submits carrying N frames per wire frame in one contiguous
   zero-copy ndarray block;
 * the replay driver (:func:`replay_users`, :func:`user_streams_from_dataset`)
-  simulating N concurrent users from the synthetic dataset.
+  simulating N concurrent users from the synthetic dataset;
+* the cluster tier (:mod:`repro.serve.router`) — :class:`PoseRouter`
+  fronts N independent backend front-ends behind one socket: a
+  :class:`HashRing` (consistent hashing, virtual nodes) owns user→backend
+  placement, a :class:`HealthMonitor` ping-checks backends and a dead one
+  fails over to the survivors (sessions restored from a
+  :class:`SessionMirror`), planned topology changes live-migrate users
+  (adapter + session ring over the wire, bitwise-identical predictions),
+  and pushed predictions flow under per-connection credit grants.
 """
 
 from .adapters import AdapterRegistry
 from .batcher import FrameDropped, MicroBatcher, PendingPrediction, QueueFull, ServeRequest
+from .cli_utils import ReadyAddress, format_ready_line, parse_ready_line, wait_for_ready
 from .config import ServeConfig
 from .policy import AdapterPolicy
-from .frontend import AsyncPoseClient, PoseFrontend, ServerClosing
+from .frontend import AsyncPoseClient, PoseFrontend, ServerClosing, SocketServerBase
+from .health import HealthMonitor
 from .kernel import SharedParameterKernel
-from .metrics import ServeMetrics, percentile, prometheus_exposition
+from .metrics import ServeMetrics, merge_expositions, percentile, prometheus_exposition
+from .migration import (
+    MigrationError,
+    SessionMirror,
+    export_user_state,
+    import_user_state,
+    migrate_user,
+)
+from .ring import HashRing
+from .router import BackendSpec, NoBackendAvailable, PoseRouter, RouterBackend
 from .replay import (
     ReplayResult,
     adaptation_split,
@@ -65,30 +84,47 @@ __all__ = [
     "AdapterPolicy",
     "AdapterRegistry",
     "AsyncPoseClient",
+    "BackendSpec",
     "FrameDropped",
+    "HashRing",
+    "HealthMonitor",
     "MicroBatcher",
+    "MigrationError",
+    "NoBackendAvailable",
     "PendingPrediction",
     "PoseFrontend",
+    "PoseRouter",
     "PoseServer",
     "ProcessShardedPoseServer",
     "QueueFull",
+    "ReadyAddress",
     "ReplayResult",
+    "RouterBackend",
     "ServeConfig",
     "ServeMetrics",
     "ServeRequest",
     "ServerClosing",
     "SessionManager",
+    "SessionMirror",
     "ShardCrashed",
     "ShardProcess",
     "ShardRemoteError",
     "SharedParameterKernel",
     "ShardedPoseServer",
+    "SocketServerBase",
     "UserSession",
     "adaptation_split",
+    "export_user_state",
+    "format_ready_line",
+    "import_user_state",
+    "merge_expositions",
+    "migrate_user",
+    "parse_ready_line",
     "percentile",
     "prometheus_exposition",
     "replay_users",
     "sequential_reference",
     "streaming_window",
     "user_streams_from_dataset",
+    "wait_for_ready",
 ]

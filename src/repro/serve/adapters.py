@@ -77,7 +77,13 @@ from ..engine.functional import (
     replicate_parameters,
     supports_batched_execution,
 )
-from ..nn.serialization import load_state, read_metadata, save_state
+from ..nn.serialization import (
+    load_state,
+    load_state_bytes,
+    read_metadata,
+    save_state,
+    save_state_bytes,
+)
 from ..runtime.seeding import seed_for_key
 from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics
@@ -636,6 +642,54 @@ class AdapterRegistry:
         self._invalidate_gather_state()
         self._enforce_budgets()
         return list(loaded)
+
+    def export_user_bytes(self, user_id: Hashable) -> Optional[bytes]:
+        """One user's parameter set as portable ``.npz`` bytes, or ``None``.
+
+        The archive carries the same format-2 metadata as a spill file
+        (format/scope/rank plus the encoded user id), so the importing
+        registry validates schema compatibility before accepting it.  Warm
+        users are read without promotion; cold/unknown users return ``None``.
+        This is the unit of adapter state that live user migration moves over
+        the wire.
+        """
+        params = self._params.get(user_id)
+        if params is None and user_id in self._warm:
+            warm_state, _ = load_state(self._warm[user_id])
+            params = [warm_state[key] for key in sorted(warm_state)]
+        if params is None:
+            return None
+        state = {f"p{slot:03d}": array for slot, array in enumerate(params)}
+        return save_state_bytes(
+            state, metadata=self._archive_metadata(user=self._encode_user(user_id))
+        )
+
+    def import_user_bytes(self, user_id: Hashable, data: bytes) -> None:
+        """Install one user's parameter set from :meth:`export_user_bytes` output.
+
+        Scope/rank/format mismatches raise the same readable errors as spill
+        and checkpoint loads.  The user enters the hot tier (their adapted
+        predictions are about to be served here) and is written through to
+        the spill directory when one is configured.
+        """
+        state, metadata = load_state_bytes(data)
+        self._validate_archive(metadata, "<migrated archive>")
+        encoded = metadata.get("user") if metadata else None
+        if encoded is not None and self._decode_user(encoded) != user_id:
+            raise ValueError(
+                f"migrated archive belongs to user "
+                f"{self._decode_user(encoded)!r}, not {user_id!r}"
+            )
+        params = [state[key] for key in sorted(state)]
+        if not params:
+            raise ValueError("migrated archive holds no parameter tensors")
+        self._params[user_id] = params
+        self._params.move_to_end(user_id)
+        self._warm.pop(user_id, None)
+        self._cold.discard(user_id)
+        self._write_spill(user_id, params)
+        self._invalidate_gather_state()
+        self._enforce_budgets()
 
     def remove(self, user_id: Hashable) -> bool:
         """Forget one user entirely (all tiers); returns whether they existed."""

@@ -1,0 +1,91 @@
+"""Shared helpers for the serving CLIs' parseable stdout handshake.
+
+``fuse-serve`` (and now ``fuse-router``) announce their bound address by
+printing a single machine-parseable line::
+
+    [fuse-serve] ready tcp=127.0.0.1:8771
+    [fuse-router] ready unix=/tmp/fuse.sock
+
+Everything that launches a server as a subprocess — examples, tests, the
+router spawning its backends — needs to wait for and parse that line, so
+the format lives here exactly once.  The CLI formats through
+:func:`format_ready_line`, consumers parse with :func:`parse_ready_line`
+or block on a pipe with :func:`wait_for_ready`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import IO, Optional
+
+__all__ = ["ReadyAddress", "format_ready_line", "parse_ready_line", "wait_for_ready"]
+
+_READY_RE = re.compile(
+    r"\[(?P<prog>[\w.-]+)\] ready "
+    r"(?:tcp=(?P<host>[^:\s]+):(?P<port>\d+)|unix=(?P<path>\S+))\s*$"
+)
+
+
+@dataclass(frozen=True)
+class ReadyAddress:
+    """A parsed readiness announcement from a serving CLI."""
+
+    prog: str
+    kind: str  # "tcp" | "unix"
+    host: Optional[str] = None
+    port: Optional[int] = None
+    path: Optional[str] = None
+
+    @property
+    def endpoint(self) -> str:
+        """The address in CLI-argument form (``host:port`` or the path)."""
+        if self.kind == "tcp":
+            return f"{self.host}:{self.port}"
+        return str(self.path)
+
+
+def format_ready_line(prog: str, *, host: Optional[str] = None,
+                      port: Optional[int] = None, path: Optional[str] = None) -> str:
+    """The one canonical ready line (TCP when ``host`` given, else Unix)."""
+    if path is not None:
+        return f"[{prog}] ready unix={path}"
+    if host is None or port is None:
+        raise ValueError("either path or host and port are required")
+    return f"[{prog}] ready tcp={host}:{port}"
+
+
+def parse_ready_line(line: str) -> Optional[ReadyAddress]:
+    """Parse one stdout line; ``None`` when it is not a ready announcement."""
+    match = _READY_RE.match(line.strip())
+    if match is None:
+        return None
+    if match.group("path") is not None:
+        return ReadyAddress(prog=match.group("prog"), kind="unix", path=match.group("path"))
+    return ReadyAddress(
+        prog=match.group("prog"),
+        kind="tcp",
+        host=match.group("host"),
+        port=int(match.group("port")),
+    )
+
+
+def wait_for_ready(stream: IO[str], max_lines: int = 100) -> ReadyAddress:
+    """Read ``stream`` line by line until the ready announcement appears.
+
+    Raises ``RuntimeError`` when the stream ends (the subprocess died) or
+    ``max_lines`` go by without an announcement, echoing what was read so
+    the failure is debuggable.
+    """
+    seen: list = []
+    for _ in range(max_lines):
+        line = stream.readline()
+        if not line:
+            break
+        seen.append(line)
+        address = parse_ready_line(line)
+        if address is not None:
+            return address
+    raise RuntimeError(
+        "server did not announce readiness; output was:\n" + "".join(seen)
+    )

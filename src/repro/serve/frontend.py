@@ -73,7 +73,7 @@ from .transport import (
     write_message,
 )
 
-__all__ = ["AsyncPoseClient", "PoseFrontend", "ServerClosing"]
+__all__ = ["AsyncPoseClient", "PoseFrontend", "ServerClosing", "SocketServerBase"]
 
 #: default bound on concurrently dispatched requests per connection
 DEFAULT_MAX_IN_FLIGHT = 32
@@ -143,9 +143,22 @@ class _FifoShardLock:
 class _Connection:
     """Per-connection pipelining state, owned by the event loop."""
 
-    __slots__ = ("reader", "writer", "codec", "outbox", "window", "inflight", "tickets", "tasks")
+    __slots__ = (
+        "reader",
+        "writer",
+        "codec",
+        "outbox",
+        "window",
+        "inflight",
+        "tickets",
+        "tasks",
+        "credits",
+        "deferred",
+    )
 
-    def __init__(self, reader, writer, max_in_flight: int) -> None:
+    def __init__(
+        self, reader, writer, max_in_flight: int, push_credits: Optional[int] = None
+    ) -> None:
         self.reader = reader
         self.writer = writer
         self.codec = CODEC_JSON
@@ -167,64 +180,40 @@ class _Connection:
         #: streaming ledger: ticket id -> (user_id, pending handle, codec)
         self.tickets: "OrderedDict" = OrderedDict()
         self.tasks: Set[asyncio.Task] = set()
+        #: remaining push credits (``None`` disables flow control): every
+        #: server-initiated push spends one; the client replenishes with a
+        #: ``credits`` grant as it consumes pushes
+        self.credits = push_credits
+        #: pushes awaiting credit, in completion order
+        self.deferred: "deque[tuple]" = deque()
 
 
-class PoseFrontend:
-    """Socket front-end over any server with the :class:`PoseServer` façade.
+class SocketServerBase:
+    """Shared asyncio socket-serving machinery: listener plus pipelining.
 
-    Parameters
-    ----------
-    server:
-        The backend: a :class:`repro.serve.ProcessShardedPoseServer` for a
-        process-per-shard deployment, or any object with ``submit`` /
-        ``enqueue`` / ``poll`` / ``flush`` / ``metrics_snapshot`` /
-        ``to_prometheus`` (the in-process servers work too, serialized
-        through a single executor thread).
-    host / port:
-        TCP listening address, or
-    unix_path:
-        Unix-domain socket path (mutually exclusive with ``host``).
-    max_frame_bytes:
-        Per-frame payload bound enforced before any payload is read.
-    parallelism:
-        Executor threads for backend calls.  Defaults to the backend's
-        ``num_shards`` when the backend declares ``parallel_safe = True``
-        (the process-per-shard server does: each shard's commands
-        serialize on their own lock) and to 1 otherwise — the in-process
-        servers are single-threaded by design and must never see
-        concurrent calls.  More threads than shards buys nothing: each
-        shard serializes its own commands.
-    max_in_flight:
-        Bound on concurrently dispatched requests per connection
-        (protocol v2 pipelining).  When a connection's window is full the
-        front-end stops reading from it, so the socket's own buffers are
-        the only queue ahead of the dispatch layer.
-    protocol:
-        Highest protocol generation to speak (default 2).  ``protocol=1``
-        restores the strict one-request-in-flight behaviour: request ids
-        are ignored and the v2 message types are rejected.
-    poll_interval_s:
-        Cadence of the background poller that applies the backend's
-        micro-batch latency deadline while streaming tickets are
-        outstanding.  Defaults to the backend's ``config.max_delay_s``
-        (5 ms for a default :class:`repro.serve.ServeConfig`).
-    allow_remote_shutdown:
-        Honour the ``shutdown`` message type (handy for examples and tests;
-        leave off for real deployments).
+    Owns everything about speaking the wire protocol to *clients*: the
+    listener lifecycle, the per-connection read/write loops, the pipelined
+    dispatch window, the synchronous-claim FIFO ordering locks, the
+    credit-based push flow control, and the protocol-generic message types
+    (``hello``, ``ping``, ``credits``, ``shutdown``).
+
+    :class:`PoseFrontend` plugs one backend server underneath;
+    :class:`repro.serve.router.PoseRouter` plugs a fleet of backend
+    connections instead.  Subclasses implement :meth:`_dispatch_extra`
+    (their message types), optionally :meth:`_hello_extra` (their hello
+    fields) and the four lifecycle hooks.
     """
 
     def __init__(
         self,
-        server,
         host: Optional[str] = None,
         port: int = 0,
         unix_path: Optional[str] = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-        parallelism: Optional[int] = None,
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         protocol: int = PROTOCOL_VERSION,
-        poll_interval_s: Optional[float] = None,
         allow_remote_shutdown: bool = False,
+        push_credits: Optional[int] = None,
     ) -> None:
         if (host is None) == (unix_path is None):
             raise ValueError("provide exactly one of host / unix_path")
@@ -232,7 +221,8 @@ class PoseFrontend:
             raise ValueError(f"protocol must be one of {SUPPORTED_PROTOCOLS}")
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
-        self.server = server
+        if push_credits is not None and push_credits < 1:
+            raise ValueError("push_credits must be >= 1, or None for no flow control")
         self.host = host
         self.port = port
         self.unix_path = unix_path
@@ -240,30 +230,30 @@ class PoseFrontend:
         self.max_in_flight = max_in_flight
         self.protocol = protocol
         self.allow_remote_shutdown = allow_remote_shutdown
-        if poll_interval_s is None:
-            config = getattr(server, "config", None)
-            poll_interval_s = getattr(config, "max_delay_s", None) or 0.005
-        if poll_interval_s <= 0:
-            raise ValueError("poll_interval_s must be positive")
-        self.poll_interval_s = poll_interval_s
-        if parallelism is None:
-            if getattr(server, "parallel_safe", False):
-                parallelism = int(getattr(server, "num_shards", 1) or 1)
-            else:
-                parallelism = 1
-        if parallelism < 1:
-            raise ValueError("parallelism must be >= 1")
-        self.parallelism = parallelism
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self.push_credits = push_credits
         self._listener: Optional[asyncio.AbstractServer] = None
-        self._poller: Optional[asyncio.Task] = None
         self._closing = asyncio.Event()
         self._connections: Set[_Connection] = set()
-        self._shard_locks: Dict[int, _FifoShardLock] = {}
+        self._locks: Dict[Hashable, _FifoShardLock] = {}
         self.connections_served = 0
         self.requests_served = 0
         self.predictions_pushed = 0
         self.protocol_errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (subclasses)
+    # ------------------------------------------------------------------
+    async def _before_listen(self) -> None:
+        """Runs before the socket binds (allocate resources)."""
+
+    async def _after_listen(self) -> None:
+        """Runs once the socket is bound (start background tasks)."""
+
+    async def _before_unbind(self) -> None:
+        """Runs at the start of :meth:`stop` (cancel background tasks)."""
+
+    async def _after_unbind(self) -> None:
+        """Runs at the end of :meth:`stop` (release resources)."""
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -277,13 +267,11 @@ class PoseFrontend:
             return self.unix_path
         return self._listener.sockets[0].getsockname()[:2]
 
-    async def start(self) -> "PoseFrontend":
+    async def start(self) -> "SocketServerBase":
         """Bind the socket and start accepting connections."""
         if self._listener is not None:
             raise RuntimeError("front-end is already started")
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.parallelism, thread_name_prefix="fuse-frontend"
-        )
+        await self._before_listen()
         if self.unix_path is not None:
             # A previous listener that exited without stop() leaves its
             # socket file behind; binding over a stale socket (never a
@@ -298,22 +286,17 @@ class PoseFrontend:
                 self._handle_connection, host=self.host, port=self.port
             )
             self.port = self._listener.sockets[0].getsockname()[1]
-        if self.protocol >= 2:
-            self._poller = asyncio.ensure_future(self._poll_loop())
+        await self._after_listen()
         return self
 
     async def stop(self) -> None:
-        """Stop accepting, close the listener and release the executor.
+        """Stop accepting, close the listener and release resources.
 
-        The backend server is *not* closed: the caller owns its lifecycle
-        (the CLI closes it after the front-end stops).
+        A backend server underneath is *not* closed: the caller owns its
+        lifecycle (the CLI closes it after the front-end stops).
         """
         self._closing.set()
-        if self._poller is not None:
-            self._poller.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await self._poller
-            self._poller = None
+        await self._before_unbind()
         if self._listener is not None:
             self._listener.close()
             await self._listener.wait_closed()
@@ -326,9 +309,7 @@ class PoseFrontend:
         # event loop exits.
         for conn in list(self._connections):
             conn.writer.close()
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        await self._after_unbind()
 
     async def serve_until_closed(self) -> None:
         """Block until :meth:`stop` is called (or a remote shutdown)."""
@@ -342,7 +323,7 @@ class PoseFrontend:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_served += 1
-        conn = _Connection(reader, writer, self.max_in_flight)
+        conn = _Connection(reader, writer, self.max_in_flight, self.push_credits)
         self._connections.add(conn)
         write_loop = asyncio.ensure_future(self._write_loop(conn))
         try:
@@ -427,6 +408,7 @@ class PoseFrontend:
                 await write_loop
             self._connections.discard(conn)
             conn.tickets.clear()
+            conn.deferred.clear()
             writer.close()
             # Suppress CancelledError too: stop() tears connections down
             # mid-wait and the close has already been issued above.
@@ -520,7 +502,7 @@ class PoseFrontend:
         return reply
 
     # ------------------------------------------------------------------
-    # Dispatch
+    # Dispatch: protocol-generic message types
     # ------------------------------------------------------------------
     async def _dispatch(self, conn: _Connection, message: dict, request_id, codec: str) -> dict:
         kind = message["type"]
@@ -529,21 +511,225 @@ class PoseFrontend:
                 f"message type {kind!r} requires protocol v2, front-end speaks v1"
             )
         if kind == "hello":
-            policy = getattr(self.server, "policy", None)
-            return {
+            reply = {
                 "type": "hello",
                 "protocol": self.protocol,
                 "protocols": [v for v in SUPPORTED_PROTOCOLS if v <= self.protocol],
                 "codecs": list(available_codecs()),
-                "shards": int(getattr(self.server, "num_shards", 1) or 1),
                 "max_in_flight": self.max_in_flight,
-                # adapter_policy lets a client discover how this deployment
-                # personalizes (scope, rank, tier budgets) without a side
-                # channel; None when the backend predates AdapterPolicy.
-                "adapter_policy": policy.to_dict() if policy is not None else None,
+                # push flow control: the per-connection credit budget, or
+                # None when this server pushes without credit accounting
+                "push_credits": self.push_credits,
             }
+            reply.update(self._hello_extra())
+            return reply
         if kind == "ping":
             return {"type": "pong"}
+        if kind == "credits":
+            return self._grant_credits(conn, message)
+        if kind == "shutdown":
+            if not self.allow_remote_shutdown:
+                raise ServerClosing("remote shutdown is disabled on this front-end")
+            return {"type": "goodbye"}
+        return await self._dispatch_extra(conn, message, request_id, codec)
+
+    def _hello_extra(self) -> dict:
+        """Subclass-specific fields merged into the ``hello`` reply."""
+        return {}
+
+    async def _dispatch_extra(
+        self, conn: _Connection, message: dict, request_id, codec: str
+    ) -> dict:
+        raise transport.ProtocolError(
+            f"front-end cannot serve message type {message['type']!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Push flow control
+    # ------------------------------------------------------------------
+    def _push(self, conn: _Connection, message: dict, codec: str) -> None:
+        """Queue a server-initiated frame, spending one push credit.
+
+        With flow control off (``push_credits=None``) this is a plain
+        outbox put.  Otherwise a push with no credit left is *deferred* —
+        held server-side, in completion order, until the client grants
+        more — so a slow consumer bounds the reply queue at its own pace
+        instead of growing it without limit.
+        """
+        self.predictions_pushed += 1
+        if conn.credits is None:
+            conn.outbox.put_nowait((message, codec, None))
+            return
+        if conn.credits > 0:
+            conn.credits -= 1
+            conn.outbox.put_nowait((message, codec, None))
+        else:
+            conn.deferred.append((message, codec))
+
+    def _grant_credits(self, conn: _Connection, message: dict) -> dict:
+        """Apply a ``credits`` grant and release deferred pushes in order."""
+        try:
+            grant = int(message.get("grant", 0))
+        except (TypeError, ValueError) as error:
+            raise transport.ProtocolError(f"malformed credits grant: {error}") from error
+        if grant < 0:
+            raise transport.ProtocolError("credits grant must be >= 0")
+        if conn.credits is not None:
+            conn.credits += grant
+            while conn.credits > 0 and conn.deferred:
+                deferred_message, deferred_codec = conn.deferred.popleft()
+                conn.credits -= 1
+                conn.outbox.put_nowait((deferred_message, deferred_codec, None))
+        return {"type": "credits", "available": conn.credits}
+
+    # ------------------------------------------------------------------
+    # FIFO ordering locks
+    # ------------------------------------------------------------------
+    def _fifo_lock(self, key: Hashable) -> _FifoShardLock:
+        """The FIFO ordering lock of ``key`` (a shard index or a backend
+        name): per-key submission order equals request arrival order even
+        under pipelining, because claims are taken synchronously at
+        dispatch time."""
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = self._locks[key] = _FifoShardLock()
+        return lock
+
+
+class PoseFrontend(SocketServerBase):
+    """Socket front-end over any server with the :class:`PoseServer` façade.
+
+    Parameters
+    ----------
+    server:
+        The backend: a :class:`repro.serve.ProcessShardedPoseServer` for a
+        process-per-shard deployment, or any object with ``submit`` /
+        ``enqueue`` / ``poll`` / ``flush`` / ``metrics_snapshot`` /
+        ``to_prometheus`` (the in-process servers work too, serialized
+        through a single executor thread).
+    host / port:
+        TCP listening address, or
+    unix_path:
+        Unix-domain socket path (mutually exclusive with ``host``).
+    max_frame_bytes:
+        Per-frame payload bound enforced before any payload is read.
+    parallelism:
+        Executor threads for backend calls.  Defaults to the backend's
+        ``num_shards`` when the backend declares ``parallel_safe = True``
+        (the process-per-shard server does: each shard's commands
+        serialize on their own lock) and to 1 otherwise — the in-process
+        servers are single-threaded by design and must never see
+        concurrent calls.  More threads than shards buys nothing: each
+        shard serializes its own commands.
+    max_in_flight:
+        Bound on concurrently dispatched requests per connection
+        (protocol v2 pipelining).  When a connection's window is full the
+        front-end stops reading from it, so the socket's own buffers are
+        the only queue ahead of the dispatch layer.
+    protocol:
+        Highest protocol generation to speak (default 2).  ``protocol=1``
+        restores the strict one-request-in-flight behaviour: request ids
+        are ignored and the v2 message types are rejected.
+    poll_interval_s:
+        Cadence of the background poller that applies the backend's
+        micro-batch latency deadline while streaming tickets are
+        outstanding.  Defaults to the backend's ``config.max_delay_s``
+        (5 ms for a default :class:`repro.serve.ServeConfig`).
+    allow_remote_shutdown:
+        Honour the ``shutdown`` message type (handy for examples and tests;
+        leave off for real deployments).
+    push_credits:
+        Per-connection credit budget for server-initiated pushes (the
+        streaming ``enqueue`` resolutions).  ``None`` — the default —
+        pushes unconditionally, the pre-credit behaviour; an integer
+        defers pushes beyond the budget until the client grants more with
+        a ``credits`` frame (:class:`AsyncPoseClient` grants
+        automatically as it consumes pushes).
+    """
+
+    def __init__(
+        self,
+        server,
+        host: Optional[str] = None,
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        parallelism: Optional[int] = None,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        protocol: int = PROTOCOL_VERSION,
+        poll_interval_s: Optional[float] = None,
+        allow_remote_shutdown: bool = False,
+        push_credits: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            max_frame_bytes=max_frame_bytes,
+            max_in_flight=max_in_flight,
+            protocol=protocol,
+            allow_remote_shutdown=allow_remote_shutdown,
+            push_credits=push_credits,
+        )
+        self.server = server
+        if poll_interval_s is None:
+            config = getattr(server, "config", None)
+            poll_interval_s = getattr(config, "max_delay_s", None) or 0.005
+        if poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        self.poll_interval_s = poll_interval_s
+        if parallelism is None:
+            if getattr(server, "parallel_safe", False):
+                parallelism = int(getattr(server, "num_shards", 1) or 1)
+            else:
+                parallelism = 1
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._poller: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    async def _before_listen(self) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.parallelism, thread_name_prefix="fuse-frontend"
+        )
+
+    async def _after_listen(self) -> None:
+        if self.protocol >= 2:
+            self._poller = asyncio.ensure_future(self._poll_loop())
+
+    async def _before_unbind(self) -> None:
+        if self._poller is not None:
+            self._poller.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._poller
+            self._poller = None
+
+    async def _after_unbind(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _hello_extra(self) -> dict:
+        policy = getattr(self.server, "policy", None)
+        return {
+            "shards": int(getattr(self.server, "num_shards", 1) or 1),
+            # adapter_policy lets a client discover how this deployment
+            # personalizes (scope, rank, tier budgets) without a side
+            # channel; None when the backend predates AdapterPolicy.
+            "adapter_policy": policy.to_dict() if policy is not None else None,
+        }
+
+    async def _dispatch_extra(
+        self, conn: _Connection, message: dict, request_id, codec: str
+    ) -> dict:
+        kind = message["type"]
         if kind == "submit":
             return await self._submit(message)
         if kind == "enqueue":
@@ -564,11 +750,11 @@ class PoseFrontend:
         if kind == "prometheus":
             text = await self._run_blocking(self.server.to_prometheus)
             return {"type": "prometheus_report", "text": text}
-        if kind == "shutdown":
-            if not self.allow_remote_shutdown:
-                raise ServerClosing("remote shutdown is disabled on this front-end")
-            return {"type": "goodbye"}
-        raise transport.ProtocolError(f"front-end cannot serve message type {kind!r}")
+        if kind == "export_user":
+            return await self._export_user(message)
+        if kind == "import_user":
+            return await self._import_user(message)
+        return await super()._dispatch_extra(conn, message, request_id, codec)
 
     @staticmethod
     def _parse_frame(frame: dict) -> PointCloudFrame:
@@ -586,10 +772,7 @@ class PoseFrontend:
         return self._shard_lock_by_index(index)
 
     def _shard_lock_by_index(self, index: int) -> _FifoShardLock:
-        lock = self._shard_locks.get(index)
-        if lock is None:
-            lock = self._shard_locks[index] = _FifoShardLock()
-        return lock
+        return self._fifo_lock(index)
 
     async def _submit(self, message: dict) -> dict:
         if self._closing.is_set():
@@ -761,6 +944,34 @@ class PoseFrontend:
         return resolved
 
     # ------------------------------------------------------------------
+    # Live user migration
+    # ------------------------------------------------------------------
+    async def _export_user(self, message: dict) -> dict:
+        try:
+            user = message["user"]
+        except KeyError as error:
+            raise transport.ProtocolError(f"malformed export_user message: {error}") from error
+        forget = bool(message.get("forget", False))
+        # Under the user's shard lock: the export drains (flushes) the
+        # shard first, and no later frame of this user may slip in between
+        # the drain and the snapshot.
+        lock = self._shard_lock(user)
+        async with lock.held(lock.claim()):
+            state = await self._run_blocking(self.server.export_user, user, forget)
+        self._sweep()  # the drain may have resolved outstanding tickets
+        return {"type": "user_state", "user": user, "state": state}
+
+    async def _import_user(self, message: dict) -> dict:
+        state = message.get("state")
+        if not isinstance(state, dict):
+            raise transport.ProtocolError("import_user requires a state mapping")
+        user = state.get("user")
+        lock = self._shard_lock(user)
+        async with lock.held(lock.claim()):
+            user = await self._run_blocking(self.server.import_user, state)
+        return {"type": "imported", "user": user}
+
+    # ------------------------------------------------------------------
     # Streaming resolution
     # ------------------------------------------------------------------
     def _sweep(self) -> None:
@@ -797,8 +1008,7 @@ class PoseFrontend:
                         "joints": np.asarray(handle.result(flush=False)),
                         "pushed": True,
                     }
-                self.predictions_pushed += 1
-                conn.outbox.put_nowait((push, codec, None))
+                self._push(conn, push, codec)
 
     async def _poll_loop(self) -> None:
         """Apply the backend's latency deadline while tickets are pending."""
@@ -865,10 +1075,18 @@ class AsyncPoseClient:
         self,
         codec: Optional[str] = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        reconnect: bool = False,
+        auto_credits: bool = True,
     ) -> None:
         self.codec = codec if codec is not None else available_codecs()[-1]
         self.max_frame_bytes = max_frame_bytes
+        #: opt-in: re-dial (with the connect call's bounded backoff) and
+        #: replay the hello when a request finds the reader dead
+        self.reconnect = reconnect
+        #: grant push credits back automatically as pushes are consumed
+        self.auto_credits = auto_credits
         self.unmatched_replies = 0
+        self.reconnects = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
@@ -878,6 +1096,12 @@ class AsyncPoseClient:
         self._next_id = 0
         self._server_protocol: Optional[int] = None
         self._read_error: Optional[Exception] = None
+        self._opener = None
+        self._dial_params: Tuple[int, float, float] = (0, 0.05, 1.0)
+        self._redial_lock = asyncio.Lock()
+        self._hello_done = False
+        self._push_budget: Optional[int] = None
+        self._push_consumed = 0
 
     # ------------------------------------------------------------------
     # Connection
@@ -918,6 +1142,10 @@ class AsyncPoseClient:
             raise ValueError("retries must be >= 0")
         if backoff_s <= 0 or max_backoff_s <= 0:
             raise ValueError("backoff delays must be positive")
+        # Remember how to dial: an opt-in reconnecting client re-dials with
+        # the same opener and backoff schedule when its reader dies.
+        self._opener = opener
+        self._dial_params = (retries, backoff_s, max_backoff_s)
         delay = backoff_s
         for attempt in range(retries + 1):
             try:
@@ -982,6 +1210,7 @@ class AsyncPoseClient:
         ticket = message.get("ticket")
         if ticket is not None and ticket in self._tickets:
             self._resolve(self._tickets.pop(ticket), message)
+            self._note_push()
             return
         if request_id is None and ticket is None:
             if message["type"] == "error" and (self._server_protocol or 0) >= 2:
@@ -1021,6 +1250,27 @@ class AsyncPoseClient:
         self._pending.clear()
         self._tickets.clear()
 
+    def _note_push(self) -> None:
+        """Account one consumed push; replenish the server's credits.
+
+        Fire-and-forget at the half-budget mark — granting per push would
+        double every push's round-trips, while waiting for the budget to
+        empty would stall the server's push stream on the grant's
+        round-trip latency.
+        """
+        if self._push_budget is None or not self.auto_credits:
+            return
+        self._push_consumed += 1
+        threshold = max(1, self._push_budget // 2)
+        if self._push_consumed >= threshold:
+            grant = self._push_consumed
+            self._push_consumed = 0
+            asyncio.ensure_future(self._grant_quietly(grant))
+
+    async def _grant_quietly(self, grant: int) -> None:
+        with contextlib.suppress(Exception):
+            await self.grant_credits(grant)
+
     def _claim_id(self) -> int:
         self._next_id += 1
         return self._next_id
@@ -1037,11 +1287,13 @@ class AsyncPoseClient:
         if self._reader is None or self._writer is None:
             raise RuntimeError("client is not connected")
         if self._reader_task is not None and self._reader_task.done():
-            # The reader died (framing fault, reset): registering a future
-            # now would await a reply nothing can ever deliver.
-            raise ConnectionError(
-                f"connection is broken: {self._read_error or 'reader stopped'}"
-            )
+            if not (self.reconnect and self._opener is not None):
+                # The reader died (framing fault, reset): registering a
+                # future now would await a reply nothing can ever deliver.
+                raise ConnectionError(
+                    f"connection is broken: {self._read_error or 'reader stopped'}"
+                )
+            await self._redial()
         request_id = message.get("id")
         if request_id is None:
             request_id = self._claim_id()
@@ -1055,12 +1307,44 @@ class AsyncPoseClient:
         finally:
             self._pending.pop(request_id, None)
 
+    async def _redial(self) -> None:
+        """Re-dial a dead connection and replay the hello handshake.
+
+        Outstanding requests of the old connection have already failed
+        (the dying reader failed them); only *new* requests ride the new
+        socket.  Serialized: concurrent requests that all found the reader
+        dead perform one redial between them.
+        """
+        async with self._redial_lock:
+            if self._reader_task is not None and not self._reader_task.done():
+                return  # a concurrent request already redialed
+            writer = self._writer
+            self._reader = self._writer = None
+            self._reader_task = None
+            if writer is not None:
+                writer.close()
+                with contextlib.suppress(ConnectionError, BrokenPipeError, OSError):
+                    await writer.wait_closed()
+            self._read_error = None
+            self._push_consumed = 0
+            retries, backoff_s, max_backoff_s = self._dial_params
+            await self._connect(self._opener, retries, backoff_s, max_backoff_s)
+            self.reconnects += 1
+            if self._hello_done:
+                # Re-announce the protocol and refresh the negotiated
+                # fields (the server's push-credit budget in particular).
+                await self.hello()
+
     async def hello(self) -> dict:
         reply = await self.request({"type": "hello", "protocol": PROTOCOL_VERSION})
         try:
             self._server_protocol = int(reply.get("protocol", 1))
         except (TypeError, ValueError):
             self._server_protocol = None
+        budget = reply.get("push_credits")
+        self._push_budget = int(budget) if isinstance(budget, int) else None
+        self._push_consumed = 0
+        self._hello_done = True
         return reply
 
     async def ping(self) -> bool:
@@ -1252,6 +1536,36 @@ class AsyncPoseClient:
                 raise error
             out.append(error)
         return out
+
+    # ------------------------------------------------------------------
+    # Live user migration
+    # ------------------------------------------------------------------
+    async def export_user(self, user_id, forget: bool = False) -> Optional[dict]:
+        """Fetch a user's portable state (session ring + adapter archive).
+
+        The server drains the user's shard first, so the state reflects
+        every accepted frame.  ``forget=True`` atomically removes the user
+        server-side after the snapshot — the move half of a migration.
+        Returns ``None`` for a user the server has never seen.
+        """
+        reply = await self.request(
+            {"type": "export_user", "user": user_id, "forget": bool(forget)}
+        )
+        return reply["state"]
+
+    async def import_user(self, state: dict):
+        """Install a user state exported elsewhere; returns the user id."""
+        reply = await self.request({"type": "import_user", "state": state})
+        return reply["user"]
+
+    # ------------------------------------------------------------------
+    # Push flow control
+    # ------------------------------------------------------------------
+    async def grant_credits(self, grant: int) -> Optional[int]:
+        """Grant the server ``grant`` push credits; returns its new balance
+        (``None`` when the server runs without flow control)."""
+        reply = await self.request({"type": "credits", "grant": int(grant)})
+        return reply["available"]
 
     # ------------------------------------------------------------------
     # Observability / control

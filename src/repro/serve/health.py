@@ -1,0 +1,164 @@
+"""Liveness monitoring for routed backends.
+
+:class:`HealthMonitor` periodically probes a set of named targets with an
+async callable — the router probes each backend with the protocol-v2
+``ping`` frame — and declares a target *down* only after
+``failure_threshold`` consecutive failures (one lost ping must not trigger
+a failover that throws away the backend's adapters).  A down target that
+answers again is declared *up*; what to do with it (the router does **not**
+automatically re-add it to the ring — its state is stale) is the
+callback's decision.
+
+The monitor is policy-free: it never touches the ring or the backends, it
+only calls ``on_down`` / ``on_up``.  Callbacks may be plain functions or
+coroutine functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import inspect
+from typing import Awaitable, Callable, Dict, List, Optional, Set
+
+__all__ = ["HealthMonitor"]
+
+
+class HealthMonitor:
+    """Periodic liveness probing with consecutive-failure debouncing.
+
+    Parameters
+    ----------
+    probe:
+        ``async (name) -> truthy`` — one liveness check of one target.  A
+        raise, a falsy return, or exceeding ``timeout_s`` counts as one
+        failure.
+    interval_s:
+        Delay between probe rounds.
+    timeout_s:
+        Per-probe deadline (a hung backend must not stall the round).
+    failure_threshold:
+        Consecutive failures before a target is declared down.
+    on_down / on_up:
+        Callbacks invoked with the target name on a state transition.
+    """
+
+    def __init__(
+        self,
+        probe: Callable[[str], Awaitable],
+        interval_s: float = 1.0,
+        timeout_s: float = 1.0,
+        failure_threshold: int = 3,
+        on_down: Optional[Callable[[str], object]] = None,
+        on_up: Optional[Callable[[str], object]] = None,
+    ) -> None:
+        if interval_s <= 0 or timeout_s <= 0:
+            raise ValueError("interval_s and timeout_s must be positive")
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self._probe = probe
+        self.interval_s = interval_s
+        self.timeout_s = timeout_s
+        self.failure_threshold = failure_threshold
+        self._on_down = on_down
+        self._on_up = on_up
+        self._failures: Dict[str, int] = {}
+        self._down: Set[str] = set()
+        self._task: Optional[asyncio.Task] = None
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    # Target set
+    # ------------------------------------------------------------------
+    def watch(self, name: str) -> None:
+        """Start probing ``name`` (idempotent)."""
+        self._failures.setdefault(name, 0)
+
+    def unwatch(self, name: str) -> None:
+        """Stop probing ``name`` and forget its state."""
+        self._failures.pop(name, None)
+        self._down.discard(name)
+
+    @property
+    def targets(self) -> List[str]:
+        return sorted(self._failures)
+
+    @property
+    def down(self) -> List[str]:
+        """Targets currently declared down, sorted by name."""
+        return sorted(self._down)
+
+    def is_down(self, name: str) -> bool:
+        return name in self._down
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    async def check_now(self) -> Dict[str, bool]:
+        """Probe every watched target once, concurrently.
+
+        Returns ``{name: probe_ok}`` for this round (not the debounced
+        up/down state — that is :meth:`is_down`).
+        """
+        names = list(self._failures)
+        outcomes = await asyncio.gather(
+            *(self._probe_one(name) for name in names)
+        )
+        self.rounds += 1
+        results: Dict[str, bool] = {}
+        for name, ok in zip(names, outcomes):
+            if name not in self._failures:
+                continue  # unwatched while the probe was in flight
+            results[name] = ok
+            if ok:
+                self._failures[name] = 0
+                if name in self._down:
+                    self._down.discard(name)
+                    await self._notify(self._on_up, name)
+            else:
+                self._failures[name] += 1
+                if (
+                    self._failures[name] >= self.failure_threshold
+                    and name not in self._down
+                ):
+                    self._down.add(name)
+                    await self._notify(self._on_down, name)
+        return results
+
+    async def _probe_one(self, name: str) -> bool:
+        try:
+            return bool(
+                await asyncio.wait_for(self._probe(name), timeout=self.timeout_s)
+            )
+        except Exception:
+            return False
+
+    @staticmethod
+    async def _notify(callback, name: str) -> None:
+        if callback is None:
+            return
+        result = callback(name)
+        if inspect.isawaitable(result):
+            await result
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background probing loop (requires a running loop)."""
+        if self._task is not None:
+            raise RuntimeError("monitor is already running")
+        self._task = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        self._task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._task
+        self._task = None
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval_s)
+            await self.check_now()

@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Callable, Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
-__all__ = ["ServeMetrics", "percentile", "prometheus_exposition"]
+__all__ = ["ServeMetrics", "merge_expositions", "percentile", "prometheus_exposition"]
 
 
 def percentile(values, fraction: float) -> float:
@@ -279,8 +279,10 @@ class ServeMetrics:
     )
 
     @classmethod
-    def aggregate(cls, metrics: Sequence["ServeMetrics"]) -> Dict[str, float]:
-        """Merge several instances (one per shard) into one snapshot dict.
+    def aggregate(
+        cls, metrics: Sequence[Union["ServeMetrics", Mapping[str, float]]]
+    ) -> Dict[str, float]:
+        """Merge several shards or backends into one snapshot dict.
 
         The schema is :meth:`snapshot`'s: plain counters sum (so a counter
         added to the snapshot aggregates correctly with no change here),
@@ -289,48 +291,92 @@ class ServeMetrics:
         earliest submission to the latest completion across all shards
         (shards serve concurrently interleaved traffic, so their wall
         clocks overlap rather than add).
+
+        Inputs may be live instances *or* plain snapshot mappings — a
+        cluster router only holds each backend's ``metrics_snapshot()``
+        dict, never the instance.  Heterogeneous snapshots are fine: a key
+        absent from one backend (an older release without a newer counter)
+        aggregates as zero instead of raising.  Two figures are necessarily
+        approximate once any input is snapshot-only: latency percentiles
+        become a completion-weighted average of per-backend percentiles
+        (the raw windows are not in the snapshot), and throughput sums
+        across backends (they serve concurrently).
         """
         if not metrics:
             raise ValueError("at least one ServeMetrics instance is required")
-        snapshots = [m.snapshot() for m in metrics]
+        instances = [m for m in metrics if isinstance(m, ServeMetrics)]
+        exact = len(instances) == len(metrics)
+        snapshots = [
+            m.snapshot() if isinstance(m, ServeMetrics) else dict(m) for m in metrics
+        ]
+        keys: list = []
+        for snapshot in snapshots:
+            for key in snapshot:
+                if key not in keys:
+                    keys.append(key)
         report: Dict[str, float] = {}
-        for key in snapshots[0]:
+        for key in keys:
             if key in cls._AGGREGATE_DERIVED_KEYS:
                 continue
-            values = [snapshot[key] for snapshot in snapshots]
+            values = [snapshot.get(key, 0) for snapshot in snapshots]
             report[key] = max(values) if key in cls._AGGREGATE_MAX_KEYS else sum(values)
 
-        flushes = sum(m.flushes for m in metrics)
-        batched_frames = sum(m.batched_frames for m in metrics)
-        report["mean_batch_size"] = batched_frames / flushes if flushes else 0.0
+        if exact:
+            flushes = sum(m.flushes for m in instances)
+            batched_frames = sum(m.batched_frames for m in instances)
+            report["mean_batch_size"] = batched_frames / flushes if flushes else 0.0
 
-        pooled_latencies = [value for m in metrics for value in m._latencies]
-        report["latency_p50_ms"] = percentile(pooled_latencies, 0.50) * 1000.0
-        report["latency_p95_ms"] = percentile(pooled_latencies, 0.95) * 1000.0
+            pooled_latencies = [value for m in instances for value in m._latencies]
+            report["latency_p50_ms"] = percentile(pooled_latencies, 0.50) * 1000.0
+            report["latency_p95_ms"] = percentile(pooled_latencies, 0.95) * 1000.0
 
-        first_submits = [m._first_submit_at for m in metrics if m._first_submit_at is not None]
-        last_completions = [
-            m._last_completion_at for m in metrics if m._last_completion_at is not None
-        ]
-        report["throughput_fps"] = 0.0
-        if first_submits and last_completions:
-            elapsed = max(last_completions) - min(first_submits)
-            if elapsed > 0:
-                report["throughput_fps"] = report["completed"] / elapsed
+            first_submits = [
+                m._first_submit_at for m in instances if m._first_submit_at is not None
+            ]
+            last_completions = [
+                m._last_completion_at for m in instances if m._last_completion_at is not None
+            ]
+            report["throughput_fps"] = 0.0
+            if first_submits and last_completions:
+                elapsed = max(last_completions) - min(first_submits)
+                if elapsed > 0:
+                    report["throughput_fps"] = report["completed"] / elapsed
+        else:
+            flushes = sum(snapshot.get("flushes", 0) for snapshot in snapshots)
+            batched_frames = 0.0
+            for source, snapshot in zip(metrics, snapshots):
+                if isinstance(source, ServeMetrics):
+                    batched_frames += source.batched_frames
+                else:
+                    batched_frames += snapshot.get("mean_batch_size", 0.0) * snapshot.get(
+                        "flushes", 0
+                    )
+            report["mean_batch_size"] = batched_frames / flushes if flushes else 0.0
 
-        cache_requests = report["param_cache_hits"] + report["param_cache_misses"]
+            completed = sum(snapshot.get("completed", 0) for snapshot in snapshots)
+            for key in ("latency_p50_ms", "latency_p95_ms"):
+                report[key] = (
+                    sum(
+                        snapshot.get(key, 0.0) * snapshot.get("completed", 0)
+                        for snapshot in snapshots
+                    )
+                    / completed
+                    if completed
+                    else 0.0
+                )
+            report["throughput_fps"] = sum(
+                snapshot.get("throughput_fps", 0.0) for snapshot in snapshots
+            )
+
+        cache_hits = report.get("param_cache_hits", 0)
+        cache_requests = cache_hits + report.get("param_cache_misses", 0)
         report["param_cache_hit_rate"] = (
-            report["param_cache_hits"] / cache_requests if cache_requests else 0.0
+            cache_hits / cache_requests if cache_requests else 0.0
         )
-        tier_accesses = (
-            report["adapter_hot_hits"]
-            + report["adapter_warm_hits"]
-            + report["adapter_cold_misses"]
-        )
+        tier_hits = report.get("adapter_hot_hits", 0) + report.get("adapter_warm_hits", 0)
+        tier_accesses = tier_hits + report.get("adapter_cold_misses", 0)
         report["adapter_tier_hit_rate"] = (
-            (report["adapter_hot_hits"] + report["adapter_warm_hits"]) / tier_accesses
-            if tier_accesses
-            else 0.0
+            tier_hits / tier_accesses if tier_accesses else 0.0
         )
         return report
 
@@ -484,4 +530,88 @@ def prometheus_exposition(
         summary_lines.append(f"{name}_sum{_format_labels(labels)} {metrics.latency_sum_s:.10g}")
         summary_lines.append(f"{name}_count{_format_labels(labels)} {metrics.completed}")
     emit_family(name, "summary", "Request latency from submission to completion.", summary_lines)
+    return "\n".join(lines) + "\n"
+
+
+def _inject_labels(sample: str, rendered: str) -> str:
+    """Add pre-rendered ``key="value"`` pairs to one sample line's label set."""
+    if not rendered:
+        return sample
+    metric, _, value = sample.rpartition(" ")
+    brace = metric.find("{")
+    if brace < 0:
+        return f"{metric}{{{rendered}}} {value}"
+    existing = metric[brace + 1 : -1]
+    merged = f"{rendered},{existing}" if existing else rendered
+    return f"{metric[:brace]}{{{merged}}} {value}"
+
+
+def _sample_family(metric_name: str, families: Mapping[str, object]) -> str:
+    """Map a sample's metric name to its family (summaries emit suffixes)."""
+    if metric_name in families:
+        return metric_name
+    for suffix in ("_sum", "_count", "_bucket"):
+        if metric_name.endswith(suffix) and metric_name[: -len(suffix)] in families:
+            return metric_name[: -len(suffix)]
+    return metric_name
+
+
+def merge_expositions(
+    parts: Sequence[Tuple[str, Optional[Mapping[str, str]]]],
+) -> str:
+    """Merge per-backend exposition texts into one valid cluster exposition.
+
+    ``parts`` is a sequence of ``(text, labels)`` pairs; each ``text`` is a
+    complete Prometheus text exposition (as returned by a backend's
+    ``prometheus`` frame) and ``labels`` — typically ``{"instance": name}``
+    — is injected into every sample of that part.  Samples of the same
+    metric from different backends are regrouped under a single ``# HELP``
+    / ``# TYPE`` header, which the exposition format requires and naive
+    concatenation violates.
+
+    This works on the *text* because a router only ever holds the rendered
+    exposition from each backend's wire snapshot, never live
+    :class:`ServeMetrics` instances.
+    """
+    if not parts:
+        raise ValueError("at least one exposition part is required")
+    families: Dict[str, Dict[str, object]] = {}
+    order: list = []
+
+    def family(name: str) -> Dict[str, object]:
+        if name not in families:
+            families[name] = {"help": None, "type": None, "samples": []}
+            order.append(name)
+        return families[name]
+
+    for text, labels in parts:
+        rendered = _format_labels(labels)[1:-1] if labels else ""
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                name, _, help_text = line[len("# HELP ") :].partition(" ")
+                entry = family(name)
+                if entry["help"] is None:
+                    entry["help"] = help_text
+            elif line.startswith("# TYPE "):
+                name, _, kind = line[len("# TYPE ") :].partition(" ")
+                entry = family(name)
+                if entry["type"] is None:
+                    entry["type"] = kind
+            elif line.startswith("#"):
+                continue
+            else:
+                metric = line.partition("{")[0].partition(" ")[0]
+                entry = family(_sample_family(metric, families))
+                entry["samples"].append(_inject_labels(line, rendered))
+
+    lines: list = []
+    for name in order:
+        entry = families[name]
+        if entry["help"] is not None:
+            lines.append(f"# HELP {name} {entry['help']}")
+        if entry["type"] is not None:
+            lines.append(f"# TYPE {name} {entry['type']}")
+        lines.extend(entry["samples"])
     return "\n".join(lines) + "\n"

@@ -1,0 +1,134 @@
+"""Consistent hashing with virtual nodes: user→backend placement.
+
+The router places every user on exactly one backend.  A modulo hash
+(:func:`repro.runtime.shard_for`) would remap almost every user whenever a
+backend joins or leaves; a consistent-hash ring remaps only the arc the
+changed backend owned — the property that makes planned topology changes a
+bounded migration and a backend death a bounded failover.
+
+Design points:
+
+* **Deterministic** — placement is a pure function of the node names and
+  the user key, derived from SHA-1 digests (never Python's per-process
+  salted ``hash()``), so every router replica, every restart and every
+  test computes the identical ring.  ``tests/serve/test_ring.py`` pins
+  literal placements.
+* **Virtual nodes** — each backend owns ``vnodes`` points on the ring
+  (``sha1("<node>#<i>")``), which evens out arc sizes and spreads a removed
+  backend's users over *all* survivors instead of dumping them on one
+  neighbour.
+* **Keys** — user ids are hashed via their ``repr``, matching the str/int
+  id domain the adapter registry can persist.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+__all__ = ["DEFAULT_VNODES", "HashRing"]
+
+#: virtual nodes per backend (128 keeps arc imbalance within a few percent)
+DEFAULT_VNODES = 128
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring coordinate for a label."""
+    return int.from_bytes(hashlib.sha1(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping hashable keys onto named nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, List[int]] = {}
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> List[str]:
+        """The member nodes, sorted by name."""
+        return sorted(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Add a node's virtual points; only its new arcs change placement."""
+        if not isinstance(node, str) or not node:
+            raise ValueError("node names must be non-empty strings")
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        points = [_point(f"{node}#{index}") for index in range(self.vnodes)]
+        self._nodes[node] = points
+        for point in points:
+            # Ties between distinct nodes are astronomically unlikely with
+            # 64-bit points, but keep insertion deterministic regardless:
+            # (point, node) pairs sort totally.
+            bisect.insort(self._points, (point, node))
+
+    def remove(self, node: str) -> None:
+        """Remove a node; only keys on its arcs remap (to their successors)."""
+        points = self._nodes.pop(node, None)
+        if points is None:
+            raise KeyError(f"node {node!r} is not on the ring")
+        self._points = [entry for entry in self._points if entry[1] != node]
+
+    def copy(self) -> "HashRing":
+        """An independent ring with the same members (for what-if remaps)."""
+        twin = HashRing(vnodes=self.vnodes)
+        twin._points = list(self._points)
+        twin._nodes = {node: list(points) for node, points in self._nodes.items()}
+        return twin
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_point(key: Hashable) -> int:
+        """The ring coordinate of a user key (``repr``-hashed, stable)."""
+        return _point(repr(key))
+
+    def node_for(self, key: Hashable) -> str:
+        """The node owning ``key``: the first virtual point at or after it."""
+        if not self._points:
+            raise LookupError("the ring has no nodes")
+        point = self.key_point(key)
+        index = bisect.bisect_left(self._points, (point, ""))
+        if index == len(self._points):
+            index = 0  # wrap: the ring is circular
+        return self._points[index][1]
+
+    def moved_keys(self, keys: Iterable[Hashable], other: "HashRing") -> List[Hashable]:
+        """The subset of ``keys`` whose placement differs on ``other``.
+
+        This is the migration work-list of a topology change: build the new
+        ring, diff the currently placed users, move exactly those.
+        """
+        return [key for key in keys if self.node_for(key) != other.node_for(key)]
+
+    def arc_share(self, node: str) -> float:
+        """Fraction of the 64-bit keyspace the node owns (balance gauge)."""
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} is not on the ring")
+        if len(self._nodes) == 1:
+            return 1.0
+        span = 1 << 64
+        total = 0
+        previous = self._points[-1][0] - span  # the wrap-around arc
+        for point, owner in self._points:
+            if owner == node:
+                total += point - previous
+            previous = point
+        return total / span

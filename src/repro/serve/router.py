@@ -1,0 +1,808 @@
+"""Multi-host routed serving tier: one cluster out of N ``fuse-serve``s.
+
+:class:`PoseRouter` is a :class:`repro.serve.frontend.SocketServerBase`
+that speaks wire protocol v2 to clients on the front and holds one
+pipelined :class:`repro.serve.frontend.AsyncPoseClient` per backend on the
+back.  A backend is any independently running front-end — a ``fuse-serve``
+process on another host, typically wrapping a
+:class:`repro.serve.ProcessShardedPoseServer`.
+
+Placement
+    A :class:`repro.serve.ring.HashRing` (consistent hashing, virtual
+    nodes) owns user→backend placement, so a topology change remaps only
+    the changed backend's arcs.  Actual routing is *placement-first*: the
+    first frame of a user pins it (``_placement``), and later frames
+    follow the pin even while the ring is mid-change — the pin only moves
+    under the FIFO locks that also order the user's frames.
+
+Ordering
+    One FIFO lock per backend (the shared synchronous-claim discipline of
+    the front-end) keeps each backend's submissions in arrival order.
+    After acquiring, a dispatch re-resolves placement: if a failover or
+    migration moved the user while it waited, it re-claims the new
+    backend's lock — synchronously, preserving its slot relative to later
+    frames.
+
+Failover
+    A :class:`repro.serve.health.HealthMonitor` pings every backend; a
+    dead backend is removed from the ring and its users lazily fail over:
+    the next frame re-places the user and restores its recent session ring
+    from the router's :class:`repro.serve.migration.SessionMirror`.
+    Fidelity note — the mirror holds session frames only, so a failed-over
+    user's *adapter* is lost (it re-personalizes from scratch); sessions
+    continue bitwise-identically.  A recovered backend is **not**
+    automatically re-added (its state is stale); re-attach it explicitly
+    with :meth:`add_backend`.
+
+Migration
+    Planned topology changes (:meth:`add_backend`, :meth:`remove_backend`)
+    move exactly the users whose placement changes: under both backends'
+    locks, ``export_user(forget=True)`` drains and snapshots the user on
+    the source (session ring + adapter npz bytes) and ``import_user``
+    installs it on the target — predictions continue bitwise-identically,
+    adapters included.
+
+Flow control
+    The router always serves clients with credit-based push flow control
+    (``push_credits``), so one slow consumer defers its own pushes instead
+    of growing the router's write queues without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..radar.pointcloud import PointCloudFrame
+from . import transport
+from .frontend import (
+    DEFAULT_MAX_IN_FLIGHT,
+    AsyncPoseClient,
+    ServerClosing,
+    SocketServerBase,
+    _Connection,
+    _error_message,
+)
+from .health import HealthMonitor
+from .metrics import ServeMetrics, merge_expositions
+from .migration import SessionMirror
+from .ring import DEFAULT_VNODES, HashRing
+from .transport import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ArrayBlock,
+)
+
+__all__ = ["BackendSpec", "NoBackendAvailable", "PoseRouter", "RouterBackend"]
+
+#: default per-connection push credit budget on the router's front side
+DEFAULT_PUSH_CREDITS = 256
+
+
+class NoBackendAvailable(RuntimeError):
+    """Every backend that could serve the request is down."""
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Where one backend listens.  Exactly one of ``host`` / ``unix_path``."""
+
+    name: str
+    host: Optional[str] = None
+    port: Optional[int] = None
+    unix_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("backend name must be non-empty")
+        if (self.host is None) == (self.unix_path is None):
+            raise ValueError("provide exactly one of host / unix_path")
+        if self.host is not None and self.port is None:
+            raise ValueError("a TCP backend needs a port")
+
+    @classmethod
+    def from_endpoint(cls, name: str, endpoint: str) -> "BackendSpec":
+        """``host:port`` → TCP; anything else is a Unix socket path."""
+        head, sep, tail = endpoint.rpartition(":")
+        if sep and tail.isdigit() and "/" not in head:
+            return cls(name=name, host=head or "127.0.0.1", port=int(tail))
+        return cls(name=name, unix_path=endpoint)
+
+    @property
+    def endpoint(self) -> str:
+        if self.unix_path is not None:
+            return self.unix_path
+        return f"{self.host}:{self.port}"
+
+
+class RouterBackend:
+    """One attached backend: its spec, client connection, and status."""
+
+    def __init__(self, spec: BackendSpec, client: AsyncPoseClient) -> None:
+        self.spec = spec
+        self.client = client
+        self.healthy = True
+        self.hello: dict = {}
+        self.frames_routed = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def shards(self) -> int:
+        return int(self.hello.get("shards", 1) or 1)
+
+
+class PoseRouter(SocketServerBase):
+    """Consistent-hash router over N backend front-ends.
+
+    Parameters beyond the :class:`SocketServerBase` ones:
+
+    backends:
+        The initial :class:`BackendSpec` fleet (may be empty; attach later
+        with :meth:`add_backend`).
+    vnodes:
+        Virtual nodes per backend on the hash ring.
+    codec:
+        Wire codec for the backend connections (client side picks the
+        richest by default).
+    connect_retries / connect_backoff_s:
+        Bounded-backoff dialing of each backend at :meth:`start` (absorbs
+        the race against a just-spawned ``fuse-serve``).
+    health_interval_s / health_timeout_s / health_failures:
+        :class:`HealthMonitor` cadence, per-ping deadline and the
+        consecutive-failure threshold for declaring a backend dead.
+    mirror_capacity:
+        Session frames mirrored per user for failover restore.
+    push_credits:
+        Front-side push flow control budget (always on for a router;
+        ``DEFAULT_PUSH_CREDITS`` unless overridden).
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[BackendSpec] = (),
+        host: Optional[str] = None,
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        vnodes: int = DEFAULT_VNODES,
+        codec: Optional[str] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        protocol: int = PROTOCOL_VERSION,
+        allow_remote_shutdown: bool = False,
+        push_credits: Optional[int] = DEFAULT_PUSH_CREDITS,
+        connect_retries: int = 20,
+        connect_backoff_s: float = 0.05,
+        health_interval_s: float = 1.0,
+        health_timeout_s: float = 1.0,
+        health_failures: int = 3,
+        mirror_capacity: int = 64,
+    ) -> None:
+        super().__init__(
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            max_frame_bytes=max_frame_bytes,
+            max_in_flight=max_in_flight,
+            protocol=protocol,
+            allow_remote_shutdown=allow_remote_shutdown,
+            push_credits=push_credits,
+        )
+        if protocol < 2:
+            raise ValueError("the router requires protocol v2 (pipelining + pushes)")
+        self._specs = list(backends)
+        self.codec = codec
+        self.connect_retries = connect_retries
+        self.connect_backoff_s = connect_backoff_s
+        self.ring = HashRing(vnodes=vnodes)
+        self.mirror = SessionMirror(capacity=mirror_capacity)
+        self.monitor = HealthMonitor(
+            probe=self._ping_backend,
+            interval_s=health_interval_s,
+            timeout_s=health_timeout_s,
+            failure_threshold=health_failures,
+            on_down=self._mark_down,
+        )
+        self._backends: Dict[str, RouterBackend] = {}
+        #: user -> backend name: where the user's state lives *now*.
+        #: Routing consults this before the ring, so a mid-change ring
+        #: never forwards a pinned user to a backend without its state.
+        self._placement: Dict[Hashable, str] = {}
+        self._admin_lock = asyncio.Lock()
+        self.frames_routed = 0
+        self.users_failed_over = 0
+        self.users_migrated = 0
+        self.backends_lost = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def _before_listen(self) -> None:
+        for spec in self._specs:
+            await self._attach(spec)
+
+    async def _after_listen(self) -> None:
+        self.monitor.start()
+
+    async def _before_unbind(self) -> None:
+        await self.monitor.stop()
+
+    async def _after_unbind(self) -> None:
+        for backend in list(self._backends.values()):
+            with contextlib.suppress(Exception):
+                await backend.client.close()
+        self._backends.clear()
+
+    async def _attach(self, spec: BackendSpec) -> RouterBackend:
+        if spec.name in self._backends:
+            raise ValueError(f"backend {spec.name!r} is already attached")
+        client = AsyncPoseClient(codec=self.codec, reconnect=True)
+        if spec.unix_path is not None:
+            await client.connect_unix(
+                spec.unix_path,
+                retries=self.connect_retries,
+                backoff_s=self.connect_backoff_s,
+            )
+        else:
+            await client.connect_tcp(
+                spec.host,
+                spec.port,
+                retries=self.connect_retries,
+                backoff_s=self.connect_backoff_s,
+            )
+        backend = RouterBackend(spec, client)
+        try:
+            backend.hello = await client.hello()
+            protocol = int(backend.hello.get("protocol", 1))
+            if protocol < 2:
+                raise ValueError(
+                    f"backend {spec.name!r} speaks protocol v{protocol}; the "
+                    "router needs v2 (pipelining, pushes, migration frames)"
+                )
+        except BaseException:
+            await client.close()
+            raise
+        self._backends[spec.name] = backend
+        self.ring.add(spec.name)
+        self.monitor.watch(spec.name)
+        return backend
+
+    # ------------------------------------------------------------------
+    # Health / failover
+    # ------------------------------------------------------------------
+    async def _ping_backend(self, name: str) -> bool:
+        backend = self._backends.get(name)
+        if backend is None or not backend.healthy:
+            return False
+        return await backend.client.ping()
+
+    def _mark_down(self, name: str) -> None:
+        """Declare a backend dead: off the ring, users fail over lazily."""
+        backend = self._backends.get(name)
+        if backend is None or not backend.healthy:
+            return
+        backend.healthy = False
+        self.backends_lost += 1
+        if name in self.ring:
+            self.ring.remove(name)
+        # Placement pins stay: _ensure_placed detects the dead pin on the
+        # user's next frame and restores from the mirror on the new owner.
+
+    def healthy_backends(self) -> List[RouterBackend]:
+        return [b for b in self._backends.values() if b.healthy]
+
+    @property
+    def backends(self) -> Dict[str, RouterBackend]:
+        return dict(self._backends)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _resolve(self, user: Hashable) -> str:
+        """The backend that should serve the user's next frame, by name."""
+        name = self._placement.get(user)
+        if name is not None:
+            backend = self._backends.get(name)
+            if backend is not None and backend.healthy:
+                return name
+        try:
+            return self.ring.node_for(user)
+        except LookupError as error:
+            raise NoBackendAvailable("no healthy backend on the ring") from error
+
+    @contextlib.asynccontextmanager
+    async def _user_backend(self, user: Hashable):
+        """Hold the user's backend FIFO lock; yield the placed backend.
+
+        The claim is taken synchronously at dispatch, so per-backend
+        submission order equals arrival order.  If placement moved while
+        the claim waited (failover, migration), the stale lock is released
+        and the new one claimed synchronously — the slot relative to later
+        frames is preserved.
+        """
+        while True:
+            name = self._resolve(user)
+            lock = self._fifo_lock(name)
+            await lock.acquire(lock.claim())
+            if self._resolve(user) == name:
+                break
+            lock.release()  # placement moved while waiting: re-claim
+        try:
+            backend = await self._ensure_placed(user, name)
+            yield backend
+        finally:
+            lock.release()
+
+    async def _ensure_placed(self, user: Hashable, name: str) -> RouterBackend:
+        """Pin the user to ``name``, moving or restoring state if needed.
+
+        Runs under ``name``'s FIFO lock.  Three cases:
+
+        * already pinned here — nothing to do;
+        * pinned to a live backend elsewhere (the ring moved the user
+          outside a planned migration) — live-migrate: export (drain +
+          forget) there, import here, adapters included;
+        * pinned to a dead backend — failover: restore the session ring
+          from the mirror (the adapter is lost with the backend).
+        """
+        backend = self._backends[name]
+        previous = self._placement.get(user)
+        if previous == name:
+            return backend
+        state: Optional[dict] = None
+        if previous is not None:
+            source = self._backends.get(previous)
+            if source is not None and source.healthy:
+                state = await source.client.export_user(user, forget=True)
+                self.users_migrated += 1
+            else:
+                state = self.mirror.user_state(user)
+                self.users_failed_over += 1
+        if state is not None:
+            await backend.client.import_user(state)
+        self._placement[user] = name
+        return backend
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _hello_extra(self) -> dict:
+        backends = sorted(self._backends)
+        return {
+            "role": "router",
+            "backends": backends,
+            "shards": sum(b.shards for b in self._backends.values()),
+        }
+
+    async def _dispatch_extra(
+        self, conn: _Connection, message: dict, request_id, codec: str
+    ) -> dict:
+        kind = message["type"]
+        if kind == "submit":
+            return await self._submit(message)
+        if kind == "enqueue":
+            return await self._enqueue(conn, message, request_id, codec)
+        if kind == "poll":
+            return {"type": "flushed", "produced": await self._fan_produce("poll")}
+        if kind == "flush":
+            return {"type": "flushed", "produced": await self._fan_produce("flush")}
+        if kind == "submit_batch":
+            return await self._submit_batch(message)
+        if kind == "metrics":
+            return {"type": "metrics_report", "metrics": await self.cluster_metrics()}
+        if kind == "prometheus":
+            return {"type": "prometheus_report", "text": await self.cluster_prometheus()}
+        if kind == "export_user":
+            return await self._export_user(message)
+        if kind == "import_user":
+            return await self._import_user(message)
+        return await super()._dispatch_extra(conn, message, request_id, codec)
+
+    @staticmethod
+    def _parse_frame(frame: dict) -> PointCloudFrame:
+        points = np.asarray(frame["points"], dtype=float)
+        timestamp = float(frame.get("timestamp", 0.0))
+        frame_index = int(frame.get("frame_index", 0))
+        return PointCloudFrame(points, timestamp=timestamp, frame_index=frame_index)
+
+    async def _forward(self, user: Hashable, call, *args):
+        """One routed backend call with a single failover retry.
+
+        A connection fault marks the backend down immediately (faster than
+        waiting for the health monitor) and retries once through the new
+        placement — the mirror restore inside :meth:`_ensure_placed` makes
+        the retry land on a backend that has the user's session.
+        """
+        for attempt in (0, 1):
+            async with self._user_backend(user) as backend:
+                try:
+                    result = await call(backend, *args)
+                except (ConnectionError, OSError):
+                    self._mark_down(backend.name)
+                    if attempt:
+                        raise
+                    continue
+                backend.frames_routed += 1
+                self.frames_routed += 1
+                return result
+        raise NoBackendAvailable("no healthy backend on the ring")  # pragma: no cover
+
+    async def _submit(self, message: dict) -> dict:
+        if self._closing.is_set():
+            raise ServerClosing("router is shutting down")
+        try:
+            user = message["user"]
+            cloud = self._parse_frame(message["frame"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise transport.ProtocolError(f"malformed submit message: {error}") from error
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+
+        async def call(backend, cloud):
+            joints = await backend.client.submit(user, cloud)
+            # Mirror only *accepted* frames: observing before the call would
+            # leave a failed attempt's frame in the mirror, and the failover
+            # restore plus the retry would then feed it to fusion twice.
+            self.mirror.observe(user, cloud.points, cloud.timestamp, cloud.frame_index)
+            return joints
+
+        joints = await self._forward(user, call, cloud)
+        return {
+            "type": "prediction",
+            "user": user,
+            "joints": np.asarray(joints),
+            "latency_ms": (loop.time() - start) * 1000.0,
+        }
+
+    async def _enqueue(self, conn: _Connection, message: dict, request_id, codec: str) -> dict:
+        if self._closing.is_set():
+            raise ServerClosing("router is shutting down")
+        if request_id is None:
+            raise transport.ProtocolError(
+                "enqueue requires a request id (it doubles as the ticket)"
+            )
+        if request_id in conn.tickets:
+            raise transport.ProtocolError(
+                f"ticket {request_id!r} is still outstanding on this connection"
+            )
+        try:
+            user = message["user"]
+            cloud = self._parse_frame(message["frame"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise transport.ProtocolError(f"malformed enqueue message: {error}") from error
+
+        async def call(backend, cloud):
+            push = await backend.client.enqueue(user, cloud)
+            # The ticket reply means the backend admitted the frame into its
+            # session; only then does it belong in the failover mirror.
+            self.mirror.observe(user, cloud.points, cloud.timestamp, cloud.frame_index)
+            return push
+
+        push_future = await self._forward(user, call, cloud)
+        conn.tickets[request_id] = (user, push_future, codec)
+        push_future.add_done_callback(
+            lambda fut: self._relay_push(conn, request_id, user, codec, fut)
+        )
+        return {"type": "ticket", "user": user, "ticket": request_id}
+
+    def _relay_push(self, conn: _Connection, ticket, user, codec: str, fut) -> None:
+        """A backend pushed (or failed) a ticket: relay to the client."""
+        if ticket not in conn.tickets:
+            return  # connection tore down first
+        conn.tickets.pop(ticket, None)
+        try:
+            pushed = fut.result()
+            push = {
+                "type": "prediction",
+                "user": user,
+                "ticket": ticket,
+                "joints": np.asarray(pushed["joints"]),
+                "pushed": True,
+            }
+        except Exception as error:
+            push = _error_message(error)
+            push["ticket"] = ticket
+        self._push(conn, push, codec)
+
+    async def _fan_produce(self, method: str) -> int:
+        """poll/flush every healthy backend; sum the predictions produced."""
+        backends = self.healthy_backends()
+        outcomes = await asyncio.gather(
+            *(getattr(b.client, method)() for b in backends), return_exceptions=True
+        )
+        produced = 0
+        for backend, outcome in zip(backends, outcomes):
+            if isinstance(outcome, (ConnectionError, OSError)):
+                self._mark_down(backend.name)
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            else:
+                produced += int(outcome)
+        return produced
+
+    async def _submit_batch(self, message: dict) -> dict:
+        if self._closing.is_set():
+            raise ServerClosing("router is shutting down")
+        try:
+            users = list(message["users"])
+            frames = message["frames"]
+            points = list(frames["points"])
+            timestamps = list(frames.get("timestamps") or [0.0] * len(points))
+            frame_indices = list(frames.get("frame_indices") or [0] * len(points))
+        except (KeyError, TypeError, ValueError) as error:
+            raise transport.ProtocolError(
+                f"malformed submit_batch message: {error}"
+            ) from error
+        if not users or not (len(users) == len(points) == len(timestamps) == len(frame_indices)):
+            raise transport.ProtocolError(
+                "submit_batch requires equally sized, non-empty users/frames lists"
+            )
+        try:
+            items: List[Tuple[Hashable, PointCloudFrame]] = [
+                (
+                    user,
+                    PointCloudFrame(
+                        np.asarray(cloud, dtype=float),
+                        timestamp=float(timestamp),
+                        frame_index=int(frame_index),
+                    ),
+                )
+                for user, cloud, timestamp, frame_index in zip(
+                    users, points, timestamps, frame_indices
+                )
+            ]
+        except (TypeError, ValueError) as error:
+            raise transport.ProtocolError(
+                f"malformed submit_batch frame: {error}"
+            ) from error
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+
+        # A batch keeps per-user frame order by forwarding each user's
+        # frames sequentially, users fanned out concurrently.  (Per-user,
+        # not per-backend: a user mid-failover may move backends between
+        # two of its frames, and _forward handles that per call.)
+        by_user: Dict[Hashable, List[int]] = {}
+        for position, (user, _) in enumerate(items):
+            by_user.setdefault(user, []).append(position)
+
+        resolutions: List = [None] * len(items)
+
+        async def run_user(user: Hashable, positions: List[int]) -> None:
+            for position in positions:
+                cloud = items[position][1]
+
+                async def call(backend, cloud):
+                    joints = await backend.client.submit(user, cloud)
+                    self.mirror.observe(
+                        user, cloud.points, cloud.timestamp, cloud.frame_index
+                    )
+                    return joints
+
+                try:
+                    resolutions[position] = np.asarray(
+                        await self._forward(user, call, cloud)
+                    )
+                except Exception as error:
+                    resolutions[position] = error
+
+        await asyncio.gather(
+            *(run_user(user, positions) for user, positions in by_user.items())
+        )
+
+        results: List[dict] = []
+        joints: List[np.ndarray] = []
+        for user, value in zip(users, resolutions):
+            if isinstance(value, Exception):
+                results.append(
+                    {"ok": False, "user": user, "error": type(value).__name__, "detail": str(value)}
+                )
+            else:
+                results.append({"ok": True, "user": user})
+                joints.append(np.asarray(value))
+        return {
+            "type": "predictions",
+            "results": results,
+            "joints": ArrayBlock(joints),
+            "latency_ms": (loop.time() - start) * 1000.0,
+        }
+
+    async def _export_user(self, message: dict) -> dict:
+        try:
+            user = message["user"]
+        except KeyError as error:
+            raise transport.ProtocolError(f"malformed export_user message: {error}") from error
+        forget = bool(message.get("forget", False))
+
+        async def call(backend, forget):
+            return await backend.client.export_user(user, forget=forget)
+
+        state = await self._forward(user, call, forget)
+        if forget:
+            self._placement.pop(user, None)
+            self.mirror.forget(user)
+        return {"type": "user_state", "user": user, "state": state}
+
+    async def _import_user(self, message: dict) -> dict:
+        state = message.get("state")
+        if not isinstance(state, dict):
+            raise transport.ProtocolError("import_user requires a state mapping")
+        user = state.get("user")
+
+        async def call(backend, state):
+            return await backend.client.import_user(state)
+
+        user = await self._forward(user, call, state)
+        return {"type": "imported", "user": user}
+
+    # ------------------------------------------------------------------
+    # Cluster observability
+    # ------------------------------------------------------------------
+    def router_metrics(self) -> Dict[str, float]:
+        """The router's own counters (merged into :meth:`cluster_metrics`)."""
+        return {
+            "router_connections_served": self.connections_served,
+            "router_requests_served": self.requests_served,
+            "router_predictions_pushed": self.predictions_pushed,
+            "router_protocol_errors": self.protocol_errors,
+            "router_frames_routed": self.frames_routed,
+            "router_users_failed_over": self.users_failed_over,
+            "router_users_migrated": self.users_migrated,
+            "router_backends_lost": self.backends_lost,
+            "router_backends_healthy": len(self.healthy_backends()),
+            "router_backends_total": len(self._backends),
+            "router_users_placed": len(self._placement),
+        }
+
+    async def cluster_metrics(self) -> Dict[str, float]:
+        """Cluster-wide snapshot: per-backend aggregates + router counters.
+
+        Backend snapshots come over the wire as plain dicts, so the
+        snapshot-tolerant :meth:`ServeMetrics.aggregate` path merges them —
+        a backend missing newer counters contributes zeros.
+        """
+        backends = self.healthy_backends()
+        snapshots = []
+        for backend, outcome in zip(
+            backends,
+            await asyncio.gather(
+                *(b.client.metrics() for b in backends), return_exceptions=True
+            ),
+        ):
+            if isinstance(outcome, (ConnectionError, OSError)):
+                self._mark_down(backend.name)
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            else:
+                snapshots.append(outcome)
+        report: Dict[str, float] = (
+            dict(ServeMetrics.aggregate(snapshots)) if snapshots else {}
+        )
+        report.update(self.router_metrics())
+        return report
+
+    async def cluster_prometheus(self) -> str:
+        """One exposition: every backend labelled ``instance=<name>``."""
+        backends = self.healthy_backends()
+        parts: List[Tuple[str, Optional[dict]]] = []
+        for backend, outcome in zip(
+            backends,
+            await asyncio.gather(
+                *(b.client.prometheus() for b in backends), return_exceptions=True
+            ),
+        ):
+            if isinstance(outcome, (ConnectionError, OSError)):
+                self._mark_down(backend.name)
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            else:
+                parts.append((outcome, {"instance": backend.name}))
+        parts.append((self._router_exposition(), None))
+        return merge_expositions(parts)
+
+    def _router_exposition(self) -> str:
+        lines = []
+        for key, value in self.router_metrics().items():
+            name = f"fuse_router_{key[len('router_'):]}"
+            kind = "gauge" if key.endswith(("_healthy", "_total", "_placed")) else "counter"
+            if kind == "counter":
+                name += "_total"
+            lines.append(f"# HELP {name} Router {key[len('router_'):].replace('_', ' ')}.")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {float(value):.10g}")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Topology administration
+    # ------------------------------------------------------------------
+    async def add_backend(self, spec: BackendSpec) -> RouterBackend:
+        """Attach a backend and live-migrate the users its arcs claim."""
+        async with self._admin_lock:
+            backend = await self._attach(spec)  # also adds to the ring
+            new_ring = self.ring
+            await self._rebalance(new_ring)
+            return backend
+
+    async def remove_backend(self, name: str) -> None:
+        """Detach a backend after live-migrating its users away."""
+        async with self._admin_lock:
+            backend = self._backends.get(name)
+            if backend is None:
+                raise KeyError(f"backend {name!r} is not attached")
+            if len(self.healthy_backends()) <= 1 and backend.healthy and self._placement:
+                raise RuntimeError(
+                    "cannot remove the last healthy backend while users are placed"
+                )
+            if name in self.ring:
+                self.ring.remove(name)
+            self.monitor.unwatch(name)
+            if backend.healthy:
+                await self._rebalance(self.ring)
+            backend.healthy = False
+            self._backends.pop(name, None)
+            # Any user still pinned here (rebalance skips dead sources)
+            # fails over on its next frame.
+            await backend.client.close()
+
+    async def migrate_user(self, user: Hashable, target: str) -> bool:
+        """Explicitly move one user to ``target`` (drain, transfer, re-pin).
+
+        Returns False when the user is unknown or already there.
+        """
+        if target not in self._backends or not self._backends[target].healthy:
+            raise ValueError(f"backend {target!r} is not attached and healthy")
+        async with self._admin_lock:
+            return await self._migrate(user, target)
+
+    async def _rebalance(self, ring: HashRing) -> None:
+        """Move every pinned user whose ring placement changed."""
+        moved = [
+            user
+            for user, name in list(self._placement.items())
+            if ring.node_for(user) != name
+        ]
+        for user in moved:
+            await self._migrate(user, ring.node_for(user))
+
+    async def _migrate(self, user: Hashable, target: str) -> bool:
+        """Live-migrate one user under both backends' FIFO locks.
+
+        The source lock drains the user's in-flight frames (FIFO: our
+        claim waits behind them); the target lock keeps later frames
+        (which re-resolve to the target) behind the import.  Locks are
+        claimed in sorted-name order; dispatchers hold at most one lock,
+        so the two-lock hold cannot deadlock (admin calls serialize on
+        ``_admin_lock``).
+        """
+        source = self._placement.get(user)
+        if source == target:
+            return False
+        names = sorted({source, target} - {None})
+        locks = [self._fifo_lock(name) for name in names]
+        claims = [lock.claim() for lock in locks]  # synchronous: FIFO slots
+        for lock, claim in zip(locks, claims):
+            await lock.acquire(claim)
+        try:
+            source_backend = self._backends.get(source) if source else None
+            state: Optional[dict] = None
+            if source_backend is not None and source_backend.healthy:
+                state = await source_backend.client.export_user(user, forget=True)
+            elif source is not None:
+                state = self.mirror.user_state(user)  # dead source: best effort
+                if state is not None:
+                    self.users_failed_over += 1
+            if state is not None:
+                await self._backends[target].client.import_user(state)
+            self._placement[user] = target
+            if source is not None and source_backend is not None and source_backend.healthy:
+                self.users_migrated += 1
+            return state is not None
+        finally:
+            for lock in locks:
+                lock.release()

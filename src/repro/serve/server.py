@@ -42,6 +42,7 @@ from .batcher import MicroBatcher, PendingPrediction, ServeRequest
 from .config import ServeConfig
 from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics
+from .migration import export_user_state, import_user_state
 from .policy import AdapterPolicy
 from .session import SessionManager
 
@@ -293,6 +294,28 @@ class PoseServer:
         """Drop a user's session history and adapted parameters."""
         self.sessions.close(user_id)
         self.registry.remove(user_id)
+
+    # ------------------------------------------------------------------
+    # Live migration
+    # ------------------------------------------------------------------
+    def export_user(self, user_id: Hashable, forget: bool = False) -> Optional[Dict]:
+        """Snapshot one user's session ring + adapter archive (live migration).
+
+        The pending micro-batch is flushed first so the snapshot sits after
+        every admitted frame; ``forget=True`` drops the user from this
+        server once exported.  Returns ``None`` for a user with no state.
+        See :mod:`repro.serve.migration` for the schema.
+        """
+        return export_user_state(self, user_id, forget=forget)
+
+    def import_user(self, state: Mapping) -> Hashable:
+        """Install a user state exported by :meth:`export_user`; returns the id.
+
+        The restored ring makes the user's next fusion window — and, through
+        batch invariance, their next prediction — bitwise identical to what
+        the exporting server would have produced.
+        """
+        return import_user_state(self, state)
 
     # ------------------------------------------------------------------
     # Observability

@@ -100,6 +100,24 @@ class UserSession:
         """Drop the frame history (e.g. on a detected recording gap)."""
         self._ring.clear()
 
+    def restore(self, frames: Sequence[PointCloudFrame], frames_seen: int) -> None:
+        """Replace the ring contents without fusing (live-migration import).
+
+        ``frames`` must fit the ring — a migration source with a larger ring
+        than the destination would silently change future fusion windows, so
+        that mismatch raises instead.
+        """
+        if len(frames) > self.ring_capacity:
+            raise ValueError(
+                f"cannot restore {len(frames)} frames into a ring of "
+                f"capacity {self.ring_capacity}"
+            )
+        if frames_seen < len(frames):
+            raise ValueError("frames_seen cannot be below the restored ring length")
+        self._ring.clear()
+        self._ring.extend(frames)
+        self.frames_seen = int(frames_seen)
+
 
 class SessionManager:
     """Bounded LRU registry of :class:`UserSession` objects."""
@@ -129,6 +147,10 @@ class SessionManager:
     def user_ids(self) -> List[Hashable]:
         """Tracked users, least recently active first."""
         return list(self._sessions)
+
+    def get(self, user_id: Hashable) -> Optional[UserSession]:
+        """Return the user's session without creating one (no LRU touch)."""
+        return self._sessions.get(user_id)
 
     def get_or_create(self, user_id: Hashable) -> UserSession:
         """Return the user's session, creating (and possibly evicting) as needed."""

@@ -55,8 +55,10 @@ from .worker import (
     AdaptUsers,
     Enqueue,
     EnqueueBatch,
+    ExportUser,
     Flush,
     ForgetUser,
+    ImportUser,
     MetricsRequest,
     Poll,
     ShardCrashed,
@@ -215,6 +217,20 @@ class ShardedPoseServer:
     def forget_user(self, user_id: Hashable) -> None:
         """Drop a user's session history and adapted parameters."""
         self.shard_of(user_id).forget_user(user_id)
+
+    # ------------------------------------------------------------------
+    # Live migration
+    # ------------------------------------------------------------------
+    def export_user(self, user_id: Hashable, forget: bool = False) -> Optional[Dict]:
+        """Snapshot one user's state from their shard (see :class:`PoseServer`)."""
+        return self.shard_of(user_id).export_user(user_id, forget=forget)
+
+    def import_user(self, state: Mapping) -> Hashable:
+        """Install an exported user state onto the user's shard."""
+        user_id = state["user"] if isinstance(state, Mapping) else None
+        if user_id is None:
+            raise ValueError("user state requires a 'user' id")
+        return self.shard_of(user_id).import_user(state)
 
     # ------------------------------------------------------------------
     # Observability
@@ -560,6 +576,26 @@ class ProcessShardedPoseServer:
     def forget_user(self, user_id: Hashable) -> None:
         """Drop a user's session history and adapted parameters."""
         self._call(self.shard_index(user_id), ForgetUser(user_id=user_id))
+
+    # ------------------------------------------------------------------
+    # Live migration
+    # ------------------------------------------------------------------
+    def export_user(self, user_id: Hashable, forget: bool = False) -> Optional[Dict]:
+        """Snapshot one user's state from their shard process.
+
+        The state dict is plain arrays/scalars, so it crosses the worker
+        pickle boundary unchanged (see :mod:`repro.serve.migration`).
+        """
+        index = self.shard_index(user_id)
+        return self._call(index, ExportUser(user_id=user_id, forget=forget)).state
+
+    def import_user(self, state: Mapping) -> Hashable:
+        """Install an exported user state onto the user's shard process."""
+        if not isinstance(state, Mapping) or "user" not in state:
+            raise ValueError("user state requires a 'user' id")
+        user_id = state["user"]
+        self._call(self.shard_index(user_id), ImportUser(state=dict(state)))
+        return user_id
 
     # ------------------------------------------------------------------
     # Observability

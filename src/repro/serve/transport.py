@@ -122,12 +122,36 @@ MESSAGE_TYPES = frozenset(
         "flushed",
         "submit_batch",
         "predictions",
+        # --- protocol v2: cluster tier (router, migration, flow control)
+        "export_user",
+        "user_state",
+        "import_user",
+        "imported",
+        "credits",
     }
 )
 
-#: message types that exist only in protocol v2
+#: message types that exist only in protocol v2.  ``ping``/``pong`` are the
+#: router's liveness probe and the migration/credit messages exist for the
+#: cluster tier, so none of them are part of the frozen v1 surface — a v1
+#: connection gets a correlation-free ``error`` frame back instead.
 V2_MESSAGE_TYPES = frozenset(
-    {"enqueue", "ticket", "poll", "flush", "flushed", "submit_batch", "predictions"}
+    {
+        "ping",
+        "pong",
+        "enqueue",
+        "ticket",
+        "poll",
+        "flush",
+        "flushed",
+        "submit_batch",
+        "predictions",
+        "export_user",
+        "user_state",
+        "import_user",
+        "imported",
+        "credits",
+    }
 )
 
 

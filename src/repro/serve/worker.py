@@ -62,9 +62,11 @@ __all__ = [
     "Enqueued",
     "EnqueuedBatch",
     "Done",
+    "ExportUser",
     "Flush",
     "Flushed",
     "ForgetUser",
+    "ImportUser",
     "MetricsReply",
     "MetricsRequest",
     "Poll",
@@ -75,6 +77,7 @@ __all__ = [
     "ShardRemoteError",
     "Shutdown",
     "Stopped",
+    "UserStateReply",
     "WorkerError",
     "shard_worker_main",
 ]
@@ -183,6 +186,21 @@ class ForgetUser:
 
 
 @dataclass(frozen=True)
+class ExportUser:
+    """Snapshot one user's session + adapter state (live migration source)."""
+
+    user_id: Hashable
+    forget: bool = False
+
+
+@dataclass(frozen=True)
+class ImportUser:
+    """Install an exported user state on this shard (migration destination)."""
+
+    state: dict
+
+
+@dataclass(frozen=True)
 class MetricsRequest:
     """Ask for the shard's metrics state and occupancy gauges."""
 
@@ -238,6 +256,19 @@ class Flushed:
 class Done:
     """Reply to side-effect commands (adaptation, forget)."""
 
+    events: ShardEvents
+
+
+@dataclass
+class UserStateReply:
+    """Reply to :class:`ExportUser`: the user-state dict, or ``None``.
+
+    The state is plain arrays and scalars (see
+    :mod:`repro.serve.migration`), so it crosses the pickle boundary here
+    and the wire unchanged.
+    """
+
+    state: Optional[dict]
     events: ShardEvents
 
 
@@ -351,6 +382,14 @@ def _dispatch(
         return Done(events=_collect_events(outstanding))
     if isinstance(command, ForgetUser):
         server.forget_user(command.user_id)
+        return Done(events=_collect_events(outstanding))
+    if isinstance(command, ExportUser):
+        state = server.export_user(command.user_id, forget=command.forget)
+        # The export's flush may have resolved outstanding handles; the
+        # ledger rides along so the parent settles them as usual.
+        return UserStateReply(state=state, events=_collect_events(outstanding))
+    if isinstance(command, ImportUser):
+        server.import_user(command.state)
         return Done(events=_collect_events(outstanding))
     if isinstance(command, MetricsRequest):
         return MetricsReply(

@@ -1,0 +1,89 @@
+"""The shared ``[prog] ready ...`` line: format/parse round-trips.
+
+``fuse-serve`` prints it, ``fuse-router`` prints it *and* parses it from
+spawned backends, the examples and the e2e tests parse it — one public
+helper (`repro.serve.cli_utils`) instead of three copied regexes.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.serve import format_ready_line, parse_ready_line, wait_for_ready
+
+
+class TestRoundTrip:
+    def test_tcp(self):
+        line = format_ready_line("fuse-serve", host="127.0.0.1", port=8707)
+        assert line == "[fuse-serve] ready tcp=127.0.0.1:8707"
+        address = parse_ready_line(line)
+        assert address is not None
+        assert (address.prog, address.kind) == ("fuse-serve", "tcp")
+        assert (address.host, address.port) == ("127.0.0.1", 8707)
+        assert address.path is None
+        assert address.endpoint == "127.0.0.1:8707"
+
+    def test_unix(self):
+        line = format_ready_line("fuse-router", path="/tmp/fuse cluster/r.sock")
+        # no spaces allowed in the parseable form
+        with_space = parse_ready_line(line)
+        assert with_space is None
+
+        line = format_ready_line("fuse-router", path="/tmp/fuse.sock")
+        address = parse_ready_line(line)
+        assert address is not None
+        assert (address.prog, address.kind) == ("fuse-router", "unix")
+        assert address.path == "/tmp/fuse.sock"
+        assert address.endpoint == "/tmp/fuse.sock"
+
+    def test_trailing_newline_tolerated(self):
+        assert parse_ready_line("[fuse-serve] ready tcp=localhost:1\n") is not None
+
+
+class TestParseRejects:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "[fuse-serve] training on 540 synthetic frames...",
+            "[fuse-serve] ready",
+            "[fuse-serve] ready tcp=no-port",
+            "ready tcp=127.0.0.1:8707",
+            "[fuse-serve] ready tcp=127.0.0.1:8707 trailing-garbage",
+        ],
+    )
+    def test_non_ready_lines(self, line):
+        assert parse_ready_line(line) is None
+
+
+class TestFormatValidation:
+    def test_tcp_needs_host_and_port(self):
+        with pytest.raises(ValueError):
+            format_ready_line("fuse-serve", host="127.0.0.1")
+
+    def test_path_wins_over_host(self):
+        line = format_ready_line("fuse-serve", host="h", port=1, path="/tmp/x")
+        assert parse_ready_line(line).kind == "unix"
+
+
+class TestWaitForReady:
+    def test_skips_progress_lines(self):
+        stream = io.StringIO(
+            "[fuse-serve] training on 540 synthetic frames...\n"
+            "[fuse-serve] 2 process shard(s) listening on /tmp/fuse.sock\n"
+            "[fuse-serve] ready unix=/tmp/fuse.sock\n"
+        )
+        address = wait_for_ready(stream)
+        assert address.kind == "unix" and address.path == "/tmp/fuse.sock"
+
+    def test_eof_reports_seen_output(self):
+        stream = io.StringIO("some stacktrace line\n")
+        with pytest.raises(RuntimeError, match="some stacktrace line"):
+            wait_for_ready(stream)
+
+    def test_line_budget_bounds_the_wait(self):
+        stream = io.StringIO("noise\n" * 500)
+        with pytest.raises(RuntimeError):
+            wait_for_ready(stream, max_lines=10)

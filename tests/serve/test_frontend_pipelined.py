@@ -136,11 +136,17 @@ class TestV1Downgrade:
         async def scenario(client, frontend):
             with pytest.raises(RuntimeError, match="requires protocol v2"):
                 await client.flush()
+            # ping is a v2 liveness frame: a v1 front-end rejects it with a
+            # correlated error instead of hanging up.
+            with pytest.raises(RuntimeError, match="requires protocol v2"):
+                await client.ping()
             hello = await client.hello()
             assert hello["protocol"] == 1
             assert hello["protocols"] == [1]
-            # ids are ignored in v1 mode, replies still correlate FIFO.
-            assert await client.ping()
+            # ids are ignored in v1 mode, replies still correlate FIFO —
+            # the connection survived the rejected frames above.
+            rng = np.random.default_rng(7)
+            assert (await client.submit("v1-user", make_frame(rng))).shape == (19, 3)
 
         run_scenario(backend, scenario, tmp_path, protocol=1)
 
@@ -635,3 +641,134 @@ class TestPipelinedReplayEquivalence:
         pipelined, batched = asyncio.run(body())
         self._assert_matches_reference(reference, streams, pipelined)
         self._assert_matches_reference(reference, streams, batched)
+
+
+class TestReconnect:
+    def test_kill_and_reconnect_resumes_with_hello_replay(self, backend, tmp_path):
+        """Restart the front-end under a reconnecting client: the next
+        request redials, replays the hello, and serving continues with the
+        server's session state (same backend object) intact."""
+        path = str(tmp_path / "fuse.sock")
+
+        async def body():
+            frontend = PoseFrontend(backend, unix_path=path)
+            await frontend.start()
+            async with AsyncPoseClient(reconnect=True) as client:
+                await client.connect_unix(path)
+                hello = await client.hello()
+                assert hello["protocol"] == 2
+                rng = np.random.default_rng(21)
+                first = await client.submit("rita", make_frame(rng))
+                assert first.shape == (19, 3)
+
+                await frontend.stop()  # the client's reader dies with it
+                for _ in range(200):
+                    if client._reader_task.done():
+                        break
+                    await asyncio.sleep(0.01)
+                replacement = PoseFrontend(backend, unix_path=path)
+                await replacement.start()
+                try:
+                    second = await client.submit("rita", make_frame(rng))
+                    assert second.shape == (19, 3)
+                    assert client.reconnects == 1
+                    # the negotiated fields were refreshed by the replayed hello
+                    assert client._hello_done
+                finally:
+                    await replacement.stop()
+
+        asyncio.run(body())
+
+    def test_reconnect_is_opt_in(self, backend, tmp_path):
+        async def body():
+            frontend = PoseFrontend(backend, unix_path=(path := str(tmp_path / "f.sock")))
+            await frontend.start()
+            async with AsyncPoseClient() as client:
+                await client.connect_unix(path)
+                await client.submit("sam", make_frame(np.random.default_rng(0)))
+                await frontend.stop()
+                with pytest.raises(ConnectionError):
+                    await client.submit("sam", make_frame(np.random.default_rng(1)))
+                assert client.reconnects == 0
+
+        asyncio.run(body())
+
+    def test_dead_target_exhausts_redial_retries(self, backend, tmp_path):
+        async def body():
+            frontend = PoseFrontend(backend, unix_path=(path := str(tmp_path / "f.sock")))
+            await frontend.start()
+            async with AsyncPoseClient(reconnect=True) as client:
+                await client.connect_unix(path, retries=2, backoff_s=0.01)
+                await client.ping()
+                await frontend.stop()  # nothing ever comes back
+                with pytest.raises((ConnectionError, OSError)):
+                    await client.ping()
+
+        asyncio.run(body())
+
+
+class TestPushFlowControl:
+    def test_default_frontend_advertises_no_budget(self, backend, tmp_path):
+        async def scenario(client, frontend):
+            hello = await client.hello()
+            assert hello["push_credits"] is None
+
+        run_scenario(backend, scenario, tmp_path)
+
+    def test_pushes_defer_until_credits_granted(self, backend, tmp_path):
+        async def body():
+            path = str(tmp_path / "fuse.sock")
+            frontend = PoseFrontend(backend, unix_path=path, push_credits=1)
+            await frontend.start()
+            try:
+                async with AsyncPoseClient(auto_credits=False) as client:
+                    await client.connect_unix(path)
+                    await client.hello()
+                    rng = np.random.default_rng(31)
+                    futures = [
+                        await client.enqueue("tess", make_frame(rng))
+                        for _ in range(3)
+                    ]
+                    produced = await client.flush()
+                    assert produced == 3
+                    # budget 1: one push crosses, two wait server-side
+                    await asyncio.wait(futures, timeout=0.3)
+                    assert sum(f.done() for f in futures) == 1
+                    (conn,) = frontend._connections
+                    assert len(conn.deferred) == 2
+
+                    available = await client.grant_credits(2)
+                    assert available == 0  # the deferred pushes drained it
+                    pushes = await asyncio.gather(*futures)
+                    assert all(
+                        np.asarray(push["joints"]).shape == (19, 3)
+                        for push in pushes
+                    )
+            finally:
+                await frontend.stop()
+
+        asyncio.run(body())
+
+    def test_auto_grants_keep_a_long_stream_flowing(self, backend, tmp_path):
+        """With a tiny budget and auto credits on (the default), the client
+        replenishes at half budget and an 8-frame stream fully resolves."""
+
+        async def scenario(client, frontend):
+            await client.hello()
+            rng = np.random.default_rng(32)
+            futures = []
+            for _ in range(8):
+                futures.append(await client.enqueue("uma", make_frame(rng)))
+                await client.flush()
+            pushes = await asyncio.gather(*futures)
+            assert len(pushes) == 8
+            assert all(push["pushed"] for push in pushes)
+
+        run_scenario(backend, scenario, tmp_path, push_credits=2)
+
+    def test_negative_grant_rejected(self, backend, tmp_path):
+        async def scenario(client, frontend):
+            with pytest.raises(RuntimeError, match="grant"):
+                await client.grant_credits(-1)
+
+        run_scenario(backend, scenario, tmp_path, push_credits=1)

@@ -197,3 +197,152 @@ class TestPrometheusExport:
         metrics = ServeMetrics(clock=clock)
         text = metrics.to_prometheus(labels={"host": 'node"1\\a\nb'})
         assert 'host="node\\"1\\\\a\\nb"' in text
+
+
+class TestAggregateSnapshots:
+    """Cluster-side aggregation: plain snapshot dicts, heterogeneous keys."""
+
+    @pytest.fixture
+    def clock(self):
+        class _Clock:
+            time = 0.0
+
+            def __call__(self) -> float:
+                return self.time
+
+        return _Clock()
+
+    def test_snapshot_dicts_merge_like_instances(self, clock):
+        a, b = ServeMetrics(clock=clock), ServeMetrics(clock=clock)
+        a.record_submit(queue_depth=2)
+        a.record_flush(2)
+        a.record_completion(0.004)
+        b.record_submit(queue_depth=7)
+        b.record_flush(4)
+        b.record_completion(0.002)
+        merged = ServeMetrics.aggregate([a.snapshot(), b.snapshot()])
+        assert merged["submitted"] == 2
+        assert merged["flushes"] == 2
+        assert merged["mean_batch_size"] == pytest.approx(3.0)
+        assert merged["max_queue_depth_seen"] == 7
+
+    def test_pre_tier_snapshots_tolerate_missing_keys(self, clock):
+        """A backend predating the adapter-tier counters reports a shorter
+        snapshot; aggregation must default the absent keys, not raise."""
+        modern = ServeMetrics(clock=clock)
+        modern.record_submit(queue_depth=1)
+        modern.record_adapter_access("hot")
+        legacy = {
+            key: value
+            for key, value in ServeMetrics(clock=clock).snapshot().items()
+            if not key.startswith("adapter_")
+        }
+        legacy["submitted"] = 5
+        merged = ServeMetrics.aggregate([modern.snapshot(), legacy])
+        assert merged["submitted"] == 6
+        assert merged["adapter_hot_hits"] == 1
+        assert merged["adapter_tier_hit_rate"] == pytest.approx(1.0)
+
+    def test_mixed_instances_and_snapshots(self, clock):
+        instance = ServeMetrics(clock=clock)
+        instance.record_submit(queue_depth=0)
+        merged = ServeMetrics.aggregate([instance, {"submitted": 4, "completed": 4}])
+        assert merged["submitted"] == 5
+        assert merged["completed"] == 4
+
+    def test_latency_percentiles_weight_by_completions(self, clock):
+        a, b = ServeMetrics(clock=clock), ServeMetrics(clock=clock)
+        a.record_completion(0.010)  # p50 = 10ms, 1 completion
+        for _ in range(3):
+            b.record_completion(0.002)  # p50 = 2ms, 3 completions
+        merged = ServeMetrics.aggregate([a.snapshot(), b.snapshot()])
+        assert merged["latency_p50_ms"] == pytest.approx((10.0 + 3 * 2.0) / 4)
+
+    def test_snapshot_throughput_sums(self, clock):
+        a, b = ServeMetrics(clock=clock), ServeMetrics(clock=clock)
+        a.record_submit(queue_depth=0)
+        b.record_submit(queue_depth=0)
+        clock.time = 2.0
+        a.record_completion(0.5)
+        b.record_completion(0.5)
+        merged = ServeMetrics.aggregate([a.snapshot(), b.snapshot()])
+        # Independent processes with private clocks: sum, no shared wall.
+        assert merged["throughput_fps"] == pytest.approx(1.0)
+
+    def test_extra_keys_are_carried(self, clock):
+        merged = ServeMetrics.aggregate(
+            [{"submitted": 1, "router_frames_routed": 9}, {"submitted": 2}]
+        )
+        assert merged["router_frames_routed"] == 9
+
+
+class TestMergeExpositions:
+    @pytest.fixture
+    def clock(self):
+        class _Clock:
+            time = 0.0
+
+            def __call__(self) -> float:
+                return self.time
+
+        return _Clock()
+
+    def test_families_group_under_one_header(self, clock):
+        from repro.serve import merge_expositions
+
+        a, b = ServeMetrics(clock=clock), ServeMetrics(clock=clock)
+        a.record_completion(0.001)
+        b.record_completion(0.002)
+        merged = merge_expositions(
+            [
+                (a.to_prometheus(), {"instance": "b0"}),
+                (b.to_prometheus(), {"instance": "b1"}),
+            ]
+        )
+        assert merged.count("# TYPE fuse_serve_requests_completed_total counter") == 1
+        assert 'fuse_serve_requests_completed_total{instance="b0"} 1' in merged
+        assert 'fuse_serve_requests_completed_total{instance="b1"} 1' in merged
+
+    def test_labels_merge_with_existing_ones(self, clock):
+        from repro.serve import merge_expositions
+
+        metrics = ServeMetrics(clock=clock)
+        metrics.record_completion(0.001)
+        text = metrics.to_prometheus(labels={"shard": "0"})
+        merged = merge_expositions([(text, {"instance": "b0"})])
+        assert 'fuse_serve_requests_completed_total{instance="b0",shard="0"} 1' in merged
+
+    def test_unlabelled_parts_pass_through(self, clock):
+        from repro.serve import merge_expositions
+
+        router_text = (
+            "# HELP fuse_router_frames_routed_total Frames routed.\n"
+            "# TYPE fuse_router_frames_routed_total counter\n"
+            "fuse_router_frames_routed_total 3\n"
+        )
+        merged = merge_expositions(
+            [(ServeMetrics(clock=clock).to_prometheus(), {"instance": "b0"}),
+             (router_text, None)]
+        )
+        assert "fuse_router_frames_routed_total 3" in merged
+        assert merged.endswith("\n")
+
+    def test_summary_style_suffixes_stay_in_their_family(self, clock):
+        from repro.serve import merge_expositions
+
+        part = (
+            "# HELP fuse_latency_ms Latency.\n"
+            "# TYPE fuse_latency_ms summary\n"
+            "fuse_latency_ms_sum 4.0\n"
+            "fuse_latency_ms_count 2\n"
+        )
+        merged = merge_expositions([(part, {"instance": "b0"}), (part, {"instance": "b1"})])
+        assert merged.count("# TYPE fuse_latency_ms summary") == 1
+        assert 'fuse_latency_ms_sum{instance="b0"} 4.0' in merged
+        assert 'fuse_latency_ms_count{instance="b1"} 2' in merged
+
+    def test_empty_parts_rejected(self):
+        from repro.serve import merge_expositions
+
+        with pytest.raises(ValueError):
+            merge_expositions([])

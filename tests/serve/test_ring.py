@@ -1,0 +1,119 @@
+"""Consistent-hash ring: pinned placements, minimal remap, balance.
+
+The ring is the router's placement authority, so its determinism is pinned
+with literal expected values — a placement change is a breaking change
+(it would strand every pinned user's session on the wrong backend across
+a router restart).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import HashRing
+
+USERS = [f"user-{i}" for i in range(8)]
+
+
+class TestDeterminism:
+    def test_placements_are_pinned(self):
+        """Literal placements: any change here is a breaking change."""
+        ring = HashRing(["b1", "b2", "b3"])
+        assert {user: ring.node_for(user) for user in USERS} == {
+            "user-0": "b3",
+            "user-1": "b3",
+            "user-2": "b2",
+            "user-3": "b2",
+            "user-4": "b3",
+            "user-5": "b3",
+            "user-6": "b1",
+            "user-7": "b3",
+        }
+        # Integer ids hash via repr, distinctly from their str forms.
+        assert [ring.node_for(uid) for uid in (0, 1, 2)] == ["b1", "b1", "b1"]
+
+    def test_placement_ignores_insertion_order(self):
+        forward = HashRing(["b1", "b2", "b3"])
+        backward = HashRing(["b3", "b2", "b1"])
+        assert [forward.node_for(u) for u in USERS] == [
+            backward.node_for(u) for u in USERS
+        ]
+
+    def test_copy_is_independent(self):
+        ring = HashRing(["b1", "b2"])
+        twin = ring.copy()
+        twin.remove("b2")
+        assert ring.nodes == ["b1", "b2"]
+        assert twin.nodes == ["b1"]
+
+
+class TestMinimalRemap:
+    def test_add_moves_only_the_new_nodes_arcs(self):
+        """Users that stay must map identically; movers go to the new node."""
+        two = HashRing(["b1", "b2"])
+        three = two.copy()
+        three.add("b3")
+        moved = two.moved_keys(USERS, three)
+        assert moved == ["user-0", "user-1", "user-4", "user-5", "user-7"]
+        for user in USERS:
+            if user in moved:
+                assert three.node_for(user) == "b3"
+            else:
+                assert three.node_for(user) == two.node_for(user)
+
+    def test_remove_spreads_users_over_survivors(self):
+        keys = [f"user-{i}" for i in range(200)]
+        three = HashRing(["b1", "b2", "b3"])
+        two = three.copy()
+        two.remove("b3")
+        for key in keys:
+            if three.node_for(key) == "b3":
+                # orphans may land on either survivor (virtual nodes
+                # interleave the arcs), not all on one neighbour
+                assert two.node_for(key) in ("b1", "b2")
+            else:
+                assert two.node_for(key) == three.node_for(key)
+        orphan_homes = {
+            two.node_for(k) for k in keys if three.node_for(k) == "b3"
+        }
+        assert orphan_homes == {"b1", "b2"}
+
+
+class TestBalance:
+    def test_arc_shares_are_even(self):
+        ring = HashRing(["b1", "b2", "b3"])
+        shares = [ring.arc_share(node) for node in ring.nodes]
+        assert sum(shares) == pytest.approx(1.0)
+        assert all(0.2 < share < 0.5 for share in shares)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["solo"])
+        assert ring.arc_share("solo") == 1.0
+        assert all(ring.node_for(u) == "solo" for u in USERS)
+
+
+class TestErrors:
+    def test_membership_protocol(self):
+        ring = HashRing(["b1"])
+        assert len(ring) == 1 and "b1" in ring and "b2" not in ring
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["b1"])
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add("b1")
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError, match="non-empty strings"):
+            HashRing([""])
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            HashRing(["b1"]).remove("b2")
+
+    def test_empty_ring_has_no_placement(self):
+        with pytest.raises(LookupError, match="no nodes"):
+            HashRing().node_for("user-0")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
