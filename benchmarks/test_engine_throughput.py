@@ -38,6 +38,7 @@ from repro.dataset.loader import ArrayDataset
 from repro.dataset.synthetic import SyntheticDatasetConfig, generate_dataset
 from repro.engine import BatchPlan, BatchedRadarEngine
 from repro.experiments.figure2 import run_figure2
+from repro.nn.backend import active_backend_name
 from repro.radar import GeometricPipeline, RadarConfig
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
@@ -176,7 +177,11 @@ class TestShardScaling:
         """
         config = SyntheticDatasetConfig(seconds_per_pair=8.0)  # 40 sessions, 3200 frames
         frames = config.expected_frames
-        payload: dict = {"frames": frames, "cpu_count": os.cpu_count()}
+        payload: dict = {
+            "frames": frames,
+            "cpu_count": os.cpu_count(),
+            "backend": active_backend_name(),
+        }
         seconds: dict = {}
         for workers in (1, 2, 4):
             plan = BatchPlan(workers=workers)

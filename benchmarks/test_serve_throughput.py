@@ -41,6 +41,7 @@ from bench_io import record_section
 from repro.core import FuseConfig, FusePoseEstimator
 from repro.core.training import TrainingConfig
 from repro.dataset.synthetic import SyntheticDatasetConfig, generate_dataset
+from repro.nn.backend import active_backend_name
 from repro.serve import (
     AsyncPoseClient,
     PoseFrontend,
@@ -169,6 +170,7 @@ class TestServeThroughput:
                 f"mixed_adapted_serving_scope_{scope}",
                 {
                     "cpu_count": os.cpu_count(),
+                    "backend": active_backend_name(),
                     "users": NUM_USERS,
                     "adapted_users": len(adapted_users),
                     "frames": result.frames_served,
@@ -224,6 +226,7 @@ class TestServeThroughput:
 
         onboarding: dict = {
             "cpu_count": os.cpu_count(),
+            "backend": active_backend_name(),
             "adapted_users": len(adapted_users),
             "calibration_frames_per_user": 5,
             "epochs": 3,
@@ -253,6 +256,7 @@ class TestServeThroughput:
         assert lora_result.frames_dropped == 0
         serving_payload = {
             "cpu_count": os.cpu_count(),
+            "backend": active_backend_name(),
             "users": NUM_USERS,
             "adapted_users": len(adapted_users),
             "rank": 4,
@@ -296,6 +300,7 @@ class TestShardedServing:
             "users": NUM_USERS,
             "frames": total,
             "cpu_count": os.cpu_count(),
+            "backend": active_backend_name(),
         }
         fps: dict = {}
         for shards in (1, 2, 4):
@@ -346,6 +351,7 @@ class TestServingFrontend:
             "users": NUM_USERS,
             "frames": total,
             "cpu_count": os.cpu_count(),
+            "backend": active_backend_name(),
         }
 
         for shards in (1, 2, 4):
@@ -413,6 +419,7 @@ class TestServingFrontend:
             "users": NUM_USERS,
             "frames": total,
             "cpu_count": os.cpu_count(),
+            "backend": active_backend_name(),
         }
 
         async def run() -> None:
@@ -514,6 +521,7 @@ class TestRouterFanOut:
             "users": NUM_USERS,
             "frames": total,
             "cpu_count": os.cpu_count(),
+            "backend": active_backend_name(),
         }
 
         async def drive(path: str) -> float:

@@ -41,6 +41,53 @@ from typing import Dict, List, Optional
 
 THROUGHPUT_KEY = re.compile(r"(^|_)(fps|tps|per_sec|throughput)($|_)")
 
+# Machine-context keys a benchmark section may record.  Two runs are only
+# comparable where this context matches: a figure measured on 4 cores with
+# the "fast" kernel backend says nothing about a 1-core "reference" run, so
+# mismatched sections are pruned from the comparison (loudly) instead of
+# producing a bogus regression or a bogus pass.
+CONTEXT_KEYS = ("cpu_count", "backend")
+
+
+def section_context(section: dict) -> Dict[str, object]:
+    """The machine context a benchmark section recorded (may be empty)."""
+    return {key: section[key] for key in CONTEXT_KEYS if key in section}
+
+
+def split_comparable(
+    baseline: dict, fresh: dict
+) -> "tuple[dict, dict, List[str]]":
+    """Prune sections whose recorded machine context differs between runs.
+
+    Returns ``(baseline, fresh, notices)`` with every section present in
+    *both* payloads but carrying a different ``cpu_count``/``backend``
+    context removed from both sides — those figures were measured under
+    different conditions and must not be trended against each other.  The
+    notices describe each pruned section for the run log.  Sections present
+    on only one side are left alone (the missing-figure check owns those).
+    """
+    notices: List[str] = []
+    pruned: List[str] = []
+    for key in sorted(baseline):
+        old, new = baseline.get(key), fresh.get(key)
+        if not (isinstance(old, dict) and isinstance(new, dict)):
+            continue
+        old_ctx, new_ctx = section_context(old), section_context(new)
+        if old_ctx != new_ctx:
+            pruned.append(key)
+            described = ", ".join(
+                f"{ctx_key}: {old_ctx.get(ctx_key, '?')} -> {new_ctx.get(ctx_key, '?')}"
+                for ctx_key in CONTEXT_KEYS
+                if old_ctx.get(ctx_key) != new_ctx.get(ctx_key)
+            )
+            notices.append(
+                f"section '{key}' not compared: machine context differs ({described})"
+            )
+    if pruned:
+        baseline = {key: value for key, value in baseline.items() if key not in pruned}
+        fresh = {key: value for key, value in fresh.items() if key not in pruned}
+    return baseline, fresh, notices
+
 
 @dataclass(frozen=True)
 class Regression:
@@ -280,24 +327,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"[bench-regression] {name}: no baseline at {args.baseline_ref}, skipping"
             )
         else:
-            regressions = compare(baseline, fresh, args.threshold)
-            checked = len(throughput_figures(baseline))
+            comparable_baseline, comparable_fresh, notices = split_comparable(
+                baseline, fresh
+            )
+            for notice in notices:
+                print(f"[bench-regression] {name}: {notice}")
+            regressions = compare(comparable_baseline, comparable_fresh, args.threshold)
+            checked = len(throughput_figures(comparable_baseline))
             for regression in regressions:
                 failures.append(f"{name}: {regression}")
-            missing = missing_from_fresh(baseline, fresh)
+            missing = missing_from_fresh(comparable_baseline, comparable_fresh)
             for problem in missing:
                 failures.append(f"{name}: {problem}")
             print(
                 f"[bench-regression] {name}: {checked} throughput figures checked, "
                 f"{len(regressions)} regressed beyond {args.threshold:.0%}, "
                 f"{len(missing)} baseline entries missing from the fresh run"
+                + (f", {len(notices)} section(s) skipped (context mismatch)" if notices else "")
             )
 
         if args.history is None:
             continue
         snapshots = load_history(args.history, name)
         if snapshots:
-            trend = history_baseline(snapshots)
+            comparable_snapshots = []
+            snapshot_notices: set = set()
+            for snapshot in snapshots:
+                pruned_snapshot, _, notices = split_comparable(snapshot, fresh)
+                comparable_snapshots.append(pruned_snapshot)
+                snapshot_notices.update(notices)
+            for notice in sorted(snapshot_notices):
+                print(f"[bench-regression] {name} (history): {notice}")
+            trend = history_baseline(comparable_snapshots)
             history_regressions = compare_figures(
                 trend, throughput_figures(fresh), args.threshold
             )

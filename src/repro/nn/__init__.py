@@ -5,8 +5,15 @@ reverse-mode automatic differentiation (:mod:`repro.nn.tensor`), the layers
 needed by the MARS baseline CNN and the FUSE model (:mod:`repro.nn.layers`),
 the losses and optimizers used in the paper (:mod:`repro.nn.functional`,
 :mod:`repro.nn.optim`) and checkpoint serialization.
+
+The arithmetic of the batched hot-path ops executes through a pluggable
+kernel backend selected via :mod:`repro.nn.backend` (registry, ``use_backend``
+context manager and the ``REPRO_KERNEL_BACKEND`` environment variable); the
+default ``reference`` backend is the original serial numpy code.
 """
 
+from . import backend
+from .backend import use_backend
 from .functional import (
     cross_entropy_loss,
     linear_batched,
@@ -52,6 +59,9 @@ from .serialization import load_model_into, load_state, save_model, save_state
 from .tensor import Tensor, is_grad_enabled, no_grad
 
 __all__ = [
+    # kernel backends
+    "backend",
+    "use_backend",
     # tensor
     "Tensor",
     "no_grad",

@@ -1,0 +1,217 @@
+"""Pluggable kernel-backend registry for the ``repro.nn`` hot paths.
+
+The ops in :mod:`repro.nn.functional` / :mod:`repro.nn.ops` and the serving
+kernel execute their arithmetic through a :class:`KernelBackend` selected at
+runtime.  Three backends ship in-tree:
+
+``reference``
+    The original serial numpy code, bit-for-bit unchanged.  Default.
+``fast``
+    Threaded, BLAS-shaped numpy: large-GEMM reordering, blocked/planar
+    layout choices, preallocated workspaces.
+``compiled``
+    Numba-jitted elementwise kernels behind the ``compiled`` extras marker;
+    registered but unavailable when numba is absent.
+
+Selection precedence, strongest first: an explicit backend object handed to
+an API, the innermost :func:`use_backend` context, a process-wide
+:func:`set_default_backend`, the ``REPRO_KERNEL_BACKEND`` environment
+variable, then ``reference``.  ``ExecutionPlan.kernel_backend`` and
+``ServeConfig.kernel_backend`` feed these entry points from the
+configuration layer; see ``docs/backends.md`` for the authoring guide.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from .base import (
+    LAYOUTS,
+    OPS,
+    BackendUnavailableError,
+    KernelBackend,
+    layout_of,
+    to_layout,
+)
+from .compiled import CompiledBackend
+from .fast import FastBackend
+from .reference import ReferenceBackend
+
+__all__ = [
+    "OPS",
+    "LAYOUTS",
+    "BackendUnavailableError",
+    "KernelBackend",
+    "ReferenceBackend",
+    "FastBackend",
+    "CompiledBackend",
+    "layout_of",
+    "to_layout",
+    "register_backend",
+    "available_backends",
+    "importable_backends",
+    "get_backend",
+    "default_backend",
+    "set_default_backend",
+    "active_backend_name",
+    "get_active_backend",
+    "active_for",
+    "use_backend",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no stronger selection is in force.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
+_INSTANCES: Dict[str, KernelBackend] = {}
+_OVERRIDE_STACK: List[str] = []
+_PROCESS_DEFAULT: Optional[str] = None
+
+
+def register_backend(
+    name: str, factory: Callable[[], KernelBackend], *, replace: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory`` is any zero-argument callable returning a
+    :class:`KernelBackend` (typically the class itself).  Instantiation is
+    lazy — unavailable optional backends register fine and only fail when
+    first requested.  Re-registering an existing name requires
+    ``replace=True`` so tests cannot silently shadow a shipped backend.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _FACTORIES and not replace:
+        raise ValueError(
+            f"kernel backend '{name}' is already registered; pass replace=True "
+            f"to override it"
+        )
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """All registered backend names, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def importable_backends() -> Tuple[str, ...]:
+    """Registered backends that can actually run in this environment."""
+    names = []
+    for name in _FACTORIES:
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Instantiate (once) and return the backend registered under ``name``."""
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown kernel backend '{name}'; registered backends: "
+            f"{', '.join(sorted(_FACTORIES))}"
+        )
+    instance = factory()
+    _INSTANCES[name] = instance
+    return instance
+
+
+def default_backend() -> str:
+    """The backend name used when nothing stronger is selected.
+
+    Process default (:func:`set_default_backend`) wins over the
+    ``REPRO_KERNEL_BACKEND`` environment variable, which wins over
+    ``reference``.
+    """
+    if _PROCESS_DEFAULT is not None:
+        return _PROCESS_DEFAULT
+    env = os.environ.get(ENV_VAR, "").strip()
+    if env:
+        if env not in _FACTORIES:
+            raise ValueError(
+                f"{ENV_VAR}={env!r} does not name a registered kernel backend; "
+                f"registered backends: {', '.join(sorted(_FACTORIES))}"
+            )
+        return env
+    return "reference"
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or with None, clear) the process-wide default backend."""
+    if name is not None:
+        get_backend(name)  # validate eagerly, including availability
+    global _PROCESS_DEFAULT
+    _PROCESS_DEFAULT = name
+
+
+def active_backend_name() -> str:
+    """Name of the backend ops will dispatch to right now."""
+    if _OVERRIDE_STACK:
+        return _OVERRIDE_STACK[-1]
+    return default_backend()
+
+
+def get_active_backend() -> KernelBackend:
+    """The backend instance ops will dispatch to right now."""
+    return get_backend(active_backend_name())
+
+
+def active_for(op: str) -> KernelBackend:
+    """The backend that should run ``op``: active if capable, else reference.
+
+    This is the dispatcher the ops call on every invocation; a backend that
+    does not declare ``op`` in its capabilities silently falls back to the
+    reference implementation rather than failing mid-graph.
+    """
+    backend = get_active_backend()
+    if op in backend.capabilities():
+        return backend
+    return get_backend("reference")
+
+
+@contextmanager
+def use_backend(name: str):
+    """Context manager selecting ``name`` for ops run inside the block.
+
+    Overrides nest; the innermost wins.  The override is process-global (it
+    is read by whatever thread executes an op), so scope it around a
+    single-threaded region — the serving layer instead passes explicit
+    backend objects to its kernels.
+    """
+    backend = get_backend(name)  # validate, including availability
+    _OVERRIDE_STACK.append(backend.name)
+    try:
+        yield backend
+    finally:
+        _OVERRIDE_STACK.pop()
+
+
+def resolve_backend(
+    spec: Union[None, str, KernelBackend]
+) -> KernelBackend:
+    """Resolve an optional backend spec to an instance.
+
+    ``None`` means "whatever is active", a string is looked up in the
+    registry, and an instance passes through untouched — the idiom for APIs
+    such as ``SharedParameterKernel(backend=...)``.
+    """
+    if spec is None:
+        return get_active_backend()
+    if isinstance(spec, KernelBackend):
+        return spec
+    return get_backend(spec)
+
+
+register_backend("reference", ReferenceBackend)
+register_backend("fast", FastBackend)
+register_backend("compiled", CompiledBackend)

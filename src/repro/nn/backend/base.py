@@ -1,0 +1,292 @@
+"""Kernel-backend interface and memory-layout contract.
+
+A :class:`KernelBackend` implements the raw-``ndarray`` op surface that the
+hot paths of the reproduction actually execute: the batched linear/conv
+forward+backward pairs used by the task-batched engine, the low-rank adapted
+variants used by per-user serving, elementwise activations, reductions, and
+the block-mapping hook used by the serving kernel.  Autograd, validation and
+Tensor bookkeeping stay in :mod:`repro.nn.functional` / :mod:`repro.nn.ops`;
+backends only ever see plain numpy arrays.
+
+Layout contract
+---------------
+Backends may compute in whatever memory layout they like (``planar``
+row-major or ``blocked`` column-major — the oneDNN planar-vs-blocked
+distinction collapsed to the two layouts numpy can express), but every array
+that crosses the backend boundary is **planar**: C-ordered, with the logical
+axes in the documented op shapes.  A backend that computes in blocked layout
+must convert with :func:`to_layout` before returning (a Reorder, in oneDNN
+terms).  :func:`layout_of` classifies an array; conversions are explicit so
+the op-db suite can exercise both layouts as inputs.
+
+Forward methods return ``(out, ctx)`` where ``ctx`` is an opaque object the
+caller passes back to the matching backward method; backward methods take a
+``needs`` tuple of booleans (one per differentiable input, in signature
+order) and return a tuple of gradient arrays with ``None`` in positions that
+were not requested.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "OPS",
+    "LAYOUTS",
+    "BackendUnavailableError",
+    "KernelBackend",
+    "layout_of",
+    "to_layout",
+]
+
+#: The capability vocabulary.  ``capabilities()`` returns a subset of these;
+#: the dispatcher only routes an op to the active backend when the backend
+#: declares the matching capability, falling back to ``reference`` otherwise.
+OPS: Tuple[str, ...] = (
+    "matmul",
+    "gemm",
+    "relu",
+    "tanh",
+    "sigmoid",
+    "reduce_sum",
+    "reduce_mean",
+    "linear_batched",
+    "conv2d_batched",
+    "linear_lowrank_batched",
+    "conv2d_lowrank_batched",
+    "map_blocks",
+)
+
+#: Recognised memory layouts for 2-D operands.
+LAYOUTS: Tuple[str, ...] = ("planar", "blocked")
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a registered backend cannot run in this environment.
+
+    The registry keeps optional backends (e.g. ``compiled``) registered even
+    when their dependency is missing so that the error message can say what
+    to install, and so test suites can enumerate and skip them.
+    """
+
+
+def layout_of(matrix: np.ndarray) -> str:
+    """Classify a 2-D array as ``planar`` (C-order) or ``blocked`` (F-order).
+
+    Arrays that are neither (non-contiguous views) are reported as
+    ``"strided"``; backends must reorder those before handing them to a
+    layout-sensitive kernel.
+    """
+    if matrix.ndim != 2:
+        raise ValueError(f"layout_of classifies 2-D arrays, got shape {matrix.shape}")
+    if matrix.flags["C_CONTIGUOUS"]:
+        return "planar"
+    if matrix.flags["F_CONTIGUOUS"]:
+        return "blocked"
+    return "strided"
+
+
+def to_layout(matrix: np.ndarray, layout: str) -> np.ndarray:
+    """Reorder a 2-D array into ``layout`` (no-op when already there).
+
+    This is the explicit boundary conversion of the layout contract: values
+    are untouched, only the element order in memory changes.
+    """
+    if layout == "planar":
+        return np.ascontiguousarray(matrix)
+    if layout == "blocked":
+        return np.asfortranarray(matrix)
+    raise ValueError(f"unknown layout '{layout}'; expected one of {LAYOUTS}")
+
+
+class KernelBackend(abc.ABC):
+    """Abstract kernel backend.
+
+    Subclasses set :attr:`name`, implement the op surface, and declare what
+    they implement through :meth:`capabilities`.  ``is_available`` lets
+    optional backends stay registered while their dependency is absent.
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = "abstract"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend can be instantiated in this environment."""
+        return True
+
+    def capabilities(self) -> frozenset:
+        """The subset of :data:`OPS` this backend implements natively."""
+        return frozenset(OPS)
+
+    @property
+    def parallelism(self) -> int:
+        """Worker-thread count the backend uses (1 means fully serial)."""
+        return 1
+
+    # ------------------------------------------------------------------
+    # Scratch space
+    # ------------------------------------------------------------------
+    def workspace(
+        self, tag: Any, shape: Tuple[int, ...], dtype: np.dtype
+    ) -> Optional[np.ndarray]:
+        """Return a reusable scratch buffer for ``out=`` style calls, or None.
+
+        ``None`` means "allocate fresh" — the serial reference backend always
+        answers ``None`` so its allocation behaviour (and therefore its exact
+        BLAS call shapes) stay identical to the pre-registry code.  Backends
+        that cache must key buffers by calling thread: the serving kernel
+        calls into the backend from multiple threads at once.  A returned
+        buffer is only valid until the caller's next workspace request with
+        the same tag from the same thread.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Dense products
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def matmul(
+        self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """N-D matrix product with numpy broadcasting semantics."""
+
+    @abc.abstractmethod
+    def gemm(
+        self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Plain 2-D matrix product ``a @ b``."""
+
+    # ------------------------------------------------------------------
+    # Elementwise activations
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def relu(self, x: np.ndarray) -> np.ndarray:
+        """Rectified linear unit, ``max(x, 0)``."""
+
+    @abc.abstractmethod
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        """Hyperbolic tangent."""
+
+    @abc.abstractmethod
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        """Logistic sigmoid ``1 / (1 + exp(-x))``."""
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def reduce_sum(self, x: np.ndarray, axis=None) -> np.ndarray:
+        """Sum reduction along ``axis`` (all axes when None)."""
+
+    @abc.abstractmethod
+    def reduce_mean(self, x: np.ndarray, axis=None) -> np.ndarray:
+        """Mean reduction along ``axis`` (all axes when None)."""
+
+    # ------------------------------------------------------------------
+    # Fused batched ops (forward returns (out, ctx); backward consumes ctx)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def linear_batched_forward(
+        self, x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, Any]:
+        """Per-task linear: ``(T,B,I) x (T,O,I) [+ (T,O)] -> (T,B,O)``."""
+
+    @abc.abstractmethod
+    def linear_batched_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool]
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        """Gradients ``(gx, gweight, gbias)`` for :meth:`linear_batched_forward`."""
+
+    @abc.abstractmethod
+    def linear_lowrank_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        bias: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, Any]:
+        """Shared-base + rank-r linear: ``(T,B,I) x (O,I) + factors -> (T,B,O)``."""
+
+    @abc.abstractmethod
+    def linear_lowrank_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool, bool, bool]
+    ) -> Tuple[
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+    ]:
+        """Gradients ``(gx, gweight, ga, gb, gbias)``."""
+
+    @abc.abstractmethod
+    def conv2d_batched_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride,
+        padding,
+    ) -> Tuple[np.ndarray, Any]:
+        """Per-task conv: ``(T,B,C,H,W) x (T,O,C,kh,kw) -> (T,B,O,OH,OW)``."""
+
+    @abc.abstractmethod
+    def conv2d_batched_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool]
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        """Gradients ``(gx, gweight, gbias)`` for :meth:`conv2d_batched_forward`."""
+
+    @abc.abstractmethod
+    def conv2d_lowrank_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride,
+        padding,
+    ) -> Tuple[np.ndarray, Any]:
+        """Shared-base + rank-r conv: ``(T,B,C,H,W) x (O,C,kh,kw) + factors``."""
+
+    @abc.abstractmethod
+    def conv2d_lowrank_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool, bool, bool]
+    ) -> Tuple[
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+    ]:
+        """Gradients ``(gx, gweight, ga, gb, gbias)``."""
+
+    # ------------------------------------------------------------------
+    # Serving-kernel hook
+    # ------------------------------------------------------------------
+    def map_blocks(
+        self, fn: Callable[[Any], Any], blocks: Sequence[Any]
+    ) -> list:
+        """Apply ``fn`` to each block, preserving order.
+
+        Serial in the base class; parallel backends may fan the blocks out
+        over threads.  Each block is computed with identical shapes, so the
+        result bits do not depend on which thread ran which block.
+        """
+        return [fn(block) for block in blocks]
+
+    def describe(self) -> Dict[str, Any]:
+        """Human-readable summary used by CLI banners and benchmarks."""
+        return {
+            "name": self.name,
+            "parallelism": self.parallelism,
+            "capabilities": sorted(self.capabilities()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r} parallelism={self.parallelism}>"

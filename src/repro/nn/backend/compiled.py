@@ -1,0 +1,88 @@
+"""Compiled kernel backend: numba-jitted elementwise kernels.
+
+Optional — numba ships behind the ``compiled`` extras marker
+(``pip install fuse-repro[compiled]``).  The backend stays *registered* when
+numba is absent so the registry can report a useful error and test suites can
+enumerate-and-skip it, but ``is_available()`` answers False and instantiation
+raises :class:`~repro.nn.backend.base.BackendUnavailableError`.
+
+The matrix products delegate to the threaded BLAS path of
+:class:`~repro.nn.backend.fast.FastBackend` (numba cannot beat a tuned GEMM);
+what gets compiled are the memory-bound elementwise activations, where a
+fused single-pass loop beats numpy's temporary-allocating ufunc chains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import BackendUnavailableError
+from .fast import FastBackend
+
+__all__ = ["CompiledBackend"]
+
+try:  # pragma: no cover - exercised only when numba is installed
+    import numba
+
+    _HAVE_NUMBA = True
+except ImportError:
+    numba = None
+    _HAVE_NUMBA = False
+
+
+if _HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
+
+    @numba.njit(cache=True)
+    def _relu_flat(x, out):
+        for i in range(x.size):
+            value = x[i]
+            out[i] = value if value > 0.0 else 0.0
+
+    @numba.njit(cache=True)
+    def _tanh_flat(x, out):
+        for i in range(x.size):
+            out[i] = np.tanh(x[i])
+
+    @numba.njit(cache=True)
+    def _sigmoid_flat(x, out):
+        for i in range(x.size):
+            out[i] = 1.0 / (1.0 + np.exp(-x[i]))
+
+
+class CompiledBackend(FastBackend):
+    """Numba-accelerated backend; requires the ``compiled`` extras."""
+
+    name = "compiled"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return _HAVE_NUMBA
+
+    def __init__(self, threads: Optional[int] = None):
+        if not _HAVE_NUMBA:
+            raise BackendUnavailableError(
+                "the 'compiled' kernel backend needs numba, which is not "
+                "installed; install the extras with `pip install "
+                "fuse-repro[compiled]` or select the 'fast' or 'reference' "
+                "backend instead"
+            )
+        super().__init__(threads=threads)
+
+    # pragma note: the jitted bodies only run when numba is importable, so
+    # coverage on numba-less environments exercises just the guard above.
+    def _jit_elementwise(self, x: np.ndarray, kernel) -> np.ndarray:  # pragma: no cover
+        flat = np.ascontiguousarray(x).reshape(-1)
+        out = np.empty_like(flat)
+        kernel(flat, out)
+        return out.reshape(x.shape)
+
+    def relu(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        return self._jit_elementwise(x, _relu_flat)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        return self._jit_elementwise(x, _tanh_flat)
+
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        return self._jit_elementwise(x, _sigmoid_flat)

@@ -1,0 +1,543 @@
+"""Fast kernel backend: threaded, BLAS-shaped, workspace-reusing numpy.
+
+Same arithmetic as :class:`~repro.nn.backend.reference.ReferenceBackend`
+reorganised for throughput:
+
+* Large matrix products are split across a thread pool by output rows (or by
+  the leading task axis for batched 3-D products).  numpy releases the GIL
+  inside BLAS, so row-chunks multiply concurrently.  The split depends only
+  on operand shapes and the configured thread count, so results are
+  deterministic for a given configuration — and each chunk computes the same
+  fixed-shape GEMM regardless of which thread runs it, preserving the
+  batch-invariance contract of the serving kernel.
+* The broadcast base contraction of the low-rank ops — ``(T, B, I)`` against
+  one shared ``(I, O)`` matrix — is reordered into a single
+  ``(T*B, I) @ (I, O)`` GEMM instead of ``T`` broadcast slices.
+* The per-task convolution picks its output layout per op: when the filter
+  bank is small relative to the patch, the product runs transposed
+  (``W @ cols.T``, a *blocked* / column-major result) and is explicitly
+  reordered to planar at the backend boundary, oneDNN-Reorder style.
+* ``workspace`` hands out scratch buffers keyed by (thread, tag, shape,
+  dtype) so the serving kernel's steady-state hot loop stops allocating.
+
+Thread count comes from the constructor, the ``REPRO_KERNEL_THREADS``
+environment variable, or ``os.cpu_count()``.  The pool is created lazily and
+re-created after ``fork`` so worker processes never inherit dead threads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cols import conv_output_shape, im2col
+from .base import to_layout
+from .reference import ReferenceBackend
+
+__all__ = ["FastBackend"]
+
+# Parallelise a product only when it is worth waking the pool: below these
+# sizes the submit/join overhead dominates any BLAS win.
+_MIN_PARALLEL_FLOPS = 1 << 18
+_MIN_PARALLEL_ELEMS = 1 << 16
+
+# Run the conv product transposed (blocked output) when the filter bank is
+# this much smaller than the patch dimension: tall-skinny RHS operands favour
+# the (O, patch) @ (patch, rows) orientation.
+_BLOCKED_CONV_RATIO = 4
+
+
+def _env_threads() -> int:
+    raw = os.environ.get("REPRO_KERNEL_THREADS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError as exc:
+            raise ValueError(
+                f"REPRO_KERNEL_THREADS must be an integer, got {raw!r}"
+            ) from exc
+    return os.cpu_count() or 1
+
+
+class FastBackend(ReferenceBackend):
+    """Threaded numpy backend tuned for multi-core hosts."""
+
+    name = "fast"
+
+    def __init__(self, threads: Optional[int] = None):
+        self.threads = max(1, int(threads)) if threads is not None else _env_threads()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_pid: Optional[int] = None
+        self._pool_lock = threading.Lock()
+        # Re-entrancy guard: work running *on* the pool must not fan out onto
+        # the pool again (a saturated pool waiting on itself deadlocks).
+        self._in_parallel = threading.local()
+        self._workspaces: dict = {}
+
+    @property
+    def parallelism(self) -> int:
+        return self.threads
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    def _executor(self) -> ThreadPoolExecutor:
+        pid = os.getpid()
+        if self._pool is None or self._pool_pid != pid:
+            with self._pool_lock:
+                if self._pool is None or self._pool_pid != pid:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.threads, thread_name_prefix="repro-fast"
+                    )
+                    self._pool_pid = pid
+        return self._pool
+
+    def _can_parallelise(self) -> bool:
+        return self.threads > 1 and not getattr(self._in_parallel, "active", False)
+
+    def _chunks(self, n: int) -> List[Tuple[int, int]]:
+        """Split ``range(n)`` into at most ``threads`` contiguous spans."""
+        parts = min(self.threads, n)
+        base, extra = divmod(n, parts)
+        bounds = []
+        start = 0
+        for i in range(parts):
+            stop = start + base + (1 if i < extra else 0)
+            bounds.append((start, stop))
+            start = stop
+        return bounds
+
+    def _run_chunked(self, fn: Callable[[int, int], None], n: int) -> None:
+        chunks = self._chunks(n)
+        if len(chunks) == 1:
+            fn(*chunks[0])
+            return
+        pool = self._executor()
+
+        def guarded(start: int, stop: int) -> None:
+            self._in_parallel.active = True
+            try:
+                fn(start, stop)
+            finally:
+                self._in_parallel.active = False
+
+        futures = [pool.submit(guarded, start, stop) for start, stop in chunks]
+        for future in futures:
+            future.result()
+
+    # ------------------------------------------------------------------
+    # Workspaces
+    # ------------------------------------------------------------------
+    def workspace(
+        self, tag: Any, shape: Tuple[int, ...], dtype: np.dtype
+    ) -> Optional[np.ndarray]:
+        key = (threading.get_ident(), tag, shape, np.dtype(dtype))
+        buffer = self._workspaces.get(key)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=dtype)
+            self._workspaces[key] = buffer
+        return buffer
+
+    # ------------------------------------------------------------------
+    # Dense products
+    # ------------------------------------------------------------------
+    def gemm(
+        self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError(f"gemm expects 2-D operands, got {a.shape} and {b.shape}")
+        m, k = a.shape
+        n = b.shape[1]
+        flops = 2 * m * n * k
+        if out is None:
+            out = np.empty((m, n), dtype=np.result_type(a, b))
+        if m < 2 or flops < _MIN_PARALLEL_FLOPS or not self._can_parallelise():
+            np.matmul(a, b, out=out)
+            return out
+        self._run_chunked(lambda s, e: np.matmul(a[s:e], b, out=out[s:e]), m)
+        return out
+
+    def matmul(
+        self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if a.ndim == 2 and b.ndim == 2:
+            return self.gemm(a, b, out=out)
+        if a.ndim == 3 and (b.ndim == 2 or (b.ndim == 3 and b.shape[0] == a.shape[0])):
+            tasks = a.shape[0]
+            n = b.shape[-1]
+            flops = 2 * a.shape[0] * a.shape[1] * a.shape[2] * n
+            if out is None:
+                out = np.empty(
+                    (tasks, a.shape[1], n), dtype=np.result_type(a, b)
+                )
+            if tasks < 2 or flops < _MIN_PARALLEL_FLOPS or not self._can_parallelise():
+                np.matmul(a, b, out=out)
+                return out
+            if b.ndim == 2:
+                self._run_chunked(lambda s, e: np.matmul(a[s:e], b, out=out[s:e]), tasks)
+            else:
+                self._run_chunked(
+                    lambda s, e: np.matmul(a[s:e], b[s:e], out=out[s:e]), tasks
+                )
+            return out
+        # Rank combinations outside the hot paths fall back to numpy.
+        if out is None:
+            return np.matmul(a, b)
+        return np.matmul(a, b, out=out)
+
+    # ------------------------------------------------------------------
+    # Elementwise activations (chunk-parallel over a flattened view)
+    # ------------------------------------------------------------------
+    def _elementwise(
+        self, x: np.ndarray, apply: Callable[[np.ndarray, np.ndarray], None]
+    ) -> np.ndarray:
+        if (
+            x.size < _MIN_PARALLEL_ELEMS
+            or not x.flags["C_CONTIGUOUS"]
+            or not self._can_parallelise()
+        ):
+            out = np.empty_like(x)
+            apply(x, out)
+            return out
+        out = np.empty_like(x)
+        flat_in = x.reshape(-1)
+        flat_out = out.reshape(-1)
+        self._run_chunked(lambda s, e: apply(flat_in[s:e], flat_out[s:e]), flat_in.size)
+        return out
+
+    def relu(self, x: np.ndarray) -> np.ndarray:
+        return self._elementwise(x, lambda src, dst: np.maximum(src, 0.0, out=dst))
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return self._elementwise(x, lambda src, dst: np.tanh(src, out=dst))
+
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        def apply(src: np.ndarray, dst: np.ndarray) -> None:
+            np.negative(src, out=dst)
+            np.exp(dst, out=dst)
+            dst += 1.0
+            np.reciprocal(dst, out=dst)
+
+        return self._elementwise(x, apply)
+
+    # ------------------------------------------------------------------
+    # Per-task linear: thread the task axis
+    # ------------------------------------------------------------------
+    def linear_batched_forward(
+        self, x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, Any]:
+        out = self.matmul(x, weight.transpose(0, 2, 1))
+        if bias is not None:
+            out += bias[:, None, :]
+        return out, (x, weight)
+
+    def linear_batched_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool]
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        x, weight = ctx
+        needs_x, needs_weight, needs_bias = needs
+        grad_x = self.matmul(grad, weight) if needs_x else None
+        grad_weight = (
+            self.matmul(np.ascontiguousarray(grad.transpose(0, 2, 1)), x)
+            if needs_weight
+            else None
+        )
+        grad_bias = grad.sum(axis=1) if needs_bias else None
+        return grad_x, grad_weight, grad_bias
+
+    # ------------------------------------------------------------------
+    # Low-rank linear: fold the broadcast base into one large GEMM
+    # ------------------------------------------------------------------
+    def linear_lowrank_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        bias: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, Any]:
+        tasks, batch, in_features = x.shape
+        out_features = weight.shape[0]
+        x2 = np.ascontiguousarray(x).reshape(tasks * batch, in_features)
+        # One (T*B, I) @ (I, O) GEMM instead of T broadcast slices.
+        base = self.gemm(x2, weight.T)
+        out = base.reshape(tasks, batch, out_features)
+        hidden = self.matmul(x, a.transpose(0, 2, 1))  # (T, B, r)
+        out += self.matmul(hidden, b.transpose(0, 2, 1))
+        if bias is not None:
+            out += bias
+        return out, (x, weight, a, b, hidden)
+
+    def linear_lowrank_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool, bool, bool]
+    ) -> Tuple[
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+    ]:
+        x, weight, a, b, hidden = ctx
+        tasks, batch, in_features = x.shape
+        out_features = weight.shape[0]
+        needs_x, needs_weight, needs_a, needs_b, needs_bias = needs
+        grad_b = (
+            self.matmul(np.ascontiguousarray(grad.transpose(0, 2, 1)), hidden)
+            if needs_b
+            else None
+        )
+        grad_hidden = None
+        if needs_a or needs_x:
+            grad_hidden = self.matmul(grad, b)  # (T, B, r)
+        grad_a = (
+            self.matmul(np.ascontiguousarray(grad_hidden.transpose(0, 2, 1)), x)
+            if needs_a
+            else None
+        )
+        grad_x = None
+        if needs_x:
+            grad2 = np.ascontiguousarray(grad).reshape(tasks * batch, out_features)
+            grad_x = self.gemm(grad2, weight).reshape(tasks, batch, in_features)
+            grad_x += self.matmul(grad_hidden, a)
+        grad_weight = None
+        if needs_weight:
+            # sum_t grad[t].T @ x[t] == (stacked grad).T @ (stacked x).
+            grad2 = np.ascontiguousarray(grad).reshape(tasks * batch, out_features)
+            x2 = np.ascontiguousarray(x).reshape(tasks * batch, in_features)
+            grad_weight = self.gemm(grad2.T.copy(), x2)
+        grad_bias = grad.sum(axis=(0, 1)) if needs_bias else None
+        return grad_x, grad_weight, grad_a, grad_b, grad_bias
+
+    # ------------------------------------------------------------------
+    # Per-task convolution: layout-aware product, threaded over tasks
+    # ------------------------------------------------------------------
+    def conv2d_batched_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride,
+        padding,
+    ) -> Tuple[np.ndarray, Any]:
+        tasks, batch, in_channels, height, width = x.shape
+        _, out_channels, _, kh, kw = weight.shape
+        out_h, out_w = conv_output_shape(height, width, (kh, kw), stride, padding)
+        patch = in_channels * kh * kw
+        rows = batch * out_h * out_w
+
+        cols = im2col(
+            x.reshape(tasks * batch, in_channels, height, width), (kh, kw), stride, padding
+        )
+        cols_flat = cols.reshape(tasks, rows, patch)
+        weight_flat = weight.reshape(tasks, out_channels, patch)
+
+        if out_channels * _BLOCKED_CONV_RATIO <= patch:
+            # Tall-skinny filter bank: run the product transposed.  Each task
+            # yields a blocked (column-major) (rows, O) slice which is
+            # reordered to planar at the boundary.
+            out = np.empty((tasks, rows, out_channels), dtype=cols_flat.dtype)
+
+            def run(start: int, stop: int) -> None:
+                for t in range(start, stop):
+                    blocked = np.matmul(weight_flat[t], cols_flat[t].T).T  # (rows, O) F-order
+                    out[t] = to_layout(blocked, "planar")
+
+            if tasks >= 2 and self._can_parallelise():
+                self._run_chunked(run, tasks)
+            else:
+                run(0, tasks)
+        else:
+            out = self.matmul(cols_flat, weight_flat.transpose(0, 2, 1))
+        out = out.reshape(tasks, batch, out_h, out_w, out_channels).transpose(0, 1, 4, 2, 3)
+        if bias is not None:
+            out = out + bias.reshape(tasks, 1, out_channels, 1, 1)
+        ctx = (cols_flat, weight_flat, x.shape, weight.shape, (out_h, out_w), stride, padding)
+        return out, ctx
+
+    def conv2d_batched_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool]
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        cols_flat, weight_flat, x_shape, weight_shape, (out_h, out_w), stride, padding = ctx
+        tasks, batch, in_channels, height, width = x_shape
+        _, out_channels, _, kh, kw = weight_shape
+        needs_x, needs_weight, needs_bias = needs
+        grad_flat = np.ascontiguousarray(
+            grad.transpose(0, 1, 3, 4, 2)
+        ).reshape(tasks, batch * out_h * out_w, out_channels)
+        grad_weight = None
+        if needs_weight:
+            grad_weight = self.matmul(
+                np.ascontiguousarray(grad_flat.transpose(0, 2, 1)), cols_flat
+            ).reshape(weight_shape)
+        grad_bias = grad.sum(axis=(1, 3, 4)) if needs_bias else None
+        grad_x = None
+        if needs_x:
+            reference_ctx = (
+                cols_flat,
+                weight_flat,
+                x_shape,
+                weight_shape,
+                (out_h, out_w),
+                stride,
+                padding,
+            )
+            grad_x, _, _ = ReferenceBackend.conv2d_batched_backward(
+                self, reference_ctx, grad, (True, False, False)
+            )
+        return grad_x, grad_weight, grad_bias
+
+    def conv2d_lowrank_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride,
+        padding,
+    ) -> Tuple[np.ndarray, Any]:
+        tasks, batch, in_channels, height, width = x.shape
+        out_channels, _, kh, kw = weight.shape
+        patch = in_channels * kh * kw
+        out_h, out_w = conv_output_shape(height, width, (kh, kw), stride, padding)
+        rows = batch * out_h * out_w
+
+        cols = im2col(
+            x.reshape(tasks * batch, in_channels, height, width), (kh, kw), stride, padding
+        )
+        cols_flat = cols.reshape(tasks, rows, patch)
+        weight_flat = weight.reshape(out_channels, patch)
+
+        # Fold the broadcast base into one (T*rows, patch) @ (patch, O) GEMM.
+        cols2 = cols_flat.reshape(tasks * rows, patch)
+        base = self.gemm(cols2, weight_flat.T)
+        out = base.reshape(tasks, rows, out_channels)
+        hidden = self.matmul(cols_flat, a.transpose(0, 2, 1))  # (T, rows, r)
+        out += self.matmul(hidden, b.transpose(0, 2, 1))
+        out = out.reshape(tasks, batch, out_h, out_w, out_channels).transpose(0, 1, 4, 2, 3)
+        if bias is not None:
+            out = out + bias.reshape(1, 1, out_channels, 1, 1)
+        ctx = (
+            cols_flat,
+            weight_flat,
+            a,
+            b,
+            hidden,
+            x.shape,
+            weight.shape,
+            (out_h, out_w),
+            stride,
+            padding,
+        )
+        return out, ctx
+
+    def conv2d_lowrank_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool, bool, bool]
+    ) -> Tuple[
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+    ]:
+        (
+            cols_flat,
+            weight_flat,
+            a,
+            b,
+            hidden,
+            x_shape,
+            weight_shape,
+            (out_h, out_w),
+            stride,
+            padding,
+        ) = ctx
+        tasks, batch, in_channels, height, width = x_shape
+        out_channels, _, kh, kw = weight_shape
+        patch = in_channels * kh * kw
+        rows = batch * out_h * out_w
+        needs_x, needs_weight, needs_a, needs_b, needs_bias = needs
+
+        grad_flat = np.ascontiguousarray(
+            grad.transpose(0, 1, 3, 4, 2)
+        ).reshape(tasks, rows, out_channels)
+        grad_b = (
+            self.matmul(np.ascontiguousarray(grad_flat.transpose(0, 2, 1)), hidden)
+            if needs_b
+            else None
+        )
+        grad_hidden = None
+        if needs_a or needs_x:
+            grad_hidden = self.matmul(grad_flat, b)  # (T, rows, r)
+        grad_a = (
+            self.matmul(
+                np.ascontiguousarray(grad_hidden.transpose(0, 2, 1)), cols_flat
+            )
+            if needs_a
+            else None
+        )
+        grad_weight = None
+        if needs_weight:
+            grad2 = grad_flat.reshape(tasks * rows, out_channels)
+            cols2 = cols_flat.reshape(tasks * rows, patch)
+            grad_weight = self.gemm(grad2.T.copy(), cols2).reshape(weight_shape)
+        grad_bias = grad.sum(axis=(0, 1, 3, 4)) if needs_bias else None
+        grad_x = None
+        if needs_x:
+            reference_ctx = (
+                cols_flat,
+                weight_flat,
+                a,
+                b,
+                hidden,
+                x_shape,
+                weight_shape,
+                (out_h, out_w),
+                stride,
+                padding,
+            )
+            grad_x, _, _, _, _ = ReferenceBackend.conv2d_lowrank_backward(
+                self, reference_ctx, grad, (True, False, False, False, False)
+            )
+        return grad_x, grad_weight, grad_a, grad_b, grad_bias
+
+    # ------------------------------------------------------------------
+    # Serving-kernel hook
+    # ------------------------------------------------------------------
+    def map_blocks(
+        self, fn: Callable[[Any], Any], blocks: Sequence[Any]
+    ) -> list:
+        blocks = list(blocks)
+        if len(blocks) <= 1 or not self._can_parallelise():
+            return [fn(block) for block in blocks]
+        pool = self._executor()
+
+        def guarded(block: Any) -> Any:
+            self._in_parallel.active = True
+            try:
+                return fn(block)
+            finally:
+                self._in_parallel.active = False
+
+        return list(pool.map(guarded, blocks))
+
+    # The thread pool and locks are process-local; backends cross the worker
+    # pickle boundary by *name* (see ServeConfig / ExecutionPlan), but guard
+    # direct pickling too so a stray reference cannot poison a fork+spawn mix.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_pool_pid"] = None
+        state["_pool_lock"] = None
+        state["_in_parallel"] = None
+        state["_workspaces"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._pool_lock = threading.Lock()
+        self._in_parallel = threading.local()

@@ -1,0 +1,297 @@
+"""Reference kernel backend: the original serial numpy implementation.
+
+Every method body here is the exact arithmetic the ops in
+:mod:`repro.nn.functional` / :mod:`repro.nn.ops` executed before the backend
+registry existed — same expressions, same call order, same in-place vs
+fresh-allocation decisions — so selecting ``reference`` (the default) is
+bit-for-bit identical to the pre-registry code.  Treat this file as frozen
+ground truth: the op-db equivalence suite compares every other backend
+against it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from ..cols import col2im, conv_output_shape, im2col
+from .base import KernelBackend
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(KernelBackend):
+    """Serial numpy backend; the registry default and equivalence oracle."""
+
+    name = "reference"
+
+    # ------------------------------------------------------------------
+    # Dense products
+    # ------------------------------------------------------------------
+    def matmul(
+        self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if out is None:
+            return np.matmul(a, b)
+        return np.matmul(a, b, out=out)
+
+    def gemm(
+        self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if out is None:
+            return np.matmul(a, b)
+        return np.matmul(a, b, out=out)
+
+    # ------------------------------------------------------------------
+    # Elementwise activations (the serving-kernel step expressions)
+    # ------------------------------------------------------------------
+    def relu(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def reduce_sum(self, x: np.ndarray, axis=None) -> np.ndarray:
+        return x.sum(axis=axis)
+
+    def reduce_mean(self, x: np.ndarray, axis=None) -> np.ndarray:
+        return x.mean(axis=axis)
+
+    # ------------------------------------------------------------------
+    # Per-task linear
+    # ------------------------------------------------------------------
+    def linear_batched_forward(
+        self, x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, Any]:
+        out = np.matmul(x, weight.transpose(0, 2, 1))
+        if bias is not None:
+            out += bias[:, None, :]
+        return out, (x, weight)
+
+    def linear_batched_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool]
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        x, weight = ctx
+        needs_x, needs_weight, needs_bias = needs
+        grad_x = np.matmul(grad, weight) if needs_x else None
+        grad_weight = np.matmul(grad.transpose(0, 2, 1), x) if needs_weight else None
+        grad_bias = grad.sum(axis=1) if needs_bias else None
+        return grad_x, grad_weight, grad_bias
+
+    # ------------------------------------------------------------------
+    # Shared-base + low-rank linear
+    # ------------------------------------------------------------------
+    def linear_lowrank_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        bias: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, Any]:
+        # Base path: one shared matrix for every task (broadcast over the
+        # task axis, each slice its own fixed-shape GEMM).  Low-rank path:
+        # two rank-r products per task.
+        hidden = np.matmul(x, a.transpose(0, 2, 1))  # (T, B, r)
+        out = np.matmul(x, weight.T)
+        out += np.matmul(hidden, b.transpose(0, 2, 1))
+        if bias is not None:
+            out += bias
+        return out, (x, weight, a, b, hidden)
+
+    def linear_lowrank_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool, bool, bool]
+    ) -> Tuple[
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+    ]:
+        x, weight, a, b, hidden = ctx
+        needs_x, needs_weight, needs_a, needs_b, needs_bias = needs
+        grad_b = np.matmul(grad.transpose(0, 2, 1), hidden) if needs_b else None
+        grad_hidden = None
+        if needs_a or needs_x:
+            grad_hidden = np.matmul(grad, b)  # (T, B, r)
+        grad_a = (
+            np.matmul(grad_hidden.transpose(0, 2, 1), x) if needs_a else None
+        )
+        grad_x = None
+        if needs_x:
+            grad_x = np.matmul(grad, weight)
+            grad_x += np.matmul(grad_hidden, a)
+        grad_weight = (
+            np.einsum("tbo,tbi->oi", grad, x, optimize=True) if needs_weight else None
+        )
+        grad_bias = grad.sum(axis=(0, 1)) if needs_bias else None
+        return grad_x, grad_weight, grad_a, grad_b, grad_bias
+
+    # ------------------------------------------------------------------
+    # Per-task convolution
+    # ------------------------------------------------------------------
+    def conv2d_batched_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride,
+        padding,
+    ) -> Tuple[np.ndarray, Any]:
+        tasks, batch, in_channels, height, width = x.shape
+        _, out_channels, _, kh, kw = weight.shape
+        out_h, out_w = conv_output_shape(height, width, (kh, kw), stride, padding)
+        patch = in_channels * kh * kw
+
+        cols = im2col(
+            x.reshape(tasks * batch, in_channels, height, width), (kh, kw), stride, padding
+        )  # (T*B, OH, OW, patch)
+        cols_flat = cols.reshape(tasks, batch * out_h * out_w, patch)
+        weight_flat = weight.reshape(tasks, out_channels, patch)
+
+        out = np.matmul(cols_flat, weight_flat.transpose(0, 2, 1))  # (T, B*OH*OW, O)
+        out = out.reshape(tasks, batch, out_h, out_w, out_channels).transpose(0, 1, 4, 2, 3)
+        if bias is not None:
+            out = out + bias.reshape(tasks, 1, out_channels, 1, 1)
+        ctx = (cols_flat, weight_flat, x.shape, weight.shape, (out_h, out_w), stride, padding)
+        return out, ctx
+
+    def conv2d_batched_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool]
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        cols_flat, weight_flat, x_shape, weight_shape, (out_h, out_w), stride, padding = ctx
+        tasks, batch, in_channels, height, width = x_shape
+        _, out_channels, _, kh, kw = weight_shape
+        patch = in_channels * kh * kw
+        needs_x, needs_weight, needs_bias = needs
+
+        # grad: (T, B, O, OH, OW)
+        grad_flat = grad.transpose(0, 1, 3, 4, 2).reshape(
+            tasks, batch * out_h * out_w, out_channels
+        )
+        grad_weight = None
+        if needs_weight:
+            grad_weight = np.matmul(grad_flat.transpose(0, 2, 1), cols_flat).reshape(
+                weight_shape
+            )
+        grad_bias = grad.sum(axis=(1, 3, 4)) if needs_bias else None
+        grad_x = None
+        if needs_x:
+            grad_cols = np.matmul(grad_flat, weight_flat)  # (T, B*OH*OW, patch)
+            grad_cols = grad_cols.reshape(tasks * batch, out_h, out_w, patch)
+            grad_x = col2im(
+                grad_cols,
+                (tasks * batch, in_channels, height, width),
+                (kh, kw),
+                stride,
+                padding,
+            ).reshape(x_shape)
+        return grad_x, grad_weight, grad_bias
+
+    # ------------------------------------------------------------------
+    # Shared-base + low-rank convolution
+    # ------------------------------------------------------------------
+    def conv2d_lowrank_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride,
+        padding,
+    ) -> Tuple[np.ndarray, Any]:
+        tasks, batch, in_channels, height, width = x.shape
+        out_channels, _, kh, kw = weight.shape
+        patch = in_channels * kh * kw
+        out_h, out_w = conv_output_shape(height, width, (kh, kw), stride, padding)
+        rows = batch * out_h * out_w
+
+        cols = im2col(
+            x.reshape(tasks * batch, in_channels, height, width), (kh, kw), stride, padding
+        )  # (T*B, OH, OW, patch)
+        cols_flat = cols.reshape(tasks, rows, patch)
+        weight_flat = weight.reshape(out_channels, patch)
+
+        hidden = np.matmul(cols_flat, a.transpose(0, 2, 1))  # (T, rows, r)
+        out = np.matmul(cols_flat, weight_flat.T)  # broadcast base: (T, rows, O)
+        out += np.matmul(hidden, b.transpose(0, 2, 1))
+        out = out.reshape(tasks, batch, out_h, out_w, out_channels).transpose(0, 1, 4, 2, 3)
+        if bias is not None:
+            out = out + bias.reshape(1, 1, out_channels, 1, 1)
+        ctx = (
+            cols_flat,
+            weight_flat,
+            a,
+            b,
+            hidden,
+            x.shape,
+            weight.shape,
+            (out_h, out_w),
+            stride,
+            padding,
+        )
+        return out, ctx
+
+    def conv2d_lowrank_backward(
+        self, ctx: Any, grad: np.ndarray, needs: Tuple[bool, bool, bool, bool, bool]
+    ) -> Tuple[
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+    ]:
+        (
+            cols_flat,
+            weight_flat,
+            a,
+            b,
+            hidden,
+            x_shape,
+            weight_shape,
+            (out_h, out_w),
+            stride,
+            padding,
+        ) = ctx
+        tasks, batch, in_channels, height, width = x_shape
+        out_channels, _, kh, kw = weight_shape
+        patch = in_channels * kh * kw
+        rows = batch * out_h * out_w
+        needs_x, needs_weight, needs_a, needs_b, needs_bias = needs
+
+        # grad: (T, B, O, OH, OW)
+        grad_flat = grad.transpose(0, 1, 3, 4, 2).reshape(tasks, rows, out_channels)
+        grad_b = np.matmul(grad_flat.transpose(0, 2, 1), hidden) if needs_b else None
+        grad_hidden = None
+        if needs_a or needs_x:
+            grad_hidden = np.matmul(grad_flat, b)  # (T, rows, r)
+        grad_a = (
+            np.matmul(grad_hidden.transpose(0, 2, 1), cols_flat) if needs_a else None
+        )
+        grad_weight = None
+        if needs_weight:
+            grad_weight = np.einsum(
+                "tro,trp->op", grad_flat, cols_flat, optimize=True
+            ).reshape(weight_shape)
+        grad_bias = grad.sum(axis=(0, 1, 3, 4)) if needs_bias else None
+        grad_x = None
+        if needs_x:
+            grad_cols = np.matmul(grad_flat, weight_flat)  # (T, rows, patch)
+            grad_cols += np.matmul(grad_hidden, a)
+            grad_cols = grad_cols.reshape(tasks * batch, out_h, out_w, patch)
+            grad_x = col2im(
+                grad_cols,
+                (tasks * batch, in_channels, height, width),
+                (kh, kw),
+                stride,
+                padding,
+            ).reshape(x_shape)
+        return grad_x, grad_weight, grad_a, grad_b, grad_bias

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import backend as _backend
 from .tensor import Tensor
 
 __all__ = [
@@ -104,19 +105,29 @@ def linear_batched(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Ten
                 f"bias must have shape {(weight.shape[0], weight.shape[1])}, got {bias.shape}"
             )
 
-    out = np.matmul(x.data, weight.data.transpose(0, 2, 1))
-    if bias is not None:
-        out += bias.data[:, None, :]
+    kernel = _backend.active_for("linear_batched")
+    out, ctx = kernel.linear_batched_forward(
+        x.data, weight.data, None if bias is None else bias.data
+    )
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            x._accumulate_owned(np.matmul(grad, weight.data))
-        if weight.requires_grad:
-            weight._accumulate_owned(np.matmul(grad.transpose(0, 2, 1), x.data))
-        if bias is not None and bias.requires_grad:
-            bias._accumulate_owned(grad.sum(axis=1))
+        grad_x, grad_weight, grad_bias = kernel.linear_batched_backward(
+            ctx,
+            grad,
+            (
+                x.requires_grad,
+                weight.requires_grad,
+                bias is not None and bias.requires_grad,
+            ),
+        )
+        if grad_x is not None:
+            x._accumulate_owned(grad_x)
+        if grad_weight is not None:
+            weight._accumulate_owned(grad_weight)
+        if grad_bias is not None:
+            bias._accumulate_owned(grad_bias)
 
     return Tensor._make(out, parents, backward)
 
@@ -182,35 +193,35 @@ def linear_lowrank_batched(
         if bias.shape != (out_features,):
             raise ValueError(f"bias must have shape {(out_features,)}, got {bias.shape}")
 
-    # Base path: one shared matrix for every task (broadcast over the task
-    # axis, each slice its own fixed-shape GEMM).  Low-rank path: two
-    # rank-r products per task.
-    hidden = np.matmul(x.data, a.data.transpose(0, 2, 1))  # (T, B, r)
-    out = np.matmul(x.data, weight.data.T)
-    out += np.matmul(hidden, b.data.transpose(0, 2, 1))
-    if bias is not None:
-        out += bias.data
+    kernel = _backend.active_for("linear_lowrank_batched")
+    out, ctx = kernel.linear_lowrank_forward(
+        x.data, weight.data, a.data, b.data, None if bias is None else bias.data
+    )
 
     parents = (x, weight, a, b) if bias is None else (x, weight, a, b, bias)
 
     def backward(grad: np.ndarray) -> None:
-        if b.requires_grad:
-            b._accumulate_owned(np.matmul(grad.transpose(0, 2, 1), hidden))
-        grad_hidden = None
-        if a.requires_grad or x.requires_grad:
-            grad_hidden = np.matmul(grad, b.data)  # (T, B, r)
-        if a.requires_grad:
-            a._accumulate_owned(np.matmul(grad_hidden.transpose(0, 2, 1), x.data))
-        if x.requires_grad:
-            grad_x = np.matmul(grad, weight.data)
-            grad_x += np.matmul(grad_hidden, a.data)
+        grad_x, grad_weight, grad_a, grad_b, grad_bias = kernel.linear_lowrank_backward(
+            ctx,
+            grad,
+            (
+                x.requires_grad,
+                weight.requires_grad,
+                a.requires_grad,
+                b.requires_grad,
+                bias is not None and bias.requires_grad,
+            ),
+        )
+        if grad_b is not None:
+            b._accumulate_owned(grad_b)
+        if grad_a is not None:
+            a._accumulate_owned(grad_a)
+        if grad_x is not None:
             x._accumulate_owned(grad_x)
-        if weight.requires_grad:
-            weight._accumulate(
-                np.einsum("tbo,tbi->oi", grad, x.data, optimize=True)
-            )
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad.sum(axis=(0, 1)))
+        if grad_weight is not None:
+            weight._accumulate(grad_weight)
+        if grad_bias is not None:
+            bias._accumulate(grad_bias)
 
     return Tensor._make(out, parents, backward)
 

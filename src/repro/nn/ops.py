@@ -7,116 +7,22 @@ training of the small MARS/FUSE CNNs practical.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
-
 import numpy as np
 
+from . import backend as _backend
+from .cols import IntPair, _as_pair, col2im, conv_output_shape, im2col
 from .tensor import Tensor
 
 __all__ = [
     "im2col",
     "col2im",
+    "conv_output_shape",
     "conv2d",
     "conv2d_batched",
     "conv2d_lowrank_batched",
     "max_pool2d",
     "avg_pool2d",
 ]
-
-IntPair = Union[int, Tuple[int, int]]
-
-
-def _as_pair(value: IntPair) -> Tuple[int, int]:
-    if isinstance(value, tuple):
-        if len(value) != 2:
-            raise ValueError(f"expected a pair, got {value!r}")
-        return int(value[0]), int(value[1])
-    return int(value), int(value)
-
-
-def conv_output_shape(
-    height: int, width: int, kernel_size: IntPair, stride: IntPair, padding: IntPair
-) -> Tuple[int, int]:
-    """Spatial output shape of a 2-D convolution/pooling operation."""
-    kh, kw = _as_pair(kernel_size)
-    sh, sw = _as_pair(stride)
-    ph, pw = _as_pair(padding)
-    out_h = (height + 2 * ph - kh) // sh + 1
-    out_w = (width + 2 * pw - kw) // sw + 1
-    if out_h <= 0 or out_w <= 0:
-        raise ValueError(
-            f"convolution output would be empty for input {(height, width)}, "
-            f"kernel {kernel_size}, stride {stride}, padding {padding}"
-        )
-    return out_h, out_w
-
-
-def im2col(
-    x: np.ndarray, kernel_size: IntPair, stride: IntPair = 1, padding: IntPair = 0
-) -> np.ndarray:
-    """Rearrange image patches into columns.
-
-    Parameters
-    ----------
-    x:
-        Input of shape ``(batch, channels, height, width)``.
-
-    Returns
-    -------
-    Array of shape ``(batch, out_h, out_w, channels * kh * kw)``.
-    """
-    kh, kw = _as_pair(kernel_size)
-    sh, sw = _as_pair(stride)
-    ph, pw = _as_pair(padding)
-    batch, channels, height, width = x.shape
-    out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), (ph, pw))
-
-    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    strides = padded.strides
-    window_view = np.lib.stride_tricks.as_strided(
-        padded,
-        shape=(batch, channels, out_h, out_w, kh, kw),
-        strides=(
-            strides[0],
-            strides[1],
-            strides[2] * sh,
-            strides[3] * sw,
-            strides[2],
-            strides[3],
-        ),
-        writeable=False,
-    )
-    # (batch, out_h, out_w, channels, kh, kw) -> flatten the patch dims.
-    cols = window_view.transpose(0, 2, 3, 1, 4, 5).reshape(
-        batch, out_h, out_w, channels * kh * kw
-    )
-    return np.ascontiguousarray(cols)
-
-
-def col2im(
-    cols: np.ndarray,
-    input_shape: Tuple[int, int, int, int],
-    kernel_size: IntPair,
-    stride: IntPair = 1,
-    padding: IntPair = 0,
-) -> np.ndarray:
-    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
-    kh, kw = _as_pair(kernel_size)
-    sh, sw = _as_pair(stride)
-    ph, pw = _as_pair(padding)
-    batch, channels, height, width = input_shape
-    out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), (ph, pw))
-
-    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
-    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw), dtype=cols.dtype)
-    for i in range(kh):
-        for j in range(kw):
-            padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += cols[
-                :, :, :, :, i, j
-            ].transpose(0, 3, 1, 2)
-    if ph == 0 and pw == 0:
-        return padded
-    return padded[:, :, ph : ph + height, pw : pw + width]
 
 
 def conv2d(
@@ -220,43 +126,29 @@ def conv2d_batched(
             f"bias must have shape ({tasks}, {out_channels}), got {bias.shape}"
         )
 
-    out_h, out_w = conv_output_shape(height, width, (kh, kw), stride, padding)
-    patch = in_channels * kh * kw
-
-    cols = im2col(
-        x.data.reshape(tasks * batch, in_channels, height, width), (kh, kw), stride, padding
-    )  # (T*B, OH, OW, patch)
-    cols_flat = cols.reshape(tasks, batch * out_h * out_w, patch)
-    weight_flat = weight.data.reshape(tasks, out_channels, patch)
-
-    out = np.matmul(cols_flat, weight_flat.transpose(0, 2, 1))  # (T, B*OH*OW, O)
-    out = out.reshape(tasks, batch, out_h, out_w, out_channels).transpose(0, 1, 4, 2, 3)
-    if bias is not None:
-        out = out + bias.data.reshape(tasks, 1, out_channels, 1, 1)
+    kernel = _backend.active_for("conv2d_batched")
+    out, ctx = kernel.conv2d_batched_forward(
+        x.data, weight.data, None if bias is None else bias.data, stride, padding
+    )
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad: np.ndarray) -> None:
-        # grad: (T, B, O, OH, OW)
-        grad_flat = grad.transpose(0, 1, 3, 4, 2).reshape(
-            tasks, batch * out_h * out_w, out_channels
+        grad_x, grad_weight, grad_bias = kernel.conv2d_batched_backward(
+            ctx,
+            grad,
+            (
+                x.requires_grad,
+                weight.requires_grad,
+                bias is not None and bias.requires_grad,
+            ),
         )
-        if weight.requires_grad:
-            grad_weight = np.matmul(grad_flat.transpose(0, 2, 1), cols_flat)
-            weight._accumulate_owned(grad_weight.reshape(weight.shape))
-        if bias is not None and bias.requires_grad:
-            bias._accumulate_owned(grad.sum(axis=(1, 3, 4)))
-        if x.requires_grad:
-            grad_cols = np.matmul(grad_flat, weight_flat)  # (T, B*OH*OW, patch)
-            grad_cols = grad_cols.reshape(tasks * batch, out_h, out_w, patch)
-            grad_x = col2im(
-                grad_cols,
-                (tasks * batch, in_channels, height, width),
-                (kh, kw),
-                stride,
-                padding,
-            )
-            x._accumulate_owned(grad_x.reshape(x.shape))
+        if grad_weight is not None:
+            weight._accumulate_owned(grad_weight)
+        if grad_bias is not None:
+            bias._accumulate_owned(grad_bias)
+        if grad_x is not None:
+            x._accumulate_owned(grad_x)
 
     return Tensor._make(out, parents, backward)
 
@@ -320,51 +212,41 @@ def conv2d_lowrank_batched(
     if bias is not None and bias.shape != (out_channels,):
         raise ValueError(f"bias must have shape ({out_channels},), got {bias.shape}")
 
-    out_h, out_w = conv_output_shape(height, width, (kh, kw), stride, padding)
-    rows = batch * out_h * out_w
-
-    cols = im2col(
-        x.data.reshape(tasks * batch, in_channels, height, width), (kh, kw), stride, padding
-    )  # (T*B, OH, OW, patch)
-    cols_flat = cols.reshape(tasks, rows, patch)
-    weight_flat = weight.data.reshape(out_channels, patch)
-
-    hidden = np.matmul(cols_flat, a.data.transpose(0, 2, 1))  # (T, rows, r)
-    out = np.matmul(cols_flat, weight_flat.T)  # broadcast base: (T, rows, O)
-    out += np.matmul(hidden, b.data.transpose(0, 2, 1))
-    out = out.reshape(tasks, batch, out_h, out_w, out_channels).transpose(0, 1, 4, 2, 3)
-    if bias is not None:
-        out = out + bias.data.reshape(1, 1, out_channels, 1, 1)
+    kernel = _backend.active_for("conv2d_lowrank_batched")
+    out, ctx = kernel.conv2d_lowrank_forward(
+        x.data,
+        weight.data,
+        a.data,
+        b.data,
+        None if bias is None else bias.data,
+        stride,
+        padding,
+    )
 
     parents = (x, weight, a, b) if bias is None else (x, weight, a, b, bias)
 
     def backward(grad: np.ndarray) -> None:
-        # grad: (T, B, O, OH, OW)
-        grad_flat = grad.transpose(0, 1, 3, 4, 2).reshape(tasks, rows, out_channels)
-        if b.requires_grad:
-            b._accumulate_owned(np.matmul(grad_flat.transpose(0, 2, 1), hidden))
-        grad_hidden = None
-        if a.requires_grad or x.requires_grad:
-            grad_hidden = np.matmul(grad_flat, b.data)  # (T, rows, r)
-        if a.requires_grad:
-            a._accumulate_owned(np.matmul(grad_hidden.transpose(0, 2, 1), cols_flat))
-        if weight.requires_grad:
-            grad_weight = np.einsum("tro,trp->op", grad_flat, cols_flat, optimize=True)
-            weight._accumulate(grad_weight.reshape(weight.shape))
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad.sum(axis=(0, 1, 3, 4)))
-        if x.requires_grad:
-            grad_cols = np.matmul(grad_flat, weight_flat)  # (T, rows, patch)
-            grad_cols += np.matmul(grad_hidden, a.data)
-            grad_cols = grad_cols.reshape(tasks * batch, out_h, out_w, patch)
-            grad_x = col2im(
-                grad_cols,
-                (tasks * batch, in_channels, height, width),
-                (kh, kw),
-                stride,
-                padding,
-            )
-            x._accumulate_owned(grad_x.reshape(x.shape))
+        grad_x, grad_weight, grad_a, grad_b, grad_bias = kernel.conv2d_lowrank_backward(
+            ctx,
+            grad,
+            (
+                x.requires_grad,
+                weight.requires_grad,
+                a.requires_grad,
+                b.requires_grad,
+                bias is not None and bias.requires_grad,
+            ),
+        )
+        if grad_b is not None:
+            b._accumulate_owned(grad_b)
+        if grad_a is not None:
+            a._accumulate_owned(grad_a)
+        if grad_weight is not None:
+            weight._accumulate(grad_weight)
+        if grad_bias is not None:
+            bias._accumulate(grad_bias)
+        if grad_x is not None:
+            x._accumulate_owned(grad_x)
 
     return Tensor._make(out, parents, backward)
 

@@ -64,6 +64,13 @@ class ServeConfig:
         budgets.  ``None`` falls back to the server's legacy ``adaptation``
         kwarg (or the default all-scope policy) — existing call sites keep
         working unchanged.
+    kernel_backend:
+        Optional kernel-backend name from the :mod:`repro.nn.backend`
+        registry used by the server's shared-parameter kernels.  ``None``
+        defers to the process default (``REPRO_KERNEL_BACKEND`` environment
+        variable or ``reference``).  Because :class:`ServeConfig` crosses
+        the worker pickle boundary inside :class:`repro.serve.ShardFactory`,
+        shard processes inherit the parent's selection automatically.
     """
 
     max_batch_size: int = 32
@@ -74,6 +81,7 @@ class ServeConfig:
     max_sessions: int = 1024
     gemm_block: Optional[int] = None
     adapter: Optional[AdapterPolicy] = None
+    kernel_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -90,6 +98,14 @@ class ServeConfig:
             raise ValueError("max_sessions must be >= 1")
         if self.gemm_block is not None and self.gemm_block < 2:
             raise ValueError("gemm_block must be >= 2 (width-1 GEMMs hit the gemv kernel)")
+        if self.kernel_backend is not None:
+            from repro.nn import backend as _kernel_backends
+
+            if self.kernel_backend not in _kernel_backends.available_backends():
+                raise ValueError(
+                    f"unknown kernel backend '{self.kernel_backend}'; registered "
+                    f"backends: {', '.join(sorted(_kernel_backends.available_backends()))}"
+                )
 
     @property
     def max_delay_s(self) -> float:

@@ -21,6 +21,15 @@ only on its own features — not on how many co-riders shared the block, which
 slot it occupied, or what the padding contained.  This is verified bitwise by
 ``tests/serve/test_replay_equivalence.py``.
 
+The arithmetic executes through a :class:`repro.nn.backend.KernelBackend`
+(default: whatever is active in the registry).  Backends with
+``parallelism > 1`` fan independent blocks out over threads — every block is
+computed with identical GEMM shapes, so the result bits stay independent of
+which thread ran which block and the batch-invariance contract holds
+per backend.  Within one backend, batched replay remains bitwise identical
+to unbatched; across backends results are numerically equivalent within the
+op-db suite's pinned tolerances.
+
 The kernel is inference-only (no autograd) and holds its own contiguous copy
 of the shared parameters, so serving never races with training code mutating
 the live model.  Per-user *adapted* parameters take the task-batched
@@ -30,11 +39,13 @@ construction.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from .. import nn
+from ..nn import backend as _kernel_backends
+from ..nn.backend import KernelBackend
 from ..nn.ops import conv_output_shape, im2col
 
 __all__ = ["SharedParameterKernel"]
@@ -43,7 +54,13 @@ __all__ = ["SharedParameterKernel"]
 class _ConvStep:
     """One convolution lowered to a fixed-shape matrix product."""
 
-    def __init__(self, layer: nn.Conv2d, weight: np.ndarray, bias: Optional[np.ndarray]) -> None:
+    def __init__(
+        self,
+        layer: nn.Conv2d,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        backend: KernelBackend,
+    ) -> None:
         out_channels = weight.shape[0]
         self.kernel_size = weight.shape[2], weight.shape[3]
         self.stride = layer.stride
@@ -51,17 +68,25 @@ class _ConvStep:
         # (patch, out_channels), contiguous so the GEMM reads it linearly.
         self.weight_flat = np.ascontiguousarray(weight.reshape(out_channels, -1).T)
         self.bias = None if bias is None else np.ascontiguousarray(bias)
+        self.backend = backend
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
+    def _base(self, x: np.ndarray):
         block = x.shape[0]
         out_h, out_w = conv_output_shape(
             x.shape[2], x.shape[3], self.kernel_size, self.stride, self.padding
         )
         cols = im2col(x, self.kernel_size, self.stride, self.padding)
         flat = cols.reshape(block * out_h * out_w, -1)
-        out = flat @ self.weight_flat
+        workspace = self.backend.workspace(
+            (id(self), "out"), (flat.shape[0], self.weight_flat.shape[1]), flat.dtype
+        )
+        out = self.backend.gemm(flat, self.weight_flat, out=workspace)
         if self.bias is not None:
             out += self.bias
+        return out, flat, block, out_h, out_w
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out, _, block, out_h, out_w = self._base(x)
         return np.ascontiguousarray(
             out.reshape(block, out_h, out_w, -1).transpose(0, 3, 1, 2)
         )
@@ -74,19 +99,11 @@ class _ConvStep:
         matmuls whose shapes never depend on the batch, so the sum stays
         batch-invariant frame by frame.
         """
-        block = x.shape[0]
-        out_h, out_w = conv_output_shape(
-            x.shape[2], x.shape[3], self.kernel_size, self.stride, self.padding
-        )
-        cols = im2col(x, self.kernel_size, self.stride, self.padding)
-        flat = cols.reshape(block * out_h * out_w, -1)
-        out = flat @ self.weight_flat
-        if self.bias is not None:
-            out += self.bias
+        out, flat, block, out_h, out_w = self._base(x)
         cols3 = flat.reshape(block, out_h * out_w, -1)
-        hidden = np.matmul(cols3, a.transpose(0, 2, 1))  # (block, oh*ow, r)
+        hidden = self.backend.matmul(cols3, a.transpose(0, 2, 1))  # (block, oh*ow, r)
         out3 = out.reshape(block, out_h * out_w, -1)
-        out3 += np.matmul(hidden, b.transpose(0, 2, 1))
+        out3 += self.backend.matmul(hidden, b.transpose(0, 2, 1))
         return np.ascontiguousarray(
             out3.reshape(block, out_h, out_w, -1).transpose(0, 3, 1, 2)
         )
@@ -95,39 +112,56 @@ class _ConvStep:
 class _LinearStep:
     """One fully connected layer computed transposed (batch on the N axis)."""
 
-    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray]) -> None:
+    def __init__(
+        self, weight: np.ndarray, bias: Optional[np.ndarray], backend: KernelBackend
+    ) -> None:
         self.weight = np.ascontiguousarray(weight)  # (out_features, in_features)
         self.bias = None if bias is None else np.ascontiguousarray(bias)
+        self.backend = backend
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        out_t = self.weight @ np.ascontiguousarray(x).T  # (out_features, block)
+    def _base(self, x: np.ndarray) -> np.ndarray:
+        x_t = np.ascontiguousarray(x).T
+        workspace = self.backend.workspace(
+            (id(self), "out"), (self.weight.shape[0], x_t.shape[1]), x_t.dtype
+        )
+        out_t = self.backend.gemm(self.weight, x_t, out=workspace)  # (out_features, block)
         if self.bias is not None:
             out_t += self.bias[:, None]
-        return out_t.T
+        return out_t
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self._base(x).T
 
     def lowrank(self, x: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """The base product plus a per-frame rank-r delta (see _ConvStep)."""
-        out_t = self.weight @ np.ascontiguousarray(x).T
-        if self.bias is not None:
-            out_t += self.bias[:, None]
-        hidden = np.matmul(x[:, None, :], a.transpose(0, 2, 1))  # (block, 1, r)
-        delta = np.matmul(hidden, b.transpose(0, 2, 1))[:, 0]  # (block, out)
+        out_t = self._base(x)
+        hidden = self.backend.matmul(x[:, None, :], a.transpose(0, 2, 1))  # (block, 1, r)
+        delta = self.backend.matmul(hidden, b.transpose(0, 2, 1))[:, 0]  # (block, out)
         return out_t.T + delta
 
 
 class _ReluStep:
+    def __init__(self, backend: KernelBackend) -> None:
+        self.backend = backend
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return np.maximum(x, 0.0)
+        return self.backend.relu(x)
 
 
 class _TanhStep:
+    def __init__(self, backend: KernelBackend) -> None:
+        self.backend = backend
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return np.tanh(x)
+        return self.backend.tanh(x)
 
 
 class _SigmoidStep:
+    def __init__(self, backend: KernelBackend) -> None:
+        self.backend = backend
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return 1.0 / (1.0 + np.exp(-x))
+        return self.backend.sigmoid(x)
 
 
 class _FlattenStep:
@@ -151,6 +185,10 @@ class SharedParameterKernel:
         Fixed GEMM block width.  Must be >= 2: single-column products fall
         into BLAS's ``gemv`` fast path, whose reduction order differs from
         the blocked ``gemm`` kernel and would break batch invariance.
+    backend:
+        Kernel backend: a registry name, a :class:`KernelBackend` instance,
+        or ``None`` for the currently active backend (the process default or
+        the innermost ``nn.use_backend`` scope at construction time).
     """
 
     def __init__(
@@ -158,10 +196,13 @@ class SharedParameterKernel:
         module: nn.Module,
         parameters: Optional[Sequence[np.ndarray]] = None,
         block: int = 32,
+        backend: Union[None, str, KernelBackend] = None,
     ) -> None:
         if block < 2:
             raise ValueError("block must be >= 2 for batch-invariant GEMM shapes")
         self.block = block
+        self.backend = _kernel_backends.resolve_backend(backend)
+        self.backend_name = self.backend.name
         if parameters is None:
             parameters = [param.data for param in module.parameters()]
         expected = sum(1 for _ in module.parameters())
@@ -188,22 +229,22 @@ class SharedParameterKernel:
         if isinstance(module, nn.Conv2d):
             weight = params.pop(0)
             bias = params.pop(0) if module.bias is not None else None
-            self._steps.append(_ConvStep(module, weight, bias))
+            self._steps.append(_ConvStep(module, weight, bias, self.backend))
             return params
         if isinstance(module, nn.Linear):
             weight = params.pop(0)
             bias = params.pop(0) if module.bias is not None else None
-            self._steps.append(_LinearStep(weight, bias))
+            self._steps.append(_LinearStep(weight, bias, self.backend))
             self._out_features = int(weight.shape[0])
             return params
         if isinstance(module, nn.ReLU):
-            self._steps.append(_ReluStep())
+            self._steps.append(_ReluStep(self.backend))
             return params
         if isinstance(module, nn.Tanh):
-            self._steps.append(_TanhStep())
+            self._steps.append(_TanhStep(self.backend))
             return params
         if isinstance(module, nn.Sigmoid):
-            self._steps.append(_SigmoidStep())
+            self._steps.append(_SigmoidStep(self.backend))
             return params
         if isinstance(module, nn.Flatten):
             self._steps.append(_FlattenStep())
@@ -233,7 +274,9 @@ class SharedParameterKernel:
 
         The batch is processed in zero-padded blocks of exactly
         :attr:`block` frames so every GEMM shape — and therefore every
-        frame's bit pattern — is independent of the batch size.
+        frame's bit pattern — is independent of the batch size.  Parallel
+        backends compute independent blocks on different threads; the block
+        shapes (and hence the bits) do not depend on the thread assignment.
         """
         features = np.asarray(features, dtype=float)
         if features.ndim != 4:
@@ -245,15 +288,27 @@ class SharedParameterKernel:
             if self._out_features is None:
                 raise ValueError("cannot infer output width of an empty batch")
             return np.zeros((0, self._out_features))
-        outputs: List[np.ndarray] = []
-        buffer = np.zeros((self.block, *features.shape[1:]))
-        for start in range(0, total, self.block):
-            chunk = features[start : start + self.block]
-            valid = chunk.shape[0]
-            buffer[:valid] = chunk
-            if valid < self.block:
-                buffer[valid:] = 0.0
-            outputs.append(self._run_block(buffer)[:valid].copy())
+        starts = list(range(0, total, self.block))
+        if len(starts) > 1 and self.backend.parallelism > 1:
+
+            def run(start: int) -> np.ndarray:
+                chunk = features[start : start + self.block]
+                valid = chunk.shape[0]
+                block_buffer = np.zeros((self.block, *features.shape[1:]))
+                block_buffer[:valid] = chunk
+                return self._run_block(block_buffer)[:valid].copy()
+
+            outputs = self.backend.map_blocks(run, starts)
+        else:
+            outputs = []
+            buffer = np.zeros((self.block, *features.shape[1:]))
+            for start in starts:
+                chunk = features[start : start + self.block]
+                valid = chunk.shape[0]
+                buffer[:valid] = chunk
+                if valid < self.block:
+                    buffer[valid:] = 0.0
+                outputs.append(self._run_block(buffer)[:valid].copy())
         return np.concatenate(outputs, axis=0)
 
     def predict_lowrank(
@@ -294,20 +349,37 @@ class SharedParameterKernel:
             if self._out_features is None:
                 raise ValueError("cannot infer output width of an empty batch")
             return np.zeros((0, self._out_features))
-        outputs: List[np.ndarray] = []
-        buffer = np.zeros((self.block, *features.shape[1:]))
-        padded = [np.zeros((self.block, *array.shape[1:])) for array in arrays]
-        for start in range(0, total, self.block):
-            chunk = features[start : start + self.block]
-            valid = chunk.shape[0]
-            buffer[:valid] = chunk
-            if valid < self.block:
-                buffer[valid:] = 0.0
-            for slot, array in enumerate(arrays):
-                padded[slot][:valid] = array[start : start + valid]
+        starts = list(range(0, total, self.block))
+        if len(starts) > 1 and self.backend.parallelism > 1:
+
+            def run(start: int) -> np.ndarray:
+                chunk = features[start : start + self.block]
+                valid = chunk.shape[0]
+                block_buffer = np.zeros((self.block, *features.shape[1:]))
+                block_buffer[:valid] = chunk
+                block_factors = []
+                for array in arrays:
+                    padded_slot = np.zeros((self.block, *array.shape[1:]))
+                    padded_slot[:valid] = array[start : start + valid]
+                    block_factors.append(padded_slot)
+                return self._run_block_lowrank(block_buffer, block_factors)[:valid].copy()
+
+            outputs = self.backend.map_blocks(run, starts)
+        else:
+            outputs = []
+            buffer = np.zeros((self.block, *features.shape[1:]))
+            padded = [np.zeros((self.block, *array.shape[1:])) for array in arrays]
+            for start in starts:
+                chunk = features[start : start + self.block]
+                valid = chunk.shape[0]
+                buffer[:valid] = chunk
                 if valid < self.block:
-                    padded[slot][valid:] = 0.0
-            outputs.append(self._run_block_lowrank(buffer, padded)[:valid].copy())
+                    buffer[valid:] = 0.0
+                for slot, array in enumerate(arrays):
+                    padded[slot][:valid] = array[start : start + valid]
+                    if valid < self.block:
+                        padded[slot][valid:] = 0.0
+                outputs.append(self._run_block_lowrank(buffer, padded)[:valid].copy())
         return np.concatenate(outputs, axis=0)
 
     def _run_block_lowrank(self, x: np.ndarray, factors: Sequence[np.ndarray]) -> np.ndarray:

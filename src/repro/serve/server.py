@@ -132,9 +132,12 @@ class PoseServer:
             policy=self.policy,
             metrics=self.metrics,
             gemm_block=self.config.block_width,
+            kernel_backend=self.config.kernel_backend,
         )
         self.kernel = SharedParameterKernel(
-            estimator.model, block=self.config.block_width
+            estimator.model,
+            block=self.config.block_width,
+            backend=self.config.kernel_backend,
         )
         self._batcher = MicroBatcher(self.config, metrics=self.metrics)
         self._sequence = 0

@@ -156,3 +156,51 @@ class TestMetaTrainer:
             "validation_mae_cm",
             "validation_iterations",
         }
+
+
+class TestShardedMetaTraining:
+    """``plan.workers`` shards the task loop over processes without moving a bit."""
+
+    @pytest.mark.parametrize("algorithm", ["fomaml", "reptile"])
+    def test_sharded_training_is_bitwise_identical_to_serial(self, algorithm):
+        from repro.engine import BatchPlan
+
+        config = MetaLearningConfig(
+            meta_iterations=3,
+            tasks_per_batch=4,
+            support_size=16,
+            query_size=16,
+            algorithm=algorithm,
+        )
+        data = toy_data()
+        results = {}
+        for workers in (1, 2):
+            model = small_model(seed=7)
+            history = MetaTrainer(model, config, BatchPlan().with_workers(workers)).meta_train(
+                data
+            )
+            results[workers] = (
+                [p.data.copy() for p in model.parameters()],
+                list(history.query_loss),
+                list(history.support_loss),
+            )
+        serial_params, serial_query, serial_support = results[1]
+        sharded_params, sharded_query, sharded_support = results[2]
+        assert serial_query == sharded_query
+        assert serial_support == sharded_support
+        for serial, sharded in zip(serial_params, sharded_params):
+            np.testing.assert_array_equal(serial, sharded)
+
+    def test_plan_kernel_backend_is_honoured_and_close_to_reference(self):
+        from repro.engine import BatchPlan
+
+        config = MetaLearningConfig(
+            meta_iterations=2, tasks_per_batch=2, support_size=16, query_size=16
+        )
+        data = toy_data(96)
+        reference_model = small_model(seed=5)
+        MetaTrainer(reference_model, config, BatchPlan()).meta_train(data)
+        fast_model = small_model(seed=5)
+        MetaTrainer(fast_model, config, BatchPlan(kernel_backend="fast")).meta_train(data)
+        for ref, fast in zip(reference_model.parameters(), fast_model.parameters()):
+            np.testing.assert_allclose(ref.data, fast.data, rtol=1e-9, atol=1e-11)

@@ -1,0 +1,345 @@
+"""Op-database equivalence suite: every registered kernel backend vs reference.
+
+Every op the :mod:`repro.nn.backend` interface exposes is exercised over a
+table of (shape x dtype x input layout) cases, and every registered backend
+other than ``reference`` is compared against the ``reference`` answer —
+forward values *and* every gradient the fused ops produce.  Backends whose
+dependency is absent in this environment (e.g. ``compiled`` without numba)
+are skipped with the registry's own unavailability message, never silently
+dropped from the table.
+
+Tolerances are pinned per dtype: float64 comparisons allow only reassociation
+-level error (threaded backends split reductions), float32 proportionally
+more.  The ``reference`` backend itself is *not* compared against anything
+here — its bit-for-bit agreement with the pre-registry code is what the rest
+of the test suite pins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import backend as kb
+
+REFERENCE = kb.get_backend("reference")
+
+#: Pinned per-dtype comparison tolerances of the equivalence suite.
+TOLERANCES = {
+    "float64": {"rtol": 1e-9, "atol": 1e-12},
+    "float32": {"rtol": 1e-4, "atol": 1e-6},
+}
+
+DTYPES = ("float64", "float32")
+
+
+def _backend_params():
+    """One pytest param per non-reference registered backend.
+
+    Unavailable backends become skip-marked params so the suite's collected
+    table always shows the full registry.
+    """
+    params = []
+    for name in kb.available_backends():
+        if name == "reference":
+            continue
+        marks = ()
+        try:
+            kb.get_backend(name)
+        except kb.BackendUnavailableError as error:
+            marks = (pytest.mark.skip(reason=str(error)),)
+        params.append(pytest.param(name, id=name, marks=marks))
+    return params
+
+
+BACKENDS = _backend_params()
+
+
+def _as_layout(array: np.ndarray, layout: str) -> np.ndarray:
+    """Materialize an input in the requested memory layout (values unchanged)."""
+    if layout == "planar":
+        return np.ascontiguousarray(array)
+    return np.asfortranarray(array)
+
+
+def _close(actual, expected, dtype: str) -> None:
+    np.testing.assert_allclose(actual, expected, **TOLERANCES[dtype])
+
+
+def _draw(rng, shape, dtype: str) -> np.ndarray:
+    return rng.normal(size=shape).astype(dtype)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return kb.get_backend(request.param)
+
+
+# ----------------------------------------------------------------------
+# Dense products
+# ----------------------------------------------------------------------
+class TestGemm:
+    SHAPES = [(1, 1, 1), (3, 4, 5), (16, 8, 32), (64, 48, 24), (7, 1, 9)]
+
+    @pytest.mark.parametrize("m,k,n", SHAPES)
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("layout", kb.LAYOUTS)
+    def test_matches_reference(self, backend, rng, m, k, n, dtype, layout):
+        a = _as_layout(_draw(rng, (m, k), dtype), layout)
+        b = _as_layout(_draw(rng, (k, n), dtype), layout)
+        _close(backend.gemm(a, b), REFERENCE.gemm(a, b), dtype)
+
+    def test_out_buffer_is_used_and_returned(self, backend, rng):
+        a, b = rng.normal(size=(6, 4)), rng.normal(size=(4, 5))
+        out = np.empty((6, 5))
+        result = backend.gemm(a, b, out=out)
+        assert result is out
+        _close(out, REFERENCE.gemm(a, b), "float64")
+
+    def test_deterministic_across_calls(self, backend, rng):
+        """Repeat calls yield identical bits (thread splits are pinned)."""
+        a, b = rng.normal(size=(33, 17)), rng.normal(size=(17, 29))
+        np.testing.assert_array_equal(backend.gemm(a, b), backend.gemm(a, b))
+
+
+class TestMatmul:
+    @pytest.mark.parametrize(
+        "a_shape,b_shape",
+        [
+            ((4, 5), (5, 3)),  # 2-D degenerates to gemm
+            ((3, 4, 5), (3, 5, 2)),  # per-task stacked product
+            ((6, 2, 8), (8, 3)),  # broadcast 2-D rhs
+            ((2, 3, 4, 5), (2, 3, 5, 1)),  # >3-D falls through to numpy
+        ],
+    )
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_matches_reference(self, backend, rng, a_shape, b_shape, dtype):
+        a = _draw(rng, a_shape, dtype)
+        b = _draw(rng, b_shape, dtype)
+        _close(backend.matmul(a, b), REFERENCE.matmul(a, b), dtype)
+
+    def test_broadcast_rhs_with_mismatched_leading_dim(self, backend, rng):
+        """(1, m, k) @ (T, k, n) broadcasts the lhs — no task-axis split applies."""
+        a = rng.normal(size=(1, 4, 6))
+        b = rng.normal(size=(5, 6, 3))
+        _close(backend.matmul(a, b), REFERENCE.matmul(a, b), "float64")
+
+
+# ----------------------------------------------------------------------
+# Elementwise activations and reductions
+# ----------------------------------------------------------------------
+class TestElementwise:
+    SHAPES = [(1,), (7,), (3, 4), (2, 3, 4, 5), (4, 1024)]
+
+    @pytest.mark.parametrize("op", ["relu", "tanh", "sigmoid"])
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_matches_reference(self, backend, rng, op, shape, dtype):
+        x = _draw(rng, shape, dtype)
+        _close(getattr(backend, op)(x), getattr(REFERENCE, op)(x), dtype)
+
+    @pytest.mark.parametrize("op", ["relu", "tanh", "sigmoid"])
+    def test_does_not_mutate_input(self, backend, rng, op):
+        x = rng.normal(size=(5, 6))
+        before = x.copy()
+        getattr(backend, op)(x)
+        np.testing.assert_array_equal(x, before)
+
+
+class TestReductions:
+    @pytest.mark.parametrize("op", ["reduce_sum", "reduce_mean"])
+    @pytest.mark.parametrize("axis", [None, 0, 1, (0, 1)])
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_matches_reference(self, backend, rng, op, axis, dtype):
+        x = _draw(rng, (6, 7, 8), dtype)
+        _close(
+            getattr(backend, op)(x, axis=axis),
+            getattr(REFERENCE, op)(x, axis=axis),
+            dtype,
+        )
+
+
+# ----------------------------------------------------------------------
+# Fused batched ops: forward + every gradient
+# ----------------------------------------------------------------------
+class TestLinearBatched:
+    CASES = [(1, 1, 3, 2), (2, 4, 6, 5), (3, 2, 8, 8), (5, 16, 24, 12)]
+
+    @pytest.mark.parametrize("tasks,batch,features_in,features_out", CASES)
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("layout", kb.LAYOUTS)
+    def test_forward_and_gradients(
+        self, backend, rng, tasks, batch, features_in, features_out, dtype, layout
+    ):
+        x = _as_layout(_draw(rng, (tasks, batch, features_in), dtype), layout)
+        weight = _as_layout(_draw(rng, (tasks, features_out, features_in), dtype), layout)
+        bias = _draw(rng, (tasks, features_out), dtype)
+        grad = _draw(rng, (tasks, batch, features_out), dtype)
+        needs = (True, True, True)
+
+        out, ctx = backend.linear_batched_forward(x, weight, bias)
+        ref_out, ref_ctx = REFERENCE.linear_batched_forward(x, weight, bias)
+        _close(out, ref_out, dtype)
+
+        grads = backend.linear_batched_backward(ctx, grad, needs)
+        ref_grads = REFERENCE.linear_batched_backward(ref_ctx, grad, needs)
+        for got, want in zip(grads, ref_grads):
+            _close(got, want, dtype)
+
+    def test_no_bias_and_partial_needs(self, backend, rng):
+        x = rng.normal(size=(2, 3, 4))
+        weight = rng.normal(size=(2, 5, 4))
+        grad = rng.normal(size=(2, 3, 5))
+        out, ctx = backend.linear_batched_forward(x, weight, None)
+        ref_out, ref_ctx = REFERENCE.linear_batched_forward(x, weight, None)
+        _close(out, ref_out, "float64")
+        gx, gweight, gbias = backend.linear_batched_backward(ctx, grad, (True, False, False))
+        assert gweight is None and gbias is None
+        ref_gx, _, _ = REFERENCE.linear_batched_backward(ref_ctx, grad, (True, False, False))
+        _close(gx, ref_gx, "float64")
+
+
+class TestLinearLowRank:
+    CASES = [(1, 1, 3, 2, 1), (2, 4, 6, 5, 2), (3, 2, 8, 8, 4), (4, 8, 16, 12, 3)]
+
+    @pytest.mark.parametrize("tasks,batch,features_in,features_out,rank", CASES)
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_forward_and_gradients(
+        self, backend, rng, tasks, batch, features_in, features_out, rank, dtype
+    ):
+        x = _draw(rng, (tasks, batch, features_in), dtype)
+        weight = _draw(rng, (features_out, features_in), dtype)
+        a = _draw(rng, (tasks, rank, features_in), dtype)
+        b = _draw(rng, (tasks, features_out, rank), dtype)
+        bias = _draw(rng, (features_out,), dtype)
+        grad = _draw(rng, (tasks, batch, features_out), dtype)
+        needs = (True, True, True, True, True)
+
+        out, ctx = backend.linear_lowrank_forward(x, weight, a, b, bias)
+        ref_out, ref_ctx = REFERENCE.linear_lowrank_forward(x, weight, a, b, bias)
+        _close(out, ref_out, dtype)
+
+        grads = backend.linear_lowrank_backward(ctx, grad, needs)
+        ref_grads = REFERENCE.linear_lowrank_backward(ref_ctx, grad, needs)
+        for got, want in zip(grads, ref_grads):
+            _close(got, want, dtype)
+
+
+class TestConv2dBatched:
+    # (tasks, batch, c_in, h, w, c_out, kernel, stride, padding); the last
+    # case satisfies out_channels * 4 <= c_in * kh * kw, steering the fast
+    # backend down its blocked-layout (transposed GEMM + reorder) path.
+    CASES = [
+        (1, 1, 1, 5, 5, 2, 3, 1, 0),
+        (2, 2, 3, 6, 6, 4, 3, 1, 1),
+        (3, 2, 2, 8, 7, 5, 2, 2, 0),
+        (2, 3, 8, 9, 9, 4, 3, 1, 1),
+    ]
+
+    @pytest.mark.parametrize("tasks,batch,c_in,h,w,c_out,kernel,stride,padding", CASES)
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_forward_and_gradients(
+        self, backend, rng, tasks, batch, c_in, h, w, c_out, kernel, stride, padding, dtype
+    ):
+        x = _draw(rng, (tasks, batch, c_in, h, w), dtype)
+        weight = _draw(rng, (tasks, c_out, c_in, kernel, kernel), dtype)
+        bias = _draw(rng, (tasks, c_out), dtype)
+        needs = (True, True, True)
+
+        out, ctx = backend.conv2d_batched_forward(x, weight, bias, stride, padding)
+        ref_out, ref_ctx = REFERENCE.conv2d_batched_forward(x, weight, bias, stride, padding)
+        _close(out, ref_out, dtype)
+
+        grad = _draw(rng, out.shape, dtype)
+        grads = backend.conv2d_batched_backward(ctx, grad, needs)
+        ref_grads = REFERENCE.conv2d_batched_backward(ref_ctx, grad, needs)
+        for got, want in zip(grads, ref_grads):
+            _close(got, want, dtype)
+
+
+class TestConv2dLowRank:
+    CASES = [
+        (1, 1, 1, 5, 5, 2, 3, 1, 0, 1),
+        (2, 2, 3, 6, 6, 4, 3, 1, 1, 2),
+        (2, 3, 8, 9, 9, 4, 3, 1, 1, 3),
+    ]
+
+    @pytest.mark.parametrize(
+        "tasks,batch,c_in,h,w,c_out,kernel,stride,padding,rank", CASES
+    )
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_forward_and_gradients(
+        self, backend, rng, tasks, batch, c_in, h, w, c_out, kernel, stride, padding, rank, dtype
+    ):
+        patch = c_in * kernel * kernel
+        x = _draw(rng, (tasks, batch, c_in, h, w), dtype)
+        weight = _draw(rng, (c_out, c_in, kernel, kernel), dtype)
+        a = _draw(rng, (tasks, rank, patch), dtype)
+        b = _draw(rng, (tasks, c_out, rank), dtype)
+        bias = _draw(rng, (c_out,), dtype)
+        needs = (True, True, True, True, True)
+
+        out, ctx = backend.conv2d_lowrank_forward(x, weight, a, b, bias, stride, padding)
+        ref_out, ref_ctx = REFERENCE.conv2d_lowrank_forward(
+            x, weight, a, b, bias, stride, padding
+        )
+        _close(out, ref_out, dtype)
+
+        grad = _draw(rng, out.shape, dtype)
+        grads = backend.conv2d_lowrank_backward(ctx, grad, needs)
+        ref_grads = REFERENCE.conv2d_lowrank_backward(ref_ctx, grad, needs)
+        for got, want in zip(grads, ref_grads):
+            _close(got, want, dtype)
+
+
+# ----------------------------------------------------------------------
+# Serving hook and workspace semantics
+# ----------------------------------------------------------------------
+class TestMapBlocks:
+    def test_preserves_order_and_values(self, backend):
+        blocks = list(range(23))
+        assert backend.map_blocks(lambda i: i * i, blocks) == [i * i for i in blocks]
+
+    def test_nested_ops_inside_blocks(self, backend, rng):
+        """Blocks that themselves call backend GEMMs must not deadlock."""
+        a = rng.normal(size=(8, 6))
+        b = rng.normal(size=(6, 4))
+        results = backend.map_blocks(lambda _: backend.gemm(a, b), range(4))
+        for result in results:
+            _close(result, REFERENCE.gemm(a, b), "float64")
+
+
+class TestWorkspace:
+    def test_reference_always_allocates_fresh(self):
+        assert REFERENCE.workspace("tag", (3, 3), np.dtype(np.float64)) is None
+
+    def test_workspace_contract(self, backend):
+        """A backend either declines (None) or returns a matching buffer."""
+        buffer = backend.workspace("op-db", (4, 5), np.dtype(np.float64))
+        if buffer is not None:
+            assert buffer.shape == (4, 5) and buffer.dtype == np.float64
+            again = backend.workspace("op-db", (4, 5), np.dtype(np.float64))
+            assert again is buffer, "same tag+shape+dtype must reuse the buffer"
+
+
+class TestLayoutHelpers:
+    def test_layout_of_classifies(self, rng):
+        planar = rng.normal(size=(3, 4))
+        assert kb.layout_of(planar) == "planar"
+        assert kb.layout_of(np.asfortranarray(planar)) == "blocked"
+        assert kb.layout_of(np.zeros((6, 6))[::2, ::2]) == "strided"
+
+    def test_to_layout_round_trip(self, rng):
+        planar = rng.normal(size=(3, 4))
+        blocked = kb.to_layout(planar, "blocked")
+        assert blocked.flags["F_CONTIGUOUS"]
+        np.testing.assert_array_equal(blocked, planar)
+        back = kb.to_layout(blocked, "planar")
+        assert back.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(back, planar)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            kb.layout_of(np.zeros(3))
+        with pytest.raises(ValueError):
+            kb.to_layout(np.zeros((2, 2)), "tiled")

@@ -1,0 +1,195 @@
+"""Behavioural tests of the kernel-backend registry and selection precedence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import backend as kb
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    """Isolate selection state: env var cleared, process default restored."""
+    monkeypatch.delenv(kb.ENV_VAR, raising=False)
+    yield
+    kb.set_default_backend(None)
+
+
+class TestRegistry:
+    def test_shipped_backends_registered_in_order(self):
+        assert kb.available_backends()[:3] == ("reference", "fast", "compiled")
+
+    def test_get_backend_caches_instances(self):
+        assert kb.get_backend("reference") is kb.get_backend("reference")
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="unknown kernel backend 'turbo'"):
+            kb.get_backend("turbo")
+        with pytest.raises(ValueError, match="reference"):
+            kb.get_backend("turbo")
+
+    def test_reregistering_requires_replace(self):
+        with pytest.raises(ValueError, match="already registered"):
+            kb.register_backend("reference", kb.ReferenceBackend)
+
+    def test_register_replace_and_restore(self):
+        class Marked(kb.ReferenceBackend):
+            name = "reference"
+            marked = True
+
+        kb.register_backend("reference", Marked, replace=True)
+        try:
+            assert getattr(kb.get_backend("reference"), "marked", False)
+        finally:
+            kb.register_backend("reference", kb.ReferenceBackend, replace=True)
+        assert not getattr(kb.get_backend("reference"), "marked", False)
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            kb.register_backend("", kb.ReferenceBackend)
+        with pytest.raises(ValueError):
+            kb.register_backend(None, kb.ReferenceBackend)  # type: ignore[arg-type]
+
+    def test_importable_excludes_unavailable(self):
+        importable = kb.importable_backends()
+        assert "reference" in importable and "fast" in importable
+        if not kb.CompiledBackend.is_available():
+            assert "compiled" not in importable
+
+    @pytest.mark.skipif(
+        kb.CompiledBackend.is_available(), reason="numba present: backend importable"
+    )
+    def test_unavailable_backend_error_names_the_extras(self):
+        with pytest.raises(kb.BackendUnavailableError, match=r"fuse-repro\[compiled\]"):
+            kb.get_backend("compiled")
+
+
+class TestSelectionPrecedence:
+    def test_default_is_reference(self):
+        assert kb.default_backend() == "reference"
+        assert kb.active_backend_name() == "reference"
+
+    def test_env_var_overrides_builtin_default(self, monkeypatch):
+        monkeypatch.setenv(kb.ENV_VAR, "fast")
+        assert kb.default_backend() == "fast"
+        assert isinstance(kb.get_active_backend(), kb.FastBackend)
+
+    def test_unknown_env_var_is_a_readable_error(self, monkeypatch):
+        monkeypatch.setenv(kb.ENV_VAR, "warp")
+        with pytest.raises(ValueError, match="REPRO_KERNEL_BACKEND"):
+            kb.default_backend()
+
+    def test_process_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kb.ENV_VAR, "fast")
+        kb.set_default_backend("reference")
+        assert kb.default_backend() == "reference"
+        kb.set_default_backend(None)
+        assert kb.default_backend() == "fast"
+
+    def test_use_backend_beats_process_default_and_nests(self):
+        kb.set_default_backend("reference")
+        with kb.use_backend("fast") as outer:
+            assert kb.active_backend_name() == "fast"
+            assert isinstance(outer, kb.FastBackend)
+            with kb.use_backend("reference"):
+                assert kb.active_backend_name() == "reference"
+            assert kb.active_backend_name() == "fast"
+        assert kb.active_backend_name() == "reference"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with kb.use_backend("fast"):
+                raise RuntimeError("boom")
+        assert kb.active_backend_name() == "reference"
+
+    def test_use_backend_validates_eagerly(self):
+        with pytest.raises(ValueError):
+            with kb.use_backend("warp"):
+                pass  # pragma: no cover
+
+    def test_resolve_backend(self):
+        fast = kb.get_backend("fast")
+        assert kb.resolve_backend(fast) is fast
+        assert kb.resolve_backend("fast") is fast
+        with kb.use_backend("fast"):
+            assert kb.resolve_backend(None) is fast
+        assert isinstance(kb.resolve_backend(None), kb.ReferenceBackend)
+
+
+class TestCapabilityDispatch:
+    def test_active_for_uses_capable_active_backend(self):
+        with kb.use_backend("fast"):
+            assert kb.active_for("gemm") is kb.get_backend("fast")
+
+    def test_active_for_falls_back_to_reference(self):
+        class Partial(kb.ReferenceBackend):
+            name = "partial-op-set"
+
+            def capabilities(self):
+                return frozenset({"gemm"})
+
+        kb.register_backend("partial-op-set", Partial, replace=True)
+        try:
+            with kb.use_backend("partial-op-set"):
+                assert kb.active_for("gemm").name == "partial-op-set"
+                assert kb.active_for("conv2d_batched").name == "reference"
+        finally:
+            kb._FACTORIES.pop("partial-op-set", None)
+            kb._INSTANCES.pop("partial-op-set", None)
+
+    def test_ops_dispatch_through_active_backend(self, rng):
+        """A counting backend observes the nn ops actually routing through it."""
+        from repro import nn
+        from repro.nn.tensor import Tensor
+
+        class Counting(kb.ReferenceBackend):
+            name = "counting"
+            calls = 0
+
+            def linear_batched_forward(self, x, weight, bias):
+                Counting.calls += 1
+                return super().linear_batched_forward(x, weight, bias)
+
+        kb.register_backend("counting", Counting, replace=True)
+        try:
+            x = Tensor(rng.normal(size=(2, 3, 4)))
+            weight = Tensor(rng.normal(size=(2, 5, 4)))
+            with kb.use_backend("counting"):
+                nn.linear_batched(x, weight)
+            assert Counting.calls == 1
+        finally:
+            kb._FACTORIES.pop("counting", None)
+            kb._INSTANCES.pop("counting", None)
+
+
+class TestFastBackendMechanics:
+    def test_thread_count_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "3")
+        assert kb.FastBackend().parallelism == 3
+
+    def test_pickle_round_trip_preserves_threads(self):
+        import pickle
+
+        backend = kb.FastBackend(threads=4)
+        clone = pickle.loads(pickle.dumps(backend))
+        assert isinstance(clone, kb.FastBackend)
+        assert clone.parallelism == 4
+        a = np.arange(12.0).reshape(3, 4)
+        b = np.arange(8.0).reshape(4, 2)
+        np.testing.assert_array_equal(clone.gemm(a, b), a @ b)
+
+    def test_describe_reports_registry_facts(self):
+        description = kb.get_backend("fast").describe()
+        assert description["name"] == "fast"
+        assert description["parallelism"] >= 1
+        assert "gemm" in description["capabilities"]
+
+    def test_threaded_results_are_deterministic_and_match_serial(self, rng):
+        threaded = kb.FastBackend(threads=4)
+        serial = kb.FastBackend(threads=1)
+        a = rng.normal(size=(64, 48))
+        b = rng.normal(size=(48, 32))
+        first = threaded.gemm(a, b)
+        np.testing.assert_array_equal(first, threaded.gemm(a, b))
+        np.testing.assert_allclose(first, serial.gemm(a, b), rtol=1e-12, atol=1e-13)

@@ -1,0 +1,139 @@
+"""Backend-selection plumbing: config -> server -> shard pickle -> CLI.
+
+The kernel-backend choice must survive every hand-off of the serving stack:
+``ServeConfig`` validation, ``PoseServer`` kernel construction, the
+``ShardFactory`` pickle boundary that worker processes are built from, the
+``REPRO_KERNEL_BACKEND`` environment default, and the ``--kernel-backend``
+CLI flags — and the fast backend must preserve the batched-vs-unbatched
+bitwise replay guarantee the serving tier is built on.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.nn import backend as kb
+from repro.serve import PoseServer, ServeConfig, replay_users, user_streams_from_dataset
+from repro.serve.worker import ShardFactory
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    monkeypatch.delenv(kb.ENV_VAR, raising=False)
+    yield
+    kb.set_default_backend(None)
+
+
+class TestServeConfigValidation:
+    def test_default_is_deferred(self):
+        assert ServeConfig().kernel_backend is None
+
+    def test_registered_names_accepted(self):
+        for name in kb.available_backends():
+            assert ServeConfig(kernel_backend=name).kernel_backend == name
+
+    def test_unknown_name_rejected_with_registry_listing(self):
+        with pytest.raises(ValueError, match="unknown kernel backend 'warp'"):
+            ServeConfig(kernel_backend="warp")
+        with pytest.raises(ValueError, match="reference"):
+            ServeConfig(kernel_backend="warp")
+
+
+class TestServerWiring:
+    def test_explicit_config_selects_the_kernel_backend(self, estimator):
+        server = PoseServer(estimator, ServeConfig(kernel_backend="fast"))
+        assert server.kernel.backend_name == "fast"
+        assert isinstance(server.kernel.backend, kb.FastBackend)
+
+    def test_default_config_follows_the_process_default(self, estimator):
+        assert PoseServer(estimator, ServeConfig()).kernel.backend_name == "reference"
+
+    def test_env_var_feeds_the_default_path(self, estimator, monkeypatch):
+        monkeypatch.setenv(kb.ENV_VAR, "fast")
+        assert PoseServer(estimator, ServeConfig()).kernel.backend_name == "fast"
+
+    def test_explicit_config_beats_env_var(self, estimator, monkeypatch):
+        monkeypatch.setenv(kb.ENV_VAR, "fast")
+        server = PoseServer(estimator, ServeConfig(kernel_backend="reference"))
+        assert server.kernel.backend_name == "reference"
+
+
+class TestShardFactoryPickleBoundary:
+    def test_selection_survives_the_worker_pickle_boundary(self, estimator):
+        factory = ShardFactory(estimator, ServeConfig(kernel_backend="fast"))
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone.config.kernel_backend == "fast"
+        server = clone.build(shard_index=0)
+        assert server.kernel.backend_name == "fast"
+
+    def test_deferred_selection_resolves_in_the_worker(self, estimator, monkeypatch):
+        """A ``None`` config defers to whatever default the worker process has."""
+        factory = ShardFactory(estimator, ServeConfig())
+        clone = pickle.loads(pickle.dumps(factory))
+        monkeypatch.setenv(kb.ENV_VAR, "fast")
+        assert clone.build().kernel.backend_name == "fast"
+
+
+class TestCliFlag:
+    def test_serve_flag_rejects_unknown_backend_before_training(self, capsys):
+        from repro.experiments import cli
+
+        assert cli.main(["fuse-serve", "--kernel-backend", "warp"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown kernel backend 'warp'" in captured.err
+        # Fail-fast: the estimator bootstrap never started.
+        assert "training on" not in captured.out
+
+    def test_router_flag_rejects_unknown_backend(self, capsys):
+        from repro.experiments import cli
+
+        exit_code = cli.main(
+            ["fuse-router", "--spawn", "1", "--kernel-backend", "warp"]
+        )
+        assert exit_code == 2
+        assert "unknown kernel backend 'warp'" in capsys.readouterr().err
+
+    def test_serve_help_documents_the_flag(self, capsys):
+        from repro.experiments import cli
+
+        with pytest.raises(SystemExit):
+            cli.main(["fuse-serve", "--help"])
+        assert "--kernel-backend" in capsys.readouterr().out
+
+
+class TestFastBackendReplay:
+    def test_batched_replay_bitwise_identical_to_unbatched(self, estimator, serve_dataset):
+        """The batch-invariance guarantee holds within the fast backend too."""
+        streams = user_streams_from_dataset(serve_dataset, num_users=12, frames_per_user=3)
+        batched = PoseServer(
+            estimator, ServeConfig(max_batch_size=8, gemm_block=8, kernel_backend="fast")
+        )
+        unbatched = PoseServer(
+            estimator, ServeConfig(max_batch_size=1, gemm_block=8, kernel_backend="fast")
+        )
+        result_batched = replay_users(batched, streams)
+        result_unbatched = replay_users(unbatched, streams)
+        for user in streams:
+            np.testing.assert_array_equal(
+                result_batched.predictions[user], result_unbatched.predictions[user]
+            )
+
+    def test_fast_replay_matches_reference_numerically(self, estimator, serve_dataset):
+        streams = user_streams_from_dataset(serve_dataset, num_users=6, frames_per_user=3)
+        fast = replay_users(
+            PoseServer(estimator, ServeConfig(gemm_block=8, kernel_backend="fast")), streams
+        )
+        reference = replay_users(
+            PoseServer(estimator, ServeConfig(gemm_block=8, kernel_backend="reference")),
+            streams,
+        )
+        for user in streams:
+            np.testing.assert_allclose(
+                fast.predictions[user],
+                reference.predictions[user],
+                rtol=1e-9,
+                atol=1e-12,
+            )

@@ -288,3 +288,149 @@ class TestHistory:
     def test_default_run_id_is_sortable_timestamp(self):
         run_id = bench_regression.default_run_id()
         assert len(run_id) == 16 and run_id.endswith("Z")
+
+
+class TestContextGuard:
+    """Sections measured under different cpu_count/backend are never compared."""
+
+    def test_matching_context_stays_comparable(self):
+        baseline = {"bench": {"batched_fps": 100.0, "cpu_count": 4, "backend": "fast"}}
+        fresh = {"bench": {"batched_fps": 10.0, "cpu_count": 4, "backend": "fast"}}
+        pruned_baseline, pruned_fresh, notices = bench_regression.split_comparable(
+            baseline, fresh
+        )
+        assert notices == []
+        assert len(bench_regression.compare(pruned_baseline, pruned_fresh, 0.3)) == 1
+
+    def test_cpu_count_mismatch_prunes_the_section(self):
+        baseline = {"bench": {"batched_fps": 100.0, "cpu_count": 1}}
+        fresh = {"bench": {"batched_fps": 10.0, "cpu_count": 4}}
+        pruned_baseline, pruned_fresh, notices = bench_regression.split_comparable(
+            baseline, fresh
+        )
+        assert "bench" not in pruned_baseline and "bench" not in pruned_fresh
+        assert len(notices) == 1
+        assert "cpu_count: 1 -> 4" in notices[0]
+        assert bench_regression.compare(pruned_baseline, pruned_fresh, 0.3) == []
+
+    def test_backend_mismatch_prunes_the_section(self):
+        baseline = {"bench": {"fps": 100.0, "cpu_count": 4, "backend": "reference"}}
+        fresh = {"bench": {"fps": 10.0, "cpu_count": 4, "backend": "fast"}}
+        _, _, notices = bench_regression.split_comparable(baseline, fresh)
+        assert len(notices) == 1
+        assert "backend: reference -> fast" in notices[0]
+
+    def test_context_appearing_on_one_side_only_prunes(self):
+        """A section that gained a backend field was re-measured differently."""
+        baseline = {"bench": {"fps": 100.0, "cpu_count": 2}}
+        fresh = {"bench": {"fps": 10.0, "cpu_count": 2, "backend": "fast"}}
+        pruned_baseline, _, notices = bench_regression.split_comparable(baseline, fresh)
+        assert "bench" not in pruned_baseline
+        assert "backend: ? -> fast" in notices[0]
+
+    def test_contextless_sections_always_compare(self):
+        baseline = {"bench": {"fps": 100.0}}
+        fresh = {"bench": {"fps": 10.0}}
+        _, _, notices = bench_regression.split_comparable(baseline, fresh)
+        assert notices == []
+
+    def test_pruned_section_is_not_reported_missing(self):
+        baseline = {
+            "bench": {"fps": 100.0, "cpu_count": 1},
+            "other": {"fps": 5.0},
+        }
+        fresh = {
+            "bench": {"fps": 10.0, "cpu_count": 4},
+            "other": {"fps": 5.0},
+        }
+        pruned_baseline, pruned_fresh, _ = bench_regression.split_comparable(
+            baseline, fresh
+        )
+        assert bench_regression.missing_from_fresh(pruned_baseline, pruned_fresh) == []
+
+    def test_sections_missing_entirely_are_left_for_the_missing_check(self):
+        baseline = {"bench": {"fps": 100.0, "cpu_count": 1}}
+        pruned_baseline, _, notices = bench_regression.split_comparable(baseline, {})
+        assert notices == [] and "bench" in pruned_baseline
+
+    def test_main_refuses_cross_context_comparison(self, tmp_path, capsys):
+        """End to end: a 4-core run never gates against a 1-core baseline."""
+        repo = tmp_path / "repo"
+        repo.mkdir()
+
+        def git(*args):
+            subprocess.run(
+                ["git", *args],
+                cwd=repo,
+                check=True,
+                capture_output=True,
+                env={
+                    "GIT_AUTHOR_NAME": "t",
+                    "GIT_AUTHOR_EMAIL": "t@t",
+                    "GIT_COMMITTER_NAME": "t",
+                    "GIT_COMMITTER_EMAIL": "t@t",
+                    "PATH": "/usr/bin:/bin:/usr/local/bin",
+                    "HOME": str(tmp_path),
+                },
+            )
+
+        bench = repo / "BENCH_x.json"
+        bench.write_text(
+            json.dumps({"bench": {"batched_fps": 100.0, "cpu_count": 1}})
+        )
+        git("init", "-q")
+        git("add", "BENCH_x.json")
+        git("commit", "-qm", "baseline")
+
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(repo)
+        try:
+            # A huge drop, but on a different machine shape: must pass.
+            bench.write_text(
+                json.dumps({"bench": {"batched_fps": 1.0, "cpu_count": 4}})
+            )
+            assert bench_regression.main(["BENCH_x.json"]) == 0
+            # The same drop under the same context: must fail.
+            bench.write_text(
+                json.dumps({"bench": {"batched_fps": 1.0, "cpu_count": 1}})
+            )
+            assert bench_regression.main(["BENCH_x.json"]) == 1
+        finally:
+            os.chdir(cwd)
+        captured = capsys.readouterr()
+        assert "machine context differs" in captured.out
+        assert "cpu_count: 1 -> 4" in captured.out
+
+    def test_history_trend_skips_mismatched_snapshots(self, tmp_path, capsys):
+        import os
+
+        history = tmp_path / "history"
+        # Two old snapshots from a 1-core runner, one from a 4-core runner.
+        for run, (fps, cores) in enumerate([(100.0, 1), (110.0, 1), (5000.0, 4)]):
+            bench_regression.append_history(
+                history,
+                "BENCH_y.json",
+                {"bench": {"batched_fps": fps, "cpu_count": cores}},
+                run_id=f"run-{run:03d}",
+                window=10,
+            )
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            fresh = tmp_path / "BENCH_y.json"
+            # 95 fps on 1 core: healthy vs the 1-core median (105), and the
+            # 4-core outlier is pruned instead of poisoning the median.
+            fresh.write_text(
+                json.dumps({"bench": {"batched_fps": 95.0, "cpu_count": 1}})
+            )
+            assert (
+                bench_regression.main(
+                    ["--history", str(history), "--run-id", "run-100", "BENCH_y.json"]
+                )
+                == 0
+            )
+        finally:
+            os.chdir(cwd)
+        assert "machine context differs" in capsys.readouterr().out
