@@ -21,7 +21,11 @@ three serving paths:
 * **routed cluster** — the replay through :class:`repro.serve.PoseRouter`
   over one and two process-backed backends (``router_fan_out``): the
   routing hop's overhead versus a direct front-end connection, and the
-  fan-out recovery from consistent-hash placement over two backends.
+  fan-out recovery from consistent-hash placement over two backends;
+* **mixed-class scheduling** — interactive and bulk traffic classes
+  sharing one EDF-scheduled server (``mixed_class_serving``): interactive
+  p95 against its class budget, and the bulk throughput retained versus
+  an isolated bulk-only replay (floor: >= 70%).
 
 The acceptance bar is micro-batched serving at >= 3x the frames/sec of the
 naive sequential path.  Results land in ``BENCH_serve.json`` at the
@@ -47,8 +51,10 @@ from repro.serve import (
     PoseFrontend,
     PoseServer,
     ProcessShardedPoseServer,
+    SchedulingPolicy,
     ServeConfig,
     ShardedPoseServer,
+    TrafficClass,
     adaptation_split,
     replay_users,
     sequential_reference,
@@ -584,3 +590,82 @@ class TestRouterFanOut:
         )
         _record("router_fan_out", payload)
         assert payload["routed_2_backends_fps"] > 0
+
+
+class TestMixedClassServing:
+    def test_mixed_class_latency_and_bulk_retention(self):
+        """Interactive and bulk classes sharing one EDF-scheduled server.
+
+        10 interactive users ride alongside 40 bulk users through the same
+        micro-batcher; the ``mixed_class_serving`` section records the
+        interactive p95 against its class budget and the bulk throughput
+        retained versus an isolated bulk-only replay of identical cadence.
+        The floor asserts bulk keeps >= 70% of its isolated throughput —
+        deadline scheduling must not starve the relaxed class to serve the
+        tight one.
+        """
+        estimator, streams = _serve_fixture()
+        users = sorted(streams)
+        interactive_users = users[:10]
+        bulk_users = users[10:]
+        policy = SchedulingPolicy(
+            classes=(TrafficClass("interactive", 50.0), TrafficClass("bulk", 500.0)),
+        )
+
+        def replay(include_interactive: bool) -> dict:
+            server = PoseServer(
+                estimator,
+                ServeConfig(
+                    max_batch_size=64, max_queue_depth=4096, scheduling=policy
+                ),
+            )
+            start = time.perf_counter()
+            for round_index in range(FRAMES_PER_USER):
+                for user in bulk_users:
+                    server.enqueue(user, streams[user][round_index].cloud, priority="bulk")
+                if include_interactive:
+                    for user in interactive_users:
+                        server.enqueue(
+                            user, streams[user][round_index].cloud, priority="interactive"
+                        )
+                server.flush()
+            while server.flush():
+                pass
+            elapsed = time.perf_counter() - start
+            metrics = server.metrics_snapshot()
+            metrics["bulk_fps"] = metrics["class_bulk_completed"] / elapsed
+            return metrics
+
+        replay(include_interactive=True)  # warm caches/allocators
+        mixed = replay(include_interactive=True)
+        isolated = replay(include_interactive=False)
+
+        payload = {
+            "cpu_count": os.cpu_count(),
+            "backend": active_backend_name(),
+            "interactive_users": len(interactive_users),
+            "bulk_users": len(bulk_users),
+            "frames_per_user": FRAMES_PER_USER,
+            "interactive_budget_ms": 50.0,
+            "interactive_p95_ms": mixed["class_interactive_latency_p95_ms"],
+            "bulk_p95_ms": mixed["class_bulk_latency_p95_ms"],
+            "mixed_bulk_fps": mixed["bulk_fps"],
+            "isolated_bulk_fps": isolated["bulk_fps"],
+            # Named without fps/throughput so the regression gate's
+            # throughput-key regex does not trend a same-run ratio.
+            "bulk_retention_ratio_mixed_vs_isolated": (
+                mixed["bulk_fps"] / isolated["bulk_fps"]
+            ),
+            "deadline_misses": mixed["deadline_misses"],
+        }
+        _record("mixed_class_serving", payload)
+
+        assert mixed["dropped"] == 0 and isolated["dropped"] == 0
+        assert payload["interactive_p95_ms"] <= payload["interactive_budget_ms"], (
+            f"interactive p95 {payload['interactive_p95_ms']:.1f} ms blew the "
+            f"{payload['interactive_budget_ms']:.0f} ms class budget"
+        )
+        assert payload["bulk_retention_ratio_mixed_vs_isolated"] >= 0.70, (
+            f"bulk retained only {payload['bulk_retention_ratio_mixed_vs_isolated']:.2f}x "
+            "of its isolated throughput under mixed-class load"
+        )

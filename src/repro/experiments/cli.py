@@ -74,6 +74,90 @@ def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scheduling_policy_options(group) -> None:
+    """Deadline / admission flags shared by fuse-serve and fuse-router."""
+    group.add_argument(
+        "--interactive-budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="latency budget of the 'interactive' traffic class "
+        "(default: --max-delay-ms)",
+    )
+    group.add_argument(
+        "--bulk-budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="latency budget of the 'bulk' traffic class "
+        "(default: 10x the interactive budget)",
+    )
+    group.add_argument(
+        "--rate-limit-per-user",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-user token-bucket refill rate at the front door; "
+        "requests beyond it are shed with a retry_after_ms error frame "
+        "(default: no rate limit)",
+    )
+    group.add_argument(
+        "--rate-limit-burst",
+        type=float,
+        default=None,
+        metavar="TOKENS",
+        help="token-bucket burst capacity per user (default: 8)",
+    )
+    group.add_argument(
+        "--retry-after-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="minimum retry hint attached to shed/rejected requests "
+        "(default: 25)",
+    )
+
+
+def _scheduling_from_args(args: argparse.Namespace):
+    """A SchedulingPolicy from the CLI flags, or None for the defaults.
+
+    None keeps ServeConfig's derived policy (interactive = --max-delay-ms,
+    bulk = 10x, no rate limit) so the flagless CLI behaves exactly as
+    before the scheduling flags existed.
+    """
+    flags = (
+        args.interactive_budget_ms,
+        args.bulk_budget_ms,
+        args.rate_limit_per_user,
+        args.rate_limit_burst,
+        args.retry_after_ms,
+    )
+    if all(value is None for value in flags):
+        return None
+    from ..serve import SchedulingPolicy, TrafficClass
+
+    interactive = (
+        args.interactive_budget_ms
+        if args.interactive_budget_ms is not None
+        else args.max_delay_ms
+    )
+    bulk = args.bulk_budget_ms if args.bulk_budget_ms is not None else interactive * 10.0
+    overrides = {}
+    if args.rate_limit_per_user is not None:
+        overrides["rate_limit_per_user"] = args.rate_limit_per_user
+    if args.rate_limit_burst is not None:
+        overrides["rate_limit_burst"] = args.rate_limit_burst
+    if args.retry_after_ms is not None:
+        overrides["retry_after_ms"] = args.retry_after_ms
+    return SchedulingPolicy(
+        classes=(
+            TrafficClass("interactive", interactive),
+            TrafficClass("bulk", bulk),
+        ),
+        **overrides,
+    )
+
+
 def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     binding = parser.add_argument_group("socket binding")
     binding.add_argument(
@@ -109,6 +193,7 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     scheduling.add_argument("--max-batch-size", type=int, default=32)
     scheduling.add_argument("--max-delay-ms", type=float, default=5.0)
     scheduling.add_argument("--max-queue-depth", type=int, default=256)
+    _add_scheduling_policy_options(scheduling)
 
     wire = parser.add_argument_group("wire protocol")
     wire.add_argument(
@@ -212,6 +297,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             max_queue_depth=args.max_queue_depth,
             adapter=adapter,
             kernel_backend=args.kernel_backend,
+            scheduling=_scheduling_from_args(args),
         )
     except ValueError as error:
         return _fail(str(error))
@@ -347,6 +433,7 @@ def _add_router_options(parser: argparse.ArgumentParser) -> None:
     spawned.add_argument("--max-batch-size", type=int, default=32)
     spawned.add_argument("--max-delay-ms", type=float, default=5.0)
     spawned.add_argument("--max-queue-depth", type=int, default=256)
+    _add_scheduling_policy_options(spawned)
     spawned.add_argument("--train-seconds", type=float, default=9.0)
     spawned.add_argument("--train-epochs", type=int, default=3)
     spawned.add_argument("--seed", type=int, default=5)
@@ -427,6 +514,15 @@ def _run_router(args: argparse.Namespace) -> int:
                 ]
                 if args.kernel_backend is not None:
                     command += ["--kernel-backend", args.kernel_backend]
+                for flag, value in (
+                    ("--interactive-budget-ms", args.interactive_budget_ms),
+                    ("--bulk-budget-ms", args.bulk_budget_ms),
+                    ("--rate-limit-per-user", args.rate_limit_per_user),
+                    ("--rate-limit-burst", args.rate_limit_burst),
+                    ("--retry-after-ms", args.retry_after_ms),
+                ):
+                    if value is not None:
+                        command += [flag, str(value)]
                 procs.append(
                     subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
                 )

@@ -53,9 +53,17 @@ Pieces, inside-out:
 from .adapters import AdapterRegistry
 from .batcher import FrameDropped, MicroBatcher, PendingPrediction, QueueFull, ServeRequest
 from .cli_utils import ReadyAddress, format_ready_line, parse_ready_line, wait_for_ready
+from .clock import Clock, FakeClock, MonotonicClock, as_clock
 from .config import ServeConfig
 from .policy import AdapterPolicy
-from .frontend import AsyncPoseClient, PoseFrontend, ServerClosing, SocketServerBase
+from .scheduling import RateLimited, SchedulingPolicy, TokenBucket, TrafficClass
+from .frontend import (
+    AsyncPoseClient,
+    PoseFrontend,
+    ServerClosing,
+    ServerError,
+    SocketServerBase,
+)
 from .health import HealthMonitor
 from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics, merge_expositions, percentile, prometheus_exposition
@@ -85,11 +93,14 @@ __all__ = [
     "AdapterRegistry",
     "AsyncPoseClient",
     "BackendSpec",
+    "Clock",
+    "FakeClock",
     "FrameDropped",
     "HashRing",
     "HealthMonitor",
     "MicroBatcher",
     "MigrationError",
+    "MonotonicClock",
     "NoBackendAvailable",
     "PendingPrediction",
     "PoseFrontend",
@@ -97,13 +108,16 @@ __all__ = [
     "PoseServer",
     "ProcessShardedPoseServer",
     "QueueFull",
+    "RateLimited",
     "ReadyAddress",
     "ReplayResult",
     "RouterBackend",
+    "SchedulingPolicy",
     "ServeConfig",
     "ServeMetrics",
     "ServeRequest",
     "ServerClosing",
+    "ServerError",
     "SessionManager",
     "SessionMirror",
     "ShardCrashed",
@@ -112,8 +126,11 @@ __all__ = [
     "SharedParameterKernel",
     "ShardedPoseServer",
     "SocketServerBase",
+    "TokenBucket",
+    "TrafficClass",
     "UserSession",
     "adaptation_split",
+    "as_clock",
     "export_user_state",
     "format_ready_line",
     "import_user_state",

@@ -1,8 +1,13 @@
-"""Cross-user micro-batching: the pending-request queue and its policies.
+"""Cross-user micro-batching: the deadline-ordered pending queue.
 
 The :class:`MicroBatcher` is the scheduling half of the serving layer.  It
-owns the bounded queue of pending requests, decides when a micro-batch is due
-(capacity reached or the oldest request's latency budget spent) and applies
+owns the bounded queue of pending requests ordered **earliest-deadline-first**
+(EDF): every request carries an absolute deadline — its arrival time plus its
+traffic class's latency budget — batches assemble in deadline order, and a
+partial batch closes exactly when its earliest deadline arrives.  That is the
+per-request generalization of the old single global ``max_delay_ms``: with
+one class and a uniform budget, EDF order *is* arrival order and the batcher
+behaves bit-for-bit like its arrival-order predecessor.  It applies
 backpressure when producers outrun the model — the classic request-coalescing
 pattern of RAN/inference serving systems (cf. ACCoRD in PAPERS.md), kept
 single-threaded and deterministic here so serving results are replayable.
@@ -13,9 +18,8 @@ batcher never touches the model.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Hashable, List, Optional
+import heapq
+from typing import Callable, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,11 +31,23 @@ __all__ = ["FrameDropped", "QueueFull", "PendingPrediction", "ServeRequest", "Mi
 
 
 class FrameDropped(RuntimeError):
-    """Raised when a request's prediction was dropped under backpressure."""
+    """Raised when a request's prediction was dropped under backpressure.
+
+    ``retry_after_ms``, when set, is the backoff hint the dropping side
+    attaches (copied onto the correlated wire error frame).
+    """
+
+    def __init__(self, message: str, retry_after_ms: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 class QueueFull(RuntimeError):
     """Raised under the ``"reject"`` overflow policy when the queue is full."""
+
+    def __init__(self, message: str, retry_after_ms: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 class PendingPrediction:
@@ -39,10 +55,20 @@ class PendingPrediction:
 
     The handle resolves when the request's batch is flushed.  Calling
     :meth:`result` forces outstanding flushes first, so a caller that cannot
-    wait for co-riders still gets an answer synchronously.
+    wait for co-riders still gets an answer synchronously.  A handle dropped
+    under backpressure resolves to the dropped state with a reason — never
+    left permanently pending, so a poller always observes an outcome.
     """
 
-    __slots__ = ("user_id", "sequence", "submitted_at", "_value", "_dropped", "_flush")
+    __slots__ = (
+        "user_id",
+        "sequence",
+        "submitted_at",
+        "_value",
+        "_dropped",
+        "_drop_reason",
+        "_flush",
+    )
 
     def __init__(
         self,
@@ -56,6 +82,7 @@ class PendingPrediction:
         self.submitted_at = submitted_at
         self._value: Optional[np.ndarray] = None
         self._dropped = False
+        self._drop_reason: Optional[str] = None
         self._flush = flush
 
     @property
@@ -66,11 +93,17 @@ class PendingPrediction:
     def dropped(self) -> bool:
         return self._dropped
 
+    @property
+    def drop_reason(self) -> Optional[str]:
+        """Why this request was dropped (``None`` while not dropped)."""
+        return self._drop_reason
+
     def _resolve(self, value: np.ndarray) -> None:
         self._value = value
 
-    def _drop(self) -> None:
+    def _drop(self, reason: Optional[str] = None) -> None:
         self._dropped = True
+        self._drop_reason = reason
 
     def result(self, flush: bool = True) -> np.ndarray:
         """The ``(joints, 3)`` prediction, forcing a flush if still pending."""
@@ -78,8 +111,10 @@ class PendingPrediction:
             if self._flush() == 0:
                 break
         if self._dropped:
+            detail = f" ({self._drop_reason})" if self._drop_reason else ""
             raise FrameDropped(
-                f"request {self.sequence} of user {self.user_id!r} was dropped under backpressure"
+                f"request {self.sequence} of user {self.user_id!r} was dropped "
+                f"under backpressure{detail}"
             )
         if self._value is None:
             raise RuntimeError(
@@ -88,24 +123,53 @@ class PendingPrediction:
         return self._value
 
 
-@dataclass
 class ServeRequest:
-    """One enqueued frame: the fused cloud plus bookkeeping."""
+    """One enqueued frame: the fused cloud plus scheduling bookkeeping."""
 
-    user_id: Hashable
-    fused: PointCloudFrame
-    pending: PendingPrediction
-    arrival: float
-    features: Optional[np.ndarray] = field(default=None, repr=False)
+    __slots__ = ("user_id", "fused", "pending", "arrival", "deadline", "traffic_class", "features")
+
+    def __init__(
+        self,
+        user_id: Hashable,
+        fused: PointCloudFrame,
+        pending: PendingPrediction,
+        arrival: float,
+        deadline: Optional[float] = None,
+        traffic_class: str = "interactive",
+        features: Optional[np.ndarray] = None,
+    ) -> None:
+        self.user_id = user_id
+        self.fused = fused
+        self.pending = pending
+        self.arrival = arrival
+        # Back-compat: a request built without a deadline closes immediately,
+        # like a zero-budget class would.
+        self.deadline = deadline if deadline is not None else arrival
+        self.traffic_class = traffic_class
+        self.features = features
+
+    def __repr__(self) -> str:  # keep dataclass-era debuggability
+        return (
+            f"ServeRequest(user_id={self.user_id!r}, "
+            f"sequence={self.pending.sequence}, arrival={self.arrival!r}, "
+            f"deadline={self.deadline!r}, traffic_class={self.traffic_class!r})"
+        )
 
 
 class MicroBatcher:
-    """Bounded deterministic queue of :class:`ServeRequest` objects."""
+    """Bounded deterministic EDF queue of :class:`ServeRequest` objects.
+
+    The heap orders pending requests by ``(deadline, sequence)``: earliest
+    deadline first, arrival order as the deterministic tiebreak.  Because
+    the inference kernels are batch-composition invariant, the EDF
+    reordering never changes a request's predicted values — only *when* it
+    is served.
+    """
 
     def __init__(self, config: ServeConfig, metrics: Optional[ServeMetrics] = None) -> None:
         self.config = config
         self.metrics = metrics
-        self._pending: "deque[ServeRequest]" = deque()
+        self._pending: List[Tuple[float, int, ServeRequest]] = []
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -120,49 +184,65 @@ class MicroBatcher:
 
         Called *before* the request is built so a rejected submission has no
         side effects (in particular, it must not touch the user's session
-        ring).  Under ``"drop_oldest"`` the oldest pending request is dropped
-        and its handle resolves to the dropped state.
+        ring).  Under ``"drop_oldest"`` the oldest pending request — oldest
+        by *arrival*, not by deadline, so a loose-budget request cannot
+        shield itself from eviction — is dropped and its handle resolves to
+        the dropped state with a reason and retry hint; it never hangs a
+        poller.
         """
         if len(self._pending) < self.config.max_queue_depth:
             return
+        retry_after_ms = self.config.scheduler.retry_after_ms
         if self.config.overflow == "reject":
             raise QueueFull(
-                f"pending queue is at max_queue_depth={self.config.max_queue_depth}"
+                f"pending queue is at max_queue_depth={self.config.max_queue_depth}",
+                retry_after_ms=retry_after_ms,
             )
-        oldest = self._pending.popleft()
-        oldest.pending._drop()
+        index = min(
+            range(len(self._pending)), key=lambda position: self._pending[position][1]
+        )
+        _, _, oldest = self._pending.pop(index)
+        heapq.heapify(self._pending)
+        oldest.pending._drop(reason="evicted by a newer arrival under drop_oldest")
         if self.metrics is not None:
             self.metrics.record_drop()
 
     def enqueue(self, request: ServeRequest) -> None:
-        """Append an admitted request (see :meth:`admit`)."""
-        self._pending.append(request)
+        """Push an admitted request (see :meth:`admit`) in deadline order."""
+        heapq.heappush(
+            self._pending, (request.deadline, request.pending.sequence, request)
+        )
 
     def oldest_age(self, now: float) -> float:
         """Seconds the oldest pending request has waited (0.0 when empty)."""
         if not self._pending:
             return 0.0
-        return max(0.0, now - self._pending[0].arrival)
+        earliest_arrival = min(entry[2].arrival for entry in self._pending)
+        return max(0.0, now - earliest_arrival)
+
+    def earliest_deadline(self) -> Optional[float]:
+        """The next batch-close time (``None`` when the queue is empty)."""
+        return self._pending[0][0] if self._pending else None
 
     def due(self, now: float) -> bool:
-        """Whether a flush is due: batch capacity reached or deadline spent."""
+        """Whether a flush is due: capacity reached or a deadline arrived."""
         if not self._pending:
             return False
         if self.full:
             return True
-        return self.oldest_age(now) >= self.config.max_delay_s
+        return now >= self._pending[0][0]
 
     def drain(self) -> List[ServeRequest]:
-        """Pop the next micro-batch (up to ``max_batch_size`` requests)."""
+        """Pop the next micro-batch: up to ``max_batch_size`` requests, EDF."""
         count = min(len(self._pending), self.config.max_batch_size)
-        return [self._pending.popleft() for _ in range(count)]
+        return [heapq.heappop(self._pending)[2] for _ in range(count)]
 
     def clear(self) -> int:
         """Drop every pending request (server shutdown); returns the count."""
         count = len(self._pending)
         while self._pending:
-            request = self._pending.popleft()
-            request.pending._drop()
+            _, _, request = heapq.heappop(self._pending)
+            request.pending._drop(reason="server shutdown")
             if self.metrics is not None:
                 self.metrics.record_drop()
         return count

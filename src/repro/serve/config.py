@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .policy import AdapterPolicy
+from .scheduling import SchedulingPolicy
 
 __all__ = ["ServeConfig"]
 
@@ -28,9 +29,12 @@ class ServeConfig:
         coalesce across users.  Enqueueing the ``max_batch_size``-th request
         triggers an immediate flush.
     max_delay_ms:
-        Deadline of the oldest pending request: :meth:`PoseServer.poll`
-        flushes a partial batch once the oldest request has waited this long
-        (micro-batching trades at most this much latency for throughput).
+        Default latency budget of a request that names no traffic class:
+        its deadline is its arrival time plus this delay, and
+        :meth:`PoseServer.poll` flushes a partial batch once its earliest
+        deadline arrives (micro-batching trades at most this much latency
+        for throughput).  With an explicit ``scheduling`` policy, per-class
+        budgets replace this single knob.
     max_queue_depth:
         Bound of the pending-request queue.  Requests beyond this depth are
         subject to the ``overflow`` policy — serving never buffers without
@@ -71,6 +75,16 @@ class ServeConfig:
         variable or ``reference``).  Because :class:`ServeConfig` crosses
         the worker pickle boundary inside :class:`repro.serve.ShardFactory`,
         shard processes inherit the parent's selection automatically.
+    scheduling:
+        The deadline-scheduling and admission-control policy
+        (:class:`repro.serve.SchedulingPolicy`): the traffic-class table
+        with per-class latency budgets, per-user token-bucket rate limits
+        enforced at the front-end, and the ``retry_after`` shed hint.
+        ``None`` derives the policy from ``max_delay_ms``
+        (``interactive`` = exactly that budget, so un-classed traffic
+        schedules identically to the legacy arrival-order batcher;
+        ``bulk`` = 10x it).  Like every other field it crosses the worker
+        pickle boundary, so shard processes schedule identically.
     """
 
     max_batch_size: int = 32
@@ -82,6 +96,7 @@ class ServeConfig:
     gemm_block: Optional[int] = None
     adapter: Optional[AdapterPolicy] = None
     kernel_backend: Optional[str] = None
+    scheduling: Optional[SchedulingPolicy] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -111,6 +126,14 @@ class ServeConfig:
     def max_delay_s(self) -> float:
         """The flush deadline in seconds."""
         return self.max_delay_ms / 1000.0
+
+    @property
+    def scheduler(self) -> SchedulingPolicy:
+        """The effective scheduling policy (derived from ``max_delay_ms``
+        when no explicit ``scheduling`` policy is set)."""
+        if self.scheduling is not None:
+            return self.scheduling
+        return SchedulingPolicy.from_delay(self.max_delay_ms)
 
     @property
     def block_width(self) -> int:

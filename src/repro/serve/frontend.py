@@ -51,14 +51,18 @@ import asyncio
 import contextlib
 import os
 import stat
-from collections import OrderedDict, deque
+from collections import Counter, OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from functools import partial
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..radar.pointcloud import PointCloudFrame
 from .batcher import FrameDropped, QueueFull
+from .clock import MonotonicClock, as_clock
+from .metrics import ServeMetrics, merge_expositions
+from .scheduling import RateLimited, SchedulingPolicy, TokenBucket
 from . import transport
 from .transport import (
     CODEC_JSON,
@@ -73,7 +77,13 @@ from .transport import (
     write_message,
 )
 
-__all__ = ["AsyncPoseClient", "PoseFrontend", "ServerClosing", "SocketServerBase"]
+__all__ = [
+    "AsyncPoseClient",
+    "PoseFrontend",
+    "ServerClosing",
+    "ServerError",
+    "SocketServerBase",
+]
 
 #: default bound on concurrently dispatched requests per connection
 DEFAULT_MAX_IN_FLIGHT = 32
@@ -494,7 +504,7 @@ class SocketServerBase:
     async def _serve(self, conn: _Connection, message: dict, request_id, codec: str) -> dict:
         try:
             reply = await self._dispatch(conn, message, request_id, codec)
-        except (FrameDropped, QueueFull, ServerClosing) as error:
+        except (FrameDropped, QueueFull, RateLimited, ServerClosing) as error:
             reply = _error_message(error, request_id=request_id)
         except Exception as error:  # backend fault: report, keep serving
             self.protocol_errors += 1
@@ -645,7 +655,23 @@ class PoseFrontend(SocketServerBase):
         defers pushes beyond the budget until the client grants more with
         a ``credits`` frame (:class:`AsyncPoseClient` grants
         automatically as it consumes pushes).
+    clock:
+        Time source for admission control (token-bucket refill).  Any
+        zero-argument callable returning seconds, or a
+        :class:`repro.serve.Clock`; defaults to a monotonic clock.  Tests
+        inject a :class:`repro.serve.FakeClock` to make rate-limit refill
+        deterministic.
+
+    Admission control follows the backend's
+    :class:`repro.serve.SchedulingPolicy` (``server.config.scheduler``):
+    when ``rate_limit_per_user`` is set, each user spends one token per
+    frame at the front door and an exhausted bucket sheds the request
+    with a correlated ``error`` frame carrying ``retry_after_ms`` —
+    before the request ever touches a shard lock or the backend.
     """
+
+    #: bound on distinct per-user token buckets held at once (LRU evicted)
+    MAX_TRACKED_USERS = 4096
 
     def __init__(
         self,
@@ -660,6 +686,7 @@ class PoseFrontend(SocketServerBase):
         poll_interval_s: Optional[float] = None,
         allow_remote_shutdown: bool = False,
         push_credits: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         super().__init__(
             host=host,
@@ -688,6 +715,16 @@ class PoseFrontend(SocketServerBase):
         self.parallelism = parallelism
         self._executor: Optional[ThreadPoolExecutor] = None
         self._poller: Optional[asyncio.Task] = None
+        self.clock = as_clock(clock) if clock is not None else MonotonicClock()
+        config = getattr(server, "config", None)
+        scheduler = getattr(config, "scheduler", None)
+        self.scheduler: SchedulingPolicy = (
+            scheduler if scheduler is not None else SchedulingPolicy()
+        )
+        #: front-door admission counters (shed requests live here, not in
+        #: the backend: a shed request never reaches a shard)
+        self.admission = ServeMetrics(clock=self.clock)
+        self._buckets: "OrderedDict[Hashable, TokenBucket]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Lifecycle hooks
@@ -724,6 +761,9 @@ class PoseFrontend(SocketServerBase):
             # personalizes (scope, rank, tier budgets) without a side
             # channel; None when the backend predates AdapterPolicy.
             "adapter_policy": policy.to_dict() if policy is not None else None,
+            # the traffic classes, budgets and rate limits this deployment
+            # schedules under — clients pick a priority from these
+            "scheduling": self.scheduler.to_dict(),
         }
 
     async def _dispatch_extra(
@@ -743,12 +783,20 @@ class PoseFrontend(SocketServerBase):
             self._sweep()
             return {"type": "flushed", "produced": int(produced)}
         if kind == "submit_batch":
-            return await self._submit_batch(message)
+            return await self._submit_batch(conn, message, request_id, codec)
         if kind == "metrics":
             snapshot = await self._run_blocking(self.server.metrics_snapshot)
+            # Overlay the front door's admission counters: a shed request
+            # never reached the backend, so only this tier knows about it.
+            snapshot = dict(snapshot)
+            snapshot["shed"] = snapshot.get("shed", 0) + self.admission.shed
             return {"type": "metrics_report", "metrics": snapshot}
         if kind == "prometheus":
             text = await self._run_blocking(self.server.to_prometheus)
+            if self.admission.shed:
+                text = merge_expositions(
+                    [(text, None), (self.admission.to_prometheus(), {"tier": "frontend"})]
+                )
             return {"type": "prometheus_report", "text": text}
         if kind == "export_user":
             return await self._export_user(message)
@@ -774,6 +822,74 @@ class PoseFrontend(SocketServerBase):
     def _shard_lock_by_index(self, index: int) -> _FifoShardLock:
         return self._fifo_lock(index)
 
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _bucket(self, user: Hashable, now: float) -> TokenBucket:
+        """The user's token bucket, created full on first sight (LRU-bounded)."""
+        bucket = self._buckets.get(user)
+        if bucket is None:
+            while len(self._buckets) >= self.MAX_TRACKED_USERS:
+                self._buckets.popitem(last=False)
+            bucket = self._buckets[user] = TokenBucket(
+                self.scheduler.rate_limit_per_user,
+                self.scheduler.rate_limit_burst,
+                now=now,
+            )
+        else:
+            self._buckets.move_to_end(user)
+        return bucket
+
+    def _shed(self, user: Hashable, bucket: TokenBucket, now: float, tokens: float) -> None:
+        """Record the shed and raise the correlated ``RateLimited``."""
+        self.admission.record_shed()
+        retry_after_ms = max(
+            bucket.retry_after_s(now, tokens) * 1000.0, self.scheduler.retry_after_ms
+        )
+        raise RateLimited(
+            f"user {user!r} exceeded {self.scheduler.rate_limit_per_user:g} "
+            f"requests/s (burst {self.scheduler.rate_limit_burst:g})",
+            retry_after_ms=retry_after_ms,
+        )
+
+    def _admit(self, user: Hashable, tokens: float = 1.0) -> None:
+        """Charge the user's bucket or shed the request, before any backend
+        work: a rate-limited frame must not consume a shard queue slot."""
+        if self.scheduler.rate_limit_per_user is None:
+            return
+        now = self.clock.now()
+        bucket = self._bucket(user, now)
+        if not bucket.try_acquire(now, tokens):
+            self._shed(user, bucket, now, tokens)
+
+    def _admit_all(self, users: Sequence[Hashable]) -> None:
+        """Admit a batch atomically: every user's frames fit their bucket,
+        or the whole batch is shed without spending anyone's tokens."""
+        if self.scheduler.rate_limit_per_user is None:
+            return
+        now = self.clock.now()
+        counts = Counter(users)
+        buckets = {user: self._bucket(user, now) for user in counts}
+        for user, tokens in counts.items():
+            if buckets[user].balance(now) < tokens:
+                self._shed(user, buckets[user], now, tokens)
+        for user, tokens in counts.items():
+            buckets[user].try_acquire(now, tokens)
+
+    def _backend_call(self, method: str, priority, deadline_ms=None):
+        """The backend method, with scheduling kwargs bound when present.
+
+        Plain calls stay kwarg-free so any object with the bare
+        ``submit``/``enqueue`` signature still works as a backend.
+        """
+        fn = getattr(self.server, method)
+        kwargs = {}
+        if priority is not None:
+            kwargs["priority"] = priority
+        if deadline_ms is not None:
+            kwargs["deadline_ms"] = deadline_ms
+        return partial(fn, **kwargs) if kwargs else fn
+
     async def _submit(self, message: dict) -> dict:
         if self._closing.is_set():
             raise ServerClosing("front-end is shutting down")
@@ -782,11 +898,14 @@ class PoseFrontend(SocketServerBase):
             cloud = self._parse_frame(message["frame"])
         except (KeyError, TypeError, ValueError) as error:
             raise transport.ProtocolError(f"malformed submit message: {error}") from error
+        priority, deadline_ms = _parse_scheduling(message)
+        self._admit(user)
         loop = asyncio.get_running_loop()
         start = loop.time()
+        submit = self._backend_call("submit", priority, deadline_ms)
         lock = self._shard_lock(user)
         async with lock.held(lock.claim()):
-            joints = await self._run_blocking(self.server.submit, user, cloud)
+            joints = await self._run_blocking(submit, user, cloud)
         self._sweep()
         return {
             "type": "prediction",
@@ -811,16 +930,21 @@ class PoseFrontend(SocketServerBase):
             cloud = self._parse_frame(message["frame"])
         except (KeyError, TypeError, ValueError) as error:
             raise transport.ProtocolError(f"malformed enqueue message: {error}") from error
+        priority, deadline_ms = _parse_scheduling(message)
+        self._admit(user)
+        enqueue = self._backend_call("enqueue", priority, deadline_ms)
         lock = self._shard_lock(user)
         async with lock.held(lock.claim()):
-            handle = await self._run_blocking(self.server.enqueue, user, cloud)
+            handle = await self._run_blocking(enqueue, user, cloud)
         # Register before sweeping: this very enqueue may have completed a
         # micro-batch, in which case its own resolution is pushed right away.
         conn.tickets[request_id] = (user, handle, codec)
         self._sweep()
         return {"type": "ticket", "user": user, "ticket": request_id}
 
-    async def _submit_batch(self, message: dict) -> dict:
+    async def _submit_batch(
+        self, conn: _Connection, message: dict, request_id, codec: str
+    ) -> dict:
         if self._closing.is_set():
             raise ServerClosing("front-end is shutting down")
         try:
@@ -855,6 +979,12 @@ class PoseFrontend(SocketServerBase):
             raise transport.ProtocolError(
                 f"malformed submit_batch frame: {error}"
             ) from error
+        priority, _ = _parse_scheduling(message)
+        # Streamed mode: push each frame's prediction the moment its handle
+        # resolves (correlated by ``batch``/``index``), ahead of the final
+        # ``predictions`` reply.  Needs a request id to correlate against.
+        stream = bool(message.get("stream")) and request_id is not None
+        self._admit_all(users)
         loop = asyncio.get_running_loop()
         start = loop.time()
 
@@ -877,7 +1007,9 @@ class PoseFrontend(SocketServerBase):
         async def enqueue_shard(index: int, positions: List[int]) -> None:
             shard_items = [items[p] for p in positions]
             async with self._shard_lock_by_index(index).held(claims[index]):
-                got = await self._run_blocking(self._enqueue_many_blocking, shard_items)
+                got = await self._run_blocking(
+                    self._enqueue_many_blocking, shard_items, priority
+                )
             for position, handle in zip(positions, got):
                 handles[position] = handle
 
@@ -891,18 +1023,41 @@ class PoseFrontend(SocketServerBase):
             if isinstance(outcome, BaseException):
                 raise outcome
 
-        async def resolve_shard(positions: List[int]) -> List:
-            return await self._run_blocking(
-                self._resolve_handles_blocking, [handles[p] for p in positions]
-            )
-
         resolutions: List = [None] * len(items)
-        per_shard = await asyncio.gather(
+
+        async def resolve_shard(positions: List[int]) -> None:
+            if not stream:
+                resolved = await self._run_blocking(
+                    self._resolve_handles_blocking, [handles[p] for p in positions]
+                )
+                for position, value in zip(positions, resolved):
+                    resolutions[position] = value
+                return
+            # Streamed: resolve one handle at a time so each completed
+            # frame is pushed as soon as it exists — the first resolution
+            # flushes the micro-batch, the rest are plain reads.
+            for position in positions:
+                resolved = await self._run_blocking(
+                    self._resolve_handles_blocking, [handles[position]]
+                )
+                value = resolutions[position] = resolved[0]
+                if not isinstance(value, Exception):
+                    self._push(
+                        conn,
+                        {
+                            "type": "prediction",
+                            "user": items[position][0],
+                            "batch": request_id,
+                            "index": position,
+                            "joints": np.asarray(value),
+                            "pushed": True,
+                        },
+                        codec,
+                    )
+
+        await asyncio.gather(
             *(resolve_shard(positions) for _, positions in sorted(by_shard.items()))
         )
-        for (_, positions), resolved in zip(sorted(by_shard.items()), per_shard):
-            for position, value in zip(positions, resolved):
-                resolutions[position] = value
         self._sweep()
 
         results: List[dict] = []
@@ -922,12 +1077,20 @@ class PoseFrontend(SocketServerBase):
             "latency_ms": (loop.time() - start) * 1000.0,
         }
 
-    def _enqueue_many_blocking(self, items: Sequence[Tuple[Hashable, PointCloudFrame]]):
+    def _enqueue_many_blocking(
+        self,
+        items: Sequence[Tuple[Hashable, PointCloudFrame]],
+        priority: Optional[str] = None,
+    ):
         enqueue_many = getattr(self.server, "enqueue_many", None)
         if enqueue_many is not None:
+            if priority is not None:
+                return enqueue_many(items, priority=priority)
             return enqueue_many(items)
         from .server import enqueue_each
 
+        if priority is not None:
+            return enqueue_each(self.server, items, priority=priority)
         return enqueue_each(self.server, items)
 
     @staticmethod
@@ -993,10 +1156,15 @@ class PoseFrontend(SocketServerBase):
             for ticket in completed:
                 user, handle, codec = conn.tickets.pop(ticket)
                 if handle.dropped:
+                    reason = (
+                        getattr(handle, "drop_reason", None)
+                        or "backpressure or shard restart"
+                    )
                     push = _error_message(
                         FrameDropped(
                             f"request {ticket!r} of user {user!r} was dropped "
-                            "(backpressure or shard restart)"
+                            f"({reason})",
+                            retry_after_ms=self.scheduler.retry_after_ms,
                         )
                     )
                     push["ticket"] = ticket
@@ -1033,8 +1201,32 @@ class PoseFrontend(SocketServerBase):
         return await asyncio.get_running_loop().run_in_executor(self._executor, fn, *args)
 
 
+def _parse_scheduling(message: dict):
+    """Pull ``priority`` / ``deadline_ms`` off a request message."""
+    priority = message.get("priority")
+    if priority is not None and not isinstance(priority, str):
+        raise transport.ProtocolError("priority must be a traffic class name")
+    deadline_ms = message.get("deadline_ms")
+    if deadline_ms is not None:
+        try:
+            deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError) as error:
+            raise transport.ProtocolError(f"malformed deadline_ms: {error}") from error
+    return priority, deadline_ms
+
+
 def _error_message(error: Exception, request_id=None) -> dict:
-    message = {"type": "error", "error": type(error).__name__, "detail": str(error)}
+    if isinstance(error, ServerError):
+        # A relayed backend error (router tier): keep the *origin* class
+        # name so a client's RateLimited backoff works through the relay.
+        message = {"type": "error", "error": error.error, "detail": error.detail}
+    else:
+        message = {"type": "error", "error": type(error).__name__, "detail": str(error)}
+    retry_after_ms = getattr(error, "retry_after_ms", None)
+    if retry_after_ms is not None:
+        # Shedding contract: the client may retry this request after the
+        # hinted delay (admission control, drop_oldest eviction).
+        message["retry_after_ms"] = float(retry_after_ms)
     if request_id is not None:
         message["id"] = request_id
     return message
@@ -1046,6 +1238,22 @@ def _path_mode(path: str) -> int:
         return os.stat(path).st_mode
     except OSError:
         return 0
+
+
+class ServerError(RuntimeError):
+    """An ``error`` frame from the server, with its structured fields.
+
+    ``error`` is the server-side exception class name (``"RateLimited"``,
+    ``"FrameDropped"``, ...), ``retry_after_ms`` the shedding contract's
+    retry hint when the server attached one.  ``str(exc)`` keeps the
+    pre-structured ``server error <name>: <detail>`` wording.
+    """
+
+    def __init__(self, error: str, detail: str, retry_after_ms: Optional[float] = None):
+        super().__init__(f"server error {error}: {detail}")
+        self.error = error
+        self.detail = detail
+        self.retry_after_ms = retry_after_ms
 
 
 class AsyncPoseClient:
@@ -1077,7 +1285,10 @@ class AsyncPoseClient:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         reconnect: bool = False,
         auto_credits: bool = True,
+        rate_limit_retries: int = 4,
     ) -> None:
+        if rate_limit_retries < 0:
+            raise ValueError("rate_limit_retries must be >= 0")
         self.codec = codec if codec is not None else available_codecs()[-1]
         self.max_frame_bytes = max_frame_bytes
         #: opt-in: re-dial (with the connect call's bounded backoff) and
@@ -1085,14 +1296,20 @@ class AsyncPoseClient:
         self.reconnect = reconnect
         #: grant push credits back automatically as pushes are consumed
         self.auto_credits = auto_credits
+        #: extra attempts when the server sheds with ``RateLimited``: the
+        #: client honours the reply's ``retry_after_ms`` hint between tries
+        self.rate_limit_retries = rate_limit_retries
         self.unmatched_replies = 0
         self.reconnects = 0
+        self.rate_limited_retries_performed = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
         self._send_lock = asyncio.Lock()
         self._pending: "OrderedDict[object, asyncio.Future]" = OrderedDict()
         self._tickets: Dict[object, asyncio.Future] = {}
+        #: streamed submit_batch callbacks, keyed by the batch's request id
+        self._streams: Dict[object, Callable[[dict], None]] = {}
         self._next_id = 0
         self._server_protocol: Optional[int] = None
         self._read_error: Optional[Exception] = None
@@ -1212,6 +1429,14 @@ class AsyncPoseClient:
             self._resolve(self._tickets.pop(ticket), message)
             self._note_push()
             return
+        batch = message.get("batch")
+        if batch is not None and batch in self._streams:
+            # An incremental per-frame push of a streamed submit_batch:
+            # hand it to the batch's callback, keep the request pending.
+            with contextlib.suppress(Exception):  # a faulty callback must
+                self._streams[batch](message)  # not kill the read loop
+            self._note_push()
+            return
         if request_id is None and ticket is None:
             if message["type"] == "error" and (self._server_protocol or 0) >= 2:
                 # A v2 server only ever sends an uncorrelated error for a
@@ -1238,7 +1463,11 @@ class AsyncPoseClient:
             return
         if message["type"] == "error":
             future.set_exception(
-                RuntimeError(f"server error {message['error']}: {message['detail']}")
+                ServerError(
+                    message["error"],
+                    message["detail"],
+                    retry_after_ms=message.get("retry_after_ms"),
+                )
             )
         else:
             future.set_result(message)
@@ -1307,6 +1536,25 @@ class AsyncPoseClient:
         finally:
             self._pending.pop(request_id, None)
 
+    async def request_retrying(self, message: dict) -> dict:
+        """Send one request, honouring the server's shedding contract.
+
+        A reply of ``error == "RateLimited"`` is retried up to
+        ``rate_limit_retries`` extra times, sleeping the reply's
+        ``retry_after_ms`` hint between attempts; every other error raises
+        immediately, exactly like :meth:`request`.
+        """
+        attempts = 0
+        while True:
+            try:
+                return await self.request(dict(message))
+            except ServerError as error:
+                if error.error != "RateLimited" or attempts >= self.rate_limit_retries:
+                    raise
+                attempts += 1
+                self.rate_limited_retries_performed += 1
+                await asyncio.sleep((error.retry_after_ms or 25.0) / 1000.0)
+
     async def _redial(self) -> None:
         """Re-dial a dead connection and replay the hello handshake.
 
@@ -1350,19 +1598,44 @@ class AsyncPoseClient:
     async def ping(self) -> bool:
         return (await self.request({"type": "ping"}))["type"] == "pong"
 
-    async def submit(self, user_id, frame: PointCloudFrame) -> np.ndarray:
-        """Submit one frame; returns the ``(joints, 3)`` prediction."""
-        reply = await self.request(
-            {
-                "type": "submit",
-                "user": user_id,
-                "frame": {
-                    "points": frame.points,
-                    "timestamp": frame.timestamp,
-                    "frame_index": frame.frame_index,
-                },
-            }
+    @staticmethod
+    def _frame_payload(frame: PointCloudFrame) -> dict:
+        return {
+            "points": frame.points,
+            "timestamp": frame.timestamp,
+            "frame_index": frame.frame_index,
+        }
+
+    @staticmethod
+    def _scheduling_fields(
+        message: dict, priority: Optional[str], deadline_ms: Optional[float]
+    ) -> dict:
+        if priority is not None:
+            message["priority"] = priority
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
+        return message
+
+    async def submit(
+        self,
+        user_id,
+        frame: PointCloudFrame,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
+        """Submit one frame; returns the ``(joints, 3)`` prediction.
+
+        ``priority`` names one of the server's traffic classes
+        (``"interactive"`` / ``"bulk"`` by default) and ``deadline_ms``
+        overrides the class's latency budget for this one frame.  A
+        rate-limited reply is retried with the server's backoff hint.
+        """
+        message = self._scheduling_fields(
+            {"type": "submit", "user": user_id, "frame": self._frame_payload(frame)},
+            priority,
+            deadline_ms,
         )
+        reply = await self.request_retrying(message)
         return np.asarray(reply["joints"])
 
     async def submit_many(
@@ -1370,6 +1643,8 @@ class AsyncPoseClient:
         user_id,
         frames: Sequence[PointCloudFrame],
         max_in_flight: int = 8,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> List[np.ndarray]:
         """Pipeline many submits under a bounded in-flight window.
 
@@ -1385,7 +1660,9 @@ class AsyncPoseClient:
 
         async def one(index: int, frame: PointCloudFrame) -> None:
             try:
-                results[index] = await self.submit(user_id, frame)
+                results[index] = await self.submit(
+                    user_id, frame, priority=priority, deadline_ms=deadline_ms
+                )
             finally:
                 window.release()
 
@@ -1405,37 +1682,51 @@ class AsyncPoseClient:
     # ------------------------------------------------------------------
     # Streaming (enqueue / ticket / push)
     # ------------------------------------------------------------------
-    async def enqueue(self, user_id, frame: PointCloudFrame) -> asyncio.Future:
+    async def enqueue(
+        self,
+        user_id,
+        frame: PointCloudFrame,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> asyncio.Future:
         """Enqueue one frame; returns a future for the pushed prediction.
 
         The returned future resolves with the ``(joints, 3)`` array when
         the server pushes the completed prediction (batch full, a poll
         deadline, or an explicit :meth:`flush`); it raises if the request
-        was dropped under backpressure.
+        was dropped under backpressure.  ``priority`` / ``deadline_ms``
+        select the frame's traffic class and budget; a rate-limited reply
+        is retried (fresh ticket per attempt) with the server's backoff
+        hint.
         """
-        ticket = self._claim_id()
+        payload = self._scheduling_fields(
+            {"type": "enqueue", "user": user_id, "frame": self._frame_payload(frame)},
+            priority,
+            deadline_ms,
+        )
+        attempts = 0
         loop = asyncio.get_running_loop()
-        push: asyncio.Future = loop.create_future()
-        # Register before sending: the push may beat the ticket reply when
-        # this enqueue completes a micro-batch inside the server.
-        self._tickets[ticket] = push
-        try:
-            await self.request(
-                {
-                    "type": "enqueue",
-                    "id": ticket,
-                    "user": user_id,
-                    "frame": {
-                        "points": frame.points,
-                        "timestamp": frame.timestamp,
-                        "frame_index": frame.frame_index,
-                    },
-                }
-            )
-        except BaseException:
-            self._tickets.pop(ticket, None)
-            raise
-        return push
+        while True:
+            ticket = self._claim_id()
+            push: asyncio.Future = loop.create_future()
+            # Register before sending: the push may beat the ticket reply
+            # when this enqueue completes a micro-batch inside the server.
+            self._tickets[ticket] = push
+            try:
+                await self.request({**payload, "id": ticket})
+            except BaseException as error:
+                self._tickets.pop(ticket, None)
+                if (
+                    isinstance(error, ServerError)
+                    and error.error == "RateLimited"
+                    and attempts < self.rate_limit_retries
+                ):
+                    attempts += 1
+                    self.rate_limited_retries_performed += 1
+                    await asyncio.sleep((error.retry_after_ms or 25.0) / 1000.0)
+                    continue
+                raise
+            return push
 
     async def poll(self) -> int:
         """Apply the server's latency deadline; returns predictions produced."""
@@ -1452,6 +1743,8 @@ class AsyncPoseClient:
         max_in_flight: int = 8,
         flush: bool = True,
         return_errors: bool = False,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> List:
         """Stream frames through the server's micro-batcher, in order.
 
@@ -1473,7 +1766,11 @@ class AsyncPoseClient:
                 with contextlib.suppress(Exception):
                     # Window pacing only; failures surface when collected.
                     await self._await_push(futures[index - max_in_flight])
-            futures.append(await self.enqueue(user_id, frame))
+            futures.append(
+                await self.enqueue(
+                    user_id, frame, priority=priority, deadline_ms=deadline_ms
+                )
+            )
         if flush and frames:
             await self.flush()
         outcomes: List = []
@@ -1501,6 +1798,8 @@ class AsyncPoseClient:
         self,
         items: Sequence[Tuple[Hashable, PointCloudFrame]],
         return_errors: bool = False,
+        priority: Optional[str] = None,
+        on_result: Optional[Callable[[int, Hashable, np.ndarray], None]] = None,
     ) -> List:
         """Submit N ``(user_id, frame)`` pairs in one wire frame.
 
@@ -1509,29 +1808,48 @@ class AsyncPoseClient:
         region per dtype/shape group).  Returns the predictions in item
         order; a frame dropped under backpressure raises — or, with
         ``return_errors=True``, yields the error object in its slot.
+
+        ``priority`` names the traffic class every frame of the batch
+        rides under.  ``on_result`` opts into *streamed* results: the
+        server pushes each frame's prediction as its micro-batch resolves
+        and the callback fires as ``on_result(index, user_id, joints)``,
+        ahead of the final aggregate reply this method still returns.
         """
         if not items:
             raise ValueError("at least one (user, frame) item is required")
-        reply = await self.request(
-            {
-                "type": "submit_batch",
-                "users": [user for user, _ in items],
-                "frames": {
-                    "points": ArrayBlock([frame.points for _, frame in items]),
-                    "timestamps": [float(frame.timestamp) for _, frame in items],
-                    "frame_indices": [int(frame.frame_index) for _, frame in items],
-                },
-            }
-        )
+        message = {
+            "type": "submit_batch",
+            "users": [user for user, _ in items],
+            "frames": {
+                "points": ArrayBlock([frame.points for _, frame in items]),
+                "timestamps": [float(frame.timestamp) for _, frame in items],
+                "frame_indices": [int(frame.frame_index) for _, frame in items],
+            },
+        }
+        if priority is not None:
+            message["priority"] = priority
+        if on_result is None:
+            reply = await self.request_retrying(message)
+        else:
+            request_id = self._claim_id()
+            message["id"] = request_id
+            message["stream"] = True
+
+            def deliver(push: dict) -> None:
+                on_result(int(push["index"]), push["user"], np.asarray(push["joints"]))
+
+            self._streams[request_id] = deliver
+            try:
+                reply = await self.request_retrying(message)
+            finally:
+                self._streams.pop(request_id, None)
         joints = iter(reply["joints"])
         out: List = []
         for result in reply["results"]:
             if result["ok"]:
                 out.append(np.asarray(next(joints)))
                 continue
-            error = RuntimeError(
-                f"server error {result['error']}: {result['detail']}"
-            )
+            error = ServerError(result["error"], result["detail"])
             if not return_errors:
                 raise error
             out.append(error)

@@ -57,9 +57,13 @@ class ServeMetrics:
             raise ValueError("latency_window must be >= 1")
         self._clock = clock
         self._latencies: "deque[float]" = deque(maxlen=latency_window)
+        self._class_latencies: Dict[str, "deque[float]"] = {}
+        self._class_completed: Dict[str, int] = {}
         self.submitted = 0
         self.completed = 0
         self.dropped = 0
+        self.shed = 0
+        self.deadline_misses = 0
         self.flushes = 0
         self.batched_frames = 0
         self.max_batch_seen = 0
@@ -94,14 +98,34 @@ class ServeMetrics:
         if batch_size > self.max_batch_seen:
             self.max_batch_seen = batch_size
 
-    def record_completion(self, latency_s: float) -> None:
+    def record_completion(
+        self,
+        latency_s: float,
+        traffic_class: Optional[str] = None,
+        deadline_missed: bool = False,
+    ) -> None:
         self.completed += 1
         self._latencies.append(latency_s)
         self.latency_sum_s += latency_s
         self._last_completion_at = self._clock()
+        if traffic_class is not None:
+            window = self._class_latencies.get(traffic_class)
+            if window is None:
+                window = deque(maxlen=self._latencies.maxlen)
+                self._class_latencies[traffic_class] = window
+            window.append(latency_s)
+            self._class_completed[traffic_class] = (
+                self._class_completed.get(traffic_class, 0) + 1
+            )
+        if deadline_missed:
+            self.deadline_misses += 1
 
     def record_drop(self) -> None:
         self.dropped += 1
+
+    def record_shed(self) -> None:
+        """One request shed by admission control (rate limit / overload)."""
+        self.shed += 1
 
     def record_session_eviction(self) -> None:
         self.session_evictions += 1
@@ -183,6 +207,8 @@ class ServeMetrics:
             "submitted": self.submitted,
             "completed": self.completed,
             "dropped": self.dropped,
+            "shed": self.shed,
+            "deadline_misses": self.deadline_misses,
             "flushes": self.flushes,
             "mean_batch_size": self.mean_batch_size,
             "max_batch_seen": self.max_batch_seen,
@@ -203,6 +229,11 @@ class ServeMetrics:
             "adapter_demotions_cold": self.adapter_demotions_cold,
             "adapter_tier_hit_rate": self.adapter_tier_hit_rate,
         }
+        for name in sorted(self._class_completed):
+            report[f"class_{name}_completed"] = self._class_completed[name]
+            report[f"class_{name}_latency_p95_ms"] = (
+                percentile(self._class_latencies.get(name, ()), 0.95) * 1000.0
+            )
         if queue_depth is not None:
             report["queue_depth"] = queue_depth
         return report
@@ -215,6 +246,8 @@ class ServeMetrics:
         "submitted",
         "completed",
         "dropped",
+        "shed",
+        "deadline_misses",
         "flushes",
         "batched_frames",
         "max_batch_seen",
@@ -245,6 +278,10 @@ class ServeMetrics:
         state: Dict[str, object] = {key: getattr(self, key) for key in self._STATE_COUNTERS}
         state["latency_window"] = self._latencies.maxlen
         state["latencies"] = list(self._latencies)
+        state["class_latencies"] = {
+            name: list(window) for name, window in self._class_latencies.items()
+        }
+        state["class_completed"] = dict(self._class_completed)
         state["first_submit_at"] = self._first_submit_at
         state["last_completion_at"] = self._last_completion_at
         return state
@@ -256,8 +293,14 @@ class ServeMetrics:
         """Rebuild an instance from a :meth:`state_dict` payload."""
         metrics = cls(latency_window=int(state["latency_window"]), clock=clock)
         for key in cls._STATE_COUNTERS:
-            setattr(metrics, key, state[key])
+            # .get keeps older-release payloads (without newer counters) valid.
+            setattr(metrics, key, state.get(key, 0))
         metrics._latencies.extend(state["latencies"])
+        for name, values in state.get("class_latencies", {}).items():
+            window = deque(maxlen=metrics._latencies.maxlen)
+            window.extend(values)
+            metrics._class_latencies[name] = window
+        metrics._class_completed.update(state.get("class_completed", {}))
         metrics._first_submit_at = state["first_submit_at"]
         metrics._last_completion_at = state["last_completion_at"]
         return metrics
@@ -277,6 +320,12 @@ class ServeMetrics:
         "param_cache_hit_rate",
         "adapter_tier_hit_rate",
     )
+
+    @staticmethod
+    def _is_class_latency_key(key: str) -> bool:
+        """Per-class percentile keys (``class_<name>_latency_p95_ms``) are
+        derived figures, recomputed on merge rather than summed."""
+        return key.startswith("class_") and key.endswith("_latency_p95_ms")
 
     @classmethod
     def aggregate(
@@ -316,7 +365,7 @@ class ServeMetrics:
                     keys.append(key)
         report: Dict[str, float] = {}
         for key in keys:
-            if key in cls._AGGREGATE_DERIVED_KEYS:
+            if key in cls._AGGREGATE_DERIVED_KEYS or cls._is_class_latency_key(key):
                 continue
             values = [snapshot.get(key, 0) for snapshot in snapshots]
             report[key] = max(values) if key in cls._AGGREGATE_MAX_KEYS else sum(values)
@@ -329,6 +378,17 @@ class ServeMetrics:
             pooled_latencies = [value for m in instances for value in m._latencies]
             report["latency_p50_ms"] = percentile(pooled_latencies, 0.50) * 1000.0
             report["latency_p95_ms"] = percentile(pooled_latencies, 0.95) * 1000.0
+
+            class_names = sorted(
+                {name for m in instances for name in m._class_latencies}
+            )
+            for name in class_names:
+                pooled = [
+                    value
+                    for m in instances
+                    for value in m._class_latencies.get(name, ())
+                ]
+                report[f"class_{name}_latency_p95_ms"] = percentile(pooled, 0.95) * 1000.0
 
             first_submits = [
                 m._first_submit_at for m in instances if m._first_submit_at is not None
@@ -367,6 +427,20 @@ class ServeMetrics:
             report["throughput_fps"] = sum(
                 snapshot.get("throughput_fps", 0.0) for snapshot in snapshots
             )
+            for key in keys:
+                if not cls._is_class_latency_key(key):
+                    continue
+                weight_key = key[: -len("latency_p95_ms")] + "completed"
+                weight = sum(snapshot.get(weight_key, 0) for snapshot in snapshots)
+                report[key] = (
+                    sum(
+                        snapshot.get(key, 0.0) * snapshot.get(weight_key, 0)
+                        for snapshot in snapshots
+                    )
+                    / weight
+                    if weight
+                    else 0.0
+                )
 
         cache_hits = report.get("param_cache_hits", 0)
         cache_requests = cache_hits + report.get("param_cache_misses", 0)
@@ -388,6 +462,12 @@ class ServeMetrics:
         ("fuse_serve_requests_submitted_total", "submitted", "Requests accepted for serving."),
         ("fuse_serve_requests_completed_total", "completed", "Predictions returned to callers."),
         ("fuse_serve_requests_dropped_total", "dropped", "Requests dropped under backpressure."),
+        ("fuse_serve_requests_shed_total", "shed", "Requests shed by admission control."),
+        (
+            "fuse_serve_deadline_misses_total",
+            "deadline_misses",
+            "Completions delivered after their class deadline.",
+        ),
         ("fuse_serve_flushes_total", "flushes", "Micro-batch flushes executed."),
         ("fuse_serve_batched_frames_total", "batched_frames", "Frames served through micro-batches."),
         ("fuse_serve_session_evictions_total", "session_evictions", "LRU session evictions."),

@@ -66,6 +66,7 @@ from .frontend import (
     SocketServerBase,
     _Connection,
     _error_message,
+    _parse_scheduling,
 )
 from .health import HealthMonitor
 from .metrics import ServeMetrics, merge_expositions
@@ -242,7 +243,10 @@ class PoseRouter(SocketServerBase):
     async def _attach(self, spec: BackendSpec) -> RouterBackend:
         if spec.name in self._backends:
             raise ValueError(f"backend {spec.name!r} is already attached")
-        client = AsyncPoseClient(codec=self.codec, reconnect=True)
+        # rate_limit_retries=0: a backend's shed is *relayed* to the end
+        # client (with its retry_after_ms hint) rather than absorbed by
+        # router-side sleeps — the client owns the backoff decision.
+        client = AsyncPoseClient(codec=self.codec, reconnect=True, rate_limit_retries=0)
         if spec.unix_path is not None:
             await client.connect_unix(
                 spec.unix_path,
@@ -393,7 +397,7 @@ class PoseRouter(SocketServerBase):
         if kind == "flush":
             return {"type": "flushed", "produced": await self._fan_produce("flush")}
         if kind == "submit_batch":
-            return await self._submit_batch(message)
+            return await self._submit_batch(conn, message, request_id, codec)
         if kind == "metrics":
             return {"type": "metrics_report", "metrics": await self.cluster_metrics()}
         if kind == "prometheus":
@@ -441,11 +445,14 @@ class PoseRouter(SocketServerBase):
             cloud = self._parse_frame(message["frame"])
         except (KeyError, TypeError, ValueError) as error:
             raise transport.ProtocolError(f"malformed submit message: {error}") from error
+        priority, deadline_ms = _parse_scheduling(message)
         loop = asyncio.get_running_loop()
         start = loop.time()
 
         async def call(backend, cloud):
-            joints = await backend.client.submit(user, cloud)
+            joints = await backend.client.submit(
+                user, cloud, priority=priority, deadline_ms=deadline_ms
+            )
             # Mirror only *accepted* frames: observing before the call would
             # leave a failed attempt's frame in the mirror, and the failover
             # restore plus the retry would then feed it to fusion twice.
@@ -476,9 +483,12 @@ class PoseRouter(SocketServerBase):
             cloud = self._parse_frame(message["frame"])
         except (KeyError, TypeError, ValueError) as error:
             raise transport.ProtocolError(f"malformed enqueue message: {error}") from error
+        priority, deadline_ms = _parse_scheduling(message)
 
         async def call(backend, cloud):
-            push = await backend.client.enqueue(user, cloud)
+            push = await backend.client.enqueue(
+                user, cloud, priority=priority, deadline_ms=deadline_ms
+            )
             # The ticket reply means the backend admitted the frame into its
             # session; only then does it belong in the failover mirror.
             self.mirror.observe(user, cloud.points, cloud.timestamp, cloud.frame_index)
@@ -526,7 +536,9 @@ class PoseRouter(SocketServerBase):
                 produced += int(outcome)
         return produced
 
-    async def _submit_batch(self, message: dict) -> dict:
+    async def _submit_batch(
+        self, conn: _Connection, message: dict, request_id, codec: str
+    ) -> dict:
         if self._closing.is_set():
             raise ServerClosing("router is shutting down")
         try:
@@ -561,6 +573,11 @@ class PoseRouter(SocketServerBase):
             raise transport.ProtocolError(
                 f"malformed submit_batch frame: {error}"
             ) from error
+        priority, _ = _parse_scheduling(message)
+        # Streamed mode mirrors the front-end's: each forwarded frame's
+        # prediction is pushed (correlated by ``batch``/``index``) the
+        # moment its backend answers, ahead of the aggregate reply.
+        stream = bool(message.get("stream")) and request_id is not None
         loop = asyncio.get_running_loop()
         start = loop.time()
 
@@ -579,18 +596,31 @@ class PoseRouter(SocketServerBase):
                 cloud = items[position][1]
 
                 async def call(backend, cloud):
-                    joints = await backend.client.submit(user, cloud)
+                    joints = await backend.client.submit(user, cloud, priority=priority)
                     self.mirror.observe(
                         user, cloud.points, cloud.timestamp, cloud.frame_index
                     )
                     return joints
 
                 try:
-                    resolutions[position] = np.asarray(
-                        await self._forward(user, call, cloud)
-                    )
+                    value = np.asarray(await self._forward(user, call, cloud))
                 except Exception as error:
                     resolutions[position] = error
+                    continue
+                resolutions[position] = value
+                if stream:
+                    self._push(
+                        conn,
+                        {
+                            "type": "prediction",
+                            "user": user,
+                            "batch": request_id,
+                            "index": position,
+                            "joints": value,
+                            "pushed": True,
+                        },
+                        codec,
+                    )
 
         await asyncio.gather(
             *(run_user(user, positions) for user, positions in by_user.items())
@@ -600,8 +630,16 @@ class PoseRouter(SocketServerBase):
         joints: List[np.ndarray] = []
         for user, value in zip(users, resolutions):
             if isinstance(value, Exception):
+                # _error_message unwraps a relayed ServerError to its
+                # origin class name; reuse it for the per-item shape.
+                relayed = _error_message(value)
                 results.append(
-                    {"ok": False, "user": user, "error": type(value).__name__, "detail": str(value)}
+                    {
+                        "ok": False,
+                        "user": user,
+                        "error": relayed["error"],
+                        "detail": relayed["detail"],
+                    }
                 )
             else:
                 results.append({"ok": True, "user": user})

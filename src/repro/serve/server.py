@@ -50,7 +50,9 @@ __all__ = ["PoseServer", "enqueue_each"]
 
 
 def enqueue_each(
-    server, items: Sequence[Tuple[Hashable, PointCloudFrame]]
+    server,
+    items: Sequence[Tuple[Hashable, PointCloudFrame]],
+    priority: Optional[str] = None,
 ) -> List[Union[PendingPrediction, Exception]]:
     """Enqueue ``(user_id, frame)`` pairs in order, one outcome per slot.
 
@@ -59,12 +61,13 @@ def enqueue_each(
     (``QueueFull`` under the ``reject`` backpressure policy).  Capturing
     per slot — rather than raising mid-batch — keeps the already-admitted
     prefix addressable: those frames *did* enter their users' fusion
-    rings, so a caller must never blindly resubmit them.
+    rings, so a caller must never blindly resubmit them.  ``priority``
+    names the traffic class every frame of the batch is scheduled under.
     """
     outcomes: List[Union[PendingPrediction, Exception]] = []
     for user_id, frame in items:
         try:
-            outcomes.append(server.enqueue(user_id, frame))
+            outcomes.append(server.enqueue(user_id, frame, priority=priority))
         except Exception as error:
             outcomes.append(error)
     return outcomes
@@ -120,6 +123,7 @@ class PoseServer:
             policy = self.config.adapter
         self.policy = policy if policy is not None else AdapterPolicy()
         self.clock = clock
+        self.scheduler = self.config.scheduler
         self.metrics = ServeMetrics(clock=clock)
         self.sessions = SessionManager(
             num_context_frames=estimator.config.num_context_frames,
@@ -150,13 +154,31 @@ class PoseServer:
         """Number of requests waiting for the next micro-batch."""
         return len(self._batcher)
 
-    def enqueue(self, user_id: Hashable, frame: PointCloudFrame) -> PendingPrediction:
+    def enqueue(
+        self,
+        user_id: Hashable,
+        frame: PointCloudFrame,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> PendingPrediction:
         """Accept one frame; may trigger a flush when the batch fills up.
 
-        Returns a :class:`PendingPrediction` handle that resolves at the
-        next flush (or immediately if this request completed the batch).
+        ``priority`` names the traffic class (``"interactive"`` / ``"bulk"``
+        by default; ``None`` = the policy's default class) whose latency
+        budget becomes the request's deadline; ``deadline_ms`` overrides the
+        class budget for this one request.  Returns a
+        :class:`PendingPrediction` handle that resolves at the next flush
+        (or immediately if this request completed the batch).
         """
-        # Admission first: a request rejected under backpressure must leave
+        # Resolve the class before admission: an unknown class must reject
+        # without evicting anything under drop_oldest.
+        traffic_class = self.scheduler.resolve(priority)
+        budget_s = (
+            deadline_ms / 1000.0 if deadline_ms is not None else traffic_class.budget_s
+        )
+        if budget_s < 0:
+            raise ValueError("deadline_ms must be non-negative")
+        # Admission next: a request rejected under backpressure must leave
         # no trace, in particular not in the user's fusion ring.
         self._batcher.admit()
         session = self.sessions.get_or_create(user_id)
@@ -164,7 +186,14 @@ class PoseServer:
         now = self.clock()
         pending = PendingPrediction(user_id, self._sequence, now, flush=self.flush)
         self._sequence += 1
-        request = ServeRequest(user_id=user_id, fused=fused, pending=pending, arrival=now)
+        request = ServeRequest(
+            user_id=user_id,
+            fused=fused,
+            pending=pending,
+            arrival=now,
+            deadline=now + budget_s,
+            traffic_class=traffic_class.name,
+        )
         self._batcher.enqueue(request)
         self.metrics.record_submit(queue_depth=len(self._batcher))
         if self._batcher.full:
@@ -172,7 +201,9 @@ class PoseServer:
         return pending
 
     def enqueue_many(
-        self, items: Sequence[Tuple[Hashable, PointCloudFrame]]
+        self,
+        items: Sequence[Tuple[Hashable, PointCloudFrame]],
+        priority: Optional[str] = None,
     ) -> List[Union[PendingPrediction, Exception]]:
         """Enqueue many ``(user_id, frame)`` pairs in order, one outcome
         per slot (see :func:`enqueue_each` for the per-frame contract).
@@ -181,15 +212,23 @@ class PoseServer:
         the process-shard command channel) can amortize their per-request
         round-trip cost over N frames.
         """
-        return enqueue_each(self, items)
+        return enqueue_each(self, items, priority=priority)
 
-    def submit(self, user_id: Hashable, frame: PointCloudFrame) -> np.ndarray:
+    def submit(
+        self,
+        user_id: Hashable,
+        frame: PointCloudFrame,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
         """Synchronous prediction: enqueue, flush, return ``(joints, 3)``.
 
         Under logical concurrency (other requests already pending) the flush
         still coalesces them with this frame into one micro-batch.
         """
-        return self.enqueue(user_id, frame).result(flush=True)
+        return self.enqueue(
+            user_id, frame, priority=priority, deadline_ms=deadline_ms
+        ).result(flush=True)
 
     def poll(self, now: Optional[float] = None) -> int:
         """Flush if the pending batch is due (full, or deadline exceeded).
@@ -230,7 +269,11 @@ class PoseServer:
         joints = outputs.reshape(len(requests), -1, 3)
         for row, request in enumerate(requests):
             request.pending._resolve(joints[row])
-            self.metrics.record_completion(now - request.arrival)
+            self.metrics.record_completion(
+                now - request.arrival,
+                traffic_class=request.traffic_class,
+                deadline_missed=now > request.deadline,
+            )
         return len(requests)
 
     def _predict_adapted(self, user_ids: List[Hashable], features: np.ndarray) -> np.ndarray:

@@ -165,21 +165,39 @@ class ShardedPoseServer:
         """Requests waiting for the next micro-batch, across all shards."""
         return sum(shard.pending for shard in self.shards)
 
-    def enqueue(self, user_id: Hashable, frame: PointCloudFrame) -> PendingPrediction:
+    def enqueue(
+        self,
+        user_id: Hashable,
+        frame: PointCloudFrame,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> PendingPrediction:
         """Route one frame to the user's shard (may flush that shard)."""
-        return self.shard_of(user_id).enqueue(user_id, frame)
+        return self.shard_of(user_id).enqueue(
+            user_id, frame, priority=priority, deadline_ms=deadline_ms
+        )
 
     def enqueue_many(
-        self, items: Sequence[Tuple[Hashable, PointCloudFrame]]
+        self,
+        items: Sequence[Tuple[Hashable, PointCloudFrame]],
+        priority: Optional[str] = None,
     ) -> List[Union[PendingPrediction, Exception]]:
         """Enqueue many ``(user_id, frame)`` pairs in order, one outcome
         per slot — the shared :func:`repro.serve.server.enqueue_each`
         contract."""
-        return enqueue_each(self, items)
+        return enqueue_each(self, items, priority=priority)
 
-    def submit(self, user_id: Hashable, frame: PointCloudFrame) -> np.ndarray:
+    def submit(
+        self,
+        user_id: Hashable,
+        frame: PointCloudFrame,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
         """Synchronous prediction through the user's shard."""
-        return self.shard_of(user_id).submit(user_id, frame)
+        return self.shard_of(user_id).submit(
+            user_id, frame, priority=priority, deadline_ms=deadline_ms
+        )
 
     def poll(self, now: Optional[float] = None) -> int:
         """Apply every shard's latency deadline; returns predictions produced."""
@@ -267,7 +285,15 @@ class ProcessPendingPrediction:
     shard's event ledger rather than a direct callback.
     """
 
-    __slots__ = ("user_id", "sequence", "shard_index", "_value", "_dropped", "_flush")
+    __slots__ = (
+        "user_id",
+        "sequence",
+        "shard_index",
+        "_value",
+        "_dropped",
+        "_drop_reason",
+        "_flush",
+    )
 
     def __init__(self, user_id: Hashable, sequence: int, shard_index: int, flush) -> None:
         self.user_id = user_id
@@ -275,6 +301,7 @@ class ProcessPendingPrediction:
         self.shard_index = shard_index
         self._value: Optional[np.ndarray] = None
         self._dropped = False
+        self._drop_reason: Optional[str] = None
         self._flush = flush
 
     @property
@@ -285,11 +312,17 @@ class ProcessPendingPrediction:
     def dropped(self) -> bool:
         return self._dropped
 
+    @property
+    def drop_reason(self) -> Optional[str]:
+        """Why the shard dropped this request (``None`` while not dropped)."""
+        return self._drop_reason
+
     def _resolve(self, value: np.ndarray) -> None:
         self._value = value
 
-    def _drop(self) -> None:
+    def _drop(self, reason: Optional[str] = None) -> None:
         self._dropped = True
+        self._drop_reason = reason
 
     def result(self, flush: bool = True) -> np.ndarray:
         """The ``(joints, 3)`` prediction, forcing shard flushes if pending."""
@@ -297,9 +330,10 @@ class ProcessPendingPrediction:
             if self._flush(self.shard_index) == 0:
                 break
         if self._dropped:
+            detail = self._drop_reason or "backpressure or shard restart"
             raise FrameDropped(
                 f"request {self.sequence} of user {self.user_id!r} was dropped "
-                "(backpressure or shard restart)"
+                f"({detail})"
             )
         if self._value is None:
             raise RuntimeError(
@@ -411,10 +445,10 @@ class ProcessShardedPoseServer:
             handle = outstanding.pop(sequence, None)
             if handle is not None:
                 handle._resolve(value)
-        for sequence in events.dropped:
+        for sequence, reason in events.dropped:
             handle = outstanding.pop(sequence, None)
             if handle is not None:
-                handle._drop()
+                handle._drop(reason)
 
     def _call(self, shard_index: int, command, register=None):
         """One command round-trip, with crash recovery, atomically.
@@ -436,7 +470,7 @@ class ProcessShardedPoseServer:
             except ShardCrashed:
                 outstanding = self._outstanding[shard_index]
                 for handle in outstanding.values():
-                    handle._drop()
+                    handle._drop("shard worker crashed")
                 outstanding.clear()
                 if self.auto_restart:
                     worker.restart()
@@ -457,7 +491,13 @@ class ProcessShardedPoseServer:
         """Requests awaiting resolution across all shard processes."""
         return sum(len(outstanding) for outstanding in self._outstanding)
 
-    def enqueue(self, user_id: Hashable, frame: PointCloudFrame) -> ProcessPendingPrediction:
+    def enqueue(
+        self,
+        user_id: Hashable,
+        frame: PointCloudFrame,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> ProcessPendingPrediction:
         """Route one frame to the user's shard process (may flush there)."""
         index = self.shard_index(user_id)
         command = Enqueue(
@@ -465,6 +505,8 @@ class ProcessShardedPoseServer:
             points=frame.points,
             timestamp=frame.timestamp,
             frame_index=frame.frame_index,
+            priority=priority,
+            deadline_ms=deadline_ms,
         )
         handle_box: List[ProcessPendingPrediction] = []
 
@@ -482,7 +524,9 @@ class ProcessShardedPoseServer:
         return handle_box[0]
 
     def enqueue_many(
-        self, items: Sequence[Tuple[Hashable, PointCloudFrame]]
+        self,
+        items: Sequence[Tuple[Hashable, PointCloudFrame]],
+        priority: Optional[str] = None,
     ) -> List[Union[ProcessPendingPrediction, Exception]]:
         """Enqueue many ``(user_id, frame)`` pairs with one IPC hop per shard.
 
@@ -506,6 +550,7 @@ class ProcessShardedPoseServer:
                 points=tuple(items[p][1].points for p in positions),
                 timestamps=tuple(float(items[p][1].timestamp) for p in positions),
                 frame_indices=tuple(int(items[p][1].frame_index) for p in positions),
+                priority=priority,
             )
 
             def register(reply, index=index, positions=positions) -> None:
@@ -533,9 +578,17 @@ class ProcessShardedPoseServer:
             self._call(index, command, register=register)
         return outcomes
 
-    def submit(self, user_id: Hashable, frame: PointCloudFrame) -> np.ndarray:
+    def submit(
+        self,
+        user_id: Hashable,
+        frame: PointCloudFrame,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
         """Synchronous prediction through the user's shard process."""
-        return self.enqueue(user_id, frame).result(flush=True)
+        return self.enqueue(
+            user_id, frame, priority=priority, deadline_ms=deadline_ms
+        ).result(flush=True)
 
     def poll(self, now: Optional[float] = None) -> int:
         """Apply every shard's latency deadline (on the worker's clock).
@@ -649,7 +702,7 @@ class ProcessShardedPoseServer:
             if final is not None:
                 self._apply_events(index, final.events)
             for handle in self._outstanding[index].values():
-                handle._drop()
+                handle._drop("server shutdown")
             self._outstanding[index].clear()
 
     def __enter__(self) -> "ProcessShardedPoseServer":

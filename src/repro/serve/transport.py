@@ -34,6 +34,18 @@ goes through this module, so the protocol has exactly one definition:
   per-frame tag overhead).  v1 messages (no ``id``) remain valid and keep
   their strict request/reply semantics.
 
+* **Scheduling fields** — requests that enter the micro-batcher
+  (``submit`` / ``enqueue`` / ``submit_batch``) may carry ``"priority"``
+  (a traffic-class name, e.g. ``"interactive"`` / ``"bulk"``) and — per
+  frame — ``"deadline_ms"`` (a latency-budget override).  A shed or
+  evicted request's ``error`` frame may carry ``"retry_after_ms"``, the
+  server's backoff hint.  ``submit_batch`` with ``"stream": true`` asks
+  the server to push each frame's ``prediction`` as it resolves,
+  correlated by ``"batch"`` (the request id) and ``"index"`` (the frame's
+  position), before the final ``predictions`` reply.  All of these are
+  optional flat fields on existing message types; absent fields keep the
+  pre-scheduling behaviour, so old clients and servers interoperate.
+
 The module is deliberately transport-agnostic: :class:`FrameDecoder` does
 incremental parsing over any byte stream, and the ``read_message`` /
 ``write_message`` coroutines adapt it to asyncio streams.

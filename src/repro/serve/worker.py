@@ -124,12 +124,19 @@ class ShardFactory:
 
 @dataclass(frozen=True)
 class Enqueue:
-    """Enqueue one frame for ``user_id`` (may trigger an in-shard flush)."""
+    """Enqueue one frame for ``user_id`` (may trigger an in-shard flush).
+
+    ``priority`` names the request's traffic class (``None`` = the config's
+    default class); ``deadline_ms`` overrides the class latency budget for
+    this one request.
+    """
 
     user_id: Hashable
     points: np.ndarray
     timestamp: float = 0.0
     frame_index: int = 0
+    priority: Optional[str] = None
+    deadline_ms: Optional[float] = None
 
     def frame(self) -> PointCloudFrame:
         return PointCloudFrame(
@@ -143,13 +150,15 @@ class EnqueueBatch:
 
     Frames are enqueued strictly in tuple order, so per-user frame order —
     what streaming fusion depends on — is exactly what the caller sent.
-    The reply carries one shard-local sequence id per frame.
+    The reply carries one shard-local sequence id per frame.  ``priority``
+    names the traffic class every frame of the batch is scheduled under.
     """
 
     user_ids: Tuple[Hashable, ...]
     points: Tuple[np.ndarray, ...]
     timestamps: Tuple[float, ...]
     frame_indices: Tuple[int, ...]
+    priority: Optional[str] = None
 
     def frames(self) -> List[PointCloudFrame]:
         return [
@@ -212,10 +221,16 @@ class Shutdown:
 
 @dataclass
 class ShardEvents:
-    """Predictions resolved and requests dropped since the last reply."""
+    """Predictions resolved and requests dropped since the last reply.
+
+    Dropped entries are ``(sequence, reason)`` pairs: the reason the
+    shard's batcher recorded (eviction, shutdown) travels with the event so
+    the parent's handle — and ultimately the wire error frame a poller
+    receives — can say *why* the request died instead of hanging silently.
+    """
 
     resolved: List[Tuple[int, np.ndarray]] = field(default_factory=list)
-    dropped: List[int] = field(default_factory=list)
+    dropped: List[Tuple[int, Optional[str]]] = field(default_factory=list)
 
 
 @dataclass
@@ -314,7 +329,7 @@ def _collect_events(outstanding: Dict[int, PendingPrediction]) -> ShardEvents:
         if handle.done:
             events.resolved.append((sequence, handle.result(flush=False)))
         elif handle.dropped:
-            events.dropped.append(sequence)
+            events.dropped.append((sequence, handle.drop_reason))
         else:
             continue
         del outstanding[sequence]
@@ -354,7 +369,12 @@ def _dispatch(
     server: PoseServer, outstanding: Dict[int, PendingPrediction], command
 ):
     if isinstance(command, Enqueue):
-        handle = server.enqueue(command.user_id, command.frame())
+        handle = server.enqueue(
+            command.user_id,
+            command.frame(),
+            priority=command.priority,
+            deadline_ms=command.deadline_ms,
+        )
         outstanding[handle.sequence] = handle
         return Enqueued(sequence=handle.sequence, events=_collect_events(outstanding))
     if isinstance(command, EnqueueBatch):
@@ -362,7 +382,7 @@ def _dispatch(
         errors: List[Optional[Tuple[str, str]]] = []
         for user_id, frame in zip(command.user_ids, command.frames()):
             try:
-                handle = server.enqueue(user_id, frame)
+                handle = server.enqueue(user_id, frame, priority=command.priority)
             except Exception as error:  # per-frame: the prefix stays valid
                 sequences.append(None)
                 errors.append((type(error).__name__, str(error)))

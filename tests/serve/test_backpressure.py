@@ -5,32 +5,21 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.serve import FrameDropped, PoseServer, QueueFull, ServeConfig
+from repro.serve import FakeClock, FrameDropped, PoseServer, QueueFull, ServeConfig
 
 from .conftest import make_frame
 
 
 @pytest.fixture
-def clock():
-    """A manually advanced clock: ``clock.now`` is injected into the server."""
-
-    class _Clock:
-        def __init__(self):
-            self.time = 0.0
-
-        def now(self) -> float:
-            return self.time
-
-        def advance(self, seconds: float) -> None:
-            self.time += seconds
-
-    return _Clock()
+def clock() -> FakeClock:
+    """A manually advanced clock, injected into the server under test."""
+    return FakeClock()
 
 
 def make_server(estimator, clock, **overrides) -> PoseServer:
     defaults = dict(max_batch_size=64, max_queue_depth=4, max_delay_ms=5.0)
     defaults.update(overrides)
-    return PoseServer(estimator, ServeConfig(**defaults), clock=clock.now)
+    return PoseServer(estimator, ServeConfig(**defaults), clock=clock)
 
 
 class TestDropOldest:
