@@ -592,6 +592,129 @@ class TestRouterFanOut:
         assert payload["routed_2_backends_fps"] > 0
 
 
+class TestFaultRecovery:
+    def test_forced_failover_throughput_and_recovery(self):
+        """Serving throughput through a forced backend failover.
+
+        The 50-user replay runs through the router over two process-backed
+        backends in three phases of five frames each, and the
+        ``fault_recovery`` section records what the fleet actually pays for
+        losing a backend mid-replay:
+
+        * **steady_two_backend_fps** — the healthy two-backend baseline;
+        * **during_failover_fps** — the phase that starts right after one
+          backend's front-end is hard-stopped: the router's health monitor
+          marks it down, every stranded user is re-placed onto the
+          survivor, and their session rings are restored from the router's
+          mirror — detection, re-placement and restore cost all land in
+          this figure;
+        * **after_recovery_fps** — the follow-up phase on the surviving
+          backend alone: the degraded steady state the fleet runs at until
+          capacity is restored;
+        * **time_to_detect_s** / **time_to_recover_s** — backend stop to
+          health mark-down, and backend stop to the first post-fault frame
+          of every stranded user answered (the user-visible outage).
+
+        The two timing figures are deliberately named without an
+        fps/per_sec suffix so the regression gate trends only the
+        throughput legs.
+        """
+        import asyncio
+        import tempfile
+        from pathlib import Path as _Path
+
+        from repro.serve import BackendSpec, PoseRouter, RetryPolicy
+
+        estimator, streams = _serve_fixture()
+        users = sorted(streams)
+        phase_frames = 5
+        phase_total = len(users) * phase_frames
+        payload: dict = {
+            "users": len(users),
+            "frames_per_phase": phase_frames,
+            "cpu_count": os.cpu_count(),
+            "backend": active_backend_name(),
+        }
+
+        async def drive(path: str, start_frame: int) -> float:
+            async def stream_user(user):
+                async with AsyncPoseClient() as client:
+                    await client.connect_unix(path)
+                    for sample in streams[user][start_frame : start_frame + phase_frames]:
+                        await client.submit(user, sample.cloud)
+
+            start = time.perf_counter()
+            await asyncio.gather(*(stream_user(user) for user in users))
+            return phase_total / (time.perf_counter() - start)
+
+        async def run() -> None:
+            root = _Path(tempfile.mkdtemp(prefix="fuse-bench-failover-"))
+            config = ServeConfig(max_batch_size=64)
+            servers = [
+                ProcessShardedPoseServer(estimator, num_shards=1, config=config)
+                for _ in range(2)
+            ]
+            frontends = []
+            try:
+                specs = []
+                for index, server in enumerate(servers):
+                    path = str(root / f"b{index}.sock")
+                    frontend = PoseFrontend(server, unix_path=path)
+                    await frontend.start()
+                    frontends.append(frontend)
+                    specs.append(BackendSpec(name=f"b{index}", unix_path=path))
+                router = PoseRouter(
+                    specs,
+                    unix_path=str(root / "router.sock"),
+                    health_interval_s=0.05,
+                    health_timeout_s=0.5,
+                    health_failures=2,
+                    request_timeout_s=5.0,
+                    retry_policy=RetryPolicy(
+                        max_attempts=3, base_delay_s=0.05, max_delay_s=0.2
+                    ),
+                )
+                await router.start()
+                try:
+                    router_path = str(root / "router.sock")
+                    payload["steady_two_backend_fps"] = await drive(router_path, 0)
+                    stranded = [
+                        user
+                        for user, backend in router._placement.items()
+                        if backend == "b1"
+                    ]
+                    assert stranded, "consistent hashing placed nothing on b1"
+
+                    await frontends[1].stop()
+                    fault_start = time.perf_counter()
+                    while not router.monitor.is_down("b1"):
+                        await asyncio.sleep(0.01)
+                    payload["time_to_detect_s"] = time.perf_counter() - fault_start
+
+                    payload["during_failover_fps"] = await drive(router_path, 5)
+                    payload["time_to_recover_s"] = time.perf_counter() - fault_start
+                    assert router.backends_lost == 1
+                    assert router.users_failed_over == len(stranded)
+                    assert set(router._placement.values()) == {"b0"}
+
+                    payload["after_recovery_fps"] = await drive(router_path, 10)
+                finally:
+                    await router.stop()
+            finally:
+                import contextlib
+
+                for frontend in frontends:
+                    with contextlib.suppress(Exception):
+                        await frontend.stop()
+                for server in servers:
+                    server.close()
+
+        asyncio.run(run())
+        _record("fault_recovery", payload)
+        assert payload["after_recovery_fps"] > 0
+        assert payload["time_to_recover_s"] > payload["time_to_detect_s"] > 0
+
+
 class TestMixedClassServing:
     def test_mixed_class_latency_and_bulk_retention(self):
         """Interactive and bulk classes sharing one EDF-scheduled server.

@@ -244,6 +244,17 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     model.add_argument("--train-epochs", type=int, default=3)
     model.add_argument("--seed", type=int, default=5)
 
+    faults = parser.add_argument_group("fault injection (chaos testing)")
+    faults.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        default=None,
+        help="JSON fault schedule (repro.serve.FaultPlan) injected into the "
+        "serving tier: worker crashes, corrupted/truncated wire frames, "
+        "reply latency, blackholes and spill corruption fire at scripted "
+        "occurrences (tests and chaos drills only)",
+    )
+
     parser.add_argument(
         "--allow-remote-shutdown",
         action="store_true",
@@ -260,6 +271,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     from ..dataset.synthetic import SyntheticDatasetConfig, generate_dataset
     from ..serve import (
         AdapterPolicy,
+        FaultPlan,
         PoseFrontend,
         ProcessShardedPoseServer,
         ServeConfig,
@@ -290,6 +302,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         except ValueError as error:
             return _fail(str(error))
 
+    fault_plan = None
+    if args.fault_plan is not None:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, KeyError) as error:
+            return _fail(f"could not load --fault-plan {args.fault_plan}: {error}")
+
     try:
         config = ServeConfig(
             max_batch_size=args.max_batch_size,
@@ -298,6 +317,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             adapter=adapter,
             kernel_backend=args.kernel_backend,
             scheduling=_scheduling_from_args(args),
+            fault_plan=fault_plan,
         )
     except ValueError as error:
         return _fail(str(error))
@@ -411,6 +431,23 @@ def _add_router_options(parser: argparse.ArgumentParser) -> None:
         default=3,
         help="consecutive failed pings before failover (default: 3)",
     )
+    health.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request forwarding timeout; a timed-out backend counts a "
+        "health-probe failure (brownout detection; default: no timeout)",
+    )
+
+    faults = parser.add_argument_group("fault injection (chaos testing)")
+    faults.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        default=None,
+        help="JSON fault schedule (repro.serve.FaultPlan) injected into the "
+        "router tier (tests and chaos drills only)",
+    )
 
     wire = parser.add_argument_group("wire protocol")
     wire.add_argument(
@@ -459,11 +496,22 @@ def _run_router(args: argparse.Namespace) -> int:
     import subprocess
     import tempfile
 
-    from ..serve import BackendSpec, PoseRouter
+    from ..serve import BackendSpec, FaultPlan, PoseRouter, maybe_injector
     from ..serve.cli_utils import format_ready_line, wait_for_ready
 
     if args.unix is not None and args.host is not None:
         return _fail("--unix and --host are mutually exclusive", prog="fuse-router")
+    if args.request_timeout is not None and args.request_timeout <= 0:
+        return _fail("--request-timeout must be positive", prog="fuse-router")
+    fault_injector = None
+    if args.fault_plan is not None:
+        try:
+            fault_injector = maybe_injector(FaultPlan.load(args.fault_plan))
+        except (OSError, ValueError, KeyError) as error:
+            return _fail(
+                f"could not load --fault-plan {args.fault_plan}: {error}",
+                prog="fuse-router",
+            )
     if args.spawn < 0:
         return _fail("--spawn must be >= 0", prog="fuse-router")
     if not args.spawn and not args.backend:
@@ -555,6 +603,8 @@ def _run_router(args: argparse.Namespace) -> int:
                 health_interval_s=args.health_interval,
                 health_timeout_s=args.health_timeout,
                 health_failures=args.health_failures,
+                request_timeout_s=args.request_timeout,
+                fault_injector=fault_injector,
                 allow_remote_shutdown=args.allow_remote_shutdown,
             )
             await router.start()

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -23,6 +25,7 @@ __all__ = [
     "read_metadata",
     "save_model",
     "save_state_bytes",
+    "state_checksum",
     "load_model_into",
 ]
 
@@ -30,20 +33,56 @@ PathLike = Union[str, Path]
 _METADATA_KEY = "__repro_metadata__"
 
 
+def state_checksum(state: Dict[str, np.ndarray]) -> int:
+    """CRC32 over a state dict's keys, dtypes, shapes and raw bytes.
+
+    Key order does not matter (keys are folded in sorted order), so the
+    checksum of a loaded archive matches the checksum recorded at save time
+    regardless of how either side enumerates its members.  The value fits in
+    an unsigned 32-bit integer and round-trips through JSON metadata.
+    """
+    crc = 0
+    for key in sorted(state):
+        array = np.ascontiguousarray(state[key])
+        header = f"{key}:{array.dtype.str}:{array.shape}".encode("utf-8")
+        crc = zlib.crc32(header, crc)
+        crc = zlib.crc32(array.tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
 def save_state(
     state: Dict[str, np.ndarray], path: PathLike, metadata: Optional[Dict] = None
 ) -> Path:
-    """Write a state dict (plus optional JSON-serializable metadata) to disk."""
+    """Write a state dict (plus optional JSON-serializable metadata) to disk.
+
+    The write is atomic: the archive is assembled in a temporary sibling file
+    and :func:`os.replace`-renamed onto the final path, so a crash mid-write
+    leaves either the previous archive or none — never a truncated one.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    # np.savez appends ".npz" when missing; normalise the final path first so
+    # the temporary file and the rename target agree.
+    final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
     payload = dict(state)
     if metadata is not None:
         payload[_METADATA_KEY] = np.frombuffer(
             json.dumps(metadata).encode("utf-8"), dtype=np.uint8
         )
-    np.savez_compressed(path, **payload)
-    # np.savez appends ".npz" when missing; normalise the returned path.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
+    try:
+        np.savez_compressed(tmp, **payload)
+        # np.savez also suffixes the temporary name when it lacks ".npz".
+        written = tmp if tmp.suffix == ".npz" else tmp.with_suffix(tmp.suffix + ".npz")
+        os.replace(written, final)
+    except BaseException:
+        for candidate in (tmp, tmp.with_suffix(tmp.suffix + ".npz")):
+            try:
+                candidate.unlink()
+            except OSError:
+                pass
+        raise
+    return final
 
 
 def load_state(path: PathLike) -> tuple[Dict[str, np.ndarray], Optional[Dict]]:

@@ -55,6 +55,7 @@ from .batcher import FrameDropped, MicroBatcher, PendingPrediction, QueueFull, S
 from .cli_utils import ReadyAddress, format_ready_line, parse_ready_line, wait_for_ready
 from .clock import Clock, FakeClock, MonotonicClock, as_clock
 from .config import ServeConfig
+from .faults import FaultInjector, FaultPlan, FaultRule, RetryPolicy, maybe_injector
 from .policy import AdapterPolicy
 from .scheduling import RateLimited, SchedulingPolicy, TokenBucket, TrafficClass
 from .frontend import (
@@ -86,7 +87,7 @@ from .replay import (
 from .server import PoseServer
 from .session import SessionManager, UserSession, streaming_window
 from .sharded import ProcessShardedPoseServer, ShardedPoseServer
-from .worker import ShardCrashed, ShardProcess, ShardRemoteError
+from .worker import ShardCrashed, ShardDegraded, ShardProcess, ShardRemoteError
 
 __all__ = [
     "AdapterPolicy",
@@ -95,6 +96,9 @@ __all__ = [
     "BackendSpec",
     "Clock",
     "FakeClock",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "FrameDropped",
     "HashRing",
     "HealthMonitor",
@@ -111,6 +115,7 @@ __all__ = [
     "RateLimited",
     "ReadyAddress",
     "ReplayResult",
+    "RetryPolicy",
     "RouterBackend",
     "SchedulingPolicy",
     "ServeConfig",
@@ -121,6 +126,7 @@ __all__ = [
     "SessionManager",
     "SessionMirror",
     "ShardCrashed",
+    "ShardDegraded",
     "ShardProcess",
     "ShardRemoteError",
     "SharedParameterKernel",
@@ -134,6 +140,7 @@ __all__ = [
     "export_user_state",
     "format_ready_line",
     "import_user_state",
+    "maybe_injector",
     "merge_expositions",
     "migrate_user",
     "parse_ready_line",

@@ -83,8 +83,10 @@ from ..nn.serialization import (
     read_metadata,
     save_state,
     save_state_bytes,
+    state_checksum,
 )
 from ..runtime.seeding import seed_for_key
+from .faults import FaultInjector
 from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics
 from .policy import AdapterPolicy
@@ -137,6 +139,11 @@ class AdapterRegistry:
         Kernel backend of the trunk-embedding kernel (registry name,
         instance, or ``None`` for the active backend) — matched to the
         server's backend so embeddings and serving use the same kernels.
+    fault_injector:
+        Optional :class:`repro.serve.FaultInjector` for deterministic
+        chaos testing; its ``corrupt_spill`` rules mangle just-written
+        spill archives so the checksum/quarantine path can be exercised on
+        a schedule.  ``None`` (the default) injects nothing.
     """
 
     def __init__(
@@ -148,6 +155,7 @@ class AdapterRegistry:
         gemm_block: int = 32,
         config: Optional[FineTuneConfig] = None,
         kernel_backend=None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.model = model
         if config is not None:
@@ -201,6 +209,7 @@ class AdapterRegistry:
             self._head_init = []
             self._lora_base = []
         self.metrics = metrics
+        self.fault_injector = fault_injector
         self.version = 0
         # Hot tier: in-memory parameter sets, LRU-ordered by last access.
         self._params: "OrderedDict[Hashable, List[np.ndarray]]" = OrderedDict()
@@ -445,20 +454,39 @@ class AdapterRegistry:
             return params
         if user_id in self._warm:
             params = self._promote(user_id)
+            if params is not None:
+                if record and self.metrics is not None:
+                    self.metrics.record_adapter_access("warm")
+                return params
+            # Quarantined on promotion: the user is now cold and serves
+            # from the base model until re-onboarded.
             if record and self.metrics is not None:
-                self.metrics.record_adapter_access("warm")
-            return params
+                self.metrics.record_adapter_access("cold")
+            return None
         if record and self.metrics is not None and user_id in self._cold:
             self.metrics.record_adapter_access("cold")
         return None
 
     def _promote(
         self, user_id: Hashable, protect: Set[Hashable] = frozenset()
-    ) -> List[np.ndarray]:
-        """Load a warm user's spill file back into the hot tier."""
+    ) -> Optional[List[np.ndarray]]:
+        """Load a warm user's spill file back into the hot tier.
+
+        A spill file that fails to load or verify — truncated archive,
+        checksum mismatch, wrong schema — is *quarantined*: renamed aside
+        (preserved for forensics, out of the attach scan), the user demoted
+        to cold, and ``None`` returned so the caller serves the base model
+        instead of crashing the whole flush.  Graceful degradation, visible
+        only in the ``spill_quarantined`` counter.
+        """
         path = self._warm.pop(user_id)
-        state, metadata = load_state(path)
-        self._validate_archive(metadata, path, spill=True)
+        try:
+            state, metadata = load_state(path)
+            self._validate_archive(metadata, path, spill=True)
+            self._verify_checksum(state, metadata, path)
+        except Exception:
+            self._quarantine_spill(path, user_id)
+            return None
         params = [state[key] for key in sorted(state)]
         self._params[user_id] = params
         self._params.move_to_end(user_id)
@@ -467,6 +495,39 @@ class AdapterRegistry:
         self._invalidate_gather_state()
         self._enforce_budgets(protect={user_id} | set(protect))
         return params
+
+    @staticmethod
+    def _verify_checksum(
+        state: Mapping[str, np.ndarray], metadata: Optional[Dict], path
+    ) -> None:
+        """Verify an archive's recorded CRC32 against its loaded tensors.
+
+        Archives written before checksums existed carry no ``checksum``
+        field and load unverified — the format stays backward compatible.
+        """
+        expected = (metadata or {}).get("checksum")
+        if expected is None:
+            return
+        actual = state_checksum(dict(state))
+        if int(expected) != actual:
+            raise ValueError(
+                f"{path} failed checksum verification "
+                f"(stored {expected}, computed {actual})"
+            )
+
+    def _quarantine_spill(self, path: Path, user_id: Optional[Hashable] = None) -> None:
+        """Set a bad spill file aside and demote its user to cold."""
+        quarantined = path.with_name(path.name + ".quarantined")
+        try:
+            path.replace(quarantined)
+        except OSError:
+            pass
+        if user_id is not None:
+            self._spill_paths.pop(user_id, None)
+            self._warm.pop(user_id, None)
+            self._cold.add(user_id)
+        if self.metrics is not None:
+            self.metrics.record_spill_quarantined()
 
     def _enforce_budgets(self, protect: Set[Hashable] = frozenset()) -> None:
         """Demote past-budget users: hot → warm (or cold), warm → cold."""
@@ -506,7 +567,16 @@ class AdapterRegistry:
         spilled user comes back warm, promoted on their next request.
         """
         for path in sorted(self._spill_dir.glob(f"{_SPILL_PREFIX}*.npz")):
-            metadata = read_metadata(path)
+            try:
+                metadata = read_metadata(path)
+            except Exception:
+                # An unreadable (truncated, corrupted) file must not block
+                # the restart — quarantine it and keep scanning; its user
+                # re-onboards from the base model.  Policy mismatches below
+                # still raise: a wrong-rank archive is an operator error,
+                # not data corruption.
+                self._quarantine_spill(path)
+                continue
             if not metadata or "user" not in metadata:
                 continue
             self._validate_archive(metadata, path, spill=True)
@@ -523,8 +593,19 @@ class AdapterRegistry:
         digest = hashlib.sha1(repr(encoded).encode("utf-8")).hexdigest()[:16]
         path = self._spill_dir / f"{_SPILL_PREFIX}{digest}.npz"
         state = {f"p{slot:03d}": array for slot, array in enumerate(params)}
-        save_state(state, path, metadata=self._archive_metadata(user=encoded))
+        save_state(
+            state,
+            path,
+            metadata=self._archive_metadata(
+                user=encoded, checksum=state_checksum(state)
+            ),
+        )
         self._spill_paths[user_id] = path
+        if (
+            self.fault_injector is not None
+            and self.fault_injector.check("corrupt_spill", "spill") is not None
+        ):
+            self.fault_injector.corrupt_file(path)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -599,7 +680,11 @@ class AdapterRegistry:
                 # Zero-padded slots keep the lexicographic key order equal to
                 # the parameter order on reload.
                 state[f"user{index:06d}.p{slot:03d}"] = array
-        return save_state(state, path, metadata=self._archive_metadata(users=users))
+        return save_state(
+            state,
+            path,
+            metadata=self._archive_metadata(users=users, checksum=state_checksum(state)),
+        )
 
     def load(self, path: Union[str, Path], replace: bool = True) -> List[Hashable]:
         """Restore adapted parameter sets saved by :meth:`save`.
@@ -618,6 +703,7 @@ class AdapterRegistry:
         """
         state, metadata = load_state(path)
         self._validate_archive(metadata, path)
+        self._verify_checksum(state, metadata, path)
         # One pass over the (sorted-once) keys; zero-padded user and slot
         # indices make lexicographic order equal to parameter order.
         by_user: Dict[str, List[np.ndarray]] = {}
@@ -666,7 +752,10 @@ class AdapterRegistry:
             return None
         state = {f"p{slot:03d}": array for slot, array in enumerate(params)}
         return save_state_bytes(
-            state, metadata=self._archive_metadata(user=self._encode_user(user_id))
+            state,
+            metadata=self._archive_metadata(
+                user=self._encode_user(user_id), checksum=state_checksum(state)
+            ),
         )
 
     def import_user_bytes(self, user_id: Hashable, data: bytes) -> None:
@@ -679,6 +768,7 @@ class AdapterRegistry:
         """
         state, metadata = load_state_bytes(data)
         self._validate_archive(metadata, "<migrated archive>")
+        self._verify_checksum(state, metadata, "<migrated archive>")
         encoded = metadata.get("user") if metadata else None
         if encoded is not None and self._decode_user(encoded) != user_id:
             raise ValueError(
@@ -767,9 +857,16 @@ class AdapterRegistry:
                 if self.metrics is not None:
                     self.metrics.record_adapter_access("hot")
             elif user in self._warm:
-                self._promote(user, protect=composition)
-                if self.metrics is not None:
-                    self.metrics.record_adapter_access("warm")
+                promoted = self._promote(user, protect=composition)
+                if promoted is not None:
+                    if self.metrics is not None:
+                        self.metrics.record_adapter_access("warm")
+                else:
+                    # Spill file quarantined during promotion: the user is
+                    # now cold and must re-onboard from the base model.
+                    if self.metrics is not None:
+                        self.metrics.record_adapter_access("cold")
+                    missing.append(user)
             else:
                 if self.metrics is not None and user in self._cold:
                     self.metrics.record_adapter_access("cold")

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .faults import FaultPlan
 from .policy import AdapterPolicy
 from .scheduling import SchedulingPolicy
 
@@ -85,6 +86,13 @@ class ServeConfig:
         schedules identically to the legacy arrival-order batcher;
         ``bulk`` = 10x it).  Like every other field it crosses the worker
         pickle boundary, so shard processes schedule identically.
+    fault_plan:
+        Optional deterministic fault-injection schedule
+        (:class:`repro.serve.FaultPlan`) for chaos testing and manual
+        chaos runs (``--fault-plan``).  Like ``kernel_backend`` it crosses
+        the worker pickle boundary inside :class:`repro.serve.ShardFactory`,
+        which is how ``worker_crash`` rules reach shard worker processes.
+        ``None`` (the default) injects nothing and costs nothing.
     """
 
     max_batch_size: int = 32
@@ -97,6 +105,7 @@ class ServeConfig:
     adapter: Optional[AdapterPolicy] = None
     kernel_backend: Optional[str] = None
     scheduling: Optional[SchedulingPolicy] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:

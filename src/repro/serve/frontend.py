@@ -61,6 +61,7 @@ import numpy as np
 from ..radar.pointcloud import PointCloudFrame
 from .batcher import FrameDropped, QueueFull
 from .clock import MonotonicClock, as_clock
+from .faults import FaultInjector, RetryPolicy, maybe_injector
 from .metrics import ServeMetrics, merge_expositions
 from .scheduling import RateLimited, SchedulingPolicy, TokenBucket
 from . import transport
@@ -73,6 +74,7 @@ from .transport import (
     ArrayBlock,
     WireError,
     available_codecs,
+    encode_message,
     read_message,
     write_message,
 )
@@ -91,6 +93,10 @@ DEFAULT_MAX_IN_FLIGHT = 32
 
 class ServerClosing(RuntimeError):
     """The front-end refused a request because it is shutting down."""
+
+
+class _TruncatedByFault(Exception):
+    """Internal write-loop signal: an injected truncation closed the writer."""
 
 
 class _FifoShardLock:
@@ -249,6 +255,10 @@ class SocketServerBase:
         self.requests_served = 0
         self.predictions_pushed = 0
         self.protocol_errors = 0
+        #: deterministic fault injection over this server's wire surfaces
+        #: (``blackhole``/``reply_latency`` at dispatch, ``corrupt_frame``/
+        #: ``truncate_frame`` in the write loop); subclasses set it
+        self.fault_injector: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------
     # Lifecycle hooks (subclasses)
@@ -364,6 +374,8 @@ class SocketServerBase:
                     if conn.tasks:
                         await asyncio.gather(*list(conn.tasks), return_exceptions=True)
                     reply = await self._serve(conn, message, None, codec)
+                    if reply is None:  # blackholed
+                        continue
                     conn.outbox.put_nowait((reply, codec, None))
                     self.requests_served += 1
                     if reply["type"] == "goodbye":
@@ -433,7 +445,14 @@ class SocketServerBase:
                 return
             message, codec, on_written = item
             try:
-                await write_message(conn.writer, message, codec, self.max_frame_bytes)
+                await self._write_frame(conn, message, codec)
+            except _TruncatedByFault:
+                # The injected truncation already closed the writer; free
+                # the slot and drain like any other dead connection.
+                if on_written is not None:
+                    on_written()
+                await self._drain_outbox(conn)
+                return
             except WireError as error:
                 # The reply itself cannot be framed (e.g. it encodes past
                 # max_frame_bytes) but the socket is healthy: substitute a
@@ -470,6 +489,32 @@ class SocketServerBase:
                 if on_written is not None:
                     on_written()
 
+    async def _write_frame(self, conn: _Connection, message: dict, codec: str) -> None:
+        """Write one frame, applying any injected outgoing-frame faults.
+
+        ``corrupt_frame`` rules (matched against the outgoing message type)
+        mangle payload bytes while the frame header survives, so the peer
+        decodes garbage and sees a :class:`ProtocolError`; ``truncate_frame``
+        rules write a prefix of the frame and close the connection, so the
+        peer sees :class:`TruncatedFrame`.  Both counters advance on every
+        written frame, keeping schedules aligned with the reply stream.
+        """
+        if self.fault_injector is not None:
+            kind = message.get("type")
+            corrupt = self.fault_injector.check("corrupt_frame", kind)
+            truncate = self.fault_injector.check("truncate_frame", kind)
+            if corrupt is not None or truncate is not None:
+                data = encode_message(message, codec, self.max_frame_bytes)
+                if corrupt is not None:
+                    conn.writer.write(FaultInjector.corrupt_bytes(data))
+                    await conn.writer.drain()
+                    return
+                conn.writer.write(FaultInjector.truncate_bytes(data))
+                await conn.writer.drain()
+                conn.writer.close()  # mid-frame hangup: the peer cannot resync
+                raise _TruncatedByFault()
+        await write_message(conn.writer, message, codec, self.max_frame_bytes)
+
     @staticmethod
     async def _drain_outbox(conn: _Connection) -> None:
         """Consume the outbox of a dead connection, freeing window slots."""
@@ -492,6 +537,9 @@ class SocketServerBase:
             conn.window.release()
             raise
         conn.inflight.discard(request_id)
+        if reply is None:  # blackholed: drop the reply but free the slot
+            conn.window.release()
+            return
         # The slot frees when the reply is *written*, not when it is
         # queued: that ties the dispatch window to socket backpressure.
         conn.outbox.put_nowait(
@@ -501,7 +549,9 @@ class SocketServerBase:
         if reply["type"] == "goodbye":
             self._closing.set()
 
-    async def _serve(self, conn: _Connection, message: dict, request_id, codec: str) -> dict:
+    async def _serve(
+        self, conn: _Connection, message: dict, request_id, codec: str
+    ) -> Optional[dict]:
         try:
             reply = await self._dispatch(conn, message, request_id, codec)
         except (FrameDropped, QueueFull, RateLimited, ServerClosing) as error:
@@ -509,6 +559,16 @@ class SocketServerBase:
         except Exception as error:  # backend fault: report, keep serving
             self.protocol_errors += 1
             reply = _error_message(error, request_id=request_id)
+        if self.fault_injector is not None:
+            # Both checks advance their per-(op, target) counters on every
+            # served request, keyed by the *request* type, so schedules
+            # align with the request stream.
+            kind = message.get("type")
+            latency = self.fault_injector.check("reply_latency", kind)
+            if latency is not None:
+                await asyncio.sleep(latency.delay_s)
+            if self.fault_injector.check("blackhole", kind) is not None:
+                return None  # swallow the reply: the client never hears back
         return reply
 
     # ------------------------------------------------------------------
@@ -534,7 +594,7 @@ class SocketServerBase:
             reply.update(self._hello_extra())
             return reply
         if kind == "ping":
-            return {"type": "pong"}
+            return self._pong()
         if kind == "credits":
             return self._grant_credits(conn, message)
         if kind == "shutdown":
@@ -546,6 +606,10 @@ class SocketServerBase:
     def _hello_extra(self) -> dict:
         """Subclass-specific fields merged into the ``hello`` reply."""
         return {}
+
+    def _pong(self) -> dict:
+        """The ``ping`` reply; subclasses may attach health fields."""
+        return {"type": "pong"}
 
     async def _dispatch_extra(
         self, conn: _Connection, message: dict, request_id, codec: str
@@ -687,6 +751,7 @@ class PoseFrontend(SocketServerBase):
         allow_remote_shutdown: bool = False,
         push_credits: Optional[int] = None,
         clock: Optional[Callable[[], float]] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__(
             host=host,
@@ -725,6 +790,14 @@ class PoseFrontend(SocketServerBase):
         #: the backend: a shed request never reaches a shard)
         self.admission = ServeMetrics(clock=self.clock)
         self._buckets: "OrderedDict[Hashable, TokenBucket]" = OrderedDict()
+        # Explicit injector wins; otherwise the backend config's fault plan
+        # governs this front-end's wire surfaces too (one --fault-plan flag
+        # drives the whole deployment).
+        self.fault_injector = (
+            fault_injector
+            if fault_injector is not None
+            else maybe_injector(getattr(config, "fault_plan", None))
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle hooks
@@ -810,6 +883,15 @@ class PoseFrontend(SocketServerBase):
         timestamp = float(frame.get("timestamp", 0.0))
         frame_index = int(frame.get("frame_index", 0))
         return PointCloudFrame(points, timestamp=timestamp, frame_index=frame_index)
+
+    def _pong(self) -> dict:
+        """Pong with the backend's health: a degraded backend (a shard past
+        its restart budget) answers pings but advertises it, so a router's
+        probe can mark it down and drain its users to replicas."""
+        reply = {"type": "pong"}
+        if getattr(self.server, "degraded", False):
+            reply["degraded"] = True
+        return reply
 
     def _shard_lock(self, user_id: Hashable) -> _FifoShardLock:
         """The FIFO ordering lock of the user's shard: per-shard submission
@@ -1314,7 +1396,7 @@ class AsyncPoseClient:
         self._server_protocol: Optional[int] = None
         self._read_error: Optional[Exception] = None
         self._opener = None
-        self._dial_params: Tuple[int, float, float] = (0, 0.05, 1.0)
+        self._dial_policy = RetryPolicy(max_attempts=1, base_delay_s=0.05, max_delay_s=1.0)
         self._redial_lock = asyncio.Lock()
         self._hello_done = False
         self._push_budget: Optional[int] = None
@@ -1329,16 +1411,20 @@ class AsyncPoseClient:
         retries: int = 0,
         backoff_s: float = 0.05,
         max_backoff_s: float = 1.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "AsyncPoseClient":
         """Connect to a Unix socket, optionally retrying with backoff.
 
         ``retries`` extra attempts are spaced by an exponentially growing
         delay (``backoff_s``, doubled per attempt, capped at
         ``max_backoff_s``) — enough to absorb the race between launching
-        ``fuse-serve`` and its socket appearing, without spinning.
+        ``fuse-serve`` and its socket appearing, without spinning.  An
+        explicit ``retry_policy`` (:class:`repro.serve.RetryPolicy`)
+        replaces all three knobs, adding deterministic seeded jitter.
         """
         return await self._connect(
-            lambda: asyncio.open_unix_connection(path), retries, backoff_s, max_backoff_s
+            lambda: asyncio.open_unix_connection(path),
+            self._dial_policy_from(retries, backoff_s, max_backoff_s, retry_policy),
         )
 
     async def connect_tcp(
@@ -1348,33 +1434,50 @@ class AsyncPoseClient:
         retries: int = 0,
         backoff_s: float = 0.05,
         max_backoff_s: float = 1.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "AsyncPoseClient":
         """Connect over TCP, optionally retrying with bounded backoff."""
         return await self._connect(
-            lambda: asyncio.open_connection(host, port), retries, backoff_s, max_backoff_s
+            lambda: asyncio.open_connection(host, port),
+            self._dial_policy_from(retries, backoff_s, max_backoff_s, retry_policy),
         )
 
-    async def _connect(self, opener, retries, backoff_s, max_backoff_s) -> "AsyncPoseClient":
+    @staticmethod
+    def _dial_policy_from(
+        retries: int,
+        backoff_s: float,
+        max_backoff_s: float,
+        retry_policy: Optional[RetryPolicy],
+    ) -> RetryPolicy:
+        """The legacy knobs expressed as a :class:`RetryPolicy` (the legacy
+        schedule — ``backoff_s`` doubled per attempt, capped — is exactly
+        the policy's jitter-free exponential)."""
+        if retry_policy is not None:
+            return retry_policy
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if backoff_s <= 0 or max_backoff_s <= 0:
             raise ValueError("backoff delays must be positive")
+        return RetryPolicy(
+            max_attempts=retries + 1, base_delay_s=backoff_s, max_delay_s=max_backoff_s
+        )
+
+    async def _connect(self, opener, retry_policy: RetryPolicy) -> "AsyncPoseClient":
         # Remember how to dial: an opt-in reconnecting client re-dials with
         # the same opener and backoff schedule when its reader dies.
         self._opener = opener
-        self._dial_params = (retries, backoff_s, max_backoff_s)
-        delay = backoff_s
-        for attempt in range(retries + 1):
+        self._dial_policy = retry_policy
+        for attempt in range(retry_policy.max_attempts):
             try:
                 self._reader, self._writer = await opener()
                 break
             except (ConnectionError, FileNotFoundError, OSError) as error:
-                if attempt == retries:
+                if attempt == retry_policy.max_attempts - 1:
                     raise ConnectionError(
-                        f"could not connect after {retries + 1} attempt(s): {error}"
+                        f"could not connect after {retry_policy.max_attempts} "
+                        f"attempt(s): {error}"
                     ) from error
-                await asyncio.sleep(delay)
-                delay = min(delay * 2.0, max_backoff_s)
+                await asyncio.sleep(retry_policy.delay(attempt, salt="dial"))
         self._reader_task = asyncio.ensure_future(self._read_loop())
         return self
 
@@ -1575,8 +1678,7 @@ class AsyncPoseClient:
                     await writer.wait_closed()
             self._read_error = None
             self._push_consumed = 0
-            retries, backoff_s, max_backoff_s = self._dial_params
-            await self._connect(self._opener, retries, backoff_s, max_backoff_s)
+            await self._connect(self._opener, self._dial_policy)
             self.reconnects += 1
             if self._hello_done:
                 # Re-announce the protocol and refresh the negotiated

@@ -125,6 +125,39 @@ class HealthMonitor:
                     await self._notify(self._on_down, name)
         return results
 
+    # ------------------------------------------------------------------
+    # External failure feed (brownout detection)
+    # ------------------------------------------------------------------
+    async def record_failure(self, name: str) -> bool:
+        """Count one externally observed failure against ``name``'s streak.
+
+        Request-path signals — a per-request timeout at the router, a
+        connection reset mid-call — feed the *same* consecutive-failure
+        streak the probe loop maintains, so a browned-out backend (alive
+        enough to answer pings, too slow to answer requests) is marked down
+        by the same debounced threshold instead of stalling every pinned
+        user forever.  Unwatched names are ignored.  Returns ``True`` when
+        this failure crossed the threshold and ``on_down`` fired.
+        """
+        if name not in self._failures:
+            return False
+        self._failures[name] += 1
+        if self._failures[name] >= self.failure_threshold and name not in self._down:
+            self._down.add(name)
+            await self._notify(self._on_down, name)
+            return True
+        return False
+
+    def record_success(self, name: str) -> None:
+        """Reset ``name``'s failure streak after a successful request.
+
+        Only the streak is reset — a target already declared down stays
+        down until a *probe* succeeds (the probe loop owns up-transitions,
+        because a single lucky request must not re-admit a stale backend).
+        """
+        if name in self._failures and name not in self._down:
+            self._failures[name] = 0
+
     async def _probe_one(self, name: str) -> bool:
         try:
             return bool(

@@ -78,6 +78,12 @@ class ServeMetrics:
         self.adapter_cold_misses = 0
         self.adapter_demotions_warm = 0
         self.adapter_demotions_cold = 0
+        self.restarts = 0
+        self.spill_quarantined = 0
+        self.request_timeouts = 0
+        self.retries = 0
+        self.deadline_shed = 0
+        self.shards_degraded = 0
         self.latency_sum_s = 0.0
         self._first_submit_at: Optional[float] = None
         self._last_completion_at: Optional[float] = None
@@ -165,6 +171,32 @@ class ServeMetrics:
         else:
             raise ValueError(f"unknown demotion tier '{tier}'")
 
+    def record_restart(self) -> None:
+        """One shard worker process restarted by its supervisor."""
+        self.restarts += 1
+
+    def record_spill_quarantined(self) -> None:
+        """One adapter spill archive failed verification and was set aside."""
+        self.spill_quarantined += 1
+
+    def record_request_timeout(self) -> None:
+        """One remote call exceeded its per-request timeout (brownout signal)."""
+        self.request_timeouts += 1
+
+    def record_retry(self) -> None:
+        """One request re-attempted under the retry policy."""
+        self.retries += 1
+
+    def record_deadline_shed(self) -> None:
+        """One request shed because its deadline budget was already spent."""
+        self.deadline_shed += 1
+
+    def set_shards_degraded(self, count: int) -> None:
+        """Gauge: shards whose restart budget is exhausted (degraded)."""
+        if count < 0:
+            raise ValueError("shards_degraded must be non-negative")
+        self.shards_degraded = count
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
@@ -228,6 +260,12 @@ class ServeMetrics:
             "adapter_demotions_warm": self.adapter_demotions_warm,
             "adapter_demotions_cold": self.adapter_demotions_cold,
             "adapter_tier_hit_rate": self.adapter_tier_hit_rate,
+            "restarts": self.restarts,
+            "spill_quarantined": self.spill_quarantined,
+            "request_timeouts": self.request_timeouts,
+            "retries": self.retries,
+            "deadline_shed": self.deadline_shed,
+            "shards_degraded": self.shards_degraded,
         }
         for name in sorted(self._class_completed):
             report[f"class_{name}_completed"] = self._class_completed[name]
@@ -262,6 +300,12 @@ class ServeMetrics:
         "adapter_cold_misses",
         "adapter_demotions_warm",
         "adapter_demotions_cold",
+        "restarts",
+        "spill_quarantined",
+        "request_timeouts",
+        "retries",
+        "deadline_shed",
+        "shards_degraded",
         "latency_sum_s",
     )
 
@@ -496,6 +540,23 @@ class ServeMetrics:
             "adapter_demotions_cold",
             "Adapter state drops to the cold tier.",
         ),
+        ("fuse_serve_restarts_total", "restarts", "Shard worker processes restarted."),
+        (
+            "fuse_serve_spill_quarantined_total",
+            "spill_quarantined",
+            "Adapter spill archives that failed verification and were quarantined.",
+        ),
+        (
+            "fuse_serve_request_timeouts_total",
+            "request_timeouts",
+            "Remote calls that exceeded their per-request timeout.",
+        ),
+        ("fuse_serve_retries_total", "retries", "Requests re-attempted under the retry policy."),
+        (
+            "fuse_serve_deadline_shed_total",
+            "deadline_shed",
+            "Requests shed because their deadline budget was already spent.",
+        ),
     )
     _PROMETHEUS_GAUGES = (
         ("fuse_serve_mean_batch_size", "mean_batch_size", "Mean frames per micro-batch flush."),
@@ -510,6 +571,11 @@ class ServeMetrics:
             "fuse_serve_adapter_tier_hit_rate",
             "adapter_tier_hit_rate",
             "Fraction of adapter lookups answered from the hot or warm tier.",
+        ),
+        (
+            "fuse_serve_shards_degraded",
+            "shards_degraded",
+            "Shards whose restart budget is exhausted (degraded).",
         ),
     )
     _PROMETHEUS_QUANTILES = (0.5, 0.9, 0.95, 0.99)

@@ -262,6 +262,31 @@ class SessionMirror:
             "adapter": None,
         }
 
+    def repair_state(self, user_id: Hashable) -> dict:
+        """The user's mirrored ring, or an *empty* session for an unseen user.
+
+        This is what a retry re-seeds a possibly-fed backend session from:
+        a timed-out attempt may or may not have reached the backend, so the
+        retry first resets the session ring to exactly the accepted frames
+        the mirror holds — for a user whose very first frame timed out,
+        that is an empty ring — and only then resubmits.  Without the reset
+        a retried frame could enter the fusion window twice.
+        """
+        state = self.user_state(user_id)
+        if state is not None:
+            return state
+        return {
+            "version": USER_STATE_VERSION,
+            "user": user_id,
+            "session": {
+                "frames_seen": 0,
+                "points": [],
+                "timestamps": [],
+                "frame_indices": [],
+            },
+            "adapter": None,
+        }
+
     def forget(self, user_id: Hashable) -> None:
         self._users.pop(user_id, None)
 

@@ -59,6 +59,7 @@ import numpy as np
 
 from ..radar.pointcloud import PointCloudFrame
 from . import transport
+from .faults import FaultInjector, RetryPolicy
 from .frontend import (
     DEFAULT_MAX_IN_FLIGHT,
     AsyncPoseClient,
@@ -82,6 +83,11 @@ __all__ = ["BackendSpec", "NoBackendAvailable", "PoseRouter", "RouterBackend"]
 
 #: default per-connection push credit budget on the router's front side
 DEFAULT_PUSH_CREDITS = 256
+
+#: default router→backend retry schedule: one immediate failover retry —
+#: exactly the pre-policy behaviour (the second attempt lands on the new
+#: placement after a mark-down, with the mirror restore in between)
+DEFAULT_FORWARD_RETRY = RetryPolicy(max_attempts=2, base_delay_s=0.0, max_delay_s=0.0)
 
 
 class NoBackendAvailable(RuntimeError):
@@ -163,6 +169,21 @@ class PoseRouter(SocketServerBase):
     push_credits:
         Front-side push flow control budget (always on for a router;
         ``DEFAULT_PUSH_CREDITS`` unless overridden).
+    request_timeout_s:
+        Per-request deadline on every routed backend call.  A timeout
+        counts one failure against the backend's health streak (brownout
+        detection: a backend alive enough to answer pings but too slow to
+        answer requests is marked down by the same debounced threshold)
+        and the call is retried under ``retry_policy``.  ``None`` (the
+        default) keeps the pre-timeout behaviour: calls wait forever.
+    retry_policy:
+        The :class:`repro.serve.RetryPolicy` governing routed-call retries
+        after a connection fault or timeout.  The default is one immediate
+        failover retry, the pre-policy behaviour.
+    fault_injector:
+        Optional :class:`repro.serve.FaultInjector` over the router's own
+        wire surfaces (``blackhole``/``reply_latency``/``corrupt_frame``/
+        ``truncate_frame`` on client-facing replies).
     """
 
     def __init__(
@@ -184,6 +205,9 @@ class PoseRouter(SocketServerBase):
         health_timeout_s: float = 1.0,
         health_failures: int = 3,
         mirror_capacity: int = 64,
+        request_timeout_s: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__(
             host=host,
@@ -215,11 +239,18 @@ class PoseRouter(SocketServerBase):
         #: Routing consults this before the ring, so a mid-change ring
         #: never forwards a pinned user to a backend without its state.
         self._placement: Dict[Hashable, str] = {}
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive, or None")
+        self.request_timeout_s = request_timeout_s
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_FORWARD_RETRY
+        self.fault_injector = fault_injector
         self._admin_lock = asyncio.Lock()
         self.frames_routed = 0
         self.users_failed_over = 0
         self.users_migrated = 0
         self.backends_lost = 0
+        self.request_timeouts = 0
+        self.retries = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -284,7 +315,13 @@ class PoseRouter(SocketServerBase):
         backend = self._backends.get(name)
         if backend is None or not backend.healthy:
             return False
-        return await backend.client.ping()
+        reply = await backend.client.request({"type": "ping"})
+        if reply.get("degraded"):
+            # The backend answers but advertises degradation (a shard past
+            # its restart budget): treat the probe as failed so the same
+            # debounced threshold marks it down and drains its users.
+            return False
+        return reply["type"] == "pong"
 
     def _mark_down(self, name: str) -> None:
         """Declare a backend dead: off the ring, users fail over lazily."""
@@ -415,27 +452,101 @@ class PoseRouter(SocketServerBase):
         frame_index = int(frame.get("frame_index", 0))
         return PointCloudFrame(points, timestamp=timestamp, frame_index=frame_index)
 
-    async def _forward(self, user: Hashable, call, *args):
-        """One routed backend call with a single failover retry.
+    @staticmethod
+    def _remaining_deadline(deadline_ms, start: float, loop) -> Optional[float]:
+        """The deadline budget left after router queueing/retry time.
+
+        The router spends part of a request's ``deadline_ms`` waiting on
+        FIFO locks, failed attempts and retry backoff; forwarding the
+        *remaining* budget lets the backend shed a request that already
+        blew it instead of computing a prediction nobody is waiting for.
+        Clamped to zero: the backend treats ``deadline_ms=0`` as "already
+        exhausted, shed" while a negative value is a client error.
+        """
+        if deadline_ms is None:
+            return None
+        return max(deadline_ms - (loop.time() - start) * 1000.0, 0.0)
+
+    async def _forward(self, user: Hashable, call, *args, repair_on_retry: bool = False):
+        """One routed backend call under the retry policy and timeout.
 
         A connection fault marks the backend down immediately (faster than
-        waiting for the health monitor) and retries once through the new
+        waiting for the health monitor) and the retry goes through the new
         placement — the mirror restore inside :meth:`_ensure_placed` makes
-        the retry land on a backend that has the user's session.
+        it land on a backend that has the user's session.  A per-request
+        timeout counts one failure against the backend's health streak
+        (brownout detection: the debounced threshold marks a slow-but-alive
+        backend down) before the retry; attempts are spaced by the policy's
+        deterministic backoff, salted per user.
+
+        ``repair_on_retry`` is set by the frame-carrying ops: a failed
+        attempt is *possibly applied* (the backend may have fed the frame
+        to the user's fusion ring even though no reply arrived), so before
+        re-calling, the retry resets the backend session to the mirror's
+        accepted frames (:meth:`SessionMirror.repair_state`) — the fusion
+        window is never fed the same frame twice.
         """
-        for attempt in (0, 1):
+        policy = self.retry_policy
+        last_error: Optional[Exception] = None
+        needs_repair = False
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.retries += 1
+                delay = policy.delay(attempt - 1, salt=repr(user))
+                if delay > 0:
+                    await asyncio.sleep(delay)
             async with self._user_backend(user) as backend:
+                if needs_repair:
+                    await self._repair_session(user, backend)
+                    needs_repair = False
                 try:
-                    result = await call(backend, *args)
-                except (ConnectionError, OSError):
-                    self._mark_down(backend.name)
-                    if attempt:
-                        raise
+                    if self.request_timeout_s is not None:
+                        result = await asyncio.wait_for(
+                            call(backend, *args), timeout=self.request_timeout_s
+                        )
+                    else:
+                        result = await call(backend, *args)
+                except asyncio.TimeoutError:
+                    self.request_timeouts += 1
+                    await self.monitor.record_failure(backend.name)
+                    last_error = TimeoutError(
+                        f"backend {backend.name!r} did not answer within "
+                        f"{self.request_timeout_s:g}s"
+                    )
+                    needs_repair = repair_on_retry
                     continue
+                except (ConnectionError, OSError) as error:
+                    self._mark_down(backend.name)
+                    last_error = error
+                    needs_repair = repair_on_retry
+                    continue
+                self.monitor.record_success(backend.name)
                 backend.frames_routed += 1
                 self.frames_routed += 1
                 return result
+        if last_error is not None:
+            raise last_error
         raise NoBackendAvailable("no healthy backend on the ring")  # pragma: no cover
+
+    async def _repair_session(self, user: Hashable, backend: RouterBackend) -> None:
+        """Reset the user's backend session to the mirror before a retry.
+
+        Best-effort and bounded by the request timeout: when the repair
+        import itself fails the backend is almost certainly dead and the
+        next failure marks it down — the subsequent placement restores from
+        the mirror anyway.  The import carries no adapter (``None``), so a
+        backend-resident adapter is left untouched.
+        """
+        state = self.mirror.repair_state(user)
+        try:
+            if self.request_timeout_s is not None:
+                await asyncio.wait_for(
+                    backend.client.import_user(state), timeout=self.request_timeout_s
+                )
+            else:
+                await backend.client.import_user(state)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
 
     async def _submit(self, message: dict) -> dict:
         if self._closing.is_set():
@@ -451,7 +562,10 @@ class PoseRouter(SocketServerBase):
 
         async def call(backend, cloud):
             joints = await backend.client.submit(
-                user, cloud, priority=priority, deadline_ms=deadline_ms
+                user,
+                cloud,
+                priority=priority,
+                deadline_ms=self._remaining_deadline(deadline_ms, start, loop),
             )
             # Mirror only *accepted* frames: observing before the call would
             # leave a failed attempt's frame in the mirror, and the failover
@@ -459,7 +573,7 @@ class PoseRouter(SocketServerBase):
             self.mirror.observe(user, cloud.points, cloud.timestamp, cloud.frame_index)
             return joints
 
-        joints = await self._forward(user, call, cloud)
+        joints = await self._forward(user, call, cloud, repair_on_retry=True)
         return {
             "type": "prediction",
             "user": user,
@@ -485,16 +599,22 @@ class PoseRouter(SocketServerBase):
             raise transport.ProtocolError(f"malformed enqueue message: {error}") from error
         priority, deadline_ms = _parse_scheduling(message)
 
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+
         async def call(backend, cloud):
             push = await backend.client.enqueue(
-                user, cloud, priority=priority, deadline_ms=deadline_ms
+                user,
+                cloud,
+                priority=priority,
+                deadline_ms=self._remaining_deadline(deadline_ms, start, loop),
             )
             # The ticket reply means the backend admitted the frame into its
             # session; only then does it belong in the failover mirror.
             self.mirror.observe(user, cloud.points, cloud.timestamp, cloud.frame_index)
             return push
 
-        push_future = await self._forward(user, call, cloud)
+        push_future = await self._forward(user, call, cloud, repair_on_retry=True)
         conn.tickets[request_id] = (user, push_future, codec)
         push_future.add_done_callback(
             lambda fut: self._relay_push(conn, request_id, user, codec, fut)
@@ -603,7 +723,9 @@ class PoseRouter(SocketServerBase):
                     return joints
 
                 try:
-                    value = np.asarray(await self._forward(user, call, cloud))
+                    value = np.asarray(
+                        await self._forward(user, call, cloud, repair_on_retry=True)
+                    )
                 except Exception as error:
                     resolutions[position] = error
                     continue
@@ -693,6 +815,8 @@ class PoseRouter(SocketServerBase):
             "router_users_failed_over": self.users_failed_over,
             "router_users_migrated": self.users_migrated,
             "router_backends_lost": self.backends_lost,
+            "router_request_timeouts": self.request_timeouts,
+            "router_retries": self.retries,
             "router_backends_healthy": len(self.healthy_backends()),
             "router_backends_total": len(self._backends),
             "router_users_placed": len(self._placement),

@@ -38,8 +38,9 @@ from ..dataset.sample import PoseDataset
 from ..engine.functional import batched_forward
 from ..radar.pointcloud import PointCloudFrame
 from .adapters import AdapterRegistry
-from .batcher import MicroBatcher, PendingPrediction, ServeRequest
+from .batcher import FrameDropped, MicroBatcher, PendingPrediction, ServeRequest
 from .config import ServeConfig
+from .faults import maybe_injector
 from .kernel import SharedParameterKernel
 from .metrics import ServeMetrics
 from .migration import export_user_state, import_user_state
@@ -131,12 +132,14 @@ class PoseServer:
             max_sessions=self.config.max_sessions,
             on_evict=lambda _session: self.metrics.record_session_eviction(),
         )
+        self.fault_injector = maybe_injector(self.config.fault_plan)
         self.registry = AdapterRegistry(
             estimator.model,
             policy=self.policy,
             metrics=self.metrics,
             gemm_block=self.config.block_width,
             kernel_backend=self.config.kernel_backend,
+            fault_injector=self.fault_injector,
         )
         self.kernel = SharedParameterKernel(
             estimator.model,
@@ -178,6 +181,15 @@ class PoseServer:
         )
         if budget_s < 0:
             raise ValueError("deadline_ms must be non-negative")
+        if deadline_ms is not None and budget_s <= 0:
+            # A request that arrives with its deadline already spent (the
+            # router decremented ``deadline_ms`` by elapsed queue/transit
+            # time) is shed before admission — no session observe, no
+            # fusion-ring trace — instead of computed and discarded.
+            self.metrics.record_deadline_shed()
+            raise FrameDropped(
+                f"deadline exhausted before admission for user {user_id!r}"
+            )
         # Admission next: a request rejected under backpressure must leave
         # no trace, in particular not in the user's fusion ring.
         self._batcher.admit()
@@ -260,9 +272,29 @@ class PoseServer:
         if base_rows:
             outputs[base_rows] = self.kernel.predict(features[base_rows])
         if adapted_rows:
-            outputs[adapted_rows] = self._predict_adapted(
-                [requests[row].user_id for row in adapted_rows], features[adapted_rows]
-            )
+            try:
+                outputs[adapted_rows] = self._predict_adapted(
+                    [requests[row].user_id for row in adapted_rows],
+                    features[adapted_rows],
+                )
+            except KeyError:
+                # A warm user's spill file was quarantined during the gather
+                # (corrupted archive, failed checksum): their registry
+                # membership changed mid-flush.  Re-split by the current
+                # membership and serve the defected rows from the base model
+                # — the ticket still resolves, degradation shows up only in
+                # the ``spill_quarantined`` counter.
+                survivors = [
+                    row for row in adapted_rows if requests[row].user_id in self.registry
+                ]
+                defected = [row for row in adapted_rows if row not in set(survivors)]
+                if defected:
+                    outputs[defected] = self.kernel.predict(features[defected])
+                if survivors:
+                    outputs[survivors] = self._predict_adapted(
+                        [requests[row].user_id for row in survivors],
+                        features[survivors],
+                    )
 
         now = self.clock()
         self.metrics.record_flush(len(requests))

@@ -50,8 +50,10 @@ from .config import ServeConfig
 from .metrics import ServeMetrics, prometheus_exposition
 from .policy import AdapterPolicy
 from .server import PoseServer, enqueue_each
+from .faults import RetryPolicy
 from .worker import (
     DEFAULT_CHANNEL_DEPTH,
+    DEFAULT_MAX_RESTARTS,
     AdaptUsers,
     Enqueue,
     EnqueueBatch,
@@ -381,6 +383,14 @@ class ProcessShardedPoseServer:
         platform has it, else ``spawn``).
     auto_restart:
         Restart a crashed shard worker automatically (default ``True``).
+        Restarts are paced by ``restart_backoff`` and bounded by
+        ``max_restarts`` — past the budget the shard stays down and is
+        reported degraded (``shards_degraded`` gauge) instead of
+        crash-looping.
+    max_restarts / restart_backoff:
+        Per-shard restart budget and capped-backoff pacing (see
+        :class:`repro.serve.worker.ShardProcess`).  ``max_restarts=None``
+        restores the old unbounded behaviour.
     """
 
     def __init__(
@@ -393,6 +403,9 @@ class ProcessShardedPoseServer:
         start_method: Optional[str] = None,
         auto_restart: bool = True,
         policy: Optional[AdapterPolicy] = None,
+        max_restarts: Optional[int] = DEFAULT_MAX_RESTARTS,
+        restart_backoff: Optional[RetryPolicy] = None,
+        restart_sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -403,9 +416,21 @@ class ProcessShardedPoseServer:
         )
         self.policy = resolved if resolved is not None else AdapterPolicy()
         self.auto_restart = auto_restart
+        # Supervisor-side observability: restarts and the degraded gauge
+        # happen in the parent (a dead worker cannot report its own death),
+        # so they live on a parent ServeMetrics aggregated with the shards'.
+        self.supervisor_metrics = ServeMetrics()
         factory = ShardFactory(estimator, self.config, policy=self.policy)
         self.workers: List[ShardProcess] = [
-            ShardProcess(factory, index, channel_depth=channel_depth, start_method=start_method)
+            ShardProcess(
+                factory,
+                index,
+                channel_depth=channel_depth,
+                start_method=start_method,
+                max_restarts=max_restarts,
+                restart_backoff=restart_backoff,
+                sleep=restart_sleep,
+            )
             for index in range(num_shards)
         ]
         self._outstanding: List[Dict[int, ProcessPendingPrediction]] = [
@@ -472,7 +497,10 @@ class ProcessShardedPoseServer:
                 for handle in outstanding.values():
                     handle._drop("shard worker crashed")
                 outstanding.clear()
-                if self.auto_restart:
+                # A shard past its restart budget stays down (degraded)
+                # instead of crash-looping; callers keep getting
+                # ShardDegraded and a router drains its users to replicas.
+                if self.auto_restart and not worker.restart_budget_exhausted:
                     worker.restart()
                 raise
             if register is not None:
@@ -654,40 +682,83 @@ class ProcessShardedPoseServer:
     # Observability
     # ------------------------------------------------------------------
     def _shard_reports(self):
-        """Fresh ``(metrics, reply)`` per shard, rebuilt from worker state."""
+        """Fresh ``(metrics, reply)`` per shard, rebuilt from worker state.
+
+        A degraded shard (dead, budget exhausted) contributes an empty
+        metrics instance instead of failing the whole report — degraded
+        service must stay observable, that is the point of the gauge.
+        """
         reports = []
         for index in range(self.num_shards):
+            if self.workers[index].degraded:
+                reports.append((ServeMetrics(), None))
+                continue
             reply = self._call(index, MetricsRequest())
             reports.append((ServeMetrics.from_state(reply.state), reply))
         return reports
 
+    def _sync_supervisor_metrics(self) -> ServeMetrics:
+        """Refresh the parent-side restart/degraded figures from the workers."""
+        self.supervisor_metrics.restarts = self.restarts
+        self.supervisor_metrics.set_shards_degraded(len(self.degraded_shards))
+        return self.supervisor_metrics
+
     def metrics_snapshot(self) -> Dict[str, float]:
         """One aggregated snapshot across shard processes, plus gauges."""
         reports = self._shard_reports()
-        report = ServeMetrics.aggregate([metrics for metrics, _ in reports])
-        report["queue_depth"] = sum(reply.pending for _, reply in reports)
+        supervisor = self._sync_supervisor_metrics()
+        report = ServeMetrics.aggregate(
+            [metrics for metrics, _ in reports] + [supervisor]
+        )
+        report["queue_depth"] = sum(
+            reply.pending for _, reply in reports if reply is not None
+        )
         report["shards"] = self.num_shards
-        report["sessions"] = sum(reply.sessions for _, reply in reports)
+        report["sessions"] = sum(
+            reply.sessions for _, reply in reports if reply is not None
+        )
         report["adapted_parameter_sets"] = sum(
-            reply.adapted_parameter_sets for _, reply in reports
+            reply.adapted_parameter_sets for _, reply in reports if reply is not None
         )
         report["shard_restarts"] = self.restarts
         return report
 
     def to_prometheus(self) -> str:
-        """One valid text exposition with every shard labelled ``shard="i"``."""
+        """One valid text exposition with every shard labelled ``shard="i"``.
+
+        The parent's restart/degraded counters ride along under
+        ``shard="supervisor"`` — they are facts about the fleet the workers
+        themselves cannot report.
+        """
         reports = self._shard_reports()
-        return prometheus_exposition(
-            [
-                ({"shard": str(index)}, metrics, reply.pending)
-                for index, (metrics, reply) in enumerate(reports)
-            ]
-        )
+        supervisor = self._sync_supervisor_metrics()
+        instances = [
+            ({"shard": str(index)}, metrics, reply.pending if reply is not None else None)
+            for index, (metrics, reply) in enumerate(reports)
+        ]
+        instances.append(({"shard": "supervisor"}, supervisor, None))
+        return prometheus_exposition(instances)
 
     @property
     def restarts(self) -> int:
         """Total shard-worker restarts since construction."""
         return sum(worker.restarts for worker in self.workers)
+
+    @property
+    def degraded_shards(self) -> List[int]:
+        """Indices of shards that are down with their restart budget spent."""
+        return [worker.index for worker in self.workers if worker.degraded]
+
+    @property
+    def degraded(self) -> bool:
+        """Is any shard out of service (dead, restart budget exhausted)?
+
+        Surfaced through the front-end's ``ping`` reply so a router's
+        health probe can mark the whole backend down and drain its users
+        to replicas — a partially dead backend serves some users and hangs
+        others, which is worse than a cleanly dead one.
+        """
+        return any(worker.degraded for worker in self.workers)
 
     # ------------------------------------------------------------------
     # Lifecycle

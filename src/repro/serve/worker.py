@@ -36,11 +36,13 @@ exactly once, at start-up.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue
 import threading
+import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +54,7 @@ from ..radar.pointcloud import PointCloudFrame
 from ..runtime import pool_context, seed_for_key
 from .batcher import PendingPrediction
 from .config import ServeConfig
+from .faults import FaultInjector, RetryPolicy, maybe_injector
 from .policy import AdapterPolicy
 from .server import PoseServer
 
@@ -71,6 +74,7 @@ __all__ = [
     "MetricsRequest",
     "Poll",
     "ShardCrashed",
+    "ShardDegraded",
     "ShardEvents",
     "ShardFactory",
     "ShardProcess",
@@ -85,9 +89,27 @@ __all__ = [
 #: default bound of the per-shard request queue
 DEFAULT_CHANNEL_DEPTH = 64
 
+#: default restart budget of one shard worker ("generous": a worker that
+#: crashes this many times is systematically broken, not unlucky).
+DEFAULT_MAX_RESTARTS = 8
+
+#: default capped backoff between consecutive restarts of one shard.
+DEFAULT_RESTART_BACKOFF = RetryPolicy(
+    max_attempts=DEFAULT_MAX_RESTARTS + 1, base_delay_s=0.05, max_delay_s=2.0
+)
+
 
 class ShardCrashed(RuntimeError):
     """The worker process died while a command was in flight."""
+
+
+class ShardDegraded(ShardCrashed):
+    """The worker is dead and its restart budget is exhausted.
+
+    A subclass of :class:`ShardCrashed` so existing crash handling still
+    fires; supervisors additionally use it to stop restarting and report
+    the shard degraded instead.
+    """
 
 
 class ShardRemoteError(RuntimeError):
@@ -352,6 +374,11 @@ def shard_worker_main(
         seed = seed_for_key("serve-shard", shard_index)
     np.random.seed(seed & 0xFFFFFFFF)
     server = factory.build(shard_index)
+    # The fault plan rides the same pickle boundary as every other config
+    # field; each worker counts its own enqueued frames, so "crash shard k
+    # at frame N" replays identically regardless of parent-side timing.
+    injector = maybe_injector(getattr(factory.config, "fault_plan", None))
+    shard_name = f"shard{shard_index}"
     outstanding: Dict[int, PendingPrediction] = {}
     while True:
         command = requests.get()
@@ -360,15 +387,33 @@ def shard_worker_main(
                 server.flush()
                 replies.put(Stopped(events=_collect_events(outstanding)))
                 return
-            replies.put(_dispatch(server, outstanding, command))
+            replies.put(
+                _dispatch(server, outstanding, command, injector=injector, shard_name=shard_name)
+            )
         except Exception as error:  # report, keep serving: shard state is intact
             replies.put(WorkerError(message=str(error), remote_traceback=traceback.format_exc()))
 
 
+def _maybe_crash(injector: Optional[FaultInjector], shard_name: str) -> None:
+    """Fire a scheduled ``worker_crash``: hard process death, no cleanup.
+
+    ``os._exit`` (not ``sys.exit``) models a real crash — no finally blocks,
+    no queue flushing, no atexit — which is exactly the failure the parent's
+    :class:`ShardCrashed` detection and spill re-attach must survive.
+    """
+    if injector is not None and injector.check("worker_crash", shard_name) is not None:
+        os._exit(1)
+
+
 def _dispatch(
-    server: PoseServer, outstanding: Dict[int, PendingPrediction], command
+    server: PoseServer,
+    outstanding: Dict[int, PendingPrediction],
+    command,
+    injector: Optional[FaultInjector] = None,
+    shard_name: str = "",
 ):
     if isinstance(command, Enqueue):
+        _maybe_crash(injector, shard_name)
         handle = server.enqueue(
             command.user_id,
             command.frame(),
@@ -381,6 +426,10 @@ def _dispatch(
         sequences: List[Optional[int]] = []
         errors: List[Optional[Tuple[str, str]]] = []
         for user_id, frame in zip(command.user_ids, command.frames()):
+            # Checked per frame, so a mid-batch schedule kills the worker
+            # with the batch prefix already admitted — the hardest case for
+            # the parent's ticket-resolution invariant.
+            _maybe_crash(injector, shard_name)
             try:
                 handle = server.enqueue(user_id, frame, priority=command.priority)
             except Exception as error:  # per-frame: the prefix stays valid
@@ -442,13 +491,23 @@ class ShardProcess:
         channel_depth: int = DEFAULT_CHANNEL_DEPTH,
         start_method: Optional[str] = None,
         reply_poll_s: float = 0.1,
+        max_restarts: Optional[int] = DEFAULT_MAX_RESTARTS,
+        restart_backoff: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if channel_depth < 1:
             raise ValueError("channel_depth must be >= 1")
+        if max_restarts is not None and max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative (or None for unlimited)")
         self.factory = factory
         self.index = index
         self.channel_depth = channel_depth
         self.restarts = 0
+        self.max_restarts = max_restarts
+        self.restart_backoff = (
+            restart_backoff if restart_backoff is not None else DEFAULT_RESTART_BACKOFF
+        )
+        self._sleep = sleep
         self._reply_poll_s = reply_poll_s
         self._context = pool_context(start_method)
         self._lock = threading.Lock()
@@ -462,6 +521,21 @@ class ShardProcess:
     @property
     def alive(self) -> bool:
         return self._process is not None and self._process.is_alive()
+
+    @property
+    def restart_budget_exhausted(self) -> bool:
+        """Has this shard spent its whole restart budget?"""
+        return self.max_restarts is not None and self.restarts >= self.max_restarts
+
+    @property
+    def degraded(self) -> bool:
+        """Dead with no restart budget left: the shard is out of service.
+
+        A degraded shard stops being restarted; its supervisor reports it
+        through the ``shards_degraded`` gauge so a router can mark the
+        backend down and drain its users to replicas.
+        """
+        return self.restart_budget_exhausted and not self.alive
 
     def start(self) -> None:
         if self.alive:
@@ -477,8 +551,23 @@ class ShardProcess:
         self._process.start()
 
     def restart(self) -> None:
-        """Replace a dead worker with a fresh one (session state is lost)."""
+        """Replace a dead worker with a fresh one (session state is lost).
+
+        Restarts are paced by the shard's capped-backoff
+        :class:`RetryPolicy` (a crash-looping worker must not spin the
+        host) and bounded by ``max_restarts``: past the budget the shard is
+        *degraded* and this raises :class:`ShardDegraded` instead of
+        starting another doomed process.
+        """
+        if self.restart_budget_exhausted:
+            raise ShardDegraded(
+                f"shard {self.index} exhausted its restart budget "
+                f"({self.restarts}/{self.max_restarts}); not restarting"
+            )
         self._teardown(graceful=False)
+        delay = self.restart_backoff.delay(self.restarts, salt=f"shard{self.index}")
+        if delay > 0:
+            self._sleep(delay)
         self.restarts += 1
         self.start()
 
@@ -522,6 +611,11 @@ class ShardProcess:
         """
         with self._lock:
             if not self.alive:
+                if self.degraded:
+                    raise ShardDegraded(
+                        f"shard {self.index} is degraded (restart budget "
+                        f"{self.restarts}/{self.max_restarts} exhausted)"
+                    )
                 raise ShardCrashed(f"shard {self.index} worker is not running")
             return self._roundtrip(command, timeout=timeout)
 

@@ -1,0 +1,9 @@
+"""Scenario harness replaying scripted fault schedules end to end.
+
+Every test in this package drives the serving tier through a
+:class:`repro.serve.FaultPlan` — deterministic, occurrence-counted fault
+schedules with no wall-clock dependence — and asserts the robustness
+contract: every admitted ticket resolves (no hangs), recovery is bitwise
+where the mirror guarantees it, and degradation is visible only through
+the metrics counters that the injector's fired ledger predicts.
+"""

@@ -1,0 +1,192 @@
+"""The end-to-end chaos acceptance: one scripted schedule, three faults.
+
+A routed replay over two backends survives — in one run — a browned-out
+backend (blackholed replies tripping the router's per-request timeout and
+retry budget), a hard backend crash with failover, and a corrupted adapter
+spill file.  The run must complete bitwise-identical to the no-fault
+reference for every mirror-covered user, with no ticket left hanging, no
+fusion window double-fed into the failover mirror across retries, and
+every degradation visible in exactly the counters the injectors' fired
+ledgers predict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.dataset.loader import ArrayDataset
+from repro.serve import (
+    AdapterPolicy,
+    AsyncPoseClient,
+    BackendSpec,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    PoseFrontend,
+    PoseRouter,
+    PoseServer,
+    RetryPolicy,
+    ServeConfig,
+)
+
+from ..conftest import make_frame
+
+LAZY = ServeConfig(max_batch_size=8, max_delay_ms=10_000.0)
+
+#: user-6 and user-11 land on b1, the rest on b0 (pinned by test_ring.py's
+#: determinism over a two-node ring)
+USERS = [f"user-{i}" for i in (0, 1, 2, 3, 6, 11)]
+B1_USERS = ["user-6", "user-11"]
+STEPS = 6
+
+#: immediate retries, three attempts: survives a two-reply blackhole
+FORWARD_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0, max_delay_s=0.0)
+
+
+def make_streams():
+    return {
+        user: [make_frame(np.random.default_rng(1000 + 31 * i + j)) for j in range(STEPS)]
+        for i, user in enumerate(USERS)
+    }
+
+
+def reference_replay(estimator, streams):
+    server = PoseServer(estimator, LAZY)
+    return {
+        user: [server.submit(user, frame) for frame in frames]
+        for user, frames in streams.items()
+    }
+
+
+class TestChaosReplay:
+    @pytest.mark.slow
+    def test_scripted_schedule_is_bitwise_invisible_outside_its_counters(
+        self, estimator, serve_dataset, tmp_path
+    ):
+        streams = make_streams()
+        expected = reference_replay(estimator, streams)
+
+        # b0: a corrupt_spill rule mangles the very first spill write, so
+        # the pre-adapted user-0 re-onboards from the base model — which is
+        # exactly what the (unadapted) reference predicts.
+        spill_plan = FaultPlan(rules=(FaultRule(op="corrupt_spill", target="spill", at=0),))
+        b0_config = ServeConfig(
+            max_batch_size=8,
+            max_delay_ms=10_000.0,
+            adapter=AdapterPolicy(
+                scope="last", epochs=1, hot_capacity=1, spill_dir=tmp_path / "spill"
+            ),
+            fault_plan=spill_plan,
+        )
+        b0_server = PoseServer(estimator, b0_config)
+        arrays = estimator.prepare(serve_dataset[:16])
+        b0_server.adapt_user("user-0", ArrayDataset(arrays.features, arrays.labels))
+        b0_server.adapt_user("padding-user", ArrayDataset(arrays.features, arrays.labels))
+        assert b0_server.registry.tier_sizes()["warm"] == 1  # user-0 demoted
+
+        # b1: after 2 clean steps (4 replies), blackhole two consecutive
+        # submit replies — the brownout the router must ride out on its
+        # timeout + retry budget without marking the backend down.
+        b1_server = PoseServer(estimator, LAZY)
+        b1_injector = FaultInjector(
+            FaultPlan(rules=(FaultRule(op="blackhole", target="submit", at=4, count=2),))
+        )
+
+        async def body():
+            b0_path, b1_path = str(tmp_path / "b0.sock"), str(tmp_path / "b1.sock")
+            b0 = PoseFrontend(b0_server, unix_path=b0_path)
+            b1 = PoseFrontend(b1_server, unix_path=b1_path, fault_injector=b1_injector)
+            await b0.start()
+            await b1.start()
+            router = PoseRouter(
+                [
+                    BackendSpec(name="b0", unix_path=b0_path),
+                    BackendSpec(name="b1", unix_path=b1_path),
+                ],
+                unix_path=str(tmp_path / "router.sock"),
+                health_interval_s=0.05,
+                health_timeout_s=0.5,
+                health_failures=3,
+                request_timeout_s=0.25,
+                retry_policy=FORWARD_RETRY,
+            )
+            await router.start()
+            try:
+                async with AsyncPoseClient() as client:
+                    await client.connect_unix(str(tmp_path / "router.sock"))
+
+                    async def step(index, users=USERS):
+                        for user in users:
+                            got = await client.submit(user, streams[user][index])
+                            np.testing.assert_array_equal(got, expected[user][index])
+
+                    # phase 1 — clean replay (and the spill quarantine on
+                    # user-0's first gather, invisible in the outputs)
+                    await step(0)
+                    await step(1)
+                    assert b0_server.metrics.spill_quarantined == 1
+
+                    # phase 2 — brownout: user-6's submit is blackholed
+                    # twice; the third attempt answers, bitwise
+                    await step(2, users=["user-6"])
+                    assert router.request_timeouts == 2
+                    assert router.retries == 2
+                    assert not router.monitor.is_down("b1")  # debounced
+                    await step(2, users=[u for u in USERS if u != "user-6"])
+
+                    # phase 3 — crash b1; the router marks it down and its
+                    # users fail over to b0, sessions restored from the
+                    # mirror
+                    await b1.stop()
+                    for _ in range(400):
+                        await asyncio.sleep(0.01)
+                        if router.monitor.is_down("b1"):
+                            break
+                    assert router.monitor.is_down("b1")
+                    await step(3)
+                    await step(4)
+                    await step(5)
+
+                    # no fusion window double-fed: despite the retried
+                    # submits and the failover, the mirror holds each
+                    # user's frames exactly once
+                    for user in USERS:
+                        mirrored = router.mirror.user_state(user)
+                        assert mirrored["session"]["frames_seen"] == STEPS
+
+                    # reconciliation — every degradation shows up in
+                    # exactly the counters the fired ledgers predict
+                    assert b1_injector.fired == [
+                        ("blackhole", "submit", 4),
+                        ("blackhole", "submit", 5),
+                    ]
+                    assert router.request_timeouts == b1_injector.fired_count("blackhole")
+                    assert router.retries == b1_injector.fired_count("blackhole")
+                    spill_injector = b0_server.fault_injector
+                    assert spill_injector.fired == [("corrupt_spill", "spill", 0)]
+                    assert b0_server.metrics.spill_quarantined == spill_injector.fired_count(
+                        "corrupt_spill"
+                    )
+                    assert router.backends_lost == 1
+                    assert router.users_failed_over == len(B1_USERS)
+                    assert set(router._placement.values()) == {"b0"}
+
+                    metrics = router.router_metrics()
+                    assert metrics["router_request_timeouts"] == 2
+                    assert metrics["router_retries"] == 2
+                    exposition = router._router_exposition()
+                    assert "fuse_router_request_timeouts_total 2" in exposition
+                    assert "fuse_router_retries_total 2" in exposition
+            finally:
+                await router.stop()
+                for frontend in (b0, b1):
+                    with contextlib.suppress(Exception):
+                        await frontend.stop()
+
+        # the scenario itself is the no-hang assertion: every submit's
+        # ticket must resolve inside the global deadline
+        asyncio.run(asyncio.wait_for(body(), timeout=120))

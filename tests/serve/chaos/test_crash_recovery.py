@@ -1,0 +1,123 @@
+"""Scheduled worker crashes: ticket resolution and spill-cohort re-attach.
+
+The hardest case for the ticket invariant is a ``worker_crash`` fired in
+the middle of an ``EnqueueBatch`` — a prefix of the batch is already
+admitted inside the dying worker.  The contract: every parent-side ticket
+resolves (done or dropped, never hung), the worker restarts under its
+budget, and the restarted shard re-attaches its adapter spill cohort so
+post-crash predictions are bitwise what they were before.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.loader import ArrayDataset
+from repro.serve import (
+    AdapterPolicy,
+    FaultPlan,
+    FaultRule,
+    FrameDropped,
+    ProcessShardedPoseServer,
+    ServeConfig,
+    ShardCrashed,
+)
+
+from ..conftest import make_frame
+
+#: lazy batching so tickets stay parked until the test decides their fate
+LAZY = dict(max_batch_size=64, max_delay_ms=10_000.0)
+
+
+def users_on_shard(server, shard, count, tag="u"):
+    """Deterministically named users that hash onto ``shard``."""
+    found = []
+    index = 0
+    while len(found) < count:
+        user = f"{tag}-{index}"
+        if server.shard_index(user) == shard:
+            found.append(user)
+        index += 1
+    return found
+
+
+@pytest.fixture(scope="module")
+def calibration(estimator, serve_dataset):
+    arrays = estimator.prepare(serve_dataset[:16])
+    return ArrayDataset(arrays.features, arrays.labels)
+
+
+class TestCrashMidBatch:
+    def test_every_admitted_ticket_resolves_and_spill_reattaches_bitwise(
+        self, estimator, calibration, tmp_path
+    ):
+        # The 5th enqueued frame on shard 0 kills the worker: one warm-up
+        # submit (occ 0), one parked enqueue (occ 1), then a 4-frame batch
+        # (occ 2..5) dies on its third frame — admitted prefix of two.
+        plan = FaultPlan(rules=(FaultRule(op="worker_crash", target="shard0", at=4),))
+        policy = AdapterPolicy(
+            scope="lora", rank=2, epochs=1, spill_dir=tmp_path / "spill"
+        )
+        with ProcessShardedPoseServer(
+            estimator,
+            num_shards=2,
+            config=ServeConfig(fault_plan=plan, **LAZY),
+            policy=policy,
+            restart_sleep=lambda _delay: None,
+        ) as server:
+            adapted, streamer = users_on_shard(server, 0, 2)
+            bystander = users_on_shard(server, 1, 1, tag="other")[0]
+            frame = make_frame(np.random.default_rng(0))
+
+            server.adapt_user(adapted, calibration)
+            before = server.submit(adapted, frame)  # crash occurrence 0
+
+            parked = server.enqueue(streamer, make_frame(np.random.default_rng(1)))
+            witness = server.enqueue(bystander, make_frame(np.random.default_rng(2)))
+
+            batch = [
+                (streamer, make_frame(np.random.default_rng(10 + i))) for i in range(4)
+            ]
+            with pytest.raises(ShardCrashed):
+                server.enqueue_many(batch)
+
+            # every ticket the parent ever issued resolved — none hang
+            assert parked.dropped
+            with pytest.raises(FrameDropped, match="crashed"):
+                parked.result(flush=False)
+            assert server.workers[0].alive  # restarted under budget
+            assert server.restarts == 1
+
+            # the other shard never noticed: its parked ticket still lives
+            assert not witness.done and not witness.dropped
+            assert witness.result(flush=True).shape == (19, 3)
+
+            # the restarted worker re-attached the spill cohort bitwise
+            after = server.submit(adapted, frame)
+            np.testing.assert_array_equal(after, before)
+            assert server.metrics_snapshot()["shard_restarts"] == 1
+
+    def test_crash_on_a_single_enqueue_leaves_no_orphaned_tickets(
+        self, estimator, tmp_path
+    ):
+        plan = FaultPlan(rules=(FaultRule(op="worker_crash", target="shard0", at=1),))
+        with ProcessShardedPoseServer(
+            estimator,
+            num_shards=2,
+            config=ServeConfig(fault_plan=plan, **LAZY),
+            restart_sleep=lambda _delay: None,
+        ) as server:
+            victim, second = users_on_shard(server, 0, 2)
+            parked = server.enqueue(victim, make_frame(np.random.default_rng(0)))
+            with pytest.raises(ShardCrashed):
+                server.enqueue(second, make_frame(np.random.default_rng(1)))
+
+            assert parked.done or parked.dropped
+            assert server.pending == 0  # nothing left that could hang
+            assert server.restarts == 1
+            # fresh worker serves the same users again
+            assert server.submit(victim, make_frame(np.random.default_rng(2))).shape == (
+                19,
+                3,
+            )

@@ -1,0 +1,223 @@
+"""The fault-injection substrate itself: plans, rules, injector, retries.
+
+Everything here is pure determinism plumbing — no sockets, no processes,
+no clocks.  If these invariants hold, a chaos schedule replays identically
+on any machine at any speed, which is what makes the end-to-end scenarios
+in this package assertable at all.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.serve import FaultInjector, FaultPlan, FaultRule, RetryPolicy, maybe_injector
+from repro.serve.faults import FAULT_OPS
+
+
+class TestFaultRule:
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown fault op"):
+            FaultRule(op="meteor_strike")
+
+    def test_rejects_negative_at_and_zero_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultRule(op="blackhole", at=-1)
+        with pytest.raises(ValueError, match="count"):
+            FaultRule(op="blackhole", count=0)
+
+    def test_reply_latency_requires_a_delay(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultRule(op="reply_latency", target="submit")
+        FaultRule(op="reply_latency", target="submit", delay_s=0.01)
+
+    def test_matching_window_is_at_plus_count(self):
+        rule = FaultRule(op="blackhole", target="submit", at=2, count=3)
+        fired = [rule.matches("submit", occurrence) for occurrence in range(7)]
+        assert fired == [False, False, True, True, True, False, False]
+
+    def test_count_none_fires_forever_from_at(self):
+        rule = FaultRule(op="blackhole", target="submit", at=4, count=None)
+        assert not rule.matches("submit", 3)
+        assert all(rule.matches("submit", occurrence) for occurrence in (4, 100, 10_000))
+
+    def test_wildcard_target_matches_any_site(self):
+        rule = FaultRule(op="worker_crash", target="*", at=0)
+        assert rule.matches("shard0", 0)
+        assert rule.matches("shard7", 0)
+        assert not FaultRule(op="worker_crash", target="shard0").matches("shard1", 0)
+
+
+class TestFaultPlan:
+    def test_round_trips_through_dict_json_and_pickle(self, tmp_path):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(op="worker_crash", target="shard0", at=5),
+                FaultRule(op="reply_latency", target="submit", at=1, count=2, delay_s=0.25),
+                FaultRule(op="blackhole", target="ping", at=0, count=None),
+            )
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+            FaultPlan.from_dict({"rules": [], "when": "now"})
+        with pytest.raises(ValueError, match="unknown FaultRule fields"):
+            FaultPlan.from_dict({"rules": [{"op": "blackhole", "frequency": 2}]})
+
+    def test_empty_plan_is_falsy_and_cheap(self):
+        assert not FaultPlan.none()
+        assert maybe_injector(FaultPlan.none()) is None
+        assert maybe_injector(None) is None
+
+    def test_for_op_filters_and_with_rule_appends(self):
+        plan = FaultPlan().with_rule(FaultRule(op="blackhole", target="submit"))
+        plan = plan.with_rule(FaultRule(op="corrupt_spill", target="spill"))
+        assert [rule.op for rule in plan.for_op("blackhole")] == ["blackhole"]
+        assert len(plan.rules) == 2
+
+
+class TestFaultInjector:
+    def plan(self):
+        return FaultPlan(rules=(FaultRule(op="blackhole", target="submit", at=1),))
+
+    def test_counter_advances_on_every_check_fired_or_not(self):
+        injector = FaultInjector(self.plan())
+        outcomes = [injector.check("blackhole", "submit") for _ in range(4)]
+        assert [outcome is not None for outcome in outcomes] == [False, True, False, False]
+        assert injector.occurrences("blackhole", "submit") == 4
+        assert injector.fired == [("blackhole", "submit", 1)]
+
+    def test_sites_count_independently(self):
+        injector = FaultInjector(
+            FaultPlan(rules=(FaultRule(op="worker_crash", target="shard1", at=0),))
+        )
+        assert injector.check("worker_crash", "shard0") is None
+        assert injector.check("worker_crash", "shard1") is not None
+        assert injector.occurrences("worker_crash", "shard0") == 1
+        assert injector.occurrences("worker_crash", "shard1") == 1
+
+    def test_fired_count_slices_the_ledger(self):
+        injector = FaultInjector(
+            FaultPlan(rules=(FaultRule(op="blackhole", target="*", at=0, count=None),))
+        )
+        injector.check("blackhole", "submit")
+        injector.check("blackhole", "ping")
+        injector.check("blackhole", "submit")
+        assert injector.fired_count("blackhole") == 3
+        assert injector.fired_count("blackhole", "submit") == 2
+        assert injector.fired_count("worker_crash") == 0
+
+    def test_empty_plan_short_circuits_without_counting(self):
+        injector = FaultInjector()
+        assert injector.check("blackhole", "submit") is None
+        assert injector.occurrences("blackhole", "submit") == 0
+        assert not injector
+
+    def test_unknown_op_is_a_programming_error(self):
+        with pytest.raises(ValueError, match="unknown fault op"):
+            FaultInjector().check("cosmic_ray", "submit")
+
+    def test_maybe_injector_passthrough_shares_the_ledger(self):
+        shared = FaultInjector(self.plan())
+        assert maybe_injector(None, shared) is shared
+        assert maybe_injector(self.plan()) is not shared
+
+
+class TestByteMangling:
+    def test_corrupt_bytes_is_deterministic_and_spares_the_header(self):
+        data = bytes(range(200))
+        mangled = FaultInjector.corrupt_bytes(data, seed=3)
+        assert mangled == FaultInjector.corrupt_bytes(data, seed=3)
+        assert mangled != data
+        assert len(mangled) == len(data)
+        # offsets are drawn from the second half, so a 5-byte wire header
+        # (and anything else up front) survives intact
+        assert mangled[: len(data) // 2] == data[: len(data) // 2]
+
+    def test_corrupt_bytes_differs_across_seeds(self):
+        data = bytes(range(200))
+        assert FaultInjector.corrupt_bytes(data, seed=0) != FaultInjector.corrupt_bytes(
+            data, seed=1
+        )
+
+    def test_tiny_buffers_are_still_mangled(self):
+        assert FaultInjector.corrupt_bytes(b"\x00") != b"\x00"
+
+    def test_truncate_bytes_halves_but_keeps_at_least_one(self):
+        assert FaultInjector.truncate_bytes(bytes(100)) == bytes(50)
+        assert FaultInjector.truncate_bytes(b"x") == b"x"
+
+    def test_corrupt_file_mangles_in_place(self, tmp_path):
+        path = tmp_path / "spill.npz"
+        original = bytes(range(256))
+        path.write_bytes(original)
+        FaultInjector().corrupt_file(path, seed=7)
+        assert path.read_bytes() != original
+        assert len(path.read_bytes()) == len(original)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_delay_s"):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError, match="max_delay_s"):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay(-1)
+
+    def test_exponential_backoff_is_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_s=0.1, max_delay_s=0.5, multiplier=2.0
+        )
+        assert policy.delays() == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_zero_delay_policy_is_valid(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, max_delay_s=0.0)
+        assert policy.delays() == [0.0, 0.0]
+
+    def test_jitter_is_deterministic_per_seed_salt_attempt(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1, jitter=0.5, seed=11)
+        assert policy.delay(1, salt="user-a") == policy.delay(1, salt="user-a")
+        assert policy.delay(1, salt="user-a") != policy.delay(1, salt="user-b")
+        reseeded = RetryPolicy(max_attempts=4, base_delay_s=0.1, jitter=0.5, seed=12)
+        assert policy.delay(1, salt="user-a") != reseeded.delay(1, salt="user-a")
+
+    def test_jitter_stays_within_the_band(self):
+        policy = RetryPolicy(max_attempts=8, base_delay_s=0.2, jitter=0.25, seed=0)
+        for attempt in range(policy.max_attempts - 1):
+            base = min(
+                policy.base_delay_s * policy.multiplier**attempt, policy.max_delay_s
+            )
+            assert base * (1 - policy.jitter) <= policy.delay(attempt, "s") <= base
+
+    def test_round_trips_through_dict(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.02, max_delay_s=0.8, multiplier=3.0,
+            jitter=0.1, seed=42,
+        )
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+        with pytest.raises(ValueError, match="unknown RetryPolicy fields"):
+            RetryPolicy.from_dict({"max_attempts": 2, "retries": 9})
+
+    def test_none_means_a_single_attempt(self):
+        policy = RetryPolicy.none()
+        assert policy.max_attempts == 1
+        assert policy.delays() == []
+
+
+def test_every_fault_op_is_documented_in_the_module_docstring():
+    import repro.serve.faults as faults
+
+    for op in FAULT_OPS:
+        assert op in faults.__doc__

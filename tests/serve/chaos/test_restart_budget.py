@@ -1,0 +1,148 @@
+"""Shard restart budgets: capped backoff, degradation, and its visibility.
+
+A crash-looping worker must not spin the host (restarts are paced by the
+unified :class:`RetryPolicy`) and must not loop forever (``max_restarts``);
+past the budget the shard is *degraded* — it stays down, keeps its error
+surface (:class:`ShardDegraded`), and the condition is observable through
+the ``shards_degraded`` gauge and the front-end's ``ping`` reply so a
+router can drain the backend's users to replicas.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AsyncPoseClient,
+    PoseFrontend,
+    PoseServer,
+    ProcessShardedPoseServer,
+    RetryPolicy,
+    ServeConfig,
+    ShardCrashed,
+    ShardDegraded,
+)
+
+from ..conftest import make_frame
+
+BACKOFF = RetryPolicy(max_attempts=4, base_delay_s=0.01, max_delay_s=0.05, multiplier=2.0)
+
+
+@pytest.fixture()
+def crashy(estimator):
+    """One shard, one restart allowed, recorded (never slept) backoff."""
+    sleeps: list = []
+    server = ProcessShardedPoseServer(
+        estimator,
+        num_shards=1,
+        config=ServeConfig(max_batch_size=4),
+        max_restarts=1,
+        restart_backoff=BACKOFF,
+        restart_sleep=sleeps.append,
+    )
+    try:
+        yield server, sleeps
+    finally:
+        server.close()
+
+
+class TestRestartBudget:
+    def test_restart_paces_with_the_retry_policy(self, crashy):
+        server, sleeps = crashy
+        frame = make_frame(np.random.default_rng(0))
+        assert server.submit("alice", frame).shape == (19, 3)
+
+        server.workers[0]._process.kill()
+        with pytest.raises(ShardCrashed):
+            server.submit("alice", frame)
+        assert server.restarts == 1
+        assert sleeps == [BACKOFF.delay(0, salt="shard0")]
+        assert server.submit("alice", frame).shape == (19, 3)  # recovered
+
+    def test_exhausted_budget_degrades_instead_of_crash_looping(self, crashy):
+        server, _ = crashy
+        frame = make_frame(np.random.default_rng(1))
+        server.submit("alice", frame)
+
+        server.workers[0]._process.kill()
+        with pytest.raises(ShardCrashed):
+            server.submit("alice", frame)
+        server.workers[0]._process.kill()
+        with pytest.raises(ShardCrashed):
+            server.submit("alice", frame)
+
+        # budget spent: the worker stays down and every call degrades
+        assert server.restarts == 1
+        assert server.workers[0].restart_budget_exhausted
+        assert server.workers[0].degraded
+        assert server.degraded
+        assert server.degraded_shards == [0]
+        with pytest.raises(ShardDegraded, match="restart budget"):
+            server.submit("alice", frame)
+        with pytest.raises(ShardDegraded, match="not restarting"):
+            server.workers[0].restart()
+
+    def test_degradation_is_observable_in_metrics(self, crashy):
+        server, _ = crashy
+        frame = make_frame(np.random.default_rng(2))
+        server.submit("alice", frame)
+        for _ in range(2):
+            server.workers[0]._process.kill()
+            with pytest.raises(ShardCrashed):
+                server.submit("alice", frame)
+
+        snapshot = server.metrics_snapshot()
+        assert snapshot["shards_degraded"] == 1
+        assert snapshot["shard_restarts"] == 1
+        exposition = server.to_prometheus()
+        assert "fuse_serve_shards_degraded" in exposition
+        assert 'shard="supervisor"' in exposition
+        assert "fuse_serve_restarts_total" in exposition
+
+
+class TestDegradedPing:
+    def test_pong_carries_the_degraded_flag(self, crashy, tmp_path):
+        """A router health probe treats a degraded pong as a failure, so a
+        partially dead backend is drained like a wholly dead one."""
+        server, _ = crashy
+        frame = make_frame(np.random.default_rng(3))
+        server.submit("alice", frame)
+        for _ in range(2):
+            server.workers[0]._process.kill()
+            with pytest.raises(ShardCrashed):
+                server.submit("alice", frame)
+        assert server.degraded
+
+        async def scenario():
+            frontend = PoseFrontend(server, unix_path=str(tmp_path / "degraded.sock"))
+            await frontend.start()
+            try:
+                async with AsyncPoseClient() as client:
+                    await client.connect_unix(str(tmp_path / "degraded.sock"))
+                    return await client.request({"type": "ping"})
+            finally:
+                await frontend.stop()
+
+        reply = asyncio.run(scenario())
+        assert reply["type"] == "pong"
+        assert reply["degraded"] is True
+
+    def test_healthy_pong_has_no_degraded_field(self, estimator, tmp_path):
+        server = PoseServer(estimator, ServeConfig(max_batch_size=4))
+
+        async def scenario():
+            frontend = PoseFrontend(server, unix_path=str(tmp_path / "healthy.sock"))
+            await frontend.start()
+            try:
+                async with AsyncPoseClient() as client:
+                    await client.connect_unix(str(tmp_path / "healthy.sock"))
+                    return await client.request({"type": "ping"})
+            finally:
+                await frontend.stop()
+
+        reply = asyncio.run(scenario())
+        assert reply["type"] == "pong"
+        assert "degraded" not in reply

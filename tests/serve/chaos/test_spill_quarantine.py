@@ -1,0 +1,180 @@
+"""Corrupted adapter spill files: checksum verification and quarantine.
+
+The degradation contract: a spill archive that fails verification is moved
+aside (``.quarantined``), counted, and the user transparently re-onboards
+from the base model — serving never crashes and never silently loads
+garbage parameters.  Checksum-less archives from the previous save format
+keep loading (back compatibility), and spill writes stay atomic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.loader import ArrayDataset
+from repro.nn.serialization import load_state, save_state, state_checksum
+from repro.serve import (
+    AdapterPolicy,
+    AdapterRegistry,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    PoseServer,
+    ServeConfig,
+    ServeMetrics,
+)
+
+
+@pytest.fixture(scope="module")
+def calibration_sets(estimator, serve_dataset):
+    arrays = estimator.prepare(serve_dataset[:32])
+    return {
+        f"user-{index}": ArrayDataset(
+            arrays.features[index * 8 : (index + 1) * 8],
+            arrays.labels[index * 8 : (index + 1) * 8],
+        )
+        for index in range(4)
+    }
+
+
+def _spilled_registry(estimator, calibration_sets, spill_dir, users=2):
+    """A registry whose first adapted user has been demoted to warm."""
+    policy = AdapterPolicy(scope="last", epochs=1, hot_capacity=1, spill_dir=spill_dir)
+    registry = AdapterRegistry(estimator.model, policy=policy, metrics=ServeMetrics())
+    for user in list(calibration_sets)[:users]:
+        registry.adapt_user(user, calibration_sets[user])
+    return registry
+
+
+class TestChecksums:
+    def test_spill_metadata_records_a_crc32(self, estimator, calibration_sets, tmp_path):
+        registry = _spilled_registry(estimator, calibration_sets, tmp_path / "spill")
+        warm_user = next(iter(calibration_sets))
+        path = registry._spill_paths[warm_user]
+        state, metadata = load_state(path)
+        assert metadata["checksum"] == state_checksum(state)
+
+    def test_checksum_is_key_order_independent(self):
+        state = {"b": np.arange(4.0), "a": np.ones((2, 2))}
+        assert state_checksum(state) == state_checksum(dict(reversed(state.items())))
+
+    def test_atomic_write_leaves_no_temporaries(self, estimator, calibration_sets, tmp_path):
+        spill = tmp_path / "spill"
+        _spilled_registry(estimator, calibration_sets, spill)
+        leftovers = [p for p in spill.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_checksum_less_legacy_archives_still_load(
+        self, estimator, calibration_sets, tmp_path
+    ):
+        registry = _spilled_registry(estimator, calibration_sets, tmp_path / "spill")
+        warm_user = next(iter(calibration_sets))
+        expected = [p.copy() for p in registry.parameters_for(warm_user)]
+        path = registry._spill_paths[warm_user]
+        state, metadata = load_state(path)
+        del metadata["checksum"]  # what a pre-checksum writer left behind
+        save_state(state, path, metadata=metadata)
+
+        reattached = AdapterRegistry(estimator.model, policy=registry.policy)
+        got = reattached.parameters_for(warm_user)
+        assert got is not None
+        for a, b in zip(expected, got):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestQuarantine:
+    def test_corrupt_spill_quarantines_on_promotion(
+        self, estimator, calibration_sets, tmp_path
+    ):
+        registry = _spilled_registry(estimator, calibration_sets, tmp_path / "spill")
+        warm_user, hot_user = list(calibration_sets)[:2]
+        assert registry.tier_sizes() == {"hot": 1, "warm": 1, "cold": 0}
+        path = registry._spill_paths[warm_user]
+        FaultInjector().corrupt_file(path)
+
+        assert registry.parameters_for(warm_user) is None  # no raise: degrade
+        assert warm_user not in registry
+        assert registry.tier_sizes()["cold"] == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".quarantined").exists()
+        assert registry.metrics.spill_quarantined == 1
+        # the cohabiting hot user is untouched
+        assert registry.parameters_for(hot_user) is not None
+
+    def test_unreadable_spill_is_quarantined_at_attach(
+        self, estimator, calibration_sets, tmp_path
+    ):
+        spill = tmp_path / "spill"
+        registry = _spilled_registry(estimator, calibration_sets, spill)
+        warm_user = next(iter(calibration_sets))
+        path = registry._spill_paths[warm_user]
+        path.write_bytes(path.read_bytes()[:40])  # torn mid-write by a crash
+
+        metrics = ServeMetrics()
+        reattached = AdapterRegistry(
+            estimator.model, policy=registry.policy, metrics=metrics
+        )
+        assert warm_user not in reattached
+        assert path.with_name(path.name + ".quarantined").exists()
+        assert metrics.spill_quarantined == 1
+
+    def test_quarantined_files_are_not_reattached(
+        self, estimator, calibration_sets, tmp_path
+    ):
+        registry = _spilled_registry(estimator, calibration_sets, tmp_path / "spill")
+        warm_user = next(iter(calibration_sets))
+        FaultInjector().corrupt_file(registry._spill_paths[warm_user])
+        assert registry.parameters_for(warm_user) is None
+
+        again = AdapterRegistry(estimator.model, policy=registry.policy)
+        assert warm_user not in again
+
+    def test_import_user_bytes_verifies_the_checksum(
+        self, estimator, calibration_sets, tmp_path
+    ):
+        registry = _spilled_registry(estimator, calibration_sets, tmp_path / "spill")
+        user = next(iter(calibration_sets))
+        blob = registry.export_user_bytes(user)
+        mangled = FaultInjector.corrupt_bytes(blob, seed=1)
+        fresh = AdapterRegistry(estimator.model, policy=registry.policy)
+        with pytest.raises(Exception):
+            fresh.import_user_bytes(user, mangled)
+        fresh.import_user_bytes(user, blob)
+        assert user in fresh
+
+
+class TestTransparentReonboarding:
+    def test_server_serves_base_model_after_quarantine(
+        self, estimator, serve_dataset, tmp_path
+    ):
+        """The end-to-end degradation: a scheduled ``corrupt_spill`` fault
+        mangles the first spill write; the user's next request silently
+        falls back to the shared base parameters — same prediction as a
+        never-adapted server — with only the counter betraying the fault."""
+        from repro.serve import user_streams_from_dataset
+
+        streams = user_streams_from_dataset(serve_dataset, num_users=4, frames_per_user=2)
+        users = list(streams)
+        plan = FaultPlan(rules=(FaultRule(op="corrupt_spill", target="spill", at=0),))
+        policy = AdapterPolicy(
+            scope="last", epochs=1, hot_capacity=1, spill_dir=tmp_path / "spill"
+        )
+        config = ServeConfig(max_batch_size=4, adapter=policy, fault_plan=plan)
+        server = PoseServer(estimator, config)
+        baseline = PoseServer(estimator, ServeConfig(max_batch_size=4))
+
+        arrays = estimator.prepare(serve_dataset[:16])
+        victim, evictor = users[0], users[1]
+        server.adapt_user(victim, ArrayDataset(arrays.features, arrays.labels))
+        server.adapt_user(evictor, ArrayDataset(arrays.features, arrays.labels))
+        assert server.registry.tier_sizes()["warm"] == 1  # victim demoted
+
+        frame = streams[victim][0].cloud
+        got = server.submit(victim, frame)
+        np.testing.assert_array_equal(got, baseline.submit(victim, frame))
+        assert victim not in server.registry
+        assert server.metrics.spill_quarantined == 1
+        assert server.fault_injector.fired_count("corrupt_spill", "spill") == 1
+        # the survivor still answers with its adapted parameters
+        assert server.registry.parameters_for(evictor) is not None

@@ -1,0 +1,156 @@
+"""Scripted wire faults at the socket front-end: blackholes, latency,
+corrupted and truncated reply frames.
+
+The protocol contract under fire: a blackholed reply hangs only its own
+request (the pipelined window slot is released — the connection keeps
+serving), a corrupted payload fails *decoding* on the peer while the
+stream framing survives, and a truncated frame hangs up mid-frame.  All
+of it scheduled by occurrence counters, none of it by time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AsyncPoseClient,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    PoseFrontend,
+    PoseServer,
+    ServeConfig,
+)
+from repro.serve.transport import WireError
+
+from ..conftest import make_frame
+
+LAZY = ServeConfig(max_batch_size=8, max_delay_ms=10_000.0)
+
+
+def run_frontend(server, plan, scenario, tmp_path):
+    """Serve ``server`` behind a faulted front-end; run ``scenario``.
+
+    ``scenario(client, injector, path)`` gets a connected client plus the
+    injector whose fired ledger the test reconciles against.
+    """
+    injector = FaultInjector(plan)
+
+    async def body():
+        path = str(tmp_path / "faulted.sock")
+        frontend = PoseFrontend(server, unix_path=path, fault_injector=injector)
+        await frontend.start()
+        try:
+            async with AsyncPoseClient() as client:
+                await client.connect_unix(path)
+                return await scenario(client, injector, path)
+        finally:
+            await frontend.stop()
+
+    return asyncio.run(asyncio.wait_for(body(), timeout=30))
+
+
+class TestBlackhole:
+    def test_swallowed_reply_hangs_only_its_own_request(self, estimator, tmp_path):
+        server = PoseServer(estimator, LAZY)
+        reference = PoseServer(estimator, LAZY)
+        plan = FaultPlan(rules=(FaultRule(op="blackhole", target="submit", at=0),))
+        frames = [make_frame(np.random.default_rng(i)) for i in range(4)]
+
+        async def scenario(client, injector, path):
+            doomed = asyncio.create_task(client.submit("alice", frames[0]))
+            while injector.occurrences("blackhole", "submit") < 1:
+                await asyncio.sleep(0)
+            # the connection (and its pipelined window) keeps serving
+            for index, frame in enumerate(frames[1:], start=1):
+                got = await client.submit("bob", frame)
+                np.testing.assert_array_equal(got, reference.submit("bob", frame))
+            assert not doomed.done()
+            doomed.cancel()
+            assert injector.fired == [("blackhole", "submit", 0)]
+
+        run_frontend(server, plan, scenario, tmp_path)
+
+    def test_blackholed_ping_leaves_later_pings_alone(self, estimator, tmp_path):
+        server = PoseServer(estimator, LAZY)
+        plan = FaultPlan(rules=(FaultRule(op="blackhole", target="ping", at=0),))
+
+        async def scenario(client, injector, path):
+            doomed = asyncio.create_task(client.request({"type": "ping"}))
+            while injector.occurrences("blackhole", "ping") < 1:
+                await asyncio.sleep(0)
+            assert await client.ping()
+            assert not doomed.done()
+            doomed.cancel()
+
+        run_frontend(server, plan, scenario, tmp_path)
+
+
+class TestReplyLatency:
+    def test_delayed_reply_is_still_bitwise_correct(self, estimator, tmp_path):
+        server = PoseServer(estimator, LAZY)
+        reference = PoseServer(estimator, LAZY)
+        plan = FaultPlan(
+            rules=(FaultRule(op="reply_latency", target="submit", at=0, delay_s=0.05),)
+        )
+        frame = make_frame(np.random.default_rng(7))
+
+        async def scenario(client, injector, path):
+            got = await client.submit("alice", frame)
+            np.testing.assert_array_equal(got, reference.submit("alice", frame))
+            assert injector.fired == [("reply_latency", "submit", 0)]
+
+        run_frontend(server, plan, scenario, tmp_path)
+
+
+class TestFrameCorruption:
+    def test_corrupted_reply_fails_decoding_on_the_peer(self, estimator, tmp_path):
+        server = PoseServer(estimator, LAZY)
+        plan = FaultPlan(rules=(FaultRule(op="corrupt_frame", target="prediction", at=0),))
+        frames = [make_frame(np.random.default_rng(i)) for i in range(2)]
+
+        async def scenario(client, injector, path):
+            with pytest.raises((WireError, ConnectionError, RuntimeError)):
+                await client.submit("alice", frames[0])
+            assert injector.fired == [("corrupt_frame", "prediction", 0)]
+            # the server survives: a fresh connection serves normally
+            async with AsyncPoseClient() as second:
+                await second.connect_unix(path)
+                assert (await second.submit("alice", frames[1])).shape == (19, 3)
+
+        run_frontend(server, plan, scenario, tmp_path)
+
+    def test_truncated_reply_surfaces_as_a_torn_frame(self, estimator, tmp_path):
+        server = PoseServer(estimator, LAZY)
+        plan = FaultPlan(rules=(FaultRule(op="truncate_frame", target="prediction", at=0),))
+        frames = [make_frame(np.random.default_rng(i + 10)) for i in range(2)]
+
+        async def scenario(client, injector, path):
+            with pytest.raises((WireError, ConnectionError)):
+                await client.submit("alice", frames[0])
+            assert injector.fired == [("truncate_frame", "prediction", 0)]
+            async with AsyncPoseClient() as second:
+                await second.connect_unix(path)
+                assert (await second.submit("alice", frames[1])).shape == (19, 3)
+
+        run_frontend(server, plan, scenario, tmp_path)
+
+    def test_reconnecting_client_rides_through_a_torn_frame(self, estimator, tmp_path):
+        """The unified dial policy in anger: the reader dies on the torn
+        frame, and the next request re-dials with the remembered policy."""
+        server = PoseServer(estimator, LAZY)
+        plan = FaultPlan(rules=(FaultRule(op="truncate_frame", target="prediction", at=0),))
+        frames = [make_frame(np.random.default_rng(i + 20)) for i in range(2)]
+
+        async def scenario(client, injector, path):
+            async with AsyncPoseClient(reconnect=True) as sticky:
+                await sticky.connect_unix(path)
+                with pytest.raises((WireError, ConnectionError)):
+                    await sticky.submit("alice", frames[0])
+                assert (await sticky.submit("alice", frames[1])).shape == (19, 3)
+                assert sticky.reconnects == 1
+
+        run_frontend(server, plan, scenario, tmp_path)
